@@ -1,0 +1,286 @@
+use crate::tones::{ToneSet, WAVE_SAMPLES};
+use rand::RngCore;
+use semcom_channel::{AwgnChannel, Channel};
+use semcom_nn::layers::{Activation, DenseLayer, LayerNorm, Linear};
+use semcom_nn::loss::softmax_cross_entropy;
+use semcom_nn::optim::{Adam, Optimizer};
+use semcom_nn::rng::{derive_seed, seeded_rng};
+use semcom_nn::Tensor;
+use serde::{Deserialize, Serialize};
+
+const HIDDEN_ENC: usize = 32;
+const HIDDEN_DEC: usize = 32;
+
+/// Training hyper-parameters for an [`AudioKb`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AudioTrainConfig {
+    /// Passes over the generated training set.
+    pub epochs: usize,
+    /// Waveforms per epoch.
+    pub samples_per_epoch: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Channel-noise injection SNR (dB); `None` trains noiselessly.
+    pub train_snr_db: Option<f64>,
+}
+
+impl Default for AudioTrainConfig {
+    fn default() -> Self {
+        AudioTrainConfig {
+            epochs: 8,
+            samples_per_epoch: 400,
+            batch_size: 32,
+            learning_rate: 0.005,
+            train_snr_db: Some(8.0),
+        }
+    }
+}
+
+/// An MLP audio knowledge base (paper §III-B): encoder
+/// `Linear(64→32) → ReLU → Linear(32→feature) → power norm` producing
+/// `feature_dim` analog symbols per melody; decoder
+/// `Linear → ReLU → Linear → concept logits`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AudioKb {
+    enc1: Linear,
+    act1: Activation,
+    enc2: Linear,
+    norm: LayerNorm,
+    dec1: Linear,
+    act2: Activation,
+    dec2: Linear,
+    feature_dim: usize,
+    classes: usize,
+}
+
+impl AudioKb {
+    /// Creates an untrained audio KB for `tones` with `feature_dim`
+    /// channel symbols per melody.
+    pub fn new(tones: &ToneSet, feature_dim: usize, seed: u64) -> Self {
+        AudioKb {
+            enc1: Linear::new(WAVE_SAMPLES, HIDDEN_ENC, derive_seed(seed, 0)),
+            act1: Activation::relu(),
+            enc2: Linear::new(HIDDEN_ENC, feature_dim, derive_seed(seed, 1)),
+            norm: LayerNorm::new(feature_dim),
+            dec1: Linear::new(feature_dim, HIDDEN_DEC, derive_seed(seed, 2)),
+            act2: Activation::relu(),
+            dec2: Linear::new(HIDDEN_DEC, tones.len(), derive_seed(seed, 3)),
+            feature_dim,
+            classes: tones.len(),
+        }
+    }
+
+    /// Features (channel symbols) per melody.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Number of auditory concepts the decoder can emit.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Complex channel symbols per transmitted melody.
+    pub fn symbols_per_melody(&self) -> usize {
+        self.feature_dim.div_ceil(2)
+    }
+
+    fn params(&mut self) -> Vec<&mut semcom_nn::params::Param> {
+        let mut ps = self.enc1.params_mut();
+        ps.extend(self.enc2.params_mut());
+        ps.extend(self.dec1.params_mut());
+        ps.extend(self.dec2.params_mut());
+        ps
+    }
+
+    /// Total trainable scalar count.
+    pub fn param_count(&mut self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Encodes one waveform to power-normalized features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `waveform.len() != WAVE_SAMPLES`.
+    pub fn encode(&self, waveform: &[f32]) -> Vec<f32> {
+        assert_eq!(waveform.len(), WAVE_SAMPLES, "wrong waveform length");
+        let x = Tensor::row_from_slice(waveform);
+        let h = self.act1.infer(&self.enc1.infer(&x));
+        self.norm.infer(&self.enc2.infer(&h)).into_vec()
+    }
+
+    /// Decodes received features to the most likely concept.
+    pub fn decode(&self, features: &[f32]) -> usize {
+        let f = Tensor::row_from_slice(features);
+        let logits = self.dec2.infer(&self.act2.infer(&self.dec1.infer(&f)));
+        logits.argmax_row(0)
+    }
+
+    /// End-to-end transmission: `self` encodes, `receiver` decodes.
+    pub fn transmit(
+        &self,
+        receiver: &AudioKb,
+        waveform: &[f32],
+        channel: &dyn Channel,
+        rng: &mut dyn RngCore,
+    ) -> usize {
+        let features = self.encode(waveform);
+        let received = channel.transmit_f32(&features, rng);
+        receiver.decode(&received)
+    }
+
+    /// Trains encoder and decoder jointly with channel-noise injection.
+    pub fn train(&mut self, tones: &ToneSet, config: &AudioTrainConfig, seed: u64) -> f32 {
+        let mut rng = seeded_rng(seed);
+        let mut opt = Adam::new(config.learning_rate);
+        let channel = config.train_snr_db.map(AwgnChannel::new);
+        let mut last_loss = 0.0;
+        for _ in 0..config.epochs {
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            let mut remaining = config.samples_per_epoch;
+            while remaining > 0 {
+                let bs = config.batch_size.min(remaining);
+                remaining -= bs;
+                let mut rows = Vec::with_capacity(bs);
+                let mut labels = Vec::with_capacity(bs);
+                for _ in 0..bs {
+                    let (wave, label) = tones.sample(&mut rng);
+                    rows.push(Tensor::row_from_slice(&wave));
+                    labels.push(label);
+                }
+                let x = Tensor::vstack(&rows);
+
+                // Forward.
+                let h1 = self.act1.forward(&self.enc1.forward(&x));
+                let f = self.norm.forward(&self.enc2.forward(&h1));
+                let received = match &channel {
+                    Some(ch) => {
+                        let noisy = ch.transmit_f32(f.as_slice(), &mut rng);
+                        Tensor::from_vec(f.rows(), f.cols(), noisy)
+                            .expect("channel preserves length")
+                    }
+                    None => f.clone(),
+                };
+                let h2 = self.act2.forward(&self.dec1.forward(&received));
+                let logits = self.dec2.forward(&h2);
+                let (loss, dlogits) = softmax_cross_entropy(&logits, &labels);
+                epoch_loss += loss;
+                batches += 1;
+
+                // Backward (AWGN gradient = identity).
+                for p in self.params() {
+                    p.zero_grad();
+                }
+                self.norm.zero_grad();
+                let dh2 = self.dec2.backward(&dlogits);
+                let drec = self.dec1.backward(&self.act2.backward(&dh2));
+                let dh1 = self.enc2.backward(&self.norm.backward(&drec));
+                let dx = self.act1.backward(&dh1);
+                self.enc1.backward(&dx);
+                opt.step(&mut self.params());
+            }
+            if batches > 0 {
+                last_loss = epoch_loss / batches as f32;
+            }
+        }
+        last_loss
+    }
+
+    /// Classification accuracy over `n` fresh samples through `channel`.
+    pub fn accuracy(
+        &self,
+        tones: &ToneSet,
+        channel: &dyn Channel,
+        n: usize,
+        rng: &mut dyn RngCore,
+    ) -> f64 {
+        let mut correct = 0;
+        for _ in 0..n {
+            let (wave, label) = tones.sample(rng);
+            if self.transmit(self, &wave, channel, rng) == label {
+                correct += 1;
+            }
+        }
+        correct as f64 / n.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcom_channel::NoiselessChannel;
+
+    fn quick() -> AudioTrainConfig {
+        AudioTrainConfig {
+            epochs: 6,
+            samples_per_epoch: 240,
+            train_snr_db: None,
+            ..AudioTrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn feature_power_is_normalized() {
+        let t = ToneSet::new(5, 1);
+        let kb = AudioKb::new(&t, 8, 2);
+        let mut rng = seeded_rng(3);
+        let (wave, _) = t.sample(&mut rng);
+        let f = kb.encode(&wave);
+        let power: f32 = f.iter().map(|v| v * v).sum::<f32>() / f.len() as f32;
+        assert!((power - 1.0).abs() < 0.02, "power {power}");
+    }
+
+    #[test]
+    fn training_learns_the_melodies() {
+        let t = ToneSet::new(6, 1);
+        let mut kb = AudioKb::new(&t, 8, 2);
+        let mut rng = seeded_rng(4);
+        let before = kb.accuracy(&t, &NoiselessChannel, 100, &mut rng);
+        let loss = kb.train(&t, &quick(), 5);
+        let after = kb.accuracy(&t, &NoiselessChannel, 100, &mut rng);
+        assert!(loss < 1.0, "final loss {loss}");
+        assert!(after > before, "{before} -> {after}");
+        assert!(after > 0.9, "accuracy {after}");
+    }
+
+    #[test]
+    fn noise_trained_model_is_more_robust() {
+        let t = ToneSet::new(6, 2);
+        let mut clean = AudioKb::new(&t, 8, 3);
+        clean.train(&t, &quick(), 6);
+        let mut robust = AudioKb::new(&t, 8, 3);
+        robust.train(
+            &t,
+            &AudioTrainConfig {
+                train_snr_db: Some(2.0),
+                ..quick()
+            },
+            6,
+        );
+        let mut rng = seeded_rng(7);
+        let harsh = AwgnChannel::new(0.0);
+        let acc_clean = clean.accuracy(&t, &harsh, 150, &mut rng);
+        let acc_robust = robust.accuracy(&t, &harsh, 150, &mut rng);
+        assert!(
+            acc_robust > acc_clean,
+            "noise injection should help: {acc_clean} vs {acc_robust}"
+        );
+    }
+
+    #[test]
+    fn symbols_per_melody_is_half_features() {
+        let t = ToneSet::new(3, 1);
+        assert_eq!(AudioKb::new(&t, 10, 1).symbols_per_melody(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong waveform length")]
+    fn wrong_length_panics() {
+        let t = ToneSet::new(3, 1);
+        AudioKb::new(&t, 8, 1).encode(&[0.0; 3]);
+    }
+}

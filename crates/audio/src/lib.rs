@@ -1,0 +1,45 @@
+//! # semcom-audio
+//!
+//! The audio leg of the **multimodal** extension (paper §III-B: "text,
+//! image, video, and audio"): a semantic codec over a synthetic tone-melody
+//! modality.
+//!
+//! * [`ToneSet`] — each auditory concept is a deterministic three-note
+//!   melody over a small frequency alphabet, rendered to a 64-sample
+//!   waveform; samples add Gaussian acoustic noise and amplitude jitter, so
+//!   ground-truth meaning is exactly known;
+//! * [`AudioKb`] — an MLP knowledge base (waveform → hidden → power-
+//!   normalized features), transmitting `feature_dim` analog symbols per
+//!   melody, trained with channel-noise injection;
+//! * [`MatchedFilter`] — the classical receiver baseline: ship the raw
+//!   waveform as analog I/Q samples (32 channel symbols) and classify at
+//!   the receiver by correlation against the known prototypes.
+//!
+//! Experiment F10 (`semcom-bench`, `f10_audio_codec`) sweeps SNR and
+//! compares accuracy and channel uses.
+//!
+//! # Example
+//!
+//! ```
+//! use semcom_audio::{ToneSet, AudioKb, AudioTrainConfig};
+//! use semcom_channel::AwgnChannel;
+//! use semcom_nn::rng::seeded_rng;
+//!
+//! let tones = ToneSet::new(6, 1);
+//! let mut kb = AudioKb::new(&tones, 8, 2);
+//! kb.train(&tones, &AudioTrainConfig { epochs: 4, ..Default::default() }, 3);
+//! let mut rng = seeded_rng(4);
+//! let (wave, label) = tones.sample(&mut rng);
+//! let decoded = kb.transmit(&kb, &wave, &AwgnChannel::new(15.0), &mut rng);
+//! assert!(decoded < 6);
+//! let _ = label;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod tones;
+
+pub use codec::{AudioKb, AudioTrainConfig};
+pub use tones::{MatchedFilter, ToneSet, WAVE_SAMPLES};

@@ -1,0 +1,42 @@
+//! Criterion microbenchmarks for the cache substrate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use semcom_cache::policy::{Gdsf, Lru, SemanticCost};
+use semcom_cache::workload::Workload;
+use semcom_cache::ModelCache;
+use semcom_nn::rng::seeded_rng;
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/lru_insert_get_1k_entries", |b| {
+        b.iter_batched(
+            || ModelCache::<u64, u64>::new(500_000, Box::new(Lru::new())),
+            |mut cache| {
+                for i in 0..1_000u64 {
+                    cache.insert(i, i, 1_000, 1.0);
+                    let _ = cache.get(&(i / 2));
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("cache/gdsf_replay_5k_requests", |b| {
+        let w = Workload::standard(4, 100, 0.9);
+        b.iter(|| {
+            let mut rng = seeded_rng(1);
+            w.replay(4_000_000, Gdsf::new(), 5_000, &mut rng)
+        })
+    });
+
+    c.bench_function("cache/semantic_cost_replay_5k_requests", |b| {
+        let w = Workload::standard(4, 100, 0.9);
+        b.iter(|| {
+            let mut rng = seeded_rng(1);
+            w.replay(4_000_000, SemanticCost::new(), 5_000, &mut rng)
+        })
+    });
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

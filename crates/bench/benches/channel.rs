@@ -1,0 +1,44 @@
+//! Criterion microbenchmarks for the physical-layer substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use semcom_channel::coding::{BlockCode, ConvolutionalCode, HammingCode74};
+use semcom_channel::{AwgnChannel, BitPipeline, Channel, Modulation};
+use semcom_nn::rng::seeded_rng;
+
+fn bench_channel(c: &mut Criterion) {
+    let bits: Vec<u8> = (0..1024).map(|i| ((i * 7) % 2) as u8).collect();
+
+    c.bench_function("channel/qam16_modulate_1k_bits", |b| {
+        b.iter(|| Modulation::Qam16.modulate(std::hint::black_box(&bits)))
+    });
+
+    let symbols = Modulation::Qam16.modulate(&bits);
+    c.bench_function("channel/qam16_demodulate_256_symbols", |b| {
+        b.iter(|| Modulation::Qam16.demodulate(std::hint::black_box(&symbols)))
+    });
+
+    c.bench_function("channel/awgn_transmit_256_symbols", |b| {
+        let ch = AwgnChannel::new(6.0);
+        let mut rng = seeded_rng(1);
+        b.iter(|| ch.transmit(std::hint::black_box(&symbols), &mut rng))
+    });
+
+    c.bench_function("channel/hamming74_encode_1k_bits", |b| {
+        b.iter(|| HammingCode74.encode(std::hint::black_box(&bits)))
+    });
+
+    let conv_coded = ConvolutionalCode.encode(&bits);
+    c.bench_function("channel/viterbi_decode_1k_bits", |b| {
+        b.iter(|| ConvolutionalCode.decode(std::hint::black_box(&conv_coded)))
+    });
+
+    c.bench_function("channel/full_pipeline_conv_bpsk_1k_bits", |b| {
+        let p = BitPipeline::new(Box::new(ConvolutionalCode), Modulation::Bpsk);
+        let ch = AwgnChannel::new(6.0);
+        let mut rng = seeded_rng(2);
+        b.iter(|| p.transmit(std::hint::black_box(&bits), &ch, &mut rng))
+    });
+}
+
+criterion_group!(benches, bench_channel);
+criterion_main!(benches);

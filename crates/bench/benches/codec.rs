@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks for the semantic codec: encoding, decoding,
+//! end-to-end transmission, and a fine-tuning round.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use semcom_channel::AwgnChannel;
+use semcom_codec::train::{TrainConfig, Trainer};
+use semcom_codec::{CodecConfig, KbScope, KnowledgeBase};
+use semcom_nn::rng::seeded_rng;
+use semcom_text::{CorpusGenerator, Domain, LanguageConfig, Rendering};
+
+fn bench_codec(c: &mut Criterion) {
+    let lang = LanguageConfig::default().build(0);
+    let mut gen = CorpusGenerator::new(&lang, 1);
+    let corpus = gen.sentences(Domain::It, Rendering::Mixed(0.15), 120);
+    let mut kb = KnowledgeBase::new(
+        CodecConfig::default(),
+        lang.vocab().len(),
+        lang.concept_count(),
+        KbScope::DomainGeneral(Domain::It),
+        7,
+    );
+    Trainer::new(TrainConfig {
+        epochs: 3,
+        ..TrainConfig::default()
+    })
+    .fit(&mut kb, &corpus, 3);
+
+    let sentence = gen.sentence(Domain::It, Rendering::Canonical);
+    let channel = AwgnChannel::new(8.0);
+
+    c.bench_function("codec/encode_10_tokens", |b| {
+        b.iter(|| kb.encoder.encode(std::hint::black_box(&sentence.tokens)))
+    });
+
+    let features = kb.encoder.encode(&sentence.tokens);
+    c.bench_function("codec/decode_10_tokens", |b| {
+        b.iter(|| kb.decoder.predict(std::hint::black_box(&features)))
+    });
+
+    c.bench_function("codec/transmit_end_to_end", |b| {
+        let mut rng = seeded_rng(5);
+        b.iter(|| kb.transmit(&kb, &sentence.tokens, &channel, &mut rng))
+    });
+
+    c.bench_function("codec/finetune_round_60_pairs", |b| {
+        let pairs: Vec<(usize, usize)> = corpus
+            .iter()
+            .flat_map(|s| s.tokens.iter().zip(&s.concepts).map(|(&t, c)| (t, c.index())))
+            .take(60)
+            .collect();
+        b.iter_batched(
+            || kb.clone(),
+            |mut fresh| {
+                Trainer::new(TrainConfig {
+                    epochs: 1,
+                    ..TrainConfig::default()
+                })
+                .fit_pairs(&mut fresh, &pairs, 1)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

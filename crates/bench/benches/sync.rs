@@ -1,0 +1,48 @@
+//! Criterion microbenchmarks for the decoder-sync wire protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use semcom_fl::{DecoderSync, SyncProtocol, SyncUpdate};
+use semcom_nn::params::ParamVec;
+
+fn fixture(n: usize) -> (ParamVec, ParamVec) {
+    let before = ParamVec::from_parts(
+        vec![(1, n)],
+        (0..n).map(|i| (i as f32 * 0.37).sin()).collect(),
+    )
+    .expect("consistent layout");
+    let after = ParamVec::from_parts(
+        vec![(1, n)],
+        (0..n).map(|i| (i as f32 * 0.37).sin() + 0.01 * ((i % 13) as f32)).collect(),
+    )
+    .expect("consistent layout");
+    (before, after)
+}
+
+fn bench_sync(c: &mut Criterion) {
+    let (before, after) = fixture(12_000); // ~ a default decoder's size
+
+    c.bench_function("sync/make_update_dense_12k", |b| {
+        b.iter(|| DecoderSync::new(SyncProtocol::DenseDelta).make_update(&before, &after))
+    });
+
+    c.bench_function("sync/make_update_top500_12k", |b| {
+        b.iter(|| DecoderSync::new(SyncProtocol::TopK(500)).make_update(&before, &after))
+    });
+
+    c.bench_function("sync/make_update_int8_12k", |b| {
+        b.iter(|| DecoderSync::new(SyncProtocol::QuantizedInt8).make_update(&before, &after))
+    });
+
+    let update = DecoderSync::new(SyncProtocol::DenseDelta).make_update(&before, &after);
+    c.bench_function("sync/serialize_dense_12k", |b| {
+        b.iter(|| update.to_bytes())
+    });
+
+    let wire = update.to_bytes();
+    c.bench_function("sync/deserialize_dense_12k", |b| {
+        b.iter(|| SyncUpdate::from_bytes(std::hint::black_box(&wire)).expect("valid wire"))
+    });
+}
+
+criterion_group!(benches, bench_sync);
+criterion_main!(benches);

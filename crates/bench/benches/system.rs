@@ -1,0 +1,39 @@
+//! Criterion benchmarks for the end-to-end semantic edge system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use semcom::{SemanticEdgeSystem, SystemConfig};
+use semcom_edge::engine::Sim;
+use semcom_text::Domain;
+
+fn bench_system(c: &mut Criterion) {
+    c.bench_function("system/send_message_warm", |b| {
+        let mut system = SemanticEdgeSystem::build(SystemConfig::tiny(), 1);
+        let user = system.register_user(Domain::It, 1.0);
+        // Warm up: establish the user model so the steady state is measured.
+        for _ in 0..60 {
+            system.send_message(user);
+        }
+        b.iter(|| system.send_message(user));
+    });
+
+    c.bench_function("system/probe_accuracy_10_sentences", |b| {
+        let mut system = SemanticEdgeSystem::build(SystemConfig::tiny(), 2);
+        let user = system.register_user(Domain::News, 0.5);
+        b.iter(|| system.probe_accuracy(user, 10, 3));
+    });
+
+    c.bench_function("engine/schedule_and_run_10k_events", |b| {
+        b.iter(|| {
+            let mut sim: Sim<u64> = Sim::new();
+            let mut world = 0u64;
+            for i in 0..10_000 {
+                sim.schedule(i as f64 * 0.001, Box::new(|_, w: &mut u64| *w += 1));
+            }
+            sim.run(&mut world);
+            world
+        })
+    });
+}
+
+criterion_group!(benches, bench_system);
+criterion_main!(benches);

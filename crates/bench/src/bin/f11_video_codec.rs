@@ -1,0 +1,73 @@
+//! F11 — multimodal extension, video leg (§III-B): motion-concept clips
+//! through a CNN codec vs. shipping every frame's pixels.
+
+use semcom_bench::banner;
+use semcom_channel::coding::HammingCode74;
+use semcom_channel::{AwgnChannel, BitPipeline, Modulation};
+use semcom_nn::rng::seeded_rng;
+use semcom_vision::{VideoKb, VideoSet, VideoTrainConfig, CLIP_SAMPLES};
+
+fn main() {
+    banner(
+        "F11",
+        "video semantic codec (motion concepts) vs per-frame pixel shipping",
+        "message types include text, image, video, and audio (Sec. III-B)",
+    );
+
+    let videos = VideoSet::new(4, 1); // 16 (glyph, motion) concepts
+    println!("\ntraining the video KB ({} motion concepts)…", videos.len());
+    let mut kb = VideoKb::new(&videos, 8, 2);
+    kb.train(
+        &videos,
+        &VideoTrainConfig {
+            epochs: 12,
+            samples_per_epoch: 900,
+            train_snr_db: Some(6.0),
+            ..VideoTrainConfig::default()
+        },
+        3,
+    );
+
+    // Traditional leg: Hamming-coded BPSK pixels for all three frames,
+    // classified at the receiver by nearest clean clip.
+    let pipeline = BitPipeline::new(Box::new(HammingCode74), Modulation::Bpsk);
+    let pixel_symbols = pipeline.symbols_for(CLIP_SAMPLES);
+    println!(
+        "channel uses per clip: semantic {} symbols, pixels {} symbols ({}x)",
+        kb.symbols_per_clip(),
+        pixel_symbols,
+        pixel_symbols / kb.symbols_per_clip()
+    );
+    let handicap = 10.0 * (pixel_symbols as f64 / kb.symbols_per_clip() as f64).log10();
+    println!("equal-resource handicap for the pixel leg: {handicap:.1} dB");
+
+    println!("\nsnr_db,semantic_acc,pixel_acc_same_symbol_snr,pixel_acc_equal_resources");
+    for snr in [-6.0, -3.0, 0.0, 3.0, 6.0, 9.0, 12.0, 18.0, 24.0] {
+        let mut rng = seeded_rng(100 + (snr as i64 + 10) as u64);
+        let sem = kb.accuracy(&videos, &AwgnChannel::new(snr), 300, &mut rng);
+
+        let pixel_at = |s: f64, rng: &mut rand::rngs::StdRng| {
+            let ch = AwgnChannel::new(s);
+            let mut correct = 0;
+            let n = 120; // pixel leg is ~60x slower per clip
+            for _ in 0..n {
+                let (clip, label) = videos.sample(rng);
+                let bits: Vec<u8> = clip.iter().map(|&p| (p >= 0.5) as u8).collect();
+                let rx_bits = pipeline.transmit(&bits, &ch, rng);
+                let rx_clip: Vec<f32> = rx_bits.iter().map(|&b| b as f32).collect();
+                if videos.classify(&rx_clip) == label {
+                    correct += 1;
+                }
+            }
+            correct as f64 / n as f64
+        };
+        let pix = pixel_at(snr, &mut rng);
+        let pix_fair = pixel_at(snr - handicap, &mut rng);
+        println!("{snr:.0},{sem:.4},{pix:.4},{pix_fair:.4}");
+    }
+    println!("\nexpected shape: the video codec compresses three frames of pixels into");
+    println!("4 complex symbols because only the (glyph, motion) meaning matters; at");
+    println!("equal per-clip energy the pixel leg needs ~23 dB more to catch up —");
+    println!("the strongest of the three multimodal gaps (video is the most");
+    println!("redundant modality).");
+}

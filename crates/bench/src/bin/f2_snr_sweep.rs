@@ -1,0 +1,61 @@
+//! F2 — semantic vs. traditional communication across SNR, AWGN and
+//! Rayleigh fading. Regenerates the DeepSC-style "accuracy vs SNR" figure.
+
+use semcom_bench::{banner, build_setup};
+use semcom_channel::coding::HammingCode74;
+use semcom_channel::{AwgnChannel, Channel, Modulation, RayleighChannel};
+use semcom_codec::eval::{evaluate_semantic, evaluate_traditional};
+use semcom_codec::TraditionalCodec;
+use semcom_nn::rng::seeded_rng;
+use semcom_text::Domain;
+
+fn main() {
+    banner(
+        "F2",
+        "semantic accuracy vs SNR, semantic vs bit-level pipeline",
+        "semantic communication is more effective than transmitting data bit by bit (Sec. I)",
+    );
+    let setup = build_setup(1);
+    let d = Domain::News;
+    let kb = &setup.domain_kbs[&d];
+    let trad = TraditionalCodec::from_corpus(
+        setup.lang.vocab().len(),
+        &setup.train[&d],
+        Box::new(HammingCode74),
+        Modulation::Bpsk,
+    );
+    let test = &setup.test[&d];
+
+    for fading in [false, true] {
+        println!(
+            "\n--- {} channel ---",
+            if fading { "Rayleigh" } else { "AWGN" }
+        );
+        println!("snr_db,sem_acc,sem_bleu,trad_acc,trad_bleu");
+        for snr in [-6.0, -3.0, 0.0, 3.0, 6.0, 9.0, 12.0, 15.0, 18.0] {
+            let channel: Box<dyn Channel> = if fading {
+                Box::new(RayleighChannel::new(snr))
+            } else {
+                Box::new(AwgnChannel::new(snr))
+            };
+            let mut rng = seeded_rng(1000 + (snr as i64 + 10) as u64 + fading as u64 * 77);
+            let sem =
+                evaluate_semantic(kb, kb, &setup.lang, test, channel.as_ref(), &mut rng);
+            let tr = evaluate_traditional(
+                &trad,
+                &setup.lang,
+                d,
+                test,
+                channel.as_ref(),
+                &mut rng,
+            );
+            println!(
+                "{snr:.0},{:.4},{:.4},{:.4},{:.4}",
+                sem.concept_accuracy, sem.bleu, tr.concept_accuracy, tr.bleu
+            );
+        }
+    }
+    println!("\nexpected shape: semantic degrades gracefully and dominates at low SNR;");
+    println!("the traditional pipeline is perfect at high SNR but collapses below ~3 dB,");
+    println!("and the gap widens under Rayleigh fading.");
+}

@@ -1,0 +1,94 @@
+//! F4 — semantic-cache policy sweep: hit rate, KB re-establishment cost,
+//! and (event-driven) mean latency vs. edge capacity and Zipf skew.
+
+use semcom_bench::banner;
+use semcom_cache::policy::{Fifo, Gdsf, Lfu, Lru, SLru, SemanticCost};
+use semcom_cache::workload::Workload;
+use semcom_edge::{EdgeWorkloadSim, Topology, WorkloadConfig};
+use semcom_nn::rng::seeded_rng;
+
+fn main() {
+    banner(
+        "F4",
+        "cache policies: hit rate / miss cost vs capacity and skew",
+        "caching domain and user models reduces the time and resources \
+         required to establish individual KBs (abstract, Sec. I)",
+    );
+
+    let n_requests = 20_000;
+    println!("\n--- hit rate & mean re-establishment cost per request (alpha = 0.9) ---");
+    println!("capacity_mb,policy,hit_rate,mean_cost_s");
+    let workload = Workload::standard(4, 120, 0.9);
+    for capacity in [1_000_000usize, 2_000_000, 4_000_000, 8_000_000, 16_000_000] {
+        let rows: Vec<(&str, semcom_cache::workload::ReplayReport)> = vec![
+            ("fifo", workload.replay(capacity, Fifo::new(), n_requests, &mut seeded_rng(1))),
+            ("lru", workload.replay(capacity, Lru::new(), n_requests, &mut seeded_rng(1))),
+            ("lfu", workload.replay(capacity, Lfu::new(), n_requests, &mut seeded_rng(1))),
+            ("slru", workload.replay(capacity, SLru::new(), n_requests, &mut seeded_rng(1))),
+            ("gdsf", workload.replay(capacity, Gdsf::new(), n_requests, &mut seeded_rng(1))),
+            (
+                "semantic_cost",
+                workload.replay(capacity, SemanticCost::new(), n_requests, &mut seeded_rng(1)),
+            ),
+            (
+                "belady(oracle)",
+                workload.replay_optimal(capacity, n_requests, &mut seeded_rng(1)),
+            ),
+        ];
+        for (name, r) in rows {
+            println!(
+                "{:.1},{name},{:.4},{:.4}",
+                capacity as f64 / 1e6,
+                r.stats.hit_rate(),
+                r.mean_cost_per_request()
+            );
+        }
+    }
+
+    println!("\n--- Zipf skew sweep (capacity 4 MB, lru vs semantic_cost) ---");
+    println!("alpha,policy,hit_rate,mean_cost_s");
+    for alpha in [0.4, 0.7, 0.9, 1.1, 1.4] {
+        let w = Workload::standard(4, 120, alpha);
+        let lru = w.replay(4_000_000, Lru::new(), n_requests, &mut seeded_rng(2));
+        let sem = w.replay(4_000_000, SemanticCost::new(), n_requests, &mut seeded_rng(2));
+        println!(
+            "{alpha},lru,{:.4},{:.4}",
+            lru.stats.hit_rate(),
+            lru.mean_cost_per_request()
+        );
+        println!(
+            "{alpha},semantic_cost,{:.4},{:.4}",
+            sem.stats.hit_rate(),
+            sem.mean_cost_per_request()
+        );
+    }
+
+    println!("\n--- event-driven latency (Poisson arrivals, cloud fetch on miss) ---");
+    println!("capacity_mb,policy,hit_rate,mean_latency_ms,p95_latency_ms");
+    for capacity in [1_000_000usize, 2_000_000, 4_000_000, 8_000_000] {
+        let sim = EdgeWorkloadSim::new(
+            WorkloadConfig {
+                n_requests: 4_000,
+                capacity_bytes: capacity,
+                ..WorkloadConfig::default()
+            },
+            Topology::default(),
+        );
+        let lru = sim.run(Lru::new(), 3);
+        let sem = sim.run(SemanticCost::new(), 3);
+        for (name, r) in [("lru", lru), ("semantic_cost", sem)] {
+            println!(
+                "{:.1},{name},{:.4},{:.2},{:.2}",
+                capacity as f64 / 1e6,
+                r.hit_rate,
+                r.latency.mean * 1e3,
+                r.latency.p95 * 1e3
+            );
+        }
+    }
+
+    println!("\nexpected shape: hit rate rises with capacity for every policy;");
+    println!("cost-aware policies (gdsf, semantic_cost) pay less re-establishment");
+    println!("cost than recency/frequency policies at equal capacity, and the gap");
+    println!("is largest under cache pressure and moderate skew.");
+}

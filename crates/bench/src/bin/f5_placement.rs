@@ -1,0 +1,72 @@
+//! F5 — codec placement: device vs edge vs cloud latency breakdowns across
+//! codec compute intensity and model residency.
+
+use semcom_bench::banner;
+use semcom_edge::placement::{message_latency, MessageCost, Placement};
+use semcom_edge::Topology;
+
+fn main() {
+    banner(
+        "F5",
+        "end-to-end message latency by codec placement",
+        "it is essential to explore the potential of edge computing to aid \
+         the semantic encoding/decoding process (Sec. I)",
+    );
+    let topo = Topology::default();
+
+    println!("\n--- latency (ms) vs codec compute intensity, model resident ---");
+    println!("codec_mops,device,edge,cloud");
+    for mops in [1.0, 5.0, 20.0, 100.0, 500.0, 2000.0] {
+        let cost = MessageCost {
+            encode_ops: mops * 1e6,
+            decode_ops: mops * 1e6,
+            ..MessageCost::default()
+        };
+        let row: Vec<f64> = Placement::ALL
+            .iter()
+            .map(|&p| message_latency(&topo, p, &cost, true, 400_000).total() * 1e3)
+            .collect();
+        println!("{mops},{:.2},{:.2},{:.2}", row[0], row[1], row[2]);
+    }
+
+    println!("\n--- latency (ms) vs model size on a cold start (model fetch on miss) ---");
+    println!("model_mb,device_cold,edge_cold,cloud(always resident)");
+    for mb in [0.1, 0.5, 1.0, 4.0, 16.0] {
+        let bytes = (mb * 1e6) as usize;
+        let cost = MessageCost::default();
+        let dev = message_latency(&topo, Placement::DeviceOnly, &cost, false, bytes);
+        let edge = message_latency(&topo, Placement::Edge, &cost, false, bytes);
+        let cloud = message_latency(&topo, Placement::CloudOnly, &cost, true, bytes);
+        println!(
+            "{mb},{:.2},{:.2},{:.2}",
+            dev.total() * 1e3,
+            edge.total() * 1e3,
+            cloud.total() * 1e3
+        );
+    }
+
+    println!("\n--- full breakdown at the default operating point ---");
+    println!("placement,uplink_ms,encode_ms,transport_ms,decode_ms,downlink_ms,fetch_ms,total_ms");
+    for p in Placement::ALL {
+        for resident in [true, false] {
+            let b = message_latency(&topo, p, &MessageCost::default(), resident, 400_000);
+            println!(
+                "{}{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}",
+                p.name(),
+                if resident { "" } else { "_cold" },
+                b.uplink * 1e3,
+                b.encode * 1e3,
+                b.transport * 1e3,
+                b.decode * 1e3,
+                b.downlink * 1e3,
+                b.model_fetch * 1e3,
+                b.total() * 1e3
+            );
+        }
+    }
+
+    println!("\nexpected shape: device wins only for featherweight codecs; edge wins");
+    println!("across the realistic range (its crossover vs device moves left as codecs");
+    println!("grow); cloud pays two WAN round trips regardless. Cold starts are");
+    println!("dominated by the model fetch — the cache is the enabler of edge wins.");
+}

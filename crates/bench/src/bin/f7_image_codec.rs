@@ -1,0 +1,75 @@
+//! F7 — multimodal extension (§III-B): CNN image semantic codec vs. the
+//! pixel bit pipeline, accuracy and channel uses across SNR.
+
+use semcom_bench::banner;
+use semcom_channel::coding::HammingCode74;
+use semcom_channel::{AwgnChannel, Channel, Modulation, RayleighChannel};
+use semcom_nn::rng::seeded_rng;
+use semcom_vision::{GlyphSet, ImageKb, ImageTrainConfig, PixelBaseline};
+
+fn main() {
+    banner(
+        "F7",
+        "image semantic codec (CNN) vs pixel bit pipeline",
+        "it is crucial to consider multimodality … CNNs are a promising \
+         approach for encoding and decoding models (Sec. III-B)",
+    );
+
+    let glyphs = GlyphSet::new(16, 1);
+    println!("\ntraining the CNN image KB ({} visual concepts)…", glyphs.len());
+    let mut kb = ImageKb::new(&glyphs, 8, 2);
+    kb.train(
+        &glyphs,
+        &ImageTrainConfig {
+            epochs: 10,
+            samples_per_epoch: 800,
+            train_snr_db: Some(6.0),
+            ..ImageTrainConfig::default()
+        },
+        3,
+    );
+    let baseline = PixelBaseline::new(Box::new(HammingCode74), Modulation::Bpsk);
+
+    println!(
+        "\nchannel uses per image: semantic {} symbols, pixels {} symbols ({}x)",
+        kb.symbols_per_image(),
+        baseline.symbols_per_image(),
+        baseline.symbols_per_image() / kb.symbols_per_image()
+    );
+
+    // The pixel pipeline spends 63x the channel uses; at a fixed
+    // per-symbol SNR that is a 10*log10(63) ≈ 18 dB energy head start per
+    // image. The "equal_resources" column gives both legs the same energy
+    // budget per image by shifting the pixel leg's SNR down accordingly.
+    let handicap_db = 10.0
+        * (baseline.symbols_per_image() as f64 / kb.symbols_per_image() as f64).log10();
+    println!("equal-resource handicap for the pixel leg: {handicap_db:.1} dB");
+
+    for fading in [false, true] {
+        println!(
+            "\n--- {} channel ---",
+            if fading { "Rayleigh" } else { "AWGN" }
+        );
+        println!("snr_db,semantic_acc,pixel_acc_same_symbol_snr,pixel_acc_equal_resources");
+        for snr in [-6.0, -3.0, 0.0, 3.0, 6.0, 9.0, 12.0, 18.0] {
+            let make = |s: f64| -> Box<dyn Channel> {
+                if fading {
+                    Box::new(RayleighChannel::new(s))
+                } else {
+                    Box::new(AwgnChannel::new(s))
+                }
+            };
+            let channel = make(snr);
+            let fair = make(snr - handicap_db);
+            let mut rng = seeded_rng(100 + (snr as i64 + 10) as u64 + fading as u64 * 31);
+            let sem = kb.accuracy(&glyphs, channel.as_ref(), 400, &mut rng);
+            let pix = baseline.accuracy(&glyphs, channel.as_ref(), 400, &mut rng);
+            let pix_fair = baseline.accuracy(&glyphs, fair.as_ref(), 400, &mut rng);
+            println!("{snr:.0},{sem:.4},{pix:.4},{pix_fair:.4}");
+        }
+    }
+    println!("\nexpected shape: at the same per-symbol SNR the pixel pipeline can");
+    println!("outscore the semantic codec by burning 63x the channel resources; under");
+    println!("an equal per-image energy budget the semantic codec dominates across");
+    println!("the sweep — the multimodal analogue of the text result (F2).");
+}

@@ -1,0 +1,62 @@
+//! F8 — ablation: channel-noise injection during KB training. Codecs
+//! trained at different SNRs are evaluated across deployment SNRs,
+//! quantifying the "train like you fly" design choice called out in
+//! DESIGN.md (channel-code strength vs semantic robustness).
+
+use semcom_bench::banner;
+use semcom_channel::AwgnChannel;
+use semcom_codec::eval::evaluate_semantic;
+use semcom_codec::train::{TrainConfig, Trainer};
+use semcom_codec::{CodecConfig, KbScope, KnowledgeBase};
+use semcom_nn::rng::seeded_rng;
+use semcom_text::{CorpusGenerator, Domain, LanguageConfig, Rendering};
+
+fn main() {
+    banner(
+        "F8",
+        "training-SNR ablation for semantic codecs",
+        "deep learning algorithms can be testified to improve the overall \
+         system performance (Sec. III-C); ablation of the noise-injection recipe",
+    );
+
+    let lang = LanguageConfig::default().build(0);
+    let mut gen = CorpusGenerator::new(&lang, 1);
+    let d = Domain::It;
+    let train = gen.sentences(d, Rendering::Mixed(0.15), 250);
+    let test = gen.sentences(d, Rendering::Canonical, 60);
+
+    let train_snrs: [Option<f64>; 4] = [None, Some(12.0), Some(6.0), Some(0.0)];
+    let mut kbs = Vec::new();
+    for (i, &ts) in train_snrs.iter().enumerate() {
+        let mut kb = KnowledgeBase::new(
+            CodecConfig::default(),
+            lang.vocab().len(),
+            lang.concept_count(),
+            KbScope::DomainGeneral(d),
+            40 + i as u64,
+        );
+        Trainer::new(TrainConfig {
+            epochs: 10,
+            train_snr_db: ts,
+            ..TrainConfig::default()
+        })
+        .fit(&mut kb, &train, 50 + i as u64);
+        kbs.push(kb);
+    }
+
+    println!("\neval_snr_db,trained_noiseless,trained_12db,trained_6db,trained_0db");
+    for eval_snr in [-6.0, -3.0, 0.0, 3.0, 6.0, 12.0, 18.0] {
+        let channel = AwgnChannel::new(eval_snr);
+        print!("{eval_snr:.0}");
+        for (i, kb) in kbs.iter().enumerate() {
+            let mut rng = seeded_rng(200 + i as u64 * 13 + (eval_snr as i64 + 10) as u64);
+            let r = evaluate_semantic(kb, kb, &lang, &test, &channel, &mut rng);
+            print!(",{:.4}", r.concept_accuracy);
+        }
+        println!();
+    }
+    println!("\nexpected shape: noiseless-trained codecs are brittle at low SNR;");
+    println!("training at ~deployment SNR maximizes low-SNR accuracy at a small");
+    println!("high-SNR cost; training *below* deployment SNR sacrifices clean-channel");
+    println!("accuracy without further low-SNR gains.");
+}

@@ -1,0 +1,53 @@
+//! T1 — payload accounting per sentence: raw UTF-8 bits, Huffman source
+//! coding, Huffman + Hamming FEC, and semantic features.
+
+use semcom_bench::{banner, build_setup};
+use semcom_channel::coding::{BlockCode, HammingCode74};
+use semcom_codec::HuffmanCode;
+use semcom_text::Domain;
+
+fn main() {
+    banner(
+        "T1",
+        "transmitted payload per sentence",
+        "semantic communication decreases the transmitted data sizes (Sec. II-C)",
+    );
+    let setup = build_setup(2);
+
+    println!("\ndomain,raw_utf8_bits,huffman_bits,huffman_hamming_bits,semantic_symbols,sem_equiv_bits");
+    for d in Domain::ALL {
+        let huff = HuffmanCode::from_corpus(
+            setup.lang.vocab().len(),
+            setup.train[&d].iter().map(|s| s.tokens.as_slice()),
+        );
+        let kb = &setup.domain_kbs[&d];
+        let mut raw_bits = 0usize;
+        let mut huff_bits = 0usize;
+        let mut fec_bits = 0usize;
+        let mut sem_symbols = 0usize;
+        let mut n = 0usize;
+        for s in &setup.test[&d] {
+            raw_bits += s.utf8_bytes() * 8;
+            let h = huff.encode(&s.tokens).len();
+            huff_bits += h;
+            fec_bits += HammingCode74.coded_len(h);
+            sem_symbols += kb.symbols_for(s.len());
+            n += 1;
+        }
+        let n = n as f64;
+        // One complex symbol carries two real feature samples; for a
+        // bits-equivalent comparison we count a BPSK channel use = 1 bit,
+        // so one complex symbol ~ 2 channel uses of the bit pipeline.
+        println!(
+            "{d},{:.1},{:.1},{:.1},{:.1},{:.1}",
+            raw_bits as f64 / n,
+            huff_bits as f64 / n,
+            fec_bits as f64 / n,
+            sem_symbols as f64 / n,
+            sem_symbols as f64 * 2.0 / n,
+        );
+    }
+    println!("\nexpected shape: in channel uses per sentence, semantic features cost");
+    println!("~2.5x less than the FEC-protected Huffman payload on BPSK and ~10x less");
+    println!("than raw UTF-8, while also carrying meaning rather than spelling.");
+}

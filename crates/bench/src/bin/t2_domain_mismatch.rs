@@ -1,0 +1,107 @@
+//! T2 — the "bus" experiment: semantic accuracy of the pooled general
+//! model vs. domain-specialized models, per domain, plus the cross-domain
+//! mismatch matrix (encoder of domain X with decoder of domain Y).
+
+use semcom_bench::{banner, build_setup};
+use semcom_channel::AwgnChannel;
+use semcom_codec::eval::evaluate_semantic;
+use semcom_codec::mismatch::mismatch_rate;
+use semcom_nn::rng::seeded_rng;
+use semcom_text::Domain;
+
+fn main() {
+    banner(
+        "T2",
+        "general vs domain-specialized knowledge bases",
+        "using only general models for all users can lead to severe mismatches; \
+         the word 'bus' means different things in different domains (Sec. II-A)",
+    );
+    let setup = build_setup(3);
+    let channel = AwgnChannel::new(12.0);
+
+    println!("\n--- semantic accuracy per domain (canonical users) ---");
+    println!("domain,pooled_general,domain_specialized");
+    for d in Domain::ALL {
+        let mut rng = seeded_rng(50 + d.index() as u64);
+        let gen_acc = evaluate_semantic(
+            &setup.pooled_general,
+            &setup.pooled_general,
+            &setup.lang,
+            &setup.test[&d],
+            &channel,
+            &mut rng,
+        );
+        let dom_acc = evaluate_semantic(
+            &setup.domain_kbs[&d],
+            &setup.domain_kbs[&d],
+            &setup.lang,
+            &setup.test[&d],
+            &channel,
+            &mut rng,
+        );
+        println!(
+            "{d},{:.4},{:.4}",
+            gen_acc.concept_accuracy, dom_acc.concept_accuracy
+        );
+    }
+
+    println!("\n--- accuracy on polysemous words only ---");
+    println!("domain,pooled_general,domain_specialized");
+    for d in Domain::ALL {
+        let mut rng = seeded_rng(90 + d.index() as u64);
+        // Sentences made entirely of this domain's polysemous senses.
+        let poly_concepts: Vec<_> = setup
+            .lang
+            .polysemous_tokens()
+            .iter()
+            .filter_map(|&t| setup.lang.token_sense(d, t))
+            .collect();
+        let mut gen =
+            semcom_text::CorpusGenerator::new(&setup.lang, 777 + d.index() as u64);
+        let sentences: Vec<_> = (0..40)
+            .map(|_| gen.render(d, &poly_concepts, semcom_text::Rendering::Canonical))
+            .collect();
+        let g = evaluate_semantic(
+            &setup.pooled_general,
+            &setup.pooled_general,
+            &setup.lang,
+            &sentences,
+            &channel,
+            &mut rng,
+        );
+        let s = evaluate_semantic(
+            &setup.domain_kbs[&d],
+            &setup.domain_kbs[&d],
+            &setup.lang,
+            &sentences,
+            &channel,
+            &mut rng,
+        );
+        println!("{d},{:.4},{:.4}", g.concept_accuracy, s.concept_accuracy);
+    }
+
+    println!("\n--- cross-domain mismatch matrix eps(e_X, d_Y), test set of X ---");
+    print!("enc\\dec");
+    for d in Domain::ALL {
+        print!(",{d}");
+    }
+    println!();
+    for dx in Domain::ALL {
+        print!("{dx}");
+        for dy in Domain::ALL {
+            let mut rng = seeded_rng(200 + (dx.index() * 4 + dy.index()) as u64);
+            let eps = mismatch_rate(
+                &setup.domain_kbs[&dx],
+                &setup.domain_kbs[&dy],
+                &setup.test[&dx],
+                &channel,
+                &mut rng,
+            );
+            print!(",{eps:.3}");
+        }
+        println!();
+    }
+    println!("\nexpected shape: the diagonal is near 0; off-diagonal mismatch is large;");
+    println!("the pooled general model loses exactly on the polysemous vocabulary,");
+    println!("where it must commit to one domain's sense.");
+}

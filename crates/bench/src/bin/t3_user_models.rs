@@ -1,0 +1,87 @@
+//! T3 — user-specific individual models vs. the domain-general model as a
+//! function of idiolect strength, including the error-free-traditional
+//! baseline (which still misreads idiolects, because it ships words, not
+//! meanings).
+
+use semcom_bench::{banner, build_setup};
+use semcom_channel::{AwgnChannel, NoiselessChannel};
+use semcom_codec::eval::evaluate_semantic;
+use semcom_codec::train::{TrainConfig, Trainer};
+use semcom_codec::TraditionalCodec;
+use semcom_nn::rng::{derive_seed, seeded_rng};
+use semcom_text::metrics::concept_accuracy;
+use semcom_text::{CorpusGenerator, Domain, Idiolect, IdiolectConfig, Rendering};
+
+fn main() {
+    banner(
+        "T3",
+        "user-specific models vs domain-general, by idiolect strength",
+        "a general model cannot capture individual users' language patterns; \
+         user-specific models improve accuracy (Sec. II-B)",
+    );
+    let setup = build_setup(4);
+    let d = Domain::It;
+    let channel = AwgnChannel::new(12.0);
+
+    println!("\nidiolect_strength,general_acc,user_model_acc,traditional_error_free_acc");
+    for strength in [0.0, 0.5, 1.0, 1.5, 2.0, 2.5] {
+        let idiolect = Idiolect::sample(
+            &setup.lang,
+            d,
+            IdiolectConfig::with_strength(strength),
+            derive_seed(11, strength as u64 * 10 + (strength * 10.0) as u64),
+        );
+        let mut gen = CorpusGenerator::new(&setup.lang, 900 + (strength * 10.0) as u64);
+        let user_train = gen.sentences(d, Rendering::Idiolect(&idiolect), 150);
+        let user_test = gen.sentences(d, Rendering::Idiolect(&idiolect), 50);
+
+        // Domain-general model, unadapted.
+        let mut rng = seeded_rng(30 + (strength * 10.0) as u64);
+        let general = evaluate_semantic(
+            &setup.domain_kbs[&d],
+            &setup.domain_kbs[&d],
+            &setup.lang,
+            &user_test,
+            &channel,
+            &mut rng,
+        );
+
+        // User-specific model, fine-tuned from the general one (Sec. II-D).
+        let mut user_kb = setup.domain_kbs[&d].derive_user_model(1, d);
+        Trainer::new(TrainConfig {
+            epochs: 6,
+            train_snr_db: Some(6.0),
+            ..TrainConfig::default()
+        })
+        .fit(&mut user_kb, &user_train, 77);
+        let user = evaluate_semantic(
+            &user_kb,
+            &user_kb,
+            &setup.lang,
+            &user_test,
+            &channel,
+            &mut rng,
+        );
+
+        // Traditional baseline on a *perfect* channel: words arrive intact
+        // but the receiver's lexicon misreads the idiolect.
+        let mut trad_acc = 0.0;
+        let mut rng2 = seeded_rng(60);
+        for s in &user_test {
+            let received = s.tokens.clone(); // error-free delivery
+            let _ = &mut rng2;
+            let _ = NoiselessChannel;
+            let decoded = TraditionalCodec::interpret(&setup.lang, d, &received);
+            trad_acc += concept_accuracy(&s.concepts, &decoded);
+        }
+        trad_acc /= user_test.len() as f64;
+
+        println!(
+            "{strength:.1},{:.4},{:.4},{trad_acc:.4}",
+            general.concept_accuracy, user.concept_accuracy
+        );
+    }
+    println!("\nexpected shape: all three are ~equal at strength 0; as idiolects");
+    println!("strengthen, general-model and even error-free traditional accuracy fall");
+    println!("together (both misread the user), while the user-specific model holds.");
+}

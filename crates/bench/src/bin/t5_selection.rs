@@ -1,0 +1,66 @@
+//! T5 — model selection: per-message classifiers vs context-aware
+//! selection on single-topic conversations with locally-ambiguous messages.
+
+use semcom_bench::banner;
+use semcom_select::eval::ConversationSet;
+use semcom_select::{
+    BanditSelector, ContextualSelector, KeywordSelector, LogisticSelector, NaiveBayesSelector,
+    RecurrentSelector,
+};
+use semcom_text::LanguageConfig;
+
+fn main() {
+    banner(
+        "T5",
+        "domain-selection accuracy, per-message vs context-aware",
+        "context is often critical in selecting the appropriate model; \
+         RL or LSTM-based classification can evaluate the best selection (Sec. III-A)",
+    );
+    let lang = LanguageConfig::default().build(0);
+    let train = ConversationSet::generate(&lang, 60, 8, 1);
+    let test = ConversationSet::generate(&lang, 30, 8, 2);
+    let train_sentences = train.sentences();
+
+    println!("\nselector,accuracy");
+    let mut keyword = KeywordSelector::from_language(&lang);
+    println!("keyword,{:.4}", test.evaluate(&mut keyword));
+
+    let mut nb = NaiveBayesSelector::fit(&lang, &train_sentences);
+    println!("naive_bayes,{:.4}", test.evaluate(&mut nb));
+
+    let mut logistic = LogisticSelector::fit(&lang, &train_sentences, 3);
+    println!("logistic,{:.4}", test.evaluate(&mut logistic));
+
+    let mut recurrent = RecurrentSelector::fit(&lang, &train_sentences, 4);
+    println!("recurrent(gru),{:.4}", test.evaluate(&mut recurrent));
+
+    for decay in [0.3, 0.5, 0.7, 0.9] {
+        let base = NaiveBayesSelector::fit(&lang, &train_sentences);
+        let mut ctx = ContextualSelector::new(Box::new(base), decay);
+        println!(
+            "contextual(nb, decay={decay}),{:.4}",
+            test.evaluate(&mut ctx)
+        );
+    }
+    {
+        let base = LogisticSelector::fit(&lang, &train_sentences, 3);
+        let mut ctx = ContextualSelector::new(Box::new(base), 0.7);
+        println!(
+            "contextual(logistic, decay=0.7),{:.4}",
+            test.evaluate(&mut ctx)
+        );
+    }
+    {
+        // RL selector with decode-success feedback (Sec. III-A's "deep
+        // reinforcement learning" suggestion; reward comes free from the
+        // sender's decoder copy, Sec. II-C).
+        let base = NaiveBayesSelector::fit(&lang, &train_sentences);
+        let mut bandit = BanditSelector::new(Box::new(base), 0.05, 0.5, 9);
+        println!("bandit(nb+feedback),{:.4}", test.evaluate_bandit(&mut bandit));
+    }
+
+    println!("\nexpected shape: per-message selectors top out near the ambiguity");
+    println!("ceiling (≈35% of messages carry no domain-specific word); every");
+    println!("context-aware variant clears it, with the decay sweep showing the");
+    println!("history-length tradeoff the paper's Sec. III-A gestures at.");
+}

@@ -1,0 +1,136 @@
+//! # semcom-bench
+//!
+//! Experiment harnesses reproducing every table and figure of the `semcom`
+//! reproduction (see `DESIGN.md` for the experiment index). Each
+//! `src/bin/<id>_*.rs` binary regenerates one table/figure on stdout:
+//!
+//! | binary | experiment |
+//! |---|---|
+//! | `f2_snr_sweep` | semantic vs traditional accuracy across SNR (AWGN & Rayleigh) |
+//! | `t1_payload` | payload accounting: raw / Huffman / Huffman+FEC / semantic |
+//! | `t2_domain_mismatch` | general vs domain-specialized mismatch matrix |
+//! | `t3_user_models` | user-specific vs domain-general across idiolect strength |
+//! | `t4_decoder_copy` | mismatch-detection traffic: echo-back vs decoder copy |
+//! | `f3_grad_sync` | decoder sync: bytes vs post-sync mismatch per protocol |
+//! | `f4_cache_sweep` | hit rate / miss cost vs capacity per policy |
+//! | `f5_placement` | device vs edge vs cloud latency breakdown |
+//! | `t5_selection` | selector accuracy, per-message vs context-aware vs RL |
+//! | `f6_channel_ablation` | BER vs SNR per channel code + ARQ delivery/goodput |
+//! | `f7_image_codec` | CNN image KB vs pixel pipeline (multimodal, image) |
+//! | `f8_train_snr` | training-SNR ablation |
+//! | `f9_feature_dim` | feature-rate ablation |
+//! | `f10_audio_codec` | MLP melody KB vs matched filter (multimodal, audio) |
+//! | `f11_video_codec` | CNN motion KB vs per-frame pixels (multimodal, video) |
+//! | `f12_fleet_balancing` | multi-edge assignment: locality vs load balance |
+//! | `t6_lossy_sync` | decoder sync over an unreliable link |
+//!
+//! Run all with `scripts/run_all_experiments.sh` or individually:
+//!
+//! ```sh
+//! cargo run --release -p semcom-bench --bin f2_snr_sweep
+//! ```
+//!
+//! This library crate holds the shared setup (trained KBs, corpora) so the
+//! binaries stay small and consistent.
+
+#![forbid(unsafe_code)]
+
+use semcom_codec::train::{TrainConfig, Trainer};
+use semcom_codec::{CodecConfig, KbScope, KnowledgeBase};
+use semcom_nn::rng::derive_seed;
+use semcom_text::{CorpusGenerator, Domain, LanguageConfig, Rendering, Sentence, SyntheticLanguage};
+use std::collections::HashMap;
+
+/// Shared experiment fixture: the default language, per-domain corpora, a
+/// pooled-general KB (the §II-A strawman), and four domain-specialized KBs.
+pub struct Setup {
+    /// The synthetic language.
+    pub lang: SyntheticLanguage,
+    /// Per-domain training corpora (`Rendering::Mixed(0.15)`).
+    pub train: HashMap<Domain, Vec<Sentence>>,
+    /// Per-domain held-out canonical test sets.
+    pub test: HashMap<Domain, Vec<Sentence>>,
+    /// One model trained on the pooled corpus of all domains.
+    pub pooled_general: KnowledgeBase,
+    /// Domain-specialized general models `e^m / d^m`.
+    pub domain_kbs: HashMap<Domain, KnowledgeBase>,
+}
+
+/// Training sentences per domain used by [`build_setup`].
+pub const TRAIN_SENTENCES: usize = 250;
+/// Test sentences per domain used by [`build_setup`].
+pub const TEST_SENTENCES: usize = 60;
+
+/// Builds the shared fixture (deterministic in `seed`). Takes a few
+/// seconds in release mode: five KBs are trained from scratch.
+pub fn build_setup(seed: u64) -> Setup {
+    let lang = LanguageConfig::default().build(derive_seed(seed, 0));
+    let mut train = HashMap::new();
+    let mut test = HashMap::new();
+    let mut pooled = Vec::new();
+    for d in Domain::ALL {
+        let mut gen = CorpusGenerator::new(&lang, derive_seed(seed, 10 + d.index() as u64));
+        let tr = gen.sentences(d, Rendering::Mixed(0.15), TRAIN_SENTENCES);
+        let te = gen.sentences(d, Rendering::Canonical, TEST_SENTENCES);
+        pooled.extend(tr.iter().cloned());
+        train.insert(d, tr);
+        test.insert(d, te);
+    }
+
+    let train_cfg = TrainConfig {
+        epochs: 10,
+        train_snr_db: Some(6.0),
+        ..TrainConfig::default()
+    };
+
+    let mut pooled_general = KnowledgeBase::new(
+        CodecConfig::default(),
+        lang.vocab().len(),
+        lang.concept_count(),
+        KbScope::General,
+        derive_seed(seed, 20),
+    );
+    Trainer::new(train_cfg).fit(&mut pooled_general, &pooled, derive_seed(seed, 21));
+
+    let mut domain_kbs = HashMap::new();
+    for d in Domain::ALL {
+        let mut kb = KnowledgeBase::new(
+            CodecConfig::default(),
+            lang.vocab().len(),
+            lang.concept_count(),
+            KbScope::DomainGeneral(d),
+            derive_seed(seed, 30 + d.index() as u64),
+        );
+        Trainer::new(train_cfg).fit(&mut kb, &train[&d], derive_seed(seed, 40 + d.index() as u64));
+        domain_kbs.insert(d, kb);
+    }
+
+    Setup {
+        lang,
+        train,
+        test,
+        pooled_general,
+        domain_kbs,
+    }
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str, claim: &str) {
+    println!("==============================================================");
+    println!("{id}: {title}");
+    println!("paper claim: {claim}");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_builds_and_is_deterministic_in_structure() {
+        // Use the tiny path implicitly by checking invariants cheap to
+        // verify; full build is exercised by the harness binaries.
+        let lang = LanguageConfig::tiny().build(0);
+        assert!(lang.concept_count() > 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Admission control: deciding whether a missed object should be cached
+//! at all.
+//!
+//! Under heavy pressure an eviction policy alone can thrash: every one-hit
+//! wonder evicts something useful. A TinyLFU-style admission filter keeps
+//! an approximate frequency count of *all* requested keys (resident or
+//! not) in a [`CountMinSketch`] and only admits a newcomer when it has
+//! been seen at least as often as the entry it would displace.
+
+use std::hash::{Hash, Hasher};
+use std::collections::hash_map::DefaultHasher;
+
+/// A count-min sketch: a fixed-size approximate frequency counter.
+///
+/// Overestimates (never underestimates) counts, with error bounded by the
+/// sketch width; periodic halving ([`CountMinSketch::age`]) keeps the
+/// estimates fresh, so it tracks *recent* popularity.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    rows: usize,
+    width: usize,
+    counts: Vec<u32>,
+    additions: u64,
+    age_after: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with `rows` hash rows of `width` counters, aging
+    /// (halving all counters) after every `age_after` additions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows`, `width`, or `age_after` is zero.
+    pub fn new(rows: usize, width: usize, age_after: u64) -> Self {
+        assert!(rows > 0 && width > 0, "sketch dimensions must be positive");
+        assert!(age_after > 0, "aging period must be positive");
+        CountMinSketch {
+            rows,
+            width,
+            counts: vec![0; rows * width],
+            additions: 0,
+            age_after,
+        }
+    }
+
+    fn slot<K: Hash>(&self, key: &K, row: usize) -> usize {
+        let mut hasher = DefaultHasher::new();
+        row.hash(&mut hasher);
+        key.hash(&mut hasher);
+        row * self.width + (hasher.finish() as usize % self.width)
+    }
+
+    /// Records one occurrence of `key`.
+    pub fn record<K: Hash>(&mut self, key: &K) {
+        for row in 0..self.rows {
+            let i = self.slot(key, row);
+            self.counts[i] = self.counts[i].saturating_add(1);
+        }
+        self.additions += 1;
+        if self.additions % self.age_after == 0 {
+            self.age();
+        }
+    }
+
+    /// Estimated occurrence count of `key` (an overestimate).
+    pub fn estimate<K: Hash>(&self, key: &K) -> u32 {
+        (0..self.rows)
+            .map(|row| self.counts[self.slot(key, row)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Halves every counter (recency decay).
+    pub fn age(&mut self) {
+        for c in &mut self.counts {
+            *c /= 2;
+        }
+    }
+
+    /// Total additions recorded so far.
+    pub fn additions(&self) -> u64 {
+        self.additions
+    }
+}
+
+/// TinyLFU-style admission filter.
+///
+/// Call [`FrequencyAdmission::record_request`] for **every** request
+/// (hit or miss); on a miss that would evict, ask
+/// [`FrequencyAdmission::admit`] whether the candidate's recent frequency
+/// beats the victim's.
+#[derive(Debug, Clone)]
+pub struct FrequencyAdmission {
+    sketch: CountMinSketch,
+}
+
+impl FrequencyAdmission {
+    /// Creates an admission filter sized for roughly `expected_keys`
+    /// distinct keys.
+    pub fn new(expected_keys: usize) -> Self {
+        let width = (expected_keys * 8).next_power_of_two().max(64);
+        FrequencyAdmission {
+            sketch: CountMinSketch::new(4, width, (expected_keys as u64 * 10).max(100)),
+        }
+    }
+
+    /// Records a request for `key` (hit or miss).
+    pub fn record_request<K: Hash>(&mut self, key: &K) {
+        self.sketch.record(key);
+    }
+
+    /// Whether `candidate` should displace `victim`.
+    pub fn admit<K: Hash>(&self, candidate: &K, victim: &K) -> bool {
+        self.sketch.estimate(candidate) >= self.sketch.estimate(victim)
+    }
+
+    /// The underlying sketch (for diagnostics).
+    pub fn sketch(&self) -> &CountMinSketch {
+        &self.sketch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sketch_never_underestimates() {
+        let mut s = CountMinSketch::new(4, 256, 1_000_000);
+        for i in 0..100u32 {
+            for _ in 0..(i % 7 + 1) {
+                s.record(&i);
+            }
+        }
+        for i in 0..100u32 {
+            assert!(s.estimate(&i) >= i % 7 + 1, "key {i}");
+        }
+    }
+
+    #[test]
+    fn sketch_separates_hot_from_cold() {
+        let mut s = CountMinSketch::new(4, 1024, 1_000_000);
+        for _ in 0..100 {
+            s.record(&"hot");
+        }
+        s.record(&"cold");
+        assert!(s.estimate(&"hot") > 10 * s.estimate(&"cold"));
+    }
+
+    #[test]
+    fn aging_halves_counts() {
+        let mut s = CountMinSketch::new(2, 64, 1_000_000);
+        for _ in 0..40 {
+            s.record(&7u32);
+        }
+        let before = s.estimate(&7u32);
+        s.age();
+        let after = s.estimate(&7u32);
+        assert_eq!(after, before / 2);
+    }
+
+    #[test]
+    fn periodic_aging_tracks_recency() {
+        let mut s = CountMinSketch::new(2, 64, 50);
+        // Key A is popular early, then vanishes; key B becomes popular.
+        for _ in 0..50 {
+            s.record(&"a");
+        }
+        for _ in 0..200 {
+            s.record(&"b");
+        }
+        assert!(s.estimate(&"b") > s.estimate(&"a"));
+    }
+
+    #[test]
+    fn admission_prefers_frequent_candidates() {
+        let mut f = FrequencyAdmission::new(100);
+        for _ in 0..10 {
+            f.record_request(&1u64);
+        }
+        f.record_request(&2u64);
+        assert!(f.admit(&1u64, &2u64), "frequent beats rare");
+        assert!(!f.admit(&3u64, &1u64), "unseen loses to frequent");
+    }
+
+    #[test]
+    fn ties_admit_the_candidate() {
+        let mut f = FrequencyAdmission::new(100);
+        f.record_request(&1u64);
+        f.record_request(&2u64);
+        assert!(f.admit(&1u64, &2u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "sketch dimensions must be positive")]
+    fn zero_width_rejected() {
+        CountMinSketch::new(1, 0, 10);
+    }
+}

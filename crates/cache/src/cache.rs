@@ -1,0 +1,325 @@
+use crate::policy::EvictionPolicy;
+use crate::stats::CacheStats;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Size/cost metadata attached to each cache entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntryMeta {
+    /// Entry size in bytes (counted against capacity).
+    pub size: usize,
+    /// Cost to re-establish the entry on a miss (for KB models: retraining
+    /// or cloud-fetch time, in seconds). Consumed by cost-aware policies.
+    pub cost: f64,
+}
+
+/// Result of a [`ModelCache::insert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertOutcome<K> {
+    /// Entry stored; lists any keys evicted to make room.
+    Inserted {
+        /// Keys evicted by this insertion, oldest victim first.
+        evicted: Vec<K>,
+    },
+    /// Entry alone exceeds total capacity; nothing was changed.
+    TooLarge,
+}
+
+struct Entry<V> {
+    value: V,
+    meta: EntryMeta,
+}
+
+/// A byte-capacity cache with a pluggable [`EvictionPolicy`].
+///
+/// In the semantic edge system the values are serialized knowledge bases;
+/// the cache is also reused generically by the edge simulator. See the
+/// [crate documentation](crate) for an example.
+pub struct ModelCache<K, V> {
+    capacity: usize,
+    used: usize,
+    entries: HashMap<K, Entry<V>>,
+    policy: Box<dyn EvictionPolicy<K> + Send>,
+    stats: CacheStats,
+}
+
+impl<K: Hash + Eq + Clone + std::fmt::Debug, V> std::fmt::Debug for ModelCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ModelCache({} entries, {}/{} bytes, policy {})",
+            self.entries.len(),
+            self.used,
+            self.capacity,
+            self.policy.name()
+        )
+    }
+}
+
+impl<K: Hash + Eq + Clone, V> ModelCache<K, V> {
+    /// Creates a cache with the given byte capacity and eviction policy.
+    pub fn new(capacity: usize, policy: Box<dyn EvictionPolicy<K> + Send>) -> Self {
+        ModelCache {
+            capacity,
+            used: 0,
+            entries: HashMap::new(),
+            policy,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Byte capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The eviction policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Looks up a key, recording a hit or miss and updating recency.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.entries.get(key) {
+            Some(e) => {
+                self.stats.hits += 1;
+                self.policy.on_access(key, &e.meta);
+                Some(&e.value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Mutable lookup (hit/miss recorded like [`Self::get`]).
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                self.stats.hits += 1;
+                self.policy.on_access(key, &e.meta);
+                Some(&mut e.value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks residency without touching statistics or recency.
+    pub fn contains(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Inserts an entry, evicting as needed. Re-inserting an existing key
+    /// replaces its value and metadata.
+    pub fn insert(&mut self, key: K, value: V, size: usize, cost: f64) -> InsertOutcome<K> {
+        if size > self.capacity {
+            self.stats.rejected += 1;
+            return InsertOutcome::TooLarge;
+        }
+        if let Some(old) = self.entries.remove(&key) {
+            self.used -= old.meta.size;
+            self.policy.on_remove(&key);
+        }
+        let mut evicted = Vec::new();
+        while self.used + size > self.capacity {
+            let victim = self
+                .policy
+                .victim()
+                .expect("non-empty cache must yield a victim while over capacity");
+            let e = self
+                .entries
+                .remove(&victim)
+                .expect("policy victims are resident");
+            self.used -= e.meta.size;
+            self.policy.on_remove(&victim);
+            self.stats.evictions += 1;
+            self.stats.bytes_evicted += e.meta.size as u64;
+            evicted.push(victim);
+        }
+        let meta = EntryMeta { size, cost };
+        self.policy.on_insert(&key, &meta);
+        self.entries.insert(key, Entry { value, meta });
+        self.used += size;
+        self.stats.insertions += 1;
+        InsertOutcome::Inserted { evicted }
+    }
+
+    /// Removes a key, returning its value if resident.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.entries.remove(key).map(|e| {
+            self.used -= e.meta.size;
+            self.policy.on_remove(key);
+            e.value
+        })
+    }
+
+    /// Iterates over resident keys (no statistics impact).
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.entries.keys()
+    }
+
+    /// Peeks at a value without recording a hit or updating recency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.entries.get(key).map(|e| &e.value)
+    }
+
+    /// Resets the statistics counters (resident entries are unaffected).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Drops every resident entry (statistics are kept). Models a server
+    /// restart losing its volatile cache.
+    pub fn clear(&mut self) {
+        let keys: Vec<K> = self.entries.keys().cloned().collect();
+        for k in &keys {
+            self.policy.on_remove(k);
+        }
+        self.entries.clear();
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Lru, SemanticCost};
+
+    fn lru_cache(capacity: usize) -> ModelCache<u32, String> {
+        ModelCache::new(capacity, Box::new(Lru::new()))
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut c = lru_cache(100);
+        c.insert(1, "a".into(), 10, 1.0);
+        assert_eq!(c.get(&1), Some(&"a".to_string()));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.used_bytes(), 10);
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_lru_eviction() {
+        let mut c = lru_cache(30);
+        c.insert(1, "a".into(), 10, 1.0);
+        c.insert(2, "b".into(), 10, 1.0);
+        c.insert(3, "c".into(), 10, 1.0);
+        c.get(&1); // 1 is now hottest
+        match c.insert(4, "d".into(), 10, 1.0) {
+            InsertOutcome::Inserted { evicted } => assert_eq!(evicted, vec![2]),
+            o => panic!("unexpected {o:?}"),
+        }
+        assert!(c.contains(&1));
+        assert!(!c.contains(&2));
+        assert!(c.used_bytes() <= 30);
+    }
+
+    #[test]
+    fn oversized_item_is_rejected() {
+        let mut c = lru_cache(10);
+        c.insert(1, "a".into(), 5, 1.0);
+        assert_eq!(c.insert(2, "big".into(), 11, 1.0), InsertOutcome::TooLarge);
+        assert!(c.contains(&1), "rejection must not disturb residents");
+        assert_eq!(c.stats().rejected, 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_size_accounting() {
+        let mut c = lru_cache(100);
+        c.insert(1, "a".into(), 40, 1.0);
+        c.insert(1, "a2".into(), 10, 1.0);
+        assert_eq!(c.used_bytes(), 10);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek(&1), Some(&"a2".to_string()));
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut c = lru_cache(20);
+        c.insert(1, "a".into(), 20, 1.0);
+        assert_eq!(c.remove(&1), Some("a".to_string()));
+        assert_eq!(c.used_bytes(), 0);
+        assert_eq!(c.remove(&1), None);
+    }
+
+    #[test]
+    fn misses_are_counted() {
+        let mut c = lru_cache(10);
+        assert!(c.get(&7).is_none());
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn eviction_can_cascade_over_multiple_victims() {
+        let mut c = lru_cache(30);
+        c.insert(1, "a".into(), 10, 1.0);
+        c.insert(2, "b".into(), 10, 1.0);
+        c.insert(3, "c".into(), 10, 1.0);
+        match c.insert(4, "d".into(), 25, 1.0) {
+            InsertOutcome::Inserted { evicted } => assert_eq!(evicted.len(), 3),
+            o => panic!("unexpected {o:?}"),
+        }
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn semantic_cost_cache_keeps_expensive_models() {
+        let mut c: ModelCache<u32, ()> = ModelCache::new(20, Box::new(SemanticCost::new()));
+        c.insert(1, (), 10, 100.0); // expensive KB
+        c.insert(2, (), 10, 1.0);
+        c.insert(3, (), 10, 1.0); // must evict 2, not 1
+        assert!(c.contains(&1));
+        assert!(!c.contains(&2));
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_stats() {
+        let mut c = lru_cache(100);
+        c.insert(1, "a".into(), 10, 1.0);
+        c.get(&1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+        assert_eq!(c.stats().hits, 1, "stats survive a clear");
+        // The policy must also forget the old entries.
+        c.insert(2, "b".into(), 10, 1.0);
+        assert!(c.contains(&2));
+    }
+
+    #[test]
+    fn peek_does_not_affect_stats_or_recency() {
+        let mut c = lru_cache(20);
+        c.insert(1, "a".into(), 10, 1.0);
+        c.insert(2, "b".into(), 10, 1.0);
+        let _ = c.peek(&1);
+        assert_eq!(c.stats().hits, 0);
+        // 1 was not touched, so it is still the LRU victim.
+        c.insert(3, "c".into(), 10, 1.0);
+        assert!(!c.contains(&1));
+    }
+}

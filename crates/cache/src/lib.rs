@@ -1,0 +1,48 @@
+//! # semcom-cache
+//!
+//! The **semantic cache** substrate for the `semcom` reproduction of
+//! *"Semantic Communications, Semantic Edge Computing, and Semantic
+//! Caching"* (Yu & Zhao, ICDCS 2023).
+//!
+//! Edge servers have limited storage; the paper's central proposal is to
+//! cache "domain-specialized general models and user-specific individual
+//! models" there so KBs need not be re-established per conversation. This
+//! crate provides:
+//!
+//! * [`ModelCache`] — a byte-capacity cache with pluggable eviction and
+//!   full hit/miss/eviction accounting;
+//! * classic [`policy`] implementations (FIFO, LRU, LFU, SLRU) and two
+//!   cost-aware ones: [`policy::Gdsf`] (Greedy-Dual-Size-Frequency) and
+//!   [`policy::SemanticCost`], which protects entries by *model rebuild
+//!   cost* — the training time the paper says caching saves;
+//! * TinyLFU-style [`FrequencyAdmission`] over a [`CountMinSketch`], so
+//!   one-hit wonders cannot thrash the resident working set;
+//! * a Zipf [`workload`] generator and replay harness for the cache-policy
+//!   experiment (F4), including a clairvoyant Belady upper bound.
+//!
+//! # Example
+//!
+//! ```
+//! use semcom_cache::{ModelCache, policy::Lru, InsertOutcome};
+//!
+//! let mut cache: ModelCache<&str, u32> = ModelCache::new(100, Box::new(Lru::new()));
+//! cache.insert("model-a", 1, 60, 1.0);
+//! cache.insert("model-b", 2, 60, 1.0); // evicts model-a (capacity 100)
+//! assert!(cache.get(&"model-b").is_some());
+//! assert!(cache.get(&"model-a").is_none());
+//! assert_eq!(cache.stats().evictions, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod admission;
+mod cache;
+mod stats;
+
+pub mod policy;
+pub mod workload;
+
+pub use admission::{CountMinSketch, FrequencyAdmission};
+pub use cache::{EntryMeta, InsertOutcome, ModelCache};
+pub use stats::CacheStats;

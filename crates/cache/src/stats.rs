@@ -1,0 +1,56 @@
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss/eviction counters for a [`crate::ModelCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found the key.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Successful insertions.
+    pub insertions: u64,
+    /// Total bytes evicted over the cache's lifetime.
+    pub bytes_evicted: u64,
+    /// Insertions rejected because the item exceeds total capacity.
+    pub rejected: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; `0` if no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero_lookups() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_is_fractional() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.lookups(), 4);
+    }
+}

@@ -1,0 +1,78 @@
+//! Bit/byte packing helpers.
+//!
+//! Bits are represented as `u8` values restricted to `{0, 1}` — simple to
+//! inspect in tests and fast enough for the simulation scales used here.
+
+/// Unpacks bytes into bits, most-significant bit first.
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
+    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in (0..8).rev() {
+            bits.push((b >> i) & 1);
+        }
+    }
+    bits
+}
+
+/// Packs bits (MSB first) into bytes, zero-padding the final partial byte.
+///
+/// # Panics
+///
+/// Panics if any element is not 0 or 1.
+pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(bits.len().div_ceil(8));
+    for chunk in bits.chunks(8) {
+        let mut b = 0u8;
+        for (i, &bit) in chunk.iter().enumerate() {
+            assert!(bit <= 1, "bit values must be 0 or 1, got {bit}");
+            b |= bit << (7 - i);
+        }
+        bytes.push(b);
+    }
+    bytes
+}
+
+/// Counts positions where two bit strings differ (up to the shorter length),
+/// plus the length difference.
+pub fn hamming_distance(a: &[u8], b: &[u8]) -> usize {
+    let common = a
+        .iter()
+        .zip(b.iter())
+        .filter(|(x, y)| x != y)
+        .count();
+    common + a.len().abs_diff(b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bytes() {
+        let data = vec![0x00, 0xFF, 0xA5, 0x3C];
+        assert_eq!(bits_to_bytes(&bytes_to_bits(&data)), data);
+    }
+
+    #[test]
+    fn msb_first_ordering() {
+        assert_eq!(bytes_to_bits(&[0b1000_0001]), vec![1, 0, 0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn partial_byte_is_zero_padded() {
+        assert_eq!(bits_to_bytes(&[1, 1]), vec![0b1100_0000]);
+    }
+
+    #[test]
+    fn hamming_distance_counts_diffs_and_length() {
+        assert_eq!(hamming_distance(&[0, 1, 1], &[0, 1, 1]), 0);
+        assert_eq!(hamming_distance(&[0, 1, 1], &[1, 1, 0]), 2);
+        assert_eq!(hamming_distance(&[0, 1], &[0, 1, 1, 1]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit values must be 0 or 1")]
+    fn rejects_non_bits() {
+        bits_to_bytes(&[2]);
+    }
+}

@@ -1,0 +1,328 @@
+use crate::complex::Complex;
+use crate::snr_db_to_noise_sigma;
+use rand::{Rng, RngCore};
+use semcom_nn::rng::standard_normal;
+use serde::{Deserialize, Serialize};
+
+/// A physical channel acting on complex baseband symbols.
+///
+/// The trait is object-safe; experiments sweep over boxed channels.
+pub trait Channel {
+    /// Passes symbols through the channel, returning the (equalized)
+    /// received symbols.
+    fn transmit(&self, symbols: &[Complex], rng: &mut dyn RngCore) -> Vec<Complex>;
+
+    /// Transmits real-valued features as I/Q pairs (semantic-codec path).
+    ///
+    /// Features are packed two-per-symbol, transmitted, and unpacked; an
+    /// odd-length tail is padded with zero and trimmed on return. The
+    /// feature vector is assumed power-normalized by the semantic encoder
+    /// (`E[f²] ≈ 1`), matching the unit-energy digital constellations so
+    /// SNR values are comparable across the semantic and traditional legs.
+    fn transmit_f32(&self, features: &[f32], rng: &mut dyn RngCore) -> Vec<f32> {
+        let mut symbols = Vec::with_capacity(features.len().div_ceil(2));
+        for pair in features.chunks(2) {
+            let re = pair[0] as f64;
+            let im = pair.get(1).copied().unwrap_or(0.0) as f64;
+            symbols.push(Complex::new(re, im));
+        }
+        let received = self.transmit(&symbols, rng);
+        let mut out = Vec::with_capacity(features.len());
+        for s in received {
+            out.push(s.re as f32);
+            out.push(s.im as f32);
+        }
+        out.truncate(features.len());
+        out
+    }
+}
+
+/// The identity channel (no impairment). Useful as a baseline and in tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NoiselessChannel;
+
+impl Channel for NoiselessChannel {
+    fn transmit(&self, symbols: &[Complex], _rng: &mut dyn RngCore) -> Vec<Complex> {
+        symbols.to_vec()
+    }
+}
+
+/// Additive white Gaussian noise at a fixed SNR (dB), assuming unit-energy
+/// input symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AwgnChannel {
+    snr_db: f64,
+}
+
+impl AwgnChannel {
+    /// Creates an AWGN channel at the given SNR in dB.
+    pub fn new(snr_db: f64) -> Self {
+        AwgnChannel { snr_db }
+    }
+
+    /// The configured SNR in dB.
+    pub fn snr_db(&self) -> f64 {
+        self.snr_db
+    }
+}
+
+impl Channel for AwgnChannel {
+    fn transmit(&self, symbols: &[Complex], rng: &mut dyn RngCore) -> Vec<Complex> {
+        let sigma = snr_db_to_noise_sigma(self.snr_db);
+        symbols
+            .iter()
+            .map(|&s| {
+                s + Complex::new(
+                    sigma * standard_normal(rng) as f64,
+                    sigma * standard_normal(rng) as f64,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Flat Rayleigh fading with AWGN and perfect-CSI equalization.
+///
+/// Each symbol is multiplied by an independent complex Gaussian fade
+/// `h ~ CN(0, 1)`, noise is added, and the receiver divides by `h`
+/// (zero-forcing with perfect channel knowledge) — the standard evaluation
+/// model in the semantic-communication literature.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RayleighChannel {
+    snr_db: f64,
+}
+
+impl RayleighChannel {
+    /// Creates a Rayleigh fading channel at the given average SNR in dB.
+    pub fn new(snr_db: f64) -> Self {
+        RayleighChannel { snr_db }
+    }
+
+    /// The configured average SNR in dB.
+    pub fn snr_db(&self) -> f64 {
+        self.snr_db
+    }
+}
+
+impl Channel for RayleighChannel {
+    fn transmit(&self, symbols: &[Complex], rng: &mut dyn RngCore) -> Vec<Complex> {
+        let sigma = snr_db_to_noise_sigma(self.snr_db);
+        symbols
+            .iter()
+            .map(|&s| {
+                let h = Complex::new(
+                    standard_normal(rng) as f64 * std::f64::consts::FRAC_1_SQRT_2,
+                    standard_normal(rng) as f64 * std::f64::consts::FRAC_1_SQRT_2,
+                );
+                // Deep fades would divide by ~0; floor |h| to keep the
+                // equalized noise finite (receiver would declare an outage).
+                let h = if h.norm_sq() < 1e-6 {
+                    Complex::new(1e-3, 0.0)
+                } else {
+                    h
+                };
+                let n = Complex::new(
+                    sigma * standard_normal(rng) as f64,
+                    sigma * standard_normal(rng) as f64,
+                );
+                (h * s + n) / h
+            })
+            .collect()
+    }
+}
+
+/// A binary symmetric channel flipping each **bit** independently.
+///
+/// Operates on bits rather than symbols; used for abstract link models in
+/// the edge simulator and for property tests of the channel codes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinarySymmetricChannel {
+    flip_prob: f64,
+}
+
+impl BinarySymmetricChannel {
+    /// Creates a BSC with the given crossover probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flip_prob` is not in `[0, 1]`.
+    pub fn new(flip_prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&flip_prob),
+            "flip probability must be in [0, 1]"
+        );
+        BinarySymmetricChannel { flip_prob }
+    }
+
+    /// The crossover probability.
+    pub fn flip_prob(&self) -> f64 {
+        self.flip_prob
+    }
+
+    /// Transmits bits, flipping each with the crossover probability.
+    pub fn transmit_bits(&self, bits: &[u8], rng: &mut dyn RngCore) -> Vec<u8> {
+        bits.iter()
+            .map(|&b| {
+                if rng.gen::<f64>() < self.flip_prob {
+                    1 - b
+                } else {
+                    b
+                }
+            })
+            .collect()
+    }
+}
+
+/// An erasure channel dropping each symbol independently; erased symbols
+/// are returned as [`Complex::ZERO`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErasureChannel {
+    erasure_prob: f64,
+}
+
+impl ErasureChannel {
+    /// Creates an erasure channel with the given drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `erasure_prob` is not in `[0, 1]`.
+    pub fn new(erasure_prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&erasure_prob),
+            "erasure probability must be in [0, 1]"
+        );
+        ErasureChannel { erasure_prob }
+    }
+
+    /// The erasure probability.
+    pub fn erasure_prob(&self) -> f64 {
+        self.erasure_prob
+    }
+}
+
+impl Channel for ErasureChannel {
+    fn transmit(&self, symbols: &[Complex], rng: &mut dyn RngCore) -> Vec<Complex> {
+        symbols
+            .iter()
+            .map(|&s| {
+                if rng.gen::<f64>() < self.erasure_prob {
+                    Complex::ZERO
+                } else {
+                    s
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Modulation;
+    use semcom_nn::rng::seeded_rng;
+
+    #[test]
+    fn noiseless_is_identity() {
+        let mut rng = seeded_rng(0);
+        let s = vec![Complex::new(1.0, -1.0); 8];
+        assert_eq!(NoiselessChannel.transmit(&s, &mut rng), s);
+    }
+
+    #[test]
+    fn awgn_noise_power_matches_snr() {
+        let mut rng = seeded_rng(1);
+        let n = 40_000;
+        let s = vec![Complex::new(1.0, 0.0); n];
+        let ch = AwgnChannel::new(10.0);
+        let out = ch.transmit(&s, &mut rng);
+        let noise_power: f64 =
+            out.iter().zip(&s).map(|(r, t)| r.dist_sq(*t)).sum::<f64>() / n as f64;
+        // SNR 10 dB -> noise power 0.1 for unit-energy symbols.
+        assert!((noise_power - 0.1).abs() < 0.01, "{noise_power}");
+    }
+
+    #[test]
+    fn bpsk_over_awgn_ber_is_reasonable() {
+        // Uncoded BPSK at 6 dB ≈ 2.4e-3 theoretical BER; accept an
+        // order-of-magnitude window given finite samples.
+        let mut rng = seeded_rng(2);
+        let bits: Vec<u8> = (0..60_000).map(|i| (i % 2) as u8).collect();
+        let tx = Modulation::Bpsk.modulate(&bits);
+        let rx = AwgnChannel::new(6.0).transmit(&tx, &mut rng);
+        let out = Modulation::Bpsk.demodulate(&rx);
+        let errors: usize = bits.iter().zip(&out).filter(|(a, b)| a != b).count();
+        let ber = errors as f64 / bits.len() as f64;
+        assert!(ber > 1e-4 && ber < 1e-2, "ber {ber}");
+    }
+
+    #[test]
+    fn rayleigh_is_worse_than_awgn_at_same_snr() {
+        let mut rng = seeded_rng(3);
+        let bits: Vec<u8> = (0..40_000).map(|i| ((i * 13) % 2) as u8).collect();
+        let tx = Modulation::Bpsk.modulate(&bits);
+        let ber = |rx: Vec<Complex>| {
+            let out = Modulation::Bpsk.demodulate(&rx);
+            bits.iter().zip(&out).filter(|(a, b)| a != b).count() as f64 / bits.len() as f64
+        };
+        let awgn = ber(AwgnChannel::new(8.0).transmit(&tx, &mut rng));
+        let ray = ber(RayleighChannel::new(8.0).transmit(&tx, &mut rng));
+        assert!(ray > awgn, "rayleigh {ray} vs awgn {awgn}");
+    }
+
+    #[test]
+    fn bsc_flip_rate_matches_probability() {
+        let mut rng = seeded_rng(4);
+        let bits = vec![0u8; 50_000];
+        let out = BinarySymmetricChannel::new(0.1).transmit_bits(&bits, &mut rng);
+        let flips = out.iter().filter(|&&b| b == 1).count() as f64 / bits.len() as f64;
+        assert!((flips - 0.1).abs() < 0.01, "{flips}");
+    }
+
+    #[test]
+    fn bsc_zero_is_identity() {
+        let mut rng = seeded_rng(5);
+        let bits = vec![1, 0, 1, 1, 0];
+        assert_eq!(
+            BinarySymmetricChannel::new(0.0).transmit_bits(&bits, &mut rng),
+            bits
+        );
+    }
+
+    #[test]
+    fn erasure_channel_zeroes_fraction() {
+        let mut rng = seeded_rng(6);
+        let s = vec![Complex::new(1.0, 1.0); 20_000];
+        let out = ErasureChannel::new(0.25).transmit(&s, &mut rng);
+        let erased = out.iter().filter(|c| c.norm_sq() == 0.0).count() as f64 / s.len() as f64;
+        assert!((erased - 0.25).abs() < 0.02, "{erased}");
+    }
+
+    #[test]
+    fn transmit_f32_roundtrips_noiselessly() {
+        let mut rng = seeded_rng(7);
+        let feats = vec![0.5f32, -0.25, 1.5, 0.0, -2.0]; // odd length
+        let out = NoiselessChannel.transmit_f32(&feats, &mut rng);
+        assert_eq!(out, feats);
+    }
+
+    #[test]
+    fn transmit_f32_awgn_perturbs_but_preserves_scale() {
+        let mut rng = seeded_rng(8);
+        let feats = vec![1.0f32; 10_000];
+        let out = AwgnChannel::new(15.0).transmit_f32(&feats, &mut rng);
+        assert_eq!(out.len(), feats.len());
+        let mse: f64 = out
+            .iter()
+            .zip(&feats)
+            .map(|(a, b)| ((a - b) as f64).powi(2))
+            .sum::<f64>()
+            / feats.len() as f64;
+        assert!(mse > 0.0 && mse < 0.1, "mse {mse}");
+    }
+
+    #[test]
+    #[should_panic(expected = "flip probability")]
+    fn bsc_rejects_invalid_probability() {
+        BinarySymmetricChannel::new(1.5);
+    }
+}

@@ -1,0 +1,113 @@
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A complex baseband symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// In-phase component.
+    pub re: f64,
+    /// Quadrature component.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a symbol from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// Squared magnitude `|z|²`.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared Euclidean distance to another symbol.
+    pub fn dist_sq(self, other: Complex) -> f64 {
+        (self - other).norm_sq()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sq();
+        let num = self * rhs.conj();
+        Complex::new(num.re / d, num.im / d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-0.5, 3.0);
+        assert_eq!(a + b - b, a);
+        assert_eq!((a * b).re, 1.0 * -0.5 - 2.0 * 3.0);
+        assert_eq!((a * b).im, 1.0 * 3.0 + 2.0 * -0.5);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(2.0, -1.0);
+        let b = Complex::new(0.3, 0.7);
+        let c = (a * b) / b;
+        assert!((c.re - a.re).abs() < 1e-12);
+        assert!((c.im - a.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norms_and_distance() {
+        let a = Complex::new(3.0, 4.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!(a.dist_sq(Complex::ZERO), 25.0);
+        assert_eq!(a.conj().im, -4.0);
+    }
+}

@@ -1,0 +1,197 @@
+use crate::complex::Complex;
+use serde::{Deserialize, Serialize};
+
+/// A digital modulation scheme with Gray mapping and unit average symbol
+/// energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Modulation {
+    /// Binary phase-shift keying: 1 bit/symbol.
+    Bpsk,
+    /// Quadrature phase-shift keying: 2 bits/symbol.
+    Qpsk,
+    /// 16-ary quadrature amplitude modulation: 4 bits/symbol.
+    Qam16,
+}
+
+/// Gray-coded 4-PAM levels scaled for unit average 16-QAM energy
+/// (`E[|x|²] = 1` requires dividing ±1, ±3 by √10).
+const PAM4: [f64; 4] = [-3.0, -1.0, 1.0, 3.0];
+const QAM16_SCALE: f64 = 0.316227766016838; // 1/sqrt(10)
+
+impl Modulation {
+    /// Bits carried per channel symbol.
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+        }
+    }
+
+    /// Maps bits to symbols. The bit string is zero-padded to a multiple of
+    /// [`Self::bits_per_symbol`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is not 0 or 1.
+    pub fn modulate(self, bits: &[u8]) -> Vec<Complex> {
+        for &b in bits {
+            assert!(b <= 1, "bit values must be 0 or 1, got {b}");
+        }
+        let bps = self.bits_per_symbol();
+        let mut symbols = Vec::with_capacity(bits.len().div_ceil(bps));
+        for chunk in bits.chunks(bps) {
+            let mut padded = [0u8; 4];
+            padded[..chunk.len()].copy_from_slice(chunk);
+            symbols.push(self.map_symbol(&padded[..bps]));
+        }
+        symbols
+    }
+
+    fn map_symbol(self, b: &[u8]) -> Complex {
+        match self {
+            Modulation::Bpsk => Complex::new(if b[0] == 0 { 1.0 } else { -1.0 }, 0.0),
+            Modulation::Qpsk => {
+                let s = std::f64::consts::FRAC_1_SQRT_2;
+                Complex::new(
+                    if b[0] == 0 { s } else { -s },
+                    if b[1] == 0 { s } else { -s },
+                )
+            }
+            Modulation::Qam16 => {
+                let i = PAM4[gray_to_level(b[0], b[1])] * QAM16_SCALE;
+                let q = PAM4[gray_to_level(b[2], b[3])] * QAM16_SCALE;
+                Complex::new(i, q)
+            }
+        }
+    }
+
+    /// Hard-decision demodulation (minimum-distance per symbol).
+    ///
+    /// Returns `symbols.len() * bits_per_symbol` bits; if the original bit
+    /// string was padded during modulation, the caller truncates.
+    pub fn demodulate(self, symbols: &[Complex]) -> Vec<u8> {
+        let mut bits = Vec::with_capacity(symbols.len() * self.bits_per_symbol());
+        for &s in symbols {
+            match self {
+                Modulation::Bpsk => bits.push(if s.re >= 0.0 { 0 } else { 1 }),
+                Modulation::Qpsk => {
+                    bits.push(if s.re >= 0.0 { 0 } else { 1 });
+                    bits.push(if s.im >= 0.0 { 0 } else { 1 });
+                }
+                Modulation::Qam16 => {
+                    let (b0, b1) = level_to_gray(nearest_pam(s.re / QAM16_SCALE));
+                    let (b2, b3) = level_to_gray(nearest_pam(s.im / QAM16_SCALE));
+                    bits.extend_from_slice(&[b0, b1, b2, b3]);
+                }
+            }
+        }
+        bits
+    }
+
+    /// All modulations, in increasing spectral efficiency.
+    pub const ALL: [Modulation; 3] = [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16];
+}
+
+/// Gray bits (b0 b1) -> PAM4 level index. Mapping: 00→0(-3), 01→1(-1),
+/// 11→2(+1), 10→3(+3) — adjacent levels differ in one bit.
+fn gray_to_level(b0: u8, b1: u8) -> usize {
+    match (b0, b1) {
+        (0, 0) => 0,
+        (0, 1) => 1,
+        (1, 1) => 2,
+        (1, 0) => 3,
+        _ => unreachable!("bits validated earlier"),
+    }
+}
+
+fn level_to_gray(level: usize) -> (u8, u8) {
+    match level {
+        0 => (0, 0),
+        1 => (0, 1),
+        2 => (1, 1),
+        _ => (1, 0),
+    }
+}
+
+fn nearest_pam(x: f64) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, &l) in PAM4.iter().enumerate() {
+        let d = (x - l).abs();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_roundtrip_all_modulations() {
+        let bits: Vec<u8> = (0..64).map(|i| ((i * 7) % 3 == 0) as u8).collect();
+        for m in Modulation::ALL {
+            let symbols = m.modulate(&bits);
+            let mut out = m.demodulate(&symbols);
+            out.truncate(bits.len());
+            assert_eq!(out, bits, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn unit_average_energy() {
+        // Exhaustive over all symbol patterns per modulation.
+        for m in Modulation::ALL {
+            let bps = m.bits_per_symbol();
+            let n = 1usize << bps;
+            let mut total = 0.0;
+            for pattern in 0..n {
+                let bits: Vec<u8> = (0..bps)
+                    .map(|i| ((pattern >> (bps - 1 - i)) & 1) as u8)
+                    .collect();
+                total += m.modulate(&bits)[0].norm_sq();
+            }
+            let avg = total / n as f64;
+            assert!((avg - 1.0).abs() < 1e-9, "{m:?} energy {avg}");
+        }
+    }
+
+    #[test]
+    fn qam16_gray_neighbours_differ_by_one_bit() {
+        // Adjacent PAM levels must differ in exactly one bit.
+        for lev in 0..3usize {
+            let (a0, a1) = level_to_gray(lev);
+            let (b0, b1) = level_to_gray(lev + 1);
+            let diff = (a0 != b0) as u8 + (a1 != b1) as u8;
+            assert_eq!(diff, 1);
+        }
+    }
+
+    #[test]
+    fn bits_per_symbol_values() {
+        assert_eq!(Modulation::Bpsk.bits_per_symbol(), 1);
+        assert_eq!(Modulation::Qpsk.bits_per_symbol(), 2);
+        assert_eq!(Modulation::Qam16.bits_per_symbol(), 4);
+    }
+
+    #[test]
+    fn padding_only_affects_tail() {
+        let bits = vec![1, 0, 1]; // not a multiple of 2
+        let symbols = Modulation::Qpsk.modulate(&bits);
+        assert_eq!(symbols.len(), 2);
+        let mut out = Modulation::Qpsk.demodulate(&symbols);
+        out.truncate(3);
+        assert_eq!(out, bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit values must be 0 or 1")]
+    fn modulate_rejects_non_bits() {
+        Modulation::Bpsk.modulate(&[3]);
+    }
+}

@@ -1,0 +1,54 @@
+use serde::{Deserialize, Serialize};
+
+/// Architecture hyper-parameters of a semantic codec.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CodecConfig {
+    /// Token-embedding dimensionality.
+    pub embed_dim: usize,
+    /// Semantic feature (channel symbol block) dimensionality per token.
+    /// Each token costs `feature_dim / 2` complex channel uses.
+    pub feature_dim: usize,
+    /// Decoder hidden width.
+    pub hidden_dim: usize,
+}
+
+impl Default for CodecConfig {
+    fn default() -> Self {
+        CodecConfig {
+            embed_dim: 24,
+            feature_dim: 8,
+            hidden_dim: 64,
+        }
+    }
+}
+
+impl CodecConfig {
+    /// A miniature configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        CodecConfig {
+            embed_dim: 12,
+            feature_dim: 6,
+            hidden_dim: 24,
+        }
+    }
+
+    /// Complex channel symbols used per transmitted token.
+    pub fn symbols_per_token(&self) -> usize {
+        self.feature_dim.div_ceil(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_per_token_is_half_features() {
+        assert_eq!(CodecConfig::default().symbols_per_token(), 4);
+        let odd = CodecConfig {
+            feature_dim: 5,
+            ..CodecConfig::default()
+        };
+        assert_eq!(odd.symbols_per_token(), 3);
+    }
+}

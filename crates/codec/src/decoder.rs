@@ -1,0 +1,146 @@
+use crate::config::CodecConfig;
+use semcom_nn::layers::{Activation, DenseLayer, Linear};
+use semcom_nn::params::Param;
+use semcom_nn::rng::derive_seed;
+use semcom_nn::Tensor;
+use semcom_text::ConceptId;
+use serde::{Deserialize, Serialize};
+
+/// The semantic decoder of a knowledge base: performs the paper's "semantic
+/// restoration" (§I), mapping noisy received features to **concepts**.
+///
+/// Architecture: feature → [`Linear`] → ReLU → [`Linear`] → concept logits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SemanticDecoder {
+    l1: Linear,
+    act: Activation,
+    l2: Linear,
+}
+
+impl SemanticDecoder {
+    /// Creates a decoder emitting logits over `concept_count` classes.
+    pub fn new(config: &CodecConfig, concept_count: usize, seed: u64) -> Self {
+        SemanticDecoder {
+            l1: Linear::new(config.feature_dim, config.hidden_dim, derive_seed(seed, 3)),
+            act: Activation::relu(),
+            l2: Linear::new(config.hidden_dim, concept_count, derive_seed(seed, 4)),
+        }
+    }
+
+    /// Number of concept classes.
+    pub fn concept_count(&self) -> usize {
+        self.l2.out_dim()
+    }
+
+    /// Feature dimensionality expected on input.
+    pub fn feature_dim(&self) -> usize {
+        self.l1.in_dim()
+    }
+
+    /// Computes concept logits `[n, concepts]` without caching.
+    pub fn decode(&self, features: &Tensor) -> Tensor {
+        self.l2.infer(&self.act.infer(&self.l1.infer(features)))
+    }
+
+    /// Hard decision: the most likely concept per received feature row.
+    pub fn predict(&self, features: &Tensor) -> Vec<ConceptId> {
+        let logits = self.decode(features);
+        (0..logits.rows())
+            .map(|r| ConceptId(logits.argmax_row(r) as u32))
+            .collect()
+    }
+
+    /// Training forward pass (caches activations).
+    pub fn forward(&mut self, features: &Tensor) -> Tensor {
+        let h = self.l1.forward(features);
+        let a = self.act.forward(&h);
+        self.l2.forward(&a)
+    }
+
+    /// Backward pass from the logit gradient; returns the gradient with
+    /// respect to the received features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Self::forward`].
+    pub fn backward(&mut self, dlogits: &Tensor) -> Tensor {
+        let da = self.l2.backward(dlogits);
+        let dh = self.act.backward(&da);
+        self.l1.backward(&dh)
+    }
+
+    /// Trainable parameters, in stable order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.l1.params_mut();
+        ps.extend(self.l2.params_mut());
+        ps
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.l1.zero_grad();
+        self.act.zero_grad();
+        self.l2.zero_grad();
+    }
+
+    /// Number of trainable scalars.
+    pub fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dec() -> SemanticDecoder {
+        SemanticDecoder::new(&CodecConfig::tiny(), 10, 5)
+    }
+
+    #[test]
+    fn logit_shape() {
+        let d = dec();
+        let f = Tensor::zeros(3, CodecConfig::tiny().feature_dim);
+        assert_eq!(d.decode(&f).shape(), (3, 10));
+        assert_eq!(d.concept_count(), 10);
+        assert_eq!(d.feature_dim(), CodecConfig::tiny().feature_dim);
+    }
+
+    #[test]
+    fn predict_returns_argmax_concepts() {
+        let d = dec();
+        let f = Tensor::filled(2, CodecConfig::tiny().feature_dim, 0.3);
+        let logits = d.decode(&f);
+        let preds = d.predict(&f);
+        assert_eq!(preds.len(), 2);
+        for (r, p) in preds.iter().enumerate() {
+            assert_eq!(p.index(), logits.argmax_row(r));
+        }
+    }
+
+    #[test]
+    fn forward_matches_decode() {
+        let mut d = dec();
+        let f = Tensor::filled(2, CodecConfig::tiny().feature_dim, -0.2);
+        assert_eq!(d.decode(&f), d.forward(&f));
+    }
+
+    #[test]
+    fn backward_produces_feature_gradient() {
+        let mut d = dec();
+        let f = Tensor::filled(2, CodecConfig::tiny().feature_dim, 0.4);
+        let logits = d.forward(&f);
+        let dl = Tensor::filled(2, logits.cols(), 0.1);
+        let df = d.backward(&dl);
+        assert_eq!(df.shape(), f.shape());
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let cfg = CodecConfig::tiny();
+        let mut d = SemanticDecoder::new(&cfg, 10, 1);
+        let expected =
+            cfg.feature_dim * cfg.hidden_dim + cfg.hidden_dim + cfg.hidden_dim * 10 + 10;
+        assert_eq!(d.param_count(), expected);
+    }
+}

@@ -1,0 +1,262 @@
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+
+/// A Huffman code over token ids — the source-coding stage of the
+/// traditional baseline.
+///
+/// Built from a token frequency table (all tokens receive add-one smoothing
+/// so every token is encodable). Decoding is prefix-walk; corrupted bits
+/// desynchronize the walk, which is exactly the "cliff effect" of classical
+/// source coding that semantic communication avoids (experiment F2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HuffmanCode {
+    /// Codeword per token id: (bits, length-in-bits packed LSB-first in a u32).
+    codes: Vec<(u32, u8)>,
+    /// Decoding tree as a flat array: node = (left, right); leaves are
+    /// encoded as `usize::MAX - token`.
+    nodes: Vec<(usize, usize)>,
+    root: usize,
+}
+
+#[derive(PartialEq, Eq)]
+struct HeapItem {
+    weight: u64,
+    tiebreak: usize,
+    node: usize,
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap; tiebreak keeps construction deterministic.
+        other
+            .weight
+            .cmp(&self.weight)
+            .then(other.tiebreak.cmp(&self.tiebreak))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+const LEAF_BASE: usize = usize::MAX;
+
+impl HuffmanCode {
+    /// Builds a code for token ids `0..freqs.len()` with add-one smoothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freqs` is empty.
+    pub fn from_frequencies(freqs: &[u64]) -> Self {
+        assert!(!freqs.is_empty(), "huffman over empty alphabet");
+        let mut nodes: Vec<(usize, usize)> = Vec::new();
+        let mut heap = BinaryHeap::new();
+        if freqs.len() == 1 {
+            // Degenerate single-symbol alphabet: one-bit code.
+            nodes.push((LEAF_BASE, LEAF_BASE));
+            let root = nodes.len() - 1;
+            return HuffmanCode {
+                codes: vec![(0, 1)],
+                nodes,
+                root,
+            };
+        }
+        for (t, &f) in freqs.iter().enumerate() {
+            heap.push(HeapItem {
+                weight: f + 1,
+                tiebreak: t,
+                node: LEAF_BASE - t,
+            });
+        }
+        let mut tiebreak = freqs.len();
+        while heap.len() > 1 {
+            let a = heap.pop().expect("heap len checked");
+            let b = heap.pop().expect("heap len checked");
+            nodes.push((a.node, b.node));
+            heap.push(HeapItem {
+                weight: a.weight + b.weight,
+                tiebreak,
+                node: nodes.len() - 1,
+            });
+            tiebreak += 1;
+        }
+        let root = heap.pop().expect("non-empty alphabet").node;
+
+        // Walk the tree to assign codewords.
+        let mut codes = vec![(0u32, 0u8); freqs.len()];
+        let mut stack = vec![(root, 0u32, 0u8)];
+        while let Some((node, bits, len)) = stack.pop() {
+            if node > nodes.len() {
+                let token = LEAF_BASE - node;
+                codes[token] = (bits, len.max(1));
+                continue;
+            }
+            let (l, r) = nodes[node];
+            stack.push((l, bits, len + 1));
+            stack.push((r, bits | (1 << len), len + 1));
+        }
+        HuffmanCode { codes, nodes, root }
+    }
+
+    /// Builds a code from observed token sequences.
+    pub fn from_corpus<'a, I: IntoIterator<Item = &'a [usize]>>(
+        vocab_size: usize,
+        corpus: I,
+    ) -> Self {
+        let mut freqs = vec![0u64; vocab_size.max(1)];
+        for seq in corpus {
+            for &t in seq {
+                if t < freqs.len() {
+                    freqs[t] += 1;
+                }
+            }
+        }
+        Self::from_frequencies(&freqs)
+    }
+
+    /// Alphabet size.
+    pub fn alphabet_len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Codeword length in bits for a token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token is out of range.
+    pub fn code_len(&self, token: usize) -> usize {
+        self.codes[token].1 as usize
+    }
+
+    /// Encodes a token sequence to bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token is out of range.
+    pub fn encode(&self, tokens: &[usize]) -> Vec<u8> {
+        let mut bits = Vec::new();
+        for &t in tokens {
+            let (code, len) = self.codes[t];
+            for i in 0..len {
+                bits.push(((code >> i) & 1) as u8);
+            }
+        }
+        bits
+    }
+
+    /// Decodes bits back to tokens, walking the prefix tree. Trailing bits
+    /// that do not complete a codeword are dropped.
+    pub fn decode(&self, bits: &[u8]) -> Vec<usize> {
+        let mut out = Vec::new();
+        if self.codes.len() == 1 {
+            return vec![0; bits.len()];
+        }
+        let mut node = self.root;
+        for &b in bits {
+            let (l, r) = self.nodes[node];
+            node = if b == 0 { l } else { r };
+            if node > self.nodes.len() {
+                out.push(LEAF_BASE - node);
+                node = self.root;
+            }
+        }
+        out
+    }
+
+    /// Mean code length in bits per token under the smoothed frequency
+    /// distribution implied by `freqs`.
+    pub fn mean_code_len(&self, freqs: &[u64]) -> f64 {
+        let total: u64 = freqs.iter().map(|f| f + 1).sum();
+        freqs
+            .iter()
+            .enumerate()
+            .map(|(t, &f)| (f + 1) as f64 / total as f64 * self.code_len(t) as f64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_uniform_alphabet() {
+        let code = HuffmanCode::from_frequencies(&[1; 16]);
+        let tokens = vec![0, 5, 15, 3, 3, 9];
+        assert_eq!(code.decode(&code.encode(&tokens)), tokens);
+    }
+
+    #[test]
+    fn skewed_frequencies_give_shorter_codes_to_frequent_tokens() {
+        let mut freqs = vec![1u64; 10];
+        freqs[0] = 10_000;
+        let code = HuffmanCode::from_frequencies(&freqs);
+        assert!(code.code_len(0) < code.code_len(9));
+        let tokens = vec![0, 0, 0, 9, 0];
+        assert_eq!(code.decode(&code.encode(&tokens)), tokens);
+    }
+
+    #[test]
+    fn compresses_below_fixed_length_on_skewed_data() {
+        let mut freqs = vec![1u64; 64];
+        freqs[0] = 1000;
+        freqs[1] = 500;
+        freqs[2] = 250;
+        let code = HuffmanCode::from_frequencies(&freqs);
+        // Fixed-length would need 6 bits/token.
+        assert!(code.mean_code_len(&freqs) < 6.0);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let code = HuffmanCode::from_frequencies(&[5]);
+        let bits = code.encode(&[0, 0, 0]);
+        assert_eq!(code.decode(&bits), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn corrupted_bit_desynchronizes_decoding() {
+        let mut freqs = vec![1u64; 32];
+        freqs[3] = 100;
+        let code = HuffmanCode::from_frequencies(&freqs);
+        let tokens: Vec<usize> = (0..20).map(|i| i % 32).collect();
+        let mut bits = code.encode(&tokens);
+        bits[2] ^= 1;
+        let decoded = code.decode(&bits);
+        assert_ne!(decoded, tokens, "single bit flip should corrupt output");
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let code = HuffmanCode::from_frequencies(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        let kraft: f64 = (0..8).map(|t| 2f64.powi(-(code.code_len(t) as i32))).sum();
+        assert!(kraft <= 1.0 + 1e-9, "kraft {kraft}");
+    }
+
+    #[test]
+    fn from_corpus_counts_frequencies() {
+        let corpus: Vec<Vec<usize>> = vec![vec![0, 0, 0, 1], vec![0, 2]];
+        let code = HuffmanCode::from_corpus(4, corpus.iter().map(Vec::as_slice));
+        assert!(code.code_len(0) <= code.code_len(3));
+    }
+
+    #[test]
+    fn trailing_partial_codeword_is_dropped() {
+        let code = HuffmanCode::from_frequencies(&[1; 8]);
+        let tokens = vec![1, 2, 3];
+        let mut bits = code.encode(&tokens);
+        // Remove one bit: the final token becomes undecodable.
+        bits.pop();
+        let decoded = code.decode(&bits);
+        assert_eq!(&decoded[..2], &tokens[..2]);
+        assert!(decoded.len() < tokens.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "huffman over empty alphabet")]
+    fn rejects_empty_alphabet() {
+        HuffmanCode::from_frequencies(&[]);
+    }
+}

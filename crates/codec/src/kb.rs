@@ -1,0 +1,249 @@
+use crate::config::CodecConfig;
+use crate::decoder::SemanticDecoder;
+use crate::encoder::SemanticEncoder;
+use rand::RngCore;
+use semcom_channel::Channel;
+use semcom_nn::rng::derive_seed;
+use semcom_text::{ConceptId, Domain};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a knowledge base is specialized for — the three model classes of the
+/// paper's cache (§II-A, §II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KbScope {
+    /// A single model for all domains (the strawman the paper argues
+    /// against in §II-A).
+    General,
+    /// A domain-specialized general model `e_i^m / d_i^m`.
+    DomainGeneral(Domain),
+    /// A user-specific individual model `e_u^m / d_u^m`, evolved from the
+    /// domain-general model.
+    UserSpecific {
+        /// Stable user identifier.
+        user: u64,
+        /// The domain the user model specializes.
+        domain: Domain,
+    },
+}
+
+impl fmt::Display for KbScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KbScope::General => write!(f, "general"),
+            KbScope::DomainGeneral(d) => write!(f, "domain:{d}"),
+            KbScope::UserSpecific { user, domain } => write!(f, "user:{user}@{domain}"),
+        }
+    }
+}
+
+/// A knowledge base: a trained semantic encoder/decoder pair.
+///
+/// KBs are the objects the semantic cache stores, the federated protocol
+/// synchronizes, and the edge servers execute. They are serializable
+/// (transfer from cloud to edge) and report their wire/storage size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnowledgeBase {
+    scope: KbScope,
+    config: CodecConfig,
+    /// Monotonically increasing model version (bumped on every training
+    /// round; used by the sync protocol to detect staleness).
+    version: u64,
+    /// The semantic encoder.
+    pub encoder: SemanticEncoder,
+    /// The semantic decoder.
+    pub decoder: SemanticDecoder,
+}
+
+impl KnowledgeBase {
+    /// Creates an untrained KB.
+    pub fn new(
+        config: CodecConfig,
+        vocab_size: usize,
+        concept_count: usize,
+        scope: KbScope,
+        seed: u64,
+    ) -> Self {
+        KnowledgeBase {
+            scope,
+            config,
+            version: 0,
+            encoder: SemanticEncoder::new(&config, vocab_size, derive_seed(seed, 10)),
+            decoder: SemanticDecoder::new(&config, concept_count, derive_seed(seed, 11)),
+        }
+    }
+
+    /// The scope this KB is specialized for.
+    pub fn scope(&self) -> KbScope {
+        self.scope
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &CodecConfig {
+        &self.config
+    }
+
+    /// Current model version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Increments the model version (called after each training round).
+    pub fn bump_version(&mut self) {
+        self.version += 1;
+    }
+
+    /// Derives a user-specific KB from this (domain-general) KB: same
+    /// weights, new scope — the paper's `e_u^m, d_u^m … evolved from the
+    /// general models` (§II-D).
+    pub fn derive_user_model(&self, user: u64, domain: Domain) -> KnowledgeBase {
+        let mut kb = self.clone();
+        kb.scope = KbScope::UserSpecific { user, domain };
+        kb.version = 0;
+        kb
+    }
+
+    /// Total trainable scalar count.
+    pub fn param_count(&self) -> usize {
+        let c = &self.config;
+        let vocab = self.encoder.vocab_size();
+        let concepts = self.decoder.concept_count();
+        vocab * c.embed_dim
+            + c.embed_dim * c.feature_dim
+            + c.feature_dim
+            + c.feature_dim * c.hidden_dim
+            + c.hidden_dim
+            + c.hidden_dim * concepts
+            + concepts
+    }
+
+    /// Storage/transfer size in bytes (4 bytes per parameter plus a small
+    /// fixed metadata overhead) — the size the cache accounts against its
+    /// capacity and the cloud→edge fetch cost in the simulator.
+    pub fn size_bytes(&self) -> usize {
+        self.param_count() * 4 + 64
+    }
+
+    /// Transmits a token sequence end-to-end: encode with `self`'s encoder,
+    /// pass the features through `channel`, decode with `receiver`'s
+    /// decoder. Returns the decoded concept sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature dimensions of the two KBs differ.
+    pub fn transmit(
+        &self,
+        receiver: &KnowledgeBase,
+        tokens: &[usize],
+        channel: &dyn Channel,
+        rng: &mut dyn RngCore,
+    ) -> Vec<ConceptId> {
+        assert_eq!(
+            self.config.feature_dim,
+            receiver.config.feature_dim,
+            "encoder/decoder feature dimensions differ"
+        );
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        let features = self.encoder.encode(tokens);
+        let received = channel.transmit_f32(features.as_slice(), rng);
+        let received = semcom_nn::Tensor::from_vec(features.rows(), features.cols(), received)
+            .expect("channel preserves feature length");
+        receiver.decoder.predict(&received)
+    }
+
+    /// Complex channel symbols needed to transmit `n_tokens` tokens.
+    pub fn symbols_for(&self, n_tokens: usize) -> usize {
+        n_tokens * self.config.symbols_per_token()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcom_channel::NoiselessChannel;
+    use semcom_nn::rng::seeded_rng;
+
+    fn kb(scope: KbScope) -> KnowledgeBase {
+        KnowledgeBase::new(CodecConfig::tiny(), 30, 12, scope, 1)
+    }
+
+    #[test]
+    fn scope_display() {
+        assert_eq!(kb(KbScope::General).scope().to_string(), "general");
+        assert_eq!(
+            kb(KbScope::DomainGeneral(Domain::It)).scope().to_string(),
+            "domain:it"
+        );
+        assert_eq!(
+            kb(KbScope::UserSpecific {
+                user: 3,
+                domain: Domain::News
+            })
+            .scope()
+            .to_string(),
+            "user:3@news"
+        );
+    }
+
+    #[test]
+    fn param_count_matches_live_layers() {
+        let mut k = kb(KbScope::General);
+        let live = k.encoder.param_count() + k.decoder.param_count();
+        assert_eq!(k.param_count(), live);
+        assert_eq!(k.size_bytes(), live * 4 + 64);
+    }
+
+    #[test]
+    fn transmit_over_noiseless_channel_is_deterministic() {
+        let k = kb(KbScope::General);
+        let mut rng = seeded_rng(5);
+        let a = k.transmit(&k, &[1, 2, 3], &NoiselessChannel, &mut rng);
+        let b = k.transmit(&k, &[1, 2, 3], &NoiselessChannel, &mut rng);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn transmit_empty_is_empty() {
+        let k = kb(KbScope::General);
+        let mut rng = seeded_rng(5);
+        assert!(k
+            .transmit(&k, &[], &NoiselessChannel, &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn derive_user_model_starts_from_parent_weights() {
+        let parent = kb(KbScope::DomainGeneral(Domain::It));
+        let user = parent.derive_user_model(9, Domain::It);
+        assert_eq!(
+            user.scope(),
+            KbScope::UserSpecific {
+                user: 9,
+                domain: Domain::It
+            }
+        );
+        let mut rng = seeded_rng(6);
+        // Same weights -> identical transmissions.
+        assert_eq!(
+            parent.transmit(&parent, &[4, 5], &NoiselessChannel, &mut rng),
+            user.transmit(&user, &[4, 5], &NoiselessChannel, &mut rng)
+        );
+    }
+
+    #[test]
+    fn version_bumps() {
+        let mut k = kb(KbScope::General);
+        assert_eq!(k.version(), 0);
+        k.bump_version();
+        assert_eq!(k.version(), 1);
+    }
+
+    #[test]
+    fn symbols_for_uses_config() {
+        let k = kb(KbScope::General);
+        assert_eq!(k.symbols_for(10), 10 * CodecConfig::tiny().symbols_per_token());
+    }
+}

@@ -1,0 +1,145 @@
+//! Encoder/decoder mismatch measurement — the quantity the paper's
+//! **decoder copy on the sender edge** exists to compute (§II-C).
+//!
+//! "Calculating the mismatches requires both input and output data, which
+//! are located on different servers. Sending the output back … would defeat
+//! the purpose of the semantic communication system." With the general
+//! decoders cached at both edges (`d_j^m = d_i^m`), the sender can run the
+//! receiver's decoding locally and compare against ground truth without any
+//! extra traffic.
+
+use crate::kb::KnowledgeBase;
+use rand::RngCore;
+use semcom_channel::Channel;
+use semcom_text::Sentence;
+
+/// A labeled mismatch sample destined for a domain buffer `b_m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MismatchSample {
+    /// The token the user uttered.
+    pub token: usize,
+    /// The intended concept (ground truth available at the sender).
+    pub concept: usize,
+    /// Whether the (locally simulated) receiver decoded it correctly.
+    pub correct: bool,
+}
+
+/// Runs `sentences` through `encoder_kb`'s encoder and `decoder_kb`'s
+/// decoder over `channel`, returning the fraction of concepts decoded
+/// incorrectly (the mismatch rate `ε(e, d)`).
+pub fn mismatch_rate(
+    encoder_kb: &KnowledgeBase,
+    decoder_kb: &KnowledgeBase,
+    sentences: &[Sentence],
+    channel: &dyn Channel,
+    rng: &mut dyn RngCore,
+) -> f64 {
+    let samples = collect_samples(encoder_kb, decoder_kb, sentences, channel, rng);
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let errors = samples.iter().filter(|s| !s.correct).count();
+    errors as f64 / samples.len() as f64
+}
+
+/// Like [`mismatch_rate`] but returns the per-token samples, ready to be
+/// pushed into a domain buffer for later user-model training (§II-C/D).
+pub fn collect_samples(
+    encoder_kb: &KnowledgeBase,
+    decoder_kb: &KnowledgeBase,
+    sentences: &[Sentence],
+    channel: &dyn Channel,
+    rng: &mut dyn RngCore,
+) -> Vec<MismatchSample> {
+    let mut out = Vec::new();
+    for s in sentences {
+        let decoded = encoder_kb.transmit(decoder_kb, &s.tokens, channel, rng);
+        for ((&token, concept), got) in s.tokens.iter().zip(&s.concepts).zip(&decoded) {
+            out.push(MismatchSample {
+                token,
+                concept: concept.index(),
+                correct: got == concept,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CodecConfig;
+    use crate::kb::KbScope;
+    use crate::train::{TrainConfig, Trainer};
+    use semcom_channel::NoiselessChannel;
+    use semcom_nn::rng::seeded_rng;
+    use semcom_text::{CorpusGenerator, Domain, LanguageConfig, Rendering};
+
+    #[test]
+    fn trained_pair_has_low_mismatch_untrained_high() {
+        let lang = LanguageConfig::tiny().build(0);
+        let mut gen = CorpusGenerator::new(&lang, 1);
+        let train = gen.sentences(Domain::It, Rendering::Canonical, 80);
+        let test = gen.sentences(Domain::It, Rendering::Canonical, 20);
+
+        let mut kb = KnowledgeBase::new(
+            CodecConfig::tiny(),
+            lang.vocab().len(),
+            lang.concept_count(),
+            KbScope::DomainGeneral(Domain::It),
+            3,
+        );
+        let untrained = kb.clone();
+        Trainer::new(TrainConfig {
+            epochs: 12,
+            train_snr_db: None,
+            ..TrainConfig::default()
+        })
+        .fit(&mut kb, &train, 5);
+
+        let mut rng = seeded_rng(7);
+        let eps_trained = mismatch_rate(&kb, &kb, &test, &NoiselessChannel, &mut rng);
+        let eps_untrained =
+            mismatch_rate(&untrained, &untrained, &test, &NoiselessChannel, &mut rng);
+        assert!(eps_trained < 0.1, "trained mismatch {eps_trained}");
+        assert!(
+            eps_untrained > 0.5,
+            "untrained mismatch {eps_untrained}"
+        );
+    }
+
+    #[test]
+    fn samples_carry_ground_truth() {
+        let lang = LanguageConfig::tiny().build(0);
+        let mut gen = CorpusGenerator::new(&lang, 2);
+        let test = gen.sentences(Domain::News, Rendering::Canonical, 3);
+        let kb = KnowledgeBase::new(
+            CodecConfig::tiny(),
+            lang.vocab().len(),
+            lang.concept_count(),
+            KbScope::General,
+            1,
+        );
+        let mut rng = seeded_rng(1);
+        let samples = collect_samples(&kb, &kb, &test, &NoiselessChannel, &mut rng);
+        let expected: usize = test.iter().map(|s| s.len()).sum();
+        assert_eq!(samples.len(), expected);
+        for (sample, (t, c)) in samples.iter().zip(
+            test.iter()
+                .flat_map(|s| s.tokens.iter().zip(s.concepts.iter())),
+        ) {
+            assert_eq!(sample.token, *t);
+            assert_eq!(sample.concept, c.index());
+        }
+    }
+
+    #[test]
+    fn empty_input_has_zero_mismatch() {
+        let kb = KnowledgeBase::new(CodecConfig::tiny(), 10, 5, KbScope::General, 1);
+        let mut rng = seeded_rng(1);
+        assert_eq!(
+            mismatch_rate(&kb, &kb, &[], &NoiselessChannel, &mut rng),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,110 @@
+use semcom_cache::CacheStats;
+use semcom_text::{ConceptId, Domain};
+use serde::{Deserialize, Serialize};
+
+/// What happened to one message end-to-end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MessageOutcome {
+    /// Sending user.
+    pub user: u64,
+    /// The user's true topic domain.
+    pub true_domain: Domain,
+    /// Domain the sender's selector chose (and thus the KB used).
+    pub selected_domain: Domain,
+    /// Ground-truth concepts of the message.
+    pub sent: Vec<ConceptId>,
+    /// Concepts the receiver decoded.
+    pub decoded: Vec<ConceptId>,
+    /// Whether a cached user-specific encoder was used (vs. general).
+    pub used_user_model: bool,
+    /// Whether this message triggered a user-model training round.
+    pub trained: bool,
+    /// Bytes of decoder-sync traffic caused by this message (0 if no sync).
+    pub sync_bytes: usize,
+    /// Complex channel symbols used for the payload.
+    pub symbols: usize,
+}
+
+impl MessageOutcome {
+    /// Fraction of this message's concepts decoded correctly.
+    pub fn accuracy(&self) -> f64 {
+        semcom_text::metrics::concept_accuracy(&self.sent, &self.decoded)
+    }
+
+    /// Whether the selector picked the true domain.
+    pub fn selection_correct(&self) -> bool {
+        self.selected_domain == self.true_domain
+    }
+}
+
+/// Cumulative system counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SystemMetrics {
+    /// Messages delivered.
+    pub messages: u64,
+    /// Tokens (= concepts) transmitted.
+    pub tokens: u64,
+    /// Tokens decoded to the correct concept.
+    pub correct_tokens: u64,
+    /// Messages whose domain was selected correctly.
+    pub selection_correct: u64,
+    /// Complex channel symbols spent on payloads.
+    pub payload_symbols: u64,
+    /// Bytes spent on decoder synchronization (§II-D traffic).
+    pub sync_bytes: u64,
+    /// User-model training rounds run.
+    pub trainings: u64,
+    /// Messages encoded with a cached user-specific model.
+    pub user_model_messages: u64,
+    /// Sender-edge user-model cache statistics.
+    pub user_cache: CacheStats,
+}
+
+impl SystemMetrics {
+    /// Overall token-level semantic accuracy.
+    pub fn token_accuracy(&self) -> f64 {
+        if self.tokens == 0 {
+            0.0
+        } else {
+            self.correct_tokens as f64 / self.tokens as f64
+        }
+    }
+
+    /// Fraction of messages routed to the correct domain model.
+    pub fn selection_accuracy(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.selection_correct as f64 / self.messages as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accuracy_counts_matches() {
+        let o = MessageOutcome {
+            user: 1,
+            true_domain: Domain::It,
+            selected_domain: Domain::It,
+            sent: vec![ConceptId(1), ConceptId(2)],
+            decoded: vec![ConceptId(1), ConceptId(9)],
+            used_user_model: false,
+            trained: false,
+            sync_bytes: 0,
+            symbols: 8,
+        };
+        assert!((o.accuracy() - 0.5).abs() < 1e-12);
+        assert!(o.selection_correct());
+    }
+
+    #[test]
+    fn metrics_rates_handle_zero() {
+        let m = SystemMetrics::default();
+        assert_eq!(m.token_accuracy(), 0.0);
+        assert_eq!(m.selection_accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+use semcom_cache::policy::SemanticCost;
+use semcom_cache::{CacheStats, ModelCache};
+use semcom_codec::KnowledgeBase;
+use semcom_fl::{DecoderSync, DomainBuffer, SyncProtocol, SyncUpdate};
+use semcom_nn::params::ParamVec;
+use semcom_text::Domain;
+use std::collections::HashMap;
+
+/// A `(user, domain)` model key — the unit of user-specific caching.
+pub type UserKey = (u64, Domain);
+
+/// Sender-side synchronization state for one user model (§II-D).
+#[derive(Debug)]
+pub(crate) struct SessionState {
+    sync: DecoderSync,
+    /// Receiver's decoder parameters as of the last sync.
+    last_synced: ParamVec,
+}
+
+impl SessionState {
+    pub(crate) fn new(protocol: SyncProtocol, baseline: ParamVec) -> Self {
+        SessionState {
+            sync: DecoderSync::new(protocol),
+            last_synced: baseline,
+        }
+    }
+
+    /// Builds the wire update advancing the receiver to `after`.
+    pub(crate) fn make_update(&mut self, after: &ParamVec) -> SyncUpdate {
+        let update = self.sync.make_update(&self.last_synced, after);
+        self.last_synced = after.clone();
+        update
+    }
+
+    pub(crate) fn bytes_sent(&self) -> u64 {
+        self.sync.bytes_sent()
+    }
+}
+
+/// One edge server of the paper's Fig. 1.
+///
+/// Holds the domain-specialized general KBs `{e^m, d^m}` (whose decoders
+/// double as the **decoder copies** of §II-C), a byte-budgeted cache of
+/// user-specific models, the per-user domain buffers `b_m`, and — in its
+/// receiver role — the synchronized user decoders.
+pub struct EdgeServer {
+    id: usize,
+    general: HashMap<Domain, KnowledgeBase>,
+    /// Sender role: cached user-specific KBs under a byte budget.
+    user_kbs: ModelCache<UserKey, KnowledgeBase>,
+    /// Receiver role: user decoders kept in sync by the sender's updates.
+    user_decoders: HashMap<UserKey, KnowledgeBase>,
+    /// Sender role: per-user-per-domain mismatch buffers.
+    buffers: HashMap<UserKey, DomainBuffer>,
+    /// Sender role: sync sessions.
+    sessions: HashMap<UserKey, SessionState>,
+}
+
+impl std::fmt::Debug for EdgeServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "EdgeServer({}: {} general KBs, {} user KBs cached, {} receiver decoders)",
+            self.id,
+            self.general.len(),
+            self.user_kbs.len(),
+            self.user_decoders.len()
+        )
+    }
+}
+
+impl EdgeServer {
+    /// Creates a server holding the given pre-trained general KBs, with a
+    /// cost-aware ([`SemanticCost`]) user-model cache of `cache_bytes`.
+    pub fn new(id: usize, general: HashMap<Domain, KnowledgeBase>, cache_bytes: usize) -> Self {
+        EdgeServer {
+            id,
+            general,
+            user_kbs: ModelCache::new(cache_bytes, Box::new(SemanticCost::new())),
+            user_decoders: HashMap::new(),
+            buffers: HashMap::new(),
+            sessions: HashMap::new(),
+        }
+    }
+
+    /// Server id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The general KB for a domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no general KB was installed for `domain`.
+    pub fn general_kb(&self, domain: Domain) -> &KnowledgeBase {
+        self.general
+            .get(&domain)
+            .expect("general KB installed for every domain at build time")
+    }
+
+    /// Records a user-KB cache lookup (hit/miss statistics) and reports
+    /// residency.
+    pub fn lookup_user_kb(&mut self, key: &UserKey) -> bool {
+        self.user_kbs.get(key).is_some()
+    }
+
+    /// Borrows a resident user KB without touching statistics.
+    pub fn peek_user_kb(&self, key: &UserKey) -> Option<&KnowledgeBase> {
+        self.user_kbs.peek(key)
+    }
+
+    /// Removes a user KB from the cache (e.g. to train it).
+    pub fn take_user_kb(&mut self, key: &UserKey) -> Option<KnowledgeBase> {
+        self.user_kbs.remove(key)
+    }
+
+    /// Inserts a user KB, returning any evicted keys.
+    pub fn store_user_kb(&mut self, key: UserKey, kb: KnowledgeBase, cost: f64) -> Vec<UserKey> {
+        let size = kb.size_bytes();
+        match self.user_kbs.insert(key, kb, size, cost) {
+            semcom_cache::InsertOutcome::Inserted { evicted } => evicted,
+            semcom_cache::InsertOutcome::TooLarge => Vec::new(),
+        }
+    }
+
+    /// User-model cache statistics.
+    pub fn user_cache_stats(&self) -> &CacheStats {
+        self.user_kbs.stats()
+    }
+
+    /// Number of cached user KBs.
+    pub fn cached_user_models(&self) -> usize {
+        self.user_kbs.len()
+    }
+
+    /// Receiver role: the synchronized decoder for a user, if present.
+    pub fn user_decoder(&self, key: &UserKey) -> Option<&KnowledgeBase> {
+        self.user_decoders.get(key)
+    }
+
+    /// Receiver role: mutable access for applying sync updates.
+    pub fn user_decoder_mut(&mut self, key: &UserKey) -> Option<&mut KnowledgeBase> {
+        self.user_decoders.get_mut(key)
+    }
+
+    /// Receiver role: installs the baseline user decoder.
+    pub fn install_user_decoder(&mut self, key: UserKey, kb: KnowledgeBase) {
+        self.user_decoders.insert(key, kb);
+    }
+
+    /// Receiver role: drops a user decoder (its sender model was evicted).
+    pub fn drop_user_decoder(&mut self, key: &UserKey) {
+        self.user_decoders.remove(key);
+    }
+
+    /// Number of receiver-side user decoders.
+    pub fn receiver_decoders(&self) -> usize {
+        self.user_decoders.len()
+    }
+
+    /// The buffer `b_m` for a user key, created on first use.
+    pub fn buffer_mut(&mut self, key: UserKey, capacity: usize, threshold: usize) -> &mut DomainBuffer {
+        self.buffers
+            .entry(key)
+            .or_insert_with(|| DomainBuffer::new(capacity, threshold))
+    }
+
+    /// Read access to a buffer.
+    pub fn buffer(&self, key: &UserKey) -> Option<&DomainBuffer> {
+        self.buffers.get(key)
+    }
+
+    pub(crate) fn session_entry(
+        &mut self,
+        key: UserKey,
+        protocol: SyncProtocol,
+        baseline: impl FnOnce() -> ParamVec,
+    ) -> &mut SessionState {
+        self.sessions
+            .entry(key)
+            .or_insert_with(|| SessionState::new(protocol, baseline()))
+    }
+
+    pub(crate) fn drop_session(&mut self, key: &UserKey) {
+        self.sessions.remove(key);
+    }
+
+    /// Total decoder-sync bytes shipped by this server.
+    pub fn total_sync_bytes(&self) -> u64 {
+        self.sessions.values().map(SessionState::bytes_sent).sum()
+    }
+
+    /// Simulates a server restart: all volatile state — cached user models,
+    /// receiver-side user decoders, buffers, sync sessions — is lost. The
+    /// general KBs survive (they live in durable storage; the paper's
+    /// "general models remain the same during all time").
+    pub fn restart(&mut self) {
+        self.user_kbs.clear();
+        self.user_decoders.clear();
+        self.buffers.clear();
+        self.sessions.clear();
+    }
+}

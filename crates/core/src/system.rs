@@ -1,0 +1,720 @@
+use crate::config::{ChannelModel, SelectionStrategy, SystemConfig};
+use crate::metrics::{MessageOutcome, SystemMetrics};
+use crate::server::{EdgeServer, UserKey};
+use semcom_channel::{AwgnChannel, Channel, RayleighChannel};
+use semcom_codec::train::Trainer;
+use semcom_codec::{KbScope, KnowledgeBase};
+use semcom_fl::BufferSample;
+use semcom_nn::params::ParamVec;
+use semcom_nn::rng::{derive_seed, seeded_rng};
+use semcom_select::{BanditSelector, ContextualSelector, DomainSelector, NaiveBayesSelector};
+use semcom_text::{
+    CorpusGenerator, Domain, Idiolect, IdiolectConfig, Rendering, Sentence, SyntheticLanguage,
+};
+use std::collections::HashMap;
+
+/// Stable user identifier.
+pub type UserId = u64;
+
+#[derive(Debug, Clone)]
+struct UserProfile {
+    domain: Domain,
+    idiolect: Idiolect,
+    /// Edge server `i` the user attaches to (sender side).
+    home: usize,
+    /// Edge server `j` the user's conversation partner attaches to.
+    peer: usize,
+}
+
+/// The complete semantic edge computing and caching system of the paper's
+/// Fig. 1: a fleet of edge servers, cloud-pretrained general KBs cached on
+/// each (including the sender-side **decoder copies**), user-specific
+/// models trained from domain buffers and cached under a byte budget,
+/// FL-style decoder sync between each user's home and peer edges, and
+/// context-aware model selection.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+pub struct SemanticEdgeSystem {
+    config: SystemConfig,
+    language: SyntheticLanguage,
+    servers: Vec<EdgeServer>,
+    channel: Box<dyn Channel + Send>,
+    selector_template: NaiveBayesSelector,
+    selectors: HashMap<UserId, Box<dyn DomainSelector + Send>>,
+    users: HashMap<UserId, UserProfile>,
+    next_user: UserId,
+    metrics: SystemMetrics,
+    seed: u64,
+}
+
+impl std::fmt::Debug for SemanticEdgeSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SemanticEdgeSystem({} users, {} messages, {} edges)",
+            self.users.len(),
+            self.metrics.messages,
+            self.servers.len()
+        )
+    }
+}
+
+impl SemanticEdgeSystem {
+    /// Builds the system: constructs the language, pre-trains one general
+    /// KB per domain in the "cloud", installs them (encoders **and**
+    /// decoder copies) on every edge server, and fits the domain selector.
+    ///
+    /// Deterministic for a given `(config, seed)` pair.
+    pub fn build(config: SystemConfig, seed: u64) -> Self {
+        let language = config.language.build(derive_seed(seed, 1));
+        let mut trainer = Trainer::new(config.pretrain);
+
+        // Cloud pre-training of the domain-specialized general models.
+        let mut general = HashMap::new();
+        let mut selector_corpus = Vec::new();
+        for d in Domain::ALL {
+            let mut gen =
+                CorpusGenerator::new(&language, derive_seed(seed, 10 + d.index() as u64));
+            let corpus = gen.sentences(d, Rendering::Mixed(0.15), config.pretrain_sentences);
+            let mut kb = KnowledgeBase::new(
+                config.codec,
+                language.vocab().len(),
+                language.concept_count(),
+                KbScope::DomainGeneral(d),
+                derive_seed(seed, 20 + d.index() as u64),
+            );
+            trainer.fit(&mut kb, &corpus, derive_seed(seed, 30 + d.index() as u64));
+            selector_corpus.extend(corpus);
+            general.insert(d, kb);
+        }
+        let selector_template = NaiveBayesSelector::fit(&language, &selector_corpus);
+
+        // "we cache general decoders at both the sender edge server i and
+        // receiver edge server j, which means d_j^m = d_i^m" — every edge
+        // gets identical copies.
+        let n_edges = config.n_edges.max(2);
+        let servers = (0..n_edges)
+            .map(|i| EdgeServer::new(i, general.clone(), config.user_cache_bytes))
+            .collect();
+
+        let channel: Box<dyn Channel + Send> = match config.channel {
+            ChannelModel::Awgn { snr_db } => Box::new(AwgnChannel::new(snr_db)),
+            ChannelModel::Rayleigh { snr_db } => Box::new(RayleighChannel::new(snr_db)),
+        };
+
+        SemanticEdgeSystem {
+            config,
+            language,
+            servers,
+            channel,
+            selector_template,
+            selectors: HashMap::new(),
+            users: HashMap::new(),
+            next_user: 1,
+            metrics: SystemMetrics::default(),
+            seed,
+        }
+    }
+
+    /// The synthetic language in use.
+    pub fn language(&self) -> &SyntheticLanguage {
+        &self.language
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Number of edge servers.
+    pub fn edge_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// A specific edge server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= edge_count()`.
+    pub fn edge(&self, i: usize) -> &EdgeServer {
+        &self.servers[i]
+    }
+
+    /// The default sender edge (server 0) — convenience for the two-edge
+    /// topology.
+    pub fn sender_edge(&self) -> &EdgeServer {
+        &self.servers[0]
+    }
+
+    /// The default receiver edge (server 1) — convenience for the two-edge
+    /// topology.
+    pub fn receiver_edge(&self) -> &EdgeServer {
+        &self.servers[1]
+    }
+
+    /// Registers a user on the default edge pair `0 → 1`, communicating in
+    /// `domain` with an idiolect of the given strength (`0.0` = speaks the
+    /// canonical lexicon, `1.0` = the default synonym/confusion rates of
+    /// [`IdiolectConfig`]).
+    pub fn register_user(&mut self, domain: Domain, idiolect_strength: f64) -> UserId {
+        self.register_user_at(domain, idiolect_strength, 0, 1)
+    }
+
+    /// Registers a user attached to edge `home` whose conversation partner
+    /// sits behind edge `peer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` or `peer` is out of range.
+    pub fn register_user_at(
+        &mut self,
+        domain: Domain,
+        idiolect_strength: f64,
+        home: usize,
+        peer: usize,
+    ) -> UserId {
+        assert!(home < self.servers.len(), "home edge out of range");
+        assert!(peer < self.servers.len(), "peer edge out of range");
+        let id = self.next_user;
+        self.next_user += 1;
+        let idiolect = Idiolect::sample(
+            &self.language,
+            domain,
+            IdiolectConfig::with_strength(idiolect_strength),
+            derive_seed(self.seed, 100 + id),
+        );
+        self.users.insert(
+            id,
+            UserProfile {
+                domain,
+                idiolect,
+                home,
+                peer,
+            },
+        );
+        let selector: Box<dyn DomainSelector + Send> = match self.config.selection {
+            SelectionStrategy::Contextual { decay } => Box::new(ContextualSelector::new(
+                Box::new(self.selector_template.clone()),
+                decay,
+            )),
+            SelectionStrategy::Bandit {
+                epsilon,
+                learning_rate,
+            } => Box::new(BanditSelector::new(
+                Box::new(self.selector_template.clone()),
+                epsilon,
+                learning_rate,
+                derive_seed(self.seed, 500 + id),
+            )),
+        };
+        self.selectors.insert(id, selector);
+        id
+    }
+
+    /// The domain a user was registered with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user is unknown.
+    pub fn user_domain(&self, user: UserId) -> Domain {
+        self.users[&user].domain
+    }
+
+    /// The `(home, peer)` edge pair of a user.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user is unknown.
+    pub fn user_edges(&self, user: UserId) -> (usize, usize) {
+        let p = &self.users[&user];
+        (p.home, p.peer)
+    }
+
+    /// Cumulative metrics (cache statistics aggregated over all edges on
+    /// read).
+    pub fn metrics(&self) -> SystemMetrics {
+        let mut m = self.metrics.clone();
+        let mut cache = semcom_cache::CacheStats::default();
+        let mut sync = 0u64;
+        for s in &self.servers {
+            let cs = s.user_cache_stats();
+            cache.hits += cs.hits;
+            cache.misses += cs.misses;
+            cache.evictions += cs.evictions;
+            cache.insertions += cs.insertions;
+            cache.bytes_evicted += cs.bytes_evicted;
+            cache.rejected += cs.rejected;
+            sync += s.total_sync_bytes();
+        }
+        m.user_cache = cache;
+        m.sync_bytes = sync;
+        m
+    }
+
+    /// Generates the next message a user would utter (their domain, their
+    /// idiolect) without sending it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user is unknown.
+    pub fn compose_message(&self, user: UserId) -> Sentence {
+        let profile = self.users.get(&user).expect("user is registered");
+        let mut gen = CorpusGenerator::new(
+            &self.language,
+            derive_seed(self.seed, 1_000_000 + self.metrics.messages * 7 + user),
+        );
+        gen.sentence(profile.domain, Rendering::Idiolect(&profile.idiolect))
+    }
+
+    /// Sends one message for `user` through the full pipeline: selection →
+    /// (user or general) semantic encoding at the home edge → channel →
+    /// decoding at the peer edge → sender-side mismatch bookkeeping via the
+    /// decoder copy → buffer fill → possible user-model training and
+    /// decoder sync.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user is unknown.
+    pub fn send_message(&mut self, user: UserId) -> MessageOutcome {
+        let sentence = self.compose_message(user);
+        self.send_sentence(user, &sentence)
+    }
+
+    /// Like [`Self::send_message`] with an explicit, caller-composed
+    /// sentence.
+    pub fn send_sentence(&mut self, user: UserId, sentence: &Sentence) -> MessageOutcome {
+        let profile = self.users.get(&user).expect("user is registered").clone();
+        let (home, peer) = (profile.home, profile.peer);
+        let msg_idx = self.metrics.messages;
+        let mut rng = seeded_rng(derive_seed(self.seed, 2_000_000 + msg_idx));
+
+        // §III-A: pick the domain model from message content + context.
+        let selected = self
+            .selectors
+            .get_mut(&user)
+            .expect("selector per registered user")
+            .select(&sentence.tokens);
+        let key: UserKey = (user, selected);
+
+        // Cache lookup (records hit/miss on the home edge's user-model
+        // cache).
+        let used_user_model = self.servers[home].lookup_user_kb(&key);
+
+        // Encoder at the home edge, decoder at the peer edge.
+        let decoded = {
+            let enc: &KnowledgeBase = if used_user_model {
+                self.servers[home]
+                    .peek_user_kb(&key)
+                    .expect("lookup_user_kb reported residency")
+            } else {
+                self.servers[home].general_kb(selected)
+            };
+            let dec: &KnowledgeBase = self.servers[peer]
+                .user_decoder(&key)
+                .unwrap_or_else(|| self.servers[peer].general_kb(selected));
+            enc.transmit(dec, &sentence.tokens, self.channel.as_ref(), &mut rng)
+        };
+
+        // §II-C: the home edge has the decoder copy (d_i^m = d_j^m) and the
+        // ground truth, so it records the mismatch locally — no output is
+        // echoed back over the network.
+        let buffer = self.servers[home].buffer_mut(
+            key,
+            self.config.buffer_capacity,
+            self.config.buffer_threshold,
+        );
+        for ((&token, concept), got) in sentence
+            .tokens
+            .iter()
+            .zip(&sentence.concepts)
+            .zip(&decoded)
+        {
+            buffer.push(BufferSample {
+                token,
+                concept: concept.index(),
+                correct: got == concept,
+            });
+        }
+        let ready = buffer.is_ready();
+
+        // §II-D: enough data in b_m → train the user-specific model and
+        // ship the decoder update to the peer edge.
+        let mut sync_bytes = 0usize;
+        if ready {
+            sync_bytes = self.train_and_sync(key, home, peer, msg_idx);
+        }
+
+        // Bookkeeping.
+        let symbols = self.config.codec.symbols_per_token() * sentence.tokens.len();
+        let outcome = MessageOutcome {
+            user,
+            true_domain: profile.domain,
+            selected_domain: selected,
+            sent: sentence.concepts.clone(),
+            decoded,
+            used_user_model,
+            trained: ready,
+            sync_bytes,
+            symbols,
+        };
+        self.metrics.messages += 1;
+        self.metrics.tokens += sentence.tokens.len() as u64;
+        self.metrics.correct_tokens += outcome
+            .sent
+            .iter()
+            .zip(&outcome.decoded)
+            .filter(|(a, b)| a == b)
+            .count() as u64;
+        if outcome.selection_correct() {
+            self.metrics.selection_correct += 1;
+        }
+        self.metrics.payload_symbols += symbols as u64;
+        if used_user_model {
+            self.metrics.user_model_messages += 1;
+        }
+        if ready {
+            self.metrics.trainings += 1;
+        }
+        // §III-A feedback loop: the home edge's decoder copy tells it how
+        // well this selection decoded; RL selectors learn from it.
+        self.selectors
+            .get_mut(&user)
+            .expect("selector per registered user")
+            .observe(outcome.accuracy());
+        outcome
+    }
+
+    /// Trains the user model for `key` from its buffer on edge `home` and
+    /// synchronizes the decoder to edge `peer`. Returns the sync bytes
+    /// spent.
+    fn train_and_sync(&mut self, key: UserKey, home: usize, peer: usize, msg_idx: u64) -> usize {
+        let (user, domain) = key;
+        let pairs = self.servers[home]
+            .buffer_mut(key, self.config.buffer_capacity, self.config.buffer_threshold)
+            .training_pairs();
+        self.servers[home]
+            .buffer_mut(key, self.config.buffer_capacity, self.config.buffer_threshold)
+            .clear();
+
+        // Fetch the cached user KB, or derive a fresh one from the general
+        // model (installing the matching baseline decoder at the peer).
+        let mut kb = match self.servers[home].take_user_kb(&key) {
+            Some(kb) => kb,
+            None => {
+                let derived = self.servers[home]
+                    .general_kb(domain)
+                    .derive_user_model(user, domain);
+                self.servers[peer].install_user_decoder(key, derived.clone());
+                self.servers[home].drop_session(&key);
+                derived
+            }
+        };
+        // The peer may have lost its decoder (the sender model was evicted
+        // earlier and the peer copy dropped); reinstall a baseline.
+        if self.servers[peer].user_decoder(&key).is_none() {
+            self.servers[peer].install_user_decoder(key, kb.clone());
+            self.servers[home].drop_session(&key);
+        }
+
+        let mut trainer = Trainer::new(self.config.finetune);
+        trainer.fit_pairs(&mut kb, &pairs, derive_seed(self.seed, 3_000_000 + msg_idx));
+
+        // Decoder gradient/delta to the peer (§II-D).
+        let after = ParamVec::values_of(&kb.decoder.params_mut());
+        let protocol = self.config.sync_protocol;
+        let baseline = {
+            let receiver = self.servers[peer]
+                .user_decoder_mut(&key)
+                .expect("baseline installed above");
+            ParamVec::values_of(&receiver.decoder.params_mut())
+        };
+        let update = self.servers[home]
+            .session_entry(key, protocol, || baseline)
+            .make_update(&after);
+        let bytes = update.wire_bytes();
+        {
+            let receiver = self.servers[peer]
+                .user_decoder_mut(&key)
+                .expect("baseline installed above");
+            update
+                .apply(&mut receiver.decoder.params_mut())
+                .expect("sender and receiver decoders share one architecture");
+            receiver.bump_version();
+        }
+
+        // Cache the trained model; cost = estimated re-establishment time.
+        let cost = pairs.len() as f64 * self.config.finetune.epochs as f64 * 1e-3;
+        let evicted = self.servers[home].store_user_kb(key, kb, cost);
+        for ev in evicted {
+            // The evicted key may belong to a user with a different peer.
+            let ev_peer = self.users.get(&ev.0).map(|p| p.peer).unwrap_or(peer);
+            self.servers[ev_peer].drop_user_decoder(&ev);
+            self.servers[home].drop_session(&ev);
+        }
+        bytes
+    }
+
+    /// Simulates a crash/restart of edge server `i`: every user model,
+    /// receiver decoder, buffer, and sync session on it is lost; the
+    /// durable general KBs survive. The adaptation loop re-establishes
+    /// user state on subsequent traffic (re-derivation from the general
+    /// models and fresh sync baselines), so this is the system's
+    /// failure-recovery path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= edge_count()`.
+    pub fn restart_edge(&mut self, i: usize) {
+        assert!(i < self.servers.len(), "edge index out of range");
+        self.servers[i].restart();
+        // Senders whose peer decoders just vanished must not keep shipping
+        // deltas against a baseline the peer no longer has: their next
+        // training round detects the missing decoder and re-baselines, but
+        // the session must be dropped so the new baseline is used.
+        let stale: Vec<(u64, usize)> = self
+            .users
+            .iter()
+            .filter(|(_, p)| p.peer == i && p.home != i)
+            .map(|(&u, p)| (u, p.home))
+            .collect();
+        for (user, home) in stale {
+            for d in Domain::ALL {
+                self.servers[home].drop_session(&(user, d));
+            }
+        }
+    }
+
+    /// Measures the user's current end-to-end semantic accuracy on `n`
+    /// fresh messages **without** side effects (no buffers, no stats, no
+    /// training).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user is unknown.
+    pub fn probe_accuracy(&self, user: UserId, n: usize, seed: u64) -> f64 {
+        let profile = &self.users[&user];
+        let mut gen = CorpusGenerator::new(&self.language, derive_seed(seed, 5));
+        let mut rng = seeded_rng(derive_seed(seed, 6));
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for _ in 0..n {
+            let s = gen.sentence(profile.domain, Rendering::Idiolect(&profile.idiolect));
+            let key: UserKey = (user, profile.domain);
+            let enc = self.servers[profile.home]
+                .peek_user_kb(&key)
+                .unwrap_or_else(|| self.servers[profile.home].general_kb(profile.domain));
+            let dec = self.servers[profile.peer]
+                .user_decoder(&key)
+                .unwrap_or_else(|| self.servers[profile.peer].general_kb(profile.domain));
+            let decoded = enc.transmit(dec, &s.tokens, self.channel.as_ref(), &mut rng);
+            total += s.concepts.len();
+            correct += s
+                .concepts
+                .iter()
+                .zip(&decoded)
+                .filter(|(a, b)| a == b)
+                .count();
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> SemanticEdgeSystem {
+        SemanticEdgeSystem::build(SystemConfig::tiny(), 42)
+    }
+
+    #[test]
+    fn build_installs_general_kbs_on_both_edges() {
+        let s = system();
+        for d in Domain::ALL {
+            // d_j^m = d_i^m: identical decoder copies (same weights).
+            let a = s.sender_edge().general_kb(d);
+            let b = s.receiver_edge().general_kb(d);
+            assert_eq!(a.version(), b.version());
+            assert_eq!(a.param_count(), b.param_count());
+        }
+    }
+
+    #[test]
+    fn canonical_user_communicates_accurately_with_general_models() {
+        let mut s = system();
+        let u = s.register_user(Domain::It, 0.0);
+        let mut acc = 0.0;
+        let n = 10;
+        for _ in 0..n {
+            acc += s.send_message(u).accuracy();
+        }
+        assert!(acc / n as f64 > 0.7, "accuracy {}", acc / n as f64);
+    }
+
+    #[test]
+    fn idiolectic_user_triggers_training_and_sync() {
+        let mut s = system();
+        let u = s.register_user(Domain::News, 1.0);
+        let mut trained = false;
+        let mut total_sync = 0;
+        for _ in 0..40 {
+            let o = s.send_message(u);
+            trained |= o.trained;
+            total_sync += o.sync_bytes;
+        }
+        assert!(trained, "buffer never filled in 40 messages");
+        assert!(total_sync > 0, "no decoder sync traffic");
+        let key = (u, Domain::News);
+        assert!(s.sender_edge().peek_user_kb(&key).is_some());
+        assert!(s.receiver_edge().user_decoder(&key).is_some());
+    }
+
+    #[test]
+    fn user_model_improves_idiolectic_accuracy() {
+        let mut s = system();
+        // A strongly idiolectic user (rates beyond the default profile),
+        // so the general model has plenty of mismatch to fix.
+        let u = s.register_user(Domain::It, 2.5);
+        let before = s.probe_accuracy(u, 25, 9);
+        for _ in 0..120 {
+            s.send_message(u);
+        }
+        let after = s.probe_accuracy(u, 25, 9);
+        assert!(
+            after > before + 0.05,
+            "user model should help: before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let mut s = system();
+        let u = s.register_user(Domain::Medical, 0.5);
+        for _ in 0..15 {
+            s.send_message(u);
+        }
+        let m = s.metrics();
+        assert_eq!(m.messages, 15);
+        assert!(m.tokens >= 15);
+        assert!(m.payload_symbols > 0);
+        assert!(m.selection_accuracy() > 0.0);
+        assert!(m.user_cache.lookups() >= 15);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let mut a = system();
+        let mut b = system();
+        let ua = a.register_user(Domain::It, 0.8);
+        let ub = b.register_user(Domain::It, 0.8);
+        for _ in 0..5 {
+            let oa = a.send_message(ua);
+            let ob = b.send_message(ub);
+            assert_eq!(oa.sent, ob.sent);
+            assert_eq!(oa.decoded, ob.decoded);
+        }
+    }
+
+    #[test]
+    fn multi_edge_topology_routes_per_user_pairs() {
+        let config = SystemConfig {
+            n_edges: 3,
+            ..SystemConfig::tiny()
+        };
+        let mut s = SemanticEdgeSystem::build(config, 11);
+        assert_eq!(s.edge_count(), 3);
+        // Three users on distinct directed edge pairs.
+        let u01 = s.register_user_at(Domain::It, 1.5, 0, 1);
+        let u12 = s.register_user_at(Domain::News, 1.5, 1, 2);
+        let u20 = s.register_user_at(Domain::Medical, 1.5, 2, 0);
+        for _ in 0..50 {
+            s.send_message(u01);
+            s.send_message(u12);
+            s.send_message(u20);
+        }
+        // Each user's model is cached on their home edge only, and each
+        // peer edge holds the matching synced decoder.
+        assert!(s.edge(0).peek_user_kb(&(u01, Domain::It)).is_some());
+        assert!(s.edge(1).user_decoder(&(u01, Domain::It)).is_some());
+        assert!(s.edge(1).peek_user_kb(&(u12, Domain::News)).is_some());
+        assert!(s.edge(2).user_decoder(&(u12, Domain::News)).is_some());
+        assert!(s.edge(2).peek_user_kb(&(u20, Domain::Medical)).is_some());
+        assert!(s.edge(0).user_decoder(&(u20, Domain::Medical)).is_some());
+        // No cross-contamination.
+        assert!(s.edge(2).peek_user_kb(&(u01, Domain::It)).is_none());
+        assert!(s.edge(0).user_decoder(&(u12, Domain::News)).is_none());
+    }
+
+    #[test]
+    fn edge_restart_loses_user_state_and_recovers() {
+        let mut s = system();
+        let u = s.register_user(Domain::It, 2.0);
+        for _ in 0..80 {
+            s.send_message(u);
+        }
+        let adapted = s.probe_accuracy(u, 20, 9);
+        assert!(s.sender_edge().peek_user_kb(&(u, Domain::It)).is_some());
+
+        // Crash the sender edge: the user model is gone, accuracy falls
+        // back toward the general-model level.
+        s.restart_edge(0);
+        assert!(s.sender_edge().peek_user_kb(&(u, Domain::It)).is_none());
+        assert_eq!(s.sender_edge().cached_user_models(), 0);
+
+        // Traffic re-establishes the user model.
+        for _ in 0..80 {
+            s.send_message(u);
+        }
+        let recovered = s.probe_accuracy(u, 20, 9);
+        assert!(s.sender_edge().peek_user_kb(&(u, Domain::It)).is_some());
+        assert!(
+            recovered > adapted - 0.1,
+            "recovery too weak: adapted {adapted}, recovered {recovered}"
+        );
+    }
+
+    #[test]
+    fn receiver_edge_restart_recovers_via_rebaseline() {
+        let mut s = system();
+        let u = s.register_user(Domain::News, 2.0);
+        for _ in 0..80 {
+            s.send_message(u);
+        }
+        s.restart_edge(1); // receiver loses the synced decoder
+        assert!(s.receiver_edge().user_decoder(&(u, Domain::News)).is_none());
+        for _ in 0..80 {
+            s.send_message(u);
+        }
+        // Sync re-established a receiver decoder and accuracy is healthy.
+        assert!(s.receiver_edge().user_decoder(&(u, Domain::News)).is_some());
+        assert!(s.probe_accuracy(u, 20, 5) > 0.75);
+    }
+
+    #[test]
+    fn same_edge_pair_is_allowed() {
+        let mut s = system();
+        let u = s.register_user_at(Domain::It, 1.0, 0, 0);
+        for _ in 0..10 {
+            s.send_message(u);
+        }
+        assert_eq!(s.user_edges(u), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "peer edge out of range")]
+    fn out_of_range_edge_panics() {
+        let mut s = system();
+        s.register_user_at(Domain::It, 0.0, 0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "user is registered")]
+    fn unknown_user_panics() {
+        let mut s = system();
+        s.send_message(999);
+    }
+}

@@ -1,0 +1,240 @@
+//! A minimal deterministic discrete-event simulation engine.
+//!
+//! Events are boxed closures over a user-supplied world type `W`; ties in
+//! firing time are broken by schedule order, so runs are fully
+//! deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event body: receives the scheduler and the mutable world.
+pub type EventFn<W> = Box<dyn FnOnce(&mut Sim<W>, &mut W)>;
+
+struct Scheduled<W> {
+    time: f64,
+    seq: u64,
+    body: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The discrete-event scheduler.
+///
+/// # Example
+///
+/// ```
+/// use semcom_edge::engine::Sim;
+///
+/// let mut sim: Sim<Vec<(f64, &str)>> = Sim::new();
+/// let mut world = Vec::new();
+/// sim.schedule(2.0, Box::new(|sim, w: &mut Vec<(f64, &str)>| w.push((sim.now(), "b"))));
+/// sim.schedule(1.0, Box::new(|sim, w: &mut Vec<(f64, &str)>| w.push((sim.now(), "a"))));
+/// sim.run(&mut world);
+/// assert_eq!(world, vec![(1.0, "a"), (2.0, "b")]);
+/// ```
+pub struct Sim<W> {
+    now: f64,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    processed: u64,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> std::fmt::Debug for Sim<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Sim(now {:.6}, {} pending, {} processed)",
+            self.now,
+            self.queue.len(),
+            self.processed
+        )
+    }
+}
+
+impl<W> Sim<W> {
+    /// Creates an empty simulation at time 0.
+    pub fn new() -> Self {
+        Sim {
+            now: 0.0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of events fired so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Pending event count.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `body` to fire `delay` seconds from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or not finite.
+    pub fn schedule(&mut self, delay: f64, body: EventFn<W>) {
+        assert!(
+            delay >= 0.0 && delay.is_finite(),
+            "event delay must be finite and non-negative"
+        );
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            time: self.now + delay,
+            seq: self.seq,
+            body,
+        });
+    }
+
+    /// Schedules `body` at an absolute simulation time (`>= now`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past or not finite.
+    pub fn schedule_at(&mut self, time: f64, body: EventFn<W>) {
+        assert!(time >= self.now, "cannot schedule into the past");
+        self.schedule(time - self.now, body);
+    }
+
+    /// Fires the next event; returns false if the queue is empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                self.now = ev.time;
+                self.processed += 1;
+                (ev.body)(self, world);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until no events remain.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Runs until the queue drains or the next event would fire after
+    /// `t_end` (remaining events stay queued; `now` advances to `t_end`).
+    pub fn run_until(&mut self, world: &mut W, t_end: f64) {
+        while let Some(head) = self.queue.peek() {
+            if head.time > t_end {
+                break;
+            }
+            self.step(world);
+        }
+        self.now = self.now.max(t_end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        sim.schedule(3.0, Box::new(|_, w: &mut Vec<u32>| w.push(3)));
+        sim.schedule(1.0, Box::new(|_, w: &mut Vec<u32>| w.push(1)));
+        sim.schedule(2.0, Box::new(|_, w: &mut Vec<u32>| w.push(2)));
+        sim.run(&mut world);
+        assert_eq!(world, vec![1, 2, 3]);
+        assert_eq!(sim.processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        for i in 0..5u32 {
+            sim.schedule(1.0, Box::new(move |_, w: &mut Vec<u32>| w.push(i)));
+        }
+        sim.run(&mut world);
+        assert_eq!(world, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim: Sim<Vec<f64>> = Sim::new();
+        let mut world = Vec::new();
+        sim.schedule(
+            1.0,
+            Box::new(|sim, _w: &mut Vec<f64>| {
+                sim.schedule(
+                    0.5,
+                    Box::new(|sim, w: &mut Vec<f64>| {
+                        w.push(sim.now());
+                    }),
+                );
+            }),
+        );
+        sim.run(&mut world);
+        assert_eq!(world, vec![1.5]);
+    }
+
+    #[test]
+    fn run_until_leaves_future_events_queued() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        sim.schedule(1.0, Box::new(|_, w: &mut Vec<u32>| w.push(1)));
+        sim.schedule(5.0, Box::new(|_, w: &mut Vec<u32>| w.push(5)));
+        sim.run_until(&mut world, 2.0);
+        assert_eq!(world, vec![1]);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.now(), 2.0);
+        sim.run(&mut world);
+        assert_eq!(world, vec![1, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be finite and non-negative")]
+    fn negative_delay_panics() {
+        let mut sim: Sim<()> = Sim::new();
+        sim.schedule(-1.0, Box::new(|_, _| {}));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn past_absolute_time_panics() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        sim.schedule(2.0, Box::new(|_, _w: &mut Vec<u32>| {}));
+        sim.run(&mut world);
+        sim.schedule_at(1.0, Box::new(|_, _| {}));
+    }
+}

@@ -1,0 +1,50 @@
+//! # semcom-edge
+//!
+//! Discrete-event edge/cloud simulation substrate for the `semcom`
+//! reproduction of *"Semantic Communications, Semantic Edge Computing, and
+//! Semantic Caching"* (Yu & Zhao, ICDCS 2023).
+//!
+//! The paper argues that mobile devices lack the "computing power and
+//! storage capabilities" semantic codecs need (§I) and that edge servers
+//! should run and cache the KBs. This crate quantifies that argument:
+//!
+//! * [`engine::Sim`] — a minimal deterministic discrete-event engine;
+//! * [`Topology`] — device/edge/cloud compute rates and link
+//!   bandwidth/latency parameters with 5G-flavored defaults;
+//! * [`placement`] — closed-form latency breakdowns for running the codec
+//!   on-device, at the edge, or in the cloud (experiment F5);
+//! * [`EdgeWorkloadSim`] — an event-driven workload replay combining
+//!   Poisson arrivals, per-edge FIFO service queues, the
+//!   [`semcom_cache::ModelCache`], and cloud model fetches on miss
+//!   (experiment F4's latency rows);
+//! * [`FleetSim`] — a multi-edge variant exposing the cache-locality vs
+//!   load-balance tradeoff of request [`Assignment`] (experiment F12);
+//! * [`LatencySummary`] — mean/percentile aggregation.
+//!
+//! # Example
+//!
+//! ```
+//! use semcom_edge::{Topology, placement::{message_latency, Placement, MessageCost}};
+//!
+//! let topo = Topology::default();
+//! let cost = MessageCost::default();
+//! let edge = message_latency(&topo, Placement::Edge, &cost, true, 400_000);
+//! let cloud = message_latency(&topo, Placement::CloudOnly, &cost, true, 400_000);
+//! assert!(edge.total() < cloud.total());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fleet;
+mod metrics;
+mod sim;
+mod topology;
+
+pub mod engine;
+pub mod placement;
+
+pub use fleet::{Assignment, FleetConfig, FleetReport, FleetSim};
+pub use metrics::LatencySummary;
+pub use sim::{EdgeWorkloadSim, WorkloadConfig, WorkloadReport};
+pub use topology::{ComputeNode, Link, Topology};

@@ -1,0 +1,198 @@
+//! Closed-form latency breakdowns for codec placement (experiment F5).
+//!
+//! The paper's §I claims edge computing should host semantic
+//! encoding/decoding because devices lack compute and the cloud is far.
+//! These functions compute the end-to-end latency of one message under the
+//! three placements so the claim can be checked quantitatively.
+
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Where the semantic codec executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Placement {
+    /// Encode on the sender's device, decode on the receiver's device.
+    DeviceOnly,
+    /// Encode on the sender's edge server, decode on the receiver's edge
+    /// server (the paper's proposal).
+    Edge,
+    /// Both stages in the cloud.
+    CloudOnly,
+}
+
+impl Placement {
+    /// All placements.
+    pub const ALL: [Placement; 3] = [Placement::DeviceOnly, Placement::Edge, Placement::CloudOnly];
+
+    /// Lower-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Placement::DeviceOnly => "device",
+            Placement::Edge => "edge",
+            Placement::CloudOnly => "cloud",
+        }
+    }
+}
+
+/// Per-message workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MessageCost {
+    /// Operations to run the semantic encoder on the message.
+    pub encode_ops: f64,
+    /// Operations to run the semantic decoder.
+    pub decode_ops: f64,
+    /// Bytes of semantic features on the wire.
+    pub feature_bytes: usize,
+    /// Bytes of the raw message text.
+    pub text_bytes: usize,
+}
+
+impl Default for MessageCost {
+    /// A ~10-token message through the default codec: ≈2 Mop per stage,
+    /// 40 feature bytes versus 60 text bytes.
+    fn default() -> Self {
+        MessageCost {
+            encode_ops: 2e6,
+            decode_ops: 2e6,
+            feature_bytes: 40,
+            text_bytes: 60,
+        }
+    }
+}
+
+/// Additive latency components of one message delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Device → first compute site (raw text), seconds.
+    pub uplink: f64,
+    /// Semantic encoding time.
+    pub encode: f64,
+    /// Feature transport between the two codec sites.
+    pub transport: f64,
+    /// Semantic decoding time.
+    pub decode: f64,
+    /// Last compute site → receiving device (restored text).
+    pub downlink: f64,
+    /// KB fetch from the cloud on a cache miss (0 when resident).
+    pub model_fetch: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total end-to-end latency in seconds.
+    pub fn total(&self) -> f64 {
+        self.uplink + self.encode + self.transport + self.decode + self.downlink + self.model_fetch
+    }
+}
+
+/// Computes the latency of delivering one message under `placement`.
+///
+/// `model_resident` says whether the KB is already present at the compute
+/// site; if not, `model_bytes` are fetched from the cloud first (for
+/// [`Placement::CloudOnly`] the model is always resident — the cloud is the
+/// model authority).
+pub fn message_latency(
+    topo: &Topology,
+    placement: Placement,
+    cost: &MessageCost,
+    model_resident: bool,
+    model_bytes: usize,
+) -> LatencyBreakdown {
+    match placement {
+        Placement::Edge => LatencyBreakdown {
+            uplink: topo.device_edge.transfer_time(cost.text_bytes),
+            encode: topo.edge.compute_time(cost.encode_ops),
+            transport: topo.edge_edge.transfer_time(cost.feature_bytes),
+            decode: topo.edge.compute_time(cost.decode_ops),
+            downlink: topo.device_edge.transfer_time(cost.text_bytes),
+            model_fetch: if model_resident {
+                0.0
+            } else {
+                topo.edge_cloud.transfer_time(model_bytes)
+            },
+        },
+        Placement::DeviceOnly => LatencyBreakdown {
+            uplink: 0.0,
+            encode: topo.device.compute_time(cost.encode_ops),
+            // Features relay device → edge → edge → device.
+            transport: topo.device_edge.transfer_time(cost.feature_bytes)
+                + topo.edge_edge.transfer_time(cost.feature_bytes)
+                + topo.device_edge.transfer_time(cost.feature_bytes),
+            decode: topo.device.compute_time(cost.decode_ops),
+            downlink: 0.0,
+            model_fetch: if model_resident {
+                0.0
+            } else {
+                // Cloud → edge → device.
+                topo.edge_cloud.transfer_time(model_bytes)
+                    + topo.device_edge.transfer_time(model_bytes)
+            },
+        },
+        Placement::CloudOnly => LatencyBreakdown {
+            uplink: topo.device_edge.transfer_time(cost.text_bytes)
+                + topo.edge_cloud.transfer_time(cost.text_bytes),
+            encode: topo.cloud.compute_time(cost.encode_ops),
+            transport: 0.0, // both stages co-located in the cloud
+            decode: topo.cloud.compute_time(cost.decode_ops),
+            downlink: topo.edge_cloud.transfer_time(cost.text_bytes)
+                + topo.device_edge.transfer_time(cost.text_bytes),
+            model_fetch: 0.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::default()
+    }
+
+    #[test]
+    fn edge_beats_cloud_when_model_is_cached() {
+        let cost = MessageCost::default();
+        let edge = message_latency(&topo(), Placement::Edge, &cost, true, 400_000);
+        let cloud = message_latency(&topo(), Placement::CloudOnly, &cost, true, 400_000);
+        assert!(edge.total() < cloud.total(), "{edge:?} vs {cloud:?}");
+    }
+
+    #[test]
+    fn edge_beats_device_for_compute_heavy_codecs() {
+        let cost = MessageCost {
+            encode_ops: 5e8,
+            decode_ops: 5e8,
+            ..MessageCost::default()
+        };
+        let edge = message_latency(&topo(), Placement::Edge, &cost, true, 400_000);
+        let device = message_latency(&topo(), Placement::DeviceOnly, &cost, true, 400_000);
+        assert!(edge.total() < device.total());
+    }
+
+    #[test]
+    fn model_fetch_dominates_on_cold_edge() {
+        let cost = MessageCost::default();
+        let warm = message_latency(&topo(), Placement::Edge, &cost, true, 4_000_000);
+        let cold = message_latency(&topo(), Placement::Edge, &cost, false, 4_000_000);
+        assert!(cold.total() > 2.0 * warm.total(), "{cold:?} vs {warm:?}");
+        assert!(cold.model_fetch > 0.0);
+        assert_eq!(warm.model_fetch, 0.0);
+    }
+
+    #[test]
+    fn totals_are_sums_of_parts() {
+        let cost = MessageCost::default();
+        for p in Placement::ALL {
+            let b = message_latency(&topo(), p, &cost, false, 1_000_000);
+            let sum =
+                b.uplink + b.encode + b.transport + b.decode + b.downlink + b.model_fetch;
+            assert!((b.total() - sum).abs() < 1e-12, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn placement_names_are_stable() {
+        assert_eq!(Placement::Edge.name(), "edge");
+        assert_eq!(Placement::DeviceOnly.name(), "device");
+        assert_eq!(Placement::CloudOnly.name(), "cloud");
+    }
+}

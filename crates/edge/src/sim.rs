@@ -1,0 +1,213 @@
+//! Event-driven edge workload replay (experiment F4's latency rows).
+//!
+//! Poisson-arriving semantic-communication requests hit one edge server.
+//! Each request needs a KB model: a cache hit proceeds straight to the
+//! (FIFO, single-server) codec service queue; a miss first fetches the
+//! model from the cloud over the edge–cloud link, then queues. Latency is
+//! measured arrival → completion.
+
+use crate::engine::Sim;
+use crate::metrics::LatencySummary;
+use crate::placement::MessageCost;
+use crate::topology::Topology;
+use rand::Rng;
+use semcom_cache::policy::EvictionPolicy;
+use semcom_cache::workload::{ModelSpec, Workload};
+use semcom_cache::ModelCache;
+use semcom_nn::rng::seeded_rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a workload replay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Requests to simulate.
+    pub n_requests: usize,
+    /// Mean request arrival rate (requests/second, Poisson).
+    pub arrival_rate_hz: f64,
+    /// Edge cache capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Zipf exponent of model popularity.
+    pub zipf_alpha: f64,
+    /// Number of domain-general KBs in the universe.
+    pub n_domains: usize,
+    /// Number of user-specific KBs in the universe.
+    pub n_users: usize,
+    /// Per-message codec workload.
+    pub message: MessageCost,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            n_requests: 2_000,
+            arrival_rate_hz: 20.0,
+            capacity_bytes: 2_000_000,
+            zipf_alpha: 0.9,
+            n_domains: 4,
+            n_users: 60,
+            message: MessageCost::default(),
+        }
+    }
+}
+
+/// Results of a replay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadReport {
+    /// End-to-end request latency statistics.
+    pub latency: LatencySummary,
+    /// Cache hit ratio.
+    pub hit_rate: f64,
+    /// Total seconds spent fetching models from the cloud.
+    pub fetch_time_total: f64,
+    /// Simulated wall-clock duration.
+    pub duration: f64,
+}
+
+/// The event-driven edge workload simulator. See the module-level
+/// documentation for the model.
+#[derive(Debug)]
+pub struct EdgeWorkloadSim {
+    config: WorkloadConfig,
+    topology: Topology,
+}
+
+struct World {
+    cache: ModelCache<u64, ModelSpec>,
+    server_free_at: f64,
+    latencies: Vec<f64>,
+    fetch_time_total: f64,
+    service_time: f64,
+    fetch_time_for: Box<dyn Fn(usize) -> f64>,
+}
+
+impl EdgeWorkloadSim {
+    /// Creates a simulator over a topology.
+    pub fn new(config: WorkloadConfig, topology: Topology) -> Self {
+        EdgeWorkloadSim { config, topology }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Replays the workload under the given eviction policy.
+    pub fn run<P>(&self, policy: P, seed: u64) -> WorkloadReport
+    where
+        P: EvictionPolicy<u64> + Send + 'static,
+    {
+        let cfg = &self.config;
+        let workload = Workload::standard(cfg.n_domains, cfg.n_users, cfg.zipf_alpha);
+        let mut rng = seeded_rng(seed);
+
+        // Pre-draw arrival times (Poisson) and requested models so event
+        // closures stay simple and deterministic.
+        let mut t = 0.0;
+        let mut arrivals: Vec<(f64, ModelSpec)> = Vec::with_capacity(cfg.n_requests);
+        for _ in 0..cfg.n_requests {
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            t += -u.ln() / cfg.arrival_rate_hz;
+            arrivals.push((t, workload.sample(&mut rng)));
+        }
+
+        let edge_cloud = self.topology.edge_cloud;
+        let service_time = self.topology.edge.compute_time(cfg.message.encode_ops)
+            + self.topology.edge.compute_time(cfg.message.decode_ops);
+
+        let mut world = World {
+            cache: ModelCache::new(cfg.capacity_bytes, Box::new(policy)),
+            server_free_at: 0.0,
+            latencies: Vec::with_capacity(cfg.n_requests),
+            fetch_time_total: 0.0,
+            service_time,
+            fetch_time_for: Box::new(move |bytes| edge_cloud.transfer_time(bytes)),
+        };
+
+        let mut sim: Sim<World> = Sim::new();
+        for (arrive_at, spec) in arrivals {
+            sim.schedule_at(
+                arrive_at,
+                Box::new(move |sim, w: &mut World| {
+                    let now = sim.now();
+                    let fetch = if w.cache.get(&spec.id).is_some() {
+                        0.0
+                    } else {
+                        let f = (w.fetch_time_for)(spec.size);
+                        w.fetch_time_total += f;
+                        w.cache.insert(spec.id, spec, spec.size, spec.cost);
+                        f
+                    };
+                    let start = (now + fetch).max(w.server_free_at);
+                    let done = start + w.service_time;
+                    w.server_free_at = done;
+                    w.latencies.push(done - now);
+                }),
+            );
+        }
+        sim.run(&mut world);
+
+        WorkloadReport {
+            latency: LatencySummary::from_samples(&world.latencies),
+            hit_rate: world.cache.stats().hit_rate(),
+            fetch_time_total: world.fetch_time_total,
+            duration: sim.now(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcom_cache::policy::{Lru, SemanticCost};
+
+    fn sim(capacity: usize) -> EdgeWorkloadSim {
+        EdgeWorkloadSim::new(
+            WorkloadConfig {
+                n_requests: 1500,
+                capacity_bytes: capacity,
+                ..WorkloadConfig::default()
+            },
+            Topology::default(),
+        )
+    }
+
+    #[test]
+    fn larger_cache_improves_hit_rate_and_latency() {
+        let small = sim(1_000_000).run(Lru::new(), 1);
+        let large = sim(8_000_000).run(Lru::new(), 1);
+        assert!(large.hit_rate > small.hit_rate, "{large:?} vs {small:?}");
+        assert!(large.latency.mean < small.latency.mean);
+    }
+
+    #[test]
+    fn zero_capacity_cache_always_misses() {
+        let r = sim(1).run(Lru::new(), 2);
+        assert_eq!(r.hit_rate, 0.0);
+        assert!(r.fetch_time_total > 0.0);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let a = sim(2_000_000).run(Lru::new(), 3);
+        let b = sim(2_000_000).run(Lru::new(), 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn latencies_are_at_least_service_time() {
+        let r = sim(4_000_000).run(SemanticCost::new(), 4);
+        let topo = Topology::default();
+        let msg = MessageCost::default();
+        let service =
+            topo.edge.compute_time(msg.encode_ops) + topo.edge.compute_time(msg.decode_ops);
+        assert!(r.latency.p50 >= service - 1e-12);
+        assert!(r.latency.count == 1500);
+    }
+
+    #[test]
+    fn duration_covers_all_arrivals() {
+        let r = sim(2_000_000).run(Lru::new(), 5);
+        // 1500 requests at 20 Hz ≈ 75 s expected.
+        assert!(r.duration > 30.0 && r.duration < 200.0, "{}", r.duration);
+    }
+}

@@ -1,0 +1,121 @@
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point link characterized by bandwidth and propagation delay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Usable bandwidth in bytes per second.
+    pub bytes_per_sec: f64,
+    /// One-way propagation latency in seconds.
+    pub latency_s: f64,
+}
+
+impl Link {
+    /// Creates a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bandwidth is not positive or latency is negative.
+    pub fn new(bytes_per_sec: f64, latency_s: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        assert!(latency_s >= 0.0, "latency must be non-negative");
+        Link {
+            bytes_per_sec,
+            latency_s,
+        }
+    }
+
+    /// One-way transfer time for a payload: propagation + serialization.
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.latency_s + bytes as f64 / self.bytes_per_sec
+    }
+}
+
+/// A compute node characterized by its sustained throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeNode {
+    /// Sustained operations per second.
+    pub ops_per_sec: f64,
+}
+
+impl ComputeNode {
+    /// Creates a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive.
+    pub fn new(ops_per_sec: f64) -> Self {
+        assert!(ops_per_sec > 0.0, "compute rate must be positive");
+        ComputeNode { ops_per_sec }
+    }
+
+    /// Time to execute a workload of `ops` operations.
+    pub fn compute_time(&self, ops: f64) -> f64 {
+        ops / self.ops_per_sec
+    }
+}
+
+/// The three-tier topology of the paper's Fig. 1: user devices attach to
+/// edge servers; edge servers peer with each other and reach the cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Wireless device ↔ edge link.
+    pub device_edge: Link,
+    /// Edge ↔ edge backhaul (sender edge `i` to receiver edge `j`).
+    pub edge_edge: Link,
+    /// Edge ↔ cloud link (model fetches).
+    pub edge_cloud: Link,
+    /// User-device compute.
+    pub device: ComputeNode,
+    /// Edge-server compute.
+    pub edge: ComputeNode,
+    /// Cloud compute.
+    pub cloud: ComputeNode,
+}
+
+impl Default for Topology {
+    /// 5G-flavored defaults: 100 Mbit/s wireless access at 5 ms, 1 Gbit/s
+    /// metro backhaul at 10 ms, 500 Mbit/s cloud uplink at 40 ms; device
+    /// 5 Gop/s, edge 100 Gop/s, cloud 1 Top/s.
+    fn default() -> Self {
+        Topology {
+            device_edge: Link::new(12.5e6, 0.005),
+            edge_edge: Link::new(125e6, 0.010),
+            edge_cloud: Link::new(62.5e6, 0.040),
+            device: ComputeNode::new(5e9),
+            edge: ComputeNode::new(100e9),
+            cloud: ComputeNode::new(1e12),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_combines_latency_and_serialization() {
+        let l = Link::new(1000.0, 0.1);
+        assert!((l.transfer_time(500) - 0.6).abs() < 1e-12);
+        assert!((l.transfer_time(0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_time_scales_linearly() {
+        let n = ComputeNode::new(100.0);
+        assert!((n.compute_time(50.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_topology_ordering_is_sane() {
+        let t = Topology::default();
+        assert!(t.device.ops_per_sec < t.edge.ops_per_sec);
+        assert!(t.edge.ops_per_sec < t.cloud.ops_per_sec);
+        assert!(t.device_edge.latency_s < t.edge_cloud.latency_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        Link::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,183 @@
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One supervision sample collected after a communication: the token the
+/// user uttered and the concept they meant (ground truth is available on
+/// the sender edge, which is why the mismatch is computed there — §II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferSample {
+    /// Uttered surface token.
+    pub token: usize,
+    /// Intended concept index.
+    pub concept: usize,
+    /// Whether the receiver (simulated locally via the decoder copy)
+    /// decoded this token correctly.
+    pub correct: bool,
+}
+
+/// The paper's per-domain data buffer `b_m` (§II-C): bounded, FIFO, with a
+/// readiness threshold that triggers user-model training (§II-D: models
+/// "start to be trained together after enough collected data at `b_m`").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainBuffer {
+    samples: VecDeque<BufferSample>,
+    capacity: usize,
+    train_threshold: usize,
+    total_seen: u64,
+    total_errors: u64,
+}
+
+impl DomainBuffer {
+    /// Creates a buffer holding at most `capacity` samples that reports
+    /// readiness at `train_threshold` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `train_threshold > capacity`.
+    pub fn new(capacity: usize, train_threshold: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        assert!(
+            train_threshold <= capacity,
+            "threshold cannot exceed capacity"
+        );
+        DomainBuffer {
+            samples: VecDeque::with_capacity(capacity),
+            capacity,
+            train_threshold,
+            total_seen: 0,
+            total_errors: 0,
+        }
+    }
+
+    /// Appends a sample, dropping the oldest if full.
+    pub fn push(&mut self, sample: BufferSample) {
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(sample);
+        self.total_seen += 1;
+        if !sample.correct {
+            self.total_errors += 1;
+        }
+    }
+
+    /// Appends many samples.
+    pub fn extend<I: IntoIterator<Item = BufferSample>>(&mut self, samples: I) {
+        for s in samples {
+            self.push(s);
+        }
+    }
+
+    /// Number of buffered samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Whether enough data has been collected to trigger training.
+    pub fn is_ready(&self) -> bool {
+        self.samples.len() >= self.train_threshold
+    }
+
+    /// The training threshold.
+    pub fn train_threshold(&self) -> usize {
+        self.train_threshold
+    }
+
+    /// Running mismatch rate over everything ever pushed.
+    pub fn lifetime_error_rate(&self) -> f64 {
+        if self.total_seen == 0 {
+            0.0
+        } else {
+            self.total_errors as f64 / self.total_seen as f64
+        }
+    }
+
+    /// The buffered `(token, concept)` pairs, oldest first — the training
+    /// set for the user-specific model.
+    pub fn training_pairs(&self) -> Vec<(usize, usize)> {
+        self.samples.iter().map(|s| (s.token, s.concept)).collect()
+    }
+
+    /// Clears the buffer (after a training round consumed it).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
+    /// Iterates over buffered samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &BufferSample> {
+        self.samples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(token: usize, correct: bool) -> BufferSample {
+        BufferSample {
+            token,
+            concept: token + 100,
+            correct,
+        }
+    }
+
+    #[test]
+    fn readiness_threshold() {
+        let mut b = DomainBuffer::new(10, 3);
+        assert!(!b.is_ready());
+        b.push(sample(1, true));
+        b.push(sample(2, false));
+        assert!(!b.is_ready());
+        b.push(sample(3, true));
+        assert!(b.is_ready());
+    }
+
+    #[test]
+    fn capacity_drops_oldest() {
+        let mut b = DomainBuffer::new(3, 1);
+        for i in 0..5 {
+            b.push(sample(i, true));
+        }
+        assert_eq!(b.len(), 3);
+        let pairs = b.training_pairs();
+        assert_eq!(pairs[0].0, 2, "oldest surviving sample");
+        assert_eq!(pairs[2].0, 4);
+    }
+
+    #[test]
+    fn lifetime_error_rate_spans_evictions() {
+        let mut b = DomainBuffer::new(2, 1);
+        b.push(sample(0, false));
+        b.push(sample(1, true));
+        b.push(sample(2, true)); // evicts the error sample
+        assert!((b.lifetime_error_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_keeps_lifetime_stats() {
+        let mut b = DomainBuffer::new(4, 2);
+        b.extend([sample(1, false), sample(2, true)]);
+        b.clear();
+        assert!(b.is_empty());
+        assert!(!b.is_ready());
+        assert!(b.lifetime_error_rate() > 0.0);
+    }
+
+    #[test]
+    fn training_pairs_preserve_supervision() {
+        let mut b = DomainBuffer::new(4, 1);
+        b.push(sample(7, false));
+        assert_eq!(b.training_pairs(), vec![(7, 107)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold cannot exceed capacity")]
+    fn threshold_above_capacity_rejected() {
+        DomainBuffer::new(2, 3);
+    }
+}

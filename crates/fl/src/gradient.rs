@@ -1,0 +1,212 @@
+use semcom_nn::params::ParamVec;
+use serde::{Deserialize, Serialize};
+
+/// A top-k sparsified parameter delta: only the `k` largest-magnitude
+/// entries are transmitted, as `(index, value)` pairs.
+///
+/// Wire size: `8 bytes × k` (4-byte index + 4-byte value) plus a 16-byte
+/// header — the standard gradient-sparsification accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseGradient {
+    shapes: Vec<(usize, usize)>,
+    total_len: usize,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl SparseGradient {
+    /// Keeps the `k` largest-magnitude entries of `dense`.
+    pub fn top_k(dense: &ParamVec, k: usize) -> Self {
+        let k = k.min(dense.len());
+        let mut order: Vec<usize> = (0..dense.len()).collect();
+        order.sort_by(|&a, &b| {
+            dense.as_slice()[b]
+                .abs()
+                .total_cmp(&dense.as_slice()[a].abs())
+        });
+        let mut picked: Vec<usize> = order.into_iter().take(k).collect();
+        picked.sort_unstable();
+        SparseGradient {
+            shapes: dense.shapes().to_vec(),
+            total_len: dense.len(),
+            indices: picked.iter().map(|&i| i as u32).collect(),
+            values: picked.iter().map(|&i| dense.as_slice()[i]).collect(),
+        }
+    }
+
+    /// Number of transmitted entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Iterates over the `(flat index, value)` entries.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, f32)> + '_ {
+        self.indices
+            .iter()
+            .zip(&self.values)
+            .map(|(&i, &v)| (i as usize, v))
+    }
+
+    /// Rebuilds a sparse gradient from wire parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if any index is out of range or the counts
+    /// disagree.
+    pub fn from_entries(
+        shapes: Vec<(usize, usize)>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Self, &'static str> {
+        let total_len: usize = shapes.iter().map(|(r, c)| r * c).sum();
+        if indices.len() != values.len() {
+            return Err("index/value count mismatch");
+        }
+        if indices.iter().any(|&i| i as usize >= total_len) {
+            return Err("index out of range");
+        }
+        Ok(SparseGradient {
+            shapes,
+            total_len,
+            indices,
+            values,
+        })
+    }
+
+    /// Reconstructs the dense delta (zeros where not transmitted).
+    pub fn to_dense(&self) -> ParamVec {
+        let mut data = vec![0.0f32; self.total_len];
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            data[i as usize] = v;
+        }
+        ParamVec::from_parts(self.shapes.clone(), data)
+            .expect("sparse gradient layout is consistent by construction")
+    }
+
+    /// Wire size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        16 + self.nnz() * 8
+    }
+}
+
+/// An int8-quantized parameter delta: each value is scaled to `[-127, 127]`
+/// by the max magnitude and sent as one byte.
+///
+/// Wire size: `1 byte × len` plus a 20-byte header (scale + layout).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantizedGradient {
+    shapes: Vec<(usize, usize)>,
+    scale_bits: u32,
+    values: Vec<i8>,
+}
+
+impl QuantizedGradient {
+    /// Quantizes a dense delta.
+    pub fn quantize(dense: &ParamVec) -> Self {
+        let max = dense
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if max > 0.0 { max / 127.0 } else { 1.0 };
+        QuantizedGradient {
+            shapes: dense.shapes().to_vec(),
+            scale_bits: scale.to_bits(),
+            values: dense
+                .as_slice()
+                .iter()
+                .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+                .collect(),
+        }
+    }
+
+    /// The quantization step size.
+    pub fn scale(&self) -> f32 {
+        f32::from_bits(self.scale_bits)
+    }
+
+    /// The raw quantized values.
+    pub fn values(&self) -> &[i8] {
+        &self.values
+    }
+
+    /// Rebuilds a quantized gradient from wire parts.
+    pub fn from_parts(shapes: Vec<(usize, usize)>, scale: f32, values: Vec<i8>) -> Self {
+        QuantizedGradient {
+            shapes,
+            scale_bits: scale.to_bits(),
+            values,
+        }
+    }
+
+    /// Reconstructs the (lossy) dense delta.
+    pub fn to_dense(&self) -> ParamVec {
+        let scale = self.scale();
+        let data = self.values.iter().map(|&q| q as f32 * scale).collect();
+        ParamVec::from_parts(self.shapes.clone(), data)
+            .expect("quantized gradient layout is consistent by construction")
+    }
+
+    /// Wire size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        20 + self.values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(values: &[f32]) -> ParamVec {
+        ParamVec::from_parts(vec![(1, values.len())], values.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn top_k_keeps_largest_magnitudes() {
+        let d = dense(&[0.1, -5.0, 0.3, 4.0, -0.2]);
+        let s = SparseGradient::top_k(&d, 2);
+        assert_eq!(s.nnz(), 2);
+        let back = s.to_dense();
+        assert_eq!(back.as_slice(), &[0.0, -5.0, 0.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn top_k_with_k_over_len_is_lossless() {
+        let d = dense(&[1.0, 2.0, 3.0]);
+        let s = SparseGradient::top_k(&d, 100);
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn sparse_wire_bytes_scale_with_k() {
+        let d = dense(&[1.0; 1000]);
+        assert_eq!(SparseGradient::top_k(&d, 10).wire_bytes(), 16 + 80);
+        assert!(
+            SparseGradient::top_k(&d, 10).wire_bytes() < d.wire_bytes(),
+            "sparsification must shrink the payload"
+        );
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_half_step() {
+        let d = dense(&[0.5, -1.0, 0.25, 0.999, -0.123]);
+        let q = QuantizedGradient::quantize(&d);
+        let back = q.to_dense();
+        let step = q.scale();
+        for (a, b) in d.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= step / 2.0 + 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantized_zero_vector_roundtrips() {
+        let d = dense(&[0.0; 8]);
+        let q = QuantizedGradient::quantize(&d);
+        assert_eq!(q.to_dense(), d);
+    }
+
+    #[test]
+    fn quantized_wire_bytes_are_one_per_param() {
+        let d = dense(&[1.0; 100]);
+        assert_eq!(QuantizedGradient::quantize(&d).wire_bytes(), 120);
+    }
+}

@@ -1,0 +1,313 @@
+use crate::gradient::{QuantizedGradient, SparseGradient};
+use semcom_nn::params::{Param, ParamVec};
+use semcom_nn::NnError;
+use serde::{Deserialize, Serialize};
+
+/// How decoder updates are shipped from the sender edge to the receiver
+/// edge (§II-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncProtocol {
+    /// Ship the whole decoder every round (the naive baseline).
+    FullModel,
+    /// Ship the dense weight delta since the last sync (a dense
+    /// "accumulated gradient").
+    DenseDelta,
+    /// Ship the top-k entries of the delta, with error feedback: entries
+    /// not sent accumulate in a sender-side residual and are retried next
+    /// round.
+    TopK(usize),
+    /// Ship the delta quantized to int8.
+    QuantizedInt8,
+}
+
+impl SyncProtocol {
+    /// Short name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            SyncProtocol::FullModel => "full_model".to_owned(),
+            SyncProtocol::DenseDelta => "dense_delta".to_owned(),
+            SyncProtocol::TopK(k) => format!("top{k}"),
+            SyncProtocol::QuantizedInt8 => "int8".to_owned(),
+        }
+    }
+}
+
+/// A sync message on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SyncUpdate {
+    /// Complete parameter values.
+    Full(ParamVec),
+    /// Dense additive delta.
+    Delta(ParamVec),
+    /// Sparse additive delta.
+    Sparse(SparseGradient),
+    /// Quantized additive delta.
+    Quantized(QuantizedGradient),
+}
+
+impl SyncUpdate {
+    /// Wire size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            SyncUpdate::Full(p) | SyncUpdate::Delta(p) => p.wire_bytes() + 16,
+            SyncUpdate::Sparse(s) => s.wire_bytes(),
+            SyncUpdate::Quantized(q) => q.wire_bytes(),
+        }
+    }
+
+    /// Applies the update to the receiver's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ParamLayoutMismatch`] if the receiver's layout
+    /// differs from the sender's.
+    pub fn apply(&self, params: &mut [&mut Param]) -> Result<(), NnError> {
+        match self {
+            SyncUpdate::Full(p) => p.assign_to(params),
+            SyncUpdate::Delta(p) => p.add_scaled_to(params, 1.0),
+            SyncUpdate::Sparse(s) => s.to_dense().add_scaled_to(params, 1.0),
+            SyncUpdate::Quantized(q) => q.to_dense().add_scaled_to(params, 1.0),
+        }
+    }
+}
+
+/// Sender-side synchronization session: turns local training progress into
+/// [`SyncUpdate`] messages and accounts for the bytes spent.
+#[derive(Debug, Clone)]
+pub struct DecoderSync {
+    protocol: SyncProtocol,
+    /// Error-feedback residual for [`SyncProtocol::TopK`].
+    residual: Option<ParamVec>,
+    bytes_sent: u64,
+    rounds: u32,
+}
+
+impl DecoderSync {
+    /// Creates a session using `protocol`.
+    pub fn new(protocol: SyncProtocol) -> Self {
+        DecoderSync {
+            protocol,
+            residual: None,
+            bytes_sent: 0,
+            rounds: 0,
+        }
+    }
+
+    /// The protocol in use.
+    pub fn protocol(&self) -> SyncProtocol {
+        self.protocol
+    }
+
+    /// Total bytes shipped so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Rounds completed.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Builds the update for one round from the decoder parameters as they
+    /// were at the last sync (`before`) and as they are now (`after`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `before` and `after` have different layouts.
+    pub fn make_update(&mut self, before: &ParamVec, after: &ParamVec) -> SyncUpdate {
+        assert_eq!(
+            before.shapes(),
+            after.shapes(),
+            "before/after layouts must match"
+        );
+        let mut delta_data: Vec<f32> = after
+            .as_slice()
+            .iter()
+            .zip(before.as_slice())
+            .map(|(a, b)| a - b)
+            .collect();
+
+        let update = match self.protocol {
+            SyncProtocol::FullModel => SyncUpdate::Full(after.clone()),
+            SyncProtocol::DenseDelta => SyncUpdate::Delta(
+                ParamVec::from_parts(before.shapes().to_vec(), delta_data)
+                    .expect("delta layout matches"),
+            ),
+            SyncProtocol::TopK(k) => {
+                // Error feedback: add the residual from previous rounds.
+                if let Some(res) = &self.residual {
+                    for (d, r) in delta_data.iter_mut().zip(res.as_slice()) {
+                        *d += r;
+                    }
+                }
+                let dense = ParamVec::from_parts(before.shapes().to_vec(), delta_data)
+                    .expect("delta layout matches");
+                let sparse = SparseGradient::top_k(&dense, k);
+                let sent = sparse.to_dense();
+                let mut residual = dense;
+                for (r, s) in residual
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(sent.as_slice())
+                {
+                    *r -= s;
+                }
+                self.residual = Some(residual);
+                SyncUpdate::Sparse(sparse)
+            }
+            SyncProtocol::QuantizedInt8 => {
+                let dense = ParamVec::from_parts(before.shapes().to_vec(), delta_data)
+                    .expect("delta layout matches");
+                SyncUpdate::Quantized(QuantizedGradient::quantize(&dense))
+            }
+        };
+        self.bytes_sent += update.wire_bytes() as u64;
+        self.rounds += 1;
+        update
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcom_nn::layers::{DenseLayer, Linear};
+
+    fn params_of(l: &mut Linear) -> ParamVec {
+        ParamVec::values_of(&l.params_mut())
+    }
+
+    fn perturb(l: &mut Linear, amount: f32) {
+        for p in l.params_mut() {
+            for v in p.value.as_mut_slice() {
+                *v += amount;
+            }
+        }
+    }
+
+    #[test]
+    fn full_model_sync_makes_receiver_identical() {
+        let mut sender = Linear::new(3, 2, 1);
+        let mut receiver = Linear::new(3, 2, 2);
+        let before = params_of(&mut sender);
+        perturb(&mut sender, 0.5);
+        let after = params_of(&mut sender);
+
+        let mut sync = DecoderSync::new(SyncProtocol::FullModel);
+        let u = sync.make_update(&before, &after);
+        u.apply(&mut receiver.params_mut()).unwrap();
+        assert_eq!(params_of(&mut receiver), after);
+        assert_eq!(sync.rounds(), 1);
+    }
+
+    #[test]
+    fn dense_delta_sync_tracks_in_sync_receiver() {
+        let mut sender = Linear::new(3, 2, 1);
+        let mut receiver = Linear::new(3, 2, 1); // same seed: in sync
+        let before = params_of(&mut sender);
+        perturb(&mut sender, -0.25);
+        let after = params_of(&mut sender);
+
+        let mut sync = DecoderSync::new(SyncProtocol::DenseDelta);
+        let u = sync.make_update(&before, &after);
+        u.apply(&mut receiver.params_mut()).unwrap();
+        let got = params_of(&mut receiver);
+        for (a, b) in got.as_slice().iter().zip(after.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn top_k_error_feedback_catches_up_over_rounds() {
+        let mut sender = Linear::new(4, 4, 1);
+        let mut receiver = Linear::new(4, 4, 1);
+        let target_shift = 1.0f32;
+        let before = params_of(&mut sender);
+        perturb(&mut sender, target_shift);
+        let after = params_of(&mut sender);
+
+        // k = 25% of parameters per round; residual feedback should close
+        // the gap within a handful of rounds even though each round sends
+        // only a fraction.
+        let k = after.len() / 4;
+        let mut sync = DecoderSync::new(SyncProtocol::TopK(k));
+        let mut prev = before.clone();
+        for _ in 0..8 {
+            let u = sync.make_update(&prev, &after);
+            u.apply(&mut receiver.params_mut()).unwrap();
+            // Sender keeps its weights; subsequent rounds see no new local
+            // progress, only residual drain.
+            prev = after.clone();
+        }
+        let got = params_of(&mut receiver);
+        let max_err = got
+            .as_slice()
+            .iter()
+            .zip(after.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 1e-4, "max err {max_err}");
+    }
+
+    #[test]
+    fn quantized_sync_is_close_but_cheap() {
+        let mut sender = Linear::new(8, 8, 1);
+        let mut receiver = Linear::new(8, 8, 1);
+        let before = params_of(&mut sender);
+        perturb(&mut sender, 0.3);
+        let after = params_of(&mut sender);
+
+        let mut sync = DecoderSync::new(SyncProtocol::QuantizedInt8);
+        let u = sync.make_update(&before, &after);
+        let full_bytes = after.wire_bytes();
+        assert!(u.wire_bytes() < full_bytes / 3, "{}", u.wire_bytes());
+        u.apply(&mut receiver.params_mut()).unwrap();
+        let got = params_of(&mut receiver);
+        for (a, b) in got.as_slice().iter().zip(after.as_slice()) {
+            assert!((a - b).abs() < 0.01, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn wire_bytes_ordering_matches_protocol_cost() {
+        let mut sender = Linear::new(16, 16, 1);
+        let before = params_of(&mut sender);
+        perturb(&mut sender, 0.1);
+        let after = params_of(&mut sender);
+        let bytes = |proto: SyncProtocol| {
+            DecoderSync::new(proto)
+                .make_update(&before, &after)
+                .wire_bytes()
+        };
+        let full = bytes(SyncProtocol::FullModel);
+        let dense = bytes(SyncProtocol::DenseDelta);
+        let quant = bytes(SyncProtocol::QuantizedInt8);
+        let sparse = bytes(SyncProtocol::TopK(10));
+        assert_eq!(full, dense);
+        assert!(quant < dense);
+        assert!(sparse < quant);
+    }
+
+    #[test]
+    fn layout_mismatch_is_an_error() {
+        let mut sender = Linear::new(3, 2, 1);
+        let mut receiver = Linear::new(2, 3, 1);
+        let before = params_of(&mut sender);
+        let after = params_of(&mut sender);
+        let u = DecoderSync::new(SyncProtocol::FullModel).make_update(&before, &after);
+        assert!(u.apply(&mut receiver.params_mut()).is_err());
+    }
+
+    #[test]
+    fn bytes_sent_accumulates() {
+        let mut sender = Linear::new(3, 3, 1);
+        let before = params_of(&mut sender);
+        let mut sync = DecoderSync::new(SyncProtocol::DenseDelta);
+        let u1 = sync.make_update(&before, &before);
+        let u2 = sync.make_update(&before, &before);
+        assert_eq!(
+            sync.bytes_sent(),
+            (u1.wire_bytes() + u2.wire_bytes()) as u64
+        );
+        assert_eq!(sync.rounds(), 2);
+    }
+}

@@ -1,0 +1,286 @@
+//! Binary wire format for [`SyncUpdate`] messages.
+//!
+//! `wire_bytes()` accounts for transfer cost; this module makes the cost
+//! *real*: updates serialize to a compact little-endian byte format that
+//! can be pushed through the `semcom-channel` bit pipelines — which is what
+//! the lossy-synchronization experiment (T6) does to study the §III-C
+//! reliability question.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! u8  tag            1=Full 2=Delta 3=Sparse 4=Quantized
+//! u32 n_shapes       then n_shapes × (u32 rows, u32 cols)
+//! …payload (variant-specific)…
+//! ```
+
+use crate::gradient::{QuantizedGradient, SparseGradient};
+use crate::sync::SyncUpdate;
+use semcom_nn::params::ParamVec;
+use std::error::Error;
+use std::fmt;
+
+/// Errors decoding a wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The buffer ended before the declared payload.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// Declared layout is internally inconsistent.
+    BadLayout,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::BadLayout => write!(f, "inconsistent parameter layout"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("exactly 4 bytes")))
+    }
+
+    fn f32(&mut self) -> Result<f32, WireError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes(b.try_into().expect("exactly 4 bytes")))
+    }
+}
+
+fn write_shapes(out: &mut Vec<u8>, shapes: &[(usize, usize)]) {
+    out.extend_from_slice(&(shapes.len() as u32).to_le_bytes());
+    for &(r, c) in shapes {
+        out.extend_from_slice(&(r as u32).to_le_bytes());
+        out.extend_from_slice(&(c as u32).to_le_bytes());
+    }
+}
+
+fn read_shapes(r: &mut Reader<'_>) -> Result<Vec<(usize, usize)>, WireError> {
+    let n = r.u32()? as usize;
+    // Guard against absurd declared sizes on corrupted input.
+    if n > 1_000_000 {
+        return Err(WireError::BadLayout);
+    }
+    let mut shapes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let rows = r.u32()? as usize;
+        let cols = r.u32()? as usize;
+        if rows.saturating_mul(cols) > 100_000_000 {
+            return Err(WireError::BadLayout);
+        }
+        shapes.push((rows, cols));
+    }
+    Ok(shapes)
+}
+
+fn write_paramvec(out: &mut Vec<u8>, pv: &ParamVec) {
+    write_shapes(out, pv.shapes());
+    for &v in pv.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn read_paramvec(r: &mut Reader<'_>) -> Result<ParamVec, WireError> {
+    let shapes = read_shapes(r)?;
+    let total: usize = shapes.iter().map(|(a, b)| a * b).sum();
+    let mut data = Vec::with_capacity(total);
+    for _ in 0..total {
+        data.push(r.f32()?);
+    }
+    ParamVec::from_parts(shapes, data).map_err(|_| WireError::BadLayout)
+}
+
+impl SyncUpdate {
+    /// Serializes the update to its wire form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_bytes());
+        match self {
+            SyncUpdate::Full(pv) => {
+                out.push(1);
+                write_paramvec(&mut out, pv);
+            }
+            SyncUpdate::Delta(pv) => {
+                out.push(2);
+                write_paramvec(&mut out, pv);
+            }
+            SyncUpdate::Sparse(s) => {
+                out.push(3);
+                write_shapes(&mut out, s.to_dense().shapes());
+                out.extend_from_slice(&(s.nnz() as u32).to_le_bytes());
+                for (i, v) in s.entries() {
+                    out.extend_from_slice(&(i as u32).to_le_bytes());
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            SyncUpdate::Quantized(q) => {
+                out.push(4);
+                write_shapes(&mut out, q.to_dense().shapes());
+                out.extend_from_slice(&q.scale().to_le_bytes());
+                for &v in q.values() {
+                    out.push(v as u8);
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes an update from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation, unknown tags, or inconsistent
+    /// layout declarations (all of which corrupted transmission produces).
+    pub fn from_bytes(buf: &[u8]) -> Result<SyncUpdate, WireError> {
+        let mut r = Reader::new(buf);
+        match r.u8()? {
+            1 => Ok(SyncUpdate::Full(read_paramvec(&mut r)?)),
+            2 => Ok(SyncUpdate::Delta(read_paramvec(&mut r)?)),
+            3 => {
+                let shapes = read_shapes(&mut r)?;
+                let total: usize = shapes.iter().map(|(a, b)| a * b).sum();
+                let nnz = r.u32()? as usize;
+                if nnz > total {
+                    return Err(WireError::BadLayout);
+                }
+                let mut indices = Vec::with_capacity(nnz);
+                let mut values = Vec::with_capacity(nnz);
+                for _ in 0..nnz {
+                    indices.push(r.u32()?);
+                    values.push(r.f32()?);
+                }
+                let sparse = SparseGradient::from_entries(shapes, indices, values)
+                    .map_err(|_| WireError::BadLayout)?;
+                Ok(SyncUpdate::Sparse(sparse))
+            }
+            4 => {
+                let shapes = read_shapes(&mut r)?;
+                let total: usize = shapes.iter().map(|(a, b)| a * b).sum();
+                let scale = r.f32()?;
+                if !scale.is_finite() {
+                    return Err(WireError::BadLayout);
+                }
+                let mut values = Vec::with_capacity(total);
+                for _ in 0..total {
+                    values.push(r.u8()? as i8);
+                }
+                Ok(SyncUpdate::Quantized(QuantizedGradient::from_parts(
+                    shapes, scale, values,
+                )))
+            }
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pv(values: &[f32]) -> ParamVec {
+        ParamVec::from_parts(vec![(1, values.len())], values.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn full_and_delta_roundtrip() {
+        for update in [
+            SyncUpdate::Full(pv(&[1.0, -2.5, 3.25])),
+            SyncUpdate::Delta(pv(&[0.0, 7.125])),
+        ] {
+            let bytes = update.to_bytes();
+            let back = SyncUpdate::from_bytes(&bytes).unwrap();
+            assert_eq!(back, update);
+        }
+    }
+
+    #[test]
+    fn sparse_roundtrip_preserves_dense_effect() {
+        let dense = pv(&[0.1, -9.0, 0.2, 8.0, 0.0]);
+        let sparse = SparseGradient::top_k(&dense, 2);
+        let update = SyncUpdate::Sparse(sparse.clone());
+        let back = SyncUpdate::from_bytes(&update.to_bytes()).unwrap();
+        match back {
+            SyncUpdate::Sparse(s) => assert_eq!(s.to_dense(), sparse.to_dense()),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantized_roundtrip_preserves_dense_effect() {
+        let dense = pv(&[0.5, -1.0, 0.25]);
+        let q = QuantizedGradient::quantize(&dense);
+        let update = SyncUpdate::Quantized(q.clone());
+        let back = SyncUpdate::from_bytes(&update.to_bytes()).unwrap();
+        match back {
+            SyncUpdate::Quantized(b) => {
+                for (x, y) in b.to_dense().as_slice().iter().zip(q.to_dense().as_slice()) {
+                    assert!((x - y).abs() < 1e-6);
+                }
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let update = SyncUpdate::Full(pv(&[1.0, 2.0]));
+        let bytes = update.to_bytes();
+        for cut in [0, 1, 5, bytes.len() - 1] {
+            assert!(SyncUpdate::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_tag_is_an_error() {
+        assert_eq!(
+            SyncUpdate::from_bytes(&[9, 0, 0, 0, 0]),
+            Err(WireError::BadTag(9))
+        );
+    }
+
+    #[test]
+    fn absurd_layout_is_rejected_not_allocated() {
+        // tag Full + n_shapes = u32::MAX.
+        let mut buf = vec![1u8];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(SyncUpdate::from_bytes(&buf), Err(WireError::BadLayout));
+    }
+
+    #[test]
+    fn wire_size_tracks_wire_bytes_accounting() {
+        let update = SyncUpdate::Delta(pv(&[0.0; 100]));
+        // Accounting allows a small fixed header; actual serialization must
+        // be within it.
+        assert!(update.to_bytes().len() <= update.wire_bytes() + 16);
+    }
+}

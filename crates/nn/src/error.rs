@@ -1,0 +1,67 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor construction and parameter I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// The element count does not match the requested `rows * cols` shape.
+    ShapeMismatch {
+        /// Rows requested.
+        rows: usize,
+        /// Columns requested.
+        cols: usize,
+        /// Number of elements actually supplied.
+        len: usize,
+    },
+    /// A flattened parameter vector does not match the layout of the target
+    /// parameter set.
+    ParamLayoutMismatch {
+        /// Number of scalars expected by the target.
+        expected: usize,
+        /// Number of scalars supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { rows, cols, len } => write!(
+                f,
+                "shape mismatch: {rows}x{cols} tensor requires {} elements, got {len}",
+                rows * cols
+            ),
+            NnError::ParamLayoutMismatch { expected, got } => write!(
+                f,
+                "parameter layout mismatch: expected {expected} scalars, got {got}"
+            ),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = NnError::ShapeMismatch {
+            rows: 2,
+            cols: 3,
+            len: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("2x3"));
+        assert!(s.contains('6'));
+        assert!(s.contains('5'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,157 @@
+use super::DenseLayer;
+use crate::params::Param;
+use crate::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Element-wise activation layers.
+///
+/// All variants are parameter-free; the enum form lets activations live in a
+/// [`super::Sequential`] stack next to parameterized layers.
+///
+/// # Example
+///
+/// ```
+/// use semcom_nn::{Tensor, layers::{Activation, DenseLayer}};
+/// let mut relu = Activation::relu();
+/// let x = Tensor::from_vec(1, 3, vec![-1.0, 0.0, 2.0])?;
+/// assert_eq!(relu.forward(&x).as_slice(), &[0.0, 0.0, 2.0]);
+/// # Ok::<(), semcom_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Activation {
+    kind: ActivationKind,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+/// Which pointwise nonlinearity an [`Activation`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ActivationKind {
+    /// `max(0, x)`.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Creates a ReLU activation.
+    pub fn relu() -> Self {
+        Self::from_kind(ActivationKind::Relu)
+    }
+
+    /// Creates a tanh activation.
+    pub fn tanh() -> Self {
+        Self::from_kind(ActivationKind::Tanh)
+    }
+
+    /// Creates a sigmoid activation.
+    pub fn sigmoid() -> Self {
+        Self::from_kind(ActivationKind::Sigmoid)
+    }
+
+    /// Creates an activation of the given kind.
+    pub fn from_kind(kind: ActivationKind) -> Self {
+        Activation {
+            kind,
+            cached_input: None,
+        }
+    }
+
+    /// The nonlinearity this layer applies.
+    pub fn kind(&self) -> ActivationKind {
+        self.kind
+    }
+
+    /// Applies the activation without caching (inference path).
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        match self.kind {
+            ActivationKind::Relu => x.map(|v| v.max(0.0)),
+            ActivationKind::Tanh => x.map(f32::tanh),
+            ActivationKind::Sigmoid => x.map(sigmoid),
+        }
+    }
+}
+
+fn sigmoid(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+impl DenseLayer for Activation {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cached_input = Some(x.clone());
+        self.infer(x)
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let dact = match self.kind {
+            ActivationKind::Relu => x.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
+            ActivationKind::Tanh => x.map(|v| {
+                let t = v.tanh();
+                1.0 - t * t
+            }),
+            ActivationKind::Sigmoid => x.map(|v| {
+                let s = sigmoid(v);
+                s * (1.0 - s)
+            }),
+        };
+        dout.hadamard(&dact)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    fn input() -> Tensor {
+        Tensor::from_vec(2, 3, vec![-1.2, -0.1, 0.0, 0.4, 1.5, 2.2]).unwrap()
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut a = Activation::relu();
+        let y = a.forward(&input());
+        assert!(y.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn sigmoid_range_is_unit_interval() {
+        let mut a = Activation::sigmoid();
+        let y = a.forward(&input());
+        assert!(y.as_slice().iter().all(|&v| v > 0.0 && v < 1.0));
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let a = Activation::tanh();
+        let x = Tensor::from_vec(1, 2, vec![0.7, -0.7]).unwrap();
+        let y = a.infer(&x);
+        assert!((y.get(0, 0) + y.get(0, 1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        // Avoid x = 0.0 exactly for ReLU (kink) by shifting the input.
+        let x = input().map(|v| v + 0.05);
+        for mut a in [Activation::relu(), Activation::tanh(), Activation::sigmoid()] {
+            gradcheck::check_input_gradient(&mut a, &x, 1e-2);
+        }
+    }
+
+    #[test]
+    fn has_no_parameters() {
+        let mut a = Activation::relu();
+        assert_eq!(a.param_count(), 0);
+    }
+}

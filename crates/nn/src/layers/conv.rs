@@ -1,0 +1,396 @@
+use super::DenseLayer;
+use crate::init::he_normal;
+use crate::params::Param;
+use crate::rng::derive_seed;
+use crate::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A 2-D convolution over images stored as flattened rows.
+///
+/// Input rows are `[in_ch * height * width]` (channel-major); output rows
+/// are `[out_ch * out_h * out_w]` with `out_h = height - k + 1` (valid
+/// padding, stride 1). Needed for the multimodal (image) knowledge bases
+/// the paper's §III-B calls for ("CNNs … for image").
+///
+/// Sizes in this workspace are small (≤ 16×16, ≤ 8 channels), so the
+/// direct convolution loop is clearer and fast enough; no im2col.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// `[out_ch, in_ch * k * k]`.
+    weight: Param,
+    /// `[1, out_ch]`.
+    bias: Param,
+    in_ch: usize,
+    height: usize,
+    width: usize,
+    k: usize,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the image.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        height: usize,
+        width: usize,
+        k: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(k >= 1 && k <= height && k <= width, "kernel must fit image");
+        Conv2d {
+            weight: Param::new(he_normal(out_ch, in_ch * k * k, derive_seed(seed, 0))),
+            bias: Param::new(Tensor::zeros(1, out_ch)),
+            in_ch,
+            height,
+            width,
+            k,
+            cached_input: None,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_ch(&self) -> usize {
+        self.weight.value.rows()
+    }
+
+    /// Output spatial height.
+    pub fn out_h(&self) -> usize {
+        self.height - self.k + 1
+    }
+
+    /// Output spatial width.
+    pub fn out_w(&self) -> usize {
+        self.width - self.k + 1
+    }
+
+    /// Flattened input row length this layer expects.
+    pub fn in_len(&self) -> usize {
+        self.in_ch * self.height * self.width
+    }
+
+    /// Flattened output row length.
+    pub fn out_len(&self) -> usize {
+        self.out_ch() * self.out_h() * self.out_w()
+    }
+
+    /// Forward pass without caching (inference path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` rows are not `in_ch * height * width` long.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.cols(), self.in_len(), "conv input width mismatch");
+        let (oc, oh, ow, k) = (self.out_ch(), self.out_h(), self.out_w(), self.k);
+        let mut out = Tensor::zeros(x.rows(), self.out_len());
+        for b in 0..x.rows() {
+            let img = x.row(b);
+            let dst = out.row_mut(b);
+            for o in 0..oc {
+                let wrow = self.weight.value.row(o);
+                let bias = self.bias.value.get(0, o);
+                for y in 0..oh {
+                    for xx in 0..ow {
+                        let mut acc = bias;
+                        for ic in 0..self.in_ch {
+                            let ch_off = ic * self.height * self.width;
+                            let w_off = ic * k * k;
+                            for ky in 0..k {
+                                let row_off = ch_off + (y + ky) * self.width + xx;
+                                let wk = &wrow[w_off + ky * k..w_off + ky * k + k];
+                                let ik = &img[row_off..row_off + k];
+                                for (wv, iv) in wk.iter().zip(ik) {
+                                    acc += wv * iv;
+                                }
+                            }
+                        }
+                        dst[o * oh * ow + y * ow + xx] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl DenseLayer for Conv2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let y = self.infer(x);
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        assert_eq!(dout.cols(), self.out_len(), "conv dout width mismatch");
+        assert_eq!(dout.rows(), x.rows(), "conv dout batch mismatch");
+        let (oc, oh, ow, k) = (self.out_ch(), self.out_h(), self.out_w(), self.k);
+        let mut dx = Tensor::zeros(x.rows(), x.cols());
+
+        for b in 0..x.rows() {
+            let img = x.row(b);
+            let dimg = dx.row_mut(b);
+            let dos = dout.row(b);
+            for o in 0..oc {
+                let wrow = self.weight.value.row(o);
+                for y in 0..oh {
+                    for xx in 0..ow {
+                        let g = dos[o * oh * ow + y * ow + xx];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        // Bias gradient.
+                        let bg = self.bias.grad.get(0, o);
+                        self.bias.grad.set(0, o, bg + g);
+                        for ic in 0..self.in_ch {
+                            let ch_off = ic * self.height * self.width;
+                            let w_off = ic * k * k;
+                            for ky in 0..k {
+                                let row_off = ch_off + (y + ky) * self.width + xx;
+                                for kx in 0..k {
+                                    // Weight gradient.
+                                    let wi = w_off + ky * k + kx;
+                                    let wg = self.weight.grad.get(o, wi);
+                                    self.weight.grad.set(o, wi, wg + g * img[row_off + kx]);
+                                    // Input gradient.
+                                    dimg[row_off + kx] += g * wrow[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+/// 2×2 max pooling (stride 2) over flattened channel-major images.
+///
+/// Odd trailing rows/columns are dropped (floor semantics).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaxPool2 {
+    channels: usize,
+    height: usize,
+    width: usize,
+    #[serde(skip)]
+    cached_argmax: Option<Vec<usize>>,
+    #[serde(skip)]
+    cached_batch: usize,
+}
+
+impl MaxPool2 {
+    /// Creates a pooling layer for `channels` maps of `height × width`.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        MaxPool2 {
+            channels,
+            height,
+            width,
+            cached_argmax: None,
+            cached_batch: 0,
+        }
+    }
+
+    /// Pooled height.
+    pub fn out_h(&self) -> usize {
+        self.height / 2
+    }
+
+    /// Pooled width.
+    pub fn out_w(&self) -> usize {
+        self.width / 2
+    }
+
+    /// Flattened output row length.
+    pub fn out_len(&self) -> usize {
+        self.channels * self.out_h() * self.out_w()
+    }
+
+    /// Flattened input row length this layer expects.
+    pub fn in_len(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    fn pool(&self, x: &Tensor) -> (Tensor, Vec<usize>) {
+        assert_eq!(x.cols(), self.in_len(), "pool input width mismatch");
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let mut out = Tensor::zeros(x.rows(), self.out_len());
+        let mut argmax = vec![0usize; x.rows() * self.out_len()];
+        for b in 0..x.rows() {
+            let img = x.row(b);
+            for c in 0..self.channels {
+                let ch_off = c * self.height * self.width;
+                for y in 0..oh {
+                    for xx in 0..ow {
+                        let mut best_idx = ch_off + (2 * y) * self.width + 2 * xx;
+                        let mut best = img[best_idx];
+                        for (dy, dx) in [(0, 1), (1, 0), (1, 1)] {
+                            let idx = ch_off + (2 * y + dy) * self.width + 2 * xx + dx;
+                            if img[idx] > best {
+                                best = img[idx];
+                                best_idx = idx;
+                            }
+                        }
+                        let o = c * oh * ow + y * ow + xx;
+                        out.set(b, o, best);
+                        argmax[b * self.out_len() + o] = best_idx;
+                    }
+                }
+            }
+        }
+        (out, argmax)
+    }
+
+    /// Pooling without caching (inference path).
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        self.pool(x).0
+    }
+}
+
+impl DenseLayer for MaxPool2 {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (out, argmax) = self.pool(x);
+        self.cached_argmax = Some(argmax);
+        self.cached_batch = x.rows();
+        out
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let argmax = self
+            .cached_argmax
+            .as_ref()
+            .expect("backward called before forward");
+        assert_eq!(dout.rows(), self.cached_batch, "pool dout batch mismatch");
+        assert_eq!(dout.cols(), self.out_len(), "pool dout width mismatch");
+        let mut dx = Tensor::zeros(self.cached_batch, self.in_len());
+        for b in 0..dout.rows() {
+            for o in 0..self.out_len() {
+                let src = argmax[b * self.out_len() + o];
+                let cur = dx.get(b, src);
+                dx.set(b, src, cur + dout.get(b, o));
+            }
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    #[test]
+    fn conv_output_shape() {
+        let mut c = Conv2d::new(2, 3, 6, 5, 3, 1);
+        assert_eq!(c.out_h(), 4);
+        assert_eq!(c.out_w(), 3);
+        let x = Tensor::zeros(2, 2 * 6 * 5);
+        let y = c.forward(&x);
+        assert_eq!(y.shape(), (2, 3 * 4 * 3));
+    }
+
+    #[test]
+    fn conv_matches_hand_computed_1x1() {
+        // 1 channel, 2x2 image, k=2: output is a single weighted sum.
+        let mut c = Conv2d::new(1, 1, 2, 2, 2, 1);
+        for (i, v) in [1.0f32, 2.0, 3.0, 4.0].iter().enumerate() {
+            c.weight.value.as_mut_slice()[i] = *v;
+        }
+        c.bias.value.set(0, 0, 0.5);
+        let x = Tensor::from_vec(1, 4, vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+        let y = c.forward(&x);
+        assert_eq!(y.get(0, 0), 0.5 + 10.0 + 40.0 + 90.0 + 160.0);
+    }
+
+    #[test]
+    fn conv_input_gradient_matches_finite_differences() {
+        let mut c = Conv2d::new(2, 2, 4, 4, 3, 7);
+        let x = Tensor::from_vec(
+            2,
+            2 * 16,
+            (0..64).map(|i| ((i * 13) % 7) as f32 * 0.1 - 0.3).collect(),
+        )
+        .unwrap();
+        gradcheck::check_input_gradient(&mut c, &x, 2e-2);
+    }
+
+    #[test]
+    fn conv_param_gradient_matches_finite_differences() {
+        let mut c = Conv2d::new(1, 2, 4, 4, 2, 9);
+        let x = Tensor::from_vec(
+            2,
+            16,
+            (0..32).map(|i| ((i * 5) % 11) as f32 * 0.1 - 0.5).collect(),
+        )
+        .unwrap();
+        gradcheck::check_param_gradient(&mut c, &x, 2e-2);
+    }
+
+    #[test]
+    fn pool_takes_block_maxima() {
+        let mut p = MaxPool2::new(1, 4, 4);
+        let x = Tensor::from_vec(
+            1,
+            16,
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 1.0, 2.0, 3.0, //
+                4.0, 5.0, 6.0, 7.0,
+            ],
+        )
+        .unwrap();
+        let y = p.forward(&x);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 9.0, 7.0]);
+    }
+
+    #[test]
+    fn pool_backward_routes_gradient_to_maxima() {
+        let mut p = MaxPool2::new(1, 2, 2);
+        let x = Tensor::from_vec(1, 4, vec![1.0, 9.0, 2.0, 3.0]).unwrap();
+        p.forward(&x);
+        let dx = p.backward(&Tensor::filled(1, 1, 2.5));
+        assert_eq!(dx.as_slice(), &[0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pool_input_gradient_matches_finite_differences() {
+        let mut p = MaxPool2::new(2, 4, 4);
+        // Distinct values avoid argmax ties that break finite differences.
+        let x = Tensor::from_vec(
+            1,
+            32,
+            (0..32).map(|i| (i as f32) * 0.37 % 5.0).collect(),
+        )
+        .unwrap();
+        gradcheck::check_input_gradient(&mut p, &x, 2e-2);
+    }
+
+    #[test]
+    fn conv_pool_stack_composes() {
+        use crate::layers::{Activation, Linear, Sequential};
+        let mut net = Sequential::new()
+            .with(Conv2d::new(1, 4, 8, 8, 3, 1)) // -> 4 x 6 x 6
+            .with(Activation::relu())
+            .with(MaxPool2::new(4, 6, 6)) // -> 4 x 3 x 3
+            .with(Linear::new(36, 5, 2));
+        let x = Tensor::zeros(3, 64);
+        assert_eq!(net.forward(&x).shape(), (3, 5));
+    }
+}

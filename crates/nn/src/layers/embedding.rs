@@ -1,0 +1,179 @@
+use crate::init::normal_init;
+use crate::params::Param;
+use crate::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A token-embedding table mapping token ids to dense vectors.
+///
+/// This is the first layer of every knowledge-base encoder in the semantic
+/// codec: it is where domain- and user-specific *meaning* is stored, and the
+/// component whose divergence across users produces the paper's semantic
+/// mismatches.
+///
+/// `Embedding` is not a [`super::DenseLayer`] because its input is a list of
+/// token ids, not an activation tensor; it exposes an analogous typed API.
+///
+/// # Example
+///
+/// ```
+/// use semcom_nn::layers::Embedding;
+/// let mut e = Embedding::new(100, 16, 3);
+/// let out = e.forward(&[3, 14, 15]);
+/// assert_eq!(out.shape(), (3, 16));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Embedding {
+    table: Param,
+    #[serde(skip)]
+    cached_ids: Option<Vec<usize>>,
+}
+
+impl Embedding {
+    /// Creates a `vocab_size x dim` embedding table, `N(0, 0.1)` initialized.
+    pub fn new(vocab_size: usize, dim: usize, seed: u64) -> Self {
+        Embedding {
+            table: Param::new(normal_init(vocab_size, dim, 0.1, seed)),
+            cached_ids: None,
+        }
+    }
+
+    /// Vocabulary size (number of rows).
+    pub fn vocab_size(&self) -> usize {
+        self.table.value.rows()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.table.value.cols()
+    }
+
+    /// Looks up embeddings for `ids`, returning `[ids.len(), dim]`.
+    ///
+    /// Caches the ids for the backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of the vocabulary range.
+    pub fn forward(&mut self, ids: &[usize]) -> Tensor {
+        let out = self.infer(ids);
+        self.cached_ids = Some(ids.to_vec());
+        out
+    }
+
+    /// Lookup without caching (inference path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of the vocabulary range.
+    pub fn infer(&self, ids: &[usize]) -> Tensor {
+        let dim = self.dim();
+        let mut out = Tensor::zeros(ids.len(), dim);
+        for (r, &id) in ids.iter().enumerate() {
+            assert!(
+                id < self.vocab_size(),
+                "token id {id} out of range for vocab of {}",
+                self.vocab_size()
+            );
+            out.row_mut(r).copy_from_slice(self.table.value.row(id));
+        }
+        out
+    }
+
+    /// Accumulates gradients for the rows used in the last `forward`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`, or if `dout` does not have one row
+    /// per cached id.
+    pub fn backward(&mut self, dout: &Tensor) {
+        let ids = self
+            .cached_ids
+            .as_ref()
+            .expect("backward called before forward");
+        assert_eq!(dout.rows(), ids.len(), "dout row mismatch");
+        assert_eq!(dout.cols(), self.dim(), "dout width mismatch");
+        for (r, &id) in ids.iter().enumerate() {
+            let src = dout.row(r);
+            let dim = self.dim();
+            let dst = &mut self.table.grad.as_mut_slice()[id * dim..(id + 1) * dim];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Mutable access to the table parameter (for optimizers and sync).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.table]
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.table.zero_grad();
+    }
+
+    /// Number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.table.value.len()
+    }
+
+    /// Read access to the raw table (used by distance-based diagnostics).
+    pub fn table(&self) -> &Tensor {
+        &self.table.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_returns_table_rows() {
+        let mut e = Embedding::new(10, 4, 1);
+        let out = e.forward(&[2, 2, 7]);
+        assert_eq!(out.row(0), out.row(1));
+        assert_eq!(out.row(0), e.table().row(2));
+        assert_eq!(out.row(2), e.table().row(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_id_panics() {
+        let mut e = Embedding::new(4, 2, 1);
+        e.forward(&[4]);
+    }
+
+    #[test]
+    fn backward_accumulates_per_row_with_repeats() {
+        let mut e = Embedding::new(5, 2, 1);
+        e.forward(&[1, 1, 3]);
+        let d = Tensor::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        e.backward(&d);
+        // Row 1 receives the sum of both occurrences.
+        assert_eq!(e.table.grad.row(1), &[4.0, 6.0]);
+        assert_eq!(e.table.grad.row(3), &[5.0, 6.0]);
+        assert_eq!(e.table.grad.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut e = Embedding::new(3, 2, 1);
+        e.forward(&[0]);
+        e.backward(&Tensor::filled(1, 2, 1.0));
+        e.zero_grad();
+        assert_eq!(e.table.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn empty_lookup_is_empty_tensor() {
+        let mut e = Embedding::new(3, 2, 1);
+        let out = e.forward(&[]);
+        assert_eq!(out.shape(), (0, 2));
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut e = Embedding::new(6, 3, 9);
+        assert_eq!(e.infer(&[1, 5]), e.forward(&[1, 5]));
+    }
+}

@@ -1,0 +1,331 @@
+use crate::init::xavier_uniform;
+use crate::params::Param;
+use crate::rng::derive_seed;
+use crate::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A gated recurrent unit (GRU) cell.
+///
+/// Used by the context-aware model selector (paper §III-A suggests
+/// "LSTM-based classification networks" for exploiting conversational
+/// context); a GRU gives the same recurrence with fewer parameters.
+///
+/// The cell keeps a **stack** of per-step caches so a whole unrolled
+/// sequence can be backpropagated through time: call [`GruCell::forward`]
+/// once per step, then [`GruCell::backward`] once per step in reverse order.
+///
+/// Update equations (`σ` = sigmoid):
+///
+/// ```text
+/// z = σ(x·Wz + h·Uz + bz)        update gate
+/// r = σ(x·Wr + h·Ur + br)        reset gate
+/// n = tanh(x·Wn + (r∘h)·Un + bn) candidate state
+/// h' = (1 − z)∘n + z∘h
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GruCell {
+    wz: Param,
+    uz: Param,
+    bz: Param,
+    wr: Param,
+    ur: Param,
+    br: Param,
+    wn: Param,
+    un: Param,
+    bn: Param,
+    #[serde(skip)]
+    cache: Vec<StepCache>,
+}
+
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Tensor,
+    h: Tensor,
+    z: Tensor,
+    r: Tensor,
+    n: Tensor,
+    rh: Tensor,
+}
+
+impl GruCell {
+    /// Creates a GRU cell with `in_dim` inputs and `hidden_dim` state units.
+    pub fn new(in_dim: usize, hidden_dim: usize, seed: u64) -> Self {
+        let w = |s| Param::new(xavier_uniform(in_dim, hidden_dim, derive_seed(seed, s)));
+        let u = |s| Param::new(xavier_uniform(hidden_dim, hidden_dim, derive_seed(seed, s)));
+        GruCell {
+            wz: w(0),
+            uz: u(1),
+            bz: Param::new(Tensor::zeros(1, hidden_dim)),
+            wr: w(2),
+            ur: u(3),
+            br: Param::new(Tensor::zeros(1, hidden_dim)),
+            wn: w(4),
+            un: u(5),
+            bn: Param::new(Tensor::zeros(1, hidden_dim)),
+            cache: Vec::new(),
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.wz.value.rows()
+    }
+
+    /// Hidden-state dimensionality.
+    pub fn hidden_dim(&self) -> usize {
+        self.wz.value.cols()
+    }
+
+    /// A zero initial state for a batch of `n` sequences.
+    pub fn zero_state(&self, n: usize) -> Tensor {
+        Tensor::zeros(n, self.hidden_dim())
+    }
+
+    /// Runs one step, pushing a cache entry for BPTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[n, in_dim]` or `h` is not `[n, hidden_dim]`.
+    pub fn forward(&mut self, x: &Tensor, h: &Tensor) -> Tensor {
+        let (out, cache) = self.step(x, h);
+        self.cache.push(cache);
+        out
+    }
+
+    /// Runs one step without caching (inference path).
+    pub fn infer(&self, x: &Tensor, h: &Tensor) -> Tensor {
+        self.step(x, h).0
+    }
+
+    fn step(&self, x: &Tensor, h: &Tensor) -> (Tensor, StepCache) {
+        assert_eq!(x.cols(), self.in_dim(), "gru input width mismatch");
+        assert_eq!(h.cols(), self.hidden_dim(), "gru state width mismatch");
+        assert_eq!(x.rows(), h.rows(), "gru batch mismatch");
+        let sig = |t: &Tensor| t.map(|v| 1.0 / (1.0 + (-v).exp()));
+        let z = sig(&(&(&x.matmul(&self.wz.value) + &h.matmul(&self.uz.value))
+            .add_row_broadcast(&self.bz.value)));
+        let r = sig(&(&(&x.matmul(&self.wr.value) + &h.matmul(&self.ur.value))
+            .add_row_broadcast(&self.br.value)));
+        let rh = r.hadamard(h);
+        let n = (&(&x.matmul(&self.wn.value) + &rh.matmul(&self.un.value))
+            .add_row_broadcast(&self.bn.value))
+            .map(f32::tanh);
+        let one_minus_z = z.map(|v| 1.0 - v);
+        let out = &one_minus_z.hadamard(&n) + &z.hadamard(h);
+        let cache = StepCache {
+            x: x.clone(),
+            h: h.clone(),
+            z,
+            r,
+            n,
+            rh,
+        };
+        (out, cache)
+    }
+
+    /// Backpropagates one step (in reverse order of the forwards), returning
+    /// `(dx, dh_prev)` and accumulating parameter gradients.
+    ///
+    /// `dh_next` is the gradient w.r.t. this step's output state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no cached step left.
+    pub fn backward(&mut self, dh_next: &Tensor) -> (Tensor, Tensor) {
+        let StepCache { x, h, z, r, n, rh } =
+            self.cache.pop().expect("backward called more times than forward");
+        assert_eq!(dh_next.shape(), z.shape(), "dh shape mismatch");
+
+        let dn = dh_next.hadamard(&z.map(|v| 1.0 - v));
+        let dz = dh_next.hadamard(&(&h - &n));
+        let mut dh_prev = dh_next.hadamard(&z);
+
+        // Candidate path.
+        let da_n = dn.hadamard(&n.map(|v| 1.0 - v * v));
+        self.wn.grad.add_scaled(&x.transpose().matmul(&da_n), 1.0);
+        self.un.grad.add_scaled(&rh.transpose().matmul(&da_n), 1.0);
+        self.bn.grad.add_scaled(&da_n.sum_rows(), 1.0);
+        let mut dx = da_n.matmul(&self.wn.value.transpose());
+        let drh = da_n.matmul(&self.un.value.transpose());
+        let dr = drh.hadamard(&h);
+        dh_prev.add_scaled(&drh.hadamard(&r), 1.0);
+
+        // Update gate path.
+        let da_z = dz.hadamard(&z.map(|v| v * (1.0 - v)));
+        self.wz.grad.add_scaled(&x.transpose().matmul(&da_z), 1.0);
+        self.uz.grad.add_scaled(&h.transpose().matmul(&da_z), 1.0);
+        self.bz.grad.add_scaled(&da_z.sum_rows(), 1.0);
+        dx.add_scaled(&da_z.matmul(&self.wz.value.transpose()), 1.0);
+        dh_prev.add_scaled(&da_z.matmul(&self.uz.value.transpose()), 1.0);
+
+        // Reset gate path.
+        let da_r = dr.hadamard(&r.map(|v| v * (1.0 - v)));
+        self.wr.grad.add_scaled(&x.transpose().matmul(&da_r), 1.0);
+        self.ur.grad.add_scaled(&h.transpose().matmul(&da_r), 1.0);
+        self.br.grad.add_scaled(&da_r.sum_rows(), 1.0);
+        dx.add_scaled(&da_r.matmul(&self.wr.value.transpose()), 1.0);
+        dh_prev.add_scaled(&da_r.matmul(&self.ur.value.transpose()), 1.0);
+
+        (dx, dh_prev)
+    }
+
+    /// Mutable references to all nine parameter tensors.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![
+            &mut self.wz,
+            &mut self.uz,
+            &mut self.bz,
+            &mut self.wr,
+            &mut self.ur,
+            &mut self.br,
+            &mut self.wn,
+            &mut self.un,
+            &mut self.bn,
+        ]
+    }
+
+    /// Clears accumulated gradients and any cached steps.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+        self.cache.clear();
+    }
+
+    /// Number of trainable scalars.
+    pub fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> GruCell {
+        GruCell::new(3, 4, 42)
+    }
+
+    #[test]
+    fn output_shape_and_state_flow() {
+        let mut g = cell();
+        let x = Tensor::filled(2, 3, 0.3);
+        let h0 = g.zero_state(2);
+        let h1 = g.forward(&x, &h0);
+        assert_eq!(h1.shape(), (2, 4));
+        let h2 = g.forward(&x, &h1);
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn state_stays_bounded() {
+        let mut g = cell();
+        let x = Tensor::filled(1, 3, 2.0);
+        let mut h = g.zero_state(1);
+        for _ in 0..50 {
+            h = g.forward(&x, &h);
+        }
+        assert!(h.as_slice().iter().all(|v| v.abs() <= 1.0 + 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called more times than forward")]
+    fn backward_without_forward_panics() {
+        let mut g = cell();
+        g.backward(&Tensor::zeros(1, 4));
+    }
+
+    /// Finite-difference check of dx, dh and all parameter gradients through
+    /// a single step with loss = sum(h' ∘ w).
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut g = cell();
+        let x = Tensor::from_vec(2, 3, vec![0.1, -0.4, 0.7, 0.3, 0.9, -0.2]).unwrap();
+        let h = Tensor::from_vec(2, 4, vec![0.2, -0.1, 0.5, 0.0, -0.3, 0.4, 0.1, 0.6]).unwrap();
+        let w = Tensor::from_vec(2, 4, (0..8).map(|i| 0.2 + 0.1 * i as f32).collect()).unwrap();
+
+        g.zero_grad();
+        g.forward(&x, &h);
+        let (dx, dh) = g.backward(&w);
+        let analytic_params: Vec<Vec<f32>> = g
+            .params_mut()
+            .iter()
+            .map(|p| p.grad.as_slice().to_vec())
+            .collect();
+
+        let eps = 1e-3;
+        let loss = |g: &GruCell, x: &Tensor, h: &Tensor| g.infer(x, h).hadamard(&w).sum();
+
+        // dx check.
+        let mut xp = x.clone();
+        for i in 0..x.len() {
+            let orig = xp.as_slice()[i];
+            xp.as_mut_slice()[i] = orig + eps;
+            let lp = loss(&g, &xp, &h);
+            xp.as_mut_slice()[i] = orig - eps;
+            let lm = loss(&g, &xp, &h);
+            xp.as_mut_slice()[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - dx.as_slice()[i]).abs() < 2e-2 * (1.0 + num.abs()),
+                "dx[{i}]: {num} vs {}",
+                dx.as_slice()[i]
+            );
+        }
+
+        // dh check.
+        let mut hp = h.clone();
+        for i in 0..h.len() {
+            let orig = hp.as_slice()[i];
+            hp.as_mut_slice()[i] = orig + eps;
+            let lp = loss(&g, &x, &hp);
+            hp.as_mut_slice()[i] = orig - eps;
+            let lm = loss(&g, &x, &hp);
+            hp.as_mut_slice()[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - dh.as_slice()[i]).abs() < 2e-2 * (1.0 + num.abs()),
+                "dh[{i}]: {num} vs {}",
+                dh.as_slice()[i]
+            );
+        }
+
+        // Parameter checks (spot-check every parameter tensor).
+        for (pi, ana) in analytic_params.iter().enumerate() {
+            for i in (0..ana.len()).step_by(3) {
+                let orig = {
+                    let mut ps = g.params_mut();
+                    let v = ps[pi].value.as_slice()[i];
+                    ps[pi].value.as_mut_slice()[i] = v + eps;
+                    v
+                };
+                let lp = loss(&g, &x, &h);
+                g.params_mut()[pi].value.as_mut_slice()[i] = orig - eps;
+                let lm = loss(&g, &x, &h);
+                g.params_mut()[pi].value.as_mut_slice()[i] = orig;
+                let num = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (num - ana[i]).abs() < 2e-2 * (1.0 + num.abs()),
+                    "param {pi}[{i}]: {num} vs {}",
+                    ana[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bptt_pops_in_reverse() {
+        let mut g = cell();
+        let x = Tensor::filled(1, 3, 0.5);
+        let mut h = g.zero_state(1);
+        for _ in 0..3 {
+            h = g.forward(&x, &h);
+        }
+        let mut dh = Tensor::filled(1, 4, 1.0);
+        for _ in 0..3 {
+            let (_, dhp) = g.backward(&dh);
+            dh = dhp;
+        }
+        assert!(g.cache.is_empty());
+    }
+}

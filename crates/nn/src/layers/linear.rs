@@ -1,0 +1,141 @@
+use super::DenseLayer;
+use crate::init::xavier_uniform;
+use crate::params::Param;
+use crate::rng::derive_seed;
+use crate::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A fully-connected affine layer: `y = x · W + b`.
+///
+/// `W` is `[in, out]`, `b` is `[1, out]`, inputs are `[batch, in]`.
+///
+/// # Example
+///
+/// ```
+/// use semcom_nn::{Tensor, layers::{Linear, DenseLayer}};
+/// let mut l = Linear::new(4, 2, 7);
+/// let x = Tensor::zeros(3, 4);
+/// assert_eq!(l.forward(&x).shape(), (3, 2));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-initialized weights and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        Linear {
+            weight: Param::new(xavier_uniform(in_dim, out_dim, derive_seed(seed, 0))),
+            bias: Param::new(Tensor::zeros(1, out_dim)),
+            cached_input: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weight.value.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weight.value.cols()
+    }
+
+    /// Forward pass without caching; usable from `&self` for inference.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        x.matmul(&self.weight.value).add_row_broadcast(&self.bias.value)
+    }
+}
+
+impl DenseLayer for Linear {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let y = self.infer(x);
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        assert_eq!(dout.rows(), x.rows(), "dout batch mismatch");
+        assert_eq!(dout.cols(), self.out_dim(), "dout width mismatch");
+        self.weight.grad.add_scaled(&x.transpose().matmul(dout), 1.0);
+        self.bias.grad.add_scaled(&dout.sum_rows(), 1.0);
+        dout.matmul(&self.weight.value.transpose())
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    fn input() -> Tensor {
+        Tensor::from_vec(3, 4, (0..12).map(|i| (i as f32 - 5.0) * 0.3).collect()).unwrap()
+    }
+
+    #[test]
+    fn output_shape() {
+        let mut l = Linear::new(4, 2, 1);
+        assert_eq!(l.forward(&input()).shape(), (3, 2));
+        assert_eq!(l.in_dim(), 4);
+        assert_eq!(l.out_dim(), 2);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut l = Linear::new(4, 5, 11);
+        gradcheck::check_input_gradient(&mut l, &input(), 1e-2);
+    }
+
+    #[test]
+    fn param_gradient_matches_finite_differences() {
+        let mut l = Linear::new(4, 5, 11);
+        gradcheck::check_param_gradient(&mut l, &input(), 1e-2);
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut l = Linear::new(2, 2, 3);
+        let x = Tensor::filled(1, 2, 1.0);
+        let d = Tensor::filled(1, 2, 1.0);
+        l.forward(&x);
+        l.backward(&d);
+        let g1 = l.weight.grad.clone();
+        l.forward(&x);
+        l.backward(&d);
+        assert_eq!(l.weight.grad, (&g1 + &g1));
+        l.zero_grad();
+        assert_eq!(l.weight.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut l = Linear::new(4, 3, 5);
+        let x = input();
+        assert_eq!(l.infer(&x), l.forward(&x));
+    }
+
+    #[test]
+    fn param_count_is_w_plus_b() {
+        let mut l = Linear::new(7, 3, 0);
+        assert_eq!(l.param_count(), 7 * 3 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_before_forward_panics() {
+        let mut l = Linear::new(2, 2, 0);
+        l.backward(&Tensor::zeros(1, 2));
+    }
+}

@@ -1,0 +1,170 @@
+use super::DenseLayer;
+use crate::params::Param;
+use crate::Tensor;
+use serde::{Deserialize, Serialize};
+
+const EPS: f32 = 1e-5;
+
+/// Layer normalization over the feature dimension with learnable scale
+/// (`gamma`) and shift (`beta`).
+///
+/// Normalizing the semantic feature vector before transmission stabilizes
+/// codec training across channel-noise levels (the feature power seen by the
+/// channel stays bounded).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    #[serde(skip)]
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Creates a layer-norm over `dim` features (`gamma = 1`, `beta = 0`).
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(Tensor::filled(1, dim, 1.0)),
+            beta: Param::new(Tensor::zeros(1, dim)),
+            cache: None,
+        }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.gamma.value.cols()
+    }
+
+    /// Normalization without caching (inference path).
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        self.normalize(x).0
+    }
+
+    fn normalize(&self, x: &Tensor) -> (Tensor, Tensor, Vec<f32>) {
+        assert_eq!(x.cols(), self.dim(), "layernorm width mismatch");
+        let n = x.cols() as f32;
+        let mut x_hat = Tensor::zeros(x.rows(), x.cols());
+        let mut out = Tensor::zeros(x.rows(), x.cols());
+        let mut inv_stds = Vec::with_capacity(x.rows());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / n;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+            let inv_std = 1.0 / (var + EPS).sqrt();
+            inv_stds.push(inv_std);
+            for c in 0..x.cols() {
+                let xh = (row[c] - mean) * inv_std;
+                x_hat.set(r, c, xh);
+                out.set(
+                    r,
+                    c,
+                    xh * self.gamma.value.get(0, c) + self.beta.value.get(0, c),
+                );
+            }
+        }
+        (out, x_hat, inv_stds)
+    }
+}
+
+impl DenseLayer for LayerNorm {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (out, x_hat, inv_std) = self.normalize(x);
+        self.cache = Some(Cache { x_hat, inv_std });
+        out
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward called before forward");
+        let x_hat = &cache.x_hat;
+        assert_eq!(dout.shape(), x_hat.shape(), "dout shape mismatch");
+        let n = dout.cols() as f32;
+
+        // Parameter gradients.
+        self.beta.grad.add_scaled(&dout.sum_rows(), 1.0);
+        self.gamma
+            .grad
+            .add_scaled(&dout.hadamard(x_hat).sum_rows(), 1.0);
+
+        // Input gradient: dx = inv_std * (dxh - mean(dxh) - x_hat * mean(dxh * x_hat)).
+        let mut dx = Tensor::zeros(dout.rows(), dout.cols());
+        for r in 0..dout.rows() {
+            let inv_std = cache.inv_std[r];
+            let dxh: Vec<f32> = (0..dout.cols())
+                .map(|c| dout.get(r, c) * self.gamma.value.get(0, c))
+                .collect();
+            let mean_dxh = dxh.iter().sum::<f32>() / n;
+            let mean_dxh_xhat = dxh
+                .iter()
+                .enumerate()
+                .map(|(c, &d)| d * x_hat.get(r, c))
+                .sum::<f32>()
+                / n;
+            for c in 0..dout.cols() {
+                dx.set(
+                    r,
+                    c,
+                    inv_std * (dxh[c] - mean_dxh - x_hat.get(r, c) * mean_dxh_xhat),
+                );
+            }
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    fn input() -> Tensor {
+        Tensor::from_vec(2, 4, vec![0.5, -1.0, 2.0, 0.1, 3.0, 0.2, -0.7, 1.1]).unwrap()
+    }
+
+    #[test]
+    fn output_rows_are_normalized() {
+        let mut ln = LayerNorm::new(4);
+        let y = ln.forward(&input());
+        for r in 0..y.rows() {
+            let row = y.row(r);
+            let mean = row.iter().sum::<f32>() / 4.0;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut ln = LayerNorm::new(4);
+        gradcheck::check_input_gradient(&mut ln, &input(), 2e-2);
+    }
+
+    #[test]
+    fn param_gradient_matches_finite_differences() {
+        let mut ln = LayerNorm::new(4);
+        gradcheck::check_param_gradient(&mut ln, &input(), 2e-2);
+    }
+
+    #[test]
+    fn constant_row_is_finite() {
+        let mut ln = LayerNorm::new(3);
+        let y = ln.forward(&Tensor::filled(1, 3, 5.0));
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut ln = LayerNorm::new(4);
+        let x = input();
+        assert_eq!(ln.infer(&x), ln.forward(&x));
+    }
+}

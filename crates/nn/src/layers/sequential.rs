@@ -1,0 +1,125 @@
+use super::DenseLayer;
+use crate::params::Param;
+use crate::Tensor;
+
+/// A stack of [`DenseLayer`]s applied in order.
+///
+/// `Sequential` itself implements [`DenseLayer`], so stacks nest.
+///
+/// # Example
+///
+/// ```
+/// use semcom_nn::{Tensor, layers::{Sequential, Linear, Activation, DenseLayer}};
+/// let mut mlp = Sequential::new()
+///     .with(Linear::new(8, 16, 1))
+///     .with(Activation::relu())
+///     .with(Linear::new(16, 4, 2));
+/// let y = mlp.forward(&Tensor::zeros(5, 8));
+/// assert_eq!(y.shape(), (5, 4));
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn DenseLayer + Send>>,
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn with<L: DenseLayer + Send + 'static>(mut self, layer: L) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a layer in place.
+    pub fn push<L: DenseLayer + Send + 'static>(&mut self, layer: L) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers in the stack.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl DenseLayer for Sequential {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    fn backward(&mut self, dout: &Tensor) -> Tensor {
+        let mut cur = dout.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+        cur
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{gradcheck, Activation, Linear};
+
+    fn mlp() -> Sequential {
+        Sequential::new()
+            .with(Linear::new(3, 6, 1))
+            .with(Activation::tanh())
+            .with(Linear::new(6, 2, 2))
+    }
+
+    #[test]
+    fn forward_shape_through_stack() {
+        let mut m = mlp();
+        assert_eq!(m.forward(&Tensor::zeros(4, 3)).shape(), (4, 2));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn gradient_check_through_stack() {
+        let mut m = mlp();
+        let x = Tensor::from_vec(2, 3, vec![0.3, -0.5, 0.8, -0.1, 0.4, 0.9]).unwrap();
+        gradcheck::check_input_gradient(&mut m, &x, 2e-2);
+        gradcheck::check_param_gradient(&mut m, &x, 2e-2);
+    }
+
+    #[test]
+    fn params_are_collected_from_all_layers() {
+        let mut m = mlp();
+        assert_eq!(m.param_count(), (3 * 6 + 6) + (6 * 2 + 2));
+    }
+
+    #[test]
+    fn empty_stack_is_identity() {
+        let mut m = Sequential::new();
+        let x = Tensor::from_vec(1, 2, vec![1.0, 2.0]).unwrap();
+        assert_eq!(m.forward(&x), x);
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! # semcom-nn
+//!
+//! A minimal, dependency-light neural-network substrate written from scratch
+//! for the `semcom` reproduction of *"Semantic Communications, Semantic Edge
+//! Computing, and Semantic Caching"* (Yu & Zhao, ICDCS 2023).
+//!
+//! The paper's knowledge bases (KBs) are deep-learning encoder/decoder models.
+//! Rust's deep-learning ecosystem is thin, so this crate implements the
+//! required machinery directly:
+//!
+//! * [`Tensor`] — a row-major 2-D `f32` matrix with the linear-algebra
+//!   operations needed for forward/backward passes;
+//! * layers with **explicit backward passes** ([`layers::Linear`],
+//!   [`layers::Embedding`], [`layers::LayerNorm`], [`layers::GruCell`],
+//!   activations) that cache their forward inputs;
+//! * losses ([`loss::softmax_cross_entropy`], [`loss::mse`]);
+//! * optimizers ([`optim::Sgd`], [`optim::Adam`]);
+//! * [`params::ParamVec`] — flattened parameter/gradient vectors used by the
+//!   federated-style decoder-synchronization protocol of the paper (§II-D),
+//!   including byte-size accounting for wire-cost experiments.
+//!
+//! Everything is deterministic given a seed: see [`rng::seeded_rng`].
+//!
+//! # Example
+//!
+//! ```
+//! use semcom_nn::{Tensor, layers::{Linear, Activation, DenseLayer}, loss, optim::{Sgd, Optimizer}};
+//!
+//! // Learn y = 2x with a single linear layer.
+//! let mut layer = Linear::new(1, 1, 42);
+//! let x = Tensor::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+//! let y = Tensor::from_vec(4, 1, vec![2.0, 4.0, 6.0, 8.0]).unwrap();
+//! let mut opt = Sgd::new(0.05);
+//! for _ in 0..200 {
+//!     let pred = layer.forward(&x);
+//!     let (l, dpred) = loss::mse(&pred, &y);
+//!     assert!(l.is_finite());
+//!     layer.zero_grad();
+//!     layer.backward(&dpred);
+//!     opt.step(&mut layer.params_mut());
+//! }
+//! let pred = layer.forward(&x);
+//! assert!((pred.get(0, 0) - 2.0).abs() < 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod tensor;
+
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod params;
+pub mod rng;
+
+pub use error::NnError;
+pub use tensor::Tensor;

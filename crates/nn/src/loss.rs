@@ -1,0 +1,173 @@
+//! Loss functions returning `(loss, gradient-w.r.t.-input)`.
+
+use crate::Tensor;
+
+/// Numerically-stable row-wise softmax.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(logits.rows(), logits.cols());
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        for (c, e) in exps.iter().enumerate() {
+            out.set(r, c, e / sum);
+        }
+    }
+    out
+}
+
+/// Mean softmax cross-entropy over a batch of logits `[batch, classes]`
+/// against integer `targets`.
+///
+/// Returns `(mean loss, d loss / d logits)` — the gradient already includes
+/// the `1/batch` factor, so it can be fed straight into `backward`.
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()` or any target is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    assert_eq!(
+        targets.len(),
+        logits.rows(),
+        "one target per logit row required"
+    );
+    let probs = softmax(logits);
+    let n = logits.rows().max(1) as f32;
+    let mut loss = 0.0;
+    let mut grad = probs.clone();
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < logits.cols(), "target {t} out of range");
+        loss -= probs.get(r, t).max(1e-12).ln();
+        grad.set(r, t, grad.get(r, t) - 1.0);
+    }
+    (loss / n, grad.scale(1.0 / n))
+}
+
+/// Mean-squared error between `pred` and `target`.
+///
+/// Returns `(mean loss, d loss / d pred)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let diff = pred - target;
+    let loss = diff.as_slice().iter().map(|d| d * d).sum::<f32>() / n;
+    (loss, diff.scale(2.0 / n))
+}
+
+/// Fraction of rows whose argmax equals the target class.
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()`.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    assert_eq!(targets.len(), logits.rows());
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let correct = targets
+        .iter()
+        .enumerate()
+        .filter(|&(r, &t)| logits.argmax_row(r) == t)
+        .count();
+    correct as f32 / targets.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let l = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let p = softmax(&l);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let l = Tensor::from_vec(1, 3, vec![1000.0, 1001.0, 1002.0]).unwrap();
+        let p = softmax(&l);
+        assert!(p.as_slice().iter().all(|v| v.is_finite()));
+        let l2 = Tensor::from_vec(1, 3, vec![0.0, 1.0, 2.0]).unwrap();
+        let p2 = softmax(&l2);
+        for (a, b) in p.as_slice().iter().zip(p2.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let l = Tensor::from_vec(1, 3, vec![20.0, 0.0, 0.0]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&l, &[0]);
+        assert!(loss < 1e-4, "loss {loss}");
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_is_ln_classes() {
+        let l = Tensor::zeros(4, 5);
+        let (loss, _) = softmax_cross_entropy(&l, &[0, 1, 2, 3]);
+        assert!((loss - (5.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let mut l = Tensor::from_vec(2, 3, vec![0.5, -0.2, 0.1, 1.0, 0.3, -0.7]).unwrap();
+        let targets = [2, 0];
+        let (_, grad) = softmax_cross_entropy(&l, &targets);
+        let eps = 1e-3;
+        for i in 0..l.len() {
+            let orig = l.as_slice()[i];
+            l.as_mut_slice()[i] = orig + eps;
+            let (lp, _) = softmax_cross_entropy(&l, &targets);
+            l.as_mut_slice()[i] = orig - eps;
+            let (lm, _) = softmax_cross_entropy(&l, &targets);
+            l.as_mut_slice()[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grad.as_slice()[i]).abs() < 1e-3,
+                "grad[{i}]: {num} vs {}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_differences() {
+        let mut p = Tensor::from_vec(1, 3, vec![0.2, 0.9, -0.4]).unwrap();
+        let t = Tensor::from_vec(1, 3, vec![0.0, 1.0, 0.0]).unwrap();
+        let (_, grad) = mse(&p, &t);
+        let eps = 1e-3;
+        for i in 0..p.len() {
+            let orig = p.as_slice()[i];
+            p.as_mut_slice()[i] = orig + eps;
+            let (lp, _) = mse(&p, &t);
+            p.as_mut_slice()[i] = orig - eps;
+            let (lm, _) = mse(&p, &t);
+            p.as_mut_slice()[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - grad.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let l = Tensor::from_vec(2, 2, vec![0.9, 0.1, 0.2, 0.8]).unwrap();
+        assert_eq!(accuracy(&l, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&l, &[1, 0]), 0.0);
+        assert_eq!(accuracy(&l, &[0, 0]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one target per logit row")]
+    fn cross_entropy_rejects_target_mismatch() {
+        softmax_cross_entropy(&Tensor::zeros(2, 2), &[0]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Gradient-descent optimizers.
+
+use crate::params::Param;
+
+/// An optimizer updating parameters in place from their accumulated
+/// gradients.
+///
+/// Implementations keep per-parameter state **by position**, so each `step`
+/// must be called with the same parameter list in the same order (the list
+/// returned by a model's `params_mut` is stable).
+pub trait Optimizer {
+    /// Applies one update step.
+    fn step(&mut self, params: &mut [&mut Param]);
+}
+
+/// Stochastic gradient descent with optional momentum and gradient clipping.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    clip: Option<f32>,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            clip: None,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Adds classical momentum.
+    #[must_use]
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Clips each gradient element to `[-c, c]` before the update.
+    #[must_use]
+    pub fn with_clip(mut self, c: f32) -> Self {
+        self.clip = Some(c);
+        self
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Overrides the learning rate (e.g. for decay schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        while self.velocity.len() < params.len() {
+            let i = self.velocity.len();
+            self.velocity.push(vec![0.0; params[i].value.len()]);
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            let vel = &mut self.velocity[i];
+            assert_eq!(vel.len(), p.value.len(), "optimizer param order changed");
+            for ((w, &g), v) in p
+                .value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.grad.as_slice())
+                .zip(vel.iter_mut())
+            {
+                let g = match self.clip {
+                    Some(c) => g.clamp(-c, c),
+                    None => g,
+                };
+                *v = self.momentum * *v + g;
+                *w -= self.lr * *v;
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with the standard defaults (`β1 = 0.9`, `β2 = 0.999`).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Overrides the learning rate.
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        while self.m.len() < params.len() {
+            let i = self.m.len();
+            self.m.push(vec![0.0; params[i].value.len()]);
+            self.v.push(vec![0.0; params[i].value.len()]);
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            assert_eq!(
+                self.m[i].len(),
+                p.value.len(),
+                "optimizer param order changed"
+            );
+            let (m, v) = (&mut self.m[i], &mut self.v[i]);
+            for (j, (w, &g)) in p
+                .value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.grad.as_slice())
+                .enumerate()
+            {
+                m[j] = self.beta1 * m[j] + (1.0 - self.beta1) * g;
+                v[j] = self.beta2 * v[j] + (1.0 - self.beta2) * g * g;
+                let m_hat = m[j] / bc1;
+                let v_hat = v[j] / bc2;
+                *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{DenseLayer, Linear};
+    use crate::loss::mse;
+    use crate::Tensor;
+
+    fn train<O: Optimizer>(opt: &mut O, steps: usize) -> f32 {
+        // Fit y = 3x - 1.
+        let mut layer = Linear::new(1, 1, 7);
+        let x = Tensor::from_vec(8, 1, (0..8).map(|i| i as f32 * 0.25).collect()).unwrap();
+        let y = x.map(|v| 3.0 * v - 1.0);
+        let mut last = f32::MAX;
+        for _ in 0..steps {
+            let pred = layer.forward(&x);
+            let (l, d) = mse(&pred, &y);
+            last = l;
+            layer.zero_grad();
+            layer.backward(&d);
+            opt.step(&mut layer.params_mut());
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_converges_on_linear_regression() {
+        let mut opt = Sgd::new(0.1);
+        assert!(train(&mut opt, 500) < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates_sgd() {
+        let plain = train(&mut Sgd::new(0.02), 120);
+        let with_m = train(&mut Sgd::new(0.02).with_momentum(0.9), 120);
+        assert!(with_m < plain, "momentum {with_m} vs plain {plain}");
+    }
+
+    #[test]
+    fn adam_converges_on_linear_regression() {
+        let mut opt = Adam::new(0.05);
+        assert!(train(&mut opt, 500) < 1e-3);
+    }
+
+    #[test]
+    fn clip_limits_update_magnitude() {
+        let mut p = Param::new(Tensor::zeros(1, 1));
+        p.grad.set(0, 0, 1000.0);
+        let mut opt = Sgd::new(1.0).with_clip(0.5);
+        opt.step(&mut [&mut p]);
+        assert!((p.value.get(0, 0) + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn learning_rate_is_adjustable() {
+        let mut opt = Adam::new(0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+}

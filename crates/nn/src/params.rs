@@ -1,0 +1,262 @@
+//! Parameter containers and flattened parameter/gradient vectors.
+//!
+//! The paper's update protocol (§II-D) ships the *gradient of the decoder*
+//! `∇d_u^m` from the sender edge to the receiver edge to keep the receiver's
+//! decoder copy synchronized. That requires a uniform, layout-aware view of
+//! a model's parameters, independent of layer structure. [`ParamVec`]
+//! provides that view, along with the wire-size accounting used by the
+//! synchronization-cost experiments (F3, T4).
+
+use crate::{NnError, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// A trainable parameter: a value tensor and its accumulated gradient.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Tensor,
+    /// Gradient accumulated by the most recent backward pass(es).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter from an initial value tensor, with zero gradient.
+    pub fn new(value: Tensor) -> Self {
+        let (r, c) = value.shape();
+        Param {
+            value,
+            grad: Tensor::zeros(r, c),
+        }
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+
+    /// Number of scalar values in this parameter.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// A flattened view of a model's parameters (or gradients) with shape layout.
+///
+/// Supports exact round-tripping back onto a model with the same layout and
+/// reports its wire size for transmission-cost experiments.
+///
+/// # Example
+///
+/// ```
+/// use semcom_nn::{layers::{Linear, DenseLayer}, params::ParamVec};
+/// let mut layer = Linear::new(3, 2, 1);
+/// let flat = ParamVec::values_of(&layer.params_mut());
+/// assert_eq!(flat.len(), 3 * 2 + 2);
+/// assert_eq!(flat.wire_bytes(), flat.len() * 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamVec {
+    shapes: Vec<(usize, usize)>,
+    data: Vec<f32>,
+}
+
+impl ParamVec {
+    /// Flattens the **values** of a parameter list.
+    pub fn values_of(params: &[&mut Param]) -> Self {
+        let shapes = params.iter().map(|p| p.value.shape()).collect();
+        let data = params
+            .iter()
+            .flat_map(|p| p.value.as_slice().iter().copied())
+            .collect();
+        ParamVec { shapes, data }
+    }
+
+    /// Flattens the **gradients** of a parameter list.
+    pub fn grads_of(params: &[&mut Param]) -> Self {
+        let shapes = params.iter().map(|p| p.value.shape()).collect();
+        let data = params
+            .iter()
+            .flat_map(|p| p.grad.as_slice().iter().copied())
+            .collect();
+        ParamVec { shapes, data }
+    }
+
+    /// Creates a zeroed vector with the same layout as `self`.
+    pub fn zeros_like(&self) -> Self {
+        ParamVec {
+            shapes: self.shapes.clone(),
+            data: vec![0.0; self.data.len()],
+        }
+    }
+
+    /// Number of scalars.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the vector holds no scalars.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flat scalar data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat scalar data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Per-parameter shapes, in flattening order.
+    pub fn shapes(&self) -> &[(usize, usize)] {
+        &self.shapes
+    }
+
+    /// Constructs a `ParamVec` from raw parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ParamLayoutMismatch`] if the data length does not
+    /// equal the total element count of `shapes`.
+    pub fn from_parts(shapes: Vec<(usize, usize)>, data: Vec<f32>) -> Result<Self, NnError> {
+        let expected: usize = shapes.iter().map(|(r, c)| r * c).sum();
+        if expected != data.len() {
+            return Err(NnError::ParamLayoutMismatch {
+                expected,
+                got: data.len(),
+            });
+        }
+        Ok(ParamVec { shapes, data })
+    }
+
+    /// Size in bytes when transmitted uncompressed (4 bytes per `f32`).
+    pub fn wire_bytes(&self) -> usize {
+        self.data.len() * 4
+    }
+
+    /// Euclidean norm of the flattened vector.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Writes these values back into `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ParamLayoutMismatch`] if the layouts differ.
+    pub fn assign_to(&self, params: &mut [&mut Param]) -> Result<(), NnError> {
+        self.check_layout(params)?;
+        let mut off = 0;
+        for p in params.iter_mut() {
+            let n = p.value.len();
+            p.value.as_mut_slice().copy_from_slice(&self.data[off..off + n]);
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Adds `scale * self` into the parameter **values** (e.g. applying a
+    /// received gradient step: `scale = -learning_rate`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ParamLayoutMismatch`] if the layouts differ.
+    pub fn add_scaled_to(&self, params: &mut [&mut Param], scale: f32) -> Result<(), NnError> {
+        self.check_layout(params)?;
+        let mut off = 0;
+        for p in params.iter_mut() {
+            let n = p.value.len();
+            for (v, &d) in p.value.as_mut_slice().iter_mut().zip(&self.data[off..off + n]) {
+                *v += scale * d;
+            }
+            off += n;
+        }
+        Ok(())
+    }
+
+    fn check_layout(&self, params: &[&mut Param]) -> Result<(), NnError> {
+        let expected: usize = params.iter().map(|p| p.value.len()).sum();
+        if expected != self.data.len()
+            || self.shapes.len() != params.len()
+            || self
+                .shapes
+                .iter()
+                .zip(params.iter())
+                .any(|(s, p)| *s != p.value.shape())
+        {
+            return Err(NnError::ParamLayoutMismatch {
+                expected,
+                got: self.data.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Total scalar parameter count of a parameter list.
+pub fn param_count(params: &[&mut Param]) -> usize {
+    params.iter().map(|p| p.value.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{DenseLayer, Linear};
+
+    #[test]
+    fn flatten_and_assign_roundtrip() {
+        let mut a = Linear::new(2, 3, 1);
+        let flat = ParamVec::values_of(&a.params_mut());
+        let mut b = Linear::new(2, 3, 2);
+        assert_ne!(ParamVec::values_of(&b.params_mut()), flat);
+        flat.assign_to(&mut b.params_mut()).unwrap();
+        assert_eq!(ParamVec::values_of(&b.params_mut()), flat);
+    }
+
+    #[test]
+    fn layout_mismatch_is_rejected() {
+        let mut a = Linear::new(2, 3, 1);
+        let mut b = Linear::new(3, 2, 1);
+        let flat = ParamVec::values_of(&a.params_mut());
+        assert!(flat.assign_to(&mut b.params_mut()).is_err());
+    }
+
+    #[test]
+    fn add_scaled_applies_gradient_step() {
+        let mut a = Linear::new(1, 1, 1);
+        let before = ParamVec::values_of(&a.params_mut());
+        let mut grad = before.zeros_like();
+        grad.as_mut_slice().fill(1.0);
+        grad.add_scaled_to(&mut a.params_mut(), -0.5).unwrap();
+        let after = ParamVec::values_of(&a.params_mut());
+        for (x, y) in before.as_slice().iter().zip(after.as_slice()) {
+            assert!((x - 0.5 - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn wire_bytes_is_four_per_scalar() {
+        let mut a = Linear::new(4, 5, 1);
+        let flat = ParamVec::grads_of(&a.params_mut());
+        assert_eq!(flat.wire_bytes(), (4 * 5 + 5) * 4);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(ParamVec::from_parts(vec![(2, 2)], vec![0.0; 3]).is_err());
+        assert!(ParamVec::from_parts(vec![(2, 2)], vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn param_count_sums_all() {
+        let mut a = Linear::new(3, 4, 1);
+        assert_eq!(param_count(&a.params_mut()), 3 * 4 + 4);
+    }
+}

@@ -1,0 +1,223 @@
+//! Deterministic random-number helpers.
+//!
+//! Every stochastic component in the `semcom` stack takes an explicit `u64`
+//! seed so that experiments and tests are reproducible run-to-run. This
+//! module centralizes RNG construction and provides Gaussian sampling via
+//! the Box–Muller transform (avoiding an extra `rand_distr` dependency).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic [`StdRng`] from a `u64` seed.
+///
+/// # Example
+///
+/// ```
+/// use rand::Rng;
+/// let mut a = semcom_nn::rng::seeded_rng(7);
+/// let mut b = semcom_nn::rng::seeded_rng(7);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives an independent child seed from a parent seed and a stream index.
+///
+/// Uses the SplitMix64 finalizer so that nearby `(seed, stream)` pairs yield
+/// uncorrelated child seeds.
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples a standard normal (mean 0, variance 1) value via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Avoid ln(0) by sampling u1 from the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    (r * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Samples a normal value with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f32, std_dev: f32) -> f32 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// A Zipf(α) sampler over `{0, 1, …, n-1}` (rank 0 is the most popular).
+///
+/// Popularity-skewed sampling appears throughout the reproduction: concept
+/// frequency inside a domain corpus, and domain/model request popularity in
+/// the edge cache workloads (experiment F4).
+///
+/// # Example
+///
+/// ```
+/// use semcom_nn::rng::{Zipf, seeded_rng};
+/// let zipf = Zipf::new(100, 1.0);
+/// let mut rng = seeded_rng(1);
+/// let x = zipf.sample(&mut rng);
+/// assert!(x < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `alpha >= 0`.
+    ///
+    /// `alpha = 0` is uniform; larger `alpha` is more skewed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is negative or non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "zipf over empty support");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "invalid zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true: `new` rejects `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability of rank `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_reproducible() {
+        let mut a = seeded_rng(123);
+        let mut b = seeded_rng(123);
+        let va: Vec<u32> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u32> = (0..8).map(|_| b.gen()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn derive_seed_differs_per_stream() {
+        let s0 = derive_seed(42, 0);
+        let s1 = derive_seed(42, 1);
+        assert_ne!(s0, s1);
+        assert_eq!(s0, derive_seed(42, 0));
+    }
+
+    #[test]
+    fn standard_normal_has_expected_moments() {
+        let mut rng = seeded_rng(9);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = seeded_rng(5);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn standard_normal_is_finite() {
+        let mut rng = seeded_rng(1);
+        for _ in 0..10_000 {
+            assert!(standard_normal(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one_and_is_monotone() {
+        let z = Zipf::new(50, 0.9);
+        let total: f64 = (0..50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..50 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_frequencies_match_pmf() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = seeded_rng(3);
+        let mut counts = [0usize; 10];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in 0..10 {
+            let emp = counts[k] as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(k)).abs() < 0.01,
+                "rank {k}: emp {emp} pmf {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf over empty support")]
+    fn zipf_rejects_empty_support() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,192 @@
+use crate::DomainSelector;
+use rand::Rng;
+use semcom_nn::rng::seeded_rng;
+use semcom_text::Domain;
+
+/// A reinforcement-learning selector (paper §III-A: "deep reinforcement
+/// learning … can be utilized"): an ε-greedy contextual bandit layered on
+/// a base selector.
+///
+/// Within a conversation the bandit maintains a per-domain value estimate
+/// `Q[d]` updated from **decode-success feedback** — which the sender edge
+/// has for free thanks to the decoder copy (§II-C). Selection blends the
+/// base selector's normalized score with `Q`; [`DomainSelector::reset`]
+/// clears the values at conversation boundaries.
+///
+/// Feed rewards with [`BanditSelector::observe`]; evaluation harnesses that
+/// simulate the sender's feedback loop call it after every message.
+pub struct BanditSelector {
+    base: Box<dyn DomainSelector + Send>,
+    q: [f64; Domain::COUNT],
+    visits: [u32; Domain::COUNT],
+    epsilon: f64,
+    learning_rate: f64,
+    blend: f64,
+    last_choice: Option<Domain>,
+    rng: rand::rngs::StdRng,
+}
+
+impl std::fmt::Debug for BanditSelector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BanditSelector(base {}, eps {}, q {:?})",
+            self.base.name(),
+            self.epsilon,
+            self.q
+        )
+    }
+}
+
+impl BanditSelector {
+    /// Wraps `base` with ε-greedy value learning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` or `learning_rate` are outside `[0, 1]`.
+    pub fn new(base: Box<dyn DomainSelector + Send>, epsilon: f64, learning_rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&learning_rate),
+            "learning rate must be in [0, 1]"
+        );
+        BanditSelector {
+            base,
+            q: [0.0; Domain::COUNT],
+            visits: [0; Domain::COUNT],
+            epsilon,
+            learning_rate,
+            blend: 1.0,
+            last_choice: None,
+            rng: seeded_rng(seed),
+        }
+    }
+
+    /// The current per-domain value estimates.
+    pub fn values(&self) -> [f64; Domain::COUNT] {
+        self.q
+    }
+}
+
+fn normalize(scores: [f64; Domain::COUNT]) -> [f64; Domain::COUNT] {
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return [1.0 / Domain::COUNT as f64; Domain::COUNT];
+    }
+    let mut out = [0.0; Domain::COUNT];
+    let mut sum = 0.0;
+    for (o, &s) in out.iter_mut().zip(&scores) {
+        *o = (s - max).exp();
+        sum += *o;
+    }
+    for o in &mut out {
+        *o /= sum;
+    }
+    out
+}
+
+impl DomainSelector for BanditSelector {
+    fn scores(&mut self, tokens: &[usize]) -> [f64; Domain::COUNT] {
+        let base = normalize(self.base.scores(tokens));
+        let mut blended = [0.0; Domain::COUNT];
+        for d in 0..Domain::COUNT {
+            blended[d] = base[d] + self.blend * self.q[d];
+        }
+        blended
+    }
+
+    fn select(&mut self, tokens: &[usize]) -> Domain {
+        let choice = if self.rng.gen::<f64>() < self.epsilon {
+            Domain::from_index(self.rng.gen_range(0..Domain::COUNT))
+        } else {
+            let scores = self.scores(tokens);
+            let mut best = 0;
+            for (i, &s) in scores.iter().enumerate() {
+                if s > scores[best] {
+                    best = i;
+                }
+            }
+            Domain::from_index(best)
+        };
+        self.last_choice = Some(choice);
+        choice
+    }
+
+    fn observe(&mut self, reward: f64) {
+        if let Some(d) = self.last_choice {
+            let i = d.index();
+            self.visits[i] += 1;
+            self.q[i] += self.learning_rate * (reward - self.q[i]);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.q = [0.0; Domain::COUNT];
+        self.visits = [0; Domain::COUNT];
+        self.last_choice = None;
+        self.base.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "bandit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Uniform;
+    impl DomainSelector for Uniform {
+        fn scores(&mut self, _tokens: &[usize]) -> [f64; Domain::COUNT] {
+            [0.0; Domain::COUNT]
+        }
+        fn reset(&mut self) {}
+        fn name(&self) -> &'static str {
+            "uniform"
+        }
+    }
+
+    #[test]
+    fn rewards_steer_an_uninformative_base() {
+        // Base gives no signal; only the reward identifies Medical.
+        let mut b = BanditSelector::new(Box::new(Uniform), 0.1, 0.5, 1);
+        let mut correct_late = 0;
+        for step in 0..60 {
+            let chosen = b.select(&[]);
+            let reward = (chosen == Domain::Medical) as u32 as f64;
+            b.observe(reward);
+            if step >= 40 && chosen == Domain::Medical {
+                correct_late += 1;
+            }
+        }
+        assert!(correct_late >= 14, "bandit failed to converge: {correct_late}/20");
+    }
+
+    #[test]
+    fn reset_clears_learned_values() {
+        let mut b = BanditSelector::new(Box::new(Uniform), 0.0, 0.5, 2);
+        b.select(&[]);
+        b.observe(1.0);
+        assert!(b.values().iter().any(|&q| q > 0.0));
+        b.reset();
+        assert_eq!(b.values(), [0.0; Domain::COUNT]);
+    }
+
+    #[test]
+    fn zero_epsilon_is_greedy() {
+        let mut b = BanditSelector::new(Box::new(Uniform), 0.0, 1.0, 3);
+        // Teach it that News pays off.
+        b.last_choice = Some(Domain::News);
+        b.observe(1.0);
+        for _ in 0..10 {
+            assert_eq!(b.select(&[]), Domain::News);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in [0, 1]")]
+    fn invalid_epsilon_rejected() {
+        BanditSelector::new(Box::new(Uniform), 1.5, 0.1, 1);
+    }
+}

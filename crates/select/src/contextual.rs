@@ -1,0 +1,175 @@
+use crate::DomainSelector;
+use semcom_text::Domain;
+
+/// Context-aware selection: wraps a base selector and blends its per-message
+/// scores with an exponentially-decayed history over the conversation —
+/// the paper's observation that "context is often critical in selecting the
+/// appropriate model" (§III-A), made concrete.
+///
+/// Scores are first normalized to a probability simplex per message so the
+/// history blends magnitudes comparably across base selectors.
+pub struct ContextualSelector {
+    base: Box<dyn DomainSelector + Send>,
+    /// Blended belief over domains.
+    belief: [f64; Domain::COUNT],
+    /// Weight of history in `[0, 1)`; 0 degenerates to the base selector.
+    decay: f64,
+    messages_seen: usize,
+}
+
+impl std::fmt::Debug for ContextualSelector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ContextualSelector(base {}, decay {}, {} messages)",
+            self.base.name(),
+            self.decay,
+            self.messages_seen
+        )
+    }
+}
+
+impl ContextualSelector {
+    /// Wraps `base` with history weight `decay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay` is not in `[0, 1)`.
+    pub fn new(base: Box<dyn DomainSelector + Send>, decay: f64) -> Self {
+        assert!((0.0..1.0).contains(&decay), "decay must be in [0, 1)");
+        ContextualSelector {
+            base,
+            belief: [0.0; Domain::COUNT],
+            decay,
+            messages_seen: 0,
+        }
+    }
+
+    /// The history weight.
+    pub fn decay(&self) -> f64 {
+        self.decay
+    }
+}
+
+/// Softmax normalization making heterogeneous score scales comparable.
+fn normalize(scores: [f64; Domain::COUNT]) -> [f64; Domain::COUNT] {
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return [1.0 / Domain::COUNT as f64; Domain::COUNT];
+    }
+    let mut out = [0.0; Domain::COUNT];
+    let mut sum = 0.0;
+    for (o, &s) in out.iter_mut().zip(&scores) {
+        *o = (s - max).exp();
+        sum += *o;
+    }
+    for o in &mut out {
+        *o /= sum;
+    }
+    out
+}
+
+impl DomainSelector for ContextualSelector {
+    fn scores(&mut self, tokens: &[usize]) -> [f64; Domain::COUNT] {
+        let current = normalize(self.base.scores(tokens));
+        if self.messages_seen == 0 {
+            self.belief = current;
+        } else {
+            for d in 0..Domain::COUNT {
+                self.belief[d] = self.decay * self.belief[d] + (1.0 - self.decay) * current[d];
+            }
+        }
+        self.messages_seen += 1;
+        self.belief
+    }
+
+    fn reset(&mut self) {
+        self.belief = [0.0; Domain::COUNT];
+        self.messages_seen = 0;
+        self.base.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "contextual"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A base selector with scripted scores, for isolating the context
+    /// logic.
+    struct Scripted {
+        script: Vec<[f64; Domain::COUNT]>,
+        at: usize,
+    }
+
+    impl DomainSelector for Scripted {
+        fn scores(&mut self, _tokens: &[usize]) -> [f64; Domain::COUNT] {
+            let s = self.script[self.at % self.script.len()];
+            self.at += 1;
+            s
+        }
+        fn reset(&mut self) {
+            self.at = 0;
+        }
+        fn name(&self) -> &'static str {
+            "scripted"
+        }
+    }
+
+    #[test]
+    fn context_overrides_a_single_ambiguous_message() {
+        // Three confident It messages, then one that slightly favors News.
+        let base = Scripted {
+            script: vec![
+                [5.0, 0.0, 0.0, 0.0],
+                [5.0, 0.0, 0.0, 0.0],
+                [5.0, 0.0, 0.0, 0.0],
+                [1.0, 0.0, 1.2, 0.0],
+            ],
+            at: 0,
+        };
+        let mut ctx = ContextualSelector::new(Box::new(base), 0.7);
+        assert_eq!(ctx.select(&[]), Domain::It);
+        assert_eq!(ctx.select(&[]), Domain::It);
+        assert_eq!(ctx.select(&[]), Domain::It);
+        // The ambiguous message alone would pick News; context keeps It.
+        assert_eq!(ctx.select(&[]), Domain::It);
+    }
+
+    #[test]
+    fn zero_decay_degenerates_to_base() {
+        let base = Scripted {
+            script: vec![[5.0, 0.0, 0.0, 0.0], [0.0, 0.0, 9.0, 0.0]],
+            at: 0,
+        };
+        let mut ctx = ContextualSelector::new(Box::new(base), 0.0);
+        assert_eq!(ctx.select(&[]), Domain::It);
+        assert_eq!(ctx.select(&[]), Domain::News);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let base = Scripted {
+            script: vec![[5.0, 0.0, 0.0, 0.0]],
+            at: 0,
+        };
+        let mut ctx = ContextualSelector::new(Box::new(base), 0.9);
+        ctx.select(&[]);
+        ctx.reset();
+        assert_eq!(ctx.messages_seen, 0);
+        assert_eq!(ctx.belief, [0.0; Domain::COUNT]);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in [0, 1)")]
+    fn invalid_decay_rejected() {
+        let base = Scripted {
+            script: vec![[0.0; 4]],
+            at: 0,
+        };
+        let _ = ContextualSelector::new(Box::new(base), 1.0);
+    }
+}

@@ -1,0 +1,97 @@
+use crate::DomainSelector;
+use semcom_text::{Domain, SyntheticLanguage};
+use std::collections::HashMap;
+
+/// Lexicon-membership voting: each token votes for every domain whose
+/// lexicon contains it. No training required — the weakest baseline of T5,
+/// because shared and polysemous words vote for *all* their domains.
+#[derive(Debug, Clone)]
+pub struct KeywordSelector {
+    /// token -> bitmask of domains that know the token.
+    membership: HashMap<usize, u8>,
+}
+
+impl KeywordSelector {
+    /// Builds the selector from the language's lexicons.
+    pub fn from_language(lang: &SyntheticLanguage) -> Self {
+        let mut membership: HashMap<usize, u8> = HashMap::new();
+        for d in Domain::ALL {
+            for &c in lang.domain_concepts(d) {
+                for &t in lang.surfaces(c) {
+                    *membership.entry(t).or_insert(0) |= 1 << d.index();
+                }
+            }
+        }
+        KeywordSelector { membership }
+    }
+}
+
+impl DomainSelector for KeywordSelector {
+    fn scores(&mut self, tokens: &[usize]) -> [f64; Domain::COUNT] {
+        let mut scores = [0.0; Domain::COUNT];
+        for t in tokens {
+            if let Some(&mask) = self.membership.get(t) {
+                let votes = mask.count_ones() as f64;
+                for d in 0..Domain::COUNT {
+                    if mask & (1 << d) != 0 {
+                        // A word known to fewer domains is more diagnostic.
+                        scores[d] += 1.0 / votes;
+                    }
+                }
+            }
+        }
+        scores
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "keyword"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcom_text::{CorpusGenerator, LanguageConfig, Rendering};
+
+    #[test]
+    fn domain_specific_words_select_their_domain() {
+        let lang = LanguageConfig::default().build(0);
+        let mut sel = KeywordSelector::from_language(&lang);
+        let mut gen = CorpusGenerator::new(&lang, 1);
+        let mut correct = 0;
+        let n = 40;
+        for i in 0..n {
+            let d = Domain::from_index(i % Domain::COUNT);
+            let s = gen.sentence(d, Rendering::Canonical);
+            if sel.select(&s.tokens) == d {
+                correct += 1;
+            }
+        }
+        // Shared concepts dilute the vote, but most sentences carry enough
+        // domain-specific words.
+        assert!(correct as f64 / n as f64 > 0.6, "{correct}/{n}");
+    }
+
+    #[test]
+    fn shared_words_split_their_vote() {
+        let lang = LanguageConfig::default().build(0);
+        let mut sel = KeywordSelector::from_language(&lang);
+        // A shared concept's surface exists in all domains.
+        let shared = lang.domain_concepts(Domain::It)[0];
+        assert!(lang.concept_domain(shared).is_none());
+        let scores = sel.scores(&[lang.primary_token(shared)]);
+        for d in 1..Domain::COUNT {
+            assert!((scores[d] - scores[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unknown_tokens_score_zero() {
+        let lang = LanguageConfig::tiny().build(0);
+        let mut sel = KeywordSelector::from_language(&lang);
+        let scores = sel.scores(&[0]); // <pad> belongs to no lexicon
+        assert_eq!(scores, [0.0; Domain::COUNT]);
+    }
+}

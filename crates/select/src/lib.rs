@@ -1,0 +1,99 @@
+//! # semcom-select
+//!
+//! Domain/model selection for the `semcom` reproduction of *"Semantic
+//! Communications, Semantic Edge Computing, and Semantic Caching"*
+//! (Yu & Zhao, ICDCS 2023).
+//!
+//! Paper §III-A: "a traditional classification neural network can be used
+//! to determine which domain the message belongs to, \[but\] it may not take
+//! into account the context of the message … deep reinforcement learning or
+//! LSTM-based classification networks can be utilized". This crate
+//! implements the spectrum and measures it (experiment T5):
+//!
+//! * [`KeywordSelector`] — lexicon-membership voting (no training);
+//! * [`NaiveBayesSelector`] — multinomial naive Bayes over tokens;
+//! * [`LogisticSelector`] — a trained bag-of-words linear classifier (the
+//!   "traditional classification neural network");
+//! * [`RecurrentSelector`] — a GRU classifier whose hidden state persists
+//!   across the messages of a conversation (the paper's recurrent
+//!   suggestion);
+//! * [`ContextualSelector`] — wraps any base selector with an
+//!   exponentially-decayed score history over the conversation;
+//! * [`BanditSelector`] — an ε-greedy reinforcement-learning selector fed
+//!   by decode-success rewards (the paper's "deep reinforcement learning"
+//!   suggestion).
+//!
+//! All selectors implement [`DomainSelector`] and are evaluated with
+//! [`eval::ConversationSet`] — conversations stay on one topic, individual
+//! messages can be locally ambiguous, and context resolves the ambiguity.
+//!
+//! # Example
+//!
+//! ```
+//! use semcom_select::{DomainSelector, NaiveBayesSelector, eval::ConversationSet};
+//! use semcom_text::LanguageConfig;
+//!
+//! let lang = LanguageConfig::tiny().build(0);
+//! let train = ConversationSet::generate(&lang, 30, 6, 1);
+//! let mut nb = NaiveBayesSelector::fit(&lang, &train.sentences());
+//! let test = ConversationSet::generate(&lang, 10, 6, 2);
+//! let acc = test.evaluate(&mut nb);
+//! assert!(acc > 0.5, "accuracy {acc}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandit;
+mod contextual;
+mod keyword;
+mod logistic;
+mod naive_bayes;
+mod recurrent;
+
+pub mod eval;
+
+pub use bandit::BanditSelector;
+pub use contextual::ContextualSelector;
+pub use keyword::KeywordSelector;
+pub use logistic::LogisticSelector;
+pub use naive_bayes::NaiveBayesSelector;
+pub use recurrent::RecurrentSelector;
+
+use semcom_text::Domain;
+
+/// A domain selector: given the tokens of one message, produce a score per
+/// domain and pick the model to decode with.
+///
+/// Selectors are stateful across a conversation (context); call
+/// [`DomainSelector::reset`] at conversation boundaries.
+pub trait DomainSelector {
+    /// Per-domain scores for one message (higher = more likely). Stateful
+    /// selectors may update internal context.
+    fn scores(&mut self, tokens: &[usize]) -> [f64; Domain::COUNT];
+
+    /// Selects the domain with the highest score.
+    fn select(&mut self, tokens: &[usize]) -> Domain {
+        let scores = self.scores(tokens);
+        let mut best = 0;
+        for (i, &s) in scores.iter().enumerate() {
+            if s > scores[best] {
+                best = i;
+            }
+        }
+        Domain::from_index(best)
+    }
+
+    /// Reports the reward earned by the most recent [`Self::select`] call
+    /// (e.g. decode success measured via the sender's decoder copy,
+    /// §II-C). Default: ignored; reinforcement-learning selectors override.
+    fn observe(&mut self, reward: f64) {
+        let _ = reward;
+    }
+
+    /// Clears conversational context (new conversation).
+    fn reset(&mut self);
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}

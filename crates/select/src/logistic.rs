@@ -1,0 +1,113 @@
+use crate::DomainSelector;
+use rand::seq::SliceRandom;
+use semcom_nn::layers::{DenseLayer, Linear};
+use semcom_nn::loss::softmax_cross_entropy;
+use semcom_nn::optim::{Adam, Optimizer};
+use semcom_nn::rng::seeded_rng;
+use semcom_nn::Tensor;
+use semcom_text::{Domain, Sentence, SyntheticLanguage};
+
+/// A trained bag-of-words linear classifier — the paper's "traditional
+/// classification neural network" (§III-A).
+#[derive(Debug, Clone)]
+pub struct LogisticSelector {
+    layer: Linear,
+    vocab: usize,
+}
+
+impl LogisticSelector {
+    /// Trains the classifier on labeled sentences.
+    pub fn fit(lang: &SyntheticLanguage, sentences: &[Sentence], seed: u64) -> Self {
+        let vocab = lang.vocab().len();
+        let mut layer = Linear::new(vocab, Domain::COUNT, seed);
+        let mut opt = Adam::new(0.05);
+        let mut rng = seeded_rng(seed);
+        let mut order: Vec<usize> = (0..sentences.len()).collect();
+
+        for _ in 0..12 {
+            order.shuffle(&mut rng);
+            for batch in order.chunks(16) {
+                let rows: Vec<Tensor> = batch
+                    .iter()
+                    .map(|&i| bow(&sentences[i].tokens, vocab))
+                    .collect();
+                let x = Tensor::vstack(&rows);
+                let targets: Vec<usize> =
+                    batch.iter().map(|&i| sentences[i].domain.index()).collect();
+                let logits = layer.forward(&x);
+                let (_, dlogits) = softmax_cross_entropy(&logits, &targets);
+                layer.zero_grad();
+                layer.backward(&dlogits);
+                opt.step(&mut layer.params_mut());
+            }
+        }
+        LogisticSelector { layer, vocab }
+    }
+}
+
+/// Normalized bag-of-words vector for one message.
+fn bow(tokens: &[usize], vocab: usize) -> Tensor {
+    let mut v = Tensor::zeros(1, vocab);
+    if tokens.is_empty() {
+        return v;
+    }
+    let w = 1.0 / tokens.len() as f32;
+    for &t in tokens {
+        if t < vocab {
+            v.set(0, t, v.get(0, t) + w);
+        }
+    }
+    v
+}
+
+impl DomainSelector for LogisticSelector {
+    fn scores(&mut self, tokens: &[usize]) -> [f64; Domain::COUNT] {
+        let logits = self.layer.infer(&bow(tokens, self.vocab));
+        let mut out = [0.0; Domain::COUNT];
+        for d in 0..Domain::COUNT {
+            out[d] = logits.get(0, d) as f64;
+        }
+        out
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "logistic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcom_text::{CorpusGenerator, LanguageConfig, Rendering};
+
+    #[test]
+    fn logistic_learns_domain_classification() {
+        let lang = LanguageConfig::tiny().build(0);
+        let mut gen = CorpusGenerator::new(&lang, 1);
+        let mut train = Vec::new();
+        for d in Domain::ALL {
+            train.extend(gen.sentences(d, Rendering::Mixed(0.2), 40));
+        }
+        let mut sel = LogisticSelector::fit(&lang, &train, 7);
+        let mut correct = 0;
+        let n = 60;
+        for i in 0..n {
+            let d = Domain::from_index(i % Domain::COUNT);
+            let s = gen.sentence(d, Rendering::Canonical);
+            if sel.select(&s.tokens) == d {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / n as f64 > 0.8, "{correct}/{n}");
+    }
+
+    #[test]
+    fn empty_message_is_handled() {
+        let lang = LanguageConfig::tiny().build(0);
+        let mut sel = LogisticSelector::fit(&lang, &[], 1);
+        let scores = sel.scores(&[]);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+}

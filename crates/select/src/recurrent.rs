@@ -1,0 +1,162 @@
+use crate::DomainSelector;
+use rand::seq::SliceRandom;
+use semcom_nn::layers::{DenseLayer, Embedding, GruCell, Linear};
+use semcom_nn::loss::softmax_cross_entropy;
+use semcom_nn::optim::{Adam, Optimizer};
+use semcom_nn::rng::{derive_seed, seeded_rng};
+use semcom_nn::Tensor;
+use semcom_text::{Domain, Sentence, SyntheticLanguage};
+
+const EMBED: usize = 16;
+const HIDDEN: usize = 24;
+
+/// A GRU sequence classifier — the paper's "LSTM-based classification
+/// network" suggestion (§III-A), with a GRU cell in place of an LSTM.
+///
+/// At inference the hidden state **persists across the messages of a
+/// conversation**, giving the classifier built-in context; [`Self::reset`]
+/// clears it at conversation boundaries.
+#[derive(Debug, Clone)]
+pub struct RecurrentSelector {
+    embedding: Embedding,
+    gru: GruCell,
+    head: Linear,
+    state: Option<Tensor>,
+}
+
+impl RecurrentSelector {
+    /// Trains the classifier on labeled sentences (BPTT within each
+    /// sentence).
+    pub fn fit(lang: &SyntheticLanguage, sentences: &[Sentence], seed: u64) -> Self {
+        let mut model = RecurrentSelector {
+            embedding: Embedding::new(lang.vocab().len(), EMBED, derive_seed(seed, 1)),
+            gru: GruCell::new(EMBED, HIDDEN, derive_seed(seed, 2)),
+            head: Linear::new(HIDDEN, Domain::COUNT, derive_seed(seed, 3)),
+            state: None,
+        };
+        let mut opt = Adam::new(0.01);
+        let mut rng = seeded_rng(seed);
+        let mut order: Vec<usize> = (0..sentences.len()).collect();
+
+        for _ in 0..10 {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let s = &sentences[i];
+                if s.tokens.is_empty() {
+                    continue;
+                }
+                model.train_step(&s.tokens, s.domain.index(), &mut opt);
+            }
+        }
+        model
+    }
+
+    fn train_step(&mut self, tokens: &[usize], target: usize, opt: &mut Adam) {
+        // Clear gradients (and any stale BPTT cache) before unrolling.
+        self.embedding.zero_grad();
+        self.gru.zero_grad();
+        self.head.zero_grad();
+
+        // Forward: unroll the GRU over the sentence.
+        let embedded = self.embedding.forward(tokens);
+        let mut h = self.gru.zero_state(1);
+        for r in 0..embedded.rows() {
+            let x = Tensor::row_from_slice(embedded.row(r));
+            h = self.gru.forward(&x, &h);
+        }
+        let logits = self.head.forward(&h);
+        let (_, dlogits) = softmax_cross_entropy(&logits, &[target]);
+
+        // Backward through time.
+        let mut dh = self.head.backward(&dlogits);
+        let mut dx_rows = vec![vec![0.0f32; EMBED]; embedded.rows()];
+        for r in (0..embedded.rows()).rev() {
+            let (dx, dh_prev) = self.gru.backward(&dh);
+            dx_rows[r].copy_from_slice(dx.row(0));
+            dh = dh_prev;
+        }
+        let dx_flat: Vec<f32> = dx_rows.into_iter().flatten().collect();
+        let dembed = Tensor::from_vec(embedded.rows(), EMBED, dx_flat)
+            .expect("one gradient row per token");
+        self.embedding.backward(&dembed);
+
+        let mut params = self.embedding.params_mut();
+        params.extend(self.gru.params_mut());
+        params.extend(self.head.params_mut());
+        opt.step(&mut params);
+    }
+}
+
+impl DomainSelector for RecurrentSelector {
+    fn scores(&mut self, tokens: &[usize]) -> [f64; Domain::COUNT] {
+        let mut h = self
+            .state
+            .take()
+            .unwrap_or_else(|| self.gru.zero_state(1));
+        for &t in tokens {
+            let x = self.embedding.infer(&[t]);
+            h = self.gru.infer(&x, &h);
+        }
+        let logits = self.head.infer(&h);
+        self.state = Some(h);
+        let mut out = [0.0; Domain::COUNT];
+        for d in 0..Domain::COUNT {
+            out[d] = logits.get(0, d) as f64;
+        }
+        out
+    }
+
+    fn reset(&mut self) {
+        self.state = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "recurrent"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcom_text::{CorpusGenerator, LanguageConfig, Rendering};
+
+    #[test]
+    fn recurrent_learns_domain_classification() {
+        let lang = LanguageConfig::tiny().build(0);
+        let mut gen = CorpusGenerator::new(&lang, 1);
+        let mut train = Vec::new();
+        for d in Domain::ALL {
+            train.extend(gen.sentences(d, Rendering::Mixed(0.2), 40));
+        }
+        let mut sel = RecurrentSelector::fit(&lang, &train, 7);
+        let mut correct = 0;
+        let n = 40;
+        for i in 0..n {
+            let d = Domain::from_index(i % Domain::COUNT);
+            let s = gen.sentence(d, Rendering::Canonical);
+            sel.reset();
+            if sel.select(&s.tokens) == d {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / n as f64 > 0.7, "{correct}/{n}");
+    }
+
+    #[test]
+    fn state_persists_until_reset() {
+        let lang = LanguageConfig::tiny().build(0);
+        let mut sel = RecurrentSelector::fit(&lang, &[], 3);
+        let _ = sel.scores(&[2, 3]);
+        assert!(sel.state.is_some());
+        sel.reset();
+        assert!(sel.state.is_none());
+    }
+
+    #[test]
+    fn empty_message_uses_prior_state_only() {
+        let lang = LanguageConfig::tiny().build(0);
+        let mut sel = RecurrentSelector::fit(&lang, &[], 3);
+        let scores = sel.scores(&[]);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+}

@@ -1,0 +1,97 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A communication domain, following the paper's examples (§II-A): "major
+/// domains such as IT, medical, news, and entertainment".
+///
+/// Domains index the set `M = {1, …, M}` of the paper: each domain has its
+/// own lexicon, its own general knowledge-base encoder/decoder pair, and its
+/// own mismatch buffer `b_m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// Information technology / computer architecture.
+    It,
+    /// Medical communication.
+    Medical,
+    /// News reporting.
+    News,
+    /// Entertainment.
+    Entertainment,
+}
+
+impl Domain {
+    /// All domains, in index order.
+    pub const ALL: [Domain; 4] = [
+        Domain::It,
+        Domain::Medical,
+        Domain::News,
+        Domain::Entertainment,
+    ];
+
+    /// Number of domains (`M` in the paper).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable zero-based index of this domain.
+    pub fn index(self) -> usize {
+        match self {
+            Domain::It => 0,
+            Domain::Medical => 1,
+            Domain::News => 2,
+            Domain::Entertainment => 3,
+        }
+    }
+
+    /// The domain with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Domain::COUNT`.
+    pub fn from_index(i: usize) -> Domain {
+        Self::ALL[i]
+    }
+
+    /// Lower-case human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Domain::It => "it",
+            Domain::Medical => "medical",
+            Domain::News => "news",
+            Domain::Entertainment => "entertainment",
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `pad` honors width/alignment specifiers ({:<13} etc.).
+        f.pad(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_roundtrip() {
+        for d in Domain::ALL {
+            assert_eq!(Domain::from_index(d.index()), d);
+        }
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; Domain::COUNT];
+        for d in Domain::ALL {
+            assert!(!seen[d.index()]);
+            seen[d.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Domain::It.to_string(), "it");
+        assert_eq!(Domain::Entertainment.to_string(), "entertainment");
+    }
+}

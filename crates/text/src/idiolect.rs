@@ -1,0 +1,198 @@
+use crate::concept::ConceptId;
+use crate::domain::Domain;
+use crate::language::SyntheticLanguage;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use semcom_nn::rng::seeded_rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration for sampling a user [`Idiolect`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IdiolectConfig {
+    /// Probability that the user prefers a (correct but non-primary)
+    /// synonym for a concept.
+    pub synonym_rate: f64,
+    /// Probability that the user uses a **cross-sense** word for a concept:
+    /// a word whose domain lexicon sense is a *different* concept. This is
+    /// the paper's §II-B phenomenon — "different people may use the same
+    /// word or phrase to mean different things" — and is what a
+    /// domain-general model cannot recover.
+    pub confusion_rate: f64,
+}
+
+impl Default for IdiolectConfig {
+    fn default() -> Self {
+        IdiolectConfig {
+            synonym_rate: 0.25,
+            confusion_rate: 0.15,
+        }
+    }
+}
+
+impl IdiolectConfig {
+    /// A strength-scaled configuration: `strength` in `[0, 1]` scales both
+    /// rates of the default configuration (used by the T3 sweep).
+    pub fn with_strength(strength: f64) -> Self {
+        let base = IdiolectConfig::default();
+        IdiolectConfig {
+            synonym_rate: base.synonym_rate * strength,
+            confusion_rate: base.confusion_rate * strength,
+        }
+    }
+}
+
+/// A user's systematic word-choice deviations from the domain lexicon.
+///
+/// For each overridden concept the idiolect stores the surface token the
+/// user actually utters. Overrides are sampled once per user and stay fixed
+/// — idiolects are *systematic*, which is what makes them learnable by a
+/// user-specific knowledge base (§II-B).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Idiolect {
+    overrides: HashMap<ConceptId, usize>,
+    /// Number of cross-sense (misinterpretable) overrides.
+    confusions: usize,
+}
+
+impl Idiolect {
+    /// Samples an idiolect for a user active in `domain`.
+    pub fn sample(
+        lang: &SyntheticLanguage,
+        domain: Domain,
+        config: IdiolectConfig,
+        seed: u64,
+    ) -> Self {
+        let mut rng = seeded_rng(seed);
+        let mut overrides = HashMap::new();
+        let mut confusions = 0;
+        let concepts = lang.domain_concepts(domain);
+        for &c in concepts {
+            let roll: f64 = rng.gen();
+            if roll < config.confusion_rate {
+                // Use the primary word of a different concept in the same
+                // domain (a "false friend"); the receiver's lexicon will
+                // misinterpret it.
+                let other = concepts
+                    .choose(&mut rng)
+                    .copied()
+                    .filter(|&o| o != c)
+                    .unwrap_or(c);
+                if other != c {
+                    overrides.insert(c, lang.primary_token(other));
+                    confusions += 1;
+                }
+            } else if roll < config.confusion_rate + config.synonym_rate {
+                let surfaces = lang.surfaces(c);
+                if surfaces.len() > 1 {
+                    let idx = rng.gen_range(1..surfaces.len());
+                    overrides.insert(c, surfaces[idx]);
+                }
+            }
+        }
+        Idiolect {
+            overrides,
+            confusions,
+        }
+    }
+
+    /// The token this user utters for `concept`, if it deviates from the
+    /// domain primary.
+    pub fn token_override(&self, concept: ConceptId) -> Option<usize> {
+        self.overrides.get(&concept).copied()
+    }
+
+    /// The token this user utters for `concept` (override or domain primary).
+    pub fn utter(&self, lang: &SyntheticLanguage, concept: ConceptId) -> usize {
+        self.token_override(concept)
+            .unwrap_or_else(|| lang.primary_token(concept))
+    }
+
+    /// Number of overridden concepts.
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// Number of cross-sense (misinterpretable) overrides.
+    pub fn confusion_count(&self) -> usize {
+        self.confusions
+    }
+
+    /// Whether the user speaks exactly the canonical domain lexicon.
+    pub fn is_canonical(&self) -> bool {
+        self.overrides.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::LanguageConfig;
+
+    fn lang() -> SyntheticLanguage {
+        LanguageConfig::default().build(0)
+    }
+
+    #[test]
+    fn zero_strength_idiolect_is_canonical() {
+        let l = lang();
+        let id = Idiolect::sample(&l, Domain::It, IdiolectConfig::with_strength(0.0), 5);
+        assert!(id.is_canonical());
+        let c = l.domain_concepts(Domain::It)[0];
+        assert_eq!(id.utter(&l, c), l.primary_token(c));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let l = lang();
+        let a = Idiolect::sample(&l, Domain::News, IdiolectConfig::default(), 9);
+        let b = Idiolect::sample(&l, Domain::News, IdiolectConfig::default(), 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stronger_idiolects_override_more() {
+        let l = lang();
+        let weak = Idiolect::sample(&l, Domain::It, IdiolectConfig::with_strength(0.2), 3);
+        let strong = Idiolect::sample(&l, Domain::It, IdiolectConfig::with_strength(1.0), 3);
+        assert!(strong.override_count() >= weak.override_count());
+        assert!(strong.override_count() > 0);
+    }
+
+    #[test]
+    fn confusion_overrides_are_misinterpretable() {
+        let l = lang();
+        let cfg = IdiolectConfig {
+            synonym_rate: 0.0,
+            confusion_rate: 1.0,
+        };
+        let id = Idiolect::sample(&l, Domain::Medical, cfg, 11);
+        assert!(id.confusion_count() > 0);
+        let mut misread = 0;
+        for &c in l.domain_concepts(Domain::Medical) {
+            if let Some(t) = id.token_override(c) {
+                let sense = l.token_sense(Domain::Medical, t);
+                assert_ne!(sense, Some(c), "confusion must change the sense");
+                misread += 1;
+            }
+        }
+        assert_eq!(misread, id.confusion_count());
+    }
+
+    #[test]
+    fn synonym_overrides_keep_the_sense() {
+        let l = lang();
+        let cfg = IdiolectConfig {
+            synonym_rate: 1.0,
+            confusion_rate: 0.0,
+        };
+        let id = Idiolect::sample(&l, Domain::It, cfg, 2);
+        assert_eq!(id.confusion_count(), 0);
+        assert!(id.override_count() > 0);
+        for &c in l.domain_concepts(Domain::It) {
+            if let Some(t) = id.token_override(c) {
+                assert_eq!(l.token_sense(Domain::It, t), Some(c));
+            }
+        }
+    }
+}

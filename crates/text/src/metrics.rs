@@ -1,0 +1,257 @@
+//! Text and semantic similarity metrics.
+//!
+//! Semantic-communication papers evaluate with BLEU and embedding-based
+//! sentence similarity. Because this reproduction's language carries ground
+//! truth, it adds an *exact* metric: [`concept_accuracy`], the fraction of
+//! transmitted meanings recovered.
+
+use crate::concept::ConceptId;
+use std::collections::HashMap;
+
+/// Fraction of positions where the decoded concept equals the ground truth.
+///
+/// Sequences of different lengths are compared up to the shorter length,
+/// with missing positions counted as errors against the reference length.
+pub fn concept_accuracy(reference: &[ConceptId], decoded: &[ConceptId]) -> f64 {
+    if reference.is_empty() {
+        return if decoded.is_empty() { 1.0 } else { 0.0 };
+    }
+    let hits = reference
+        .iter()
+        .zip(decoded.iter())
+        .filter(|(a, b)| a == b)
+        .count();
+    hits as f64 / reference.len() as f64
+}
+
+/// Fraction of positions where decoded token ids match the reference.
+pub fn token_accuracy(reference: &[usize], decoded: &[usize]) -> f64 {
+    if reference.is_empty() {
+        return if decoded.is_empty() { 1.0 } else { 0.0 };
+    }
+    let hits = reference
+        .iter()
+        .zip(decoded.iter())
+        .filter(|(a, b)| a == b)
+        .count();
+    hits as f64 / reference.len() as f64
+}
+
+/// BLEU score with uniform n-gram weights up to `max_n`, with the standard
+/// brevity penalty; tokens are compared as ids.
+///
+/// Returns a value in `[0, 1]`. A perfect copy scores 1.
+///
+/// # Panics
+///
+/// Panics if `max_n == 0`.
+pub fn bleu(reference: &[usize], candidate: &[usize], max_n: usize) -> f64 {
+    assert!(max_n > 0, "bleu requires max_n >= 1");
+    if candidate.is_empty() || reference.is_empty() {
+        return 0.0;
+    }
+    let mut log_sum = 0.0;
+    let mut used = 0;
+    for n in 1..=max_n {
+        if reference.len() < n || candidate.len() < n {
+            break;
+        }
+        used += 1;
+        let ref_counts = ngram_counts(reference, n);
+        let cand_counts = ngram_counts(candidate, n);
+        let mut clipped = 0usize;
+        let mut total = 0usize;
+        for (gram, &c) in &cand_counts {
+            total += c;
+            clipped += c.min(ref_counts.get(gram).copied().unwrap_or(0));
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        // Laplace-style smoothing for zero n-gram matches keeps short
+        // sentences comparable (Lin & Och smoothing-1).
+        let p = if clipped == 0 {
+            1.0 / (2.0 * total as f64)
+        } else {
+            clipped as f64 / total as f64
+        };
+        log_sum += p.ln();
+    }
+    if used == 0 {
+        return 0.0;
+    }
+    let geo = (log_sum / used as f64).exp();
+    let bp = if candidate.len() >= reference.len() {
+        1.0
+    } else {
+        (1.0 - reference.len() as f64 / candidate.len() as f64).exp()
+    };
+    bp * geo
+}
+
+fn ngram_counts(tokens: &[usize], n: usize) -> HashMap<&[usize], usize> {
+    let mut map = HashMap::new();
+    for w in tokens.windows(n) {
+        *map.entry(w).or_insert(0) += 1;
+    }
+    map
+}
+
+/// Cosine similarity between bag-of-items vectors of two sequences.
+///
+/// Works over any hashable item type — concept ids for semantic similarity,
+/// token ids for lexical similarity. Returns 0 for empty inputs.
+pub fn bow_cosine<T: std::hash::Hash + Eq + Copy>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let ca = counts(a);
+    let cb = counts(b);
+    let dot: f64 = ca
+        .iter()
+        .map(|(k, &va)| va as f64 * cb.get(k).copied().unwrap_or(0) as f64)
+        .sum();
+    let na: f64 = ca.values().map(|&v| (v * v) as f64).sum::<f64>().sqrt();
+    let nb: f64 = cb.values().map(|&v| (v * v) as f64).sum::<f64>().sqrt();
+    dot / (na * nb)
+}
+
+fn counts<T: std::hash::Hash + Eq + Copy>(xs: &[T]) -> HashMap<T, usize> {
+    let mut map = HashMap::new();
+    for &x in xs {
+        *map.entry(x).or_insert(0) += 1;
+    }
+    map
+}
+
+/// Word error rate: Levenshtein edit distance between the sequences,
+/// normalized by the reference length. `0.0` is a perfect transcript;
+/// values can exceed `1.0` when the hypothesis is much longer than the
+/// reference. Returns `0.0` for two empty sequences.
+pub fn word_error_rate<T: PartialEq>(reference: &[T], hypothesis: &[T]) -> f64 {
+    if reference.is_empty() {
+        return if hypothesis.is_empty() { 0.0 } else { 1.0 };
+    }
+    // Single-row dynamic program.
+    let mut prev: Vec<usize> = (0..=hypothesis.len()).collect();
+    let mut cur = vec![0usize; hypothesis.len() + 1];
+    for (i, r) in reference.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, h) in hypothesis.iter().enumerate() {
+            let sub = prev[j] + usize::from(r != h);
+            let del = prev[j + 1] + 1;
+            let ins = cur[j] + 1;
+            cur[j + 1] = sub.min(del).min(ins);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[hypothesis.len()] as f64 / reference.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(ids: &[u32]) -> Vec<ConceptId> {
+        ids.iter().map(|&i| ConceptId(i)).collect()
+    }
+
+    #[test]
+    fn concept_accuracy_basics() {
+        assert_eq!(concept_accuracy(&c(&[1, 2, 3]), &c(&[1, 2, 3])), 1.0);
+        assert_eq!(concept_accuracy(&c(&[1, 2, 3]), &c(&[1, 9, 3])), 2.0 / 3.0);
+        assert_eq!(concept_accuracy(&c(&[1, 2]), &c(&[])), 0.0);
+        assert_eq!(concept_accuracy(&c(&[]), &c(&[])), 1.0);
+    }
+
+    #[test]
+    fn truncated_decodes_count_missing_as_errors() {
+        assert_eq!(concept_accuracy(&c(&[1, 2, 3, 4]), &c(&[1, 2])), 0.5);
+    }
+
+    #[test]
+    fn bleu_perfect_copy_is_one() {
+        let s = vec![5, 6, 7, 8, 9];
+        assert!((bleu(&s, &s, 4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bleu_decreases_with_errors() {
+        let r = vec![1, 2, 3, 4, 5, 6];
+        let one_err = vec![1, 2, 9, 4, 5, 6];
+        let three_err = vec![9, 2, 9, 4, 9, 6];
+        let b1 = bleu(&r, &one_err, 4);
+        let b3 = bleu(&r, &three_err, 4);
+        assert!(b1 < 1.0);
+        assert!(b3 < b1, "{b3} !< {b1}");
+    }
+
+    #[test]
+    fn bleu_brevity_penalty_applies() {
+        let r = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        let short = vec![1, 2, 3, 4];
+        let full = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        assert!(bleu(&r, &short, 2) < bleu(&r, &full, 2));
+    }
+
+    #[test]
+    fn bleu_disjoint_is_near_zero() {
+        let r = vec![1, 2, 3, 4];
+        let d = vec![5, 6, 7, 8];
+        assert!(bleu(&r, &d, 2) < 0.2);
+    }
+
+    #[test]
+    fn bleu_empty_inputs_are_zero() {
+        assert_eq!(bleu(&[], &[1], 2), 0.0);
+        assert_eq!(bleu(&[1], &[], 2), 0.0);
+    }
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let a = vec![1, 2, 2, 3];
+        assert!((bow_cosine(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_is_order_invariant() {
+        let a = vec![1, 2, 3];
+        let b = vec![3, 1, 2];
+        assert!((bow_cosine(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_disjoint_is_zero() {
+        assert_eq!(bow_cosine(&[1, 2], &[3, 4]), 0.0);
+        assert_eq!(bow_cosine::<usize>(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn wer_basics() {
+        assert_eq!(word_error_rate(&[1, 2, 3], &[1, 2, 3]), 0.0);
+        // One substitution.
+        assert!((word_error_rate(&[1, 2, 3], &[1, 9, 3]) - 1.0 / 3.0).abs() < 1e-12);
+        // One deletion.
+        assert!((word_error_rate(&[1, 2, 3], &[1, 3]) - 1.0 / 3.0).abs() < 1e-12);
+        // One insertion.
+        assert!((word_error_rate(&[1, 2], &[1, 9, 2]) - 0.5).abs() < 1e-12);
+        // Empty cases.
+        assert_eq!(word_error_rate::<u32>(&[], &[]), 0.0);
+        assert_eq!(word_error_rate(&[] as &[u32], &[1]), 1.0);
+        assert_eq!(word_error_rate(&[1, 2], &[]), 1.0);
+    }
+
+    #[test]
+    fn wer_is_a_metric_on_equal_length_sequences() {
+        // Symmetric for same-length sequences (only substitutions).
+        let a = [1, 2, 3, 4];
+        let b = [1, 9, 3, 8];
+        assert_eq!(word_error_rate(&a, &b), word_error_rate(&b, &a));
+    }
+
+    #[test]
+    fn token_accuracy_matches_positions() {
+        assert_eq!(token_accuracy(&[1, 2, 3], &[1, 0, 3]), 2.0 / 3.0);
+        assert_eq!(token_accuracy(&[], &[]), 1.0);
+    }
+}

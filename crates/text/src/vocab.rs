@@ -1,0 +1,151 @@
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A bidirectional word ↔ token-id mapping.
+///
+/// Token id `0` is always [`Vocabulary::PAD`] and id `1` is
+/// [`Vocabulary::UNK`]; words added with [`Vocabulary::intern`] start at 2.
+///
+/// # Example
+///
+/// ```
+/// use semcom_text::Vocabulary;
+/// let mut v = Vocabulary::new();
+/// let id = v.intern("mirola");
+/// assert_eq!(v.id_of("mirola"), Some(id));
+/// assert_eq!(v.word_of(id), Some("mirola"));
+/// assert_eq!(v.id_of("absent"), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    ids: HashMap<String, usize>,
+}
+
+impl Vocabulary {
+    /// Token id of the padding token.
+    pub const PAD: usize = 0;
+    /// Token id of the unknown-word token.
+    pub const UNK: usize = 1;
+
+    /// Creates a vocabulary containing only the special tokens.
+    pub fn new() -> Self {
+        let mut v = Vocabulary {
+            words: Vec::new(),
+            ids: HashMap::new(),
+        };
+        v.intern("<pad>");
+        v.intern("<unk>");
+        v
+    }
+
+    /// Adds a word if absent; returns its id either way.
+    pub fn intern(&mut self, word: &str) -> usize {
+        if let Some(&id) = self.ids.get(word) {
+            return id;
+        }
+        let id = self.words.len();
+        self.words.push(word.to_owned());
+        self.ids.insert(word.to_owned(), id);
+        id
+    }
+
+    /// Looks up the id of a word.
+    pub fn id_of(&self, word: &str) -> Option<usize> {
+        self.ids.get(word).copied()
+    }
+
+    /// Looks up the word for an id.
+    pub fn word_of(&self, id: usize) -> Option<&str> {
+        self.words.get(id).map(String::as_str)
+    }
+
+    /// Total number of tokens, including the two special tokens.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Always false: the special tokens are ever-present.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Encodes a word sequence, mapping unknown words to [`Self::UNK`].
+    pub fn encode<'a, I: IntoIterator<Item = &'a str>>(&self, words: I) -> Vec<usize> {
+        words
+            .into_iter()
+            .map(|w| self.id_of(w).unwrap_or(Self::UNK))
+            .collect()
+    }
+
+    /// Decodes token ids back to words; unknown ids become `"<unk>"`.
+    pub fn decode(&self, ids: &[usize]) -> Vec<String> {
+        ids.iter()
+            .map(|&id| {
+                self.word_of(id)
+                    .unwrap_or(self.words[Self::UNK].as_str())
+                    .to_owned()
+            })
+            .collect()
+    }
+
+    /// Iterates over `(id, word)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.words.iter().enumerate().map(|(i, w)| (i, w.as_str()))
+    }
+}
+
+impl Default for Vocabulary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn special_tokens_have_fixed_ids() {
+        let v = Vocabulary::new();
+        assert_eq!(v.id_of("<pad>"), Some(Vocabulary::PAD));
+        assert_eq!(v.id_of("<unk>"), Some(Vocabulary::UNK));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("word");
+        let b = v.intern("word");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn encode_maps_unknown_to_unk() {
+        let mut v = Vocabulary::new();
+        v.intern("known");
+        assert_eq!(
+            v.encode(["known", "mystery"]),
+            vec![2, Vocabulary::UNK]
+        );
+    }
+
+    #[test]
+    fn decode_roundtrips_known_ids() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("hello");
+        assert_eq!(v.decode(&[id]), vec!["hello".to_owned()]);
+        assert_eq!(v.decode(&[999]), vec!["<unk>".to_owned()]);
+    }
+
+    #[test]
+    fn iter_is_in_id_order() {
+        let mut v = Vocabulary::new();
+        v.intern("a");
+        v.intern("b");
+        let words: Vec<&str> = v.iter().map(|(_, w)| w).collect();
+        assert_eq!(words, vec!["<pad>", "<unk>", "a", "b"]);
+    }
+}

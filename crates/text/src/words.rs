@@ -1,0 +1,74 @@
+//! Deterministic pseudo-word generation.
+//!
+//! Surface words of the synthetic language are pronounceable
+//! consonant–vowel strings ("mirola", "tebuka"). Generation is positional
+//! (word `i` is always the same string), collision-free by construction,
+//! and independent of any RNG, so corpora built from different seeds share
+//! a stable vocabulary.
+
+const CONSONANTS: [&str; 14] = [
+    "b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z",
+];
+const VOWELS: [&str; 5] = ["a", "e", "i", "o", "u"];
+
+/// Number of distinct two-syllable stems.
+const STEMS: usize = CONSONANTS.len() * VOWELS.len() * CONSONANTS.len() * VOWELS.len();
+
+/// Returns pseudo-word number `i`.
+///
+/// Words `0..4900` are distinct two-syllable stems; higher indices append
+/// additional syllables, so the mapping is injective for all `i`.
+pub fn pseudo_word(i: usize) -> String {
+    let mut word = String::new();
+    let mut idx = i;
+    loop {
+        let stem = idx % STEMS;
+        let c1 = stem % CONSONANTS.len();
+        let v1 = (stem / CONSONANTS.len()) % VOWELS.len();
+        let c2 = (stem / (CONSONANTS.len() * VOWELS.len())) % CONSONANTS.len();
+        let v2 = stem / (CONSONANTS.len() * VOWELS.len() * CONSONANTS.len());
+        word.push_str(CONSONANTS[c1]);
+        word.push_str(VOWELS[v1]);
+        word.push_str(CONSONANTS[c2]);
+        word.push_str(VOWELS[v2]);
+        idx /= STEMS;
+        if idx == 0 {
+            break;
+        }
+        idx -= 1; // distinguish "stem only" from "stem + first extension"
+    }
+    word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn words_are_deterministic() {
+        assert_eq!(pseudo_word(42), pseudo_word(42));
+    }
+
+    #[test]
+    fn first_ten_thousand_words_are_unique() {
+        let mut seen = HashSet::new();
+        for i in 0..10_000 {
+            assert!(seen.insert(pseudo_word(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn words_are_lowercase_ascii() {
+        for i in (0..5000).step_by(97) {
+            let w = pseudo_word(i);
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w}");
+            assert!(w.len() >= 4);
+        }
+    }
+
+    #[test]
+    fn extension_words_are_longer() {
+        assert!(pseudo_word(STEMS).len() > pseudo_word(0).len());
+    }
+}

@@ -1,0 +1,310 @@
+use crate::glyphs::{GlyphSet, GLYPH_PIXELS, GLYPH_SIDE};
+use rand::RngCore;
+use semcom_channel::{AwgnChannel, Channel};
+use semcom_nn::layers::{Activation, Conv2d, DenseLayer, LayerNorm, Linear, MaxPool2};
+use semcom_nn::loss::softmax_cross_entropy;
+use semcom_nn::optim::{Adam, Optimizer};
+use semcom_nn::rng::{derive_seed, seeded_rng};
+use semcom_nn::Tensor;
+use serde::{Deserialize, Serialize};
+
+const CONV_CH: usize = 4;
+const KERNEL: usize = 3;
+const HIDDEN: usize = 32;
+
+/// Training hyper-parameters for an [`ImageKb`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImageTrainConfig {
+    /// Passes over the generated training set.
+    pub epochs: usize,
+    /// Images per epoch.
+    pub samples_per_epoch: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Channel-noise injection SNR (dB); `None` trains noiselessly.
+    pub train_snr_db: Option<f64>,
+}
+
+impl Default for ImageTrainConfig {
+    fn default() -> Self {
+        ImageTrainConfig {
+            epochs: 8,
+            samples_per_epoch: 400,
+            batch_size: 32,
+            learning_rate: 0.005,
+            train_snr_db: Some(8.0),
+        }
+    }
+}
+
+/// A CNN image knowledge base (paper §III-B): encoder
+/// `Conv(1→4, 3×3) → ReLU → MaxPool(2×2) → Linear → power norm` producing
+/// `feature_dim` analog symbols per image; decoder
+/// `Linear → ReLU → Linear → concept logits`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ImageKb {
+    conv: Conv2d,
+    act1: Activation,
+    pool: MaxPool2,
+    proj: Linear,
+    norm: LayerNorm,
+    dec1: Linear,
+    act2: Activation,
+    dec2: Linear,
+    feature_dim: usize,
+    classes: usize,
+}
+
+impl ImageKb {
+    /// Creates an untrained image KB for `glyphs` with `feature_dim`
+    /// channel symbols per image.
+    pub fn new(glyphs: &GlyphSet, feature_dim: usize, seed: u64) -> Self {
+        let conv_h = GLYPH_SIDE - KERNEL + 1; // 10
+        let pooled = conv_h / 2; // 5
+        let flat = CONV_CH * pooled * pooled;
+        ImageKb {
+            conv: Conv2d::new(1, CONV_CH, GLYPH_SIDE, GLYPH_SIDE, KERNEL, derive_seed(seed, 0)),
+            act1: Activation::relu(),
+            pool: MaxPool2::new(CONV_CH, conv_h, conv_h),
+            proj: Linear::new(flat, feature_dim, derive_seed(seed, 1)),
+            norm: LayerNorm::new(feature_dim),
+            dec1: Linear::new(feature_dim, HIDDEN, derive_seed(seed, 2)),
+            act2: Activation::relu(),
+            dec2: Linear::new(HIDDEN, glyphs.len(), derive_seed(seed, 3)),
+            feature_dim,
+            classes: glyphs.len(),
+        }
+    }
+
+    /// Features (channel symbols) per image.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Number of visual concepts the decoder can emit.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Complex channel symbols per transmitted image.
+    pub fn symbols_per_image(&self) -> usize {
+        self.feature_dim.div_ceil(2)
+    }
+
+    /// Total trainable scalar count.
+    pub fn param_count(&mut self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Storage size in bytes (4 per parameter + header).
+    pub fn size_bytes(&mut self) -> usize {
+        self.param_count() * 4 + 64
+    }
+
+    fn params(&mut self) -> Vec<&mut semcom_nn::params::Param> {
+        let mut ps = self.conv.params_mut();
+        ps.extend(self.proj.params_mut());
+        ps.extend(self.dec1.params_mut());
+        ps.extend(self.dec2.params_mut());
+        ps
+    }
+
+    /// Encodes one image to power-normalized features (inference path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image.len() != GLYPH_PIXELS`.
+    pub fn encode(&self, image: &[f32]) -> Vec<f32> {
+        assert_eq!(image.len(), GLYPH_PIXELS, "wrong image size");
+        let x = Tensor::row_from_slice(image);
+        let h = self.pool.infer(&self.act1.infer(&self.conv.infer(&x)));
+        self.norm.infer(&self.proj.infer(&h)).into_vec()
+    }
+
+    /// Decodes received features to the most likely concept.
+    pub fn decode(&self, features: &[f32]) -> usize {
+        let f = Tensor::row_from_slice(features);
+        let logits = self.dec2.infer(&self.act2.infer(&self.dec1.infer(&f)));
+        logits.argmax_row(0)
+    }
+
+    /// End-to-end transmission: `self` encodes, `receiver` decodes.
+    pub fn transmit(
+        &self,
+        receiver: &ImageKb,
+        image: &[f32],
+        channel: &dyn Channel,
+        rng: &mut dyn RngCore,
+    ) -> usize {
+        let features = self.encode(image);
+        let received = channel.transmit_f32(&features, rng);
+        receiver.decode(&received)
+    }
+
+    /// Trains encoder and decoder jointly with channel-noise injection.
+    pub fn train(&mut self, glyphs: &GlyphSet, config: &ImageTrainConfig, seed: u64) -> f32 {
+        let mut rng = seeded_rng(seed);
+        let mut opt = Adam::new(config.learning_rate);
+        let channel = config.train_snr_db.map(AwgnChannel::new);
+        let mut last_loss = 0.0;
+        for _ in 0..config.epochs {
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            let mut remaining = config.samples_per_epoch;
+            while remaining > 0 {
+                let bs = config.batch_size.min(remaining);
+                remaining -= bs;
+                let mut rows = Vec::with_capacity(bs);
+                let mut labels = Vec::with_capacity(bs);
+                for _ in 0..bs {
+                    let (img, label) = glyphs.sample(&mut rng);
+                    rows.push(Tensor::row_from_slice(&img));
+                    labels.push(label);
+                }
+                let x = Tensor::vstack(&rows);
+
+                // Forward.
+                let c = self.conv.forward(&x);
+                let a = self.act1.forward(&c);
+                let p = self.pool.forward(&a);
+                let f = self.norm.forward(&self.proj.forward(&p));
+                let received = match &channel {
+                    Some(ch) => {
+                        let noisy = ch.transmit_f32(f.as_slice(), &mut rng);
+                        Tensor::from_vec(f.rows(), f.cols(), noisy)
+                            .expect("channel preserves length")
+                    }
+                    None => f.clone(),
+                };
+                let h = self.act2.forward(&self.dec1.forward(&received));
+                let logits = self.dec2.forward(&h);
+                let (loss, dlogits) = softmax_cross_entropy(&logits, &labels);
+                epoch_loss += loss;
+                batches += 1;
+
+                // Backward (AWGN gradient = identity).
+                for param in self.params() {
+                    param.zero_grad();
+                }
+                self.norm.zero_grad();
+                let dh = self.dec2.backward(&dlogits);
+                let drec = self.dec1.backward(&self.act2.backward(&dh));
+                let dp = self.proj.backward(&self.norm.backward(&drec));
+                let da = self.pool.backward(&dp);
+                let dc = self.act1.backward(&da);
+                self.conv.backward(&dc);
+                opt.step(&mut self.params());
+            }
+            if batches > 0 {
+                last_loss = epoch_loss / batches as f32;
+            }
+        }
+        last_loss
+    }
+
+    /// Classification accuracy over `n` fresh samples through `channel`.
+    pub fn accuracy(
+        &self,
+        glyphs: &GlyphSet,
+        channel: &dyn Channel,
+        n: usize,
+        rng: &mut dyn RngCore,
+    ) -> f64 {
+        let mut correct = 0;
+        for _ in 0..n {
+            let (img, label) = glyphs.sample(rng);
+            if self.transmit(self, &img, channel, rng) == label {
+                correct += 1;
+            }
+        }
+        correct as f64 / n.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcom_channel::NoiselessChannel;
+
+    fn quick() -> ImageTrainConfig {
+        ImageTrainConfig {
+            epochs: 6,
+            samples_per_epoch: 240,
+            train_snr_db: None,
+            ..ImageTrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn feature_power_is_normalized() {
+        let g = GlyphSet::new(5, 1);
+        let kb = ImageKb::new(&g, 8, 2);
+        let mut rng = seeded_rng(3);
+        let (img, _) = g.sample(&mut rng);
+        let f = kb.encode(&img);
+        let power: f32 = f.iter().map(|v| v * v).sum::<f32>() / f.len() as f32;
+        assert!((power - 1.0).abs() < 0.02, "power {power}");
+    }
+
+    #[test]
+    fn training_learns_the_glyphs() {
+        let g = GlyphSet::new(6, 1);
+        let mut kb = ImageKb::new(&g, 8, 2);
+        let mut rng = seeded_rng(4);
+        let before = kb.accuracy(&g, &NoiselessChannel, 100, &mut rng);
+        let loss = kb.train(&g, &quick(), 5);
+        let after = kb.accuracy(&g, &NoiselessChannel, 100, &mut rng);
+        assert!(loss < 1.0, "final loss {loss}");
+        assert!(after > before, "{before} -> {after}");
+        assert!(after > 0.85, "accuracy {after}");
+    }
+
+    #[test]
+    fn noisy_channel_degrades_but_noise_trained_model_resists() {
+        let g = GlyphSet::new(6, 2);
+        let mut clean = ImageKb::new(&g, 8, 3);
+        clean.train(&g, &quick(), 6);
+        let mut robust = ImageKb::new(&g, 8, 3);
+        robust.train(
+            &g,
+            &ImageTrainConfig {
+                train_snr_db: Some(2.0),
+                ..quick()
+            },
+            6,
+        );
+        let mut rng = seeded_rng(7);
+        let harsh = AwgnChannel::new(0.0);
+        let acc_clean = clean.accuracy(&g, &harsh, 150, &mut rng);
+        let acc_robust = robust.accuracy(&g, &harsh, 150, &mut rng);
+        assert!(
+            acc_robust > acc_clean,
+            "noise-injected training should be more robust: {acc_clean} vs {acc_robust}"
+        );
+    }
+
+    #[test]
+    fn symbols_per_image_is_half_features() {
+        let g = GlyphSet::new(3, 1);
+        let kb = ImageKb::new(&g, 10, 1);
+        assert_eq!(kb.symbols_per_image(), 5);
+    }
+
+    #[test]
+    fn param_count_is_positive_and_sized() {
+        let g = GlyphSet::new(4, 1);
+        let mut kb = ImageKb::new(&g, 8, 1);
+        assert!(kb.param_count() > 1000);
+        assert_eq!(kb.size_bytes(), kb.param_count() * 4 + 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong image size")]
+    fn wrong_image_size_panics() {
+        let g = GlyphSet::new(3, 1);
+        let kb = ImageKb::new(&g, 8, 1);
+        kb.encode(&[0.0; 10]);
+    }
+}

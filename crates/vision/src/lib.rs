@@ -1,0 +1,58 @@
+//! # semcom-vision
+//!
+//! The **multimodal** extension of the `semcom` reproduction: an image
+//! semantic codec, as called for by the paper's §III-B — "given the
+//! diverse nature of message types, including text, image, video, and
+//! audio, it is crucial to consider multimodality … promising approaches
+//! include convolutional neural networks (CNNs)".
+//!
+//! Real image corpora are out of scope for a deterministic laptop-scale
+//! reproduction (see DESIGN.md → Substitutions), so this crate supplies:
+//!
+//! * [`GlyphSet`] — a synthetic image modality: each concept has a
+//!   deterministic 12×12 prototype glyph; samples are noisy, jittered
+//!   renderings, so ground-truth *meaning* is exactly known (the same
+//!   trick the text modality uses);
+//! * [`ImageKb`] — a CNN knowledge base (Conv → ReLU → MaxPool → Linear →
+//!   power-normalized features) transmitting a handful of analog symbols
+//!   per image, trained with channel-noise injection;
+//! * [`PixelBaseline`] — the traditional leg: 1-bit pixels through a
+//!   channel-coded bit pipeline, classified at the receiver by nearest
+//!   prototype;
+//! * [`VideoKb`] over a [`VideoSet`] — the **video** leg: short clips
+//!   whose meaning is a `(glyph, motion)` pair, encoded by a CNN whose
+//!   input channels are the frames (temporal differences visible to the
+//!   kernels).
+//!
+//! Experiment F7 (`semcom-bench`, `f7_image_codec`) sweeps SNR and
+//! compares accuracy and channel uses.
+//!
+//! # Example
+//!
+//! ```
+//! use semcom_vision::{GlyphSet, ImageKb, ImageTrainConfig};
+//! use semcom_channel::AwgnChannel;
+//! use semcom_nn::rng::seeded_rng;
+//!
+//! let glyphs = GlyphSet::new(6, 1);
+//! let mut kb = ImageKb::new(&glyphs, 8, 2);
+//! kb.train(&glyphs, &ImageTrainConfig { epochs: 4, ..Default::default() }, 3);
+//! let mut rng = seeded_rng(4);
+//! let (img, label) = glyphs.sample(&mut rng);
+//! let decoded = kb.transmit(&kb, &img, &AwgnChannel::new(15.0), &mut rng);
+//! assert!(decoded < 6);
+//! let _ = label;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baseline;
+mod codec;
+mod glyphs;
+mod video;
+
+pub use baseline::PixelBaseline;
+pub use codec::{ImageKb, ImageTrainConfig};
+pub use glyphs::{GlyphSet, GLYPH_PIXELS, GLYPH_SIDE};
+pub use video::{Motion, VideoKb, VideoSet, VideoTrainConfig, CLIP_SAMPLES, FRAMES};

@@ -1,0 +1,87 @@
+//! A Metaverse-style fleet: many users across all four domains, with
+//! heterogeneous idiolects, sharing one pair of edge servers.
+//!
+//! Shows the semantic cache at work under a *tight* byte budget: user
+//! models are trained, cached, evicted, and re-established; domain
+//! selection runs per message from conversation context.
+//!
+//! ```sh
+//! cargo run --release --example metaverse_fleet
+//! ```
+
+use semcom::{SelectionStrategy, SemanticEdgeSystem, SystemConfig};
+use semcom_text::Domain;
+
+fn main() {
+    // Three edge servers; a cache too small for every user model, so
+    // eviction pressure is real; RL-based model selection (Sec. III-A).
+    let config = SystemConfig {
+        user_cache_bytes: 400_000,
+        n_edges: 3,
+        selection: SelectionStrategy::Bandit {
+            epsilon: 0.05,
+            learning_rate: 0.5,
+        },
+        ..SystemConfig::tiny()
+    };
+    println!("building system (3 edges, tight 400 kB user-model caches, bandit selection)…");
+    let mut system = SemanticEdgeSystem::build(config, 7);
+
+    // Twelve users, three per domain, spread across the edge ring
+    // 0→1, 1→2, 2→0, with growing idiolect strength.
+    let mut users = Vec::new();
+    for (i, d) in Domain::ALL.iter().cycle().take(12).enumerate() {
+        let strength = 0.5 + (i % 3) as f64;
+        let home = i % 3;
+        let peer = (i + 1) % 3;
+        users.push((
+            system.register_user_at(*d, strength, home, peer),
+            *d,
+            strength,
+        ));
+    }
+
+    println!("running 40 rounds of fleet traffic…");
+    for _round in 0..40 {
+        for &(u, _, _) in &users {
+            system.send_message(u);
+        }
+    }
+
+    // Mid-life failure: edge 1 crashes, losing every model it held.
+    println!("edge 1 crashes and restarts (volatile KB state lost)…");
+    system.restart_edge(1);
+    for _round in 0..20 {
+        for &(u, _, _) in &users {
+            system.send_message(u);
+        }
+    }
+    println!("…20 recovery rounds later:\n");
+
+    println!("  user | domain        | idiolect | accuracy now");
+    println!("  -----+---------------+----------+-------------");
+    for &(u, d, strength) in &users {
+        let acc = system.probe_accuracy(u, 15, 33);
+        println!("  {u:>4} | {d:<13} | {strength:>8.1} | {acc:>12.3}");
+    }
+
+    let m = system.metrics();
+    println!("\n=== fleet metrics after {} messages ===", m.messages);
+    println!("token accuracy            : {:.3}", m.token_accuracy());
+    println!("selection accuracy        : {:.3}", m.selection_accuracy());
+    println!("user-model trainings      : {}", m.trainings);
+    println!("decoder sync traffic      : {} bytes", m.sync_bytes);
+    println!(
+        "user-model cache          : {:.1}% hit rate, {} evictions ({} bytes evicted)",
+        100.0 * m.user_cache.hit_rate(),
+        m.user_cache.evictions,
+        m.user_cache.bytes_evicted
+    );
+    for e in 0..system.edge_count() {
+        println!(
+            "edge {e}                    : {} cached user models, {} synced receiver decoders",
+            system.edge(e).cached_user_models(),
+            system.edge(e).receiver_decoders()
+        );
+    }
+}

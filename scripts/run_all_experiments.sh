@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the reproduction (see DESIGN.md for the
+# experiment index). Output goes to results/<id>.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+bins=(f2_snr_sweep t1_payload t2_domain_mismatch t3_user_models t4_decoder_copy \
+      f3_grad_sync f4_cache_sweep f5_placement t5_selection f6_channel_ablation \
+      f7_image_codec f8_train_snr f9_feature_dim f10_audio_codec f11_video_codec \
+      f12_fleet_balancing t6_lossy_sync)
+cargo build --release -p semcom-bench --bins
+for b in "${bins[@]}"; do
+  echo "=== $b ==="
+  cargo run --release -q -p semcom-bench --bin "$b" | tee "results/$b.txt"
+done
+echo "all experiment outputs written to results/"

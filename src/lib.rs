@@ -1,0 +1,31 @@
+//! # semcom-suite
+//!
+//! Workspace-root package for the `semcom` reproduction of *"Semantic
+//! Communications, Semantic Edge Computing, and Semantic Caching"*
+//! (Yu & Zhao, ICDCS 2023).
+//!
+//! This crate exists to host the runnable [examples](https://doc.rust-lang.org/cargo/guide/project-layout.html)
+//! in `examples/` and the cross-crate integration tests in `tests/`; all
+//! functionality lives in the member crates, re-exported here for
+//! convenience:
+//!
+//! * [`semcom`] — the semantic edge computing and caching system itself;
+//! * [`semcom_codec`] — semantic encoder/decoder knowledge bases and the
+//!   traditional bit-level baseline;
+//! * [`semcom_channel`] — modulation, channel codes, and channel models;
+//! * [`semcom_text`] — the synthetic multi-domain language;
+//! * [`semcom_cache`] — model-cache policies;
+//! * [`semcom_edge`] — the discrete-event edge/cloud simulator;
+//! * [`semcom_fl`] — federated-style decoder synchronization;
+//! * [`semcom_select`] — domain/model selection;
+//! * [`semcom_nn`] — the neural-network substrate.
+
+pub use semcom;
+pub use semcom_cache;
+pub use semcom_channel;
+pub use semcom_codec;
+pub use semcom_edge;
+pub use semcom_fl;
+pub use semcom_nn;
+pub use semcom_select;
+pub use semcom_text;

@@ -1,0 +1,179 @@
+//! Integration tests across `semcom-codec` × `semcom-channel` ×
+//! `semcom-text`: the headline semantic-vs-traditional behaviours that the
+//! F2/T1/T2 experiments quantify.
+
+use semcom_channel::coding::HammingCode74;
+use semcom_channel::{AwgnChannel, Modulation, NoiselessChannel, RayleighChannel};
+use semcom_codec::eval::{evaluate_semantic, evaluate_traditional};
+use semcom_codec::mismatch::mismatch_rate;
+use semcom_codec::train::{TrainConfig, Trainer};
+use semcom_codec::{CodecConfig, KbScope, KnowledgeBase, TraditionalCodec};
+use semcom_nn::rng::seeded_rng;
+use semcom_text::{CorpusGenerator, Domain, LanguageConfig, Rendering, Sentence, SyntheticLanguage};
+
+struct Fixture {
+    lang: SyntheticLanguage,
+    kb: KnowledgeBase,
+    train: Vec<Sentence>,
+    test: Vec<Sentence>,
+}
+
+fn fixture(domain: Domain) -> Fixture {
+    let lang = LanguageConfig::tiny().build(0);
+    let mut gen = CorpusGenerator::new(&lang, 11 + domain.index() as u64);
+    let train = gen.sentences(domain, Rendering::Mixed(0.2), 90);
+    let test = gen.sentences(domain, Rendering::Canonical, 25);
+    // Independent initialization per domain: these KBs are trained from
+    // scratch, not fine-tuned from a common base.
+    let mut kb = KnowledgeBase::new(
+        CodecConfig::tiny(),
+        lang.vocab().len(),
+        lang.concept_count(),
+        KbScope::DomainGeneral(domain),
+        5 + domain.index() as u64 * 97,
+    );
+    Trainer::new(TrainConfig {
+        epochs: 14,
+        train_snr_db: Some(6.0),
+        ..TrainConfig::default()
+    })
+    .fit(&mut kb, &train, 9);
+    Fixture {
+        lang,
+        kb,
+        train,
+        test,
+    }
+}
+
+#[test]
+fn semantic_accuracy_is_monotone_in_snr() {
+    let f = fixture(Domain::It);
+    let mut prev = 0.0;
+    for snr in [-6.0, 0.0, 6.0, 15.0] {
+        let mut rng = seeded_rng(3);
+        let r = evaluate_semantic(
+            &f.kb,
+            &f.kb,
+            &f.lang,
+            &f.test,
+            &AwgnChannel::new(snr),
+            &mut rng,
+        );
+        assert!(
+            r.concept_accuracy >= prev - 0.05,
+            "accuracy fell sharply from {prev} at {snr} dB: {}",
+            r.concept_accuracy
+        );
+        prev = r.concept_accuracy;
+    }
+    assert!(prev > 0.9, "high-SNR accuracy {prev}");
+}
+
+#[test]
+fn semantic_beats_traditional_at_low_snr_and_costs_fewer_symbols() {
+    let f = fixture(Domain::News);
+    let trad = TraditionalCodec::from_corpus(
+        f.lang.vocab().len(),
+        &f.train,
+        Box::new(HammingCode74),
+        Modulation::Bpsk,
+    );
+    let channel = AwgnChannel::new(-3.0);
+    let mut rng = seeded_rng(4);
+    let sem = evaluate_semantic(&f.kb, &f.kb, &f.lang, &f.test, &channel, &mut rng);
+    let tr = evaluate_traditional(&trad, &f.lang, Domain::News, &f.test, &channel, &mut rng);
+    assert!(
+        sem.concept_accuracy > tr.concept_accuracy + 0.1,
+        "semantic {} vs traditional {}",
+        sem.concept_accuracy,
+        tr.concept_accuracy
+    );
+    assert!(sem.symbols < tr.symbols, "{} vs {}", sem.symbols, tr.symbols);
+}
+
+#[test]
+fn rayleigh_fading_hurts_more_than_awgn() {
+    let f = fixture(Domain::Medical);
+    let mut rng = seeded_rng(5);
+    let awgn = evaluate_semantic(
+        &f.kb,
+        &f.kb,
+        &f.lang,
+        &f.test,
+        &AwgnChannel::new(6.0),
+        &mut rng,
+    );
+    let ray = evaluate_semantic(
+        &f.kb,
+        &f.kb,
+        &f.lang,
+        &f.test,
+        &RayleighChannel::new(6.0),
+        &mut rng,
+    );
+    assert!(
+        ray.concept_accuracy < awgn.concept_accuracy,
+        "rayleigh {} vs awgn {}",
+        ray.concept_accuracy,
+        awgn.concept_accuracy
+    );
+}
+
+#[test]
+fn cross_domain_kb_pairs_mismatch_badly() {
+    let it = fixture(Domain::It);
+    let med = fixture(Domain::Medical);
+    let mut rng = seeded_rng(6);
+    let matched = mismatch_rate(&it.kb, &it.kb, &it.test, &NoiselessChannel, &mut rng);
+    let crossed = mismatch_rate(&it.kb, &med.kb, &it.test, &NoiselessChannel, &mut rng);
+    assert!(matched < 0.15, "matched mismatch {matched}");
+    assert!(crossed > 0.5, "crossed mismatch {crossed}");
+}
+
+#[test]
+fn polysemous_words_are_misread_across_domains_by_the_bit_pipeline() {
+    let lang = LanguageConfig::tiny().build(0);
+    for &t in lang.polysemous_tokens() {
+        let it_sense = lang.token_sense(Domain::It, t).expect("poly word in IT");
+        let news = TraditionalCodec::interpret(&lang, Domain::News, &[t]);
+        assert_ne!(
+            news[0], it_sense,
+            "perfectly delivered polysemous word must still change meaning across domains"
+        );
+    }
+}
+
+#[test]
+fn user_finetuning_transfers_to_unseen_sentences() {
+    let f = fixture(Domain::It);
+    let idiolect = semcom_text::Idiolect::sample(
+        &f.lang,
+        Domain::It,
+        semcom_text::IdiolectConfig::with_strength(2.0),
+        3,
+    );
+    let mut gen = CorpusGenerator::new(&f.lang, 77);
+    let user_train = gen.sentences(Domain::It, Rendering::Idiolect(&idiolect), 80);
+    let user_test = gen.sentences(Domain::It, Rendering::Idiolect(&idiolect), 25);
+
+    let channel = AwgnChannel::new(12.0);
+    let mut rng = seeded_rng(8);
+    let before = evaluate_semantic(&f.kb, &f.kb, &f.lang, &user_test, &channel, &mut rng);
+
+    let mut user_kb = f.kb.derive_user_model(1, Domain::It);
+    Trainer::new(TrainConfig {
+        epochs: 8,
+        train_snr_db: Some(6.0),
+        ..TrainConfig::default()
+    })
+    .fit(&mut user_kb, &user_train, 10);
+    let after = evaluate_semantic(&user_kb, &user_kb, &f.lang, &user_test, &channel, &mut rng);
+
+    assert!(
+        after.concept_accuracy > before.concept_accuracy,
+        "fine-tuning must help on held-out idiolectic text: {} -> {}",
+        before.concept_accuracy,
+        after.concept_accuracy
+    );
+}

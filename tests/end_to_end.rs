@@ -1,0 +1,194 @@
+//! Cross-crate integration tests: the full Fig. 1 system exercised
+//! end-to-end through the public API.
+
+use semcom::{SemanticEdgeSystem, SystemConfig};
+use semcom_fl::SyncProtocol;
+use semcom_text::Domain;
+
+fn tiny_system(seed: u64) -> SemanticEdgeSystem {
+    SemanticEdgeSystem::build(SystemConfig::tiny(), seed)
+}
+
+#[test]
+fn adaptation_loop_reduces_mismatch_for_idiolectic_users() {
+    let mut system = tiny_system(1);
+    let user = system.register_user(Domain::It, 2.0);
+    let before = system.probe_accuracy(user, 30, 5);
+    for _ in 0..150 {
+        system.send_message(user);
+    }
+    let after = system.probe_accuracy(user, 30, 5);
+    assert!(
+        after > before,
+        "adaptation must improve accuracy: {before} -> {after}"
+    );
+    assert!(after > 0.85, "adapted accuracy too low: {after}");
+}
+
+#[test]
+fn decoder_copies_start_identical_on_both_edges() {
+    let system = tiny_system(2);
+    // d_j^m = d_i^m for every domain (paper Sec. II-C).
+    for d in Domain::ALL {
+        let a = system.sender_edge().general_kb(d);
+        let b = system.receiver_edge().general_kb(d);
+        // Identical weights produce identical encodings of any input.
+        let fa = a.encoder.encode(&[2, 3, 4]);
+        let fb = b.encoder.encode(&[2, 3, 4]);
+        assert_eq!(fa, fb, "domain {d}");
+    }
+}
+
+#[test]
+fn receiver_decoder_stays_synchronized_with_sender_user_model() {
+    let mut system = tiny_system(3);
+    let user = system.register_user(Domain::News, 2.0);
+    for _ in 0..100 {
+        system.send_message(user);
+    }
+    let key = (user, Domain::News);
+    let sender_kb = system
+        .sender_edge()
+        .peek_user_kb(&key)
+        .expect("user model trained and cached");
+    let receiver_kb = system
+        .receiver_edge()
+        .user_decoder(&key)
+        .expect("receiver decoder installed");
+    // Dense-delta sync keeps the receiver's decoder numerically equal to
+    // the sender's (same architecture, every delta applied).
+    let probe = sender_kb.encoder.encode(&[1, 2, 3, 4, 5]);
+    assert_eq!(
+        sender_kb.decoder.predict(&probe),
+        receiver_kb.decoder.predict(&probe),
+        "sender and receiver decoders disagree after sync"
+    );
+}
+
+#[test]
+fn sync_traffic_is_much_smaller_than_model_traffic_with_compression() {
+    let config = SystemConfig {
+        sync_protocol: SyncProtocol::TopK(100),
+        ..SystemConfig::tiny()
+    };
+    let mut system = SemanticEdgeSystem::build(config, 4);
+    let user = system.register_user(Domain::Medical, 2.0);
+    for _ in 0..100 {
+        system.send_message(user);
+    }
+    let m = system.metrics();
+    assert!(m.trainings > 0);
+    let key = (user, Domain::Medical);
+    let model_bytes = system
+        .sender_edge()
+        .peek_user_kb(&key)
+        .expect("model cached")
+        .size_bytes() as u64;
+    let per_round = m.sync_bytes / m.trainings;
+    assert!(
+        per_round * 5 < model_bytes,
+        "top-k sync ({per_round} B/round) should be far below a full model ({model_bytes} B)"
+    );
+}
+
+#[test]
+fn multi_user_multi_domain_fleet_runs_and_separates_domains() {
+    let mut system = tiny_system(5);
+    let users: Vec<_> = Domain::ALL
+        .iter()
+        .map(|&d| (system.register_user(d, 0.5), d))
+        .collect();
+    for _ in 0..20 {
+        for &(u, _) in &users {
+            system.send_message(u);
+        }
+    }
+    let m = system.metrics();
+    assert_eq!(m.messages, 80);
+    assert!(
+        m.selection_accuracy() > 0.6,
+        "selection accuracy {}",
+        m.selection_accuracy()
+    );
+    assert!(m.token_accuracy() > 0.6, "token accuracy {}", m.token_accuracy());
+}
+
+#[test]
+fn canonical_users_do_not_need_user_models_to_communicate() {
+    let mut system = tiny_system(6);
+    let user = system.register_user(Domain::Entertainment, 0.0);
+    let acc = system.probe_accuracy(user, 40, 7);
+    assert!(acc > 0.85, "general models should suffice: {acc}");
+}
+
+#[test]
+fn tight_cache_evicts_but_system_keeps_working() {
+    let config = SystemConfig {
+        // Room for roughly one user model.
+        user_cache_bytes: 120_000,
+        ..SystemConfig::tiny()
+    };
+    let mut system = SemanticEdgeSystem::build(config, 7);
+    let users: Vec<_> = (0..4)
+        .map(|i| system.register_user(Domain::from_index(i % 4), 2.0))
+        .collect();
+    for _ in 0..60 {
+        for &u in &users {
+            system.send_message(u);
+        }
+    }
+    let m = system.metrics();
+    assert!(m.trainings > 0, "training must trigger");
+    // Eviction pressure must be visible, and every receiver decoder must
+    // correspond to a resident sender model (consistency on eviction).
+    assert!(
+        system.receiver_edge().receiver_decoders()
+            <= system.sender_edge().cached_user_models(),
+        "receiver decoders leak after eviction"
+    );
+    assert!(m.token_accuracy() > 0.4);
+}
+
+#[test]
+fn bandit_selection_strategy_learns_the_user_topic() {
+    use semcom::SelectionStrategy;
+    let config = SystemConfig {
+        selection: SelectionStrategy::Bandit {
+            epsilon: 0.05,
+            learning_rate: 0.5,
+        },
+        ..SystemConfig::tiny()
+    };
+    let mut system = SemanticEdgeSystem::build(config, 9);
+    let user = system.register_user(Domain::Medical, 0.5);
+    // Early messages explore; the decode-success reward (via the decoder
+    // copy) pins the topic down over the conversation.
+    let mut late_correct = 0;
+    for i in 0..60 {
+        let o = system.send_message(user);
+        if i >= 30 && o.selection_correct() {
+            late_correct += 1;
+        }
+    }
+    assert!(
+        late_correct >= 24,
+        "bandit selection converged poorly: {late_correct}/30"
+    );
+}
+
+#[test]
+fn deterministic_replay_across_identical_systems() {
+    let build = || {
+        let mut s = tiny_system(8);
+        let u = s.register_user(Domain::It, 1.0);
+        let outcomes: Vec<_> = (0..30).map(|_| s.send_message(u)).collect();
+        outcomes
+    };
+    let a = build();
+    let b = build();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.sent, y.sent);
+        assert_eq!(x.decoded, y.decoded);
+        assert_eq!(x.sync_bytes, y.sync_bytes);
+    }
+}

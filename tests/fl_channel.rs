@@ -1,0 +1,137 @@
+//! Integration tests across `semcom-fl` × `semcom-channel` × `semcom-codec`:
+//! decoder-sync updates as real bytes over real (noisy) links.
+
+use semcom_channel::coding::{crc32, ConvolutionalCode, IdentityCode};
+use semcom_channel::{
+    bits_to_bytes, bytes_to_bits, ArqPipeline, AwgnChannel, BitPipeline, Modulation,
+    NoiselessChannel,
+};
+use semcom_codec::train::{TrainConfig, Trainer};
+use semcom_codec::{CodecConfig, KbScope, KnowledgeBase};
+use semcom_fl::{DecoderSync, SyncProtocol, SyncUpdate};
+use semcom_nn::params::ParamVec;
+use semcom_nn::rng::seeded_rng;
+use semcom_text::{CorpusGenerator, Domain, LanguageConfig, Rendering};
+
+/// Builds a small trained sender/receiver pair and one pending update.
+fn pending_update() -> (KnowledgeBase, KnowledgeBase, SyncUpdate) {
+    let lang = LanguageConfig::tiny().build(0);
+    let mut gen = CorpusGenerator::new(&lang, 1);
+    let mut sender = KnowledgeBase::new(
+        CodecConfig::tiny(),
+        lang.vocab().len(),
+        lang.concept_count(),
+        KbScope::DomainGeneral(Domain::It),
+        3,
+    );
+    let receiver = sender.clone();
+    let before = ParamVec::values_of(&sender.decoder.params_mut());
+    let corpus = gen.sentences(Domain::It, Rendering::Canonical, 40);
+    Trainer::new(TrainConfig {
+        epochs: 3,
+        train_snr_db: None,
+        ..TrainConfig::default()
+    })
+    .fit(&mut sender, &corpus, 5);
+    let after = ParamVec::values_of(&sender.decoder.params_mut());
+    let update = DecoderSync::new(SyncProtocol::DenseDelta).make_update(&before, &after);
+    (sender, receiver, update)
+}
+
+#[test]
+fn sync_update_survives_a_noiseless_modem() {
+    let (mut sender, mut receiver, update) = pending_update();
+    let wire = update.to_bytes();
+    let pipeline = BitPipeline::new(Box::new(IdentityCode), Modulation::Qam16);
+    let mut rng = seeded_rng(1);
+    let rx_bits = pipeline.transmit(&bytes_to_bits(&wire), &NoiselessChannel, &mut rng);
+    let rx = SyncUpdate::from_bytes(&bits_to_bytes(&rx_bits)).expect("clean channel");
+    rx.apply(&mut receiver.decoder.params_mut()).unwrap();
+    assert_close(
+        ParamVec::values_of(&receiver.decoder.params_mut()).as_slice(),
+        ParamVec::values_of(&sender.decoder.params_mut()).as_slice(),
+    );
+}
+
+/// Delta application is `before + (after - before)` in f32, so sender and
+/// receiver agree to rounding, not bit-exactly.
+fn assert_close(a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert!((x - y).abs() <= 1e-6 * (1.0 + x.abs()), "{x} vs {y}");
+    }
+}
+
+#[test]
+fn corrupted_update_changes_weights_but_crc_catches_it() {
+    let (_, mut receiver, update) = pending_update();
+    let wire = update.to_bytes();
+    let checksum = crc32(&wire);
+
+    // Flip one byte mid-payload: CRC must detect it.
+    let mut corrupted = wire.clone();
+    let mid = corrupted.len() / 2;
+    corrupted[mid] ^= 0x10;
+    assert_ne!(crc32(&corrupted), checksum, "CRC must detect the flip");
+
+    // Without the check, the corrupted update may still parse and then
+    // silently poison the receiver — which is exactly why the check exists.
+    if let Ok(bad) = SyncUpdate::from_bytes(&corrupted) {
+        let before = ParamVec::values_of(&receiver.decoder.params_mut());
+        let _ = bad.apply(&mut receiver.decoder.params_mut());
+        let after = ParamVec::values_of(&receiver.decoder.params_mut());
+        assert_ne!(before.as_slice(), after.as_slice());
+    }
+}
+
+#[test]
+fn arq_delivers_sync_updates_through_a_noisy_modem() {
+    let (mut sender, mut receiver, update) = pending_update();
+    let wire = update.to_bytes();
+    let arq = ArqPipeline::new(
+        BitPipeline::new(Box::new(ConvolutionalCode), Modulation::Bpsk),
+        8,
+    );
+    let mut rng = seeded_rng(2);
+    let out = arq.transmit(&bytes_to_bits(&wire), &AwgnChannel::new(4.0), &mut rng);
+    assert!(out.delivered, "ARQ failed at 4 dB with FEC");
+    let rx = SyncUpdate::from_bytes(&bits_to_bytes(&out.bits)).expect("CRC-verified frame");
+    rx.apply(&mut receiver.decoder.params_mut()).unwrap();
+    assert_close(
+        ParamVec::values_of(&receiver.decoder.params_mut()).as_slice(),
+        ParamVec::values_of(&sender.decoder.params_mut()).as_slice(),
+    );
+}
+
+#[test]
+fn compressed_updates_cost_fewer_modem_symbols() {
+    let lang = LanguageConfig::tiny().build(0);
+    let mut sender = KnowledgeBase::new(
+        CodecConfig::tiny(),
+        lang.vocab().len(),
+        lang.concept_count(),
+        KbScope::General,
+        1,
+    );
+    let before = ParamVec::values_of(&sender.decoder.params_mut());
+    let mut gen = CorpusGenerator::new(&lang, 2);
+    let corpus = gen.sentences(Domain::News, Rendering::Canonical, 30);
+    Trainer::new(TrainConfig {
+        epochs: 2,
+        train_snr_db: None,
+        ..TrainConfig::default()
+    })
+    .fit(&mut sender, &corpus, 3);
+    let after = ParamVec::values_of(&sender.decoder.params_mut());
+
+    let pipeline = BitPipeline::new(Box::new(IdentityCode), Modulation::Qpsk);
+    let symbols = |proto: SyncProtocol| {
+        let u = DecoderSync::new(proto).make_update(&before, &after);
+        pipeline.symbols_for(u.to_bytes().len() * 8)
+    };
+    let dense = symbols(SyncProtocol::DenseDelta);
+    let quant = symbols(SyncProtocol::QuantizedInt8);
+    let sparse = symbols(SyncProtocol::TopK(50));
+    assert!(quant < dense / 3, "int8 {quant} vs dense {dense}");
+    assert!(sparse < quant, "top-k {sparse} vs int8 {quant}");
+}

@@ -1,0 +1,292 @@
+//! Property-based tests (proptest) on core data structures and invariants
+//! across the workspace.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use semcom_cache::policy::{Gdsf, Lfu, Lru, SemanticCost};
+use semcom_cache::{InsertOutcome, ModelCache};
+use semcom_channel::coding::{
+    BlockCode, BlockInterleaver, ConvolutionalCode, HammingCode74, RepetitionCode,
+};
+use semcom_channel::{bits_to_bytes, bytes_to_bits, Modulation};
+use semcom_codec::HuffmanCode;
+use semcom_fl::{QuantizedGradient, SparseGradient, SyncUpdate};
+use semcom_nn::params::ParamVec;
+use semcom_nn::rng::{seeded_rng, Zipf};
+use semcom_nn::Tensor;
+use semcom_text::metrics::{bleu, bow_cosine};
+
+proptest! {
+    // ---------------- bits & bytes ----------------
+
+    #[test]
+    fn bytes_bits_roundtrip(data in vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(bits_to_bytes(&bytes_to_bits(&data)), data);
+    }
+
+    // ---------------- modulation ----------------
+
+    #[test]
+    fn modulation_roundtrips_noiselessly(bits in vec(0u8..=1, 0..128)) {
+        for m in Modulation::ALL {
+            let symbols = m.modulate(&bits);
+            let mut out = m.demodulate(&symbols);
+            out.truncate(bits.len());
+            prop_assert_eq!(&out, &bits);
+        }
+    }
+
+    #[test]
+    fn modulated_symbols_have_bounded_energy(bits in vec(0u8..=1, 1..64)) {
+        for m in Modulation::ALL {
+            for s in m.modulate(&bits) {
+                prop_assert!(s.norm_sq() <= 1.9, "{:?} energy {}", m, s.norm_sq());
+            }
+        }
+    }
+
+    // ---------------- channel codes ----------------
+
+    #[test]
+    fn block_codes_roundtrip(bits in vec(0u8..=1, 0..96)) {
+        let codes: Vec<Box<dyn BlockCode>> = vec![
+            Box::new(RepetitionCode::new(3)),
+            Box::new(HammingCode74),
+            Box::new(ConvolutionalCode),
+        ];
+        for code in codes {
+            let mut out = code.decode(&code.encode(&bits));
+            out.truncate(bits.len());
+            prop_assert_eq!(&out, &bits, "{}", code.name());
+        }
+    }
+
+    #[test]
+    fn hamming_corrects_any_single_error(bits in vec(0u8..=1, 4..40), pos in any::<usize>()) {
+        let coded = HammingCode74.encode(&bits);
+        let mut corrupted = coded.clone();
+        let flip = pos % corrupted.len();
+        corrupted[flip] ^= 1;
+        let mut out = HammingCode74.decode(&corrupted);
+        out.truncate(bits.len());
+        prop_assert_eq!(out, bits);
+    }
+
+    #[test]
+    fn interleaver_is_a_permutation(bits in vec(0u8..=1, 0..80), rows in 1usize..8) {
+        let il = BlockInterleaver::new(rows);
+        let inter = il.interleave(&bits);
+        prop_assert_eq!(inter.len(), bits.len());
+        let ones_in: usize = bits.iter().map(|&b| b as usize).sum();
+        let ones_out: usize = inter.iter().map(|&b| b as usize).sum();
+        prop_assert_eq!(ones_in, ones_out);
+        prop_assert_eq!(il.deinterleave(&inter), bits);
+    }
+
+    // ---------------- huffman ----------------
+
+    #[test]
+    fn huffman_roundtrips(freqs in vec(0u64..1000, 2..40), tokens in vec(any::<usize>(), 0..50)) {
+        let code = HuffmanCode::from_frequencies(&freqs);
+        let tokens: Vec<usize> = tokens.into_iter().map(|t| t % freqs.len()).collect();
+        prop_assert_eq!(code.decode(&code.encode(&tokens)), tokens);
+    }
+
+    #[test]
+    fn huffman_respects_entropy_bound(freqs in vec(1u64..500, 2..32)) {
+        // Mean code length is within 1 bit of the (smoothed) entropy.
+        let code = HuffmanCode::from_frequencies(&freqs);
+        let total: f64 = freqs.iter().map(|&f| (f + 1) as f64).sum();
+        let entropy: f64 = freqs
+            .iter()
+            .map(|&f| {
+                let p = (f + 1) as f64 / total;
+                -p * p.log2()
+            })
+            .sum();
+        let mean = code.mean_code_len(&freqs);
+        prop_assert!(mean >= entropy - 1e-9, "mean {mean} < entropy {entropy}");
+        prop_assert!(mean <= entropy + 1.0, "mean {mean} vs entropy {entropy}");
+    }
+
+    // ---------------- cache ----------------
+
+    #[test]
+    fn cache_never_exceeds_capacity(
+        capacity in 1usize..500,
+        ops in vec((any::<u8>(), 1usize..100), 0..200),
+    ) {
+        let policies: Vec<Box<dyn semcom_cache::policy::EvictionPolicy<u8> + Send>> = vec![
+            Box::new(Lru::new()),
+            Box::new(Lfu::new()),
+            Box::new(Gdsf::new()),
+            Box::new(SemanticCost::new()),
+        ];
+        for policy in policies {
+            let mut cache: ModelCache<u8, usize> = ModelCache::new(capacity, policy);
+            for (i, &(key, size)) in ops.iter().enumerate() {
+                match cache.insert(key, i, size, size as f64) {
+                    InsertOutcome::Inserted { .. } => {
+                        prop_assert!(cache.contains(&key), "inserted key must be resident");
+                    }
+                    InsertOutcome::TooLarge => {
+                        prop_assert!(size > capacity);
+                    }
+                }
+                prop_assert!(cache.used_bytes() <= capacity);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_get_after_insert_hits(keys in vec(any::<u8>(), 1..50)) {
+        let mut cache: ModelCache<u8, u8> = ModelCache::new(10_000, Box::new(Lru::new()));
+        for &k in &keys {
+            cache.insert(k, k, 10, 1.0);
+            prop_assert_eq!(cache.get(&k), Some(&k));
+        }
+    }
+
+    // ---------------- gradients ----------------
+
+    #[test]
+    fn sparse_topk_preserves_largest_and_zeroes_rest(values in vec(-10.0f32..10.0, 1..60), k in 1usize..60) {
+        let dense = ParamVec::from_parts(vec![(1, values.len())], values.clone()).unwrap();
+        let sparse = SparseGradient::top_k(&dense, k);
+        let back = sparse.to_dense();
+        let kept: Vec<f32> = back.as_slice().iter().copied().filter(|v| *v != 0.0).collect();
+        // Every kept magnitude >= every dropped magnitude.
+        let min_kept = kept.iter().map(|v| v.abs()).fold(f32::INFINITY, f32::min);
+        for (orig, sent) in values.iter().zip(back.as_slice()) {
+            if *sent == 0.0 && *orig != 0.0 {
+                prop_assert!(orig.abs() <= min_kept + 1e-6);
+            } else if *sent != 0.0 {
+                prop_assert_eq!(*sent, *orig);
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_within_half_step(values in vec(-100.0f32..100.0, 1..80)) {
+        let dense = ParamVec::from_parts(vec![(1, values.len())], values.clone()).unwrap();
+        let q = QuantizedGradient::quantize(&dense);
+        let back = q.to_dense();
+        for (a, b) in values.iter().zip(back.as_slice()) {
+            prop_assert!((a - b).abs() <= q.scale() / 2.0 + 1e-5, "{a} vs {b}");
+        }
+    }
+
+    // ---------------- sync wire format ----------------
+
+    #[test]
+    fn sync_wire_roundtrips_dense(values in vec(-10.0f32..10.0, 1..80)) {
+        let pv = ParamVec::from_parts(vec![(1, values.len())], values).unwrap();
+        for update in [SyncUpdate::Full(pv.clone()), SyncUpdate::Delta(pv)] {
+            let back = SyncUpdate::from_bytes(&update.to_bytes()).unwrap();
+            prop_assert_eq!(back, update.clone());
+        }
+    }
+
+    #[test]
+    fn sync_wire_decode_never_panics_on_garbage(bytes in vec(any::<u8>(), 0..256)) {
+        // Arbitrary bytes must yield Ok or Err, never a panic/huge alloc.
+        let _ = SyncUpdate::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn sync_wire_roundtrips_compressed(values in vec(-5.0f32..5.0, 4..60), k in 1usize..20) {
+        let pv = ParamVec::from_parts(vec![(1, values.len())], values).unwrap();
+        let sparse = SyncUpdate::Sparse(SparseGradient::top_k(&pv, k));
+        let back = SyncUpdate::from_bytes(&sparse.to_bytes()).unwrap();
+        match (&back, &sparse) {
+            (SyncUpdate::Sparse(a), SyncUpdate::Sparse(b)) => {
+                prop_assert_eq!(a.to_dense(), b.to_dense());
+            }
+            _ => prop_assert!(false, "variant changed in flight"),
+        }
+        let quant = SyncUpdate::Quantized(QuantizedGradient::quantize(&pv));
+        let back = SyncUpdate::from_bytes(&quant.to_bytes()).unwrap();
+        prop_assert_eq!(back, quant);
+    }
+
+    #[test]
+    fn wer_is_bounded_and_zero_only_on_equality(a in vec(0u8..5, 0..15), b in vec(0u8..5, 0..15)) {
+        use semcom_text::metrics::word_error_rate;
+        let wer = word_error_rate(&a, &b);
+        prop_assert!(wer >= 0.0);
+        if a == b {
+            prop_assert_eq!(wer, 0.0);
+        } else {
+            prop_assert!(wer > 0.0);
+        }
+        // Edit distance is bounded by max(len): wer <= max_len / ref_len.
+        if !a.is_empty() {
+            prop_assert!(wer <= a.len().max(b.len()) as f64 / a.len() as f64 + 1e-12);
+        }
+    }
+
+    // ---------------- text tokenizer ----------------
+
+    #[test]
+    fn tokenizer_output_is_normalized(text in ".{0,64}") {
+        for w in semcom_text::tokenize_words(&text) {
+            prop_assert!(!w.is_empty());
+            prop_assert!(w.chars().all(|c| c.is_alphanumeric()));
+            prop_assert_eq!(w.to_lowercase(), w.clone());
+        }
+    }
+
+    // ---------------- tensors ----------------
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in vec(-3.0f32..3.0, 6),
+        b in vec(-3.0f32..3.0, 6),
+        c in vec(-3.0f32..3.0, 6),
+    ) {
+        let a = Tensor::from_vec(2, 3, a).unwrap();
+        let b = Tensor::from_vec(3, 2, b).unwrap();
+        let c = Tensor::from_vec(3, 2, c).unwrap();
+        let left = a.matmul(&(&b + &c));
+        let right = &a.matmul(&b) + &a.matmul(&c);
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(data in vec(-5.0f32..5.0, 12)) {
+        let t = Tensor::from_vec(3, 4, data).unwrap();
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    // ---------------- text metrics ----------------
+
+    #[test]
+    fn bleu_is_bounded_and_maximal_on_self(tokens in vec(0usize..50, 1..20)) {
+        let b = bleu(&tokens, &tokens, 4);
+        prop_assert!((b - 1.0).abs() < 1e-9);
+        let other: Vec<usize> = tokens.iter().map(|t| t + 100).collect();
+        let b2 = bleu(&tokens, &other, 4);
+        prop_assert!((0.0..=1.0).contains(&b2));
+    }
+
+    #[test]
+    fn cosine_is_symmetric_and_bounded(a in vec(0usize..20, 0..30), b in vec(0usize..20, 0..30)) {
+        let ab = bow_cosine(&a, &b);
+        let ba = bow_cosine(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&ab));
+    }
+
+    // ---------------- zipf ----------------
+
+    #[test]
+    fn zipf_samples_stay_in_range(n in 1usize..200, alpha in 0.0f64..2.5, seed in any::<u64>()) {
+        let z = Zipf::new(n, alpha);
+        let mut rng = seeded_rng(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+}
