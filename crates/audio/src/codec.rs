@@ -11,6 +11,10 @@ use serde::{Deserialize, Serialize};
 const HIDDEN_ENC: usize = 32;
 const HIDDEN_DEC: usize = 32;
 
+/// Minimum batch rows per training shard: below this, replica-clone
+/// overhead outweighs the parallel speedup.
+const MIN_SHARD_ROWS: usize = 8;
+
 /// Training hyper-parameters for an [`AudioKb`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AudioTrainConfig {
@@ -133,6 +137,12 @@ impl AudioKb {
     }
 
     /// Trains encoder and decoder jointly with channel-noise injection.
+    ///
+    /// With more than one `semcom-par` worker, each minibatch is sharded
+    /// across cloned replicas and per-shard gradients are reduced in fixed
+    /// shard order (size-weighted, matching the full-batch mean) before one
+    /// optimizer step — reproducible at any fixed worker count, and
+    /// bit-identical to the serial path at one worker.
     pub fn train(&mut self, tones: &ToneSet, config: &AudioTrainConfig, seed: u64) -> f32 {
         let mut rng = seeded_rng(seed);
         let mut opt = Adam::new(config.learning_rate);
@@ -152,42 +162,161 @@ impl AudioKb {
                     rows.push(Tensor::row_from_slice(&wave));
                     labels.push(label);
                 }
-                let x = Tensor::vstack(&rows);
-
-                // Forward.
-                let h1 = self.act1.forward(&self.enc1.forward(&x));
-                let f = self.norm.forward(&self.enc2.forward(&h1));
-                let received = match &channel {
-                    Some(ch) => {
-                        let noisy = ch.transmit_f32(f.as_slice(), &mut rng);
-                        Tensor::from_vec(f.rows(), f.cols(), noisy)
-                            .expect("channel preserves length")
-                    }
-                    None => f.clone(),
+                let shards = semcom_par::max_workers().min(bs / MIN_SHARD_ROWS);
+                let loss = if shards >= 2 {
+                    self.step_sharded(
+                        &rows,
+                        &labels,
+                        config.train_snr_db,
+                        &mut opt,
+                        &mut rng,
+                        shards,
+                    )
+                } else {
+                    self.step_serial(&rows, &labels, channel.as_ref(), &mut opt, &mut rng)
                 };
-                let h2 = self.act2.forward(&self.dec1.forward(&received));
-                let logits = self.dec2.forward(&h2);
-                let (loss, dlogits) = softmax_cross_entropy(&logits, &labels);
                 epoch_loss += loss;
                 batches += 1;
-
-                // Backward (AWGN gradient = identity).
-                for p in self.params() {
-                    p.zero_grad();
-                }
-                self.norm.zero_grad();
-                let dh2 = self.dec2.backward(&dlogits);
-                let drec = self.dec1.backward(&self.act2.backward(&dh2));
-                let dh1 = self.enc2.backward(&self.norm.backward(&drec));
-                let dx = self.act1.backward(&dh1);
-                self.enc1.backward(&dx);
-                opt.step(&mut self.params());
             }
             if batches > 0 {
                 last_loss = epoch_loss / batches as f32;
             }
         }
         last_loss
+    }
+
+    /// One serial optimizer step (the original training path; noise drawn
+    /// from the main training RNG).
+    fn step_serial(
+        &mut self,
+        rows: &[Tensor],
+        labels: &[usize],
+        channel: Option<&AwgnChannel>,
+        opt: &mut Adam,
+        rng: &mut dyn RngCore,
+    ) -> f32 {
+        let x = Tensor::vstack(rows);
+
+        // Forward.
+        let h1 = self.act1.forward(&self.enc1.forward(&x));
+        let f = self.norm.forward(&self.enc2.forward(&h1));
+        let received = match channel {
+            Some(ch) => {
+                let noisy = ch.transmit_f32(f.as_slice(), rng);
+                Tensor::from_vec(f.rows(), f.cols(), noisy).expect("channel preserves length")
+            }
+            None => f.clone(),
+        };
+        let h2 = self.act2.forward(&self.dec1.forward(&received));
+        let logits = self.dec2.forward(&h2);
+        let (loss, dlogits) = softmax_cross_entropy(&logits, labels);
+
+        // Backward (AWGN gradient = identity).
+        for p in self.params() {
+            p.zero_grad();
+        }
+        self.norm.zero_grad();
+        let dh2 = self.dec2.backward(&dlogits);
+        let drec = self.dec1.backward(&self.act2.backward(&dh2));
+        let dh1 = self.enc2.backward(&self.norm.backward(&drec));
+        let dx = self.act1.backward(&dh1);
+        self.enc1.backward(&dx);
+        opt.step(&mut self.params());
+        loss
+    }
+
+    /// One data-parallel optimizer step: contiguous batch shards run on
+    /// cloned replicas; gradients reduce in fixed shard order.
+    fn step_sharded(
+        &mut self,
+        rows: &[Tensor],
+        labels: &[usize],
+        snr_db: Option<f64>,
+        opt: &mut Adam,
+        rng: &mut dyn RngCore,
+        shards: usize,
+    ) -> f32 {
+        // Shard bounds and noise seeds are fixed up front, in shard order,
+        // so the main RNG stream never depends on scheduling.
+        let n = rows.len();
+        let base = n / shards;
+        let extra = n % shards;
+        let mut jobs = Vec::with_capacity(shards);
+        let mut start = 0;
+        for s in 0..shards {
+            let end = start + base + usize::from(s < extra);
+            jobs.push((start, end, rng.next_u64()));
+            start = end;
+        }
+        let me = &*self;
+        let results = semcom_par::par_map_indexed(&jobs, |_, &(s, e, seed)| {
+            me.shard_grads(&rows[s..e], &labels[s..e], snr_db, seed)
+        });
+
+        let mut total_loss = 0.0;
+        let mut acc: Option<Vec<Tensor>> = None;
+        for (&(s, e, _), (loss, grads)) in jobs.iter().zip(&results) {
+            let w = (e - s) as f32 / n as f32;
+            total_loss += w * loss;
+            match &mut acc {
+                None => acc = Some(grads.iter().map(|g| g.scale(w)).collect()),
+                Some(acc) => {
+                    for (a, g) in acc.iter_mut().zip(grads) {
+                        a.add_scaled(g, w);
+                    }
+                }
+            }
+        }
+        let acc = acc.expect("at least one shard");
+        let mut params = self.params();
+        assert_eq!(params.len(), acc.len(), "replica parameter layout drift");
+        for (p, g) in params.iter_mut().zip(acc) {
+            p.grad = g;
+        }
+        opt.step(&mut params);
+        total_loss
+    }
+
+    /// Forward + backward for one shard on a cloned replica; returns the
+    /// shard's mean loss and gradients in [`AudioKb::params`] order. Depends
+    /// only on `(inputs, seed)`, never on scheduling.
+    fn shard_grads(
+        &self,
+        rows: &[Tensor],
+        labels: &[usize],
+        snr_db: Option<f64>,
+        seed: u64,
+    ) -> (f32, Vec<Tensor>) {
+        let mut local = self.clone();
+        let mut rng = seeded_rng(seed);
+        let x = Tensor::vstack(rows);
+        let h1 = local.act1.forward(&local.enc1.forward(&x));
+        let f = local.norm.forward(&local.enc2.forward(&h1));
+        let received = match snr_db.map(AwgnChannel::new) {
+            Some(ch) => {
+                let noisy = ch.transmit_f32(f.as_slice(), &mut rng);
+                Tensor::from_vec(f.rows(), f.cols(), noisy).expect("channel preserves length")
+            }
+            None => f.clone(),
+        };
+        let h2 = local.act2.forward(&local.dec1.forward(&received));
+        let logits = local.dec2.forward(&h2);
+        let (loss, dlogits) = softmax_cross_entropy(&logits, labels);
+        for p in local.params() {
+            p.zero_grad();
+        }
+        local.norm.zero_grad();
+        let dh2 = local.dec2.backward(&dlogits);
+        let drec = local.dec1.backward(&local.act2.backward(&dh2));
+        let dh1 = local.enc2.backward(&local.norm.backward(&drec));
+        let dx = local.act1.backward(&dh1);
+        local.enc1.backward(&dx);
+        let grads = local
+            .params()
+            .into_iter()
+            .map(|p| std::mem::replace(&mut p.grad, Tensor::zeros(0, 0)))
+            .collect();
+        (loss, grads)
     }
 
     /// Classification accuracy over `n` fresh samples through `channel`.
@@ -262,7 +391,9 @@ mod tests {
             6,
         );
         let mut rng = seeded_rng(7);
-        let harsh = AwgnChannel::new(0.0);
+        // Harsh enough that the cleanly-trained model actually degrades;
+        // at milder SNRs both models saturate and the comparison is vacuous.
+        let harsh = AwgnChannel::new(-4.0);
         let acc_clean = clean.accuracy(&t, &harsh, 150, &mut rng);
         let acc_robust = robust.accuracy(&t, &harsh, 150, &mut rng);
         assert!(

@@ -122,9 +122,7 @@ impl ToneSet {
         let amp = 0.8 + 0.4 * rng.gen::<f32>();
         self.prototypes[concept]
             .iter()
-            .map(|&s| {
-                amp * s + self.acoustic_noise * semcom_nn::rng::standard_normal(rng)
-            })
+            .map(|&s| amp * s + self.acoustic_noise * semcom_nn::rng::standard_normal(rng))
             .collect()
     }
 }

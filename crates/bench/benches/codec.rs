@@ -42,10 +42,38 @@ fn bench_codec(c: &mut Criterion) {
         b.iter(|| kb.transmit(&kb, &sentence.tokens, &channel, &mut rng))
     });
 
+    // One full training epoch, serial vs data-parallel sharding
+    // (the paired numbers feed BENCH_pr1.json).
+    for workers in [1usize, 4] {
+        semcom_par::set_workers(workers);
+        c.bench_function(
+            &format!("codec/train_epoch_120_sentences_{workers}thread"),
+            |b| {
+                b.iter_batched(
+                    || kb.clone(),
+                    |mut fresh| {
+                        Trainer::new(TrainConfig {
+                            epochs: 1,
+                            ..TrainConfig::default()
+                        })
+                        .fit(&mut fresh, &corpus, 11)
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    semcom_par::set_workers(1);
+
     c.bench_function("codec/finetune_round_60_pairs", |b| {
         let pairs: Vec<(usize, usize)> = corpus
             .iter()
-            .flat_map(|s| s.tokens.iter().zip(&s.concepts).map(|(&t, c)| (t, c.index())))
+            .flat_map(|s| {
+                s.tokens
+                    .iter()
+                    .zip(&s.concepts)
+                    .map(|(&t, c)| (t, c.index()))
+            })
             .take(60)
             .collect();
         b.iter_batched(

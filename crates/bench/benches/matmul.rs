@@ -1,0 +1,89 @@
+//! Matmul kernel benchmarks: the seed's naive kernel (zero-skip i-k-j with
+//! transpose-allocating backward forms) against the reworked blocked,
+//! transpose-free, and row-parallel kernels in `semcom-nn`.
+//!
+//! Sizes cover the square sweep (32/128/512) plus the actual shapes the
+//! codec hits: Linear backward `x^T (64x24) . dout (64x8)` and the GRU gate
+//! backward `da (64x24) . W^T (24x24)`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use semcom_nn::Tensor;
+
+/// The seed kernel, reproduced verbatim as the "before" baseline: i-k-j
+/// accumulation with the `a == 0.0` sparse skip, no blocking, no threading.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols(), b.rows());
+    let (m, k_dim, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for k in 0..k_dim {
+            let av = a.get(i, k);
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i * n + j] += av * b.get(k, j);
+            }
+        }
+    }
+    Tensor::from_vec(m, n, out).expect("shape matches data")
+}
+
+fn pseudo(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    let data = (0..rows * cols)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data).expect("shape matches data")
+}
+
+fn bench_square(c: &mut Criterion) {
+    for n in [32usize, 128, 512] {
+        let a = pseudo(n, n, 1);
+        let b = pseudo(n, n, 2);
+        semcom_par::set_workers(1);
+        c.bench_function(&format!("matmul/naive_serial_{n}"), |bch| {
+            bch.iter(|| naive_matmul(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        c.bench_function(&format!("matmul/blocked_1thread_{n}"), |bch| {
+            bch.iter(|| std::hint::black_box(&a).matmul(std::hint::black_box(&b)))
+        });
+        semcom_par::set_workers(4);
+        c.bench_function(&format!("matmul/blocked_4threads_{n}"), |bch| {
+            bch.iter(|| std::hint::black_box(&a).matmul(std::hint::black_box(&b)))
+        });
+        semcom_par::set_workers(1);
+    }
+}
+
+fn bench_codec_shapes(c: &mut Criterion) {
+    semcom_par::set_workers(1);
+
+    // Linear backward, default codec config: batch 64, in 24, out 8.
+    let x = pseudo(64, 24, 3);
+    let dout = pseudo(64, 8, 4);
+    c.bench_function("matmul/linear_bwd_transpose_alloc", |bch| {
+        bch.iter(|| x.transpose().matmul(std::hint::black_box(&dout)))
+    });
+    c.bench_function("matmul/linear_bwd_transa_fused", |bch| {
+        bch.iter(|| x.matmul_transa(std::hint::black_box(&dout)))
+    });
+
+    // GRU gate backward, encoder GRU: batch 64, hidden 24.
+    let da = pseudo(64, 24, 5);
+    let w = pseudo(24, 24, 6);
+    c.bench_function("matmul/gru_bwd_transpose_alloc", |bch| {
+        bch.iter(|| da.matmul(&w.transpose()))
+    });
+    c.bench_function("matmul/gru_bwd_transb_fused", |bch| {
+        bch.iter(|| da.matmul_transb(std::hint::black_box(&w)))
+    });
+}
+
+criterion_group!(benches, bench_square, bench_codec_shapes);
+criterion_main!(benches);

@@ -12,7 +12,9 @@ fn fixture(n: usize) -> (ParamVec, ParamVec) {
     .expect("consistent layout");
     let after = ParamVec::from_parts(
         vec![(1, n)],
-        (0..n).map(|i| (i as f32 * 0.37).sin() + 0.01 * ((i % 13) as f32)).collect(),
+        (0..n)
+            .map(|i| (i as f32 * 0.37).sin() + 0.01 * ((i % 13) as f32))
+            .collect(),
     )
     .expect("consistent layout");
     (before, after)
@@ -34,9 +36,7 @@ fn bench_sync(c: &mut Criterion) {
     });
 
     let update = DecoderSync::new(SyncProtocol::DenseDelta).make_update(&before, &after);
-    c.bench_function("sync/serialize_dense_12k", |b| {
-        b.iter(|| update.to_bytes())
-    });
+    c.bench_function("sync/serialize_dense_12k", |b| b.iter(|| update.to_bytes()));
 
     let wire = update.to_bytes();
     c.bench_function("sync/deserialize_dense_12k", |b| {

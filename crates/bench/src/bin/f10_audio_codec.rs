@@ -35,8 +35,7 @@ fn main() {
         mf.symbols_per_melody(),
         mf.symbols_per_melody() / kb.symbols_per_melody()
     );
-    let handicap =
-        10.0 * (mf.symbols_per_melody() as f64 / kb.symbols_per_melody() as f64).log10();
+    let handicap = 10.0 * (mf.symbols_per_melody() as f64 / kb.symbols_per_melody() as f64).log10();
     println!("equal-resource handicap for the raw leg: {handicap:.1} dB");
 
     for fading in [false, true] {

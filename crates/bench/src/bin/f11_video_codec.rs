@@ -15,7 +15,10 @@ fn main() {
     );
 
     let videos = VideoSet::new(4, 1); // 16 (glyph, motion) concepts
-    println!("\ntraining the video KB ({} motion concepts)…", videos.len());
+    println!(
+        "\ntraining the video KB ({} motion concepts)…",
+        videos.len()
+    );
     let mut kb = VideoKb::new(&videos, 8, 2);
     kb.train(
         &videos,

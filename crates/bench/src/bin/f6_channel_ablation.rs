@@ -1,10 +1,19 @@
 //! F6 — channel-coding ablation: BER vs SNR for every code, AWGN and
 //! Rayleigh, BPSK and 16-QAM.
+//!
+//! Every table cell below seeds its own RNG, so the sweeps fan out through
+//! `semcom-par` and print in submission order: stdout is byte-identical at
+//! any `SEMCOM_THREADS` setting.
 
 use semcom_bench::banner;
-use semcom_channel::coding::{BlockCode, ConvolutionalCode, HammingCode74, IdentityCode, RepetitionCode};
+use semcom_channel::coding::{
+    BlockCode, ConvolutionalCode, HammingCode74, IdentityCode, RepetitionCode,
+};
 use semcom_channel::{AwgnChannel, BitPipeline, Channel, Modulation, RayleighChannel};
 use semcom_nn::rng::seeded_rng;
+
+/// Constructor for a boxed block code, shareable across semcom-par workers.
+type MakeCode = fn() -> Box<dyn BlockCode + Send + Sync>;
 
 fn main() {
     banner(
@@ -15,39 +24,51 @@ fn main() {
     );
 
     let n_bits = 60_000;
-    let codes: Vec<(&str, fn() -> Box<dyn BlockCode + Send>)> = vec![
+    let codes: Vec<(&str, MakeCode)> = vec![
         ("uncoded", || Box::new(IdentityCode)),
         ("repetition3", || Box::new(RepetitionCode::new(3))),
         ("hamming74", || Box::new(HammingCode74)),
         ("conv_k3", || Box::new(ConvolutionalCode)),
     ];
 
+    let snrs = [-2.0, 0.0, 2.0, 4.0, 6.0, 8.0, 10.0];
+    let cells: Vec<(bool, f64)> = [false, true]
+        .iter()
+        .flat_map(|&fading| snrs.iter().map(move |&snr| (fading, snr)))
+        .collect();
+    let rows = semcom_par::par_map_indexed(&cells, |_, &(fading, snr)| {
+        let channel: Box<dyn Channel> = if fading {
+            Box::new(RayleighChannel::new(snr))
+        } else {
+            Box::new(AwgnChannel::new(snr))
+        };
+        let mut row = format!("{snr:.0}");
+        for (_, make) in &codes {
+            let p = BitPipeline::new(make(), Modulation::Bpsk);
+            let mut rng = seeded_rng((snr as i64 + 10) as u64 * 2 + fading as u64);
+            let ber = p.measure_ber(channel.as_ref(), n_bits, &mut rng);
+            row.push_str(&format!(",{ber:.5}"));
+        }
+        row
+    });
+    let mut rows = rows.into_iter();
     for fading in [false, true] {
         println!(
             "\n--- {} channel, BPSK ---",
             if fading { "Rayleigh" } else { "AWGN" }
         );
         println!("snr_db,uncoded,repetition3,hamming74,conv_k3");
-        for snr in [-2.0, 0.0, 2.0, 4.0, 6.0, 8.0, 10.0] {
-            let channel: Box<dyn Channel> = if fading {
-                Box::new(RayleighChannel::new(snr))
-            } else {
-                Box::new(AwgnChannel::new(snr))
-            };
-            print!("{snr:.0}");
-            for (_, make) in &codes {
-                let p = BitPipeline::new(make(), Modulation::Bpsk);
-                let mut rng = seeded_rng((snr as i64 + 10) as u64 * 2 + fading as u64);
-                let ber = p.measure_ber(channel.as_ref(), n_bits, &mut rng);
-                print!(",{ber:.5}");
-            }
-            println!();
+        for _ in &snrs {
+            println!("{}", rows.next().expect("one row per BER cell"));
         }
     }
 
     println!("\n--- AWGN, 16-QAM (spectral efficiency vs robustness) ---");
     println!("snr_db,uncoded_qam16,conv_k3_qam16,uncoded_bpsk");
-    for snr in [4.0, 8.0, 12.0, 16.0, 20.0] {
+    // The three measurements inside a row share one RNG stream, so the row
+    // is the unit of parallelism here.
+    let qam_snrs = [4.0, 8.0, 12.0, 16.0, 20.0];
+    for row in semcom_par::par_map_indexed(&qam_snrs, |_, &snr| {
         let ch = AwgnChannel::new(snr);
         let mut rng = seeded_rng(77 + snr as u64);
         let u16q = BitPipeline::new(Box::new(IdentityCode), Modulation::Qam16)
@@ -56,37 +77,42 @@ fn main() {
             .measure_ber(&ch, n_bits, &mut rng);
         let ub = BitPipeline::new(Box::new(IdentityCode), Modulation::Bpsk)
             .measure_ber(&ch, n_bits, &mut rng);
-        println!("{snr:.0},{u16q:.5},{c16q:.5},{ub:.5}");
+        format!("{snr:.0},{u16q:.5},{c16q:.5},{ub:.5}")
+    }) {
+        println!("{row}");
     }
 
     println!("\n--- stop-and-wait ARQ (CRC-16 frames, Sec. III-C reliability) ---");
     println!("snr_db,code,delivery_rate,mean_attempts,goodput_bits_per_symbol");
-    for snr in [0.0, 2.0, 4.0, 6.0, 8.0] {
+    let arq_codes: Vec<(&str, MakeCode)> = codes[..2].iter().chain(&codes[3..]).copied().collect();
+    let arq_cells: Vec<(f64, usize)> = [0.0, 2.0, 4.0, 6.0, 8.0]
+        .iter()
+        .flat_map(|&snr| (0..arq_codes.len()).map(move |c| (snr, c)))
+        .collect();
+    for line in semcom_par::par_map_indexed(&arq_cells, |_, &(snr, c)| {
         let ch = AwgnChannel::new(snr);
-        for (name, make) in &codes[..2].iter().chain(&codes[3..]).copied().collect::<Vec<_>>() {
-            let arq = semcom_channel::ArqPipeline::new(
-                BitPipeline::new(make(), Modulation::Bpsk),
-                8,
-            );
-            let mut rng = seeded_rng(900 + snr as u64);
-            let payload: Vec<u8> = (0..240).map(|i| ((i * 3) % 2) as u8).collect();
-            let mut delivered = 0u32;
-            let mut attempts = 0u32;
-            let mut symbols = 0usize;
-            let frames = 60;
-            for _ in 0..frames {
-                let out = arq.transmit(&payload, &ch, &mut rng);
-                delivered += out.delivered as u32;
-                attempts += out.attempts;
-                symbols += out.symbols;
-            }
-            let goodput = (delivered as usize * payload.len()) as f64 / symbols as f64;
-            println!(
-                "{snr:.0},{name},{:.3},{:.2},{goodput:.4}",
-                delivered as f64 / frames as f64,
-                attempts as f64 / frames as f64
-            );
+        let (name, make) = arq_codes[c];
+        let arq = semcom_channel::ArqPipeline::new(BitPipeline::new(make(), Modulation::Bpsk), 8);
+        let mut rng = seeded_rng(900 + snr as u64);
+        let payload: Vec<u8> = (0..240).map(|i| ((i * 3) % 2) as u8).collect();
+        let mut delivered = 0u32;
+        let mut attempts = 0u32;
+        let mut symbols = 0usize;
+        let frames = 60;
+        for _ in 0..frames {
+            let out = arq.transmit(&payload, &ch, &mut rng);
+            delivered += out.delivered as u32;
+            attempts += out.attempts;
+            symbols += out.symbols;
         }
+        let goodput = (delivered as usize * payload.len()) as f64 / symbols as f64;
+        format!(
+            "{snr:.0},{name},{:.3},{:.2},{goodput:.4}",
+            delivered as f64 / frames as f64,
+            attempts as f64 / frames as f64
+        )
+    }) {
+        println!("{line}");
     }
 
     println!("\nexpected shape: conv_k3 < hamming74 < repetition3 < uncoded at");

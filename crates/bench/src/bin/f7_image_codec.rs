@@ -16,7 +16,10 @@ fn main() {
     );
 
     let glyphs = GlyphSet::new(16, 1);
-    println!("\ntraining the CNN image KB ({} visual concepts)…", glyphs.len());
+    println!(
+        "\ntraining the CNN image KB ({} visual concepts)…",
+        glyphs.len()
+    );
     let mut kb = ImageKb::new(&glyphs, 8, 2);
     kb.train(
         &glyphs,
@@ -41,8 +44,8 @@ fn main() {
     // per-symbol SNR that is a 10*log10(63) ≈ 18 dB energy head start per
     // image. The "equal_resources" column gives both legs the same energy
     // budget per image by shifting the pixel leg's SNR down accordingly.
-    let handicap_db = 10.0
-        * (baseline.symbols_per_image() as f64 / kb.symbols_per_image() as f64).log10();
+    let handicap_db =
+        10.0 * (baseline.symbols_per_image() as f64 / kb.symbols_per_image() as f64).log10();
     println!("equal-resource handicap for the pixel leg: {handicap_db:.1} dB");
 
     for fading in [false, true] {

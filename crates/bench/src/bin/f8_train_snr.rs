@@ -25,9 +25,12 @@ fn main() {
     let train = gen.sentences(d, Rendering::Mixed(0.15), 250);
     let test = gen.sentences(d, Rendering::Canonical, 60);
 
+    // Each codec trains from its own seeds (40+i / 50+i), so the four
+    // trainings fan out through semcom-par and reproduce run-to-run at a
+    // fixed worker count: the minibatch shard count inside `fit` depends on
+    // the configured workers, not on which thread runs the job.
     let train_snrs: [Option<f64>; 4] = [None, Some(12.0), Some(6.0), Some(0.0)];
-    let mut kbs = Vec::new();
-    for (i, &ts) in train_snrs.iter().enumerate() {
+    let kbs = semcom_par::par_map_indexed(&train_snrs, |i, &ts| {
         let mut kb = KnowledgeBase::new(
             CodecConfig::default(),
             lang.vocab().len(),
@@ -41,17 +44,24 @@ fn main() {
             ..TrainConfig::default()
         })
         .fit(&mut kb, &train, 50 + i as u64);
-        kbs.push(kb);
-    }
+        kb
+    });
 
     println!("\neval_snr_db,trained_noiseless,trained_12db,trained_6db,trained_0db");
-    for eval_snr in [-6.0, -3.0, 0.0, 3.0, 6.0, 12.0, 18.0] {
+    let eval_snrs = [-6.0, -3.0, 0.0, 3.0, 6.0, 12.0, 18.0];
+    let cells: Vec<(f64, usize)> = eval_snrs
+        .iter()
+        .flat_map(|&s| (0..kbs.len()).map(move |i| (s, i)))
+        .collect();
+    let accs = semcom_par::par_map_indexed(&cells, |_, &(eval_snr, i)| {
         let channel = AwgnChannel::new(eval_snr);
+        let mut rng = seeded_rng(200 + i as u64 * 13 + (eval_snr as i64 + 10) as u64);
+        evaluate_semantic(&kbs[i], &kbs[i], &lang, &test, &channel, &mut rng).concept_accuracy
+    });
+    for (row, &eval_snr) in eval_snrs.iter().enumerate() {
         print!("{eval_snr:.0}");
-        for (i, kb) in kbs.iter().enumerate() {
-            let mut rng = seeded_rng(200 + i as u64 * 13 + (eval_snr as i64 + 10) as u64);
-            let r = evaluate_semantic(kb, kb, &lang, &test, &channel, &mut rng);
-            print!(",{:.4}", r.concept_accuracy);
+        for acc in &accs[row * kbs.len()..(row + 1) * kbs.len()] {
+            print!(",{acc:.4}");
         }
         println!();
     }

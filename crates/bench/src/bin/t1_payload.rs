@@ -14,7 +14,9 @@ fn main() {
     );
     let setup = build_setup(2);
 
-    println!("\ndomain,raw_utf8_bits,huffman_bits,huffman_hamming_bits,semantic_symbols,sem_equiv_bits");
+    println!(
+        "\ndomain,raw_utf8_bits,huffman_bits,huffman_hamming_bits,semantic_symbols,sem_equiv_bits"
+    );
     for d in Domain::ALL {
         let huff = HuffmanCode::from_corpus(
             setup.lang.vocab().len(),

@@ -56,8 +56,7 @@ fn main() {
             .iter()
             .filter_map(|&t| setup.lang.token_sense(d, t))
             .collect();
-        let mut gen =
-            semcom_text::CorpusGenerator::new(&setup.lang, 777 + d.index() as u64);
+        let mut gen = semcom_text::CorpusGenerator::new(&setup.lang, 777 + d.index() as u64);
         let sentences: Vec<_> = (0..40)
             .map(|_| gen.render(d, &poly_concepts, semcom_text::Rendering::Canonical))
             .collect();

@@ -38,7 +38,9 @@ fn main() {
 
     let user = system.register_user(Domain::It, 1.5);
 
-    println!("\nmessages,tokens,echo_back_bytes,decoder_copy_marginal_bytes,sync_bytes(common to both)");
+    println!(
+        "\nmessages,tokens,echo_back_bytes,decoder_copy_marginal_bytes,sync_bytes(common to both)"
+    );
     let mut echo_back = 0u64;
     let mut messages = 0u64;
     let checkpoints = [50u64, 100, 200, 400, 800, 1600];

@@ -56,7 +56,10 @@ fn main() {
         // sender's decoder copy, Sec. II-C).
         let base = NaiveBayesSelector::fit(&lang, &train_sentences);
         let mut bandit = BanditSelector::new(Box::new(base), 0.05, 0.5, 9);
-        println!("bandit(nb+feedback),{:.4}", test.evaluate_bandit(&mut bandit));
+        println!(
+            "bandit(nb+feedback),{:.4}",
+            test.evaluate_bandit(&mut bandit)
+        );
     }
 
     println!("\nexpected shape: per-message selectors top out near the ambiguity");

@@ -14,7 +14,7 @@
 //!   retransmitted up to 8 times (stop-and-wait).
 
 use semcom_bench::{banner, build_setup};
-use semcom_channel::coding::{crc32};
+use semcom_channel::coding::crc32;
 use semcom_channel::{AwgnChannel, BinarySymmetricChannel};
 use semcom_codec::mismatch::mismatch_rate;
 use semcom_codec::train::{TrainConfig, Trainer};
@@ -105,9 +105,15 @@ fn main() {
     let eval_channel = AwgnChannel::new(10.0);
     let idiolect = Idiolect::sample(&setup.lang, d, IdiolectConfig::with_strength(2.0), 4);
 
-    println!("\nflip_prob,strategy,rounds_applied,rounds_dropped,poisoned,final_mismatch,megabits_sent");
+    println!(
+        "\nflip_prob,strategy,rounds_applied,rounds_dropped,poisoned,final_mismatch,megabits_sent"
+    );
     for flip_prob in [0.0, 1e-5, 1e-4, 1e-3] {
-        for strategy in [Strategy::Unprotected, Strategy::CrcDrop, Strategy::FramedArq] {
+        for strategy in [
+            Strategy::Unprotected,
+            Strategy::CrcDrop,
+            Strategy::FramedArq,
+        ] {
             let bsc = BinarySymmetricChannel::new(flip_prob);
             let mut sender = setup.domain_kbs[&d].derive_user_model(1, d);
             let mut receiver = setup.domain_kbs[&d].clone();
@@ -138,10 +144,7 @@ fn main() {
                 bits_sent += bits;
                 match received.map(|b| SyncUpdate::from_bytes(&b)) {
                     Some(Ok(update)) => {
-                        if update
-                            .apply(&mut receiver.decoder.params_mut())
-                            .is_ok()
-                        {
+                        if update.apply(&mut receiver.decoder.params_mut()).is_ok() {
                             applied += 1;
                             if update != SyncUpdate::from_bytes(&wire).expect("wire encodes") {
                                 poisoned += 1;

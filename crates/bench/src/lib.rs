@@ -38,7 +38,9 @@
 use semcom_codec::train::{TrainConfig, Trainer};
 use semcom_codec::{CodecConfig, KbScope, KnowledgeBase};
 use semcom_nn::rng::derive_seed;
-use semcom_text::{CorpusGenerator, Domain, LanguageConfig, Rendering, Sentence, SyntheticLanguage};
+use semcom_text::{
+    CorpusGenerator, Domain, LanguageConfig, Rendering, Sentence, SyntheticLanguage,
+};
 use std::collections::HashMap;
 
 /// Shared experiment fixture: the default language, per-domain corpora, a
@@ -101,7 +103,11 @@ pub fn build_setup(seed: u64) -> Setup {
             KbScope::DomainGeneral(d),
             derive_seed(seed, 30 + d.index() as u64),
         );
-        Trainer::new(train_cfg).fit(&mut kb, &train[&d], derive_seed(seed, 40 + d.index() as u64));
+        Trainer::new(train_cfg).fit(
+            &mut kb,
+            &train[&d],
+            derive_seed(seed, 40 + d.index() as u64),
+        );
         domain_kbs.insert(d, kb);
     }
 

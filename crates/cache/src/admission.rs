@@ -7,8 +7,8 @@
 //! not) in a [`CountMinSketch`] and only admits a newcomer when it has
 //! been seen at least as often as the entry it would displace.
 
-use std::hash::{Hash, Hasher};
 use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 
 /// A count-min sketch: a fixed-size approximate frequency counter.
 ///
@@ -57,7 +57,7 @@ impl CountMinSketch {
             self.counts[i] = self.counts[i].saturating_add(1);
         }
         self.additions += 1;
-        if self.additions % self.age_after == 0 {
+        if self.additions.is_multiple_of(self.age_after) {
             self.age();
         }
     }
@@ -133,7 +133,7 @@ mod tests {
             }
         }
         for i in 0..100u32 {
-            assert!(s.estimate(&i) >= i % 7 + 1, "key {i}");
+            assert!(s.estimate(&i) > i % 7, "key {i}");
         }
     }
 

@@ -28,14 +28,28 @@ pub trait EvictionPolicy<K> {
 }
 
 /// Shared "minimum score loses" machinery.
+///
+/// Score ties are broken by insertion sequence (oldest resident loses).
+/// Without the explicit tie-break, ties would fall through to `HashMap`
+/// iteration order, which is randomized per process — the cost-aware
+/// policies (GDSF, semantic-cost) tie constantly and their evictions
+/// would differ run to run.
 #[derive(Debug, Clone, Default)]
 struct ScoreBoard<K> {
-    scores: HashMap<K, f64>,
+    scores: HashMap<K, (f64, u64)>,
+    next_seq: u64,
 }
 
 impl<K: Hash + Eq + Clone> ScoreBoard<K> {
     fn set(&mut self, key: &K, score: f64) {
-        self.scores.insert(key.clone(), score);
+        match self.scores.get_mut(key) {
+            Some(slot) => slot.0 = score,
+            None => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.scores.insert(key.clone(), (score, seq));
+            }
+        }
     }
 
     fn remove(&mut self, key: &K) {
@@ -45,12 +59,18 @@ impl<K: Hash + Eq + Clone> ScoreBoard<K> {
     fn min_key(&self) -> Option<K> {
         self.scores
             .iter()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("scores are finite"))
+            .min_by(|a, b| {
+                let (sa, qa) = a.1;
+                let (sb, qb) = b.1;
+                sa.partial_cmp(sb)
+                    .expect("scores are finite")
+                    .then(qa.cmp(qb))
+            })
             .map(|(k, _)| k.clone())
     }
 
     fn get(&self, key: &K) -> Option<f64> {
-        self.scores.get(key).copied()
+        self.scores.get(key).map(|slot| slot.0)
     }
 }
 
@@ -89,6 +109,7 @@ impl<K: Hash + Eq + Clone> Fifo<K> {
         Fifo {
             board: ScoreBoard {
                 scores: HashMap::new(),
+                next_seq: 0,
             },
             clock: 0.0,
         }
@@ -121,6 +142,7 @@ impl<K: Hash + Eq + Clone> Lru<K> {
         Lru {
             board: ScoreBoard {
                 scores: HashMap::new(),
+                next_seq: 0,
             },
             clock: 0.0,
         }
@@ -160,6 +182,7 @@ impl<K: Hash + Eq + Clone> Lfu<K> {
         Lfu {
             board: ScoreBoard {
                 scores: HashMap::new(),
+                next_seq: 0,
             },
             counts: HashMap::new(),
             clock: 0.0,
@@ -210,6 +233,7 @@ impl<K: Hash + Eq + Clone> SLru<K> {
         SLru {
             board: ScoreBoard {
                 scores: HashMap::new(),
+                next_seq: 0,
             },
             protected: HashMap::new(),
             clock: 0.0,
@@ -254,6 +278,7 @@ impl<K: Hash + Eq + Clone> Gdsf<K> {
         Gdsf {
             board: ScoreBoard {
                 scores: HashMap::new(),
+                next_seq: 0,
             },
             counts: HashMap::new(),
             clock: 0.0,
@@ -307,6 +332,7 @@ impl<K: Hash + Eq + Clone> SemanticCost<K> {
         SemanticCost {
             board: ScoreBoard {
                 scores: HashMap::new(),
+                next_seq: 0,
             },
             clock: 0.0,
         }

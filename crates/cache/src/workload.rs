@@ -118,8 +118,7 @@ impl Workload {
     where
         P: crate::policy::EvictionPolicy<u64> + Send + 'static,
     {
-        let mut cache: ModelCache<u64, ModelSpec> =
-            ModelCache::new(capacity, Box::new(policy));
+        let mut cache: ModelCache<u64, ModelSpec> = ModelCache::new(capacity, Box::new(policy));
         let mut admission = crate::FrequencyAdmission::new(self.models.len());
         let mut miss_cost = 0.0;
         for _ in 0..n_requests {
@@ -170,8 +169,7 @@ impl Workload {
         let seq: Vec<ModelSpec> = (0..n_requests).map(|_| self.sample(rng)).collect();
         // next_use[i] = index of the next request for seq[i].id after i.
         let mut next_use = vec![usize::MAX; n_requests];
-        let mut last_seen: std::collections::HashMap<u64, usize> =
-            std::collections::HashMap::new();
+        let mut last_seen: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         for i in (0..n_requests).rev() {
             next_use[i] = last_seen.get(&seq[i].id).copied().unwrap_or(usize::MAX);
             last_seen.insert(seq[i].id, i);

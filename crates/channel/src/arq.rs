@@ -73,7 +73,7 @@ impl ArqPipeline {
         let mut frame = bits.to_vec();
         // Pad payload to a byte boundary so the receiver can re-derive the
         // CRC input exactly.
-        while frame.len() % 8 != 0 {
+        while !frame.len().is_multiple_of(8) {
             frame.push(0);
         }
         frame.extend(bytes_to_bits(&crc.to_be_bytes()));

@@ -35,11 +35,7 @@ pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
 /// Counts positions where two bit strings differ (up to the shorter length),
 /// plus the length difference.
 pub fn hamming_distance(a: &[u8], b: &[u8]) -> usize {
-    let common = a
-        .iter()
-        .zip(b.iter())
-        .filter(|(x, y)| x != y)
-        .count();
+    let common = a.iter().zip(b.iter()).filter(|(x, y)| x != y).count();
     common + a.len().abs_diff(b.len())
 }
 

@@ -89,7 +89,7 @@ impl BlockCode for RepetitionCode {
     fn encode(&self, bits: &[u8]) -> Vec<u8> {
         validate(bits);
         bits.iter()
-            .flat_map(|&b| std::iter::repeat(b).take(self.n))
+            .flat_map(|&b| std::iter::repeat_n(b, self.n))
             .collect()
     }
 
@@ -207,22 +207,21 @@ impl BlockCode for ConvolutionalCode {
         let mut metrics = [INF; Self::STATES];
         metrics[0] = 0;
         // survivors[t][state] = (prev_state, input bit)
-        let mut survivors: Vec<[(usize, u8); Self::STATES]> =
-            vec![[(0, 0); Self::STATES]; steps];
+        let mut survivors: Vec<[(usize, u8); Self::STATES]> = vec![[(0, 0); Self::STATES]; steps];
 
         for t in 0..steps {
             let r = (coded[2 * t], coded[2 * t + 1]);
             let mut next = [INF; Self::STATES];
             let mut surv = [(0usize, 0u8); Self::STATES];
-            for state in 0..Self::STATES {
-                if metrics[state] >= INF {
+            for (state, &metric) in metrics.iter().enumerate() {
+                if metric >= INF {
                     continue;
                 }
                 for input in 0..=1u8 {
                     let (g1, g2) = Self::output(state, input);
                     let cost = (g1 != r.0) as u32 + (g2 != r.1) as u32;
                     let ns = Self::next_state(state, input);
-                    let m = metrics[state] + cost;
+                    let m = metric + cost;
                     if m < next[ns] {
                         next[ns] = m;
                         surv[ns] = (state, input);

@@ -50,8 +50,7 @@ pub mod coding;
 pub use arq::{ArqOutcome, ArqPipeline};
 pub use bits::{bits_to_bytes, bytes_to_bits, hamming_distance};
 pub use channel::{
-    AwgnChannel, BinarySymmetricChannel, Channel, ErasureChannel, NoiselessChannel,
-    RayleighChannel,
+    AwgnChannel, BinarySymmetricChannel, Channel, ErasureChannel, NoiselessChannel, RayleighChannel,
 };
 pub use complex::Complex;
 pub use modulation::Modulation;

@@ -10,24 +10,29 @@ use rand::{Rng, RngCore};
 /// paper contrasts semantic communication with systems "which transmit data
 /// bit by bit" (§I).
 pub struct BitPipeline {
-    code: Box<dyn BlockCode + Send>,
+    code: Box<dyn BlockCode + Send + Sync>,
     modulation: Modulation,
 }
 
 impl std::fmt::Debug for BitPipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "BitPipeline({} + {:?})", self.code.name(), self.modulation)
+        write!(
+            f,
+            "BitPipeline({} + {:?})",
+            self.code.name(),
+            self.modulation
+        )
     }
 }
 
 impl BitPipeline {
     /// Composes a code and a modulation.
-    pub fn new(code: Box<dyn BlockCode + Send>, modulation: Modulation) -> Self {
+    pub fn new(code: Box<dyn BlockCode + Send + Sync>, modulation: Modulation) -> Self {
         BitPipeline { code, modulation }
     }
 
     /// The channel code in use.
-    pub fn code(&self) -> &(dyn BlockCode + Send) {
+    pub fn code(&self) -> &(dyn BlockCode + Send + Sync) {
         self.code.as_ref()
     }
 
@@ -76,7 +81,7 @@ mod tests {
     fn noiseless_pipeline_is_exact() {
         let mut rng = seeded_rng(1);
         for code in [
-            Box::new(IdentityCode) as Box<dyn crate::coding::BlockCode + Send>,
+            Box::new(IdentityCode) as Box<dyn crate::coding::BlockCode + Send + Sync>,
             Box::new(HammingCode74),
             Box::new(ConvolutionalCode),
         ] {

@@ -43,7 +43,7 @@ impl TraditionalCodec {
     pub fn from_corpus(
         vocab_size: usize,
         corpus: &[Sentence],
-        code: Box<dyn BlockCode + Send>,
+        code: Box<dyn BlockCode + Send + Sync>,
         modulation: Modulation,
     ) -> Self {
         let huffman =
@@ -85,11 +85,7 @@ impl TraditionalCodec {
     /// Receiver-side interpretation: maps received words to concepts with
     /// the receiver's **domain lexicon**. Words without a sense in the
     /// domain map to [`UNINTERPRETABLE`].
-    pub fn interpret(
-        lang: &SyntheticLanguage,
-        domain: Domain,
-        tokens: &[usize],
-    ) -> Vec<ConceptId> {
+    pub fn interpret(lang: &SyntheticLanguage, domain: Domain, tokens: &[usize]) -> Vec<ConceptId> {
         tokens
             .iter()
             .map(|&t| lang.token_sense(domain, t).unwrap_or(UNINTERPRETABLE))
@@ -143,8 +139,7 @@ mod tests {
         let (lang, _) = setup();
         let poly = lang.polysemous_tokens()[0];
         let it_sense = lang.token_sense(Domain::It, poly).unwrap();
-        let med =
-            TraditionalCodec::interpret(&lang, Domain::Medical, &[poly]);
+        let med = TraditionalCodec::interpret(&lang, Domain::Medical, &[poly]);
         assert_ne!(med[0], it_sense, "same word, different domain sense");
     }
 
@@ -159,11 +154,7 @@ mod tests {
             .flat_map(|s| s.tokens.clone())
             .collect();
         let out = c.transmit(&tokens, &AwgnChannel::new(-4.0), &mut rng);
-        let exact = tokens
-            .iter()
-            .zip(&out)
-            .filter(|(a, b)| a == b)
-            .count();
+        let exact = tokens.iter().zip(&out).filter(|(a, b)| a == b).count();
         assert!(
             (exact as f64) < 0.9 * tokens.len() as f64,
             "expected heavy corruption, got {exact}/{}",

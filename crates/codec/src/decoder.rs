@@ -139,8 +139,7 @@ mod tests {
     fn param_count_matches_architecture() {
         let cfg = CodecConfig::tiny();
         let mut d = SemanticDecoder::new(&cfg, 10, 1);
-        let expected =
-            cfg.feature_dim * cfg.hidden_dim + cfg.hidden_dim + cfg.hidden_dim * 10 + 10;
+        let expected = cfg.feature_dim * cfg.hidden_dim + cfg.hidden_dim + cfg.hidden_dim * 10 + 10;
         assert_eq!(d.param_count(), expected);
     }
 }

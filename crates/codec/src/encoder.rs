@@ -111,8 +111,7 @@ mod tests {
         let f = e.encode(&[1, 5, 7, 7]);
         assert_eq!(f.shape(), (4, CodecConfig::tiny().feature_dim));
         for r in 0..f.rows() {
-            let p: f32 =
-                f.row(r).iter().map(|x| x * x).sum::<f32>() / f.cols() as f32;
+            let p: f32 = f.row(r).iter().map(|x| x * x).sum::<f32>() / f.cols() as f32;
             assert!((p - 1.0).abs() < 0.01, "row power {p}");
         }
     }

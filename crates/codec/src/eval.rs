@@ -108,14 +108,7 @@ fn accumulate(
     *cos += bow_cosine(reference, decoded);
 }
 
-fn finalize(
-    acc: f64,
-    bl: f64,
-    cos: f64,
-    n: usize,
-    tokens: usize,
-    symbols: usize,
-) -> EvalReport {
+fn finalize(acc: f64, bl: f64, cos: f64, n: usize, tokens: usize, symbols: usize) -> EvalReport {
     let n = n.max(1) as f64;
     EvalReport {
         concept_accuracy: acc / n,
@@ -137,7 +130,12 @@ mod tests {
     use semcom_nn::rng::seeded_rng;
     use semcom_text::{CorpusGenerator, LanguageConfig, Rendering};
 
-    fn trained_setup() -> (SyntheticLanguage, KnowledgeBase, Vec<Sentence>, Vec<Sentence>) {
+    fn trained_setup() -> (
+        SyntheticLanguage,
+        KnowledgeBase,
+        Vec<Sentence>,
+        Vec<Sentence>,
+    ) {
         let lang = LanguageConfig::tiny().build(0);
         let mut gen = CorpusGenerator::new(&lang, 1);
         let train = gen.sentences(Domain::It, Rendering::Canonical, 80);
@@ -166,10 +164,7 @@ mod tests {
         assert!(report.concept_accuracy > 0.85, "{report:?}");
         assert!(report.bleu > 0.7, "{report:?}");
         assert!(report.bow_cosine > 0.8, "{report:?}");
-        assert_eq!(
-            report.symbols,
-            kb.symbols_for(report.tokens)
-        );
+        assert_eq!(report.symbols, kb.symbols_for(report.tokens));
     }
 
     #[test]
@@ -182,8 +177,14 @@ mod tests {
             Modulation::Bpsk,
         );
         let mut rng = seeded_rng(3);
-        let report =
-            evaluate_traditional(&codec, &lang, Domain::It, &test, &NoiselessChannel, &mut rng);
+        let report = evaluate_traditional(
+            &codec,
+            &lang,
+            Domain::It,
+            &test,
+            &NoiselessChannel,
+            &mut rng,
+        );
         assert!((report.concept_accuracy - 1.0).abs() < 1e-9, "{report:?}");
     }
 
@@ -219,8 +220,14 @@ mod tests {
         );
         let mut rng = seeded_rng(5);
         let sem = evaluate_semantic(&kb, &kb, &lang, &test, &NoiselessChannel, &mut rng);
-        let trad =
-            evaluate_traditional(&codec, &lang, Domain::It, &test, &NoiselessChannel, &mut rng);
+        let trad = evaluate_traditional(
+            &codec,
+            &lang,
+            Domain::It,
+            &test,
+            &NoiselessChannel,
+            &mut rng,
+        );
         assert!(
             sem.symbols_per_token() < trad.symbols_per_token(),
             "semantic {} vs traditional {} symbols/token",

@@ -139,8 +139,7 @@ impl KnowledgeBase {
         rng: &mut dyn RngCore,
     ) -> Vec<ConceptId> {
         assert_eq!(
-            self.config.feature_dim,
-            receiver.config.feature_dim,
+            self.config.feature_dim, receiver.config.feature_dim,
             "encoder/decoder feature dimensions differ"
         );
         if tokens.is_empty() {
@@ -209,9 +208,7 @@ mod tests {
     fn transmit_empty_is_empty() {
         let k = kb(KbScope::General);
         let mut rng = seeded_rng(5);
-        assert!(k
-            .transmit(&k, &[], &NoiselessChannel, &mut rng)
-            .is_empty());
+        assert!(k.transmit(&k, &[], &NoiselessChannel, &mut rng).is_empty());
     }
 
     #[test]
@@ -244,6 +241,9 @@ mod tests {
     #[test]
     fn symbols_for_uses_config() {
         let k = kb(KbScope::General);
-        assert_eq!(k.symbols_for(10), 10 * CodecConfig::tiny().symbols_per_token());
+        assert_eq!(
+            k.symbols_for(10),
+            10 * CodecConfig::tiny().symbols_per_token()
+        );
     }
 }

@@ -102,10 +102,7 @@ mod tests {
         let eps_untrained =
             mismatch_rate(&untrained, &untrained, &test, &NoiselessChannel, &mut rng);
         assert!(eps_trained < 0.1, "trained mismatch {eps_trained}");
-        assert!(
-            eps_untrained > 0.5,
-            "untrained mismatch {eps_untrained}"
-        );
+        assert!(eps_untrained > 0.5, "untrained mismatch {eps_untrained}");
     }
 
     #[test]

@@ -160,7 +160,12 @@ impl EdgeServer {
     }
 
     /// The buffer `b_m` for a user key, created on first use.
-    pub fn buffer_mut(&mut self, key: UserKey, capacity: usize, threshold: usize) -> &mut DomainBuffer {
+    pub fn buffer_mut(
+        &mut self,
+        key: UserKey,
+        capacity: usize,
+        threshold: usize,
+    ) -> &mut DomainBuffer {
         self.buffers
             .entry(key)
             .or_insert_with(|| DomainBuffer::new(capacity, threshold))

@@ -73,8 +73,7 @@ impl SemanticEdgeSystem {
         let mut general = HashMap::new();
         let mut selector_corpus = Vec::new();
         for d in Domain::ALL {
-            let mut gen =
-                CorpusGenerator::new(&language, derive_seed(seed, 10 + d.index() as u64));
+            let mut gen = CorpusGenerator::new(&language, derive_seed(seed, 10 + d.index() as u64));
             let corpus = gen.sentences(d, Rendering::Mixed(0.15), config.pretrain_sentences);
             let mut kb = KnowledgeBase::new(
                 config.codec,
@@ -323,11 +322,7 @@ impl SemanticEdgeSystem {
             self.config.buffer_capacity,
             self.config.buffer_threshold,
         );
-        for ((&token, concept), got) in sentence
-            .tokens
-            .iter()
-            .zip(&sentence.concepts)
-            .zip(&decoded)
+        for ((&token, concept), got) in sentence.tokens.iter().zip(&sentence.concepts).zip(&decoded)
         {
             buffer.push(BufferSample {
                 token,
@@ -390,10 +385,18 @@ impl SemanticEdgeSystem {
     fn train_and_sync(&mut self, key: UserKey, home: usize, peer: usize, msg_idx: u64) -> usize {
         let (user, domain) = key;
         let pairs = self.servers[home]
-            .buffer_mut(key, self.config.buffer_capacity, self.config.buffer_threshold)
+            .buffer_mut(
+                key,
+                self.config.buffer_capacity,
+                self.config.buffer_threshold,
+            )
             .training_pairs();
         self.servers[home]
-            .buffer_mut(key, self.config.buffer_capacity, self.config.buffer_threshold)
+            .buffer_mut(
+                key,
+                self.config.buffer_capacity,
+                self.config.buffer_threshold,
+            )
             .clear();
 
         // Fetch the cached user KB, or derive a fresh one from the general

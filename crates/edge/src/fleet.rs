@@ -33,8 +33,11 @@ pub enum Assignment {
 
 impl Assignment {
     /// All strategies.
-    pub const ALL: [Assignment; 3] =
-        [Assignment::Sticky, Assignment::RoundRobin, Assignment::LeastLoaded];
+    pub const ALL: [Assignment; 3] = [
+        Assignment::Sticky,
+        Assignment::RoundRobin,
+        Assignment::LeastLoaded,
+    ];
 
     /// Short name for reports.
     pub fn name(self) -> &'static str {
@@ -272,7 +275,11 @@ mod tests {
         // Round robin spreads load nearly evenly.
         let max = r.utilization.iter().cloned().fold(0.0f64, f64::max);
         let min = r.utilization.iter().cloned().fold(1.0f64, f64::min);
-        assert!(max - min < 0.1, "uneven round-robin load: {:?}", r.utilization);
+        assert!(
+            max - min < 0.1,
+            "uneven round-robin load: {:?}",
+            r.utilization
+        );
     }
 
     #[test]

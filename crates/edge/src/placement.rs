@@ -183,8 +183,7 @@ mod tests {
         let cost = MessageCost::default();
         for p in Placement::ALL {
             let b = message_latency(&topo(), p, &cost, false, 1_000_000);
-            let sum =
-                b.uplink + b.encode + b.transport + b.decode + b.downlink + b.model_fetch;
+            let sum = b.uplink + b.encode + b.transport + b.decode + b.downlink + b.model_fetch;
             assert!((b.total() - sum).abs() < 1e-12, "{p:?}");
         }
     }

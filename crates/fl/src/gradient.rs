@@ -103,10 +103,7 @@ pub struct QuantizedGradient {
 impl QuantizedGradient {
     /// Quantizes a dense delta.
     pub fn quantize(dense: &ParamVec) -> Self {
-        let max = dense
-            .as_slice()
-            .iter()
-            .fold(0.0f32, |m, &v| m.max(v.abs()));
+        let max = dense.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
         let scale = if max > 0.0 { max / 127.0 } else { 1.0 };
         QuantizedGradient {
             shapes: dense.shapes().to_vec(),

@@ -145,11 +145,7 @@ impl DecoderSync {
                 let sparse = SparseGradient::top_k(&dense, k);
                 let sent = sparse.to_dense();
                 let mut residual = dense;
-                for (r, s) in residual
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(sent.as_slice())
-                {
+                for (r, s) in residual.as_mut_slice().iter_mut().zip(sent.as_slice()) {
                     *r -= s;
                 }
                 self.residual = Some(residual);

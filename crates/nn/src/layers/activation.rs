@@ -144,7 +144,11 @@ mod tests {
     fn gradients_match_finite_differences() {
         // Avoid x = 0.0 exactly for ReLU (kink) by shifting the input.
         let x = input().map(|v| v + 0.05);
-        for mut a in [Activation::relu(), Activation::tanh(), Activation::sigmoid()] {
+        for mut a in [
+            Activation::relu(),
+            Activation::tanh(),
+            Activation::sigmoid(),
+        ] {
             gradcheck::check_input_gradient(&mut a, &x, 1e-2);
         }
     }

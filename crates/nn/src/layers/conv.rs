@@ -373,12 +373,8 @@ mod tests {
     fn pool_input_gradient_matches_finite_differences() {
         let mut p = MaxPool2::new(2, 4, 4);
         // Distinct values avoid argmax ties that break finite differences.
-        let x = Tensor::from_vec(
-            1,
-            32,
-            (0..32).map(|i| (i as f32) * 0.37 % 5.0).collect(),
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec(1, 32, (0..32).map(|i| (i as f32) * 0.37 % 5.0).collect()).unwrap();
         gradcheck::check_input_gradient(&mut p, &x, 2e-2);
     }
 

@@ -102,13 +102,13 @@ impl GruCell {
         assert_eq!(h.cols(), self.hidden_dim(), "gru state width mismatch");
         assert_eq!(x.rows(), h.rows(), "gru batch mismatch");
         let sig = |t: &Tensor| t.map(|v| 1.0 / (1.0 + (-v).exp()));
-        let z = sig(&(&(&x.matmul(&self.wz.value) + &h.matmul(&self.uz.value))
-            .add_row_broadcast(&self.bz.value)));
-        let r = sig(&(&(&x.matmul(&self.wr.value) + &h.matmul(&self.ur.value))
-            .add_row_broadcast(&self.br.value)));
+        let z = sig(&(&x.matmul(&self.wz.value) + &h.matmul(&self.uz.value))
+            .add_row_broadcast(&self.bz.value));
+        let r = sig(&(&x.matmul(&self.wr.value) + &h.matmul(&self.ur.value))
+            .add_row_broadcast(&self.br.value));
         let rh = r.hadamard(h);
-        let n = (&(&x.matmul(&self.wn.value) + &rh.matmul(&self.un.value))
-            .add_row_broadcast(&self.bn.value))
+        let n = (&x.matmul(&self.wn.value) + &rh.matmul(&self.un.value))
+            .add_row_broadcast(&self.bn.value)
             .map(f32::tanh);
         let one_minus_z = z.map(|v| 1.0 - v);
         let out = &one_minus_z.hadamard(&n) + &z.hadamard(h);
@@ -132,8 +132,10 @@ impl GruCell {
     ///
     /// Panics if there is no cached step left.
     pub fn backward(&mut self, dh_next: &Tensor) -> (Tensor, Tensor) {
-        let StepCache { x, h, z, r, n, rh } =
-            self.cache.pop().expect("backward called more times than forward");
+        let StepCache { x, h, z, r, n, rh } = self
+            .cache
+            .pop()
+            .expect("backward called more times than forward");
         assert_eq!(dh_next.shape(), z.shape(), "dh shape mismatch");
 
         let dn = dh_next.hadamard(&z.map(|v| 1.0 - v));
@@ -142,29 +144,29 @@ impl GruCell {
 
         // Candidate path.
         let da_n = dn.hadamard(&n.map(|v| 1.0 - v * v));
-        self.wn.grad.add_scaled(&x.transpose().matmul(&da_n), 1.0);
-        self.un.grad.add_scaled(&rh.transpose().matmul(&da_n), 1.0);
+        self.wn.grad.add_scaled(&x.matmul_transa(&da_n), 1.0);
+        self.un.grad.add_scaled(&rh.matmul_transa(&da_n), 1.0);
         self.bn.grad.add_scaled(&da_n.sum_rows(), 1.0);
-        let mut dx = da_n.matmul(&self.wn.value.transpose());
-        let drh = da_n.matmul(&self.un.value.transpose());
+        let mut dx = da_n.matmul_transb(&self.wn.value);
+        let drh = da_n.matmul_transb(&self.un.value);
         let dr = drh.hadamard(&h);
         dh_prev.add_scaled(&drh.hadamard(&r), 1.0);
 
         // Update gate path.
         let da_z = dz.hadamard(&z.map(|v| v * (1.0 - v)));
-        self.wz.grad.add_scaled(&x.transpose().matmul(&da_z), 1.0);
-        self.uz.grad.add_scaled(&h.transpose().matmul(&da_z), 1.0);
+        self.wz.grad.add_scaled(&x.matmul_transa(&da_z), 1.0);
+        self.uz.grad.add_scaled(&h.matmul_transa(&da_z), 1.0);
         self.bz.grad.add_scaled(&da_z.sum_rows(), 1.0);
-        dx.add_scaled(&da_z.matmul(&self.wz.value.transpose()), 1.0);
-        dh_prev.add_scaled(&da_z.matmul(&self.uz.value.transpose()), 1.0);
+        dx.add_scaled(&da_z.matmul_transb(&self.wz.value), 1.0);
+        dh_prev.add_scaled(&da_z.matmul_transb(&self.uz.value), 1.0);
 
         // Reset gate path.
         let da_r = dr.hadamard(&r.map(|v| v * (1.0 - v)));
-        self.wr.grad.add_scaled(&x.transpose().matmul(&da_r), 1.0);
-        self.ur.grad.add_scaled(&h.transpose().matmul(&da_r), 1.0);
+        self.wr.grad.add_scaled(&x.matmul_transa(&da_r), 1.0);
+        self.ur.grad.add_scaled(&h.matmul_transa(&da_r), 1.0);
         self.br.grad.add_scaled(&da_r.sum_rows(), 1.0);
-        dx.add_scaled(&da_r.matmul(&self.wr.value.transpose()), 1.0);
-        dh_prev.add_scaled(&da_r.matmul(&self.ur.value.transpose()), 1.0);
+        dx.add_scaled(&da_r.matmul_transb(&self.wr.value), 1.0);
+        dh_prev.add_scaled(&da_r.matmul_transb(&self.ur.value), 1.0);
 
         (dx, dh_prev)
     }

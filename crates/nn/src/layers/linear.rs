@@ -47,7 +47,8 @@ impl Linear {
 
     /// Forward pass without caching; usable from `&self` for inference.
     pub fn infer(&self, x: &Tensor) -> Tensor {
-        x.matmul(&self.weight.value).add_row_broadcast(&self.bias.value)
+        x.matmul(&self.weight.value)
+            .add_row_broadcast(&self.bias.value)
     }
 }
 
@@ -65,9 +66,9 @@ impl DenseLayer for Linear {
             .expect("backward called before forward");
         assert_eq!(dout.rows(), x.rows(), "dout batch mismatch");
         assert_eq!(dout.cols(), self.out_dim(), "dout width mismatch");
-        self.weight.grad.add_scaled(&x.transpose().matmul(dout), 1.0);
+        self.weight.grad.add_scaled(&x.matmul_transa(dout), 1.0);
         self.bias.grad.add_scaled(&dout.sum_rows(), 1.0);
-        dout.matmul(&self.weight.value.transpose())
+        dout.matmul_transb(&self.weight.value)
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

@@ -112,7 +112,7 @@ pub(crate) mod gradcheck {
 
         let eps = 1e-3;
         for (pi, ana_vec) in analytic.iter().enumerate() {
-            for i in 0..ana_vec.len() {
+            for (i, &ana) in ana_vec.iter().enumerate() {
                 let orig = {
                     let mut ps = layer.params_mut();
                     let v = ps[pi].value.as_slice()[i];
@@ -124,7 +124,6 @@ pub(crate) mod gradcheck {
                 let lm = layer.forward(x).hadamard(&w).sum();
                 layer.params_mut()[pi].value.as_mut_slice()[i] = orig;
                 let num = (lp - lm) / (2.0 * eps);
-                let ana = ana_vec[i];
                 assert!(
                     (num - ana).abs() <= tol * (1.0 + num.abs().max(ana.abs())),
                     "param {pi} grad {i}: numeric {num} vs analytic {ana}"

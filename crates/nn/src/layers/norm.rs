@@ -57,8 +57,8 @@ impl LayerNorm {
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
             let inv_std = 1.0 / (var + EPS).sqrt();
             inv_stds.push(inv_std);
-            for c in 0..x.cols() {
-                let xh = (row[c] - mean) * inv_std;
+            for (c, &xv) in row.iter().enumerate() {
+                let xh = (xv - mean) * inv_std;
                 x_hat.set(r, c, xh);
                 out.set(
                     r,
@@ -104,11 +104,11 @@ impl DenseLayer for LayerNorm {
                 .map(|(c, &d)| d * x_hat.get(r, c))
                 .sum::<f32>()
                 / n;
-            for c in 0..dout.cols() {
+            for (c, &d) in dxh.iter().enumerate() {
                 dx.set(
                     r,
                     c,
-                    inv_std * (dxh[c] - mean_dxh - x_hat.get(r, c) * mean_dxh_xhat),
+                    inv_std * (d - mean_dxh - x_hat.get(r, c) * mean_dxh_xhat),
                 );
             }
         }

@@ -156,7 +156,9 @@ impl ParamVec {
         let mut off = 0;
         for p in params.iter_mut() {
             let n = p.value.len();
-            p.value.as_mut_slice().copy_from_slice(&self.data[off..off + n]);
+            p.value
+                .as_mut_slice()
+                .copy_from_slice(&self.data[off..off + n]);
             off += n;
         }
         Ok(())
@@ -173,7 +175,12 @@ impl ParamVec {
         let mut off = 0;
         for p in params.iter_mut() {
             let n = p.value.len();
-            for (v, &d) in p.value.as_mut_slice().iter_mut().zip(&self.data[off..off + n]) {
+            for (v, &d) in p
+                .value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(&self.data[off..off + n])
+            {
                 *v += scale * d;
             }
             off += n;

@@ -121,7 +121,12 @@ impl Tensor {
     /// Panics if `r >= rows` or `c >= cols`.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 
@@ -132,7 +137,12 @@ impl Tensor {
     /// Panics if `r >= rows` or `c >= cols`.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -142,7 +152,11 @@ impl Tensor {
     ///
     /// Panics if `r >= rows`.
     pub fn row(&self, r: usize) -> &[f32] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -152,46 +166,135 @@ impl Tensor {
     ///
     /// Panics if `r >= rows`.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Matrix product `self (n×k) · other (k×m) -> (n×m)`.
     ///
+    /// Every output element accumulates its `k` terms in ascending order,
+    /// and output rows are independent, so the result is bit-identical at
+    /// any `semcom-par` worker count (see [`Tensor::matmul_into`]).
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product written into a caller-owned output tensor, avoiding
+    /// the allocation in [`Tensor::matmul`]. `out` is fully overwritten.
+    ///
+    /// Large products (≥ [`PAR_WORK`] multiply-adds) are partitioned over
+    /// contiguous output-row bands across `semcom-par` workers; each output
+    /// element is computed by exactly one worker with a fixed accumulation
+    /// order, so results are bit-identical at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows` or `out` is not
+    /// `self.rows x other.cols`.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} . {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Tensor::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let dst = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (d, &b) in dst.iter_mut().zip(orow.iter()) {
-                    *d += a * b;
-                }
-            }
-        }
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul output shape mismatch"
+        );
+        let (k_dim, n) = (self.cols, other.cols);
+        let a = &self.data;
+        let b = &other.data;
+        for_row_bands(&mut out.data, self.rows, n, 2 * k_dim * n, |i0, band| {
+            mm_kernel(&a[i0 * k_dim..], b, band, k_dim, n);
+        });
+    }
+
+    /// Fused `selfᵀ (k×m)ᵀ · other (k×n) -> (m×n)` — the weight-gradient
+    /// product in backward passes — without allocating a `Tensor` for the
+    /// transpose: `self` is transposed into a reused thread-local scratch
+    /// and fed through the same band kernel as [`Tensor::matmul`].
+    ///
+    /// Accumulation over the shared `k` dimension is ascending, exactly as
+    /// in `self.transpose().matmul(other)`, so the result is bit-identical
+    /// to that two-step form (and at any worker count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows` (the shared `k` dimension).
+    pub fn matmul_transa(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_transa shape mismatch: ({}x{})T . {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k_dim, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        let b = &other.data;
+        TRANSPOSE_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.clear();
+            scratch.resize(k_dim * m, 0.0);
+            transpose_into(&self.data, k_dim, m, &mut scratch);
+            let at: &[f32] = &scratch;
+            for_row_bands(&mut out.data, m, n, 2 * k_dim * n, |i0, band| {
+                mm_kernel(&at[i0 * k_dim..], b, band, k_dim, n);
+            });
+        });
         out
     }
 
-    /// Transposed copy.
+    /// Fused `self (m×k) · otherᵀ (n×k)ᵀ -> (m×n)` — the input-gradient
+    /// product in backward passes — without allocating a `Tensor` for the
+    /// transpose. `other` is transposed into a reused thread-local scratch
+    /// buffer and fed through the same band kernel as [`Tensor::matmul`]:
+    /// a strict-`k`-order dot-product kernel would avoid even the scratch,
+    /// but its serial add chains cannot use SIMD, and on this workload it
+    /// measures 3-4x slower than transpose-then-axpy.
+    ///
+    /// Accumulation order matches `self.matmul(&other.transpose())`
+    /// exactly, so the result is bit-identical to that two-step form (and
+    /// at any worker count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols` (the shared `k` dimension).
+    pub fn matmul_transb(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transb shape mismatch: {}x{} . ({}x{})T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k_dim, m, n) = (self.cols, self.rows, other.rows);
+        let mut out = Tensor::zeros(m, n);
+        let a = &self.data;
+        TRANSPOSE_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.clear();
+            scratch.resize(k_dim * n, 0.0);
+            transpose_into(&other.data, n, k_dim, &mut scratch);
+            let bt: &[f32] = &scratch;
+            for_row_bands(&mut out.data, m, n, 2 * k_dim * n, |i0, band| {
+                mm_kernel(&a[i0 * k_dim..], bt, band, k_dim, n);
+            });
+        });
+        out
+    }
+
+    /// Transposed copy (tiled for cache locality on large tensors).
     pub fn transpose(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
-        }
+        transpose_into(&self.data, self.rows, self.cols, &mut out.data);
         out
     }
 
@@ -219,12 +322,13 @@ impl Tensor {
             other.rows,
             other.cols
         );
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let mut data = Vec::with_capacity(self.data.len());
+        data.extend(
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b)),
+        );
         Tensor {
             rows: self.rows,
             cols: self.cols,
@@ -234,10 +338,12 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        let mut data = Vec::with_capacity(self.data.len());
+        data.extend(self.data.iter().map(|&x| f(x)));
         Tensor {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
         }
     }
 
@@ -345,6 +451,126 @@ impl Tensor {
             data.extend_from_slice(&p.data);
         }
         Tensor { rows, cols, data }
+    }
+}
+
+/// Multiply-add count above which matmul kernels partition output rows
+/// across `semcom-par` workers. Below it, threading overhead dominates
+/// (roughly a 64³ product).
+pub const PAR_WORK: usize = 1 << 18;
+
+/// Runs `kernel(first_row, band)` over contiguous row bands of `out`
+/// (`rows` rows of `n` elements), in parallel when `rows * work_per_row`
+/// reaches [`PAR_WORK`]. Each row is written by exactly one worker, so the
+/// split never affects results.
+fn for_row_bands<F>(out: &mut [f32], rows: usize, n: usize, work_per_row: usize, kernel: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if rows == 0 || n == 0 {
+        return;
+    }
+    let workers = if rows.saturating_mul(work_per_row) >= PAR_WORK {
+        semcom_par::max_workers().min(rows)
+    } else {
+        1
+    };
+    if workers <= 1 || semcom_par::in_worker() {
+        kernel(0, out);
+        return;
+    }
+    let band_rows = rows.div_ceil(workers);
+    semcom_par::par_chunks(out, band_rows * n, |start, band| {
+        kernel(start / n, band);
+    });
+}
+
+/// Dense row-major product kernel: `band = a_band (rows×k) · b (k×n)`.
+///
+/// Processes four output rows at a time so each streamed row of `b` is
+/// reused fourfold from registers/L1. The inner loops are dense on purpose:
+/// a data-dependent sparse skip (the old `a == 0.0` branch) defeats
+/// vectorization and mispredicts on dense inputs, which is the common case
+/// for activations and gradients.
+fn mm_kernel(a: &[f32], b: &[f32], band: &mut [f32], k_dim: usize, n: usize) {
+    // Rows of `b` covered per pass: keeps the active `b` block (up to
+    // K_BLOCK·n floats) cache-resident while every band row accumulates
+    // it, instead of streaming all of `b` once per row quad. Blocks are
+    // visited in ascending `k`, so per-element accumulation order — and
+    // therefore bit-exact output — is unchanged.
+    const K_BLOCK: usize = 64;
+    band.fill(0.0);
+    let rows = band.len() / n;
+    let mut k0 = 0;
+    while k0 < k_dim {
+        let k1 = (k0 + K_BLOCK).min(k_dim);
+        let mut quads = band.chunks_exact_mut(4 * n);
+        let mut i = 0;
+        for quad in &mut quads {
+            let (o0, r123) = quad.split_at_mut(n);
+            let (o1, r23) = r123.split_at_mut(n);
+            let (o2, o3) = r23.split_at_mut(n);
+            for k in k0..k1 {
+                let av0 = a[i * k_dim + k];
+                let av1 = a[(i + 1) * k_dim + k];
+                let av2 = a[(i + 2) * k_dim + k];
+                let av3 = a[(i + 3) * k_dim + k];
+                let brow = &b[k * n..(k + 1) * n];
+                for ((((d0, d1), d2), d3), &bv) in o0
+                    .iter_mut()
+                    .zip(o1.iter_mut())
+                    .zip(o2.iter_mut())
+                    .zip(o3.iter_mut())
+                    .zip(brow)
+                {
+                    *d0 += av0 * bv;
+                    *d1 += av1 * bv;
+                    *d2 += av2 * bv;
+                    *d3 += av3 * bv;
+                }
+            }
+            i += 4;
+        }
+        for orow in quads.into_remainder().chunks_exact_mut(n) {
+            for k in k0..k1 {
+                let av = a[i * k_dim + k];
+                let brow = &b[k * n..(k + 1) * n];
+                for (d, &bv) in orow.iter_mut().zip(brow) {
+                    *d += av * bv;
+                }
+            }
+            i += 1;
+        }
+        debug_assert_eq!(i, rows);
+        k0 = k1;
+    }
+}
+
+thread_local! {
+    /// Scratch for the on-the-fly transposes in [`Tensor::matmul_transa`]
+    /// and [`Tensor::matmul_transb`],
+    /// reused across calls so steady-state backward passes stop paying a
+    /// transpose allocation per layer per step.
+    static TRANSPOSE_SCRATCH: std::cell::RefCell<Vec<f32>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Tiled transpose of a `rows x cols` row-major matrix into `dst`
+/// (`cols x rows`, fully overwritten).
+fn transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    const TILE: usize = 32;
+    for r0 in (0..rows).step_by(TILE) {
+        let r1 = (r0 + TILE).min(rows);
+        for c0 in (0..cols).step_by(TILE) {
+            let c1 = (c0 + TILE).min(cols);
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+        }
     }
 }
 
@@ -487,5 +713,100 @@ mod tests {
         let a = t(1, 3, &[1., -2., 3.]);
         assert_eq!(a.map(f32::abs).as_slice(), &[1., 2., 3.]);
         assert_eq!(a.hadamard(&a).as_slice(), &[1., 4., 9.]);
+    }
+
+    /// Deterministic pseudo-random test matrix (no rand dependency here).
+    fn pseudo(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+        };
+        let data = (0..rows * cols).map(|_| next()).collect();
+        Tensor::from_vec(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul() {
+        let a = pseudo(5, 7, 1);
+        let b = pseudo(7, 3, 2);
+        let mut out = Tensor::zeros(5, 3);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn transa_is_bit_identical_to_explicit_transpose() {
+        for (k, m, n) in [(1, 1, 1), (4, 3, 5), (9, 6, 2), (17, 13, 11)] {
+            let a = pseudo(k, m, 3);
+            let b = pseudo(k, n, 4);
+            assert_eq!(
+                a.matmul_transa(&b).as_slice(),
+                a.transpose().matmul(&b).as_slice(),
+                "k={k} m={m} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn transb_is_bit_identical_to_explicit_transpose() {
+        for (m, k, n) in [(1, 1, 1), (4, 3, 5), (9, 6, 2), (17, 13, 11)] {
+            let a = pseudo(m, k, 5);
+            let b = pseudo(n, k, 6);
+            assert_eq!(
+                a.matmul_transb(&b).as_slice(),
+                a.matmul(&b.transpose()).as_slice(),
+                "m={m} k={k} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_matmul_is_identical_across_worker_counts() {
+        // 80³ clears the PAR_WORK threshold, so this exercises the
+        // row-partitioned path against the serial one.
+        let a = pseudo(80, 80, 7);
+        let b = pseudo(80, 80, 8);
+        semcom_par::set_workers(1);
+        let serial = a.matmul(&b);
+        for workers in [2, 3, 4] {
+            semcom_par::set_workers(workers);
+            assert_eq!(serial, a.matmul(&b), "workers={workers}");
+            assert_eq!(
+                a.matmul_transa(&b).as_slice(),
+                a.transpose().matmul(&b).as_slice(),
+                "transa workers={workers}"
+            );
+            assert_eq!(
+                a.matmul_transb(&b).as_slice(),
+                a.matmul(&b.transpose()).as_slice(),
+                "transb workers={workers}"
+            );
+        }
+        semcom_par::set_workers(1);
+    }
+
+    #[test]
+    fn odd_row_remainders_are_handled() {
+        // Rows not divisible by the 4-row micro-kernel block.
+        for rows in 1..9 {
+            let a = pseudo(rows, 6, 9);
+            let b = pseudo(6, 5, 10);
+            let reference = {
+                let mut out = Tensor::zeros(rows, 5);
+                for i in 0..rows {
+                    for k in 0..6 {
+                        for j in 0..5 {
+                            let v = out.get(i, j) + a.get(i, k) * b.get(k, j);
+                            out.set(i, j, v);
+                        }
+                    }
+                }
+                out
+            };
+            assert_eq!(a.matmul(&b), reference, "rows={rows}");
+        }
     }
 }

@@ -44,7 +44,12 @@ impl BanditSelector {
     /// # Panics
     ///
     /// Panics if `epsilon` or `learning_rate` are outside `[0, 1]`.
-    pub fn new(base: Box<dyn DomainSelector + Send>, epsilon: f64, learning_rate: f64, seed: u64) -> Self {
+    pub fn new(
+        base: Box<dyn DomainSelector + Send>,
+        epsilon: f64,
+        learning_rate: f64,
+        seed: u64,
+    ) -> Self {
         assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
         assert!(
             (0.0..=1.0).contains(&learning_rate),
@@ -160,7 +165,10 @@ mod tests {
                 correct_late += 1;
             }
         }
-        assert!(correct_late >= 14, "bandit failed to converge: {correct_late}/20");
+        assert!(
+            correct_late >= 14,
+            "bandit failed to converge: {correct_late}/20"
+        );
     }
 
     #[test]

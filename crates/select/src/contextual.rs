@@ -75,8 +75,8 @@ impl DomainSelector for ContextualSelector {
         if self.messages_seen == 0 {
             self.belief = current;
         } else {
-            for d in 0..Domain::COUNT {
-                self.belief[d] = self.decay * self.belief[d] + (1.0 - self.decay) * current[d];
+            for (b, &c) in self.belief.iter_mut().zip(&current) {
+                *b = self.decay * *b + (1.0 - self.decay) * c;
             }
         }
         self.messages_seen += 1;

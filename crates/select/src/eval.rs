@@ -159,11 +159,7 @@ mod tests {
         let ambiguous = set
             .sentences()
             .iter()
-            .filter(|s| {
-                s.concepts
-                    .iter()
-                    .all(|&c| lang.concept_domain(c).is_none())
-            })
+            .filter(|s| s.concepts.iter().all(|&c| lang.concept_domain(c).is_none()))
             .count();
         assert!(ambiguous > 0, "no ambiguous messages generated");
     }

@@ -32,10 +32,10 @@ impl DomainSelector for KeywordSelector {
         for t in tokens {
             if let Some(&mask) = self.membership.get(t) {
                 let votes = mask.count_ones() as f64;
-                for d in 0..Domain::COUNT {
+                for (d, score) in scores.iter_mut().enumerate() {
                     if mask & (1 << d) != 0 {
                         // A word known to fewer domains is more diagnostic.
-                        scores[d] += 1.0 / votes;
+                        *score += 1.0 / votes;
                     }
                 }
             }

@@ -64,8 +64,8 @@ impl DomainSelector for LogisticSelector {
     fn scores(&mut self, tokens: &[usize]) -> [f64; Domain::COUNT] {
         let logits = self.layer.infer(&bow(tokens, self.vocab));
         let mut out = [0.0; Domain::COUNT];
-        for d in 0..Domain::COUNT {
-            out[d] = logits.get(0, d) as f64;
+        for (d, o) in out.iter_mut().enumerate() {
+            *o = logits.get(0, d) as f64;
         }
         out
     }

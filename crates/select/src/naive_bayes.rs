@@ -47,9 +47,9 @@ impl DomainSelector for NaiveBayesSelector {
     fn scores(&mut self, tokens: &[usize]) -> [f64; Domain::COUNT] {
         let mut scores = self.log_prior;
         for &t in tokens {
-            for d in 0..Domain::COUNT {
-                if let Some(&ll) = self.log_likelihood[d].get(t) {
-                    scores[d] += ll;
+            for (score, ll_map) in scores.iter_mut().zip(&self.log_likelihood) {
+                if let Some(&ll) = ll_map.get(t) {
+                    *score += ll;
                 }
             }
         }

@@ -76,8 +76,8 @@ impl RecurrentSelector {
             dh = dh_prev;
         }
         let dx_flat: Vec<f32> = dx_rows.into_iter().flatten().collect();
-        let dembed = Tensor::from_vec(embedded.rows(), EMBED, dx_flat)
-            .expect("one gradient row per token");
+        let dembed =
+            Tensor::from_vec(embedded.rows(), EMBED, dx_flat).expect("one gradient row per token");
         self.embedding.backward(&dembed);
 
         let mut params = self.embedding.params_mut();
@@ -89,10 +89,7 @@ impl RecurrentSelector {
 
 impl DomainSelector for RecurrentSelector {
     fn scores(&mut self, tokens: &[usize]) -> [f64; Domain::COUNT] {
-        let mut h = self
-            .state
-            .take()
-            .unwrap_or_else(|| self.gru.zero_state(1));
+        let mut h = self.state.take().unwrap_or_else(|| self.gru.zero_state(1));
         for &t in tokens {
             let x = self.embedding.infer(&[t]);
             h = self.gru.infer(&x, &h);
@@ -100,8 +97,8 @@ impl DomainSelector for RecurrentSelector {
         let logits = self.head.infer(&h);
         self.state = Some(h);
         let mut out = [0.0; Domain::COUNT];
-        for d in 0..Domain::COUNT {
-            out[d] = logits.get(0, d) as f64;
+        for (d, o) in out.iter_mut().enumerate() {
+            *o = logits.get(0, d) as f64;
         }
         out
     }

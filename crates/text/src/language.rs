@@ -92,10 +92,10 @@ impl LanguageConfig {
             for i in 0..self.concepts_per_domain {
                 let id = ConceptId(concepts.len() as u32);
                 let mut surfaces = Vec::with_capacity(2 + self.synonyms_per_concept);
-                if i < self.polysemous_words {
+                if let Some(&poly) = poly_tokens.get(i) {
                     // Primary surface is the shared polysemous word; the
                     // concept also gets an unambiguous synonym of its own.
-                    surfaces.push(poly_tokens[i]);
+                    surfaces.push(poly);
                 }
                 for _ in 0..=self.synonyms_per_concept {
                     surfaces.push(fresh_word(&mut vocab));
@@ -233,9 +233,7 @@ impl SyntheticLanguage {
 
     /// The sense of a surface word in a domain.
     pub fn word_sense(&self, d: Domain, word: &str) -> Option<ConceptId> {
-        self.vocab
-            .id_of(word)
-            .and_then(|t| self.token_sense(d, t))
+        self.vocab.id_of(word).and_then(|t| self.token_sense(d, t))
     }
 
     /// The deliberately polysemous surface tokens (senses differ by domain).

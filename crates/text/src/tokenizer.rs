@@ -68,10 +68,7 @@ mod tests {
     fn unknown_words_map_to_unk() {
         let mut v = Vocabulary::new();
         let known = v.intern("known");
-        assert_eq!(
-            tokenize("known unknown", &v),
-            vec![known, Vocabulary::UNK]
-        );
+        assert_eq!(tokenize("known unknown", &v), vec![known, Vocabulary::UNK]);
     }
 
     #[test]

@@ -126,10 +126,7 @@ mod tests {
     fn encode_maps_unknown_to_unk() {
         let mut v = Vocabulary::new();
         v.intern("known");
-        assert_eq!(
-            v.encode(["known", "mystery"]),
-            vec![2, Vocabulary::UNK]
-        );
+        assert_eq!(v.encode(["known", "mystery"]), vec![2, Vocabulary::UNK]);
     }
 
     #[test]

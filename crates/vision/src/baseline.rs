@@ -23,7 +23,7 @@ impl std::fmt::Debug for PixelBaseline {
 
 impl PixelBaseline {
     /// Builds the baseline from a channel code and modulation.
-    pub fn new(code: Box<dyn BlockCode + Send>, modulation: Modulation) -> Self {
+    pub fn new(code: Box<dyn BlockCode + Send + Sync>, modulation: Modulation) -> Self {
         PixelBaseline {
             pipeline: BitPipeline::new(code, modulation),
         }

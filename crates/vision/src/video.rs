@@ -115,11 +115,9 @@ impl VideoSet {
                 for x in 0..GLYPH_SIDE {
                     let sy = y as i32 - off_y;
                     let sx = x as i32 - off_x;
-                    if (0..GLYPH_SIDE as i32).contains(&sy)
-                        && (0..GLYPH_SIDE as i32).contains(&sx)
+                    if (0..GLYPH_SIDE as i32).contains(&sy) && (0..GLYPH_SIDE as i32).contains(&sx)
                     {
-                        frame[y * GLYPH_SIDE + x] =
-                            proto[sy as usize * GLYPH_SIDE + sx as usize];
+                        frame[y * GLYPH_SIDE + x] = proto[sy as usize * GLYPH_SIDE + sx as usize];
                     }
                 }
             }
@@ -382,7 +380,7 @@ mod tests {
         let mut rng = seeded_rng(2);
         let still = v.render(0, &mut rng); // glyph 0, Still
         let right = v.render(1, &mut rng); // glyph 0, Right
-        // Same first frame…
+                                           // Same first frame…
         assert_eq!(still[..GLYPH_PIXELS], right[..GLYPH_PIXELS]);
         // …different later frames.
         assert_ne!(

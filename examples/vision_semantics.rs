@@ -12,14 +12,23 @@ use semcom_vision::{GlyphSet, ImageKb, ImageTrainConfig, PixelBaseline, GLYPH_SI
 
 fn main() {
     let glyphs = GlyphSet::new(12, 7);
-    println!("synthetic visual modality: {} concepts, {GLYPH_SIDE}x{GLYPH_SIDE} glyphs\n", glyphs.len());
+    println!(
+        "synthetic visual modality: {} concepts, {GLYPH_SIDE}x{GLYPH_SIDE} glyphs\n",
+        glyphs.len()
+    );
 
     // Show one prototype as ASCII art.
     let proto = glyphs.prototype_of(0);
     println!("concept 0 prototype:");
     for y in 0..GLYPH_SIDE {
         let row: String = (0..GLYPH_SIDE)
-            .map(|x| if proto[y * GLYPH_SIDE + x] >= 0.5 { '#' } else { '.' })
+            .map(|x| {
+                if proto[y * GLYPH_SIDE + x] >= 0.5 {
+                    '#'
+                } else {
+                    '.'
+                }
+            })
             .collect();
         println!("  {row}");
     }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate (see README "Tests"): formatting, lints with warnings denied,
+# release build, full test suite. Everything runs offline against the
+# vendored dependency shims; there is nothing to download.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo fmt --check ==="
+cargo fmt --all -- --check
+
+echo "=== cargo clippy (warnings denied) ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== cargo build --release ==="
+cargo build --release --workspace
+
+echo "=== cargo test ==="
+cargo test --workspace -q
+
+echo "ci: all gates passed"

@@ -9,7 +9,9 @@ use semcom_codec::mismatch::mismatch_rate;
 use semcom_codec::train::{TrainConfig, Trainer};
 use semcom_codec::{CodecConfig, KbScope, KnowledgeBase, TraditionalCodec};
 use semcom_nn::rng::seeded_rng;
-use semcom_text::{CorpusGenerator, Domain, LanguageConfig, Rendering, Sentence, SyntheticLanguage};
+use semcom_text::{
+    CorpusGenerator, Domain, LanguageConfig, Rendering, Sentence, SyntheticLanguage,
+};
 
 struct Fixture {
     lang: SyntheticLanguage,
@@ -89,7 +91,12 @@ fn semantic_beats_traditional_at_low_snr_and_costs_fewer_symbols() {
         sem.concept_accuracy,
         tr.concept_accuracy
     );
-    assert!(sem.symbols < tr.symbols, "{} vs {}", sem.symbols, tr.symbols);
+    assert!(
+        sem.symbols < tr.symbols,
+        "{} vs {}",
+        sem.symbols,
+        tr.symbols
+    );
 }
 
 #[test]

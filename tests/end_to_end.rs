@@ -110,7 +110,11 @@ fn multi_user_multi_domain_fleet_runs_and_separates_domains() {
         "selection accuracy {}",
         m.selection_accuracy()
     );
-    assert!(m.token_accuracy() > 0.6, "token accuracy {}", m.token_accuracy());
+    assert!(
+        m.token_accuracy() > 0.6,
+        "token accuracy {}",
+        m.token_accuracy()
+    );
 }
 
 #[test]
@@ -142,8 +146,7 @@ fn tight_cache_evicts_but_system_keeps_working() {
     // Eviction pressure must be visible, and every receiver decoder must
     // correspond to a resident sender model (consistency on eviction).
     assert!(
-        system.receiver_edge().receiver_decoders()
-            <= system.sender_edge().cached_user_models(),
+        system.receiver_edge().receiver_decoders() <= system.sender_edge().cached_user_models(),
         "receiver decoders leak after eviction"
     );
     assert!(m.token_accuracy() > 0.4);

@@ -6,9 +6,7 @@
 use semcom_audio::{AudioKb, AudioTrainConfig, MatchedFilter, ToneSet};
 use semcom_channel::{AwgnChannel, NoiselessChannel};
 use semcom_nn::rng::seeded_rng;
-use semcom_vision::{
-    GlyphSet, ImageKb, ImageTrainConfig, VideoKb, VideoSet, VideoTrainConfig,
-};
+use semcom_vision::{GlyphSet, ImageKb, ImageTrainConfig, VideoKb, VideoSet, VideoTrainConfig};
 
 #[test]
 fn every_modality_transmits_meaning_in_a_handful_of_symbols() {

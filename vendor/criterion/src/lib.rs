@@ -1,0 +1,239 @@
+//! Offline vendored micro-benchmark harness exposing the subset of the
+//! `criterion` API this workspace uses: [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Timing model: a warm-up phase sizes the iteration count so each sample
+//! takes ≥ ~25 ms of wall clock, then `SAMPLES` samples are collected and
+//! the per-iteration median/min/mean are reported in a criterion-style
+//! line. Set `BENCH_JSON=<path>` to additionally append one JSON line
+//! `{"name": ..., "median_ns": ...}` per benchmark — the hook used by
+//! `scripts/` to record before/after numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const SAMPLES: usize = 12;
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+const WARMUP: Duration = Duration::from_millis(150);
+
+/// How `iter_batched` amortizes setup cost. The shim sizes batches itself,
+/// so the variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: large batches.
+    SmallInput,
+    /// Large per-iteration inputs: small batches.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+    /// Fixed number of batches.
+    NumBatches(u64),
+    /// Fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine`, timing the whole loop and dividing by the
+    /// iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and estimate the per-iteration cost.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= WARMUP / 4 || iters >= 1 << 30 {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            iters *= 4;
+        };
+        let per_sample = ((TARGET_SAMPLE.as_secs_f64() / per_iter.max(1e-12)).ceil() as u64).max(1);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples_ns.push(elapsed * 1e9 / per_sample as f64);
+        }
+    }
+
+    /// Benchmarks `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Estimate per-iteration cost (setup excluded).
+        let mut per_iter = 0.0;
+        let mut iters = 0u64;
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP / 4 || iters < 1 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            per_iter += start.elapsed().as_secs_f64();
+            iters += 1;
+            if iters >= 1 << 20 {
+                break;
+            }
+        }
+        per_iter /= iters as f64;
+        let per_sample = ((TARGET_SAMPLE.as_secs_f64() / per_iter.max(1e-12)).ceil() as u64).max(1);
+        for _ in 0..SAMPLES {
+            let mut total = Duration::ZERO;
+            for _ in 0..per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            self.samples_ns
+                .push(total.as_secs_f64() * 1e9 / per_sample as f64);
+        }
+    }
+
+    /// Like [`Self::iter_batched`] but passes the input by reference.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, move |mut input| routine(&mut input), size)
+    }
+}
+
+/// The benchmark driver: filters and runs registered benchmarks.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` forwards extra CLI args; the first non-flag
+        // argument is treated as a name substring filter, flags are
+        // accepted and ignored (criterion-compatible enough for CI use).
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (no-op beyond `Default`).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark if it matches the CLI filter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            samples_ns: Vec::with_capacity(SAMPLES),
+        };
+        f(&mut bencher);
+        let mut s = bencher.samples_ns;
+        if s.is_empty() {
+            return self;
+        }
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = s[s.len() / 2];
+        let min = s[0];
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        println!(
+            "{name:<44} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            use std::io::Write;
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(file, "{{\"name\": \"{name}\", \"median_ns\": {median:.1}}}");
+            }
+        }
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Registers a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_records_samples() {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples_ns.len(), SAMPLES);
+        assert!(b.samples_ns.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(12e9).ends_with('s'));
+    }
+}

@@ -1,0 +1,60 @@
+//! Offline vendored stand-in for the `serde` façade.
+//!
+//! The workspace annotates model/config types with
+//! `#[derive(Serialize, Deserialize)]` so they stay transferable once a wire
+//! format is linked in, but no serialization format crate is (or can be)
+//! present in this offline build environment. This shim keeps the
+//! annotations compiling — and keeps the serializability *intent* machine-
+//! checked (every annotated type must still be a plain data type the derive
+//! can accept) — without implementing the serde data model.
+//!
+//! `Serialize`/`Deserialize` here are marker traits; the paired
+//! `serde_derive` macros emit empty impls and accept (and ignore)
+//! `#[serde(...)]` field attributes such as `#[serde(skip)]`.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types whose values can be serialized.
+pub trait Serialize {}
+
+/// Marker for types whose values can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {}
+        impl<'de> Deserialize<'de> for $ty {}
+    )*};
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    String,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}

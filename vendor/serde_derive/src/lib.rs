@@ -1,0 +1,64 @@
+//! Offline vendored `serde_derive`: emits empty impls of the marker traits
+//! defined by the vendored `serde` shim.
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote`,
+//! which are unavailable offline). Only what this workspace needs is
+//! supported: non-generic `struct`/`enum` items, with `#[serde(...)]` field
+//! and variant attributes accepted and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a `struct`/`enum` item token stream.
+///
+/// Panics (a compile error in practice) on generic items — nothing in this
+/// workspace derives serde traits on generic types, and the shim's empty
+/// impls could not express their bounds faithfully anyway.
+fn item_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute group that follows.
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" || word == "union" {
+                    match tokens.next() {
+                        Some(TokenTree::Ident(name)) => {
+                            if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                                assert!(
+                                    p.as_char() != '<',
+                                    "vendored serde_derive does not support generic types"
+                                );
+                            }
+                            return name.to_string();
+                        }
+                        other => panic!("expected type name after `{word}`, found {other:?}"),
+                    }
+                }
+                // `pub`, `pub(crate)`, etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    panic!("vendored serde_derive: no struct/enum found in derive input")
+}
+
+/// Derives the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
