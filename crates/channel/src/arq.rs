@@ -1,9 +1,24 @@
-use crate::bits::{bits_to_bytes, bytes_to_bits};
+use crate::bits::BitVec;
 use crate::channel::Channel;
 use crate::coding::crc16;
-use crate::pipeline::BitPipeline;
+use crate::pipeline::{BitPipeline, TransmitScratch};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+/// Reusable buffers for ARQ framing, shared per thread so repeated frame
+/// deliveries (the F6 ARQ sweep sends thousands) stay allocation-free.
+#[derive(Default)]
+struct ArqScratch {
+    frame: BitVec,
+    payload: BitVec,
+    bytes: Vec<u8>,
+    transmit: TransmitScratch,
+}
+
+thread_local! {
+    static ARQ_SCRATCH: RefCell<ArqScratch> = RefCell::new(ArqScratch::default());
+}
 
 /// Outcome of one ARQ frame delivery.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -61,55 +76,56 @@ impl ArqPipeline {
     }
 
     /// Delivers a frame, retransmitting on CRC failure.
+    ///
+    /// Framing and transmission run on the packed hot path with per-thread
+    /// scratch; outputs and RNG consumption are bit-identical to the
+    /// original byte-per-bit implementation.
     pub fn transmit(
         &self,
         bits: &[u8],
         channel: &dyn Channel,
         rng: &mut dyn RngCore,
     ) -> ArqOutcome {
-        // Frame = payload padded to bytes ‖ CRC16 of those bytes.
-        let payload_bytes = bits_to_bytes(bits);
-        let crc = crc16(&payload_bytes);
-        let mut frame = bits.to_vec();
-        // Pad payload to a byte boundary so the receiver can re-derive the
-        // CRC input exactly.
-        while !frame.len().is_multiple_of(8) {
-            frame.push(0);
-        }
-        frame.extend(bytes_to_bits(&crc.to_be_bytes()));
-        let frame_payload_bits = frame.len() - 16;
+        ARQ_SCRATCH.with(|cell| {
+            let s = &mut *cell.borrow_mut();
+            // Frame = payload padded to a byte boundary ‖ CRC16 of the
+            // padded payload bytes (padding lets the receiver re-derive
+            // the CRC input exactly).
+            s.frame.clear();
+            s.frame.extend_from_u8_bits(bits);
+            let pad = (8 - s.frame.len() % 8) % 8;
+            s.frame.push_bits(0, pad);
+            s.frame.write_bytes_into(&mut s.bytes);
+            let crc = crc16(&s.bytes);
+            s.frame.push_bits(crc as u64, 16);
+            let frame_payload_bits = s.frame.len() - 16;
 
-        let symbols_per_attempt = self.pipeline.symbols_for(frame.len());
-        let mut attempts = 0;
-        let mut last = Vec::new();
-        while attempts < self.max_attempts {
-            attempts += 1;
-            let received = self.pipeline.transmit(&frame, channel, rng);
-            let rx_payload = &received[..frame_payload_bits];
-            let rx_crc_bits = &received[frame_payload_bits..];
-            let rx_bytes = bits_to_bytes(rx_payload);
-            let rx_crc = u16::from_be_bytes(
-                bits_to_bytes(rx_crc_bits)
-                    .try_into()
-                    .expect("crc is exactly two bytes"),
-            );
-            let ok = crc16(&rx_bytes) == rx_crc;
-            last = received[..bits.len()].to_vec();
-            if ok {
-                return ArqOutcome {
-                    bits: last,
-                    attempts,
-                    delivered: true,
-                    symbols: symbols_per_attempt * attempts as usize,
-                };
+            let symbols_per_attempt = self.pipeline.symbols_for(s.frame.len());
+            let mut attempts = 0;
+            let mut delivered = false;
+            while attempts < self.max_attempts {
+                attempts += 1;
+                let received =
+                    self.pipeline
+                        .transmit_packed(&s.frame, channel, rng, &mut s.transmit);
+                let rx_crc = received.get_bits(frame_payload_bits, 16) as u16;
+                s.payload.copy_from(received);
+                s.payload.truncate(frame_payload_bits);
+                s.payload.write_bytes_into(&mut s.bytes);
+                let ok = crc16(&s.bytes) == rx_crc;
+                s.payload.truncate(bits.len());
+                if ok {
+                    delivered = true;
+                    break;
+                }
             }
-        }
-        ArqOutcome {
-            bits: last,
-            attempts,
-            delivered: false,
-            symbols: symbols_per_attempt * attempts as usize,
-        }
+            ArqOutcome {
+                bits: s.payload.to_u8_bits(),
+                attempts,
+                delivered,
+                symbols: symbols_per_attempt * attempts as usize,
+            }
+        })
     }
 }
 

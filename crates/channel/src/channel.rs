@@ -1,3 +1,4 @@
+use crate::bits::BitVec;
 use crate::complex::Complex;
 use crate::snr_db_to_noise_sigma;
 use rand::{Rng, RngCore};
@@ -11,6 +12,18 @@ pub trait Channel {
     /// Passes symbols through the channel, returning the (equalized)
     /// received symbols.
     fn transmit(&self, symbols: &[Complex], rng: &mut dyn RngCore) -> Vec<Complex>;
+
+    /// Like [`Self::transmit`], but writes into a caller-owned buffer
+    /// (cleared first), so warm transmits allocate nothing.
+    ///
+    /// Consumes the RNG in exactly the same per-symbol order as
+    /// [`Self::transmit`]; the channels in this crate override the default
+    /// bridging implementation.
+    fn transmit_into(&self, symbols: &[Complex], out: &mut Vec<Complex>, rng: &mut dyn RngCore) {
+        let received = self.transmit(symbols, rng);
+        out.clear();
+        out.extend_from_slice(&received);
+    }
 
     /// Transmits real-valued features as I/Q pairs (semantic-codec path).
     ///
@@ -45,6 +58,11 @@ impl Channel for NoiselessChannel {
     fn transmit(&self, symbols: &[Complex], _rng: &mut dyn RngCore) -> Vec<Complex> {
         symbols.to_vec()
     }
+
+    fn transmit_into(&self, symbols: &[Complex], out: &mut Vec<Complex>, _rng: &mut dyn RngCore) {
+        out.clear();
+        out.extend_from_slice(symbols);
+    }
 }
 
 /// Additive white Gaussian noise at a fixed SNR (dB), assuming unit-energy
@@ -68,16 +86,23 @@ impl AwgnChannel {
 
 impl Channel for AwgnChannel {
     fn transmit(&self, symbols: &[Complex], rng: &mut dyn RngCore) -> Vec<Complex> {
+        let mut out = Vec::new();
+        self.transmit_into(symbols, &mut out, rng);
+        out
+    }
+
+    fn transmit_into(&self, symbols: &[Complex], out: &mut Vec<Complex>, rng: &mut dyn RngCore) {
         let sigma = snr_db_to_noise_sigma(self.snr_db);
-        symbols
-            .iter()
-            .map(|&s| {
+        out.clear();
+        out.reserve(symbols.len());
+        for &s in symbols {
+            out.push(
                 s + Complex::new(
                     sigma * standard_normal(rng) as f64,
                     sigma * standard_normal(rng) as f64,
-                )
-            })
-            .collect()
+                ),
+            );
+        }
     }
 }
 
@@ -106,28 +131,33 @@ impl RayleighChannel {
 
 impl Channel for RayleighChannel {
     fn transmit(&self, symbols: &[Complex], rng: &mut dyn RngCore) -> Vec<Complex> {
+        let mut out = Vec::new();
+        self.transmit_into(symbols, &mut out, rng);
+        out
+    }
+
+    fn transmit_into(&self, symbols: &[Complex], out: &mut Vec<Complex>, rng: &mut dyn RngCore) {
         let sigma = snr_db_to_noise_sigma(self.snr_db);
-        symbols
-            .iter()
-            .map(|&s| {
-                let h = Complex::new(
-                    standard_normal(rng) as f64 * std::f64::consts::FRAC_1_SQRT_2,
-                    standard_normal(rng) as f64 * std::f64::consts::FRAC_1_SQRT_2,
-                );
-                // Deep fades would divide by ~0; floor |h| to keep the
-                // equalized noise finite (receiver would declare an outage).
-                let h = if h.norm_sq() < 1e-6 {
-                    Complex::new(1e-3, 0.0)
-                } else {
-                    h
-                };
-                let n = Complex::new(
-                    sigma * standard_normal(rng) as f64,
-                    sigma * standard_normal(rng) as f64,
-                );
-                (h * s + n) / h
-            })
-            .collect()
+        out.clear();
+        out.reserve(symbols.len());
+        for &s in symbols {
+            let h = Complex::new(
+                standard_normal(rng) as f64 * std::f64::consts::FRAC_1_SQRT_2,
+                standard_normal(rng) as f64 * std::f64::consts::FRAC_1_SQRT_2,
+            );
+            // Deep fades would divide by ~0; floor |h| to keep the
+            // equalized noise finite (receiver would declare an outage).
+            let h = if h.norm_sq() < 1e-6 {
+                Complex::new(1e-3, 0.0)
+            } else {
+                h
+            };
+            let n = Complex::new(
+                sigma * standard_normal(rng) as f64,
+                sigma * standard_normal(rng) as f64,
+            );
+            out.push((h * s + n) / h);
+        }
     }
 }
 
@@ -171,6 +201,18 @@ impl BinarySymmetricChannel {
             })
             .collect()
     }
+
+    /// Packed variant of [`Self::transmit_bits`]: copies `bits` into `out`
+    /// and flips each with the crossover probability, consuming the RNG in
+    /// the same per-bit order.
+    pub fn transmit_bits_into(&self, bits: &BitVec, out: &mut BitVec, rng: &mut dyn RngCore) {
+        out.copy_from(bits);
+        for i in 0..out.len() {
+            if rng.gen::<f64>() < self.flip_prob {
+                out.set(i, !out.get(i));
+            }
+        }
+    }
 }
 
 /// An erasure channel dropping each symbol independently; erased symbols
@@ -202,16 +244,21 @@ impl ErasureChannel {
 
 impl Channel for ErasureChannel {
     fn transmit(&self, symbols: &[Complex], rng: &mut dyn RngCore) -> Vec<Complex> {
-        symbols
-            .iter()
-            .map(|&s| {
-                if rng.gen::<f64>() < self.erasure_prob {
-                    Complex::ZERO
-                } else {
-                    s
-                }
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.transmit_into(symbols, &mut out, rng);
+        out
+    }
+
+    fn transmit_into(&self, symbols: &[Complex], out: &mut Vec<Complex>, rng: &mut dyn RngCore) {
+        out.clear();
+        out.reserve(symbols.len());
+        for &s in symbols {
+            out.push(if rng.gen::<f64>() < self.erasure_prob {
+                Complex::ZERO
+            } else {
+                s
+            });
+        }
     }
 }
 
@@ -324,5 +371,41 @@ mod tests {
     #[should_panic(expected = "flip probability")]
     fn bsc_rejects_invalid_probability() {
         BinarySymmetricChannel::new(1.5);
+    }
+
+    #[test]
+    fn transmit_into_matches_transmit_bit_for_bit() {
+        // Same seed through both paths must reproduce the exact symbol
+        // stream — the buffered overrides share the legacy RNG draw order.
+        let symbols: Vec<Complex> = (0..257)
+            .map(|i| Complex::new((i % 5) as f64 - 2.0, (i % 3) as f64 - 1.0))
+            .collect();
+        let channels: Vec<Box<dyn Channel>> = vec![
+            Box::new(NoiselessChannel),
+            Box::new(AwgnChannel::new(4.0)),
+            Box::new(RayleighChannel::new(4.0)),
+            Box::new(ErasureChannel::new(0.2)),
+        ];
+        for ch in &channels {
+            let legacy = ch.transmit(&symbols, &mut seeded_rng(99));
+            let mut buffered = vec![Complex::ZERO; 3]; // must be cleared
+            ch.transmit_into(&symbols, &mut buffered, &mut seeded_rng(99));
+            assert_eq!(buffered.len(), legacy.len());
+            for (a, b) in buffered.iter().zip(&legacy) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bsc_packed_matches_legacy_bit_for_bit() {
+        use crate::bits::BitVec;
+        let bits: Vec<u8> = (0..300).map(|i| ((i * 7) % 2) as u8).collect();
+        let bsc = BinarySymmetricChannel::new(0.3);
+        let legacy = bsc.transmit_bits(&bits, &mut seeded_rng(12));
+        let mut out = BitVec::new();
+        bsc.transmit_bits_into(&BitVec::from_u8_bits(&bits), &mut out, &mut seeded_rng(12));
+        assert_eq!(out.to_u8_bits(), legacy);
     }
 }

@@ -4,15 +4,47 @@
 //! All codes implement [`BlockCode`] and are exercised by the traditional
 //! (bit-level) communication baseline and the channel-coding ablation
 //! experiment (F6).
+//!
+//! Every code carries two implementations: the legacy byte-per-bit
+//! `encode`/`decode` pair (kept as the reference the property tests compare
+//! against) and the packed hot path ([`BlockCode::encode_packed`] /
+//! [`BlockCode::decode_packed`]) operating on [`BitVec`] words with
+//! precomputed lookup tables — Hamming(7,4) runs nibble→codeword and
+//! 7-bit-syndrome LUTs, the convolutional encoder steps four input bits per
+//! table lookup, and Viterbi reuses its survivor storage through
+//! [`CodeScratch`] so decoding allocates nothing once warm. Both paths are
+//! bit-for-bit identical by construction and by test.
 
+use crate::bits::BitVec;
 use serde::{Deserialize, Serialize};
+
+/// Reusable decoder workspace, letting [`BlockCode::decode_packed`] run
+/// without heap allocation once warm (the Viterbi survivor lattice is the
+/// only code here needing per-call storage).
+#[derive(Debug, Clone, Default)]
+pub struct CodeScratch {
+    /// Viterbi survivor entries, `prev_state | input << 2` per
+    /// `(step, state)`.
+    survivors: Vec<u8>,
+}
+
+impl CodeScratch {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        CodeScratch::default()
+    }
+}
 
 /// A forward-error-correcting code over bit strings.
 ///
 /// Implementations must satisfy `decode(encode(bits)) == bits` on a
-/// noiseless channel for any input (checked by property tests).
+/// noiseless channel for any input (checked by property tests), and the
+/// packed paths must match the legacy ones bit-for-bit on any input,
+/// including corrupted ones.
 pub trait BlockCode {
     /// Encodes an information bit string into a (longer) coded bit string.
+    ///
+    /// Legacy byte-per-bit reference path.
     ///
     /// # Panics
     ///
@@ -25,6 +57,8 @@ pub trait BlockCode {
     /// coded length is one this code produces; trailing padding introduced
     /// by `encode` is removed by the caller (codes here are
     /// length-preserving given their own padding conventions).
+    ///
+    /// Legacy byte-per-bit reference path.
     fn decode(&self, coded: &[u8]) -> Vec<u8>;
 
     /// Information bits per coded bit (`k/n`).
@@ -34,8 +68,32 @@ pub trait BlockCode {
     fn name(&self) -> &'static str;
 
     /// Coded length produced for `k` information bits.
+    ///
+    /// The default derives it by encoding `k` zero bits; the codes in this
+    /// crate override it with the closed form so pipelines can size frames
+    /// in O(1).
     fn coded_len(&self, k: usize) -> usize {
         self.encode(&vec![0; k]).len()
+    }
+
+    /// Packed-word encode into a caller-owned buffer (cleared first).
+    ///
+    /// The default bridges through the legacy path (allocating); the codes
+    /// in this crate override it with word/LUT implementations that only
+    /// write into `out`.
+    fn encode_packed(&self, bits: &BitVec, out: &mut BitVec) {
+        out.clear();
+        out.extend_from_u8_bits(&self.encode(&bits.to_u8_bits()));
+    }
+
+    /// Packed-word decode into a caller-owned buffer (cleared first),
+    /// using `scratch` for any per-call workspace.
+    ///
+    /// Must equal the legacy [`Self::decode`] bit-for-bit on every input.
+    fn decode_packed(&self, coded: &BitVec, out: &mut BitVec, scratch: &mut CodeScratch) {
+        let _ = scratch;
+        out.clear();
+        out.extend_from_u8_bits(&self.decode(&coded.to_u8_bits()));
     }
 }
 
@@ -59,6 +117,18 @@ impl BlockCode for IdentityCode {
 
     fn name(&self) -> &'static str {
         "uncoded"
+    }
+
+    fn coded_len(&self, k: usize) -> usize {
+        k
+    }
+
+    fn encode_packed(&self, bits: &BitVec, out: &mut BitVec) {
+        out.copy_from(bits);
+    }
+
+    fn decode_packed(&self, coded: &BitVec, out: &mut BitVec, _scratch: &mut CodeScratch) {
+        out.copy_from(coded);
     }
 }
 
@@ -110,7 +180,102 @@ impl BlockCode for RepetitionCode {
     fn name(&self) -> &'static str {
         "repetition"
     }
+
+    fn coded_len(&self, k: usize) -> usize {
+        k * self.n
+    }
+
+    fn encode_packed(&self, bits: &BitVec, out: &mut BitVec) {
+        out.clear();
+        for bit in bits {
+            // `n` is odd and usually tiny (3, 5) but unbounded in the API;
+            // emit whole-word runs for generality.
+            let mut left = self.n;
+            while left > 0 {
+                let k = left.min(64);
+                out.push_bits(if bit { u64::MAX } else { 0 }, k);
+                left -= k;
+            }
+        }
+    }
+
+    fn decode_packed(&self, coded: &BitVec, out: &mut BitVec, _scratch: &mut CodeScratch) {
+        out.clear();
+        let mut pos = 0;
+        while pos < coded.len() {
+            let mut m = (coded.len() - pos).min(self.n);
+            let mut ones = 0usize;
+            let chunk = m;
+            // Blocks wider than a word accumulate popcounts word-by-word.
+            while m > 0 {
+                let k = m.min(64);
+                ones += coded.get_bits(pos, k).count_ones() as usize;
+                pos += k;
+                m -= k;
+            }
+            out.push(ones * 2 > chunk);
+        }
+    }
 }
+
+/// 4 data bits (MSB-first in the low nibble) → the 7-bit Hamming(7,4)
+/// codeword `[p1 p2 d1 p3 d2 d3 d4]`, MSB-first in the low 7 bits.
+const fn ham74_encode_nibble(d: u8) -> u8 {
+    let d1 = (d >> 3) & 1;
+    let d2 = (d >> 2) & 1;
+    let d3 = (d >> 1) & 1;
+    let d4 = d & 1;
+    let p1 = d1 ^ d2 ^ d4;
+    let p2 = d1 ^ d3 ^ d4;
+    let p3 = d2 ^ d3 ^ d4;
+    (p1 << 6) | (p2 << 5) | (d1 << 4) | (p3 << 3) | (d2 << 2) | (d3 << 1) | d4
+}
+
+/// 7 received bits (MSB-first in the low 7 bits) → the syndrome-corrected
+/// 4 data bits (MSB-first in the low nibble). One table lookup replaces the
+/// per-block syndrome computation of the legacy decoder.
+const fn ham74_decode_word(c7: u8) -> u8 {
+    let mut c = [
+        (c7 >> 6) & 1,
+        (c7 >> 5) & 1,
+        (c7 >> 4) & 1,
+        (c7 >> 3) & 1,
+        (c7 >> 2) & 1,
+        (c7 >> 1) & 1,
+        c7 & 1,
+    ];
+    let s1 = c[0] ^ c[2] ^ c[4] ^ c[6];
+    let s2 = c[1] ^ c[2] ^ c[5] ^ c[6];
+    let s3 = c[3] ^ c[4] ^ c[5] ^ c[6];
+    let pos = (s1 + 2 * s2 + 4 * s3) as usize;
+    if pos != 0 {
+        c[pos - 1] ^= 1;
+    }
+    (c[2] << 3) | (c[4] << 2) | (c[5] << 1) | c[6]
+}
+
+/// Nibble → codeword table for [`HammingCode74::encode_packed`].
+const HAM74_ENC: [u8; 16] = {
+    let mut t = [0u8; 16];
+    let mut i = 0;
+    while i < 16 {
+        t[i] = ham74_encode_nibble(i as u8);
+        i += 1;
+    }
+    t
+};
+
+/// Received-word → corrected-nibble table for
+/// [`HammingCode74::decode_packed`].
+const HAM74_DEC: [u8; 128] = {
+    let mut t = [0u8; 128];
+    let mut i = 0;
+    while i < 128 {
+        t[i] = ham74_decode_word(i as u8);
+        i += 1;
+    }
+    t
+};
 
 /// The Hamming(7,4) code: corrects any single bit error per 7-bit block.
 ///
@@ -160,7 +325,103 @@ impl BlockCode for HammingCode74 {
     fn name(&self) -> &'static str {
         "hamming74"
     }
+
+    fn coded_len(&self, k: usize) -> usize {
+        k.div_ceil(4) * 7
+    }
+
+    fn encode_packed(&self, bits: &BitVec, out: &mut BitVec) {
+        out.clear();
+        let n = bits.len();
+        let mut pos = 0;
+        // Eight nibbles per word read: 32 input bits become one 56-bit
+        // append, so word bookkeeping is paid once per 8 codewords.
+        while pos + 32 <= n {
+            let w = bits.get_bits(pos, 32);
+            let mut acc = 0u64;
+            for i in 0..8 {
+                acc = acc << 7 | HAM74_ENC[(w >> (28 - 4 * i)) as usize & 0xF] as u64;
+            }
+            out.push_bits(acc, 56);
+            pos += 32;
+        }
+        while pos + 4 <= n {
+            out.push_bits(HAM74_ENC[bits.get_bits(pos, 4) as usize] as u64, 7);
+            pos += 4;
+        }
+        if pos < n {
+            // Final partial nibble, zero-padded at the tail like the
+            // legacy chunked path.
+            let m = n - pos;
+            let nibble = (bits.get_bits(pos, m) << (4 - m)) as usize;
+            out.push_bits(HAM74_ENC[nibble] as u64, 7);
+        }
+    }
+
+    fn decode_packed(&self, coded: &BitVec, out: &mut BitVec, _scratch: &mut CodeScratch) {
+        out.clear();
+        let n = coded.len();
+        let mut pos = 0;
+        // Eight codewords per word read: 56 coded bits become one 32-bit
+        // append.
+        while pos + 56 <= n {
+            let w = coded.get_bits(pos, 56);
+            let mut acc = 0u64;
+            for i in 0..8 {
+                acc = acc << 4 | HAM74_DEC[(w >> (49 - 7 * i)) as usize & 0x7F] as u64;
+            }
+            out.push_bits(acc, 32);
+            pos += 56;
+        }
+        while pos + 7 <= n {
+            out.push_bits(HAM74_DEC[coded.get_bits(pos, 7) as usize] as u64, 4);
+            pos += 7;
+        }
+        if pos < n {
+            let m = n - pos;
+            let word = (coded.get_bits(pos, m) << (7 - m)) as usize;
+            out.push_bits(HAM74_DEC[word] as u64, 4);
+        }
+    }
 }
+
+/// One convolutional step: `(g1 g2)` output pair (MSB-first in the low two
+/// bits) and the successor state for `(state, input)`.
+const fn conv_step(state: usize, input: u8) -> (u8, usize) {
+    // Shift register [input, s1, s0]; G1 = 111, G2 = 101.
+    let s1 = ((state >> 1) & 1) as u8;
+    let s0 = (state & 1) as u8;
+    let g1 = input ^ s1 ^ s0;
+    let g2 = input ^ s0;
+    ((g1 << 1) | g2, ((input as usize) << 1) | (state >> 1))
+}
+
+/// Nibble-at-a-time encoder table: `CONV_NIBBLE[state][nibble]` is the
+/// 8 coded bits (MSB-first) and successor state after absorbing 4 input
+/// bits (MSB-first).
+const CONV_NIBBLE: [[(u8, u8); 16]; 4] = {
+    let mut t = [[(0u8, 0u8); 16]; 4];
+    let mut s = 0;
+    while s < 4 {
+        let mut nib = 0;
+        while nib < 16 {
+            let mut state = s;
+            let mut coded = 0u8;
+            let mut i = 0;
+            while i < 4 {
+                let input = ((nib >> (3 - i)) & 1) as u8;
+                let (pair, next) = conv_step(state, input);
+                coded = (coded << 2) | pair;
+                state = next;
+                i += 1;
+            }
+            t[s][nib] = (coded, state as u8);
+            nib += 1;
+        }
+        s += 1;
+    }
+    t
+};
 
 /// A rate-1/2 convolutional code, constraint length 3, generators (7, 5)
 /// octal, with hard-decision Viterbi decoding and zero-tail termination.
@@ -171,12 +432,8 @@ impl ConvolutionalCode {
     const STATES: usize = 4; // 2^(K-1), K = 3
 
     fn output(state: usize, input: u8) -> (u8, u8) {
-        // Shift register [input, s1, s0]; G1 = 111, G2 = 101.
-        let s1 = ((state >> 1) & 1) as u8;
-        let s0 = (state & 1) as u8;
-        let g1 = input ^ s1 ^ s0;
-        let g2 = input ^ s0;
-        (g1, g2)
+        let pair = conv_step(state, input).0;
+        (pair >> 1, pair & 1)
     }
 
     fn next_state(state: usize, input: u8) -> usize {
@@ -255,6 +512,83 @@ impl BlockCode for ConvolutionalCode {
 
     fn name(&self) -> &'static str {
         "conv_k3"
+    }
+
+    fn coded_len(&self, k: usize) -> usize {
+        (k + 2) * 2
+    }
+
+    fn encode_packed(&self, bits: &BitVec, out: &mut BitVec) {
+        out.clear();
+        let n = bits.len();
+        let mut state = 0usize;
+        let mut pos = 0;
+        // Bulk of the stream: four input bits per table lookup.
+        while pos + 4 <= n {
+            let (coded, next) = CONV_NIBBLE[state][bits.get_bits(pos, 4) as usize];
+            out.push_bits(coded as u64, 8);
+            state = next as usize;
+            pos += 4;
+        }
+        // Tail bits plus the two zero flush bits, stepped bitwise.
+        for i in pos..n + 2 {
+            let input = if i < n { bits.get(i) as u8 } else { 0 };
+            let (pair, next) = conv_step(state, input);
+            out.push_bits(pair as u64, 2);
+            state = next;
+        }
+    }
+
+    fn decode_packed(&self, coded: &BitVec, out: &mut BitVec, scratch: &mut CodeScratch) {
+        out.clear();
+        let steps = coded.len() / 2;
+        if steps == 0 {
+            return;
+        }
+        const INF: u32 = u32::MAX / 2;
+        let mut metrics = [INF; Self::STATES];
+        metrics[0] = 0;
+        // Survivor entry: prev_state | input << 2, indexed [t * STATES + s].
+        // `resize` reuses the scratch allocation across calls.
+        scratch.survivors.clear();
+        scratch.survivors.resize(steps * Self::STATES, 0);
+
+        for t in 0..steps {
+            let r = coded.get_bits(2 * t, 2);
+            let (r0, r1) = ((r >> 1) as u8, (r & 1) as u8);
+            let mut next = [INF; Self::STATES];
+            let surv = &mut scratch.survivors[t * Self::STATES..(t + 1) * Self::STATES];
+            for (state, &metric) in metrics.iter().enumerate() {
+                if metric >= INF {
+                    continue;
+                }
+                for input in 0..=1u8 {
+                    let (pair, ns) = conv_step(state, input);
+                    let cost = ((pair >> 1) != r0) as u32 + ((pair & 1) != r1) as u32;
+                    let m = metric + cost;
+                    if m < next[ns] {
+                        next[ns] = m;
+                        surv[ns] = (state as u8) | (input << 2);
+                    }
+                }
+            }
+            metrics = next;
+        }
+
+        // Zero-tail termination: trace back from state 0 when reachable.
+        let mut state = if metrics[0] < INF {
+            0
+        } else {
+            (0..Self::STATES).min_by_key(|&s| metrics[s]).unwrap_or(0)
+        };
+        out.resize(steps);
+        for t in (0..steps).rev() {
+            let entry = scratch.survivors[t * Self::STATES + state];
+            out.set(t, entry >> 2 == 1);
+            state = (entry & 0b11) as usize;
+        }
+        // Drop the two flush bits.
+        out.truncate(steps.saturating_sub(2));
     }
 }
 
@@ -382,6 +716,113 @@ mod tests {
                 let mut decoded = code.decode(&coded);
                 decoded.truncate(bits.len());
                 assert_eq!(decoded, bits, "{} len {len}", code.name());
+            }
+        }
+    }
+
+    #[test]
+    fn packed_paths_match_legacy_bit_for_bit() {
+        let mut scratch = CodeScratch::new();
+        let (mut enc, mut dec) = (BitVec::new(), BitVec::new());
+        for code in codes() {
+            for len in [0usize, 1, 3, 4, 7, 8, 31, 64, 65, 129, 500] {
+                let bits = random_bits(len, len as u64 + 31);
+                let packed = BitVec::from_u8_bits(&bits);
+                let coded_legacy = code.encode(&bits);
+                code.encode_packed(&packed, &mut enc);
+                assert_eq!(
+                    enc.to_u8_bits(),
+                    coded_legacy,
+                    "{} encode len {len}",
+                    code.name()
+                );
+
+                // Corrupt a scattering of coded bits; both decoders must
+                // agree on the corrupted input, error cases included.
+                let mut corrupted = coded_legacy.clone();
+                for i in (0..corrupted.len()).step_by(5) {
+                    corrupted[i] ^= 1;
+                }
+                let corrupted_packed = BitVec::from_u8_bits(&corrupted);
+                code.decode_packed(&corrupted_packed, &mut dec, &mut scratch);
+                assert_eq!(
+                    dec.to_u8_bits(),
+                    code.decode(&corrupted),
+                    "{} decode len {len}",
+                    code.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_decoders_handle_partial_trailing_blocks() {
+        // Arbitrary (non-codeword-multiple) lengths reach the decoders via
+        // raw-BSC property tests; legacy zero-pads the tail block.
+        let mut scratch = CodeScratch::new();
+        let mut out = BitVec::new();
+        for code in codes() {
+            for len in [1usize, 2, 5, 6, 9, 13, 20] {
+                let coded = random_bits(len, 77 + len as u64);
+                let packed = BitVec::from_u8_bits(&coded);
+                code.decode_packed(&packed, &mut out, &mut scratch);
+                assert_eq!(
+                    out.to_u8_bits(),
+                    code.decode(&coded),
+                    "{} raw len {len}",
+                    code.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_luts_match_reference_formulas() {
+        // Exhaustive: every nibble encodes identically, every 7-bit word
+        // decodes identically to the syndrome path.
+        for nib in 0..16u8 {
+            let bits: Vec<u8> = (0..4).map(|i| (nib >> (3 - i)) & 1).collect();
+            let legacy = HammingCode74.encode(&bits);
+            let lut = HAM74_ENC[nib as usize];
+            let lut_bits: Vec<u8> = (0..7).map(|i| (lut >> (6 - i)) & 1).collect();
+            assert_eq!(lut_bits, legacy, "nibble {nib}");
+        }
+        for word in 0..128u8 {
+            let bits: Vec<u8> = (0..7).map(|i| (word >> (6 - i)) & 1).collect();
+            let legacy = HammingCode74.decode(&bits);
+            let lut = HAM74_DEC[word as usize];
+            let lut_bits: Vec<u8> = (0..4).map(|i| (lut >> (3 - i)) & 1).collect();
+            assert_eq!(lut_bits, legacy, "word {word:07b}");
+        }
+    }
+
+    #[test]
+    fn conv_nibble_table_matches_bit_stepping() {
+        for (state, row) in CONV_NIBBLE.iter().enumerate() {
+            for (nib, &entry) in row.iter().enumerate() {
+                let mut s = state;
+                let mut expect = 0u8;
+                for i in 0..4 {
+                    let input = ((nib >> (3 - i)) & 1) as u8;
+                    let (g1, g2) = ConvolutionalCode::output(s, input);
+                    expect = (expect << 2) | (g1 << 1) | g2;
+                    s = ConvolutionalCode::next_state(s, input);
+                }
+                assert_eq!(entry, (expect, s as u8));
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_coded_len_matches_encode() {
+        for code in codes() {
+            for k in [0usize, 1, 3, 4, 7, 64, 100] {
+                assert_eq!(
+                    code.coded_len(k),
+                    code.encode(&vec![0; k]).len(),
+                    "{} k={k}",
+                    code.name()
+                );
             }
         }
     }

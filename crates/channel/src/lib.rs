@@ -22,6 +22,14 @@
 //!   codecs send real-valued features directly as I/Q samples, the standard
 //!   DeepSC-style evaluation setup.
 //!
+//! Bits are carried word-packed ([`BitVec`]: 64 bits per `u64`, MSB-first)
+//! through the whole PHY chain. The hot path —
+//! [`BitPipeline::transmit_packed`] with a caller-owned [`TransmitScratch`],
+//! or [`BitPipeline::transmit_batch`] for many frames fanned out across
+//! `semcom-par` workers — makes zero heap allocations once warm and is
+//! bit-identical to the legacy byte-per-bit methods, which remain as
+//! reference implementations.
+//!
 //! # Example: BER of Hamming-coded BPSK over AWGN
 //!
 //! ```
@@ -48,13 +56,13 @@ mod pipeline;
 pub mod coding;
 
 pub use arq::{ArqOutcome, ArqPipeline};
-pub use bits::{bits_to_bytes, bytes_to_bits, hamming_distance};
+pub use bits::{bits_to_bytes, bytes_to_bits, hamming_distance, BitVec, Bits};
 pub use channel::{
     AwgnChannel, BinarySymmetricChannel, Channel, ErasureChannel, NoiselessChannel, RayleighChannel,
 };
 pub use complex::Complex;
 pub use modulation::Modulation;
-pub use pipeline::BitPipeline;
+pub use pipeline::{BitPipeline, TransmitScratch};
 
 /// Converts an SNR in dB to the per-dimension Gaussian noise standard
 /// deviation for unit-energy symbols (`Es = 1`):

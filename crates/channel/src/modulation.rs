@@ -1,5 +1,7 @@
+use crate::bits::BitVec;
 use crate::complex::Complex;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A digital modulation scheme with Gray mapping and unit average symbol
 /// energy.
@@ -18,6 +20,45 @@ pub enum Modulation {
 /// (`E[|x|²] = 1` requires dividing ±1, ±3 by √10).
 const PAM4: [f64; 4] = [-3.0, -1.0, 1.0, 3.0];
 const QAM16_SCALE: f64 = 0.316227766016838; // 1/sqrt(10)
+
+/// Symbol tables for the packed hot path, indexed by the MSB-first bit
+/// group a symbol carries. One load replaces the per-symbol branch chain of
+/// [`Modulation::map_symbol`]; equality with it is asserted exhaustively in
+/// tests.
+const BPSK_LUT: [Complex; 2] = [Complex { re: 1.0, im: 0.0 }, Complex { re: -1.0, im: 0.0 }];
+
+const QPSK_LUT: [Complex; 4] = {
+    const S: f64 = std::f64::consts::FRAC_1_SQRT_2;
+    let mut t = [Complex { re: 0.0, im: 0.0 }; 4];
+    let mut i = 0;
+    while i < 4 {
+        t[i] = Complex {
+            re: if i >> 1 == 0 { S } else { -S },
+            im: if i & 1 == 0 { S } else { -S },
+        };
+        i += 1;
+    }
+    t
+};
+
+const QAM16_LUT: [Complex; 16] = {
+    let mut t = [Complex { re: 0.0, im: 0.0 }; 16];
+    let mut i = 0;
+    while i < 16 {
+        let b = [
+            ((i >> 3) & 1) as u8,
+            ((i >> 2) & 1) as u8,
+            ((i >> 1) & 1) as u8,
+            (i & 1) as u8,
+        ];
+        t[i] = Complex {
+            re: PAM4[gray_to_level(b[0], b[1])] * QAM16_SCALE,
+            im: PAM4[gray_to_level(b[2], b[3])] * QAM16_SCALE,
+        };
+        i += 1;
+    }
+    t
+};
 
 impl Modulation {
     /// Bits carried per channel symbol.
@@ -90,19 +131,114 @@ impl Modulation {
         bits
     }
 
+    /// Packed-word modulation into a caller-owned buffer (cleared first).
+    ///
+    /// Equivalent to [`Self::modulate`] on the unpacked bits — one table
+    /// load per symbol, with bit groups extracted a whole word (64 bits) at
+    /// a time, and no per-call allocation once `out` has capacity. Tail bit
+    /// groups are zero-padded at the end, like the legacy path.
+    pub fn modulate_into(self, bits: &BitVec, out: &mut Vec<Complex>) {
+        out.clear();
+        let bps = self.bits_per_symbol();
+        let n = bits.len();
+        out.reserve(n.div_ceil(bps));
+        let lut: &[Complex] = match self {
+            Modulation::Bpsk => &BPSK_LUT,
+            Modulation::Qpsk => &QPSK_LUT,
+            Modulation::Qam16 => &QAM16_LUT,
+        };
+        let per_word = 64 / bps;
+        let mask = (1usize << bps) - 1;
+        let mut pos = 0;
+        while pos + 64 <= n {
+            let w = bits.get_bits(pos, 64);
+            for i in 0..per_word {
+                out.push(lut[(w >> (64 - bps * (i + 1))) as usize & mask]);
+            }
+            pos += 64;
+        }
+        while pos + bps <= n {
+            out.push(lut[bits.get_bits(pos, bps) as usize]);
+            pos += bps;
+        }
+        if pos < n {
+            let m = n - pos;
+            out.push(lut[(bits.get_bits(pos, m) << (bps - m)) as usize]);
+        }
+    }
+
+    /// Packed-word hard-decision demodulation into a caller-owned buffer
+    /// (cleared first). Bit-identical to [`Self::demodulate`].
+    ///
+    /// Per-symbol decisions accumulate in a 64-bit word that is appended in
+    /// one shot, and 16-QAM quantizes with [`pam_level`] — both exact
+    /// equivalents of the legacy per-bit logic (NaN and tie inputs
+    /// included), just without its per-bit bookkeeping.
+    // `!(x >= 0.0)` (rather than `x < 0.0`) deliberately mirrors the legacy
+    // `if x >= 0.0 { 0 } else { 1 }` so NaN symbols demodulate identically.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn demodulate_into(self, symbols: &[Complex], out: &mut BitVec) {
+        out.clear();
+        match self {
+            Modulation::Bpsk => {
+                let mut chunks = symbols.chunks_exact(64);
+                for chunk in &mut chunks {
+                    let mut acc = 0u64;
+                    for &s in chunk {
+                        acc = acc << 1 | !(s.re >= 0.0) as u64;
+                    }
+                    out.push_bits(acc, 64);
+                }
+                for &s in chunks.remainder() {
+                    out.push(!(s.re >= 0.0));
+                }
+            }
+            Modulation::Qpsk => {
+                let mut chunks = symbols.chunks_exact(32);
+                for chunk in &mut chunks {
+                    let mut acc = 0u64;
+                    for &s in chunk {
+                        acc = acc << 2 | (!(s.re >= 0.0) as u64) << 1 | !(s.im >= 0.0) as u64;
+                    }
+                    out.push_bits(acc, 64);
+                }
+                for &s in chunks.remainder() {
+                    out.push_bits((!(s.re >= 0.0) as u64) << 1 | !(s.im >= 0.0) as u64, 2);
+                }
+            }
+            Modulation::Qam16 => {
+                let t = qam16_thresholds();
+                let group = |s: Complex| {
+                    LEVEL_GRAY[pam_level(s.re, t)] << 2 | LEVEL_GRAY[pam_level(s.im, t)]
+                };
+                let mut chunks = symbols.chunks_exact(16);
+                for chunk in &mut chunks {
+                    let mut acc = 0u64;
+                    for &s in chunk {
+                        acc = acc << 4 | group(s);
+                    }
+                    out.push_bits(acc, 64);
+                }
+                for &s in chunks.remainder() {
+                    out.push_bits(group(s), 4);
+                }
+            }
+        }
+    }
+
     /// All modulations, in increasing spectral efficiency.
     pub const ALL: [Modulation; 3] = [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16];
 }
 
 /// Gray bits (b0 b1) -> PAM4 level index. Mapping: 00→0(-3), 01→1(-1),
 /// 11→2(+1), 10→3(+3) — adjacent levels differ in one bit.
-fn gray_to_level(b0: u8, b1: u8) -> usize {
+const fn gray_to_level(b0: u8, b1: u8) -> usize {
     match (b0, b1) {
         (0, 0) => 0,
         (0, 1) => 1,
         (1, 1) => 2,
         (1, 0) => 3,
-        _ => unreachable!("bits validated earlier"),
+        _ => unreachable!(),
     }
 }
 
@@ -127,6 +263,71 @@ fn nearest_pam(x: f64) -> usize {
     }
     best
 }
+
+/// Division-free equivalent of `nearest_pam(x / QAM16_SCALE)` on a raw
+/// symbol coordinate.
+///
+/// The PAM4 decision thresholds after the scaling division are -2, 0, +2,
+/// and the linear search's strict `<` keeps the *lower* level on an exact
+/// tie, so `q > t` (not `>=`) per threshold reproduces it exactly for any
+/// quotient `q` with `|q| ≤ 2^51` (beyond that, `q - level` rounds all four
+/// distances equal and the search degenerates to level 0). Each strict
+/// compare on the quotient is then pulled back through the division:
+/// rounded division by a positive constant is monotone in the numerator, so
+/// `{x : x/S > t}` is upward-closed over the floats and `q > t ⟺ x ≥ T_t`
+/// with `T_t` the set's minimum, found once by [`qam16_thresholds`]. The
+/// zero threshold needs no bisection: a positive/positive quotient can
+/// never round to zero here, so `q > 0 ⟺ x > 0` (signed zeros included).
+///
+/// Inputs with `|x| > 7e14` (quotient magnitude near/above `2^51`, ±∞) and
+/// NaN fail the guard and defer to the reference form. Tie, boundary-ULP,
+/// NaN, ∞, and huge-input equality is asserted in tests.
+#[inline]
+fn pam_level(x: f64, (t_neg, t_pos): (f64, f64)) -> usize {
+    // 7e14 / QAM16_SCALE ≈ 2.21e15 < 2^51, so the quotient stays in the
+    // range where the threshold form is exact.
+    if x.abs() <= 7.0e14 {
+        (x >= t_neg) as usize + (x > 0.0) as usize + (x >= t_pos) as usize
+    } else {
+        nearest_pam(x / QAM16_SCALE)
+    }
+}
+
+/// `(T_-2, T_+2)` where `T_t = min { x : x / QAM16_SCALE > t }` — the PAM4
+/// decision thresholds pulled back through the 16-QAM scaling division (see
+/// [`pam_level`]). Bisected once and cached.
+fn qam16_thresholds() -> (f64, f64) {
+    static THRESHOLDS: OnceLock<(f64, f64)> = OnceLock::new();
+    *THRESHOLDS.get_or_init(|| {
+        let t_pos = min_positive_where(|x| x / QAM16_SCALE > 2.0);
+        // Negative side, bisected on the magnitude: the smallest z with
+        // -z/S ≤ -2 is the first *failing* x going downward, so the
+        // predecessor of z, negated, is the smallest x with x/S > -2.
+        let z = min_positive_where(|z| -z / QAM16_SCALE <= -2.0);
+        let t_neg = -f64::from_bits(z.to_bits() - 1);
+        (t_neg, t_pos)
+    })
+}
+
+/// Smallest positive `f64` satisfying `pred`, which must be monotone
+/// false→true over `[0, 10]`. Bisects on the bit pattern, which orders
+/// non-negative floats.
+fn min_positive_where(pred: impl Fn(f64) -> bool) -> f64 {
+    debug_assert!(!pred(0.0) && pred(10.0));
+    let (mut lo, mut hi) = (0u64, 10f64.to_bits());
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if pred(f64::from_bits(mid)) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    f64::from_bits(hi)
+}
+
+/// Gray 2-bit pattern per PAM level (MSB-first), for the packed demod path.
+const LEVEL_GRAY: [u64; 4] = [0b00, 0b01, 0b11, 0b10];
 
 #[cfg(test)]
 mod tests {
@@ -193,5 +394,117 @@ mod tests {
     #[should_panic(expected = "bit values must be 0 or 1")]
     fn modulate_rejects_non_bits() {
         Modulation::Bpsk.modulate(&[3]);
+    }
+
+    #[test]
+    fn pam_level_matches_nearest_pam_everywhere() {
+        // The division-free quantizer must agree with the legacy
+        // divide-then-search form on every raw coordinate, since packed
+        // demod rests on it. Probe the pulled-back thresholds at their
+        // exact bit neighbours, the post-division tie points, signed
+        // zeros, NaN, infinities, the guard boundary, and a dense sweep.
+        let t = qam16_thresholds();
+        let mut probes = vec![
+            0.0,
+            -0.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1e300,
+            -1e300,
+            7.0e14,
+            -7.0e14,
+            7.1e14,
+            2.3e15,
+            1e16,
+        ];
+        for level in PAM4 {
+            probes.push(level * QAM16_SCALE);
+        }
+        for tie in [-2.0, 0.0, 2.0] {
+            probes.push(tie * QAM16_SCALE);
+            probes.push(-tie * QAM16_SCALE);
+        }
+        for b in [t.0, t.1, 7.0e14, -7.0e14] {
+            for delta in [-2i64, -1, 0, 1, 2] {
+                probes.push(f64::from_bits(b.to_bits().wrapping_add_signed(delta)));
+            }
+        }
+        for x in probes {
+            assert_eq!(pam_level(x, t), nearest_pam(x / QAM16_SCALE), "x = {x}");
+        }
+        let mut x = -2.0;
+        while x < 2.0 {
+            assert_eq!(pam_level(x, t), nearest_pam(x / QAM16_SCALE), "x = {x}");
+            x += 0.0037;
+        }
+    }
+
+    #[test]
+    fn luts_match_map_symbol_exhaustively() {
+        for m in Modulation::ALL {
+            let bps = m.bits_per_symbol();
+            for pattern in 0..1usize << bps {
+                let bits: Vec<u8> = (0..bps)
+                    .map(|i| ((pattern >> (bps - 1 - i)) & 1) as u8)
+                    .collect();
+                let legacy = m.modulate(&bits)[0];
+                let mut packed_bits = BitVec::new();
+                packed_bits.push_bits(pattern as u64, bps);
+                let mut out = Vec::new();
+                m.modulate_into(&packed_bits, &mut out);
+                assert_eq!(out.len(), 1);
+                assert_eq!(out[0].re.to_bits(), legacy.re.to_bits(), "{m:?} {pattern}");
+                assert_eq!(out[0].im.to_bits(), legacy.im.to_bits(), "{m:?} {pattern}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_paths_match_legacy_including_padding() {
+        for m in Modulation::ALL {
+            for len in [0usize, 1, 2, 3, 5, 17, 64, 67] {
+                let bits: Vec<u8> = (0..len).map(|i| ((i * 11 + 2) % 3 == 0) as u8).collect();
+                let packed = BitVec::from_u8_bits(&bits);
+                let legacy_syms = m.modulate(&bits);
+                let mut syms = Vec::new();
+                m.modulate_into(&packed, &mut syms);
+                assert_eq!(syms, legacy_syms, "{m:?} len {len}");
+
+                let mut demod = BitVec::new();
+                m.demodulate_into(&syms, &mut demod);
+                assert_eq!(
+                    demod.to_u8_bits(),
+                    m.demodulate(&legacy_syms),
+                    "{m:?} demod"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn demodulate_into_matches_legacy_on_noisy_and_nan_symbols() {
+        use semcom_nn::rng::seeded_rng;
+        let mut rng = seeded_rng(41);
+        let mut symbols: Vec<Complex> = (0..200)
+            .map(|_| {
+                Complex::new(
+                    semcom_nn::rng::standard_normal(&mut rng) as f64,
+                    semcom_nn::rng::standard_normal(&mut rng) as f64,
+                )
+            })
+            .collect();
+        // NaN, signed-zero, and exact PAM tie-point symbols must demodulate
+        // like the legacy path.
+        symbols.push(Complex::new(f64::NAN, f64::NAN));
+        symbols.push(Complex::new(-0.0, 0.0));
+        for t in [-2.0, 0.0, 2.0] {
+            symbols.push(Complex::new(t * QAM16_SCALE, -t * QAM16_SCALE));
+        }
+        for m in Modulation::ALL {
+            let mut out = BitVec::new();
+            m.demodulate_into(&symbols, &mut out);
+            assert_eq!(out.to_u8_bits(), m.demodulate(&symbols), "{m:?}");
+        }
     }
 }

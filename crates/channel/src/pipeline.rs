@@ -1,7 +1,47 @@
+use crate::bits::BitVec;
 use crate::channel::Channel;
-use crate::coding::BlockCode;
+use crate::coding::{BlockCode, CodeScratch};
 use crate::modulation::Modulation;
 use rand::{Rng, RngCore};
+use semcom_nn::rng::seeded_rng;
+use std::cell::RefCell;
+
+/// Reusable buffers for one end-to-end [`BitPipeline`] round.
+///
+/// Every stage of [`BitPipeline::transmit_packed`] writes into one of these
+/// buffers, so a warm transmit (buffers already at capacity) performs zero
+/// heap allocations — verified by a counting-allocator test in the suite.
+#[derive(Debug, Default)]
+pub struct TransmitScratch {
+    /// Packed input bits (used by the byte-per-bit compatibility wrappers).
+    input: BitVec,
+    /// Encoder output / demodulator reference length.
+    coded: BitVec,
+    /// Modulated symbols.
+    tx: Vec<crate::complex::Complex>,
+    /// Channel output symbols.
+    rx: Vec<crate::complex::Complex>,
+    /// Demodulated coded bits.
+    demod: BitVec,
+    /// Decoder output.
+    decoded: BitVec,
+    /// Decoder workspace (Viterbi survivors).
+    code: CodeScratch,
+}
+
+impl TransmitScratch {
+    /// Creates an empty scratch; buffers grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        TransmitScratch::default()
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch backing the byte-per-bit compatibility API, so
+    /// legacy callers get buffer reuse without a signature change.
+    static SCRATCH: RefCell<TransmitScratch> = RefCell::new(TransmitScratch::new());
+}
 
 /// A complete traditional (bit-level) transmission chain: channel code +
 /// modulation over a physical channel.
@@ -9,6 +49,12 @@ use rand::{Rng, RngCore};
 /// This is the baseline leg of the semantic-vs-traditional experiments: the
 /// paper contrasts semantic communication with systems "which transmit data
 /// bit by bit" (§I).
+///
+/// The hot path is [`Self::transmit_packed`] (word-packed bits, caller-owned
+/// [`TransmitScratch`], zero allocations when warm); the byte-per-bit
+/// [`Self::transmit`] wrapper keeps the original API and routes through a
+/// thread-local scratch. [`Self::transmit_batch`] carries many frames per
+/// call and fans out across `semcom-par` workers deterministically.
 pub struct BitPipeline {
     code: Box<dyn BlockCode + Send + Sync>,
     modulation: Modulation,
@@ -43,15 +89,78 @@ impl BitPipeline {
 
     /// Transmits an information bit string end-to-end, returning the decoded
     /// information bits (trimmed to the input length).
+    ///
+    /// Byte-per-bit compatibility wrapper over [`Self::transmit_packed`];
+    /// bit-identical to the pre-packed implementation, including RNG
+    /// consumption order.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any element is not 0 or 1.
     pub fn transmit(&self, bits: &[u8], channel: &dyn Channel, rng: &mut dyn RngCore) -> Vec<u8> {
-        let coded = self.code.encode(bits);
-        let tx = self.modulation.modulate(&coded);
-        let rx = channel.transmit(&tx, rng);
-        let mut demod = self.modulation.demodulate(&rx);
-        demod.truncate(coded.len());
-        let mut decoded = self.code.decode(&demod);
-        decoded.truncate(bits.len());
-        decoded
+        SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            // Detach the input buffer so the scratch can be borrowed
+            // mutably alongside it; reattached below for reuse.
+            let mut input = std::mem::take(&mut scratch.input);
+            input.clear();
+            input.extend_from_u8_bits(bits);
+            let out = self
+                .transmit_packed(&input, channel, rng, &mut scratch)
+                .to_u8_bits();
+            scratch.input = input;
+            out
+        })
+    }
+
+    /// The packed hot path: encode → modulate → channel → demodulate →
+    /// decode, every stage writing into `scratch`. Returns the decoded
+    /// information bits (trimmed to `bits.len()`), borrowed from `scratch`.
+    ///
+    /// Allocation-free once `scratch` buffers are at capacity, and
+    /// bit-identical to the byte-per-bit chain for any channel/seed.
+    pub fn transmit_packed<'a>(
+        &self,
+        bits: &BitVec,
+        channel: &dyn Channel,
+        rng: &mut dyn RngCore,
+        scratch: &'a mut TransmitScratch,
+    ) -> &'a BitVec {
+        self.code.encode_packed(bits, &mut scratch.coded);
+        self.modulation
+            .modulate_into(&scratch.coded, &mut scratch.tx);
+        channel.transmit_into(&scratch.tx, &mut scratch.rx, rng);
+        self.modulation
+            .demodulate_into(&scratch.rx, &mut scratch.demod);
+        scratch.demod.truncate(scratch.coded.len());
+        self.code
+            .decode_packed(&scratch.demod, &mut scratch.decoded, &mut scratch.code);
+        scratch.decoded.truncate(bits.len());
+        &scratch.decoded
+    }
+
+    /// Transmits many frames in one call, partitioned across `semcom-par`
+    /// workers.
+    ///
+    /// Per-frame RNG seeds are drawn from `rng` in frame order **before**
+    /// the fan-out, and each worker reuses a thread-local scratch, so the
+    /// output is bit-identical at any `SEMCOM_THREADS` setting (the same
+    /// two-tier determinism contract as the rest of the workspace).
+    pub fn transmit_batch(
+        &self,
+        frames: &[BitVec],
+        channel: &(dyn Channel + Sync),
+        rng: &mut dyn RngCore,
+    ) -> Vec<BitVec> {
+        let seeds: Vec<u64> = frames.iter().map(|_| rng.next_u64()).collect();
+        semcom_par::par_map_indexed(frames, |i, frame| {
+            let mut frame_rng = seeded_rng(seeds[i]);
+            SCRATCH.with(|cell| {
+                let mut scratch = cell.borrow_mut();
+                self.transmit_packed(frame, channel, &mut frame_rng, &mut scratch)
+                    .clone()
+            })
+        })
     }
 
     /// Number of channel symbols used to carry `k` information bits.
@@ -62,18 +171,30 @@ impl BitPipeline {
     }
 
     /// Measures bit error rate over `n_bits` random information bits.
+    ///
+    /// Draws one `u32` per information bit and then transmits, matching the
+    /// historical RNG consumption order exactly (F2/F6 goldens depend on
+    /// it).
     pub fn measure_ber(&self, channel: &dyn Channel, n_bits: usize, rng: &mut dyn RngCore) -> f64 {
-        let bits: Vec<u8> = (0..n_bits).map(|_| (rng.gen::<u32>() & 1) as u8).collect();
-        let out = self.transmit(&bits, channel, rng);
-        let errors = bits.iter().zip(&out).filter(|(a, b)| a != b).count();
-        errors as f64 / n_bits.max(1) as f64
+        SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let mut input = std::mem::take(&mut scratch.input);
+            input.clear();
+            for _ in 0..n_bits {
+                input.push(rng.gen::<u32>() & 1 == 1);
+            }
+            let out = self.transmit_packed(&input, channel, rng, &mut scratch);
+            let errors = input.hamming_distance(out);
+            scratch.input = input;
+            errors as f64 / n_bits.max(1) as f64
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::channel::{AwgnChannel, NoiselessChannel};
+    use crate::channel::{AwgnChannel, NoiselessChannel, RayleighChannel};
     use crate::coding::{ConvolutionalCode, HammingCode74, IdentityCode, RepetitionCode};
     use semcom_nn::rng::seeded_rng;
 
@@ -117,5 +238,107 @@ mod tests {
         let mut rng = seeded_rng(3);
         let p = BitPipeline::new(Box::new(HammingCode74), Modulation::Qpsk);
         assert_eq!(p.measure_ber(&NoiselessChannel, 1_000, &mut rng), 0.0);
+    }
+
+    /// The pre-refactor transmit chain, reconstructed from the legacy
+    /// (reference) trait methods, for bit-equivalence checks.
+    fn legacy_transmit(
+        p: &BitPipeline,
+        bits: &[u8],
+        channel: &dyn Channel,
+        rng: &mut dyn RngCore,
+    ) -> Vec<u8> {
+        let coded = p.code().encode(bits);
+        let tx = p.modulation().modulate(&coded);
+        let rx = channel.transmit(&tx, rng);
+        let mut demod = p.modulation().demodulate(&rx);
+        demod.truncate(coded.len());
+        let mut decoded = p.code().decode(&demod);
+        decoded.truncate(bits.len());
+        decoded
+    }
+
+    #[test]
+    fn packed_chain_matches_legacy_chain_bit_for_bit() {
+        // Same seed through both chains over noisy channels: every stage
+        // (RNG order included) must line up exactly.
+        let channels: Vec<Box<dyn Channel>> = vec![
+            Box::new(NoiselessChannel),
+            Box::new(AwgnChannel::new(2.0)),
+            Box::new(RayleighChannel::new(6.0)),
+        ];
+        let codes: Vec<fn() -> Box<dyn BlockCode + Send + Sync>> = vec![
+            || Box::new(IdentityCode),
+            || Box::new(RepetitionCode::new(3)),
+            || Box::new(HammingCode74),
+            || Box::new(ConvolutionalCode),
+        ];
+        for ch in &channels {
+            for make in &codes {
+                for m in Modulation::ALL {
+                    let p = BitPipeline::new(make(), m);
+                    let bits: Vec<u8> = (0..501).map(|i| ((i * 7) % 2) as u8).collect();
+                    let legacy = legacy_transmit(&p, &bits, ch.as_ref(), &mut seeded_rng(42));
+                    let packed = p.transmit(&bits, ch.as_ref(), &mut seeded_rng(42));
+                    assert_eq!(packed, legacy, "{p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn measure_ber_matches_legacy_rng_order() {
+        // Re-derive the BER with the historical byte-per-bit recipe and the
+        // same seed; the packed measure_ber must agree exactly.
+        let ch = AwgnChannel::new(3.0);
+        let p = BitPipeline::new(Box::new(HammingCode74), Modulation::Qam16);
+        let n_bits = 5_000;
+
+        let mut rng = seeded_rng(7);
+        let bits: Vec<u8> = (0..n_bits).map(|_| (rng.gen::<u32>() & 1) as u8).collect();
+        let out = legacy_transmit(&p, &bits, &ch, &mut rng);
+        let errors = bits.iter().zip(&out).filter(|(a, b)| a != b).count();
+        let legacy_ber = errors as f64 / n_bits as f64;
+
+        let packed_ber = p.measure_ber(&ch, n_bits, &mut seeded_rng(7));
+        assert_eq!(packed_ber.to_bits(), legacy_ber.to_bits());
+    }
+
+    #[test]
+    fn transmit_batch_matches_sequential_at_any_worker_count() {
+        let p = BitPipeline::new(Box::new(ConvolutionalCode), Modulation::Qpsk);
+        let ch = AwgnChannel::new(5.0);
+        let frames: Vec<BitVec> = (0..9)
+            .map(|f| {
+                let bits: Vec<u8> = (0..100 + f * 13).map(|i| ((i + f) % 2) as u8).collect();
+                BitVec::from_u8_bits(&bits)
+            })
+            .collect();
+
+        let baseline = {
+            semcom_par::set_workers(1);
+            let out = p.transmit_batch(&frames, &ch, &mut seeded_rng(11));
+            semcom_par::reset_workers();
+            out
+        };
+        for workers in [2, 4] {
+            semcom_par::set_workers(workers);
+            let out = p.transmit_batch(&frames, &ch, &mut seeded_rng(11));
+            semcom_par::reset_workers();
+            assert_eq!(out, baseline, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn transmit_batch_recovers_frames_noiselessly() {
+        let p = BitPipeline::new(Box::new(HammingCode74), Modulation::Qam16);
+        let frames: Vec<BitVec> = (0..5)
+            .map(|f| {
+                let bits: Vec<u8> = (0..64 + f).map(|i| ((i * 3 + f) % 2) as u8).collect();
+                BitVec::from_u8_bits(&bits)
+            })
+            .collect();
+        let out = p.transmit_batch(&frames, &NoiselessChannel, &mut seeded_rng(1));
+        assert_eq!(out, frames);
     }
 }

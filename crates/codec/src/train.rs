@@ -145,9 +145,11 @@ impl Trainer {
 
     /// One optimizer step over a token batch; returns the batch loss.
     ///
-    /// Dispatches to the data-parallel path when more than one shard is
-    /// worthwhile; otherwise runs the original serial path (bit-identical
-    /// to the pre-parallel implementation at one worker).
+    /// Dispatches to the data-parallel path only when the minibatch is
+    /// large enough to amortize replica cloning ([`SHARD_MIN_BATCH`]) and
+    /// more than one worker is actually available; otherwise runs the
+    /// original serial path (bit-identical to the pre-parallel
+    /// implementation at one worker).
     fn step(
         &self,
         kb: &mut KnowledgeBase,
@@ -160,8 +162,15 @@ impl Trainer {
         if tokens.is_empty() {
             return 0.0;
         }
-        let shards = semcom_par::max_workers().min(tokens.len() / MIN_SHARD_TOKENS);
-        if shards >= 2 {
+        // Nested parallelism (a caller already inside a semcom-par worker)
+        // would serialize anyway; skip the replica-clone overhead outright.
+        let workers = if semcom_par::in_worker() {
+            1
+        } else {
+            semcom_par::max_workers()
+        };
+        let shards = workers.min(tokens.len() / MIN_SHARD_TOKENS);
+        if workers > 1 && tokens.len() >= SHARD_MIN_BATCH && shards >= 2 {
             return self.step_sharded(kb, tokens, targets, opt, rng, shards);
         }
         let features = kb.encoder.forward(tokens);
@@ -251,7 +260,13 @@ impl Trainer {
 
 /// Minimum tokens per shard: below this, replica-clone overhead outweighs
 /// the parallel speedup.
-const MIN_SHARD_TOKENS: usize = 8;
+const MIN_SHARD_TOKENS: usize = 64;
+
+/// Minimum minibatch size worth sharding at all. Each shard clones full
+/// encoder/decoder replicas, so small batches (the default config uses 64)
+/// train fastest on the serial path — sharding them regressed the
+/// `trainer_epoch_4threads` benchmark by ~1.7x.
+const SHARD_MIN_BATCH: usize = 256;
 
 /// Runs forward + backward for one shard on cloned replicas, returning the
 /// shard's mean loss and its gradients in `encoder.params ++ decoder.params`
@@ -398,7 +413,10 @@ mod tests {
         let _guard = WORKER_LOCK.lock().unwrap();
         let lang = LanguageConfig::tiny().build(0);
         let mut gen = CorpusGenerator::new(&lang, 4);
-        let train = gen.sentences(Domain::It, Rendering::Canonical, 30);
+        // Enough sentences that a 512-pair minibatch clears SHARD_MIN_BATCH
+        // and MIN_SHARD_TOKENS at 4 workers — the sharded path must
+        // actually run for this test to mean anything.
+        let train = gen.sentences(Domain::It, Rendering::Canonical, 150);
         let fit_with = |workers: usize| {
             semcom_par::set_workers(workers);
             let mut kb = KnowledgeBase::new(
@@ -410,6 +428,8 @@ mod tests {
             );
             let report = Trainer::new(TrainConfig {
                 train_snr_db: Some(6.0),
+                epochs: 4,
+                batch_size: 512,
                 ..quick_config()
             })
             .fit(&mut kb, &train, 11);

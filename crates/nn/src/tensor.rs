@@ -454,10 +454,16 @@ impl Tensor {
     }
 }
 
-/// Multiply-add count above which matmul kernels partition output rows
-/// across `semcom-par` workers. Below it, threading overhead dominates
-/// (roughly a 64³ product).
-pub const PAR_WORK: usize = 1 << 18;
+/// Flop count (multiplies + adds, i.e. `2·m·k·n`) above which matmul
+/// kernels partition output rows across `semcom-par` workers — roughly a
+/// 161³ product. `semcom-par` spawns scoped OS threads per call rather
+/// than keeping a pool, which costs on the order of 100 µs per fan-out;
+/// below this threshold that overhead dominates. Trainer minibatch
+/// products sit near 2^20 flops (~0.2 ms serial) and measurably lose when
+/// fanned out (the `trainer_epoch_4threads` regression in
+/// `BENCH_pr1.json`), while the 512³-scale products the banding exists
+/// for are ~2^28 flops.
+pub const PAR_WORK: usize = 1 << 23;
 
 /// Runs `kernel(first_row, band)` over contiguous row bands of `out`
 /// (`rows` rows of `n` elements), in parallel when `rows * work_per_row`
@@ -765,10 +771,11 @@ mod tests {
 
     #[test]
     fn large_matmul_is_identical_across_worker_counts() {
-        // 80³ clears the PAR_WORK threshold, so this exercises the
-        // row-partitioned path against the serial one.
-        let a = pseudo(80, 80, 7);
-        let b = pseudo(80, 80, 8);
+        // 2·168³ flops clears the PAR_WORK threshold, so this exercises
+        // the row-partitioned path against the serial one.
+        assert!(2 * 168usize.pow(3) >= PAR_WORK);
+        let a = pseudo(168, 168, 7);
+        let b = pseudo(168, 168, 8);
         semcom_par::set_workers(1);
         let serial = a.matmul(&b);
         for workers in [2, 3, 4] {

@@ -17,4 +17,19 @@ cargo build --release --workspace
 echo "=== cargo test ==="
 cargo test --workspace -q
 
+echo "=== bench smoke (criterion --test mode) ==="
+# Runs every channel bench routine exactly once (no sampling), so the
+# legacy/packed bench pairs can't bit-rot without failing CI.
+cargo bench -p semcom-bench --bench channel -- --test
+
+echo "=== PHY determinism goldens ==="
+# The packed channel hot path must stay byte-identical to the pre-refactor
+# figures. Goldens were recorded at SEMCOM_THREADS=1 (F2's semantic-leg
+# columns are thread-count-dependent; see CHANGES.md for PR 1).
+for fig in f2_snr_sweep f6_channel_ablation; do
+    SEMCOM_THREADS=1 "./target/release/$fig" | diff -u "tests/goldens/$fig.stdout" - \
+        || { echo "ci: $fig output diverged from golden" >&2; exit 1; }
+    echo "$fig matches golden"
+done
+
 echo "ci: all gates passed"

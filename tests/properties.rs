@@ -6,9 +6,12 @@ use proptest::prelude::*;
 use semcom_cache::policy::{Gdsf, Lfu, Lru, SemanticCost};
 use semcom_cache::{InsertOutcome, ModelCache};
 use semcom_channel::coding::{
-    BlockCode, BlockInterleaver, ConvolutionalCode, HammingCode74, RepetitionCode,
+    BlockCode, BlockInterleaver, CodeScratch, ConvolutionalCode, HammingCode74, RepetitionCode,
 };
-use semcom_channel::{bits_to_bytes, bytes_to_bits, Modulation};
+use semcom_channel::{
+    bits_to_bytes, bytes_to_bits, hamming_distance, AwgnChannel, BitPipeline, BitVec, Channel,
+    Modulation, TransmitScratch,
+};
 use semcom_codec::HuffmanCode;
 use semcom_fl::{QuantizedGradient, SparseGradient, SyncUpdate};
 use semcom_nn::params::ParamVec;
@@ -22,6 +25,40 @@ proptest! {
     #[test]
     fn bytes_bits_roundtrip(data in vec(any::<u8>(), 0..64)) {
         prop_assert_eq!(bits_to_bytes(&bytes_to_bits(&data)), data);
+    }
+
+    // ---------------- packed bit vectors ----------------
+
+    #[test]
+    fn packed_bitvec_matches_legacy_reference(a in vec(any::<u8>(), 0..48), b in vec(any::<u8>(), 0..48)) {
+        // Byte packing agrees with the legacy Vec<u8>-of-bits functions.
+        let pa = BitVec::from_bytes(&a);
+        prop_assert_eq!(pa.to_u8_bits(), bytes_to_bits(&a));
+        prop_assert_eq!(pa.to_bytes(), a.clone());
+
+        // Bit-level construction round-trips and popcount distance agrees
+        // with the legacy XOR loop on the common prefix length.
+        let bits_a = bytes_to_bits(&a);
+        let bits_b: Vec<u8> = bytes_to_bits(&b).into_iter().take(bits_a.len()).collect();
+        let pb = BitVec::from_u8_bits(&bits_b);
+        prop_assert_eq!(BitVec::from_u8_bits(&bits_a).to_u8_bits(), bits_a.clone());
+        if bits_b.len() == bits_a.len() {
+            let packed_a = BitVec::from_u8_bits(&bits_a);
+            prop_assert_eq!(
+                packed_a.hamming_distance(&pb),
+                hamming_distance(&bits_a, &bits_b)
+            );
+        }
+    }
+
+    #[test]
+    fn packed_bitvec_get_and_count_match_unpacked(bits in vec(0u8..=1, 0..200)) {
+        let packed = BitVec::from_u8_bits(&bits);
+        prop_assert_eq!(packed.len(), bits.len());
+        prop_assert_eq!(packed.count_ones(), bits.iter().filter(|&&b| b == 1).count());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(packed.get(i), b == 1, "bit {i}");
+        }
     }
 
     // ---------------- modulation ----------------
@@ -70,6 +107,83 @@ proptest! {
         let mut out = HammingCode74.decode(&corrupted);
         out.truncate(bits.len());
         prop_assert_eq!(out, bits);
+    }
+
+    #[test]
+    fn packed_code_paths_match_legacy_under_random_flips(
+        bits in vec(0u8..=1, 0..120),
+        flips in vec(any::<usize>(), 0..6),
+    ) {
+        // Every BlockCode's packed LUT path must (a) produce the same
+        // codeword as the legacy encoder, (b) round-trip noise-free, and
+        // (c) decode a randomly corrupted codeword to the exact same bits
+        // as the legacy decoder — error patterns included.
+        let codes: Vec<Box<dyn BlockCode>> = vec![
+            Box::new(RepetitionCode::new(3)),
+            Box::new(HammingCode74),
+            Box::new(ConvolutionalCode),
+        ];
+        let packed_in = BitVec::from_u8_bits(&bits);
+        let mut coded_packed = BitVec::new();
+        let mut decoded_packed = BitVec::new();
+        let mut scratch = CodeScratch::new();
+        for code in codes {
+            let coded = code.encode(&bits);
+            code.encode_packed(&packed_in, &mut coded_packed);
+            prop_assert_eq!(coded_packed.to_u8_bits(), coded.clone(), "{} encode", code.name());
+
+            let mut corrupted = coded;
+            for &f in &flips {
+                if !corrupted.is_empty() {
+                    let i = f % corrupted.len();
+                    corrupted[i] ^= 1;
+                    let flipped = coded_packed.get(i);
+                    coded_packed.set(i, !flipped);
+                }
+            }
+            code.decode_packed(&coded_packed, &mut decoded_packed, &mut scratch);
+            prop_assert_eq!(
+                decoded_packed.to_u8_bits(),
+                code.decode(&corrupted),
+                "{} decode under flips",
+                code.name()
+            );
+        }
+    }
+
+    #[test]
+    fn packed_modulation_and_pipeline_match_legacy(bits in vec(0u8..=1, 1..160), seed in any::<u64>()) {
+        // Into-variants agree with the legacy allocate-per-call methods...
+        let packed = BitVec::from_u8_bits(&bits);
+        for m in Modulation::ALL {
+            let legacy_syms = m.modulate(&bits);
+            let mut syms = Vec::new();
+            m.modulate_into(&packed, &mut syms);
+            prop_assert_eq!(&syms, &legacy_syms, "{:?} modulate", m);
+            let mut demod = BitVec::new();
+            m.demodulate_into(&syms, &mut demod);
+            prop_assert_eq!(demod.to_u8_bits(), m.demodulate(&legacy_syms), "{:?} demodulate", m);
+        }
+
+        // ...and the whole packed transmit chain is bit-identical to the
+        // legacy stage-by-stage chain under the same RNG stream.
+        let pipeline = BitPipeline::new(Box::new(HammingCode74), Modulation::Qam16);
+        let channel = AwgnChannel::new(4.0);
+        let mut scratch = TransmitScratch::new();
+        let mut rng = seeded_rng(seed);
+        let out = pipeline
+            .transmit_packed(&packed, &channel, &mut rng, &mut scratch)
+            .to_u8_bits();
+
+        let mut rng = seeded_rng(seed);
+        let coded = pipeline.code().encode(&bits);
+        let tx = pipeline.modulation().modulate(&coded);
+        let rx = channel.transmit(&tx, &mut rng);
+        let mut demod = pipeline.modulation().demodulate(&rx);
+        demod.truncate(coded.len());
+        let mut decoded = pipeline.code().decode(&demod);
+        decoded.truncate(bits.len());
+        prop_assert_eq!(out, decoded);
     }
 
     #[test]

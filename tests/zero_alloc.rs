@@ -1,0 +1,72 @@
+//! Asserts the packed transmit hot path is allocation-free once warm —
+//! the contract behind `TransmitScratch` (PR 2's tentpole): after the
+//! scratch buffers have grown to a payload's working-set size, repeated
+//! `BitPipeline::transmit_packed` calls must not touch the heap at all.
+//!
+//! The check counts every allocation through a `#[global_allocator]`
+//! wrapper over [`System`]. It lives in this root-crate test binary (its
+//! own process, so the counting allocator cannot interfere with other
+//! tests) because `semcom-channel` itself forbids `unsafe_code`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use semcom_channel::coding::HammingCode74;
+use semcom_channel::{AwgnChannel, BitPipeline, BitVec, Modulation, TransmitScratch};
+use semcom_nn::rng::seeded_rng;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates directly to `System`; the counter is a relaxed atomic
+// increment with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn warm_transmit_packed_does_not_allocate() {
+    let payload: Vec<u8> = (0..4096).map(|i| ((i * 11 + 3) % 2) as u8).collect();
+    let bits = BitVec::from_u8_bits(&payload);
+    let pipeline = BitPipeline::new(Box::new(HammingCode74), Modulation::Qam16);
+    let channel = AwgnChannel::new(6.0);
+    let mut rng = seeded_rng(17);
+    let mut scratch = TransmitScratch::new();
+
+    // Warm-up: first calls grow the scratch buffers (and resolve the
+    // demodulator's cached decision thresholds).
+    for _ in 0..3 {
+        pipeline.transmit_packed(&bits, &channel, &mut rng, &mut scratch);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut guard = 0usize;
+    for _ in 0..50 {
+        let out = pipeline.transmit_packed(&bits, &channel, &mut rng, &mut scratch);
+        guard ^= out.count_ones();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "warm transmit_packed allocated {} time(s) over 50 calls (guard {guard})",
+        after - before
+    );
+}

@@ -9,6 +9,11 @@
 //! line. Set `BENCH_JSON=<path>` to additionally append one JSON line
 //! `{"name": ..., "median_ns": ...}` per benchmark — the hook used by
 //! `scripts/` to record before/after numbers.
+//!
+//! Passing `--test` (criterion's smoke-test flag, forwarded by
+//! `cargo bench ... -- --test`) runs every routine exactly once with no
+//! warm-up, sampling, reporting, or JSON output — CI uses it to keep bench
+//! code compiling and panic-free without paying for real measurements.
 
 #![forbid(unsafe_code)]
 
@@ -39,12 +44,17 @@ pub enum BatchSize {
 /// Collects timing samples for one benchmark.
 pub struct Bencher {
     samples_ns: Vec<f64>,
+    smoke: bool,
 }
 
 impl Bencher {
     /// Benchmarks `routine`, timing the whole loop and dividing by the
     /// iteration count.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.smoke {
+            black_box(routine());
+            return;
+        }
         // Warm up and estimate the per-iteration cost.
         let mut iters: u64 = 1;
         let per_iter = loop {
@@ -76,6 +86,10 @@ impl Bencher {
         S: FnMut() -> I,
         F: FnMut(I) -> O,
     {
+        if self.smoke {
+            black_box(routine(setup()));
+            return;
+        }
         // Estimate per-iteration cost (setup excluded).
         let mut per_iter = 0.0;
         let mut iters = 0u64;
@@ -118,17 +132,20 @@ impl Bencher {
 /// The benchmark driver: filters and runs registered benchmarks.
 pub struct Criterion {
     filter: Option<String>,
+    smoke: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // `cargo bench` forwards extra CLI args; the first non-flag
-        // argument is treated as a name substring filter, flags are
-        // accepted and ignored (criterion-compatible enough for CI use).
+        // argument is treated as a name substring filter. `--test` selects
+        // smoke mode; other flags are accepted and ignored
+        // (criterion-compatible enough for CI use).
         let filter = std::env::args()
             .skip(1)
             .find(|a| !a.starts_with('-') && a != "bench");
-        Criterion { filter }
+        let smoke = std::env::args().skip(1).any(|a| a == "--test");
+        Criterion { filter, smoke }
     }
 }
 
@@ -148,8 +165,13 @@ impl Criterion {
         }
         let mut bencher = Bencher {
             samples_ns: Vec::with_capacity(SAMPLES),
+            smoke: self.smoke,
         };
         f(&mut bencher);
+        if self.smoke {
+            println!("{name}: smoke ok");
+            return self;
+        }
         let mut s = bencher.samples_ns;
         if s.is_empty() {
             return self;
@@ -219,6 +241,7 @@ mod tests {
     fn bencher_iter_records_samples() {
         let mut b = Bencher {
             samples_ns: Vec::new(),
+            smoke: false,
         };
         let mut x = 0u64;
         b.iter(|| {
@@ -227,6 +250,22 @@ mod tests {
         });
         assert_eq!(b.samples_ns.len(), SAMPLES);
         assert!(b.samples_ns.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn smoke_mode_runs_routine_once_without_sampling() {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+            smoke: true,
+        };
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.samples_ns.is_empty());
+        let mut batched_calls = 0u64;
+        b.iter_batched(|| 3u64, |x| batched_calls += x, BatchSize::SmallInput);
+        assert_eq!(batched_calls, 3);
+        assert!(b.samples_ns.is_empty());
     }
 
     #[test]
