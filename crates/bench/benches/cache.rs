@@ -1,10 +1,110 @@
 //! Criterion microbenchmarks for the cache substrate.
+//!
+//! The `*_churn_*` benches measure steady-state eviction throughput: a
+//! cache prefilled to capacity (1 byte per entry, so entries == bytes)
+//! takes `CHURN_OPS` fresh-key inserts per iteration — every insert is a
+//! miss that evicts exactly one victim — plus one hit `get` each. The
+//! `ref_*` variants run the same loop on the retained `O(n)`-scan
+//! reference engines; the `*_replay_100k_resident` pair replays a shared
+//! Zipf trace (≥50% miss rate) against a 100k-entry resident set and is
+//! the ≥10× fast-vs-reference acceptance measurement recorded in
+//! `BENCH_pr3.json`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use semcom_cache::policy::{Gdsf, Lru, SemanticCost};
-use semcom_cache::workload::Workload;
+use semcom_cache::policy::{self, reference, EvictionPolicy, Gdsf, Lru, SemanticCost};
+use semcom_cache::workload::{ModelSpec, Workload};
 use semcom_cache::ModelCache;
 use semcom_nn::rng::seeded_rng;
+
+const CHURN_OPS: u64 = 1_000;
+
+/// Steady-state churn: prefill to `entries`, then insert+evict+get per op.
+fn churn<P, F>(c: &mut Criterion, name: &str, entries: u64, make: F)
+where
+    P: EvictionPolicy<u64> + Send + 'static,
+    F: Fn() -> P,
+{
+    c.bench_function(name, |b| {
+        let mut cache: ModelCache<u64, ()> = ModelCache::new(entries as usize, Box::new(make()));
+        for k in 0..entries {
+            cache.insert(k, (), 1, (k % 13) as f64 + 1.0);
+        }
+        let mut next = entries;
+        b.iter(|| {
+            for _ in 0..CHURN_OPS {
+                cache.insert(next, (), 1, (next % 13) as f64 + 1.0);
+                let _ = cache.get(&(next - 1));
+                next += 1;
+            }
+        })
+    });
+}
+
+/// Hit-path lookup throughput over a full resident set.
+fn get_hit<P, F>(c: &mut Criterion, name: &str, entries: u64, make: F)
+where
+    P: EvictionPolicy<u64> + Send + 'static,
+    F: Fn() -> P,
+{
+    c.bench_function(name, |b| {
+        let mut cache: ModelCache<u64, ()> = ModelCache::new(entries as usize, Box::new(make()));
+        for k in 0..entries {
+            cache.insert(k, (), 1, 1.0);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % entries;
+            cache.get(&i).is_some()
+        })
+    });
+}
+
+/// Eviction-heavy Zipf replay against a 100k-entry resident set: warm the
+/// cache to capacity with the trace's first distinct keys (no evictions),
+/// then replay `CHURN_OPS` trace requests per iteration.
+fn replay_churn<P, F>(c: &mut Criterion, name: &str, trace: &[ModelSpec], make: F)
+where
+    P: EvictionPolicy<u64> + Send + 'static,
+    F: Fn() -> P,
+{
+    const RESIDENT: usize = 100_000;
+    c.bench_function(name, |b| {
+        let mut cache: ModelCache<u64, ModelSpec> = ModelCache::new(RESIDENT, Box::new(make()));
+        for spec in trace {
+            if cache.len() == RESIDENT {
+                break;
+            }
+            if !cache.contains(&spec.id) {
+                cache.insert(spec.id, *spec, spec.size, spec.cost);
+            }
+        }
+        let mut pos = 0usize;
+        b.iter(|| {
+            for _ in 0..CHURN_OPS {
+                let spec = trace[pos % trace.len()];
+                pos += 1;
+                if cache.get(&spec.id).is_none() {
+                    cache.insert(spec.id, spec, spec.size, spec.cost);
+                }
+            }
+        })
+    });
+}
+
+/// A 400k-model, low-skew (alpha 0.5) trace: far more hot mass than a
+/// 100k-entry cache can hold, so replay misses (and evicts) on well over
+/// half the requests.
+fn eviction_heavy_trace() -> Vec<ModelSpec> {
+    let models: Vec<ModelSpec> = (0..400_000u64)
+        .map(|id| ModelSpec {
+            id,
+            size: 1,
+            cost: (id % 29) as f64 + 1.0,
+        })
+        .collect();
+    let w = Workload::new(models, 0.5);
+    w.draw_trace(1_000_000, &mut seeded_rng(11))
+}
 
 fn bench_cache(c: &mut Criterion) {
     c.bench_function("cache/lru_insert_get_1k_entries", |b| {
@@ -35,6 +135,107 @@ fn bench_cache(c: &mut Criterion) {
             let mut rng = seeded_rng(1);
             w.replay(4_000_000, SemanticCost::new(), 5_000, &mut rng)
         })
+    });
+
+    for &(suffix, entries) in &[("1k", 1_000u64), ("100k", 100_000), ("1m", 1_000_000)] {
+        churn(
+            c,
+            &format!("cache/fifo_churn_{suffix}"),
+            entries,
+            policy::Fifo::new,
+        );
+        churn(
+            c,
+            &format!("cache/lru_churn_{suffix}"),
+            entries,
+            policy::Lru::new,
+        );
+        churn(
+            c,
+            &format!("cache/slru_churn_{suffix}"),
+            entries,
+            policy::SLru::new,
+        );
+        churn(
+            c,
+            &format!("cache/lfu_churn_{suffix}"),
+            entries,
+            policy::Lfu::new,
+        );
+        churn(
+            c,
+            &format!("cache/gdsf_churn_{suffix}"),
+            entries,
+            policy::Gdsf::new,
+        );
+        churn(
+            c,
+            &format!("cache/semantic_cost_churn_{suffix}"),
+            entries,
+            policy::SemanticCost::new,
+        );
+    }
+
+    // Retained O(n)-scan engines at the 100k resident set: the
+    // denominators of the fast-vs-reference speedup.
+    churn(c, "cache/ref_lru_churn_100k", 100_000, reference::Lru::new);
+    churn(
+        c,
+        "cache/ref_gdsf_churn_100k",
+        100_000,
+        reference::Gdsf::new,
+    );
+    churn(
+        c,
+        "cache/ref_semantic_cost_churn_100k",
+        100_000,
+        reference::SemanticCost::new,
+    );
+
+    get_hit(c, "cache/lru_get_hit_1m", 1_000_000, policy::Lru::new);
+    get_hit(c, "cache/gdsf_get_hit_1m", 1_000_000, policy::Gdsf::new);
+
+    let trace = eviction_heavy_trace();
+    replay_churn(
+        c,
+        "cache/lru_replay_100k_resident",
+        &trace,
+        policy::Lru::new,
+    );
+    replay_churn(
+        c,
+        "cache/ref_lru_replay_100k_resident",
+        &trace,
+        reference::Lru::new,
+    );
+    replay_churn(
+        c,
+        "cache/gdsf_replay_100k_resident",
+        &trace,
+        policy::Gdsf::new,
+    );
+    replay_churn(
+        c,
+        "cache/ref_gdsf_replay_100k_resident",
+        &trace,
+        reference::Gdsf::new,
+    );
+
+    // Belady oracle: lazy max-heap vs retained residency scan on one
+    // shared eviction-heavy trace.
+    let oracle_models: Vec<ModelSpec> = (0..10_000u64)
+        .map(|id| ModelSpec {
+            id,
+            size: 1,
+            cost: (id % 17) as f64 + 1.0,
+        })
+        .collect();
+    let oracle_trace = Workload::new(oracle_models, 0.6).draw_trace(50_000, &mut seeded_rng(12));
+    c.bench_function("cache/belady_heap_50k_requests", |b| {
+        b.iter(|| Workload::replay_optimal_trace(2_000, &oracle_trace))
+    });
+    c.bench_function("cache/belady_scan_50k_requests", |b| {
+        b.iter(|| Workload::replay_optimal_reference(2_000, &oracle_trace))
     });
 }
 

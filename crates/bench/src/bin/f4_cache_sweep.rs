@@ -4,38 +4,11 @@
 //! Every grid cell below replays from its own freshly seeded RNG, so the
 //! capacity x policy x alpha grid fans out through `semcom-par` and the
 //! collected rows print in grid order: stdout is byte-identical at any
-//! `SEMCOM_THREADS` setting.
+//! `SEMCOM_THREADS` setting (asserted by `tests/f4_workers.rs`, which
+//! renders the same rows through `semcom_bench::f4`).
 
 use semcom_bench::banner;
-use semcom_cache::policy::{Fifo, Gdsf, Lfu, Lru, SLru, SemanticCost};
-use semcom_cache::workload::{ReplayReport, Workload};
-use semcom_edge::{EdgeWorkloadSim, Topology, WorkloadConfig};
-use semcom_nn::rng::seeded_rng;
-
-const POLICIES: [&str; 7] = [
-    "fifo",
-    "lru",
-    "lfu",
-    "slru",
-    "gdsf",
-    "semantic_cost",
-    "belady(oracle)",
-];
-
-/// Runs one replay cell, dispatching on the policy index (the policy types
-/// differ, so this cannot be a simple data table).
-fn replay_cell(w: &Workload, capacity: usize, policy: usize, n: usize, seed: u64) -> ReplayReport {
-    let rng = &mut seeded_rng(seed);
-    match policy {
-        0 => w.replay(capacity, Fifo::new(), n, rng),
-        1 => w.replay(capacity, Lru::new(), n, rng),
-        2 => w.replay(capacity, Lfu::new(), n, rng),
-        3 => w.replay(capacity, SLru::new(), n, rng),
-        4 => w.replay(capacity, Gdsf::new(), n, rng),
-        5 => w.replay(capacity, SemanticCost::new(), n, rng),
-        _ => w.replay_optimal(capacity, n, rng),
-    }
-}
+use semcom_bench::f4;
 
 fn main() {
     banner(
@@ -48,75 +21,31 @@ fn main() {
     let n_requests = 20_000;
     println!("\n--- hit rate & mean re-establishment cost per request (alpha = 0.9) ---");
     println!("capacity_mb,policy,hit_rate,mean_cost_s");
-    let workload = Workload::standard(4, 120, 0.9);
-    let capacities = [1_000_000usize, 2_000_000, 4_000_000, 8_000_000, 16_000_000];
-    let cells: Vec<(usize, usize)> = capacities
-        .iter()
-        .flat_map(|&c| (0..POLICIES.len()).map(move |p| (c, p)))
-        .collect();
-    for line in semcom_par::par_map_indexed(&cells, |_, &(capacity, p)| {
-        let r = replay_cell(&workload, capacity, p, n_requests, 1);
-        format!(
-            "{:.1},{},{:.4},{:.4}",
-            capacity as f64 / 1e6,
-            POLICIES[p],
-            r.stats.hit_rate(),
-            r.mean_cost_per_request()
-        )
-    }) {
+    for line in f4::capacity_rows(n_requests) {
         println!("{line}");
     }
 
     println!("\n--- Zipf skew sweep (capacity 4 MB, lru vs semantic_cost) ---");
     println!("alpha,policy,hit_rate,mean_cost_s");
-    let alphas = [0.4, 0.7, 0.9, 1.1, 1.4];
-    let alpha_cells: Vec<(f64, usize)> = alphas.iter().flat_map(|&a| [(a, 1), (a, 5)]).collect();
-    for line in semcom_par::par_map_indexed(&alpha_cells, |_, &(alpha, p)| {
-        let w = Workload::standard(4, 120, alpha);
-        let r = replay_cell(&w, 4_000_000, p, n_requests, 2);
-        format!(
-            "{alpha},{},{:.4},{:.4}",
-            if p == 1 { "lru" } else { "semantic_cost" },
-            r.stats.hit_rate(),
-            r.mean_cost_per_request()
-        )
-    }) {
+    for line in f4::alpha_rows(n_requests) {
         println!("{line}");
     }
 
     println!("\n--- event-driven latency (Poisson arrivals, cloud fetch on miss) ---");
     println!("capacity_mb,policy,hit_rate,mean_latency_ms,p95_latency_ms");
-    let sim_cells: Vec<(usize, usize)> = [1_000_000usize, 2_000_000, 4_000_000, 8_000_000]
-        .iter()
-        .flat_map(|&c| [(c, 0), (c, 1)])
-        .collect();
-    for line in semcom_par::par_map_indexed(&sim_cells, |_, &(capacity, p)| {
-        let sim = EdgeWorkloadSim::new(
-            WorkloadConfig {
-                n_requests: 4_000,
-                capacity_bytes: capacity,
-                ..WorkloadConfig::default()
-            },
-            Topology::default(),
-        );
-        let (name, r) = if p == 0 {
-            ("lru", sim.run(Lru::new(), 3))
-        } else {
-            ("semantic_cost", sim.run(SemanticCost::new(), 3))
-        };
-        format!(
-            "{:.1},{name},{:.4},{:.2},{:.2}",
-            capacity as f64 / 1e6,
-            r.hit_rate,
-            r.latency.mean * 1e3,
-            r.latency.p95 * 1e3
-        )
-    }) {
+    for line in f4::latency_rows(4_000) {
+        println!("{line}");
+    }
+
+    println!("\n--- network scale: 100k-model universe, 2M requests per cell ---");
+    println!("capacity_mb,policy,hit_rate,mean_cost_s");
+    for line in f4::scale_rows(2_000_000) {
         println!("{line}");
     }
 
     println!("\nexpected shape: hit rate rises with capacity for every policy;");
     println!("cost-aware policies (gdsf, semantic_cost) pay less re-establishment");
     println!("cost than recency/frequency policies at equal capacity, and the gap");
-    println!("is largest under cache pressure and moderate skew.");
+    println!("is largest under cache pressure and moderate skew. The scale section");
+    println!("shows the same ordering holds at a 100k-model universe.");
 }

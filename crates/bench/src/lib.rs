@@ -35,6 +35,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod f4;
+
 use semcom_codec::train::{TrainConfig, Trainer};
 use semcom_codec::{CodecConfig, KbScope, KnowledgeBase};
 use semcom_nn::rng::derive_seed;

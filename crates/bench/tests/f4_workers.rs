@@ -1,0 +1,35 @@
+//! Worker-count byte-identity for the parallelized F4 grid.
+//!
+//! The F4 binary fans its grids across `semcom-par`; its stdout must be
+//! byte-identical at any `SEMCOM_THREADS`. This renders the exact row
+//! strings the binary prints (via `semcom_bench::f4`) at 1, 2, and 4
+//! workers and asserts equality. The worker count is process-global, so
+//! the test serializes on a lock and restores the default before
+//! releasing it (the same pattern as `tests/parallelism.rs`).
+
+use semcom_bench::f4;
+use std::sync::Mutex;
+
+static WORKER_LOCK: Mutex<()> = Mutex::new(());
+
+fn render_rows() -> Vec<String> {
+    let mut rows = f4::capacity_rows(1_500);
+    rows.extend(f4::alpha_rows(1_500));
+    rows.extend(f4::latency_rows(800));
+    rows.extend(f4::scale_rows(2_000));
+    rows
+}
+
+#[test]
+fn f4_rows_are_byte_identical_at_1_2_4_workers() {
+    let _guard = WORKER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut outputs = Vec::new();
+    for workers in [1usize, 2, 4] {
+        semcom_par::set_workers(workers);
+        outputs.push(render_rows());
+    }
+    semcom_par::reset_workers();
+    assert!(!outputs[0].is_empty());
+    assert_eq!(outputs[0], outputs[1], "1 vs 2 workers");
+    assert_eq!(outputs[0], outputs[2], "1 vs 4 workers");
+}

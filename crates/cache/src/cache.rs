@@ -195,11 +195,9 @@ impl<K: Hash + Eq + Clone, V> ModelCache<K, V> {
     /// Drops every resident entry (statistics are kept). Models a server
     /// restart losing its volatile cache.
     pub fn clear(&mut self) {
-        let keys: Vec<K> = self.entries.keys().cloned().collect();
-        for k in &keys {
-            self.policy.on_remove(k);
+        for (k, _) in self.entries.drain() {
+            self.policy.on_remove(&k);
         }
-        self.entries.clear();
         self.used = 0;
     }
 }

@@ -20,6 +20,11 @@
 //! * a Zipf [`workload`] generator and replay harness for the cache-policy
 //!   experiment (F4), including a clairvoyant Belady upper bound.
 //!
+//! Victim selection is sub-linear (`O(1)` intrusive lists for the recency
+//! policies, an `O(log n)` lazy-deletion heap for the score-driven ones
+//! and the Belady oracle), with the original `O(n)`-scan engines retained
+//! under [`policy::reference`] as the property-tested ground truth.
+//!
 //! # Example
 //!
 //! ```

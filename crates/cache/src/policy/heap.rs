@@ -1,0 +1,250 @@
+//! Lazy-deletion binary heap for `O(log n)` victim selection.
+//!
+//! The heap stores `(score, seq, key)` entries ordered ascending; the live
+//! score of each key is tracked in a side map. Updating a key's score
+//! pushes a fresh entry and leaves the old one in place — stale entries
+//! are detected (score/seq mismatch against the side map) and discarded
+//! when they surface at the top during [`ScoreIndex::min_key`]. A
+//! compaction pass rebuilds the heap from the live map whenever stale
+//! entries outnumber live ones 3:1, so memory stays `O(live)` even on
+//! access-heavy workloads that rescore constantly (LFU bumps a counter on
+//! every hit).
+//!
+//! Tie-breaking matches the reference [`ScoreBoard`] scan exactly: equal
+//! scores are ordered by insertion sequence (oldest resident loses), and
+//! the sequence number is assigned once per residency and survives score
+//! updates.
+//!
+//! [`ScoreBoard`]: super::reference::ScoreBoard
+
+use super::ScoreIndex;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::Hash;
+
+/// One heap entry; stale once `(score, seq)` no longer matches the live
+/// map. Ordered by `(score, seq)` — the key never participates.
+#[derive(Debug, Clone)]
+struct Slot<K> {
+    score: f64,
+    seq: u64,
+    key: K,
+}
+
+impl<K> PartialEq for Slot<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl<K> Eq for Slot<K> {}
+
+impl<K> PartialOrd for Slot<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K> Ord for Slot<K> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .partial_cmp(&other.score)
+            .expect("scores are finite")
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A lazy-deletion min-heap keyed by `(score, insertion-seq)`.
+///
+/// Drop-in [`ScoreIndex`] backend: `set` and `remove` are `O(log n)`
+/// amortized, `min_key` is `O(log n)` amortized (stale pops are charged to
+/// the pushes that created them), versus the `O(n)` scan of the reference
+/// `ScoreBoard`.
+#[derive(Debug, Clone)]
+pub struct LazyScoreHeap<K> {
+    live: HashMap<K, (f64, u64)>,
+    heap: BinaryHeap<Reverse<Slot<K>>>,
+    next_seq: u64,
+}
+
+impl<K> Default for LazyScoreHeap<K> {
+    fn default() -> Self {
+        LazyScoreHeap {
+            live: HashMap::new(),
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone> LazyScoreHeap<K> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no keys are live.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Heap entries including stale ones (diagnostics/tests).
+    pub fn backlog(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Rebuilds the heap from the live map once stale entries dominate.
+    /// Every live `(score, seq)` pair is distinct (seqs are unique), so the
+    /// rebuilt pop order is a strict total order independent of the
+    /// randomized `HashMap` iteration order feeding the heapify.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() > 64 && self.heap.len() > 4 * self.live.len() {
+            let slots: Vec<Reverse<Slot<K>>> = self
+                .live
+                .iter()
+                .map(|(k, &(score, seq))| {
+                    Reverse(Slot {
+                        score,
+                        seq,
+                        key: k.clone(),
+                    })
+                })
+                .collect();
+            self.heap = BinaryHeap::from(slots);
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone> ScoreIndex<K> for LazyScoreHeap<K> {
+    fn set(&mut self, key: &K, score: f64) {
+        match self.live.get_mut(key) {
+            Some(slot) => {
+                if slot.0 == score {
+                    return; // the matching heap entry is still live
+                }
+                slot.0 = score;
+                let seq = slot.1;
+                self.heap.push(Reverse(Slot {
+                    score,
+                    seq,
+                    key: key.clone(),
+                }));
+            }
+            None => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.live.insert(key.clone(), (score, seq));
+                self.heap.push(Reverse(Slot {
+                    score,
+                    seq,
+                    key: key.clone(),
+                }));
+            }
+        }
+        self.maybe_compact();
+    }
+
+    fn remove(&mut self, key: &K) {
+        self.live.remove(key);
+        self.maybe_compact();
+    }
+
+    fn min_key(&mut self) -> Option<K> {
+        loop {
+            match self.heap.peek() {
+                None => return None,
+                Some(Reverse(top)) => match self.live.get(&top.key) {
+                    Some(&(score, seq)) if score == top.score && seq == top.seq => {
+                        return Some(top.key.clone());
+                    }
+                    _ => {}
+                },
+            }
+            self.heap.pop(); // stale: retired score or removed key
+        }
+    }
+
+    fn get(&self, key: &K) -> Option<f64> {
+        self.live.get(key).map(|slot| slot.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_key_tracks_updates_and_removals() {
+        let mut h: LazyScoreHeap<u32> = LazyScoreHeap::new();
+        assert_eq!(h.min_key(), None);
+        h.set(&1, 5.0);
+        h.set(&2, 3.0);
+        h.set(&3, 9.0);
+        assert_eq!(h.min_key(), Some(2));
+        h.set(&2, 20.0); // rescore past the others
+        assert_eq!(h.min_key(), Some(1));
+        h.remove(&1);
+        assert_eq!(h.min_key(), Some(3));
+        h.remove(&3);
+        assert_eq!(h.min_key(), Some(2));
+        h.remove(&2);
+        assert_eq!(h.min_key(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_sequence() {
+        let mut h: LazyScoreHeap<u32> = LazyScoreHeap::new();
+        h.set(&7, 1.0);
+        h.set(&3, 1.0);
+        h.set(&5, 1.0);
+        assert_eq!(h.min_key(), Some(7), "oldest resident loses the tie");
+        h.remove(&7);
+        assert_eq!(h.min_key(), Some(3));
+    }
+
+    #[test]
+    fn seq_survives_score_updates() {
+        let mut h: LazyScoreHeap<u32> = LazyScoreHeap::new();
+        h.set(&1, 1.0);
+        h.set(&2, 1.0);
+        h.set(&1, 2.0);
+        h.set(&1, 1.0); // back to a tie with 2: 1 is still older
+        assert_eq!(h.min_key(), Some(1));
+    }
+
+    #[test]
+    fn compaction_bounds_stale_backlog() {
+        let mut h: LazyScoreHeap<u32> = LazyScoreHeap::new();
+        for k in 0..16u32 {
+            h.set(&k, k as f64);
+        }
+        for round in 0..10_000 {
+            let k = round % 16;
+            h.set(&k, 100.0 + round as f64);
+        }
+        assert!(
+            h.backlog() <= 4 * h.len().max(16) + 64,
+            "backlog {} for {} live keys",
+            h.backlog(),
+            h.len()
+        );
+        // The final 16 rounds (9984..10000) rescored keys 0..16 in order,
+        // so key 0 holds the lowest surviving score.
+        assert_eq!(h.min_key(), Some(0));
+    }
+
+    #[test]
+    fn reinsert_after_remove_gets_a_fresh_seq() {
+        let mut h: LazyScoreHeap<u32> = LazyScoreHeap::new();
+        h.set(&1, 1.0);
+        h.set(&2, 1.0);
+        h.remove(&1);
+        h.set(&1, 1.0); // now younger than 2
+        assert_eq!(h.min_key(), Some(2));
+    }
+}

@@ -1,0 +1,228 @@
+//! Slab-indexed intrusive doubly-linked lists for `O(1)` recency
+//! policies.
+//!
+//! FIFO, LRU, and SLRU only ever need "move this key to the back of a
+//! list" and "who is at the front" — there is no reason to pay for float
+//! scores and a priority structure. [`OrderIndex`] keeps nodes in a slab
+//! (`Vec`) linked by `u32` indices, with a key→slot map; `LISTS` is the
+//! number of segments (1 for FIFO/LRU, 2 for SLRU's probation/protected
+//! split). Every operation is `O(1)` beyond the hash lookup, and nothing
+//! allocates after the slab warms up (freed slots are recycled).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<K> {
+    key: Option<K>,
+    prev: u32,
+    next: u32,
+    list: u8,
+}
+
+/// `LISTS` doubly-linked orderings over a shared slab of keyed nodes.
+///
+/// Front = least recently touched (the victim end); back = most recently
+/// touched. A key lives in at most one list at a time.
+#[derive(Debug, Clone)]
+pub struct OrderIndex<K, const LISTS: usize> {
+    nodes: Vec<Node<K>>,
+    free: Vec<u32>,
+    map: HashMap<K, u32>,
+    head: [u32; LISTS],
+    tail: [u32; LISTS],
+}
+
+impl<K, const LISTS: usize> Default for OrderIndex<K, LISTS> {
+    fn default() -> Self {
+        OrderIndex {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            map: HashMap::new(),
+            head: [NIL; LISTS],
+            tail: [NIL; LISTS],
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone, const LISTS: usize> OrderIndex<K, LISTS> {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tracked keys across all lists.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no keys are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Moves `key` to the back of `list`, inserting it if untracked.
+    pub fn touch(&mut self, list: usize, key: &K) {
+        debug_assert!(list < LISTS);
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.unlink(idx);
+                self.link_back(idx, list);
+            }
+            None => {
+                let idx = match self.free.pop() {
+                    Some(idx) => {
+                        self.nodes[idx as usize].key = Some(key.clone());
+                        idx
+                    }
+                    None => {
+                        let idx = u32::try_from(self.nodes.len())
+                            .expect("slab capped at u32::MAX entries");
+                        assert!(idx != NIL, "slab capped at u32::MAX entries");
+                        self.nodes.push(Node {
+                            key: Some(key.clone()),
+                            prev: NIL,
+                            next: NIL,
+                            list: 0,
+                        });
+                        idx
+                    }
+                };
+                self.map.insert(key.clone(), idx);
+                self.link_back(idx, list);
+            }
+        }
+    }
+
+    /// Forgets `key` (no-op when untracked); its slot is recycled.
+    pub fn remove(&mut self, key: &K) {
+        if let Some(idx) = self.map.remove(key) {
+            self.unlink(idx);
+            self.nodes[idx as usize].key = None;
+            self.free.push(idx);
+        }
+    }
+
+    /// The least-recently-touched key of `list`, if any.
+    pub fn front(&self, list: usize) -> Option<&K> {
+        debug_assert!(list < LISTS);
+        let h = self.head[list];
+        if h == NIL {
+            None
+        } else {
+            self.nodes[h as usize].key.as_ref()
+        }
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next, list) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next, n.list as usize)
+        };
+        if prev == NIL {
+            self.head[list] = next;
+        } else {
+            self.nodes[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail[list] = prev;
+        } else {
+            self.nodes[next as usize].prev = prev;
+        }
+    }
+
+    fn link_back(&mut self, idx: u32, list: usize) {
+        let old_tail = self.tail[list];
+        {
+            let n = &mut self.nodes[idx as usize];
+            n.prev = old_tail;
+            n.next = NIL;
+            n.list = list as u8;
+        }
+        if old_tail == NIL {
+            self.head[list] = idx;
+        } else {
+            self.nodes[old_tail as usize].next = idx;
+        }
+        self.tail[list] = idx;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_front(ix: &mut OrderIndex<u32, 1>) -> Vec<u32> {
+        let mut out = Vec::new();
+        while let Some(&k) = ix.front(0) {
+            out.push(k);
+            ix.remove(&k);
+        }
+        out
+    }
+
+    #[test]
+    fn touch_order_is_front_to_back() {
+        let mut ix: OrderIndex<u32, 1> = OrderIndex::new();
+        for k in [3, 1, 2] {
+            ix.touch(0, &k);
+        }
+        ix.touch(0, &3); // re-touch moves to back
+        assert_eq!(drain_front(&mut ix), vec![1, 2, 3]);
+        assert!(ix.is_empty());
+    }
+
+    #[test]
+    fn remove_middle_front_and_back() {
+        let mut ix: OrderIndex<u32, 1> = OrderIndex::new();
+        for k in 0..5 {
+            ix.touch(0, &k);
+        }
+        ix.remove(&2); // middle
+        ix.remove(&0); // front
+        ix.remove(&4); // back
+        assert_eq!(ix.len(), 2);
+        assert_eq!(drain_front(&mut ix), vec![1, 3]);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut ix: OrderIndex<u32, 1> = OrderIndex::new();
+        for round in 0..100u32 {
+            ix.touch(0, &round);
+            if round >= 4 {
+                let &front = ix.front(0).unwrap();
+                ix.remove(&front);
+            }
+        }
+        assert!(
+            ix.nodes.len() <= 6,
+            "slab grew to {} for 5 live keys",
+            ix.nodes.len()
+        );
+    }
+
+    #[test]
+    fn two_lists_are_independent() {
+        let mut ix: OrderIndex<u32, 2> = OrderIndex::new();
+        ix.touch(0, &1);
+        ix.touch(0, &2);
+        ix.touch(1, &1); // promote 1 out of list 0
+        assert_eq!(ix.front(0), Some(&2));
+        assert_eq!(ix.front(1), Some(&1));
+        ix.remove(&2);
+        assert_eq!(ix.front(0), None);
+        assert_eq!(ix.front(1), Some(&1));
+    }
+
+    #[test]
+    fn untracked_remove_is_a_noop() {
+        let mut ix: OrderIndex<u32, 1> = OrderIndex::new();
+        ix.remove(&9);
+        ix.touch(0, &1);
+        ix.remove(&9);
+        assert_eq!(ix.front(0), Some(&1));
+    }
+}

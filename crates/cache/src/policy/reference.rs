@@ -1,0 +1,281 @@
+//! Retained `O(n)`-scan reference engines.
+//!
+//! These are the original eviction implementations: every policy keeps a
+//! [`ScoreBoard`] and the victim is found by a full minimum scan. They are
+//! kept (the PR1/PR2 pattern: fast path + bit-identical reference) as the
+//! ground truth that the `O(log n)` heap and `O(1)` list engines in the
+//! parent module are property-tested against — every fast policy must
+//! emit the *identical victim sequence*, including the insertion-sequence
+//! tie-break documented on [`ScoreBoard`].
+
+use super::{EvictionPolicy, ScoreIndex};
+use crate::cache::EntryMeta;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Shared "minimum score loses" machinery.
+///
+/// Score ties are broken by insertion sequence (oldest resident loses).
+/// Without the explicit tie-break, ties would fall through to `HashMap`
+/// iteration order, which is randomized per process — the cost-aware
+/// policies (GDSF, semantic-cost) tie constantly and their evictions
+/// would differ run to run.
+#[derive(Debug, Clone)]
+pub struct ScoreBoard<K> {
+    scores: HashMap<K, (f64, u64)>,
+    next_seq: u64,
+}
+
+impl<K> Default for ScoreBoard<K> {
+    fn default() -> Self {
+        ScoreBoard {
+            scores: HashMap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone> ScoreBoard<K> {
+    fn min_scan(&self) -> Option<K> {
+        self.scores
+            .iter()
+            .min_by(|a, b| {
+                let (sa, qa) = a.1;
+                let (sb, qb) = b.1;
+                sa.partial_cmp(sb)
+                    .expect("scores are finite")
+                    .then(qa.cmp(qb))
+            })
+            .map(|(k, _)| k.clone())
+    }
+}
+
+impl<K: Hash + Eq + Clone> ScoreIndex<K> for ScoreBoard<K> {
+    fn set(&mut self, key: &K, score: f64) {
+        match self.scores.get_mut(key) {
+            Some(slot) => slot.0 = score,
+            None => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.scores.insert(key.clone(), (score, seq));
+            }
+        }
+    }
+
+    fn remove(&mut self, key: &K) {
+        self.scores.remove(key);
+    }
+
+    /// The full `O(n)` minimum scan.
+    fn min_key(&mut self) -> Option<K> {
+        self.min_scan()
+    }
+
+    fn get(&self, key: &K) -> Option<f64> {
+        self.scores.get(key).map(|slot| slot.0)
+    }
+}
+
+/// Reference LFU: the shared scoring logic over a [`ScoreBoard`] scan.
+pub type Lfu<K> = super::ScoredLfu<K, ScoreBoard<K>>;
+/// Reference GDSF over a [`ScoreBoard`] scan.
+pub type Gdsf<K> = super::ScoredGdsf<K, ScoreBoard<K>>;
+/// Reference semantic-cost policy over a [`ScoreBoard`] scan.
+pub type SemanticCost<K> = super::ScoredSemanticCost<K, ScoreBoard<K>>;
+
+macro_rules! impl_policy_common {
+    ($ty:ident, $name:literal) => {
+        impl<K: Hash + Eq + Clone> EvictionPolicy<K> for $ty<K> {
+            fn on_insert(&mut self, key: &K, meta: &EntryMeta) {
+                self.insert_impl(key, meta);
+            }
+            fn on_access(&mut self, key: &K, meta: &EntryMeta) {
+                self.access_impl(key, meta);
+            }
+            fn on_remove(&mut self, key: &K) {
+                self.remove_impl(key);
+            }
+            fn victim(&mut self) -> Option<K> {
+                self.board.min_scan()
+            }
+            fn name(&self) -> &'static str {
+                $name
+            }
+        }
+    };
+}
+
+/// Reference FIFO: insertion clock as the score, full victim scan.
+#[derive(Debug, Clone, Default)]
+pub struct Fifo<K> {
+    board: ScoreBoard<K>,
+    clock: f64,
+}
+
+impl<K: Hash + Eq + Clone> Fifo<K> {
+    /// Creates a reference FIFO policy.
+    pub fn new() -> Self {
+        Fifo {
+            board: ScoreBoard::default(),
+            clock: 0.0,
+        }
+    }
+
+    fn insert_impl(&mut self, key: &K, _meta: &EntryMeta) {
+        self.clock += 1.0;
+        self.board.set(key, self.clock);
+    }
+
+    fn access_impl(&mut self, _key: &K, _meta: &EntryMeta) {}
+
+    fn remove_impl(&mut self, key: &K) {
+        self.board.remove(key);
+    }
+}
+
+impl_policy_common!(Fifo, "fifo");
+
+/// Reference LRU: recency clock as the score, full victim scan.
+#[derive(Debug, Clone, Default)]
+pub struct Lru<K> {
+    board: ScoreBoard<K>,
+    clock: f64,
+}
+
+impl<K: Hash + Eq + Clone> Lru<K> {
+    /// Creates a reference LRU policy.
+    pub fn new() -> Self {
+        Lru {
+            board: ScoreBoard::default(),
+            clock: 0.0,
+        }
+    }
+
+    fn touch(&mut self, key: &K) {
+        self.clock += 1.0;
+        self.board.set(key, self.clock);
+    }
+
+    fn insert_impl(&mut self, key: &K, _meta: &EntryMeta) {
+        self.touch(key);
+    }
+
+    fn access_impl(&mut self, key: &K, _meta: &EntryMeta) {
+        self.touch(key);
+    }
+
+    fn remove_impl(&mut self, key: &K) {
+        self.board.remove(key);
+    }
+}
+
+impl_policy_common!(Lru, "lru");
+
+/// Protected-segment score offset of the reference segmented LRU. Both
+/// engines assume fewer than `1e12` operations, so probationary scores
+/// (`clock`) always sort below protected ones (`clock + BOOST`).
+pub(super) const SLRU_PROTECTED_BOOST: f64 = 1e12;
+
+/// Reference segmented LRU: probation/protection encoded as a score
+/// offset, full victim scan.
+#[derive(Debug, Clone, Default)]
+pub struct SLru<K> {
+    board: ScoreBoard<K>,
+    protected: HashMap<K, bool>,
+    clock: f64,
+}
+
+impl<K: Hash + Eq + Clone> SLru<K> {
+    /// Creates a reference segmented-LRU policy.
+    pub fn new() -> Self {
+        SLru {
+            board: ScoreBoard::default(),
+            protected: HashMap::new(),
+            clock: 0.0,
+        }
+    }
+
+    fn insert_impl(&mut self, key: &K, _meta: &EntryMeta) {
+        self.clock += 1.0;
+        self.protected.insert(key.clone(), false);
+        self.board.set(key, self.clock);
+    }
+
+    fn access_impl(&mut self, key: &K, _meta: &EntryMeta) {
+        self.clock += 1.0;
+        self.protected.insert(key.clone(), true);
+        self.board.set(key, self.clock + SLRU_PROTECTED_BOOST);
+    }
+
+    fn remove_impl(&mut self, key: &K) {
+        self.board.remove(key);
+        self.protected.remove(key);
+    }
+}
+
+impl_policy_common!(SLru, "slru");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(size: usize, cost: f64) -> EntryMeta {
+        EntryMeta { size, cost }
+    }
+
+    #[test]
+    fn fifo_evicts_first_inserted_regardless_of_access() {
+        let mut p: Fifo<u32> = Fifo::new();
+        p.on_insert(&1, &meta(1, 1.0));
+        p.on_insert(&2, &meta(1, 1.0));
+        p.on_access(&1, &meta(1, 1.0));
+        assert_eq!(p.victim(), Some(1));
+    }
+
+    #[test]
+    fn lru_eviction_follows_recency() {
+        let mut p: Lru<u32> = Lru::new();
+        p.on_insert(&1, &meta(1, 1.0));
+        p.on_insert(&2, &meta(1, 1.0));
+        p.on_access(&1, &meta(1, 1.0));
+        assert_eq!(p.victim(), Some(2));
+    }
+
+    #[test]
+    fn slru_protects_re_accessed_entries() {
+        let mut p: SLru<u32> = SLru::new();
+        p.on_insert(&1, &meta(1, 1.0));
+        p.on_access(&1, &meta(1, 1.0)); // promoted
+        p.on_insert(&2, &meta(1, 1.0)); // probationary, newer
+        assert_eq!(p.victim(), Some(2));
+    }
+
+    #[test]
+    fn scoreboard_ties_break_by_insertion_seq() {
+        let mut b: ScoreBoard<u32> = ScoreBoard::default();
+        b.set(&9, 1.0);
+        b.set(&4, 1.0);
+        b.set(&6, 1.0);
+        assert_eq!(b.min_key(), Some(9));
+        b.remove(&9);
+        assert_eq!(b.min_key(), Some(4));
+    }
+
+    #[test]
+    fn reference_aliases_share_the_scoring_logic() {
+        let mut p: SemanticCost<u32> = SemanticCost::new();
+        p.on_insert(&1, &meta(1, 100.0));
+        p.on_insert(&2, &meta(1, 1.0));
+        assert_eq!(p.victim(), Some(2));
+        assert_eq!(p.name(), "semantic_cost");
+    }
+
+    #[test]
+    fn victim_is_none_when_empty() {
+        let mut p: Lru<u32> = Lru::new();
+        assert_eq!(p.victim(), None);
+        p.on_insert(&1, &meta(1, 1.0));
+        p.on_remove(&1);
+        assert_eq!(p.victim(), None);
+    }
+}

@@ -72,6 +72,13 @@ impl Workload {
         self.models[self.zipf.sample(rng)]
     }
 
+    /// Pre-draws `n_requests` Zipf requests into one buffer. Replay and
+    /// the Belady oracle share a drawn trace instead of sampling per
+    /// request through the `dyn RngCore` vtable.
+    pub fn draw_trace(&self, n_requests: usize, rng: &mut dyn RngCore) -> Vec<ModelSpec> {
+        (0..n_requests).map(|_| self.sample(rng)).collect()
+    }
+
     /// Replays `n_requests` against a cache: a miss fetches/rebuilds the
     /// model (modeled by inserting it) and costs `spec.cost`; a hit is
     /// free. Returns the cache statistics and the total miss cost.
@@ -85,13 +92,22 @@ impl Workload {
     where
         P: EvictionPolicy<u64> + Send + 'static,
     {
+        let trace = self.draw_trace(n_requests, rng);
+        Self::replay_trace(capacity, policy, &trace)
+    }
+
+    /// Replays a pre-drawn trace (see [`Workload::draw_trace`]) against a
+    /// cache. Semantics are identical to [`Workload::replay`].
+    pub fn replay_trace<P>(capacity: usize, policy: P, trace: &[ModelSpec]) -> ReplayReport
+    where
+        P: EvictionPolicy<u64> + Send + 'static,
+    {
         let mut cache: ModelCache<u64, ModelSpec> = ModelCache::new(capacity, Box::new(policy));
         let mut miss_cost = 0.0;
-        for _ in 0..n_requests {
-            let spec = self.sample(rng);
+        for spec in trace {
             if cache.get(&spec.id).is_none() {
                 miss_cost += spec.cost;
-                match cache.insert(spec.id, spec, spec.size, spec.cost) {
+                match cache.insert(spec.id, *spec, spec.size, spec.cost) {
                     InsertOutcome::Inserted { .. } | InsertOutcome::TooLarge => {}
                 }
             }
@@ -99,7 +115,7 @@ impl Workload {
         ReplayReport {
             stats: *cache.stats(),
             total_miss_cost: miss_cost,
-            requests: n_requests,
+            requests: trace.len(),
         }
     }
 }
@@ -158,7 +174,8 @@ impl Workload {
     /// hit rate that the F4 sweep plots the real policies against.
     ///
     /// Byte-capacity semantics match [`Workload::replay`]: evict until the
-    /// incoming model fits.
+    /// incoming model fits. Runs on the lazy max-heap engine
+    /// ([`Workload::replay_optimal_trace`]).
     pub fn replay_optimal(
         &self,
         capacity: usize,
@@ -166,22 +183,118 @@ impl Workload {
         rng: &mut dyn RngCore,
     ) -> ReplayReport {
         // Pre-draw the sequence (the oracle sees the future).
-        let seq: Vec<ModelSpec> = (0..n_requests).map(|_| self.sample(rng)).collect();
-        // next_use[i] = index of the next request for seq[i].id after i.
-        let mut next_use = vec![usize::MAX; n_requests];
-        let mut last_seen: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
-        for i in (0..n_requests).rev() {
-            next_use[i] = last_seen.get(&seq[i].id).copied().unwrap_or(usize::MAX);
-            last_seen.insert(seq[i].id, i);
-        }
+        let trace = self.draw_trace(n_requests, rng);
+        Self::replay_optimal_trace(capacity, &trace).report
+    }
 
-        let mut resident: std::collections::HashMap<u64, (ModelSpec, usize)> =
-            std::collections::HashMap::new();
+    /// `next_use[i]` = index of the next request for `trace[i].id` after
+    /// `i` (`usize::MAX` when never requested again).
+    fn next_uses(trace: &[ModelSpec]) -> Vec<usize> {
+        let mut next_use = vec![usize::MAX; trace.len()];
+        let mut last_seen: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for i in (0..trace.len()).rev() {
+            next_use[i] = last_seen.get(&trace[i].id).copied().unwrap_or(usize::MAX);
+            last_seen.insert(trace[i].id, i);
+        }
+        next_use
+    }
+
+    /// Belady oracle over a pre-drawn trace on a **lazy max-heap** keyed
+    /// by `(next_use, insertion-seq)`: `O(log n)` per eviction instead of
+    /// the `O(n)` residency scan of
+    /// [`Workload::replay_optimal_reference`]. Victim ties (several
+    /// residents never requested again, `next_use = usize::MAX`) are
+    /// broken toward the oldest insertion, deterministically.
+    pub fn replay_optimal_trace(capacity: usize, trace: &[ModelSpec]) -> OracleReplay {
+        use std::cmp::Reverse;
+        use std::collections::{BinaryHeap, HashMap};
+        let next_use = Self::next_uses(trace);
+
+        // id → (spec, live next_use, insertion seq); heap slots are stale
+        // once their (next_use, seq) no longer matches the live map. The
+        // max-heap orders by next_use then Reverse(seq): the top is the
+        // farthest next use, ties falling to the oldest insertion.
+        let mut resident: HashMap<u64, (ModelSpec, usize, u64)> = HashMap::new();
+        let mut heap: BinaryHeap<(usize, Reverse<u64>, u64)> = BinaryHeap::new();
+        let mut next_seq = 0u64;
         let mut used = 0usize;
         let mut stats = CacheStats::default();
         let mut miss_cost = 0.0;
+        let mut victims = Vec::new();
 
-        for (i, spec) in seq.iter().enumerate() {
+        for (i, spec) in trace.iter().enumerate() {
+            if let Some(entry) = resident.get_mut(&spec.id) {
+                stats.hits += 1;
+                entry.1 = next_use[i];
+                heap.push((next_use[i], Reverse(entry.2), spec.id));
+                continue;
+            }
+            stats.misses += 1;
+            miss_cost += spec.cost;
+            if spec.size > capacity {
+                stats.rejected += 1;
+                continue;
+            }
+            while used + spec.size > capacity {
+                let (nu, Reverse(seq), id) = *heap
+                    .peek()
+                    .expect("over capacity implies non-empty residency");
+                let live = matches!(
+                    resident.get(&id),
+                    Some(&(_, live_nu, live_seq)) if live_nu == nu && live_seq == seq
+                );
+                heap.pop();
+                if !live {
+                    continue; // stale: retired next_use or evicted id
+                }
+                let (vspec, _, _) = resident.remove(&id).expect("victim resident");
+                used -= vspec.size;
+                stats.evictions += 1;
+                stats.bytes_evicted += vspec.size as u64;
+                victims.push(id);
+            }
+            let seq = next_seq;
+            next_seq += 1;
+            resident.insert(spec.id, (*spec, next_use[i], seq));
+            heap.push((next_use[i], Reverse(seq), spec.id));
+            used += spec.size;
+            stats.insertions += 1;
+            // Rebuild once stale slots dominate, bounding memory at
+            // O(resident) even on hit-heavy traces.
+            if heap.len() > 64 && heap.len() > 4 * resident.len() {
+                heap = resident
+                    .iter()
+                    .map(|(&id, &(_, nu, seq))| (nu, Reverse(seq), id))
+                    .collect();
+            }
+        }
+        OracleReplay {
+            report: ReplayReport {
+                stats,
+                total_miss_cost: miss_cost,
+                requests: trace.len(),
+            },
+            victims,
+        }
+    }
+
+    /// Retained `O(n)`-scan Belady reference: identical semantics (and
+    /// tie-break) to [`Workload::replay_optimal_trace`], finding each
+    /// victim by a full scan over the resident set. Kept as the ground
+    /// truth the heap engine is property-tested against.
+    pub fn replay_optimal_reference(capacity: usize, trace: &[ModelSpec]) -> OracleReplay {
+        use std::cmp::Reverse;
+        let next_use = Self::next_uses(trace);
+
+        let mut resident: std::collections::HashMap<u64, (ModelSpec, usize, u64)> =
+            std::collections::HashMap::new();
+        let mut next_seq = 0u64;
+        let mut used = 0usize;
+        let mut stats = CacheStats::default();
+        let mut miss_cost = 0.0;
+        let mut victims = Vec::new();
+
+        for (i, spec) in trace.iter().enumerate() {
             if let Some(entry) = resident.get_mut(&spec.id) {
                 stats.hits += 1;
                 entry.1 = next_use[i];
@@ -194,27 +307,44 @@ impl Workload {
                 continue;
             }
             while used + spec.size > capacity {
-                // Evict the resident entry with the farthest next use.
+                // Farthest next use; ties toward the oldest insertion.
                 let victim = *resident
                     .iter()
-                    .max_by_key(|(_, (_, nu))| *nu)
+                    .max_by_key(|(_, &(_, nu, seq))| (nu, Reverse(seq)))
                     .map(|(id, _)| id)
                     .expect("over capacity implies non-empty residency");
-                let (vspec, _) = resident.remove(&victim).expect("victim resident");
+                let (vspec, _, _) = resident.remove(&victim).expect("victim resident");
                 used -= vspec.size;
                 stats.evictions += 1;
                 stats.bytes_evicted += vspec.size as u64;
+                victims.push(victim);
             }
-            resident.insert(spec.id, (*spec, next_use[i]));
+            let seq = next_seq;
+            next_seq += 1;
+            resident.insert(spec.id, (*spec, next_use[i], seq));
             used += spec.size;
             stats.insertions += 1;
         }
-        ReplayReport {
-            stats,
-            total_miss_cost: miss_cost,
-            requests: n_requests,
+        OracleReplay {
+            report: ReplayReport {
+                stats,
+                total_miss_cost: miss_cost,
+                requests: trace.len(),
+            },
+            victims,
         }
     }
+}
+
+/// Outcome of an oracle replay: the aggregate report plus the exact
+/// victim sequence, so the heap and scan engines can be asserted
+/// identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleReplay {
+    /// Aggregate statistics, as in [`ReplayReport`].
+    pub report: ReplayReport,
+    /// Evicted model ids, in eviction order.
+    pub victims: Vec<u64>,
 }
 
 /// Outcome of a workload replay.

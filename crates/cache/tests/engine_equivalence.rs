@@ -1,0 +1,151 @@
+//! Fast-engine vs. reference-scan equivalence.
+//!
+//! The `O(log n)` heap / `O(1)` list engines must emit the *identical
+//! victim sequence* as the retained `O(n)` `ScoreBoard` scans — including
+//! the documented insertion-sequence tie-break — across random
+//! insert/access/remove interleavings, and the lazy max-heap Belady
+//! oracle must match the reference residency scan victim-for-victim.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use semcom_cache::policy::{self, reference, EvictionPolicy};
+use semcom_cache::workload::Workload;
+use semcom_cache::{CacheStats, InsertOutcome, ModelCache};
+use semcom_nn::rng::seeded_rng;
+
+/// One random cache operation: `(op, key, size)` with `op % 3`
+/// selecting insert / get / remove.
+type Op = (u8, u16, u8);
+
+/// Replays an op stream against a small cache, logging every eviction in
+/// order plus the final resident set and statistics.
+fn run_engine<P>(policy: P, ops: &[Op]) -> (Vec<u16>, Vec<u16>, CacheStats)
+where
+    P: EvictionPolicy<u16> + Send + 'static,
+{
+    let mut cache: ModelCache<u16, ()> = ModelCache::new(64, Box::new(policy));
+    let mut evictions = Vec::new();
+    for &(op, key, size) in ops {
+        let key = key % 32;
+        // Size and cost are deterministic in the op/key so both engines
+        // observe identical metadata.
+        let size = (size % 8 + 1) as usize;
+        let cost = f64::from(key % 7 + 1);
+        match op % 3 {
+            0 => {
+                if let InsertOutcome::Inserted { evicted } = cache.insert(key, (), size, cost) {
+                    evictions.extend(evicted);
+                }
+            }
+            1 => {
+                let _ = cache.get(&key);
+            }
+            _ => {
+                let _ = cache.remove(&key);
+            }
+        }
+    }
+    let mut resident: Vec<u16> = cache.keys().copied().collect();
+    resident.sort_unstable();
+    (evictions, resident, *cache.stats())
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    vec((any::<u8>(), any::<u16>(), any::<u8>()), 1..400)
+}
+
+proptest! {
+    #[test]
+    fn fifo_matches_reference(ops in ops_strategy()) {
+        prop_assert_eq!(
+            run_engine(policy::Fifo::new(), &ops),
+            run_engine(reference::Fifo::new(), &ops)
+        );
+    }
+
+    #[test]
+    fn lru_matches_reference(ops in ops_strategy()) {
+        prop_assert_eq!(
+            run_engine(policy::Lru::new(), &ops),
+            run_engine(reference::Lru::new(), &ops)
+        );
+    }
+
+    #[test]
+    fn slru_matches_reference(ops in ops_strategy()) {
+        prop_assert_eq!(
+            run_engine(policy::SLru::new(), &ops),
+            run_engine(reference::SLru::new(), &ops)
+        );
+    }
+
+    #[test]
+    fn lfu_matches_reference(ops in ops_strategy()) {
+        prop_assert_eq!(
+            run_engine(policy::Lfu::new(), &ops),
+            run_engine(reference::Lfu::new(), &ops)
+        );
+    }
+
+    #[test]
+    fn gdsf_matches_reference(ops in ops_strategy()) {
+        prop_assert_eq!(
+            run_engine(policy::Gdsf::new(), &ops),
+            run_engine(reference::Gdsf::new(), &ops)
+        );
+    }
+
+    #[test]
+    fn semantic_cost_matches_reference(ops in ops_strategy()) {
+        prop_assert_eq!(
+            run_engine(policy::SemanticCost::new(), &ops),
+            run_engine(reference::SemanticCost::new(), &ops)
+        );
+    }
+
+    #[test]
+    fn belady_heap_matches_reference_scan(
+        seed in any::<u64>(),
+        n_users in 10usize..80,
+        alpha_tenths in 4u8..14,
+        capacity in 500_000usize..4_000_000,
+    ) {
+        let w = Workload::standard(2, n_users, f64::from(alpha_tenths) / 10.0);
+        let trace = w.draw_trace(600, &mut seeded_rng(seed));
+        let fast = Workload::replay_optimal_trace(capacity, &trace);
+        let reference = Workload::replay_optimal_reference(capacity, &trace);
+        prop_assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn workload_replay_matches_reference_policies(seed in any::<u64>()) {
+        let w = Workload::standard(4, 60, 0.9);
+        let trace = w.draw_trace(800, &mut seeded_rng(seed));
+        for capacity in [1_000_000usize, 3_000_000] {
+            prop_assert_eq!(
+                Workload::replay_trace(capacity, policy::Fifo::new(), &trace),
+                Workload::replay_trace(capacity, reference::Fifo::new(), &trace)
+            );
+            prop_assert_eq!(
+                Workload::replay_trace(capacity, policy::Lru::new(), &trace),
+                Workload::replay_trace(capacity, reference::Lru::new(), &trace)
+            );
+            prop_assert_eq!(
+                Workload::replay_trace(capacity, policy::Lfu::new(), &trace),
+                Workload::replay_trace(capacity, reference::Lfu::new(), &trace)
+            );
+            prop_assert_eq!(
+                Workload::replay_trace(capacity, policy::SLru::new(), &trace),
+                Workload::replay_trace(capacity, reference::SLru::new(), &trace)
+            );
+            prop_assert_eq!(
+                Workload::replay_trace(capacity, policy::Gdsf::new(), &trace),
+                Workload::replay_trace(capacity, reference::Gdsf::new(), &trace)
+            );
+            prop_assert_eq!(
+                Workload::replay_trace(capacity, policy::SemanticCost::new(), &trace),
+                Workload::replay_trace(capacity, reference::SemanticCost::new(), &trace)
+            );
+        }
+    }
+}

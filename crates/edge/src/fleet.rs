@@ -13,7 +13,7 @@ use crate::metrics::LatencySummary;
 use crate::placement::MessageCost;
 use crate::topology::Topology;
 use rand::Rng;
-use semcom_cache::policy::Lru;
+use semcom_cache::policy::{EvictionPolicy, Lru};
 use semcom_cache::workload::{ModelSpec, Workload};
 use semcom_cache::ModelCache;
 use semcom_nn::rng::seeded_rng;
@@ -160,8 +160,19 @@ impl FleetSim {
         FleetSim { config, topology }
     }
 
-    /// Replays the workload.
+    /// Replays the workload with per-edge LRU caches.
     pub fn run(&self, seed: u64) -> FleetReport {
+        self.run_with_policy(seed, Lru::new)
+    }
+
+    /// Replays the workload with a caller-chosen eviction policy;
+    /// `make_policy` builds one fresh policy per edge. The arrival
+    /// process is identical to [`FleetSim::run`] for the same seed.
+    pub fn run_with_policy<P, F>(&self, seed: u64, make_policy: F) -> FleetReport
+    where
+        P: EvictionPolicy<u64> + Send + 'static,
+        F: Fn() -> P,
+    {
         let cfg = &self.config;
         let workload = Workload::standard(cfg.n_domains, cfg.n_users, cfg.zipf_alpha);
         let mut rng = seeded_rng(seed);
@@ -181,7 +192,7 @@ impl FleetSim {
         let mut world = World {
             edges: (0..cfg.n_edges)
                 .map(|_| EdgeState {
-                    cache: ModelCache::new(cfg.capacity_bytes, Box::new(Lru::new())),
+                    cache: ModelCache::new(cfg.capacity_bytes, Box::new(make_policy())),
                     free_at: 0.0,
                     busy_time: 0.0,
                 })
@@ -320,6 +331,24 @@ mod tests {
         let a = sim(Assignment::Sticky).run(7);
         let b = sim(Assignment::Sticky).run(7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_with_policy_lru_matches_run() {
+        let a = sim(Assignment::Sticky).run(5);
+        let b = sim(Assignment::Sticky).run_with_policy(5, Lru::new);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cost_aware_fleet_runs() {
+        use semcom_cache::policy::SemanticCost;
+        let r = sim(Assignment::Sticky).run_with_policy(5, SemanticCost::new);
+        assert!(
+            r.hit_rate > 0.0 && r.hit_rate < 1.0,
+            "hit rate {}",
+            r.hit_rate
+        );
     }
 
     #[test]

@@ -18,15 +18,18 @@ echo "=== cargo test ==="
 cargo test --workspace -q
 
 echo "=== bench smoke (criterion --test mode) ==="
-# Runs every channel bench routine exactly once (no sampling), so the
-# legacy/packed bench pairs can't bit-rot without failing CI.
+# Runs every channel and cache bench routine exactly once (no sampling),
+# so the fast/reference bench pairs can't bit-rot without failing CI.
 cargo bench -p semcom-bench --bench channel -- --test
+cargo bench -p semcom-bench --bench cache -- --test
 
-echo "=== PHY determinism goldens ==="
-# The packed channel hot path must stay byte-identical to the pre-refactor
-# figures. Goldens were recorded at SEMCOM_THREADS=1 (F2's semantic-leg
-# columns are thread-count-dependent; see CHANGES.md for PR 1).
-for fig in f2_snr_sweep f6_channel_ablation; do
+echo "=== determinism goldens ==="
+# The packed channel hot path and the O(log n)/O(1) cache engine must stay
+# byte-identical to the recorded figures. Goldens were recorded at
+# SEMCOM_THREADS=1 (F2's semantic-leg columns are thread-count-dependent;
+# see CHANGES.md for PR 1; F4 is worker-count-invariant by construction
+# and additionally asserted by crates/bench/tests/f4_workers.rs).
+for fig in f2_snr_sweep f6_channel_ablation f4_cache_sweep; do
     SEMCOM_THREADS=1 "./target/release/$fig" | diff -u "tests/goldens/$fig.stdout" - \
         || { echo "ci: $fig output diverged from golden" >&2; exit 1; }
     echo "$fig matches golden"
