@@ -1,7 +1,9 @@
 //! Criterion microbenchmarks for the decoder-sync wire protocol.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use semcom_fl::{DecoderSync, SyncProtocol, SyncUpdate};
+use semcom_fl::{
+    param_digest, DecoderSync, SyncFrame, SyncProtocol, SyncReceiver, SyncSender, SyncUpdate,
+};
 use semcom_nn::params::ParamVec;
 
 fn fixture(n: usize) -> (ParamVec, ParamVec) {
@@ -41,6 +43,36 @@ fn bench_sync(c: &mut Criterion) {
     let wire = update.to_bytes();
     c.bench_function("sync/deserialize_dense_12k", |b| {
         b.iter(|| SyncUpdate::from_bytes(std::hint::black_box(&wire)).expect("valid wire"))
+    });
+
+    // Fault-tolerant transport path (PR 4): the per-frame costs the
+    // hardened session adds on top of the raw update wire format.
+    c.bench_function("sync/param_digest_12k", |b| {
+        b.iter(|| param_digest(std::hint::black_box(&after)))
+    });
+
+    c.bench_function("sync/frame_encode_dense_12k", |b| {
+        let mut sender = SyncSender::new(SyncProtocol::DenseDelta, before.clone());
+        let frame = sender.next_frame(&after);
+        b.iter(|| std::hint::black_box(&frame).to_bytes())
+    });
+
+    c.bench_function("sync/receiver_verify_apply_dense_12k", |b| {
+        // One frame moving `before` -> `after`; each iteration re-verifies
+        // and commits on a fresh receiver (clone + apply + digest check).
+        let mut sender = SyncSender::new(SyncProtocol::DenseDelta, before.clone());
+        let bytes = sender.next_frame(&after).to_bytes();
+        b.iter(|| {
+            let mut receiver = SyncReceiver::new();
+            let mut params = before.clone();
+            std::hint::black_box(receiver.receive(&bytes, &mut params))
+        })
+    });
+
+    c.bench_function("sync/frame_decode_dense_12k", |b| {
+        let mut sender = SyncSender::new(SyncProtocol::DenseDelta, before.clone());
+        let bytes = sender.next_frame(&after).to_bytes();
+        b.iter(|| SyncFrame::from_bytes(std::hint::black_box(&bytes)).expect("valid frame"))
     });
 }
 

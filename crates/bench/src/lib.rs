@@ -23,6 +23,7 @@
 //! | `f11_video_codec` | CNN motion KB vs per-frame pixels (multimodal, video) |
 //! | `f12_fleet_balancing` | multi-edge assignment: locality vs load balance |
 //! | `t6_lossy_sync` | decoder sync over an unreliable link |
+//! | `t7_fault_sweep` | fault-tolerant sync transport: fault rate vs divergence/resyncs/overhead |
 //!
 //! Run all with `scripts/run_all_experiments.sh` or individually:
 //!

@@ -50,6 +50,7 @@ mod arq;
 mod bits;
 mod channel;
 mod complex;
+mod fault;
 mod modulation;
 mod pipeline;
 
@@ -61,6 +62,7 @@ pub use channel::{
     AwgnChannel, BinarySymmetricChannel, Channel, ErasureChannel, NoiselessChannel, RayleighChannel,
 };
 pub use complex::Complex;
+pub use fault::{FaultConfig, FaultStats, FaultyChannel, FaultyLink};
 pub use modulation::Modulation;
 pub use pipeline::{BitPipeline, TransmitScratch};
 

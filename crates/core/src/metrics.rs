@@ -52,6 +52,11 @@ pub struct SystemMetrics {
     pub payload_symbols: u64,
     /// Bytes spent on decoder synchronization (§II-D traffic).
     pub sync_bytes: u64,
+    /// Sync frames the receiver edge rejected (decode failure, sequence
+    /// gap, digest mismatch) before recovery kicked in.
+    pub sync_rejected: u64,
+    /// Full-model resyncs triggered by rejected or undeliverable updates.
+    pub sync_resyncs: u64,
     /// User-model training rounds run.
     pub trainings: u64,
     /// Messages encoded with a cached user-specific model.

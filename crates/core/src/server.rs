@@ -1,41 +1,15 @@
 use semcom_cache::policy::SemanticCost;
 use semcom_cache::{CacheStats, ModelCache};
 use semcom_codec::KnowledgeBase;
-use semcom_fl::{DecoderSync, DomainBuffer, SyncProtocol, SyncUpdate};
+use semcom_fl::{
+    DomainBuffer, SyncProtocol, SyncReceiver, SyncSender, SyncVerdict, TransportStats,
+};
 use semcom_nn::params::ParamVec;
 use semcom_text::Domain;
 use std::collections::HashMap;
 
 /// A `(user, domain)` model key — the unit of user-specific caching.
 pub type UserKey = (u64, Domain);
-
-/// Sender-side synchronization state for one user model (§II-D).
-#[derive(Debug)]
-pub(crate) struct SessionState {
-    sync: DecoderSync,
-    /// Receiver's decoder parameters as of the last sync.
-    last_synced: ParamVec,
-}
-
-impl SessionState {
-    pub(crate) fn new(protocol: SyncProtocol, baseline: ParamVec) -> Self {
-        SessionState {
-            sync: DecoderSync::new(protocol),
-            last_synced: baseline,
-        }
-    }
-
-    /// Builds the wire update advancing the receiver to `after`.
-    pub(crate) fn make_update(&mut self, after: &ParamVec) -> SyncUpdate {
-        let update = self.sync.make_update(&self.last_synced, after);
-        self.last_synced = after.clone();
-        update
-    }
-
-    pub(crate) fn bytes_sent(&self) -> u64 {
-        self.sync.bytes_sent()
-    }
-}
 
 /// One edge server of the paper's Fig. 1.
 ///
@@ -52,8 +26,12 @@ pub struct EdgeServer {
     user_decoders: HashMap<UserKey, KnowledgeBase>,
     /// Sender role: per-user-per-domain mismatch buffers.
     buffers: HashMap<UserKey, DomainBuffer>,
-    /// Sender role: sync sessions.
-    sessions: HashMap<UserKey, SessionState>,
+    /// Sender role: sequence-numbered sync sessions.
+    sessions: HashMap<UserKey, SyncSender>,
+    /// Receiver role: validating sync sessions, one per user decoder.
+    receivers: HashMap<UserKey, SyncReceiver>,
+    /// Sender role: aggregate transport counters (frames, bytes, resyncs).
+    transport: TransportStats,
 }
 
 impl std::fmt::Debug for EdgeServer {
@@ -80,6 +58,8 @@ impl EdgeServer {
             user_decoders: HashMap::new(),
             buffers: HashMap::new(),
             sessions: HashMap::new(),
+            receivers: HashMap::new(),
+            transport: TransportStats::default(),
         }
     }
 
@@ -144,14 +124,41 @@ impl EdgeServer {
         self.user_decoders.get_mut(key)
     }
 
-    /// Receiver role: installs the baseline user decoder.
+    /// Receiver role: installs the baseline user decoder and starts a
+    /// fresh validating sync session for it (expected sequence number 0 —
+    /// the sender session is recreated alongside, so both stay aligned).
     pub fn install_user_decoder(&mut self, key: UserKey, kb: KnowledgeBase) {
         self.user_decoders.insert(key, kb);
+        self.receivers.insert(key, SyncReceiver::new());
     }
 
-    /// Receiver role: drops a user decoder (its sender model was evicted).
+    /// Receiver role: drops a user decoder (its sender model was evicted)
+    /// and the sync session tracking it.
     pub fn drop_user_decoder(&mut self, key: &UserKey) {
         self.user_decoders.remove(key);
+        self.receivers.remove(key);
+    }
+
+    /// Receiver role: validates a sync frame for `key` and, only if every
+    /// check passes (decode, sequence, layout, digest), applies it to the
+    /// user decoder. Returns `None` if no decoder is installed for `key`.
+    pub fn receive_sync(&mut self, key: &UserKey, frame_bytes: &[u8]) -> Option<SyncVerdict> {
+        let kb = self.user_decoders.get_mut(key)?;
+        let receiver = self.receivers.entry(*key).or_default();
+        let mut params = ParamVec::values_of(&kb.decoder.params_mut());
+        let verdict = receiver.receive(frame_bytes, &mut params);
+        if matches!(verdict, SyncVerdict::Applied { .. }) {
+            params
+                .assign_to(&mut kb.decoder.params_mut())
+                .expect("receive() only commits layout-checked states");
+            kb.bump_version();
+        }
+        Some(verdict)
+    }
+
+    /// Receiver role: the validating sync session for a key, if any.
+    pub fn sync_receiver(&self, key: &UserKey) -> Option<&SyncReceiver> {
+        self.receivers.get(key)
     }
 
     /// Number of receiver-side user decoders.
@@ -181,19 +188,33 @@ impl EdgeServer {
         key: UserKey,
         protocol: SyncProtocol,
         baseline: impl FnOnce() -> ParamVec,
-    ) -> &mut SessionState {
+    ) -> &mut SyncSender {
         self.sessions
             .entry(key)
-            .or_insert_with(|| SessionState::new(protocol, baseline()))
+            .or_insert_with(|| SyncSender::new(protocol, baseline()))
+    }
+
+    pub(crate) fn session_mut(&mut self, key: &UserKey) -> Option<&mut SyncSender> {
+        self.sessions.get_mut(key)
     }
 
     pub(crate) fn drop_session(&mut self, key: &UserKey) {
         self.sessions.remove(key);
     }
 
-    /// Total decoder-sync bytes shipped by this server.
+    /// Sender role: aggregate sync-transport counters.
+    pub fn transport_stats(&self) -> &TransportStats {
+        &self.transport
+    }
+
+    pub(crate) fn transport_mut(&mut self) -> &mut TransportStats {
+        &mut self.transport
+    }
+
+    /// Total decoder-sync bytes shipped by this server (frame bytes put on
+    /// the wire, headers and resyncs included).
     pub fn total_sync_bytes(&self) -> u64 {
-        self.sessions.values().map(SessionState::bytes_sent).sum()
+        self.transport.wire_bytes
     }
 
     /// Simulates a server restart: all volatile state — cached user models,
@@ -205,5 +226,6 @@ impl EdgeServer {
         self.user_decoders.clear();
         self.buffers.clear();
         self.sessions.clear();
+        self.receivers.clear();
     }
 }

@@ -139,6 +139,16 @@ impl SemanticEdgeSystem {
         &self.servers[i]
     }
 
+    /// Mutable access to a specific edge server (e.g. to feed received
+    /// sync frames in through [`EdgeServer::receive_sync`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= edge_count()`.
+    pub fn edge_mut(&mut self, i: usize) -> &mut EdgeServer {
+        &mut self.servers[i]
+    }
+
     /// The default sender edge (server 0) — convenience for the two-edge
     /// topology.
     pub fn sender_edge(&self) -> &EdgeServer {
@@ -422,7 +432,11 @@ impl SemanticEdgeSystem {
         let mut trainer = Trainer::new(self.config.finetune);
         trainer.fit_pairs(&mut kb, &pairs, derive_seed(self.seed, 3_000_000 + msg_idx));
 
-        // Decoder gradient/delta to the peer (§II-D).
+        // Decoder gradient/delta to the peer (§II-D), carried as a
+        // validated sync frame: the receiver edge checks decode, sequence,
+        // layout, and the rolling parameter digest before committing, and a
+        // rejected frame triggers graceful degradation to a full-model
+        // resync instead of silent drift.
         let after = ParamVec::values_of(&kb.decoder.params_mut());
         let protocol = self.config.sync_protocol;
         let baseline = {
@@ -431,18 +445,54 @@ impl SemanticEdgeSystem {
                 .expect("baseline installed above");
             ParamVec::values_of(&receiver.decoder.params_mut())
         };
-        let update = self.servers[home]
+        let frame = self.servers[home]
             .session_entry(key, protocol, || baseline)
-            .make_update(&after);
-        let bytes = update.wire_bytes();
-        {
-            let receiver = self.servers[peer]
-                .user_decoder_mut(&key)
+            .next_frame(&after);
+        let frame_bytes = frame.to_bytes();
+        let mut bytes = frame_bytes.len();
+        let verdict = self.servers[peer]
+            .receive_sync(&key, &frame_bytes)
+            .expect("baseline installed above");
+        let applied = matches!(verdict, semcom_fl::SyncVerdict::Applied { .. });
+        if applied {
+            self.servers[home]
+                .session_mut(&key)
+                .expect("session created above")
+                .confirm();
+        } else {
+            // The update was rejected (corrupt, out of sequence, or the
+            // session desynced): fall back to shipping the full model.
+            self.metrics.sync_rejected += 1;
+            self.metrics.sync_resyncs += 1;
+            let resync = self.servers[home]
+                .session_mut(&key)
+                .expect("session created above")
+                .resync_frame(&after);
+            let resync_bytes = resync.to_bytes();
+            bytes += resync_bytes.len();
+            let verdict = self.servers[peer]
+                .receive_sync(&key, &resync_bytes)
                 .expect("baseline installed above");
-            update
-                .apply(&mut receiver.decoder.params_mut())
-                .expect("sender and receiver decoders share one architecture");
-            receiver.bump_version();
+            if matches!(verdict, semcom_fl::SyncVerdict::Applied { .. }) {
+                self.servers[home]
+                    .session_mut(&key)
+                    .expect("session created above")
+                    .confirm();
+            } else {
+                // Even the resync was refused (e.g. the receiver session
+                // was poisoned into expecting a future sequence number):
+                // tear the session down and reinstall the decoder outright,
+                // the same re-baseline path used after a receiver restart.
+                self.servers[home].drop_session(&key);
+                self.servers[peer].install_user_decoder(key, kb.clone());
+            }
+        }
+        let t = self.servers[home].transport_mut();
+        t.rounds += 1;
+        t.frames_sent += if applied { 1 } else { 2 };
+        t.wire_bytes += bytes as u64;
+        if !applied {
+            t.resyncs += 1;
         }
 
         // Cache the trained model; cost = estimated re-establishment time.
@@ -695,6 +745,130 @@ mod tests {
         // Sync re-established a receiver decoder and accuracy is healthy.
         assert!(s.receiver_edge().user_decoder(&(u, Domain::News)).is_some());
         assert!(s.probe_accuracy(u, 20, 5) > 0.75);
+    }
+
+    #[test]
+    fn tampered_sync_frames_are_rejected_without_poisoning_state() {
+        use semcom_fl::{param_digest, SyncFrame, SyncReject, SyncUpdate, SyncVerdict};
+        let mut s = system();
+        let u = s.register_user(Domain::News, 2.0);
+        for _ in 0..60 {
+            s.send_message(u);
+        }
+        let key = (u, Domain::News);
+        let before = {
+            let kb = s
+                .edge_mut(1)
+                .user_decoder_mut(&key)
+                .expect("decoder synced");
+            ParamVec::values_of(&kb.decoder.params_mut())
+        };
+        let expected = s
+            .edge(1)
+            .sync_receiver(&key)
+            .expect("session live")
+            .expected_seq();
+
+        // An in-sequence delta whose digest does not vouch for the result:
+        // must be rejected by the digest check, receiver state untouched.
+        let mut delta = before.zeros_like();
+        delta.as_mut_slice()[0] = 0.5;
+        let forged = SyncFrame {
+            seq: expected,
+            digest: 0xBAD_C0DE,
+            update: SyncUpdate::Delta(delta),
+        };
+        let verdict = s
+            .edge_mut(1)
+            .receive_sync(&key, &forged.to_bytes())
+            .unwrap();
+        assert_eq!(verdict, SyncVerdict::Rejected(SyncReject::DigestMismatch));
+
+        // Undecodable garbage is rejected at the wire layer.
+        let verdict = s
+            .edge_mut(1)
+            .receive_sync(&key, &[0x00, 0x01, 0x02])
+            .unwrap();
+        assert!(matches!(
+            verdict,
+            SyncVerdict::Rejected(SyncReject::Decode(_))
+        ));
+
+        let after = {
+            let kb = s
+                .edge_mut(1)
+                .user_decoder_mut(&key)
+                .expect("decoder synced");
+            ParamVec::values_of(&kb.decoder.params_mut())
+        };
+        assert_eq!(param_digest(&before), param_digest(&after));
+        let r = s.edge(1).sync_receiver(&key).unwrap().stats();
+        assert!(r.rej_digest >= 1 && r.rej_decode >= 1, "{r:?}");
+    }
+
+    #[test]
+    fn poisoned_receiver_session_recovers_and_counts_resyncs() {
+        use semcom_fl::{param_digest, SyncFrame, SyncUpdate, SyncVerdict};
+        let mut s = system();
+        let u = s.register_user(Domain::News, 2.0);
+        let mut trained_once = false;
+        for _ in 0..60 {
+            trained_once |= s.send_message(u).trained;
+        }
+        assert!(trained_once, "no training in 60 messages");
+        let key = (u, Domain::News);
+
+        // Poison the receiver session: a forged full frame far ahead in
+        // sequence space (with a self-consistent digest) re-anchors the
+        // receiver at seq 10_000, so the sender's next genuine update
+        // looks stale.
+        let params = {
+            let kb = s
+                .edge_mut(1)
+                .user_decoder_mut(&key)
+                .expect("decoder synced");
+            ParamVec::values_of(&kb.decoder.params_mut())
+        };
+        let forged = SyncFrame {
+            seq: 9_999,
+            digest: param_digest(&params),
+            update: SyncUpdate::Full(params),
+        };
+        let verdict = s
+            .edge_mut(1)
+            .receive_sync(&key, &forged.to_bytes())
+            .unwrap();
+        assert!(matches!(verdict, SyncVerdict::Applied { full: true, .. }));
+
+        // Subsequent traffic hits the stale-rejection, escalates through
+        // the resync fallback, and ultimately re-baselines the session —
+        // all without panicking, and the metrics record the repair.
+        let rejected_before = s.metrics().sync_rejected;
+        let mut trained_again = false;
+        for _ in 0..80 {
+            trained_again |= s.send_message(u).trained;
+        }
+        assert!(trained_again, "no training after poisoning");
+        let m = s.metrics();
+        assert!(m.sync_rejected > rejected_before, "{m:?}");
+        assert!(m.sync_resyncs > 0, "{m:?}");
+        // The session healed: sender shadow and receiver decoder agree.
+        let rx = {
+            let kb = s
+                .edge_mut(1)
+                .user_decoder_mut(&key)
+                .expect("decoder synced");
+            ParamVec::values_of(&kb.decoder.params_mut())
+        };
+        let shadow_digest = {
+            let home = s.edge_mut(0);
+            home.session_mut(&key)
+                .map(|sess| param_digest(sess.shadow()))
+        };
+        if let Some(d) = shadow_digest {
+            assert_eq!(d, param_digest(&rx));
+        }
+        assert!(s.probe_accuracy(u, 20, 5) > 0.7);
     }
 
     #[test]

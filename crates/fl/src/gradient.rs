@@ -1,5 +1,41 @@
 use semcom_nn::params::ParamVec;
 use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors rebuilding a gradient from untrusted wire parts.
+///
+/// Every variant corresponds to a malformed input that a corrupted or
+/// crafted transmission can produce; the constructors reject them instead
+/// of building a gradient whose later `to_dense()` would panic or whose
+/// accounting would silently be wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GradientError {
+    /// `indices` and `values` have different lengths.
+    CountMismatch,
+    /// An index points past the total element count of the layout.
+    IndexOutOfRange,
+    /// The same index appears more than once (last-write-wins application
+    /// and over-counted wire bytes otherwise).
+    DuplicateIndex,
+    /// The value count does not match the total element count of the
+    /// declared layout.
+    LayoutMismatch,
+}
+
+impl fmt::Display for GradientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GradientError::CountMismatch => write!(f, "index/value count mismatch"),
+            GradientError::IndexOutOfRange => write!(f, "index out of range"),
+            GradientError::DuplicateIndex => write!(f, "duplicate index"),
+            GradientError::LayoutMismatch => write!(f, "value count does not match layout"),
+        }
+    }
+}
+
+impl Error for GradientError {}
 
 /// A top-k sparsified parameter delta: only the `k` largest-magnitude
 /// entries are transmitted, as `(index, value)` pairs.
@@ -51,19 +87,24 @@ impl SparseGradient {
     ///
     /// # Errors
     ///
-    /// Returns an error string if any index is out of range or the counts
-    /// disagree.
+    /// Returns [`GradientError`] if the counts disagree, any index is out
+    /// of range, or an index repeats.
     pub fn from_entries(
         shapes: Vec<(usize, usize)>,
         indices: Vec<u32>,
         values: Vec<f32>,
-    ) -> Result<Self, &'static str> {
+    ) -> Result<Self, GradientError> {
         let total_len: usize = shapes.iter().map(|(r, c)| r * c).sum();
         if indices.len() != values.len() {
-            return Err("index/value count mismatch");
+            return Err(GradientError::CountMismatch);
         }
         if indices.iter().any(|&i| i as usize >= total_len) {
-            return Err("index out of range");
+            return Err(GradientError::IndexOutOfRange);
+        }
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(GradientError::DuplicateIndex);
         }
         Ok(SparseGradient {
             shapes,
@@ -102,8 +143,18 @@ pub struct QuantizedGradient {
 
 impl QuantizedGradient {
     /// Quantizes a dense delta.
+    ///
+    /// The scale is derived from the largest **finite** magnitude, so a
+    /// stray `inf`/NaN entry (e.g. from a diverged training step) cannot
+    /// poison the whole update with an `inf`/NaN scale. Non-finite entries
+    /// themselves quantize to the saturation values (`±127` for `±inf`,
+    /// `0` for NaN).
     pub fn quantize(dense: &ParamVec) -> Self {
-        let max = dense.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let max = dense
+            .as_slice()
+            .iter()
+            .filter(|v| v.is_finite())
+            .fold(0.0f32, |m, &v| m.max(v.abs()));
         let scale = if max > 0.0 { max / 127.0 } else { 1.0 };
         QuantizedGradient {
             shapes: dense.shapes().to_vec(),
@@ -127,12 +178,27 @@ impl QuantizedGradient {
     }
 
     /// Rebuilds a quantized gradient from wire parts.
-    pub fn from_parts(shapes: Vec<(usize, usize)>, scale: f32, values: Vec<i8>) -> Self {
-        QuantizedGradient {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GradientError::LayoutMismatch`] if `values` does not hold
+    /// exactly one entry per element of the declared layout — the malformed
+    /// shape a corrupted tag-4 wire message produces, which would otherwise
+    /// panic later inside [`Self::to_dense`].
+    pub fn from_parts(
+        shapes: Vec<(usize, usize)>,
+        scale: f32,
+        values: Vec<i8>,
+    ) -> Result<Self, GradientError> {
+        let total_len: usize = shapes.iter().map(|(r, c)| r * c).sum();
+        if values.len() != total_len {
+            return Err(GradientError::LayoutMismatch);
+        }
+        Ok(QuantizedGradient {
             shapes,
             scale_bits: scale.to_bits(),
             values,
-        }
+        })
     }
 
     /// Reconstructs the (lossy) dense delta.
@@ -205,5 +271,67 @@ mod tests {
     fn quantized_wire_bytes_are_one_per_param() {
         let d = dense(&[1.0; 100]);
         assert_eq!(QuantizedGradient::quantize(&d).wire_bytes(), 120);
+    }
+
+    #[test]
+    fn sparse_from_entries_rejects_malformed_parts() {
+        // Count mismatch.
+        assert_eq!(
+            SparseGradient::from_entries(vec![(1, 4)], vec![0, 1], vec![1.0]),
+            Err(GradientError::CountMismatch)
+        );
+        // Out-of-range index.
+        assert_eq!(
+            SparseGradient::from_entries(vec![(1, 4)], vec![4], vec![1.0]),
+            Err(GradientError::IndexOutOfRange)
+        );
+        // Duplicate index: last-write-wins application and over-counted
+        // wire bytes — must be rejected, not silently accepted.
+        assert_eq!(
+            SparseGradient::from_entries(vec![(1, 4)], vec![2, 2], vec![1.0, -1.0]),
+            Err(GradientError::DuplicateIndex)
+        );
+        // A well-formed rebuild still works.
+        let ok = SparseGradient::from_entries(vec![(1, 4)], vec![1, 3], vec![0.5, -0.5]).unwrap();
+        assert_eq!(ok.to_dense().as_slice(), &[0.0, 0.5, 0.0, -0.5]);
+    }
+
+    #[test]
+    fn quantized_from_parts_rejects_layout_mismatch() {
+        // Too few values for the declared layout: the old constructor
+        // accepted this and `to_dense()` then died on the ParamVec layout
+        // expect. Now it is a decodable error.
+        assert_eq!(
+            QuantizedGradient::from_parts(vec![(2, 3)], 0.1, vec![1i8; 5]),
+            Err(GradientError::LayoutMismatch)
+        );
+        assert_eq!(
+            QuantizedGradient::from_parts(vec![(2, 3)], 0.1, vec![1i8; 7]),
+            Err(GradientError::LayoutMismatch)
+        );
+        let ok = QuantizedGradient::from_parts(vec![(2, 3)], 0.1, vec![1i8; 6]).unwrap();
+        assert_eq!(ok.to_dense().len(), 6); // must not panic
+    }
+
+    #[test]
+    fn quantize_survives_non_finite_entries() {
+        // Scale must come from the largest *finite* magnitude.
+        let d = dense(&[1.0, f32::INFINITY, -2.0, f32::NEG_INFINITY, f32::NAN]);
+        let q = QuantizedGradient::quantize(&d);
+        assert!(q.scale().is_finite(), "scale {}", q.scale());
+        assert!((q.scale() - 2.0 / 127.0).abs() < 1e-9);
+        // Pinned saturation behavior: +inf -> 127, -inf -> -127, NaN -> 0.
+        assert_eq!(q.values()[1], 127);
+        assert_eq!(q.values()[3], -127);
+        assert_eq!(q.values()[4], 0);
+        // Finite entries round-trip within half a step as usual.
+        let back = q.to_dense();
+        assert!((back.as_slice()[0] - 1.0).abs() <= q.scale() / 2.0 + 1e-6);
+        assert!((back.as_slice()[2] + 2.0).abs() <= q.scale() / 2.0 + 1e-6);
+        // All non-finite: falls back to the unit scale, everything finite.
+        let all_bad = dense(&[f32::NAN, f32::INFINITY]);
+        let q2 = QuantizedGradient::quantize(&all_bad);
+        assert_eq!(q2.scale(), 1.0);
+        assert!(q2.to_dense().as_slice().iter().all(|v| v.is_finite()));
     }
 }

@@ -50,9 +50,15 @@
 mod buffer;
 mod gradient;
 mod sync;
+mod transport;
 mod wire;
 
 pub use buffer::{BufferSample, DomainBuffer};
-pub use gradient::{QuantizedGradient, SparseGradient};
+pub use gradient::{GradientError, QuantizedGradient, SparseGradient};
 pub use sync::{DecoderSync, SyncProtocol, SyncUpdate};
+pub use transport::{
+    param_digest, run_sync_round, ArqLink, PerfectLink, ReceiverStats, RoundOutcome, SyncFrame,
+    SyncLink, SyncReceiver, SyncReject, SyncSender, SyncVerdict, TransportConfig, TransportStats,
+    FRAME_HEADER_BYTES, FRAME_MAGIC,
+};
 pub use wire::WireError;

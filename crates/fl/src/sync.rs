@@ -69,6 +69,44 @@ impl SyncUpdate {
             SyncUpdate::Quantized(q) => q.to_dense().add_scaled_to(params, 1.0),
         }
     }
+
+    /// Applies the update to a flattened parameter vector, elementwise in
+    /// the same order as [`SyncUpdate::apply`] (so both produce bit-identical
+    /// results — the transport digest depends on that).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ParamLayoutMismatch`] if `target`'s layout differs
+    /// from the update's.
+    pub fn apply_to_vec(&self, target: &mut ParamVec) -> Result<(), NnError> {
+        let add = |target: &mut ParamVec, delta: &ParamVec| {
+            if target.shapes() != delta.shapes() {
+                return Err(NnError::ParamLayoutMismatch {
+                    expected: target.len(),
+                    got: delta.len(),
+                });
+            }
+            for (t, &d) in target.as_mut_slice().iter_mut().zip(delta.as_slice()) {
+                *t += d;
+            }
+            Ok(())
+        };
+        match self {
+            SyncUpdate::Full(p) => {
+                if target.shapes() != p.shapes() {
+                    return Err(NnError::ParamLayoutMismatch {
+                        expected: target.len(),
+                        got: p.len(),
+                    });
+                }
+                target.as_mut_slice().copy_from_slice(p.as_slice());
+                Ok(())
+            }
+            SyncUpdate::Delta(p) => add(target, p),
+            SyncUpdate::Sparse(s) => add(target, &s.to_dense()),
+            SyncUpdate::Quantized(q) => add(target, &q.to_dense()),
+        }
+    }
 }
 
 /// Sender-side synchronization session: turns local training progress into

@@ -55,12 +55,20 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.pos + n > self.buf.len() {
+        if n > self.buf.len() - self.pos {
             return Err(WireError::Truncated);
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
+    }
+
+    /// Bytes left in the buffer — used to reject declared element counts
+    /// that cannot possibly fit *before* reserving memory for them, so a
+    /// corrupted header can never trigger a huge allocation (or a capacity
+    /// overflow abort) ahead of the inevitable `Truncated` error.
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     fn u8(&mut self) -> Result<u8, WireError> {
@@ -92,6 +100,10 @@ fn read_shapes(r: &mut Reader<'_>) -> Result<Vec<(usize, usize)>, WireError> {
     if n > 1_000_000 {
         return Err(WireError::BadLayout);
     }
+    // Each shape needs 8 bytes; a count that cannot fit is truncation.
+    if n > r.remaining() / 8 {
+        return Err(WireError::Truncated);
+    }
     let mut shapes = Vec::with_capacity(n);
     for _ in 0..n {
         let rows = r.u32()? as usize;
@@ -114,6 +126,10 @@ fn write_paramvec(out: &mut Vec<u8>, pv: &ParamVec) {
 fn read_paramvec(r: &mut Reader<'_>) -> Result<ParamVec, WireError> {
     let shapes = read_shapes(r)?;
     let total: usize = shapes.iter().map(|(a, b)| a * b).sum();
+    // 4 bytes per f32: reject impossible counts before allocating.
+    if total > r.remaining() / 4 {
+        return Err(WireError::Truncated);
+    }
     let mut data = Vec::with_capacity(total);
     for _ in 0..total {
         data.push(r.f32()?);
@@ -173,6 +189,10 @@ impl SyncUpdate {
                 if nnz > total {
                     return Err(WireError::BadLayout);
                 }
+                // Each entry needs 8 bytes (u32 index + f32 value).
+                if nnz > r.remaining() / 8 {
+                    return Err(WireError::Truncated);
+                }
                 let mut indices = Vec::with_capacity(nnz);
                 let mut values = Vec::with_capacity(nnz);
                 for _ in 0..nnz {
@@ -190,13 +210,17 @@ impl SyncUpdate {
                 if !scale.is_finite() {
                     return Err(WireError::BadLayout);
                 }
+                // One byte per quantized value.
+                if total > r.remaining() {
+                    return Err(WireError::Truncated);
+                }
                 let mut values = Vec::with_capacity(total);
                 for _ in 0..total {
                     values.push(r.u8()? as i8);
                 }
-                Ok(SyncUpdate::Quantized(QuantizedGradient::from_parts(
-                    shapes, scale, values,
-                )))
+                let quant = QuantizedGradient::from_parts(shapes, scale, values)
+                    .map_err(|_| WireError::BadLayout)?;
+                Ok(SyncUpdate::Quantized(quant))
             }
             t => Err(WireError::BadTag(t)),
         }
@@ -273,6 +297,44 @@ mod tests {
         // tag Full + n_shapes = u32::MAX.
         let mut buf = vec![1u8];
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(SyncUpdate::from_bytes(&buf), Err(WireError::BadLayout));
+    }
+
+    #[test]
+    fn huge_declared_payload_is_truncation_not_allocation() {
+        // tag Delta + one 10_000×10_000 shape (passes the element-count
+        // layout cap) but no data: must fail fast without reserving 400 MB.
+        let mut buf = vec![2u8];
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&10_000u32.to_le_bytes());
+        buf.extend_from_slice(&10_000u32.to_le_bytes());
+        assert_eq!(SyncUpdate::from_bytes(&buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn quantized_layout_mismatch_is_bad_layout() {
+        // tag Quantized + 1×4 shape + finite scale + only 2 of 4 values.
+        let mut buf = vec![4u8];
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(&1.0f32.to_le_bytes());
+        buf.extend_from_slice(&[1, 2]);
+        assert_eq!(SyncUpdate::from_bytes(&buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn sparse_duplicate_index_is_bad_layout() {
+        // tag Sparse + 1×4 shape + nnz=2 with the same index twice.
+        let mut buf = vec![3u8];
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        for _ in 0..2 {
+            buf.extend_from_slice(&1u32.to_le_bytes());
+            buf.extend_from_slice(&0.5f32.to_le_bytes());
+        }
         assert_eq!(SyncUpdate::from_bytes(&buf), Err(WireError::BadLayout));
     }
 

@@ -1,0 +1,138 @@
+//! Decode-never-panics fuzzing for the §II-D sync wire format.
+//!
+//! The transport feeds whatever the link hands it straight into
+//! [`SyncUpdate::from_bytes`] / [`SyncFrame::from_bytes`] — after a
+//! [`semcom_channel::FaultyLink`] that is adversarial garbage, not merely
+//! noisy data. These properties pin the decoder's total-function contract:
+//! every input, no matter how malformed, yields `Ok` or `Err` — never a
+//! panic, never an attempt to allocate a declared-but-absent payload — and
+//! every strict truncation of a valid encoding is rejected.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::Rng;
+use semcom_fl::{SyncFrame, SyncProtocol, SyncSender, SyncUpdate, FRAME_HEADER_BYTES};
+use semcom_nn::params::ParamVec;
+use semcom_nn::rng::seeded_rng;
+
+/// Builds a deterministic parameter vector from `seed`: 1–3 shapes, each up
+/// to 5x5, values in (-1, 1).
+fn param_vec(seed: u64) -> ParamVec {
+    let mut rng = seeded_rng(seed);
+    let n_shapes = 1 + (rng.gen::<u32>() % 3) as usize;
+    let shapes: Vec<(usize, usize)> = (0..n_shapes)
+        .map(|_| {
+            (
+                1 + (rng.gen::<u32>() % 5) as usize,
+                1 + (rng.gen::<u32>() % 5) as usize,
+            )
+        })
+        .collect();
+    let total: usize = shapes.iter().map(|&(r, c)| r * c).sum();
+    let data = (0..total)
+        .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) as f32)
+        .collect();
+    ParamVec::from_parts(shapes, data).expect("generated layout is consistent")
+}
+
+/// A valid frame under one of the four protocols, via the real sender path.
+fn valid_frame(seed: u64, proto: u8) -> SyncFrame {
+    let protocol = match proto % 4 {
+        0 => SyncProtocol::FullModel,
+        1 => SyncProtocol::DenseDelta,
+        2 => SyncProtocol::TopK(5),
+        _ => SyncProtocol::QuantizedInt8,
+    };
+    let initial = param_vec(seed);
+    let mut rng = seeded_rng(seed ^ 0xF00D);
+    let drifted = ParamVec::from_parts(
+        initial.shapes().to_vec(),
+        initial
+            .as_slice()
+            .iter()
+            .map(|v| v + (rng.gen::<f64>() - 0.5) as f32)
+            .collect(),
+    )
+    .expect("drift keeps layout");
+    SyncSender::new(protocol, initial).next_frame(&drifted)
+}
+
+proptest! {
+    // Arbitrary garbage: decoding is a total function.
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(data in vec(any::<u8>(), 0..512)) {
+        let _ = SyncUpdate::from_bytes(&data);
+        let _ = SyncFrame::from_bytes(&data);
+    }
+
+    // Valid encodings round-trip; every strict prefix is an error (the
+    // format never decodes "successfully" from half an update).
+    #[test]
+    fn valid_encodings_roundtrip_and_all_truncations_err(seed in any::<u64>(), proto in 0u8..4) {
+        let frame = valid_frame(seed, proto);
+        let frame_bytes = frame.to_bytes();
+        prop_assert_eq!(&SyncFrame::from_bytes(&frame_bytes).expect("valid frame"), &frame);
+        let update_bytes = &frame_bytes[FRAME_HEADER_BYTES..];
+        prop_assert_eq!(
+            &SyncUpdate::from_bytes(update_bytes).expect("valid update"),
+            &frame.update
+        );
+        for cut in 0..frame_bytes.len() {
+            prop_assert!(
+                SyncFrame::from_bytes(&frame_bytes[..cut]).is_err(),
+                "frame prefix of {cut}/{} decoded", frame_bytes.len()
+            );
+        }
+        for cut in 0..update_bytes.len() {
+            prop_assert!(
+                SyncUpdate::from_bytes(&update_bytes[..cut]).is_err(),
+                "update prefix of {cut}/{} decoded", update_bytes.len()
+            );
+        }
+    }
+
+    // Bit-flipped valid encodings: decode and (when it still decodes)
+    // applying to a matching-layout target must not panic either.
+    #[test]
+    fn mutated_encodings_never_panic(
+        seed in any::<u64>(),
+        flips in vec((any::<u64>(), 1u8..=255), 1..8),
+        proto in 0u8..4,
+    ) {
+        let frame = valid_frame(seed, proto);
+        let mut bytes = frame.to_bytes();
+        let len = bytes.len();
+        for &(pos, mask) in &flips {
+            bytes[(pos % len as u64) as usize] ^= mask;
+        }
+        if let Ok(f) = SyncFrame::from_bytes(&bytes) {
+            let mut target = param_vec(seed);
+            let _ = f.update.apply_to_vec(&mut target);
+        }
+        if let Ok(u) = SyncUpdate::from_bytes(&bytes[FRAME_HEADER_BYTES.min(len)..]) {
+            let mut target = param_vec(seed);
+            let _ = u.apply_to_vec(&mut target);
+        }
+    }
+}
+
+/// Exhaustive 1-byte and small fixed adversarial buffers — the cases a
+/// random fuzzer might miss: every possible tag byte alone, and headers
+/// declaring payloads far larger than the buffer.
+#[test]
+fn adversarial_headers_are_rejected_not_allocated() {
+    for tag in 0u8..=255 {
+        assert!(SyncUpdate::from_bytes(&[tag]).is_err());
+        assert!(SyncFrame::from_bytes(&[tag]).is_err());
+    }
+    // Delta claiming u32::MAX shapes with no shape data.
+    let mut huge = vec![2u8];
+    huge.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(SyncUpdate::from_bytes(&huge).is_err());
+    // A giant single shape (4B values declared, none present).
+    let mut wide = vec![2u8];
+    wide.extend_from_slice(&1u32.to_le_bytes());
+    wide.extend_from_slice(&65_535u32.to_le_bytes());
+    wide.extend_from_slice(&65_535u32.to_le_bytes());
+    assert!(SyncUpdate::from_bytes(&wide).is_err());
+}

@@ -22,14 +22,21 @@ echo "=== bench smoke (criterion --test mode) ==="
 # so the fast/reference bench pairs can't bit-rot without failing CI.
 cargo bench -p semcom-bench --bench channel -- --test
 cargo bench -p semcom-bench --bench cache -- --test
+cargo bench -p semcom-bench --bench sync -- --test
+
+echo "=== wire fuzz (decode-never-panics) ==="
+# Redundant with `cargo test --workspace` above but called out as its own
+# gate: the sync wire decoder must stay a total function (PR 4).
+cargo test -q -p semcom-fl --test wire_fuzz
 
 echo "=== determinism goldens ==="
 # The packed channel hot path and the O(log n)/O(1) cache engine must stay
 # byte-identical to the recorded figures. Goldens were recorded at
 # SEMCOM_THREADS=1 (F2's semantic-leg columns are thread-count-dependent;
 # see CHANGES.md for PR 1; F4 is worker-count-invariant by construction
-# and additionally asserted by crates/bench/tests/f4_workers.rs).
-for fig in f2_snr_sweep f6_channel_ablation f4_cache_sweep; do
+# and additionally asserted by crates/bench/tests/f4_workers.rs; T7 keeps
+# the trainer out of the loop and is thread-count-invariant by design).
+for fig in f2_snr_sweep f6_channel_ablation f4_cache_sweep t7_fault_sweep; do
     SEMCOM_THREADS=1 "./target/release/$fig" | diff -u "tests/goldens/$fig.stdout" - \
         || { echo "ci: $fig output diverged from golden" >&2; exit 1; }
     echo "$fig matches golden"

@@ -9,7 +9,7 @@
 //! tests) because `semcom-channel` itself forbids `unsafe_code`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
 
 use semcom_channel::coding::HammingCode74;
 use semcom_channel::{AwgnChannel, BitPipeline, BitVec, Modulation, TransmitScratch};
@@ -17,13 +17,24 @@ use semcom_nn::rng::seeded_rng;
 
 struct CountingAllocator;
 
-static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+// Counted per thread: the libtest harness allocates concurrently on its
+// own threads (output capture, bookkeeping), and a process-global counter
+// races those — the test would fail or pass depending on scheduler timing.
+// Only allocations made by the thread running the hot loop matter.
+thread_local! {
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
 
-// SAFETY: delegates directly to `System`; the counter is a relaxed atomic
-// increment with no other side effects.
+fn local_allocations() -> usize {
+    ALLOCATIONS.with(Cell::get)
+}
+
+// SAFETY: delegates directly to `System`; the counter update has no other
+// side effects. `try_with` tolerates calls before TLS initialization or
+// during thread teardown (the count is simply not recorded there).
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         System.alloc(layout)
     }
 
@@ -32,7 +43,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -55,13 +66,13 @@ fn warm_transmit_packed_does_not_allocate() {
         pipeline.transmit_packed(&bits, &channel, &mut rng, &mut scratch);
     }
 
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let before = local_allocations();
     let mut guard = 0usize;
     for _ in 0..50 {
         let out = pipeline.transmit_packed(&bits, &channel, &mut rng, &mut scratch);
         guard ^= out.count_ones();
     }
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    let after = local_allocations();
 
     assert_eq!(
         after - before,
