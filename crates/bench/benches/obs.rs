@@ -1,0 +1,133 @@
+//! Criterion microbenchmarks for the observability layer.
+//!
+//! Two questions are answered here, pinned by `BENCH_pr5.json`:
+//!
+//! 1. What does a single recorder operation cost? (`obs/span_*`,
+//!    `obs/hist_record`)
+//! 2. What overhead does an *enabled* recorder add to the real
+//!    instrumented hot paths? The `obs/packed_transmit_*` and
+//!    `obs/sync_round_*` pairs run the identical workload with the
+//!    recorder disabled vs enabled; the delta is the instrumentation tax
+//!    (required ≤ 5%).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use semcom_channel::coding::HammingCode74;
+use semcom_channel::{AwgnChannel, BitPipeline, BitVec, Modulation, TransmitScratch};
+use semcom_fl::{
+    run_sync_round_observed, SyncProtocol, SyncReceiver, SyncSender, TransportConfig,
+    TransportStats,
+};
+use semcom_nn::params::ParamVec;
+use semcom_nn::rng::seeded_rng;
+use semcom_obs::{Histogram, Recorder, Stage};
+
+fn bench_primitives(c: &mut Criterion) {
+    let disabled = Recorder::disabled();
+    c.bench_function("obs/span_disabled", |b| {
+        b.iter(|| disabled.span(std::hint::black_box(Stage::Encode)))
+    });
+    let ticks = Recorder::with_ticks();
+    c.bench_function("obs/span_tick_clock", |b| {
+        b.iter(|| ticks.span(std::hint::black_box(Stage::Encode)))
+    });
+    let wall = Recorder::with_wall_clock();
+    c.bench_function("obs/span_wall_clock", |b| {
+        b.iter(|| wall.span(std::hint::black_box(Stage::Encode)))
+    });
+    let hist = Histogram::new();
+    let mut v = 0u64;
+    c.bench_function("obs/hist_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            hist.record(std::hint::black_box(v >> 40));
+        })
+    });
+}
+
+fn bench_instrumented_transmit(c: &mut Criterion) {
+    // 4096 information bits, Hamming(7,4) + 16-QAM over AWGN: the workload
+    // the zero-alloc test pins, with and without an enabled recorder.
+    let bits: Vec<u8> = (0..4096).map(|i| ((i * 7) % 2) as u8).collect();
+    let packed = BitVec::from_u8_bits(&bits);
+    let ch = AwgnChannel::new(8.0);
+
+    let plain = BitPipeline::new(Box::new(HammingCode74), Modulation::Qam16);
+    let mut scratch = TransmitScratch::new();
+    let mut rng = seeded_rng(2);
+    c.bench_function("obs/packed_transmit_4k_disabled", |b| {
+        b.iter(|| {
+            plain
+                .transmit_packed(std::hint::black_box(&packed), &ch, &mut rng, &mut scratch)
+                .len()
+        })
+    });
+
+    let observed = BitPipeline::new(Box::new(HammingCode74), Modulation::Qam16)
+        .with_recorder(Recorder::with_wall_clock());
+    let mut scratch = TransmitScratch::new();
+    let mut rng = seeded_rng(2);
+    c.bench_function("obs/packed_transmit_4k_enabled", |b| {
+        b.iter(|| {
+            observed
+                .transmit_packed(std::hint::black_box(&packed), &ch, &mut rng, &mut scratch)
+                .len()
+        })
+    });
+}
+
+fn sync_fixture(n: usize) -> (ParamVec, ParamVec) {
+    let before = ParamVec::from_parts(
+        vec![(1, n)],
+        (0..n).map(|i| (i as f32 * 0.37).sin()).collect(),
+    )
+    .expect("consistent layout");
+    let after = ParamVec::from_parts(
+        vec![(1, n)],
+        (0..n)
+            .map(|i| (i as f32 * 0.37).sin() + 0.01 * ((i % 13) as f32))
+            .collect(),
+    )
+    .expect("consistent layout");
+    (before, after)
+}
+
+fn bench_instrumented_sync(c: &mut Criterion) {
+    let (before, after) = sync_fixture(12_000);
+    for (tag, rec) in [
+        ("disabled", Recorder::disabled()),
+        ("enabled", Recorder::with_wall_clock()),
+    ] {
+        let mut rng = seeded_rng(3);
+        let cfg = TransportConfig::default();
+        c.bench_function(&format!("obs/sync_round_12k_{tag}"), |b| {
+            b.iter(|| {
+                // A fresh session per iteration keeps every round identical
+                // (the receiver actually commits the delta each time).
+                let mut sender = SyncSender::new(SyncProtocol::DenseDelta, before.clone());
+                let mut receiver = SyncReceiver::new();
+                let mut params = before.clone();
+                let mut stats = TransportStats::default();
+                run_sync_round_observed(
+                    &mut sender,
+                    &mut receiver,
+                    &mut params,
+                    std::hint::black_box(&after),
+                    &mut semcom_fl::PerfectLink,
+                    &mut rng,
+                    &cfg,
+                    &mut stats,
+                    &rec,
+                    0,
+                )
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_primitives,
+    bench_instrumented_transmit,
+    bench_instrumented_sync
+);
+criterion_main!(benches);

@@ -24,6 +24,7 @@
 //! | `f12_fleet_balancing` | multi-edge assignment: locality vs load balance |
 //! | `t6_lossy_sync` | decoder sync over an unreliable link |
 //! | `t7_fault_sweep` | fault-tolerant sync transport: fault rate vs divergence/resyncs/overhead |
+//! | `t8_observability` | unified observability: stage latencies, counters, event journal over a mixed workload |
 //!
 //! Run all with `scripts/run_all_experiments.sh` or individually:
 //!

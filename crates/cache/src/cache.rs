@@ -1,5 +1,6 @@
 use crate::policy::EvictionPolicy;
 use crate::stats::CacheStats;
+use semcom_obs::{Recorder, Stage};
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -41,6 +42,7 @@ pub struct ModelCache<K, V> {
     entries: HashMap<K, Entry<V>>,
     policy: Box<dyn EvictionPolicy<K> + Send>,
     stats: CacheStats,
+    recorder: Recorder,
 }
 
 impl<K: Hash + Eq + Clone + std::fmt::Debug, V> std::fmt::Debug for ModelCache<K, V> {
@@ -65,7 +67,16 @@ impl<K: Hash + Eq + Clone, V> ModelCache<K, V> {
             entries: HashMap::new(),
             policy,
             stats: CacheStats::default(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches an observability recorder: lookups are timed into the
+    /// `cache_lookup` histogram and insertions (evictions included) into
+    /// `cache_insert`. The default disabled recorder makes both spans
+    /// inert.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Byte capacity.
@@ -100,6 +111,7 @@ impl<K: Hash + Eq + Clone, V> ModelCache<K, V> {
 
     /// Looks up a key, recording a hit or miss and updating recency.
     pub fn get(&mut self, key: &K) -> Option<&V> {
+        let _span = self.recorder.span(Stage::CacheLookup);
         match self.entries.get(key) {
             Some(e) => {
                 self.stats.hits += 1;
@@ -115,6 +127,7 @@ impl<K: Hash + Eq + Clone, V> ModelCache<K, V> {
 
     /// Mutable lookup (hit/miss recorded like [`Self::get`]).
     pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let _span = self.recorder.span(Stage::CacheLookup);
         match self.entries.get_mut(key) {
             Some(e) => {
                 self.stats.hits += 1;
@@ -136,6 +149,7 @@ impl<K: Hash + Eq + Clone, V> ModelCache<K, V> {
     /// Inserts an entry, evicting as needed. Re-inserting an existing key
     /// replaces its value and metadata.
     pub fn insert(&mut self, key: K, value: V, size: usize, cost: f64) -> InsertOutcome<K> {
+        let _span = self.recorder.span(Stage::CacheInsert);
         if size > self.capacity {
             self.stats.rejected += 1;
             return InsertOutcome::TooLarge;
@@ -307,6 +321,20 @@ mod tests {
         // The policy must also forget the old entries.
         c.insert(2, "b".into(), 10, 1.0);
         assert!(c.contains(&2));
+    }
+
+    #[test]
+    fn recorder_times_lookups_and_insertions() {
+        let rec = Recorder::with_ticks();
+        let mut c = lru_cache(20);
+        c.set_recorder(rec.clone());
+        c.insert(1, "a".into(), 10, 1.0);
+        c.insert(2, "b".into(), 10, 1.0);
+        c.get(&1);
+        c.get(&9); // miss also timed
+        c.get_mut(&2);
+        assert_eq!(rec.stage_histogram(Stage::CacheInsert).unwrap().count(), 2);
+        assert_eq!(rec.stage_histogram(Stage::CacheLookup).unwrap().count(), 3);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::coding::{BlockCode, CodeScratch};
 use crate::modulation::Modulation;
 use rand::{Rng, RngCore};
 use semcom_nn::rng::seeded_rng;
+use semcom_obs::{Recorder, Stage};
 use std::cell::RefCell;
 
 /// Reusable buffers for one end-to-end [`BitPipeline`] round.
@@ -58,6 +59,7 @@ thread_local! {
 pub struct BitPipeline {
     code: Box<dyn BlockCode + Send + Sync>,
     modulation: Modulation,
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for BitPipeline {
@@ -72,9 +74,30 @@ impl std::fmt::Debug for BitPipeline {
 }
 
 impl BitPipeline {
-    /// Composes a code and a modulation.
+    /// Composes a code and a modulation. Observability starts disabled;
+    /// see [`Self::with_recorder`].
     pub fn new(code: Box<dyn BlockCode + Send + Sync>, modulation: Modulation) -> Self {
-        BitPipeline { code, modulation }
+        BitPipeline {
+            code,
+            modulation,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Attaches an observability recorder (builder form): every
+    /// [`Self::transmit_packed`] stage is timed into the recorder's
+    /// `encode` / `modulate` / `channel` / `demodulate` / `decode`
+    /// histograms. With the default disabled recorder the spans are inert.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Attaches (or detaches, via [`Recorder::disabled`]) a recorder on an
+    /// existing pipeline.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The channel code in use.
@@ -126,16 +149,26 @@ impl BitPipeline {
         rng: &mut dyn RngCore,
         scratch: &'a mut TransmitScratch,
     ) -> &'a BitVec {
+        let span = self.recorder.span(Stage::Encode);
         self.code.encode_packed(bits, &mut scratch.coded);
+        span.finish();
+        let span = self.recorder.span(Stage::Modulate);
         self.modulation
             .modulate_into(&scratch.coded, &mut scratch.tx);
+        span.finish();
+        let span = self.recorder.span(Stage::Channel);
         channel.transmit_into(&scratch.tx, &mut scratch.rx, rng);
+        span.finish();
+        let span = self.recorder.span(Stage::Demodulate);
         self.modulation
             .demodulate_into(&scratch.rx, &mut scratch.demod);
         scratch.demod.truncate(scratch.coded.len());
+        span.finish();
+        let span = self.recorder.span(Stage::Decode);
         self.code
             .decode_packed(&scratch.demod, &mut scratch.decoded, &mut scratch.code);
         scratch.decoded.truncate(bits.len());
+        span.finish();
         &scratch.decoded
     }
 
@@ -327,6 +360,33 @@ mod tests {
             semcom_par::reset_workers();
             assert_eq!(out, baseline, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn recorder_counts_every_phy_stage_once_per_frame() {
+        let rec = Recorder::with_ticks();
+        let p =
+            BitPipeline::new(Box::new(HammingCode74), Modulation::Qpsk).with_recorder(rec.clone());
+        let mut rng = seeded_rng(5);
+        let bits: Vec<u8> = (0..64).map(|i| (i % 2) as u8).collect();
+        for _ in 0..3 {
+            p.transmit(&bits, &AwgnChannel::new(6.0), &mut rng);
+        }
+        for stage in [
+            Stage::Encode,
+            Stage::Modulate,
+            Stage::Channel,
+            Stage::Demodulate,
+            Stage::Decode,
+        ] {
+            assert_eq!(rec.stage_histogram(stage).unwrap().count(), 3, "{stage:?}");
+        }
+        // Timing never perturbs the data path.
+        let plain = BitPipeline::new(Box::new(HammingCode74), Modulation::Qpsk);
+        assert_eq!(
+            p.transmit(&bits, &AwgnChannel::new(6.0), &mut seeded_rng(9)),
+            plain.transmit(&bits, &AwgnChannel::new(6.0), &mut seeded_rng(9)),
+        );
     }
 
     #[test]

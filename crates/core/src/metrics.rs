@@ -55,6 +55,15 @@ pub struct SystemMetrics {
     /// Sync frames the receiver edge rejected (decode failure, sequence
     /// gap, digest mismatch) before recovery kicked in.
     pub sync_rejected: u64,
+    /// Rejections whose cause was a wire decode failure.
+    pub sync_rej_decode: u64,
+    /// Rejections whose cause was a sequence gap (a lost delta).
+    pub sync_rej_gap: u64,
+    /// Rejections whose cause was a post-apply digest mismatch.
+    pub sync_rej_digest: u64,
+    /// Rejections for any other cause (desynced session, layout mismatch,
+    /// or a stale/superseded frame).
+    pub sync_rej_other: u64,
     /// Full-model resyncs triggered by rejected or undeliverable updates.
     pub sync_resyncs: u64,
     /// User-model training rounds run.
@@ -81,6 +90,16 @@ impl SystemMetrics {
             0.0
         } else {
             self.selection_correct as f64 / self.messages as f64
+        }
+    }
+
+    /// Fraction of training-triggered sync rounds whose first update frame
+    /// was rejected (0 if no training has happened yet).
+    pub fn sync_rejection_rate(&self) -> f64 {
+        if self.trainings == 0 {
+            0.0
+        } else {
+            self.sync_rejected as f64 / self.trainings as f64
         }
     }
 }
@@ -111,5 +130,16 @@ mod tests {
         let m = SystemMetrics::default();
         assert_eq!(m.token_accuracy(), 0.0);
         assert_eq!(m.selection_accuracy(), 0.0);
+        assert_eq!(m.sync_rejection_rate(), 0.0);
+    }
+
+    #[test]
+    fn sync_rejection_rate_is_per_training() {
+        let m = SystemMetrics {
+            trainings: 8,
+            sync_rejected: 2,
+            ..SystemMetrics::default()
+        };
+        assert!((m.sync_rejection_rate() - 0.25).abs() < 1e-12);
     }
 }

@@ -2,9 +2,11 @@ use semcom_cache::policy::SemanticCost;
 use semcom_cache::{CacheStats, ModelCache};
 use semcom_codec::KnowledgeBase;
 use semcom_fl::{
-    DomainBuffer, SyncProtocol, SyncReceiver, SyncSender, SyncVerdict, TransportStats,
+    DomainBuffer, ReceiverStats, SyncProtocol, SyncReceiver, SyncSender, SyncVerdict,
+    TransportStats,
 };
 use semcom_nn::params::ParamVec;
+use semcom_obs::Recorder;
 use semcom_text::Domain;
 use std::collections::HashMap;
 
@@ -66,6 +68,31 @@ impl EdgeServer {
     /// Server id.
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// Attaches an observability recorder to this server's user-model
+    /// cache (lookup and insertion timings).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.user_kbs.set_recorder(recorder);
+    }
+
+    /// Receiver role: per-cause frame counters summed over every live sync
+    /// session on this server. Sessions torn down (decoder dropped or
+    /// server restart) take their counts with them.
+    pub fn receiver_stats_total(&self) -> ReceiverStats {
+        let mut total = ReceiverStats::default();
+        for r in self.receivers.values() {
+            let s = r.stats();
+            total.applied += s.applied;
+            total.applied_full += s.applied_full;
+            total.stale += s.stale;
+            total.rej_decode += s.rej_decode;
+            total.rej_gap += s.rej_gap;
+            total.rej_digest += s.rej_digest;
+            total.rej_desync += s.rej_desync;
+            total.rej_layout += s.rej_layout;
+        }
+        total
     }
 
     /// The general KB for a domain.

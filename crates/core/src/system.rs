@@ -7,6 +7,7 @@ use semcom_codec::{KbScope, KnowledgeBase};
 use semcom_fl::BufferSample;
 use semcom_nn::params::ParamVec;
 use semcom_nn::rng::{derive_seed, seeded_rng};
+use semcom_obs::{Event, Recorder, RejectCause, Snapshot, Stage};
 use semcom_select::{BanditSelector, ContextualSelector, DomainSelector, NaiveBayesSelector};
 use semcom_text::{
     CorpusGenerator, Domain, Idiolect, IdiolectConfig, Rendering, Sentence, SyntheticLanguage,
@@ -44,6 +45,7 @@ pub struct SemanticEdgeSystem {
     users: HashMap<UserId, UserProfile>,
     next_user: UserId,
     metrics: SystemMetrics,
+    obs: Recorder,
     seed: u64,
 }
 
@@ -111,8 +113,106 @@ impl SemanticEdgeSystem {
             users: HashMap::new(),
             next_user: 1,
             metrics: SystemMetrics::default(),
+            obs: Recorder::disabled(),
             seed,
         }
+    }
+
+    /// Attaches an observability recorder: message/training/sync stages are
+    /// timed, lifecycle events (training triggers, sync rejections with
+    /// cause, resyncs, evictions, domain misselections) are journaled, and
+    /// every edge server's user-model cache is instrumented with a clone.
+    /// The default is the disabled recorder, whose overhead is one branch
+    /// per site.
+    pub fn attach_recorder(&mut self, recorder: Recorder) {
+        for s in &mut self.servers {
+            s.set_recorder(recorder.clone());
+        }
+        self.obs = recorder;
+    }
+
+    /// The attached recorder (disabled unless [`Self::attach_recorder`] was
+    /// called).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Captures a unified observability snapshot: the recorder's stage
+    /// histograms and event journal, plus [`SystemMetrics`], every edge's
+    /// cache statistics, receiver-side sync counters, and transport
+    /// counters, all published as `system_*` / `cache_*` / `receiver_*` /
+    /// `transport_*` counters and derived-rate gauges. Publishing uses
+    /// absolute values, so repeated snapshots never double-count. Works on
+    /// an un-instrumented system too (a fresh deterministic recorder is
+    /// used, so the snapshot carries the counters but no timings).
+    pub fn observability_snapshot(&self) -> Snapshot {
+        let rec = if self.obs.is_enabled() {
+            self.obs.clone()
+        } else {
+            Recorder::with_ticks()
+        };
+        let m = self.metrics();
+        rec.set_counter("system_messages", m.messages);
+        rec.set_counter("system_tokens", m.tokens);
+        rec.set_counter("system_correct_tokens", m.correct_tokens);
+        rec.set_counter("system_selection_correct", m.selection_correct);
+        rec.set_counter("system_payload_symbols", m.payload_symbols);
+        rec.set_counter("system_sync_bytes", m.sync_bytes);
+        rec.set_counter("system_sync_rejected", m.sync_rejected);
+        rec.set_counter("system_sync_rejected_decode", m.sync_rej_decode);
+        rec.set_counter("system_sync_rejected_gap", m.sync_rej_gap);
+        rec.set_counter("system_sync_rejected_digest", m.sync_rej_digest);
+        rec.set_counter("system_sync_rejected_other", m.sync_rej_other);
+        rec.set_counter("system_sync_resyncs", m.sync_resyncs);
+        rec.set_counter("system_trainings", m.trainings);
+        rec.set_counter("system_user_model_messages", m.user_model_messages);
+        rec.set_counter("cache_hits", m.user_cache.hits);
+        rec.set_counter("cache_misses", m.user_cache.misses);
+        rec.set_counter("cache_evictions", m.user_cache.evictions);
+        rec.set_counter("cache_insertions", m.user_cache.insertions);
+        rec.set_counter("cache_bytes_evicted", m.user_cache.bytes_evicted);
+        rec.set_counter("cache_rejected", m.user_cache.rejected);
+        let mut recv = semcom_fl::ReceiverStats::default();
+        let mut transport = semcom_fl::TransportStats::default();
+        for s in &self.servers {
+            let r = s.receiver_stats_total();
+            recv.applied += r.applied;
+            recv.applied_full += r.applied_full;
+            recv.stale += r.stale;
+            recv.rej_decode += r.rej_decode;
+            recv.rej_gap += r.rej_gap;
+            recv.rej_digest += r.rej_digest;
+            recv.rej_desync += r.rej_desync;
+            recv.rej_layout += r.rej_layout;
+            let t = s.transport_stats();
+            transport.rounds += t.rounds;
+            transport.frames_sent += t.frames_sent;
+            transport.wire_bytes += t.wire_bytes;
+            transport.retries += t.retries;
+            transport.resyncs += t.resyncs;
+            transport.backoff_ticks += t.backoff_ticks;
+            transport.failures += t.failures;
+        }
+        rec.set_counter("receiver_applied", recv.applied);
+        rec.set_counter("receiver_applied_full", recv.applied_full);
+        rec.set_counter("receiver_stale", recv.stale);
+        rec.set_counter("receiver_rej_decode", recv.rej_decode);
+        rec.set_counter("receiver_rej_gap", recv.rej_gap);
+        rec.set_counter("receiver_rej_digest", recv.rej_digest);
+        rec.set_counter("receiver_rej_desync", recv.rej_desync);
+        rec.set_counter("receiver_rej_layout", recv.rej_layout);
+        rec.set_counter("transport_rounds", transport.rounds);
+        rec.set_counter("transport_frames_sent", transport.frames_sent);
+        rec.set_counter("transport_wire_bytes", transport.wire_bytes);
+        rec.set_counter("transport_retries", transport.retries);
+        rec.set_counter("transport_resyncs", transport.resyncs);
+        rec.set_counter("transport_backoff_ticks", transport.backoff_ticks);
+        rec.set_counter("transport_failures", transport.failures);
+        rec.set_gauge("system_token_accuracy", m.token_accuracy());
+        rec.set_gauge("system_selection_accuracy", m.selection_accuracy());
+        rec.set_gauge("system_sync_rejection_rate", m.sync_rejection_rate());
+        rec.set_gauge("cache_hit_rate", m.user_cache.hit_rate());
+        rec.snapshot()
     }
 
     /// The synthetic language in use.
@@ -292,6 +392,7 @@ impl SemanticEdgeSystem {
     /// Like [`Self::send_message`] with an explicit, caller-composed
     /// sentence.
     pub fn send_sentence(&mut self, user: UserId, sentence: &Sentence) -> MessageOutcome {
+        let _msg_span = self.obs.span(Stage::Message);
         let profile = self.users.get(&user).expect("user is registered").clone();
         let (home, peer) = (profile.home, profile.peer);
         let msg_idx = self.metrics.messages;
@@ -303,6 +404,13 @@ impl SemanticEdgeSystem {
             .get_mut(&user)
             .expect("selector per registered user")
             .select(&sentence.tokens);
+        if selected != profile.domain {
+            self.obs.emit(Event::DomainMisselected {
+                user,
+                selected: selected.index() as u8,
+                actual: profile.domain.index() as u8,
+            });
+        }
         let key: UserKey = (user, selected);
 
         // Cache lookup (records hit/miss on the home edge's user-model
@@ -311,6 +419,7 @@ impl SemanticEdgeSystem {
 
         // Encoder at the home edge, decoder at the peer edge.
         let decoded = {
+            let _span = self.obs.span(Stage::SemanticTransmit);
             let enc: &KnowledgeBase = if used_user_model {
                 self.servers[home]
                     .peek_user_kb(&key)
@@ -408,6 +517,10 @@ impl SemanticEdgeSystem {
                 self.config.buffer_threshold,
             )
             .clear();
+        self.obs.emit(Event::TrainingTriggered {
+            user,
+            samples: pairs.len() as u64,
+        });
 
         // Fetch the cached user KB, or derive a fresh one from the general
         // model (installing the matching baseline decoder at the peer).
@@ -430,13 +543,16 @@ impl SemanticEdgeSystem {
         }
 
         let mut trainer = Trainer::new(self.config.finetune);
+        let train_span = self.obs.span(Stage::TrainRound);
         trainer.fit_pairs(&mut kb, &pairs, derive_seed(self.seed, 3_000_000 + msg_idx));
+        train_span.finish();
 
         // Decoder gradient/delta to the peer (§II-D), carried as a
         // validated sync frame: the receiver edge checks decode, sequence,
         // layout, and the rolling parameter digest before committing, and a
         // rejected frame triggers graceful degradation to a full-model
         // resync instead of silent drift.
+        let sync_span = self.obs.span(Stage::SyncRound);
         let after = ParamVec::values_of(&kb.decoder.params_mut());
         let protocol = self.config.sync_protocol;
         let baseline = {
@@ -464,10 +580,28 @@ impl SemanticEdgeSystem {
             // session desynced): fall back to shipping the full model.
             self.metrics.sync_rejected += 1;
             self.metrics.sync_resyncs += 1;
+            let cause = classify_rejection(&verdict);
+            match cause {
+                RejectCause::Decode => self.metrics.sync_rej_decode += 1,
+                RejectCause::SeqGap => self.metrics.sync_rej_gap += 1,
+                RejectCause::Digest => self.metrics.sync_rej_digest += 1,
+                RejectCause::Desync | RejectCause::Layout | RejectCause::Stale => {
+                    self.metrics.sync_rej_other += 1;
+                }
+            }
+            self.obs.emit(Event::SyncRejected {
+                user,
+                seq: frame.seq,
+                cause,
+            });
             let resync = self.servers[home]
                 .session_mut(&key)
                 .expect("session created above")
                 .resync_frame(&after);
+            self.obs.emit(Event::Resync {
+                user,
+                seq: resync.seq,
+            });
             let resync_bytes = resync.to_bytes();
             bytes += resync_bytes.len();
             let verdict = self.servers[peer]
@@ -494,11 +628,16 @@ impl SemanticEdgeSystem {
         if !applied {
             t.resyncs += 1;
         }
+        sync_span.finish();
 
         // Cache the trained model; cost = estimated re-establishment time.
         let cost = pairs.len() as f64 * self.config.finetune.epochs as f64 * 1e-3;
         let evicted = self.servers[home].store_user_kb(key, kb, cost);
         for ev in evicted {
+            self.obs.emit(Event::CacheEviction {
+                user: ev.0,
+                domain: ev.1.index() as u8,
+            });
             // The evicted key may belong to a user with a different peer.
             let ev_peer = self.users.get(&ev.0).map(|p| p.peer).unwrap_or(peer);
             self.servers[ev_peer].drop_user_decoder(&ev);
@@ -573,6 +712,19 @@ impl SemanticEdgeSystem {
         } else {
             correct as f64 / total as f64
         }
+    }
+}
+
+/// The journal/metrics cause for a non-applied sync verdict.
+fn classify_rejection(verdict: &semcom_fl::SyncVerdict) -> RejectCause {
+    use semcom_fl::{SyncReject, SyncVerdict};
+    match verdict {
+        SyncVerdict::Rejected(SyncReject::Decode(_)) => RejectCause::Decode,
+        SyncVerdict::Rejected(SyncReject::SeqGap { .. }) => RejectCause::SeqGap,
+        SyncVerdict::Rejected(SyncReject::DigestMismatch) => RejectCause::Digest,
+        SyncVerdict::Rejected(SyncReject::Desynced) => RejectCause::Desync,
+        SyncVerdict::Rejected(SyncReject::Layout) => RejectCause::Layout,
+        SyncVerdict::Stale { .. } | SyncVerdict::Applied { .. } => RejectCause::Stale,
     }
 }
 
@@ -869,6 +1021,123 @@ mod tests {
             assert_eq!(d, param_digest(&rx));
         }
         assert!(s.probe_accuracy(u, 20, 5) > 0.7);
+    }
+
+    #[test]
+    fn attached_recorder_times_stages_and_journals_events() {
+        let mut s = system();
+        let rec = Recorder::with_ticks();
+        s.attach_recorder(rec.clone());
+        let u = s.register_user(Domain::News, 2.0);
+        let mut trainings = 0u64;
+        for _ in 0..40 {
+            if s.send_message(u).trained {
+                trainings += 1;
+            }
+        }
+        assert!(trainings > 0, "no training in 40 messages");
+        assert_eq!(rec.stage_histogram(Stage::Message).unwrap().count(), 40);
+        assert_eq!(
+            rec.stage_histogram(Stage::SemanticTransmit)
+                .unwrap()
+                .count(),
+            40
+        );
+        assert_eq!(
+            rec.stage_histogram(Stage::TrainRound).unwrap().count(),
+            trainings
+        );
+        assert_eq!(
+            rec.stage_histogram(Stage::SyncRound).unwrap().count(),
+            trainings
+        );
+        // Cache spans flow through the edge servers' instrumented caches.
+        assert!(rec.stage_histogram(Stage::CacheLookup).unwrap().count() >= 40);
+        let snap = s.observability_snapshot();
+        assert!(snap
+            .events
+            .iter()
+            .any(|r| matches!(r.event, Event::TrainingTriggered { user, .. } if user == u)));
+        assert_eq!(snap.counter("system_messages"), Some(40));
+        assert_eq!(snap.counter("system_trainings"), Some(trainings));
+        assert!(snap.counter("receiver_applied").unwrap_or(0) > 0);
+        assert!(snap.gauge("system_token_accuracy").unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn observability_snapshot_works_without_attached_recorder() {
+        let mut s = system();
+        let u = s.register_user(Domain::It, 0.5);
+        for _ in 0..5 {
+            s.send_message(u);
+        }
+        assert!(!s.recorder().is_enabled());
+        let snap = s.observability_snapshot();
+        assert_eq!(snap.counter("system_messages"), Some(5));
+        // Un-instrumented: counters only, no stage timings or events.
+        assert_eq!(snap.histogram("message").unwrap().count, 0);
+        assert!(snap.events.is_empty());
+        // Snapshots are idempotent (absolute republish, no double count).
+        assert_eq!(
+            s.observability_snapshot().counter("system_messages"),
+            Some(5)
+        );
+        // And the export round-trips.
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn rejected_syncs_are_classified_by_cause() {
+        use semcom_fl::{param_digest, SyncFrame, SyncUpdate, SyncVerdict};
+        let mut s = system();
+        let rec = Recorder::with_ticks();
+        s.attach_recorder(rec.clone());
+        let u = s.register_user(Domain::News, 2.0);
+        for _ in 0..60 {
+            s.send_message(u);
+        }
+        let key = (u, Domain::News);
+        // Poison the receiver session far ahead in sequence space so the
+        // next genuine update is Stale → classified as "other".
+        let params = {
+            let kb = s
+                .edge_mut(1)
+                .user_decoder_mut(&key)
+                .expect("decoder synced");
+            ParamVec::values_of(&kb.decoder.params_mut())
+        };
+        let forged = SyncFrame {
+            seq: 9_999,
+            digest: param_digest(&params),
+            update: SyncUpdate::Full(params),
+        };
+        let verdict = s
+            .edge_mut(1)
+            .receive_sync(&key, &forged.to_bytes())
+            .unwrap();
+        assert!(matches!(verdict, SyncVerdict::Applied { .. }));
+        for _ in 0..80 {
+            s.send_message(u);
+        }
+        let m = s.metrics();
+        assert!(m.sync_rejected > 0);
+        assert_eq!(
+            m.sync_rej_decode + m.sync_rej_gap + m.sync_rej_digest + m.sync_rej_other,
+            m.sync_rejected,
+            "per-cause counters must partition the total: {m:?}"
+        );
+        assert!(m.sync_rej_other > 0, "stale rejections classified: {m:?}");
+        assert!(m.sync_rejection_rate() > 0.0);
+        let snap = s.observability_snapshot();
+        assert!(snap
+            .events
+            .iter()
+            .any(|r| matches!(r.event, Event::SyncRejected { .. })));
+        assert!(snap
+            .events
+            .iter()
+            .any(|r| matches!(r.event, Event::Resync { .. })));
     }
 
     #[test]

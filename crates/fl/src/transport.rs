@@ -25,6 +25,7 @@ use crate::wire::WireError;
 use rand::RngCore;
 use semcom_channel::{bits_to_bytes, bytes_to_bits, ArqPipeline, Channel, FaultyLink};
 use semcom_nn::params::ParamVec;
+use semcom_obs::{Event, Recorder, RejectCause, Stage};
 
 /// First byte of every [`SyncFrame`] wire encoding.
 pub const FRAME_MAGIC: u8 = 0xA7;
@@ -542,6 +543,8 @@ pub enum RoundOutcome {
 /// frame, deliver with bounded retries and exponential backoff, and on
 /// detected desync or retry exhaustion degrade gracefully to a full-model
 /// resync.
+///
+/// Equivalent to [`run_sync_round_observed`] with a disabled recorder.
 #[allow(clippy::too_many_arguments)]
 pub fn run_sync_round(
     sender: &mut SyncSender,
@@ -553,20 +556,71 @@ pub fn run_sync_round(
     config: &TransportConfig,
     stats: &mut TransportStats,
 ) -> RoundOutcome {
+    run_sync_round_observed(
+        sender,
+        receiver,
+        receiver_params,
+        after,
+        link,
+        rng,
+        config,
+        stats,
+        &Recorder::disabled(),
+        0,
+    )
+}
+
+/// [`run_sync_round`] with observability: the whole round is timed into the
+/// recorder's `sync_round` histogram, every per-frame rejection (and stale
+/// drop) is journaled as [`Event::SyncRejected`] with its cause, and every
+/// full-model escalation is journaled as [`Event::Resync`]. `session`
+/// labels the journal entries (a user id inside a full system, or any
+/// harness-chosen id for standalone sessions).
+#[allow(clippy::too_many_arguments)]
+pub fn run_sync_round_observed(
+    sender: &mut SyncSender,
+    receiver: &mut SyncReceiver,
+    receiver_params: &mut ParamVec,
+    after: &ParamVec,
+    link: &mut dyn SyncLink,
+    rng: &mut dyn RngCore,
+    config: &TransportConfig,
+    stats: &mut TransportStats,
+    recorder: &Recorder,
+    session: u64,
+) -> RoundOutcome {
+    let span = recorder.span(Stage::SyncRound);
     stats.rounds += 1;
     let forced_resync = sender.needs_resync();
     if forced_resync {
         stats.resyncs += 1;
     }
     let frame = sender.next_frame(after);
+    if forced_resync {
+        recorder.emit(Event::Resync {
+            user: session,
+            seq: frame.seq,
+        });
+    }
     let budget = if forced_resync {
         config.resync_attempts
     } else {
         config.update_attempts
     };
-    match deliver_with_retries(&frame, receiver, receiver_params, link, rng, budget, stats) {
+    match deliver_with_retries(
+        &frame,
+        receiver,
+        receiver_params,
+        link,
+        rng,
+        budget,
+        stats,
+        recorder,
+        session,
+    ) {
         DeliveryResult::Applied => {
             sender.confirm();
+            span.finish();
             return RoundOutcome::Synced {
                 seq: frame.seq,
                 resynced: forced_resync,
@@ -576,6 +630,7 @@ pub fn run_sync_round(
             // The forced resync itself never landed.
             sender.mark_failed();
             stats.failures += 1;
+            span.finish();
             return RoundOutcome::Failed;
         }
         DeliveryResult::Desynced | DeliveryResult::Exhausted => {}
@@ -585,6 +640,10 @@ pub fn run_sync_round(
     // to shipping the full model.
     stats.resyncs += 1;
     let resync = sender.resync_frame(after);
+    recorder.emit(Event::Resync {
+        user: session,
+        seq: resync.seq,
+    });
     match deliver_with_retries(
         &resync,
         receiver,
@@ -593,6 +652,8 @@ pub fn run_sync_round(
         rng,
         config.resync_attempts,
         stats,
+        recorder,
+        session,
     ) {
         DeliveryResult::Applied => {
             sender.confirm();
@@ -609,12 +670,24 @@ pub fn run_sync_round(
     }
 }
 
+/// The journal cause for a receiver rejection.
+fn cause_of(reject: &SyncReject) -> RejectCause {
+    match reject {
+        SyncReject::Decode(_) => RejectCause::Decode,
+        SyncReject::SeqGap { .. } => RejectCause::SeqGap,
+        SyncReject::DigestMismatch => RejectCause::Digest,
+        SyncReject::Desynced => RejectCause::Desync,
+        SyncReject::Layout => RejectCause::Layout,
+    }
+}
+
 enum DeliveryResult {
     Applied,
     Desynced,
     Exhausted,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn deliver_with_retries(
     frame: &SyncFrame,
     receiver: &mut SyncReceiver,
@@ -623,6 +696,8 @@ fn deliver_with_retries(
     rng: &mut dyn RngCore,
     attempts: u32,
     stats: &mut TransportStats,
+    recorder: &Recorder,
+    session: u64,
 ) -> DeliveryResult {
     let bytes = frame.to_bytes();
     let attempts = attempts.max(1);
@@ -642,9 +717,22 @@ fn deliver_with_retries(
         for arrived in link.deliver(&bytes, rng) {
             match receiver.receive(&arrived, receiver_params) {
                 SyncVerdict::Applied { seq, .. } if seq == frame.seq => applied = true,
-                SyncVerdict::Rejected(SyncReject::SeqGap { .. })
-                | SyncVerdict::Rejected(SyncReject::Desynced) => escalate = true,
-                _ => {}
+                SyncVerdict::Applied { .. } => {}
+                SyncVerdict::Stale { seq } => recorder.emit(Event::SyncRejected {
+                    user: session,
+                    seq,
+                    cause: RejectCause::Stale,
+                }),
+                SyncVerdict::Rejected(reject) => {
+                    recorder.emit(Event::SyncRejected {
+                        user: session,
+                        seq: frame.seq,
+                        cause: cause_of(&reject),
+                    });
+                    if matches!(reject, SyncReject::SeqGap { .. } | SyncReject::Desynced) {
+                        escalate = true;
+                    }
+                }
             }
         }
         if applied {
@@ -919,6 +1007,60 @@ mod tests {
         assert_eq!(rx_params, after);
         assert!(link.symbols_used() > 0);
         assert_eq!(link.delivery_counts(), (1, 1));
+    }
+
+    #[test]
+    fn observed_round_journals_rejections_and_resyncs() {
+        struct DropFirst {
+            dropped: bool,
+        }
+        impl SyncLink for DropFirst {
+            fn deliver(&mut self, frame: &[u8], _rng: &mut dyn RngCore) -> Vec<Vec<u8>> {
+                if self.dropped {
+                    vec![frame.to_vec()]
+                } else {
+                    self.dropped = true;
+                    vec![]
+                }
+            }
+        }
+        let rec = Recorder::with_ticks();
+        let initial = pv(&[0.0; 8]);
+        let mut sender = SyncSender::new(SyncProtocol::DenseDelta, initial.clone());
+        let mut receiver = SyncReceiver::new();
+        let mut rx_params = initial.clone();
+        let mut rng = seeded_rng(6);
+        let cfg = TransportConfig {
+            update_attempts: 1, // first loss exhausts the update budget
+            resync_attempts: 2,
+            backoff_base: 1,
+        };
+        let mut stats = TransportStats::default();
+        let after = shifted(&initial, 1.0);
+        let out = run_sync_round_observed(
+            &mut sender,
+            &mut receiver,
+            &mut rx_params,
+            &after,
+            &mut DropFirst { dropped: false },
+            &mut rng,
+            &cfg,
+            &mut stats,
+            &rec,
+            42,
+        );
+        assert!(matches!(out, RoundOutcome::Synced { resynced: true, .. }));
+        let snap = rec.snapshot();
+        assert_eq!(
+            rec.stage_histogram(Stage::SyncRound).unwrap().count(),
+            1,
+            "round span recorded"
+        );
+        // The escalation to a full resync for session 42 is journaled.
+        assert!(snap
+            .events
+            .iter()
+            .any(|r| r.event == Event::Resync { user: 42, seq: 1 }));
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Typed events and the bounded ring-buffer journal.
+//!
+//! Events are the "why" channel of the observability layer: counters say
+//! *how many* sync frames were rejected, the journal says *which user's*
+//! frame was rejected, *for what cause*, and *in what order* relative to
+//! evictions and trainings — the reconstruction a fleet post-mortem needs.
+//!
+//! The journal is bounded: once full, the oldest record is overwritten and
+//! the drop is counted, so a runaway workload can never grow the journal
+//! without bound. Because every event in the workspace is emitted from the
+//! single-threaded driver path (workers only record span timings), the
+//! journal order is deterministic and golden-checkable.
+
+use std::collections::VecDeque;
+
+/// Why a sync frame was rejected (mirrors `semcom_fl::SyncReject` without
+/// depending on it — this crate sits below the rest of the workspace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectCause {
+    /// Wire decode failure (truncated/garbled frame).
+    Decode,
+    /// Sequence gap: an earlier delta was lost.
+    SeqGap,
+    /// Post-apply digest mismatch: payload corrupted in flight.
+    Digest,
+    /// Delta refused while the session was desynced.
+    Desync,
+    /// Parameter layout mismatch.
+    Layout,
+    /// Duplicate/late frame superseded by newer state.
+    Stale,
+}
+
+impl RejectCause {
+    /// Stable snake_case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectCause::Decode => "decode",
+            RejectCause::SeqGap => "seq_gap",
+            RejectCause::Digest => "digest",
+            RejectCause::Desync => "desync",
+            RejectCause::Layout => "layout",
+            RejectCause::Stale => "stale",
+        }
+    }
+
+    /// Parses a name produced by [`Self::name`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "decode" => RejectCause::Decode,
+            "seq_gap" => RejectCause::SeqGap,
+            "digest" => RejectCause::Digest,
+            "desync" => RejectCause::Desync,
+            "layout" => RejectCause::Layout,
+            "stale" => RejectCause::Stale,
+            _ => return None,
+        })
+    }
+}
+
+/// A typed journal event. Domains are carried as their
+/// `semcom_text::Domain::index()` (this crate has no workspace
+/// dependencies); `user` is the system-wide user id, or a harness-chosen
+/// session id for transport-level sessions outside a full system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A user model was evicted from an edge cache.
+    CacheEviction {
+        /// Owning user.
+        user: u64,
+        /// Domain index of the evicted model.
+        domain: u8,
+    },
+    /// A §II-D sync frame was rejected before commit.
+    SyncRejected {
+        /// User / session the frame belonged to.
+        user: u64,
+        /// Frame sequence number.
+        seq: u64,
+        /// Rejection cause.
+        cause: RejectCause,
+    },
+    /// Graceful degradation: a full-model resync frame was issued.
+    Resync {
+        /// User / session being re-anchored.
+        user: u64,
+        /// Sequence number of the resync frame.
+        seq: u64,
+    },
+    /// The selector routed a message to the wrong domain model.
+    DomainMisselected {
+        /// Sending user.
+        user: u64,
+        /// Domain index the selector chose.
+        selected: u8,
+        /// The user's true domain index.
+        actual: u8,
+    },
+    /// A domain buffer filled and triggered user-model training.
+    TrainingTriggered {
+        /// User being adapted.
+        user: u64,
+        /// Training samples drawn from the buffer.
+        samples: u64,
+    },
+}
+
+impl Event {
+    /// Stable snake_case type tag used in exports.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Event::CacheEviction { .. } => "cache_eviction",
+            Event::SyncRejected { .. } => "sync_rejected",
+            Event::Resync { .. } => "resync",
+            Event::DomainMisselected { .. } => "domain_misselected",
+            Event::TrainingTriggered { .. } => "training_triggered",
+        }
+    }
+}
+
+/// One journal entry: a monotonically numbered [`Event`] with the clock
+/// reading at emission. `seq` is assigned under the journal lock, so it is
+/// gapless and deterministic; `at_ns` is timing data and excluded from
+/// deterministic exports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Emission index (0-based, never reused).
+    pub seq: u64,
+    /// Clock reading when the event was emitted.
+    pub at_ns: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+/// Bounded FIFO of [`EventRecord`]s with overwrite-oldest semantics.
+#[derive(Debug)]
+pub(crate) struct EventRing {
+    cap: usize,
+    next_seq: u64,
+    dropped: u64,
+    buf: VecDeque<EventRecord>,
+}
+
+impl EventRing {
+    pub(crate) fn new(cap: usize) -> Self {
+        EventRing {
+            cap: cap.max(1),
+            next_seq: 0,
+            dropped: 0,
+            buf: VecDeque::with_capacity(cap.max(1)),
+        }
+    }
+
+    pub(crate) fn push(&mut self, at_ns: u64, event: Event) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.buf.push_back(EventRecord { seq, at_ns, event });
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub(crate) fn records(&self) -> Vec<EventRecord> {
+        self.buf.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let mut r = EventRing::new(3);
+        for i in 0..5 {
+            r.push(i, Event::Resync { user: i, seq: i });
+        }
+        let recs = r.records();
+        assert_eq!(recs.len(), 3);
+        // Oldest two overwritten; survivors keep their original seq.
+        assert_eq!(recs[0].seq, 2);
+        assert_eq!(recs[2].seq, 4);
+        assert_eq!(r.dropped(), 2);
+        match recs[1].event {
+            Event::Resync { user, .. } => assert_eq!(user, 3),
+            _ => panic!("wrong event"),
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = EventRing::new(0);
+        r.push(0, Event::Resync { user: 1, seq: 0 });
+        r.push(1, Event::Resync { user: 2, seq: 1 });
+        assert_eq!(r.records().len(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn cause_names_round_trip() {
+        for c in [
+            RejectCause::Decode,
+            RejectCause::SeqGap,
+            RejectCause::Digest,
+            RejectCause::Desync,
+            RejectCause::Layout,
+            RejectCause::Stale,
+        ] {
+            assert_eq!(RejectCause::from_name(c.name()), Some(c));
+        }
+        assert_eq!(RejectCause::from_name("bogus"), None);
+    }
+}

@@ -1,0 +1,218 @@
+//! Fixed-bucket log2 latency histograms.
+//!
+//! A [`Histogram`] is 65 atomic buckets: bucket 0 holds the value 0 and
+//! bucket `i ≥ 1` holds values in `[2^(i-1), 2^i − 1]` (bucket 64's upper
+//! bound saturates at [`u64::MAX`]). Recording is three relaxed atomic
+//! adds and one atomic max — cheap enough for the packed-transmit hot
+//! path — and the layout is fixed at compile time, so an enabled recorder
+//! never allocates on the record path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per bit position.
+pub const BUCKETS: usize = 65;
+
+/// The bucket a value lands in: 0 for 0, else `64 − leading_zeros(v)`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket: 0, 1, 3, 7, …, `u64::MAX`.
+///
+/// # Panics
+///
+/// Panics if `i >= BUCKETS`.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    assert!(i < BUCKETS, "bucket index out of range");
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A concurrent log2 histogram with exact count/sum/max and bucketed
+/// quantiles.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wrapping on overflow, like Prometheus sums).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample seen (exact, not bucketed); 0 if empty.
+    pub fn max_ns(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts, index-aligned with [`bucket_upper_bound`].
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) as the upper bound of
+    /// the bucket holding the target sample, capped at the exact observed
+    /// max. Returns 0 on an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        quantile_from(&self.bucket_counts(), self.count(), self.max_ns(), q)
+    }
+
+    /// Median estimate.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90_ns(&self) -> u64 {
+        self.quantile_ns(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Shared quantile walk used by the live histogram and by snapshots.
+pub(crate) fn quantile_from(buckets: &[u64; BUCKETS], count: u64, max: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        cum += c;
+        if cum >= target {
+            return bucket_upper_bound(i).min(max);
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        for k in 0..63 {
+            // An exact power of two opens bucket k+1; one less closes k.
+            assert_eq!(bucket_index(1u64 << k), k as usize + 1);
+            if k > 0 {
+                assert_eq!(bucket_index((1u64 << k) - 1), k as usize);
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(10), 1023);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn extreme_values_round_trip_through_buckets() {
+        let h = Histogram::new();
+        for v in [0, 1, u64::MAX, 1 << 20, (1 << 20) - 1] {
+            h.record(v);
+        }
+        let b = h.bucket_counts();
+        assert_eq!(b[0], 1); // 0
+        assert_eq!(b[1], 1); // 1
+        assert_eq!(b[64], 1); // u64::MAX
+        assert_eq!(b[21], 1); // 2^20
+        assert_eq!(b[20], 1); // 2^20 - 1
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_on_empty_histogram_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.p50_ns(), 0);
+        assert_eq!(h.p99_ns(), 0);
+        assert_eq!(h.quantile_ns(1.0), 0);
+        assert_eq!(h.max_ns(), 0);
+    }
+
+    #[test]
+    fn quantiles_on_single_sample_return_that_bucket_capped_at_max() {
+        let h = Histogram::new();
+        h.record(100); // bucket 7, upper bound 127, capped at max = 100
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_ns(q), 100);
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_the_distribution() {
+        let h = Histogram::new();
+        // 90 fast samples (~bucket 4: 8..=15) and 10 slow (~bucket 11).
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(1500);
+        }
+        assert_eq!(h.p50_ns(), 15);
+        assert_eq!(h.p90_ns(), 15);
+        assert_eq!(h.p99_ns(), 1500); // bucket 11 upper is 2047, max caps it
+        assert_eq!(h.max_ns(), 1500);
+        assert_eq!(h.sum_ns(), 90 * 10 + 10 * 1500);
+    }
+
+    #[test]
+    fn out_of_range_q_is_clamped() {
+        let h = Histogram::new();
+        h.record(5);
+        assert_eq!(h.quantile_ns(-3.0), 5);
+        assert_eq!(h.quantile_ns(7.0), 5);
+    }
+}

@@ -1,0 +1,375 @@
+//! The recorder: named counters, gauges, per-stage latency histograms,
+//! span guards, and the event journal behind one cheap, cloneable handle.
+
+use crate::clock::{Clock, MonotonicClock, TickClock};
+use crate::event::{Event, EventRing};
+use crate::hist::Histogram;
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// An instrumented pipeline stage. Each stage owns one latency
+/// [`Histogram`] in the recorder; the fixed enum keeps the hot record path
+/// an array index away from its buckets (no name hashing, no allocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// PHY channel encoding (`BlockCode::encode_packed`).
+    Encode,
+    /// Symbol mapping (`Modulation::modulate_into`).
+    Modulate,
+    /// The physical channel itself (`Channel::transmit_into`).
+    Channel,
+    /// Soft-bit recovery (`Modulation::demodulate_into`).
+    Demodulate,
+    /// PHY channel decoding (`BlockCode::decode_packed`).
+    Decode,
+    /// Semantic encode → analog channel → semantic decode
+    /// (`KnowledgeBase::transmit`).
+    SemanticTransmit,
+    /// User-model cache lookup (`ModelCache::get`).
+    CacheLookup,
+    /// User-model cache insertion, evictions included
+    /// (`ModelCache::insert`).
+    CacheInsert,
+    /// One user-model training round (`Trainer::fit_pairs`).
+    TrainRound,
+    /// One §II-D decoder-sync round (build → deliver → verify → commit).
+    SyncRound,
+    /// One end-to-end message (`SemanticEdgeSystem::send_sentence`).
+    Message,
+}
+
+impl Stage {
+    /// Every stage, in export order.
+    pub const ALL: [Stage; 11] = [
+        Stage::Encode,
+        Stage::Modulate,
+        Stage::Channel,
+        Stage::Demodulate,
+        Stage::Decode,
+        Stage::SemanticTransmit,
+        Stage::CacheLookup,
+        Stage::CacheInsert,
+        Stage::TrainRound,
+        Stage::SyncRound,
+        Stage::Message,
+    ];
+
+    /// Stable snake_case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Encode => "encode",
+            Stage::Modulate => "modulate",
+            Stage::Channel => "channel",
+            Stage::Demodulate => "demodulate",
+            Stage::Decode => "decode",
+            Stage::SemanticTransmit => "semantic_transmit",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::CacheInsert => "cache_insert",
+            Stage::TrainRound => "train_round",
+            Stage::SyncRound => "sync_round",
+            Stage::Message => "message",
+        }
+    }
+}
+
+struct Inner {
+    clock: Box<dyn Clock>,
+    stages: Vec<Histogram>,
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    events: Mutex<EventRing>,
+}
+
+/// The observability sink.
+///
+/// A `Recorder` is either **disabled** (the default: every operation is a
+/// single `Option` check, no clock reads, no atomics, no allocation — the
+/// provably-near-free path pinned by the workspace's zero-allocation
+/// test) or **enabled** (an [`Arc`]-shared block of atomic histograms and
+/// counters, cloneable and safe to share across `semcom-par` workers).
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "Recorder(disabled)"),
+            Some(i) => write!(
+                f,
+                "Recorder(enabled, {} counters)",
+                i.counters.lock().expect("counter lock").len()
+            ),
+        }
+    }
+}
+
+/// Default journal capacity for the convenience constructors.
+const DEFAULT_JOURNAL: usize = 1024;
+
+impl Recorder {
+    /// The no-op recorder: records nothing, costs (almost) nothing.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// An enabled recorder with the given clock and journal capacity.
+    pub fn new(clock: Box<dyn Clock>, journal_capacity: usize) -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                clock,
+                stages: Stage::ALL.iter().map(|_| Histogram::new()).collect(),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                events: Mutex::new(EventRing::new(journal_capacity)),
+            })),
+        }
+    }
+
+    /// An enabled recorder on the deterministic [`TickClock`] (tests,
+    /// golden-checked harnesses).
+    pub fn with_ticks() -> Self {
+        Recorder::new(Box::new(TickClock::default()), DEFAULT_JOURNAL)
+    }
+
+    /// An enabled recorder on the wall-clock [`MonotonicClock`]
+    /// (production / benchmarking).
+    pub fn with_wall_clock() -> Self {
+        Recorder::new(Box::new(MonotonicClock::new()), DEFAULT_JOURNAL)
+    }
+
+    /// Whether this recorder records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a timer span for `stage`; the elapsed time is recorded into
+    /// the stage's histogram when the returned guard drops. On a disabled
+    /// recorder the guard is inert and the clock is never read.
+    #[must_use = "a span records on drop; binding it to _ discards the timing immediately"]
+    pub fn span(&self, stage: Stage) -> Span {
+        Span {
+            inner: self.inner.as_ref().map(|inner| SpanInner {
+                rec: Arc::clone(inner),
+                stage,
+                start_ns: inner.clock.now_ns(),
+            }),
+        }
+    }
+
+    /// Records a pre-measured duration into a stage histogram.
+    pub fn record_ns(&self, stage: Stage, ns: u64) {
+        if let Some(inner) = &self.inner {
+            inner.stages[stage as usize].record(ns);
+        }
+    }
+
+    /// Adds to a named counter (created at zero on first use).
+    pub fn add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            let mut c = inner.counters.lock().expect("counter lock");
+            match c.get_mut(name) {
+                Some(v) => *v += delta,
+                None => {
+                    c.insert(name.to_string(), delta);
+                }
+            }
+        }
+    }
+
+    /// Sets a named counter to an absolute value (used when publishing
+    /// externally-accumulated totals, so re-publishing is idempotent).
+    pub fn set_counter(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner
+                .counters
+                .lock()
+                .expect("counter lock")
+                .insert(name.to_string(), value);
+        }
+    }
+
+    /// Sets a named gauge.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner
+                .gauges
+                .lock()
+                .expect("gauge lock")
+                .insert(name.to_string(), value);
+        }
+    }
+
+    /// Appends an event to the journal (oldest entry overwritten when
+    /// full).
+    pub fn emit(&self, event: Event) {
+        if let Some(inner) = &self.inner {
+            let at = inner.clock.now_ns();
+            inner.events.lock().expect("event lock").push(at, event);
+        }
+    }
+
+    /// The live histogram for a stage, if enabled (read-only accessors:
+    /// `count`, `p50_ns`, …).
+    pub fn stage_histogram(&self, stage: Stage) -> Option<&Histogram> {
+        self.inner.as_ref().map(|i| &i.stages[stage as usize])
+    }
+
+    /// Captures a point-in-time [`Snapshot`] of counters, gauges,
+    /// histograms, and the event journal. A disabled recorder yields an
+    /// empty snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.inner else {
+            return Snapshot::default();
+        };
+        let counters = inner
+            .counters
+            .lock()
+            .expect("counter lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        let gauges = inner
+            .gauges
+            .lock()
+            .expect("gauge lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        let histograms = Stage::ALL
+            .iter()
+            .map(|&s| {
+                let h = &inner.stages[s as usize];
+                let buckets = h
+                    .bucket_counts()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| (i as u32, c))
+                    .collect();
+                HistogramSnapshot {
+                    stage: s.name().to_string(),
+                    count: h.count(),
+                    sum_ns: h.sum_ns(),
+                    max_ns: h.max_ns(),
+                    buckets,
+                }
+            })
+            .collect();
+        let (events, events_dropped) = {
+            let ring = inner.events.lock().expect("event lock");
+            (ring.records(), ring.dropped())
+        };
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            events,
+            events_dropped,
+        }
+    }
+}
+
+struct SpanInner {
+    rec: Arc<Inner>,
+    stage: Stage,
+    start_ns: u64,
+}
+
+/// RAII timer: created by [`Recorder::span`], records the elapsed
+/// nanoseconds into the stage histogram on drop.
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl Span {
+    /// Ends the span early (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(s) = self.inner.take() {
+            let end = s.rec.clock.now_ns();
+            s.rec.stages[s.stage as usize].record(end.saturating_sub(s.start_ns));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        {
+            let _s = rec.span(Stage::Encode);
+        }
+        rec.add("x", 5);
+        rec.set_gauge("g", 1.0);
+        rec.emit(Event::Resync { user: 1, seq: 0 });
+        let snap = rec.snapshot();
+        assert_eq!(snap, Snapshot::default());
+    }
+
+    #[test]
+    fn spans_record_tick_durations() {
+        let rec = Recorder::with_ticks();
+        {
+            let _s = rec.span(Stage::Decode); // start=0, end=1 → 1 tick
+        }
+        {
+            let s = rec.span(Stage::Decode); // start=2, end=3 → 1 tick
+            s.finish();
+        }
+        let h = rec.stage_histogram(Stage::Decode).unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum_ns(), 2);
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let rec = Recorder::with_ticks();
+        rec.add("frames", 2);
+        rec.add("frames", 3);
+        rec.set_counter("frames_abs", 10);
+        rec.set_counter("frames_abs", 11); // absolute: overwrites
+        rec.set_gauge("rate", 0.5);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("frames"), Some(5));
+        assert_eq!(snap.counter("frames_abs"), Some(11));
+        assert_eq!(snap.gauge("rate"), Some(0.5));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let rec = Recorder::with_ticks();
+        let other = rec.clone();
+        other.add("shared", 1);
+        rec.add("shared", 1);
+        assert_eq!(rec.snapshot().counter("shared"), Some(2));
+    }
+
+    #[test]
+    fn concurrent_spans_keep_exact_counts() {
+        let rec = Recorder::with_ticks();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let r = rec.clone();
+                scope.spawn(move || {
+                    for _ in 0..250 {
+                        let _s = r.span(Stage::Channel);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            rec.stage_histogram(Stage::Channel).unwrap().count(),
+            4 * 250
+        );
+    }
+}

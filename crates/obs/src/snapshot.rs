@@ -1,0 +1,506 @@
+//! Point-in-time snapshots and their JSON / Prometheus serializations.
+
+use crate::event::{Event, EventRecord, RejectCause};
+use crate::hist::{bucket_upper_bound, quantile_from, BUCKETS};
+use crate::json::{escape_into, fmt_f64, parse, Json, JsonError};
+
+/// Frozen state of one stage histogram.
+///
+/// `buckets` stores only the non-empty buckets as `(index, count)` pairs;
+/// quantile accessors reconstruct the full layout on demand.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Stage name (see [`crate::Stage::name`]).
+    pub stage: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples in nanoseconds.
+    pub sum_ns: u64,
+    /// Exact largest sample.
+    pub max_ns: u64,
+    /// Non-empty `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    fn dense_buckets(&self) -> [u64; BUCKETS] {
+        let mut dense = [0u64; BUCKETS];
+        for &(i, c) in &self.buckets {
+            if (i as usize) < BUCKETS {
+                dense[i as usize] = c;
+            }
+        }
+        dense
+    }
+
+    /// The `q`-quantile with the same semantics as
+    /// [`crate::Histogram::quantile_ns`].
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        quantile_from(&self.dense_buckets(), self.count, self.max_ns, q)
+    }
+
+    /// Median estimate.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90_ns(&self) -> u64 {
+        self.quantile_ns(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+}
+
+/// Everything a [`crate::Recorder`] knows, frozen at one instant.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Named counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Named gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// One entry per [`crate::Stage`], in [`crate::Stage::ALL`] order.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Journal contents, oldest surviving record first.
+    pub events: Vec<EventRecord>,
+    /// Journal records overwritten before this snapshot.
+    pub events_dropped: u64,
+}
+
+impl Snapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a stage histogram by name.
+    pub fn histogram(&self, stage: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.stage == stage)
+    }
+
+    /// Serializes the full snapshot — timing data included — as
+    /// pretty-printed JSON. Parseable back via [`Self::from_json`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        self.write_counters(&mut out);
+        self.write_gauges(&mut out);
+
+        out.push_str("  \"histograms\": [\n");
+        for (i, h) in self.histograms.iter().enumerate() {
+            out.push_str("    {\"stage\": ");
+            escape_into(&mut out, &h.stage);
+            out.push_str(&format!(
+                ", \"count\": {}, \"sum_ns\": {}, \"max_ns\": {}, \
+                 \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"buckets\": [",
+                h.count,
+                h.sum_ns,
+                h.max_ns,
+                h.p50_ns(),
+                h.p90_ns(),
+                h.p99_ns()
+            ));
+            for (j, (idx, c)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{idx}, {c}]"));
+            }
+            out.push_str("]}");
+            if i + 1 < self.histograms.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+
+        self.write_events(&mut out, true);
+        out.push_str(&format!(
+            "  \"events_dropped\": {}\n}}",
+            self.events_dropped
+        ));
+        out
+    }
+
+    /// Serializes only the thread-invariant subset: counters, gauges,
+    /// histogram sample **counts** (no durations, buckets, or quantiles),
+    /// and the event journal without timestamps. For a deterministic
+    /// workload this output is byte-identical at any `SEMCOM_THREADS`
+    /// setting — it is the section golden-checked by `scripts/ci.sh`.
+    pub fn to_json_deterministic(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n");
+        self.write_counters(&mut out);
+        self.write_gauges(&mut out);
+
+        out.push_str("  \"histogram_counts\": {\n");
+        for (i, h) in self.histograms.iter().enumerate() {
+            out.push_str("    ");
+            escape_into(&mut out, &h.stage);
+            out.push_str(&format!(": {}", h.count));
+            if i + 1 < self.histograms.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  },\n");
+
+        self.write_events(&mut out, false);
+        out.push_str(&format!(
+            "  \"events_dropped\": {}\n}}",
+            self.events_dropped
+        ));
+        out
+    }
+
+    fn write_counters(&self, out: &mut String) {
+        out.push_str("  \"counters\": {\n");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            out.push_str("    ");
+            escape_into(out, name);
+            out.push_str(&format!(": {v}"));
+            if i + 1 < self.counters.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  },\n");
+    }
+
+    fn write_gauges(&self, out: &mut String) {
+        out.push_str("  \"gauges\": {\n");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            out.push_str("    ");
+            escape_into(out, name);
+            out.push_str(&format!(": {}", fmt_f64(*v)));
+            if i + 1 < self.gauges.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  },\n");
+    }
+
+    fn write_events(&self, out: &mut String, with_times: bool) {
+        out.push_str("  \"events\": [\n");
+        for (i, r) in self.events.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"seq\": {}", r.seq));
+            if with_times {
+                out.push_str(&format!(", \"at_ns\": {}", r.at_ns));
+            }
+            out.push_str(&format!(", \"type\": \"{}\"", r.event.type_name()));
+            match r.event {
+                Event::CacheEviction { user, domain } => {
+                    out.push_str(&format!(", \"user\": {user}, \"domain\": {domain}"));
+                }
+                Event::SyncRejected { user, seq, cause } => {
+                    out.push_str(&format!(
+                        ", \"user\": {user}, \"frame_seq\": {seq}, \"cause\": \"{}\"",
+                        cause.name()
+                    ));
+                }
+                Event::Resync { user, seq } => {
+                    out.push_str(&format!(", \"user\": {user}, \"frame_seq\": {seq}"));
+                }
+                Event::DomainMisselected {
+                    user,
+                    selected,
+                    actual,
+                } => {
+                    out.push_str(&format!(
+                        ", \"user\": {user}, \"selected\": {selected}, \"actual\": {actual}"
+                    ));
+                }
+                Event::TrainingTriggered { user, samples } => {
+                    out.push_str(&format!(", \"user\": {user}, \"samples\": {samples}"));
+                }
+            }
+            out.push('}');
+            if i + 1 < self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+    }
+
+    /// Serializes the snapshot as Prometheus exposition text: counters and
+    /// gauges as flat metrics, histograms as cumulative
+    /// `semcom_stage_duration_ns` series. The journal is a debugging
+    /// artifact, not a metric, so it is not exported here.
+    pub fn to_prom(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for (name, v) in &self.counters {
+            out.push_str(&format!(
+                "# TYPE semcom_{name} counter\nsemcom_{name} {v}\n"
+            ));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!(
+                "# TYPE semcom_{name} gauge\nsemcom_{name} {}\n",
+                fmt_f64(*v)
+            ));
+        }
+        out.push_str("# TYPE semcom_stage_duration_ns histogram\n");
+        for h in &self.histograms {
+            let mut cum = 0u64;
+            for &(idx, c) in &h.buckets {
+                cum += c;
+                out.push_str(&format!(
+                    "semcom_stage_duration_ns_bucket{{stage=\"{}\",le=\"{}\"}} {cum}\n",
+                    h.stage,
+                    bucket_upper_bound((idx as usize).min(BUCKETS - 1))
+                ));
+            }
+            out.push_str(&format!(
+                "semcom_stage_duration_ns_bucket{{stage=\"{}\",le=\"+Inf\"}} {}\n",
+                h.stage, h.count
+            ));
+            out.push_str(&format!(
+                "semcom_stage_duration_ns_sum{{stage=\"{}\"}} {}\n",
+                h.stage, h.sum_ns
+            ));
+            out.push_str(&format!(
+                "semcom_stage_duration_ns_count{{stage=\"{}\"}} {}\n",
+                h.stage, h.count
+            ));
+        }
+        out.push_str(&format!(
+            "# TYPE semcom_events_dropped counter\nsemcom_events_dropped {}\n",
+            self.events_dropped
+        ));
+        out
+    }
+
+    /// Parses a document produced by [`Self::to_json`] back into a
+    /// snapshot. Derived fields (`p50_ns` …) are recomputed from the
+    /// buckets, so `from_json(s.to_json()) == s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] on malformed JSON or a document that does
+    /// not match the snapshot schema.
+    pub fn from_json(text: &str) -> Result<Snapshot, JsonError> {
+        let doc = parse(text)?;
+        let schema = |msg| JsonError { at: 0, msg };
+
+        let mut counters = Vec::new();
+        for (k, v) in doc
+            .get("counters")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| schema("missing counters object"))?
+        {
+            counters.push((k.clone(), v.as_u64().ok_or_else(|| schema("bad counter"))?));
+        }
+        let mut gauges = Vec::new();
+        for (k, v) in doc
+            .get("gauges")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| schema("missing gauges object"))?
+        {
+            gauges.push((k.clone(), v.as_f64().ok_or_else(|| schema("bad gauge"))?));
+        }
+
+        let mut histograms = Vec::new();
+        for h in doc
+            .get("histograms")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| schema("missing histograms array"))?
+        {
+            let stage = h
+                .get("stage")
+                .and_then(Json::as_str)
+                .ok_or_else(|| schema("histogram missing stage"))?
+                .to_string();
+            let field = |name| {
+                h.get(name)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| schema("histogram missing field"))
+            };
+            let mut buckets = Vec::new();
+            for pair in h
+                .get("buckets")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| schema("histogram missing buckets"))?
+            {
+                let pair = pair.as_arr().ok_or_else(|| schema("bad bucket pair"))?;
+                if pair.len() != 2 {
+                    return Err(schema("bad bucket pair"));
+                }
+                let idx = pair[0].as_u64().ok_or_else(|| schema("bad bucket index"))?;
+                let c = pair[1].as_u64().ok_or_else(|| schema("bad bucket count"))?;
+                buckets.push((idx as u32, c));
+            }
+            histograms.push(HistogramSnapshot {
+                stage,
+                count: field("count")?,
+                sum_ns: field("sum_ns")?,
+                max_ns: field("max_ns")?,
+                buckets,
+            });
+        }
+
+        let mut events = Vec::new();
+        for e in doc
+            .get("events")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| schema("missing events array"))?
+        {
+            events.push(parse_event(e).ok_or_else(|| schema("bad event record"))?);
+        }
+        let events_dropped = doc
+            .get("events_dropped")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| schema("missing events_dropped"))?;
+
+        Ok(Snapshot {
+            counters,
+            gauges,
+            histograms,
+            events,
+            events_dropped,
+        })
+    }
+}
+
+fn parse_event(e: &Json) -> Option<EventRecord> {
+    let seq = e.get("seq")?.as_u64()?;
+    let at_ns = e.get("at_ns").and_then(Json::as_u64).unwrap_or(0);
+    let u64_of = |name: &str| e.get(name).and_then(Json::as_u64);
+    let u8_of = |name: &str| u64_of(name).map(|v| v as u8);
+    let event = match e.get("type")?.as_str()? {
+        "cache_eviction" => Event::CacheEviction {
+            user: u64_of("user")?,
+            domain: u8_of("domain")?,
+        },
+        "sync_rejected" => Event::SyncRejected {
+            user: u64_of("user")?,
+            seq: u64_of("frame_seq")?,
+            cause: RejectCause::from_name(e.get("cause")?.as_str()?)?,
+        },
+        "resync" => Event::Resync {
+            user: u64_of("user")?,
+            seq: u64_of("frame_seq")?,
+        },
+        "domain_misselected" => Event::DomainMisselected {
+            user: u64_of("user")?,
+            selected: u8_of("selected")?,
+            actual: u8_of("actual")?,
+        },
+        "training_triggered" => Event::TrainingTriggered {
+            user: u64_of("user")?,
+            samples: u64_of("samples")?,
+        },
+        _ => return None,
+    };
+    Some(EventRecord { seq, at_ns, event })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Recorder, Stage};
+
+    fn populated() -> Snapshot {
+        let rec = Recorder::with_ticks();
+        for _ in 0..3 {
+            let _s = rec.span(Stage::Encode);
+        }
+        rec.record_ns(Stage::Decode, u64::MAX);
+        rec.add("frames_total", 42);
+        rec.set_gauge("hit_rate", 0.75);
+        rec.emit(Event::CacheEviction { user: 3, domain: 2 });
+        rec.emit(Event::SyncRejected {
+            user: 4,
+            seq: 9,
+            cause: RejectCause::Digest,
+        });
+        rec.emit(Event::Resync { user: 4, seq: 10 });
+        rec.emit(Event::DomainMisselected {
+            user: 5,
+            selected: 1,
+            actual: 0,
+        });
+        rec.emit(Event::TrainingTriggered {
+            user: 5,
+            samples: 120,
+        });
+        rec.snapshot()
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let snap = populated();
+        let text = snap.to_json();
+        let back = Snapshot::from_json(&text).expect("own output parses");
+        assert_eq!(back, snap);
+        // And the re-serialization is byte-identical.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn u64_max_survives_histogram_round_trip() {
+        let snap = populated();
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back.histogram("decode").unwrap().max_ns, u64::MAX);
+    }
+
+    #[test]
+    fn deterministic_export_has_no_timing_fields() {
+        let snap = populated();
+        let det = snap.to_json_deterministic();
+        assert!(!det.contains("at_ns"));
+        assert!(!det.contains("sum_ns"));
+        assert!(!det.contains("p50_ns"));
+        assert!(!det.contains("buckets"));
+        assert!(det.contains("\"histogram_counts\""));
+        assert!(det.contains("\"encode\": 3"));
+        assert!(det.contains("\"cause\": \"digest\""));
+    }
+
+    #[test]
+    fn prom_export_is_well_formed() {
+        let snap = populated();
+        let prom = snap.to_prom();
+        assert!(prom.contains("# TYPE semcom_frames_total counter"));
+        assert!(prom.contains("semcom_frames_total 42"));
+        assert!(prom.contains("semcom_hit_rate 0.75"));
+        assert!(prom.contains("semcom_stage_duration_ns_count{stage=\"encode\"} 3"));
+        assert!(prom.contains("le=\"+Inf\"}"));
+        // Cumulative buckets end at the count.
+        assert!(prom.contains("semcom_stage_duration_ns_bucket{stage=\"encode\",le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn from_json_rejects_schema_violations() {
+        assert!(Snapshot::from_json("{}").is_err());
+        assert!(Snapshot::from_json("[1,2]").is_err());
+        assert!(Snapshot::from_json("not json").is_err());
+        // Valid JSON, wrong event type tag.
+        let doc = r#"{"counters": {}, "gauges": {}, "histograms": [],
+                      "events": [{"seq": 0, "type": "mystery"}],
+                      "events_dropped": 0}"#;
+        assert!(Snapshot::from_json(doc).is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Recorder::with_ticks().snapshot();
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(snap.counter("anything"), None);
+        assert_eq!(snap.histogram("encode").unwrap().count, 0);
+    }
+}

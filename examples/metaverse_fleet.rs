@@ -10,6 +10,7 @@
 //! ```
 
 use semcom::{SelectionStrategy, SemanticEdgeSystem, SystemConfig};
+use semcom_obs::Recorder;
 use semcom_text::Domain;
 
 fn main() {
@@ -26,6 +27,7 @@ fn main() {
     };
     println!("building system (3 edges, tight 400 kB user-model caches, bandit selection)…");
     let mut system = SemanticEdgeSystem::build(config, 7);
+    system.attach_recorder(Recorder::with_wall_clock());
 
     // Twelve users, three per domain, spread across the edge ring
     // 0→1, 1→2, 2→0, with growing idiolect strength.
@@ -84,4 +86,7 @@ fn main() {
             system.edge(e).receiver_decoders()
         );
     }
+
+    println!("\n=== observability snapshot (JSON) ===");
+    println!("{}", system.observability_snapshot().to_json());
 }

@@ -6,11 +6,14 @@
 //! ```
 
 use semcom::{SemanticEdgeSystem, SystemConfig};
+use semcom_obs::Recorder;
 use semcom_text::Domain;
 
 fn main() {
     println!("building semantic edge system (pre-training 4 domain KBs in the cloud)…");
     let mut system = SemanticEdgeSystem::build(SystemConfig::tiny(), 42);
+    // Wall-clock observability: per-stage latency histograms + journal.
+    system.attach_recorder(Recorder::with_wall_clock());
 
     // A user whose word choices deviate strongly from the IT domain lexicon
     // (§II-B: "different people may use the same word … to mean different
@@ -52,4 +55,7 @@ fn main() {
         m.user_cache.lookups(),
         100.0 * m.user_cache.hit_rate()
     );
+
+    println!("\n=== observability snapshot (JSON) ===");
+    println!("{}", system.observability_snapshot().to_json());
 }

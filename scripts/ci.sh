@@ -23,6 +23,9 @@ echo "=== bench smoke (criterion --test mode) ==="
 cargo bench -p semcom-bench --bench channel -- --test
 cargo bench -p semcom-bench --bench cache -- --test
 cargo bench -p semcom-bench --bench sync -- --test
+# Observability overhead routines (disabled vs enabled recorder on the
+# packed-transmit and sync-round hot paths; see BENCH_pr5.json).
+cargo bench -p semcom-bench --bench obs -- --test
 
 echo "=== wire fuzz (decode-never-panics) ==="
 # Redundant with `cargo test --workspace` above but called out as its own
@@ -40,6 +43,19 @@ for fig in f2_snr_sweep f6_channel_ablation f4_cache_sweep t7_fault_sweep; do
     SEMCOM_THREADS=1 "./target/release/$fig" | diff -u "tests/goldens/$fig.stdout" - \
         || { echo "ci: $fig output diverged from golden" >&2; exit 1; }
     echo "$fig matches golden"
+done
+
+echo "=== observability golden (T8) + thread invariance ==="
+# T8's stdout (including the deterministic snapshot section: counters,
+# gauges, histogram counts, journal without timestamps) must match the
+# golden AND stay byte-identical across worker counts — the semcom-obs
+# determinism contract. The full timed snapshot goes to stderr, outside
+# the golden.
+for threads in 1 4; do
+    SEMCOM_THREADS=$threads ./target/release/t8_observability 2>/dev/null \
+        | diff -u tests/goldens/t8_observability.stdout - \
+        || { echo "ci: t8_observability diverged from golden at SEMCOM_THREADS=$threads" >&2; exit 1; }
+    echo "t8_observability matches golden at SEMCOM_THREADS=$threads"
 done
 
 echo "ci: all gates passed"

@@ -2,6 +2,9 @@
 //! the contract behind `TransmitScratch` (PR 2's tentpole): after the
 //! scratch buffers have grown to a payload's working-set size, repeated
 //! `BitPipeline::transmit_packed` calls must not touch the heap at all.
+//! The same contract covers observability: the pipeline stays zero-alloc
+//! both with the default disabled `Recorder` (spans are inert) and with an
+//! *enabled* recorder (span timings land in fixed atomic histograms).
 //!
 //! The check counts every allocation through a `#[global_allocator]`
 //! wrapper over [`System`]. It lives in this root-crate test binary (its
@@ -14,6 +17,7 @@ use std::cell::Cell;
 use semcom_channel::coding::HammingCode74;
 use semcom_channel::{AwgnChannel, BitPipeline, BitVec, Modulation, TransmitScratch};
 use semcom_nn::rng::seeded_rng;
+use semcom_obs::{Recorder, Stage};
 
 struct CountingAllocator;
 
@@ -80,4 +84,58 @@ fn warm_transmit_packed_does_not_allocate() {
         "warm transmit_packed allocated {} time(s) over 50 calls (guard {guard})",
         after - before
     );
+}
+
+#[test]
+fn warm_transmit_packed_with_enabled_recorder_does_not_allocate() {
+    let payload: Vec<u8> = (0..4096).map(|i| ((i * 11 + 3) % 2) as u8).collect();
+    let bits = BitVec::from_u8_bits(&payload);
+    for recorder in [Recorder::with_ticks(), Recorder::with_wall_clock()] {
+        let pipeline = BitPipeline::new(Box::new(HammingCode74), Modulation::Qam16)
+            .with_recorder(recorder.clone());
+        let channel = AwgnChannel::new(6.0);
+        let mut rng = seeded_rng(17);
+        let mut scratch = TransmitScratch::new();
+        for _ in 0..3 {
+            pipeline.transmit_packed(&bits, &channel, &mut rng, &mut scratch);
+        }
+
+        let before = local_allocations();
+        let mut guard = 0usize;
+        for _ in 0..50 {
+            let out = pipeline.transmit_packed(&bits, &channel, &mut rng, &mut scratch);
+            guard ^= out.count_ones();
+        }
+        let after = local_allocations();
+
+        assert_eq!(
+            after - before,
+            0,
+            "instrumented warm transmit_packed allocated {} time(s) over 50 calls (guard {guard})",
+            after - before
+        );
+        // The spans really did record (5 PHY stages × 53 calls each).
+        assert_eq!(
+            recorder.stage_histogram(Stage::Encode).unwrap().count(),
+            53,
+            "recorder was enabled but idle"
+        );
+    }
+}
+
+#[test]
+fn enabled_recorder_span_itself_does_not_allocate() {
+    let recorder = Recorder::with_ticks();
+    // Warm: first span on a fresh recorder has nothing to grow anyway, but
+    // keep the shape symmetric with the pipeline tests.
+    drop(recorder.span(Stage::Message));
+
+    let before = local_allocations();
+    for _ in 0..100 {
+        let span = recorder.span(Stage::Message);
+        span.finish();
+        recorder.record_ns(Stage::Decode, 123);
+    }
+    let after = local_allocations();
+    assert_eq!(after - before, 0, "span/record path allocated");
 }
