@@ -4,6 +4,7 @@ use semcom_channel::{AwgnChannel, Channel};
 use semcom_nn::layers::{Activation, DenseLayer, LayerNorm, Linear};
 use semcom_nn::loss::softmax_cross_entropy;
 use semcom_nn::optim::{Adam, Optimizer};
+use semcom_nn::quant::QuantizedModel;
 use semcom_nn::rng::{derive_seed, seeded_rng};
 use semcom_nn::Tensor;
 use serde::{Deserialize, Serialize};
@@ -114,6 +115,37 @@ impl AudioKb {
         let x = Tensor::row_from_slice(waveform);
         let h = self.act1.infer(&self.enc1.infer(&x));
         self.norm.infer(&self.enc2.infer(&h)).into_vec()
+    }
+
+    /// Encodes many waveforms in one forward pass, returning
+    /// `[waveforms.len(), feature_dim]` features. Every row flows through
+    /// the MLP independently, so this is bit-identical to encoding each
+    /// waveform separately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `waveforms` is empty or any waveform has the wrong length.
+    pub fn encode_batch(&self, waveforms: &[&[f32]]) -> Tensor {
+        let mut flat = Vec::with_capacity(waveforms.len() * WAVE_SAMPLES);
+        for w in waveforms {
+            assert_eq!(w.len(), WAVE_SAMPLES, "wrong waveform length");
+            flat.extend_from_slice(w);
+        }
+        let x = Tensor::from_vec(waveforms.len(), WAVE_SAMPLES, flat).expect("lengths checked");
+        let h = self.act1.infer(&self.enc1.infer(&x));
+        self.norm.infer(&self.enc2.infer(&h))
+    }
+
+    /// Converts this trained KB into its int8 inference twin (all four
+    /// linears quantized; see [`semcom_nn::quant`]).
+    pub fn quantize(&self) -> QuantizedAudioKb {
+        QuantizedAudioKb {
+            enc: QuantizedModel::from_linears(&[&self.enc1, &self.enc2]),
+            norm: self.norm.clone(),
+            dec: QuantizedModel::from_linears(&[&self.dec1, &self.dec2]),
+            feature_dim: self.feature_dim,
+            classes: self.classes,
+        }
     }
 
     /// Decodes received features to the most likely concept.
@@ -338,6 +370,106 @@ impl AudioKb {
     }
 }
 
+/// Int8 post-training-quantized twin of [`AudioKb`] for inference: all
+/// four linear layers stored as quantized weights with i32 accumulation,
+/// power normalization kept f32.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedAudioKb {
+    enc: QuantizedModel,
+    norm: LayerNorm,
+    dec: QuantizedModel,
+    feature_dim: usize,
+    classes: usize,
+}
+
+impl QuantizedAudioKb {
+    /// Features (channel symbols) per melody.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Number of auditory concepts the decoder can emit.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Complex channel symbols per transmitted melody.
+    pub fn symbols_per_melody(&self) -> usize {
+        self.feature_dim.div_ceil(2)
+    }
+
+    /// Storage size in bytes, counterpart of the f32 KB's
+    /// `param_count * 4 + 64` accounting.
+    pub fn size_bytes(&self) -> usize {
+        self.enc.size_bytes() + 2 * self.feature_dim * 4 + self.dec.size_bytes() + 64
+    }
+
+    /// Encodes one waveform to power-normalized features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `waveform.len() != WAVE_SAMPLES`.
+    pub fn encode(&self, waveform: &[f32]) -> Vec<f32> {
+        self.encode_batch(&[waveform]).into_vec()
+    }
+
+    /// Encodes many waveforms in one quantized forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `waveforms` is empty or any waveform has the wrong length.
+    pub fn encode_batch(&self, waveforms: &[&[f32]]) -> Tensor {
+        let mut flat = Vec::with_capacity(waveforms.len() * WAVE_SAMPLES);
+        for w in waveforms {
+            assert_eq!(w.len(), WAVE_SAMPLES, "wrong waveform length");
+            flat.extend_from_slice(w);
+        }
+        let x = Tensor::from_vec(waveforms.len(), WAVE_SAMPLES, flat).expect("lengths checked");
+        let mut feat = self.enc.forward(&x);
+        self.norm.normalize_rows(feat.as_mut_slice());
+        feat
+    }
+
+    /// Decodes received features to the most likely concept.
+    pub fn decode(&self, features: &[f32]) -> usize {
+        let f = Tensor::row_from_slice(features);
+        self.dec.forward(&f).argmax_row(0)
+    }
+
+    /// End-to-end transmission: `self` encodes, `receiver` decodes.
+    pub fn transmit(
+        &self,
+        receiver: &QuantizedAudioKb,
+        waveform: &[f32],
+        channel: &dyn Channel,
+        rng: &mut dyn RngCore,
+    ) -> usize {
+        let features = self.encode(waveform);
+        let received = channel.transmit_f32(&features, rng);
+        receiver.decode(&received)
+    }
+
+    /// Classification accuracy over `n` fresh samples through `channel` —
+    /// same protocol as [`AudioKb::accuracy`], so fp32 and int8 accuracy
+    /// are directly comparable at equal seeds.
+    pub fn accuracy(
+        &self,
+        tones: &ToneSet,
+        channel: &dyn Channel,
+        n: usize,
+        rng: &mut dyn RngCore,
+    ) -> f64 {
+        let mut correct = 0;
+        for _ in 0..n {
+            let (wave, label) = tones.sample(rng);
+            if self.transmit(self, &wave, channel, rng) == label {
+                correct += 1;
+            }
+        }
+        correct as f64 / n.max(1) as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,5 +545,44 @@ mod tests {
     fn wrong_length_panics() {
         let t = ToneSet::new(3, 1);
         AudioKb::new(&t, 8, 1).encode(&[0.0; 3]);
+    }
+
+    #[test]
+    fn encode_batch_is_bit_identical_to_individual_encodes() {
+        let t = ToneSet::new(5, 1);
+        let kb = AudioKb::new(&t, 8, 2);
+        let mut rng = seeded_rng(9);
+        let waves: Vec<Vec<f32>> = (0..4).map(|_| t.sample(&mut rng).0).collect();
+        let refs: Vec<&[f32]> = waves.iter().map(|w| w.as_slice()).collect();
+        let batched = kb.encode_batch(&refs);
+        assert_eq!(batched.rows(), waves.len());
+        for (r, wave) in waves.iter().enumerate() {
+            assert_eq!(batched.row(r), kb.encode(wave).as_slice(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn quantized_kb_tracks_f32_accuracy_and_is_smaller() {
+        let t = ToneSet::new(6, 1);
+        let mut kb = AudioKb::new(&t, 8, 2);
+        kb.train(&t, &quick(), 5);
+        let q = kb.quantize();
+        assert_eq!(q.feature_dim(), kb.feature_dim());
+        assert_eq!(q.classes(), kb.classes());
+        assert_eq!(q.symbols_per_melody(), kb.symbols_per_melody());
+
+        // Same sample stream for both legs: re-seed between evaluations.
+        let acc_f32 = kb.accuracy(&t, &NoiselessChannel, 200, &mut seeded_rng(11));
+        let acc_int8 = q.accuracy(&t, &NoiselessChannel, 200, &mut seeded_rng(11));
+        assert!(
+            acc_f32 - acc_int8 < 0.01,
+            "int8 accuracy loss too large: {acc_f32} vs {acc_int8}"
+        );
+        let f32_bytes = kb.param_count() * 4 + 2 * kb.feature_dim() * 4 + 64;
+        assert!(
+            q.size_bytes() * 2 < f32_bytes,
+            "quantized {} vs f32 {f32_bytes}",
+            q.size_bytes()
+        );
     }
 }

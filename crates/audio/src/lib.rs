@@ -41,5 +41,5 @@
 mod codec;
 mod tones;
 
-pub use codec::{AudioKb, AudioTrainConfig};
+pub use codec::{AudioKb, AudioTrainConfig, QuantizedAudioKb};
 pub use tones::{MatchedFilter, ToneSet, WAVE_SAMPLES};

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use semcom_channel::AwgnChannel;
 use semcom_codec::train::{TrainConfig, Trainer};
-use semcom_codec::{CodecConfig, KbScope, KnowledgeBase};
+use semcom_codec::{CodecConfig, EncodeScratch, KbScope, KnowledgeBase};
 use semcom_nn::rng::seeded_rng;
 use semcom_text::{CorpusGenerator, Domain, LanguageConfig, Rendering};
 
@@ -30,6 +30,47 @@ fn bench_codec(c: &mut Criterion) {
 
     c.bench_function("codec/encode_10_tokens", |b| {
         b.iter(|| kb.encoder.encode(std::hint::black_box(&sentence.tokens)))
+    });
+
+    // Int8 twin of the same encode (warm scratch, the serving hot path).
+    let q = kb.quantize();
+    c.bench_function("codec/encode_10_tokens_int8", |b| {
+        let mut scratch = EncodeScratch::new();
+        q.encoder.encode_batch_into(&sentence.tokens, &mut scratch);
+        b.iter(|| {
+            std::hint::black_box(
+                q.encoder
+                    .encode_batch_into(std::hint::black_box(&sentence.tokens), &mut scratch),
+            );
+        })
+    });
+
+    // Cross-user batching: 16 users encoded one call each vs packed into a
+    // single activation matrix (fp32), vs packed through the int8 path.
+    let users: Vec<Vec<usize>> = (0..16)
+        .map(|_| gen.sentence(Domain::It, Rendering::Canonical).tokens)
+        .collect();
+    let user_refs: Vec<&[usize]> = users.iter().map(Vec::as_slice).collect();
+    let packed: Vec<usize> = users.iter().flatten().copied().collect();
+    c.bench_function("codec/encode_16_users_per_user_fp32", |b| {
+        b.iter(|| {
+            for u in &users {
+                std::hint::black_box(kb.encoder.encode(std::hint::black_box(u)));
+            }
+        })
+    });
+    c.bench_function("codec/encode_16_users_batched_fp32", |b| {
+        b.iter(|| kb.encoder.encode_batch(std::hint::black_box(&user_refs)))
+    });
+    c.bench_function("codec/encode_16_users_batched_int8", |b| {
+        let mut scratch = EncodeScratch::new();
+        q.encoder.encode_batch_into(&packed, &mut scratch);
+        b.iter(|| {
+            std::hint::black_box(
+                q.encoder
+                    .encode_batch_into(std::hint::black_box(&packed), &mut scratch),
+            );
+        })
     });
 
     let features = kb.encoder.encode(&sentence.tokens);

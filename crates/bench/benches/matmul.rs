@@ -1,6 +1,8 @@
 //! Matmul kernel benchmarks: the seed's naive kernel (zero-skip i-k-j with
 //! transpose-allocating backward forms) against the reworked blocked,
-//! transpose-free, and row-parallel kernels in `semcom-nn`.
+//! transpose-free, and row-parallel kernels in `semcom-nn` — plus the
+//! retained scalar reference kernel the SIMD microkernel is
+//! property-pinned against (their gap is the pure SIMD win).
 //!
 //! Sizes cover the square sweep (32/128/512) plus the actual shapes the
 //! codec hits: Linear backward `x^T (64x24) . dout (64x8)` and the GRU gate
@@ -49,6 +51,9 @@ fn bench_square(c: &mut Criterion) {
         semcom_par::set_workers(1);
         c.bench_function(&format!("matmul/naive_serial_{n}"), |bch| {
             bch.iter(|| naive_matmul(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        c.bench_function(&format!("matmul/scalar_reference_{n}"), |bch| {
+            bch.iter(|| std::hint::black_box(&a).matmul_reference(std::hint::black_box(&b)))
         });
         c.bench_function(&format!("matmul/blocked_1thread_{n}"), |bch| {
             bch.iter(|| std::hint::black_box(&a).matmul(std::hint::black_box(&b)))

@@ -42,6 +42,16 @@ impl SemanticDecoder {
         self.l2.infer(&self.act.infer(&self.l1.infer(features)))
     }
 
+    /// The first linear layer (read-only; used by the int8 quantizer).
+    pub fn l1(&self) -> &Linear {
+        &self.l1
+    }
+
+    /// The output linear layer (read-only; used by the int8 quantizer).
+    pub fn l2(&self) -> &Linear {
+        &self.l2
+    }
+
     /// Hard decision: the most likely concept per received feature row.
     pub fn predict(&self, features: &Tensor) -> Vec<ConceptId> {
         let logits = self.decode(features);

@@ -54,6 +54,55 @@ impl SemanticEncoder {
         self.norm.infer(&p)
     }
 
+    /// Encodes many token lists in one forward pass, returning one feature
+    /// tensor per input list.
+    ///
+    /// Every token row flows through the encoder independently (embedding
+    /// gather, per-row projection, per-row power normalization), so the
+    /// packed pass is **bit-identical** to encoding each list separately —
+    /// batching across users changes throughput, never results. The packed
+    /// activation matrix amortizes per-call dispatch (allocation, kernel
+    /// setup) over all users in the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token id is out of the vocabulary range.
+    pub fn encode_batch(&self, batches: &[&[usize]]) -> Vec<Tensor> {
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        let mut packed = Vec::with_capacity(total);
+        for b in batches {
+            packed.extend_from_slice(b);
+        }
+        let features = self.encode(&packed);
+        let dim = features.cols();
+        let flat = features.as_slice();
+        let mut out = Vec::with_capacity(batches.len());
+        let mut row = 0;
+        for b in batches {
+            let take = b.len();
+            let part = flat[row * dim..(row + take) * dim].to_vec();
+            out.push(Tensor::from_vec(take, dim, part).expect("split preserves shape"));
+            row += take;
+        }
+        out
+    }
+
+    /// The raw embedding table (read-only; used by the int8 quantizer).
+    pub fn embedding_table(&self) -> &Tensor {
+        self.embedding.table()
+    }
+
+    /// The projection layer (read-only; used by the int8 quantizer).
+    pub fn proj(&self) -> &Linear {
+        &self.proj
+    }
+
+    /// The frozen power normalization (read-only; shared with the
+    /// quantized inference path).
+    pub fn norm(&self) -> &LayerNorm {
+        &self.norm
+    }
+
     /// Training forward pass (caches activations).
     ///
     /// # Panics
@@ -121,6 +170,17 @@ mod tests {
         let e = enc();
         let f = e.encode(&[3, 3]);
         assert_eq!(f.row(0), f.row(1));
+    }
+
+    #[test]
+    fn encode_batch_is_bit_identical_to_individual_encodes() {
+        let e = enc();
+        let users: [&[usize]; 4] = [&[1, 5, 7], &[2], &[], &[9, 9, 0, 3]];
+        let batched = e.encode_batch(&users);
+        assert_eq!(batched.len(), users.len());
+        for (b, u) in batched.iter().zip(users) {
+            assert_eq!(b, &e.encode(u), "tokens {u:?}");
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::baseline::TraditionalCodec;
 use crate::kb::KnowledgeBase;
+use crate::quantized::QuantizedKb;
 use rand::RngCore;
 use semcom_channel::Channel;
 use semcom_text::metrics::{bleu, bow_cosine, concept_accuracy};
@@ -40,6 +41,32 @@ impl EvalReport {
 pub fn evaluate_semantic(
     sender: &KnowledgeBase,
     receiver: &KnowledgeBase,
+    lang: &SyntheticLanguage,
+    sentences: &[Sentence],
+    channel: &dyn Channel,
+    rng: &mut dyn RngCore,
+) -> EvalReport {
+    let mut acc = 0.0;
+    let mut bl = 0.0;
+    let mut cos = 0.0;
+    let mut tokens = 0;
+    let mut symbols = 0;
+    for s in sentences {
+        let decoded = sender.transmit(receiver, &s.tokens, channel, rng);
+        accumulate(lang, &s.concepts, &decoded, &mut acc, &mut bl, &mut cos);
+        tokens += s.len();
+        symbols += sender.symbols_for(s.len());
+    }
+    finalize(acc, bl, cos, sentences.len(), tokens, symbols)
+}
+
+/// Evaluates the int8-quantized semantic leg — the same protocol as
+/// [`evaluate_semantic`] but through [`QuantizedKb::transmit`], so fp32
+/// and int8 task accuracy are directly comparable on the same seeded test
+/// set (the <1% accuracy-loss gate in CI diffs the two).
+pub fn evaluate_semantic_quantized(
+    sender: &QuantizedKb,
+    receiver: &QuantizedKb,
     lang: &SyntheticLanguage,
     sentences: &[Sentence],
     channel: &dyn Channel,

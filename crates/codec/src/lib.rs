@@ -62,6 +62,7 @@ mod decoder;
 mod encoder;
 mod huffman;
 mod kb;
+mod quantized;
 
 pub mod eval;
 pub mod mismatch;
@@ -73,3 +74,6 @@ pub use decoder::SemanticDecoder;
 pub use encoder::SemanticEncoder;
 pub use huffman::HuffmanCode;
 pub use kb::{KbScope, KnowledgeBase};
+pub use quantized::{
+    quantize_model, DecodeScratch, EncodeScratch, QuantizedDecoder, QuantizedEncoder, QuantizedKb,
+};

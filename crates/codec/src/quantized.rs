@@ -1,0 +1,366 @@
+//! Int8 post-training-quantized knowledge bases for the serving hot path.
+//!
+//! A trained [`KnowledgeBase`] is converted once with [`quantize_model`]
+//! (or [`KnowledgeBase::quantize`]) into a [`QuantizedKb`]: embedding table
+//! and linear weights stored as `i8` with per-row affine parameters
+//! (~4x smaller — the quantity the semantic cache and the cloud→edge fetch
+//! pay for), forward passes accumulating in `i32` (see
+//! [`semcom_nn::quant`]). Quantized KBs are inference-only: they have no
+//! backward pass and no trainable parameters, which matches how the edge
+//! serves messages — training happens on the f32 model, and re-quantization
+//! after a sync round is a cheap one-shot conversion.
+//!
+//! The batch entry point [`QuantizedEncoder::encode_batch_into`] takes the
+//! *concatenation* of many users' token lists: every token row flows
+//! through the encoder independently (embedding gather, per-row projection,
+//! per-row power normalization), so packing users into one activation
+//! matrix changes throughput, never results.
+
+use crate::config::CodecConfig;
+use crate::decoder::SemanticDecoder;
+use crate::encoder::SemanticEncoder;
+use crate::kb::{KbScope, KnowledgeBase};
+use rand::RngCore;
+use semcom_channel::Channel;
+use semcom_nn::layers::LayerNorm;
+use semcom_nn::quant::{ModelScratch, QuantizedLinear, QuantizedModel, QuantizedTable};
+use semcom_text::ConceptId;
+use serde::{Deserialize, Serialize};
+
+/// Reusable buffers for the quantized encode path; one per serving thread.
+/// Warm calls to [`QuantizedEncoder::encode_batch_into`] are
+/// allocation-free once the buffers have grown to the largest batch seen.
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    quant: semcom_nn::quant::QuantScratch,
+    feat: Vec<f32>,
+}
+
+impl EncodeScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Reusable buffers for the quantized decode path.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    model: ModelScratch,
+    logits: Vec<f32>,
+}
+
+impl DecodeScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Int8 twin of [`SemanticEncoder`]: quantized embedding table (the bulk
+/// of a text KB's bytes), quantized projection, f32 power normalization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedEncoder {
+    table: QuantizedTable,
+    proj: QuantizedLinear,
+    norm: LayerNorm,
+}
+
+impl QuantizedEncoder {
+    /// Quantizes a trained f32 encoder.
+    pub fn from_encoder(enc: &SemanticEncoder) -> Self {
+        QuantizedEncoder {
+            table: QuantizedTable::from_tensor(enc.embedding_table()),
+            proj: QuantizedLinear::from_linear(enc.proj()),
+            norm: enc.norm().clone(),
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.table.rows()
+    }
+
+    /// Feature dimensionality per token.
+    pub fn feature_dim(&self) -> usize {
+        self.proj.out_dim()
+    }
+
+    /// Encodes a flat token batch (the concatenation of one or many users'
+    /// token lists) into `[tokens.len(), feature_dim]` power-normalized
+    /// features, returned as a borrow of the scratch buffer.
+    /// Allocation-free once `scratch` is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token id is out of the vocabulary range.
+    pub fn encode_batch_into<'a>(
+        &self,
+        tokens: &[usize],
+        scratch: &'a mut EncodeScratch,
+    ) -> &'a [f32] {
+        // The embedding rows are already i8 codes: the fused kernel reads
+        // them in place — no dequantize-to-f32, no dynamic re-quantization,
+        // no gather copy; the whole hot path stays integer until the single
+        // per-output dequantization.
+        self.proj
+            .forward_gathered_into(&self.table, tokens, &mut scratch.quant, &mut scratch.feat);
+        self.norm.normalize_rows(&mut scratch.feat);
+        &scratch.feat
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`QuantizedEncoder::encode_batch_into`].
+    pub fn encode(&self, tokens: &[usize]) -> semcom_nn::Tensor {
+        let mut scratch = EncodeScratch::new();
+        let feat = self.encode_batch_into(tokens, &mut scratch).to_vec();
+        semcom_nn::Tensor::from_vec(tokens.len(), self.feature_dim(), feat)
+            .expect("shape correct by construction")
+    }
+
+    /// Serialized size in bytes (quantized table + projection + f32 norm).
+    pub fn size_bytes(&self) -> usize {
+        self.table.size_bytes() + self.proj.size_bytes() + 2 * self.norm.dim() * 4
+    }
+}
+
+/// Int8 twin of [`SemanticDecoder`]: feature → quantized MLP → concept
+/// logits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedDecoder {
+    model: QuantizedModel,
+}
+
+impl QuantizedDecoder {
+    /// Quantizes a trained f32 decoder.
+    pub fn from_decoder(dec: &SemanticDecoder) -> Self {
+        QuantizedDecoder {
+            model: QuantizedModel::from_linears(&[dec.l1(), dec.l2()]),
+        }
+    }
+
+    /// Number of concept classes.
+    pub fn concept_count(&self) -> usize {
+        self.model.out_dim()
+    }
+
+    /// Feature dimensionality expected on input.
+    pub fn feature_dim(&self) -> usize {
+        self.model.in_dim()
+    }
+
+    /// Hard decisions for a flat `[rows, feature_dim]` buffer, appended to
+    /// `out` (cleared first). Allocation-free once `scratch` is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != rows * feature_dim()`.
+    pub fn predict_into(
+        &self,
+        features: &[f32],
+        rows: usize,
+        scratch: &mut DecodeScratch,
+        out: &mut Vec<ConceptId>,
+    ) {
+        self.model
+            .forward_into(features, rows, &mut scratch.model, &mut scratch.logits);
+        let c = self.concept_count();
+        out.clear();
+        for row in scratch.logits.chunks_exact(c) {
+            let mut best = 0;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            out.push(ConceptId(best as u32));
+        }
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`QuantizedDecoder::predict_into`].
+    pub fn predict(&self, features: &semcom_nn::Tensor) -> Vec<ConceptId> {
+        let mut scratch = DecodeScratch::new();
+        let mut out = Vec::new();
+        self.predict_into(features.as_slice(), features.rows(), &mut scratch, &mut out);
+        out
+    }
+
+    /// Serialized size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.model.size_bytes()
+    }
+}
+
+/// An int8 post-training-quantized [`KnowledgeBase`]: same scope, config,
+/// and version as the f32 model it was converted from, ~4x smaller, for
+/// inference only.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedKb {
+    scope: KbScope,
+    config: CodecConfig,
+    version: u64,
+    /// The quantized encoder.
+    pub encoder: QuantizedEncoder,
+    /// The quantized decoder.
+    pub decoder: QuantizedDecoder,
+}
+
+/// Converts a trained f32 knowledge base into its int8 inference twin.
+pub fn quantize_model(kb: &KnowledgeBase) -> QuantizedKb {
+    QuantizedKb {
+        scope: kb.scope(),
+        config: *kb.config(),
+        version: kb.version(),
+        encoder: QuantizedEncoder::from_encoder(&kb.encoder),
+        decoder: QuantizedDecoder::from_decoder(&kb.decoder),
+    }
+}
+
+impl KnowledgeBase {
+    /// Converts this trained KB into its int8 inference twin
+    /// (see [`quantize_model`]).
+    pub fn quantize(&self) -> QuantizedKb {
+        quantize_model(self)
+    }
+}
+
+impl QuantizedKb {
+    /// The scope inherited from the source KB.
+    pub fn scope(&self) -> KbScope {
+        self.scope
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &CodecConfig {
+        &self.config
+    }
+
+    /// The f32 model version this quantization was taken from (used to
+    /// detect staleness after a sync round).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Storage/transfer size in bytes, the quantized counterpart of
+    /// [`KnowledgeBase::size_bytes`] (same fixed metadata overhead).
+    pub fn size_bytes(&self) -> usize {
+        self.encoder.size_bytes() + self.decoder.size_bytes() + 64
+    }
+
+    /// Transmits a token sequence end-to-end through the quantized codec:
+    /// encode with `self`'s encoder, pass features through `channel`,
+    /// decode with `receiver`'s decoder — the int8 twin of
+    /// [`KnowledgeBase::transmit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature dimensions of the two KBs differ.
+    pub fn transmit(
+        &self,
+        receiver: &QuantizedKb,
+        tokens: &[usize],
+        channel: &dyn Channel,
+        rng: &mut dyn RngCore,
+    ) -> Vec<ConceptId> {
+        assert_eq!(
+            self.config.feature_dim, receiver.config.feature_dim,
+            "encoder/decoder feature dimensions differ"
+        );
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        let features = self.encoder.encode(tokens);
+        let received = channel.transmit_f32(features.as_slice(), rng);
+        let received = semcom_nn::Tensor::from_vec(features.rows(), features.cols(), received)
+            .expect("channel preserves feature length");
+        receiver.decoder.predict(&received)
+    }
+
+    /// Complex channel symbols needed to transmit `n_tokens` tokens
+    /// (identical to the f32 model: quantization changes model bytes, not
+    /// the air interface).
+    pub fn symbols_for(&self, n_tokens: usize) -> usize {
+        n_tokens * self.config.symbols_per_token()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcom_channel::NoiselessChannel;
+    use semcom_nn::rng::seeded_rng;
+
+    fn kb() -> KnowledgeBase {
+        KnowledgeBase::new(CodecConfig::tiny(), 30, 12, KbScope::General, 1)
+    }
+
+    #[test]
+    fn quantized_kb_is_much_smaller() {
+        // Realistic dimensions: with 12 bytes of affine parameters per
+        // row, the size win approaches 4x as rows widen; tiny test
+        // configs (12-wide rows) sit nearer 2x.
+        let k = KnowledgeBase::new(CodecConfig::default(), 300, 20, KbScope::General, 1);
+        let q = k.quantize();
+        assert!(
+            (q.size_bytes() as f64) < 0.45 * k.size_bytes() as f64,
+            "quantized {} vs f32 {}",
+            q.size_bytes(),
+            k.size_bytes()
+        );
+        let tiny = kb();
+        let qt = tiny.quantize();
+        assert!(qt.size_bytes() < tiny.size_bytes());
+        assert_eq!(qt.scope(), tiny.scope());
+        assert_eq!(qt.version(), tiny.version());
+        assert_eq!(qt.symbols_for(7), tiny.symbols_for(7));
+    }
+
+    #[test]
+    fn quantized_features_track_f32_features() {
+        let k = kb();
+        let q = quantize_model(&k);
+        let tokens = [1, 5, 7, 7, 20];
+        let exact = k.encoder.encode(&tokens);
+        let approx = q.encoder.encode(&tokens);
+        assert_eq!(approx.shape(), exact.shape());
+        // Power-normalized rows: absolute tolerance is meaningful.
+        for (e, a) in exact.as_slice().iter().zip(approx.as_slice()) {
+            assert!((e - a).abs() < 0.15, "exact={e} approx={a}");
+        }
+        // Same token -> same feature row, exactly, also when quantized.
+        assert_eq!(approx.row(2), approx.row(3));
+    }
+
+    #[test]
+    fn encode_batch_into_matches_encode() {
+        let k = kb();
+        let q = k.quantize();
+        let tokens = [3usize, 9, 14, 2];
+        let mut scratch = EncodeScratch::new();
+        let batched = q.encoder.encode_batch_into(&tokens, &mut scratch).to_vec();
+        assert_eq!(batched, q.encoder.encode(&tokens).into_vec());
+    }
+
+    #[test]
+    fn quantized_transmit_runs_end_to_end() {
+        let k = kb();
+        let q = k.quantize();
+        let mut rng = seeded_rng(5);
+        let out = q.transmit(&q, &[1, 2, 3], &NoiselessChannel, &mut rng);
+        assert_eq!(out.len(), 3);
+        assert!(q.transmit(&q, &[], &NoiselessChannel, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn predict_into_matches_predict() {
+        let k = kb();
+        let q = k.quantize();
+        let features = k.encoder.encode(&[4, 8, 15]);
+        let mut scratch = DecodeScratch::new();
+        let mut out = Vec::new();
+        q.decoder
+            .predict_into(features.as_slice(), 3, &mut scratch, &mut out);
+        assert_eq!(out, q.decoder.predict(&features));
+    }
+}

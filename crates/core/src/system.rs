@@ -1,16 +1,21 @@
 use crate::config::{ChannelModel, SelectionStrategy, SystemConfig};
 use crate::metrics::{MessageOutcome, SystemMetrics};
 use crate::server::{EdgeServer, UserKey};
+use rand::RngCore;
 use semcom_channel::{AwgnChannel, Channel, RayleighChannel};
 use semcom_codec::train::Trainer;
-use semcom_codec::{KbScope, KnowledgeBase};
+use semcom_codec::{
+    quantize_model, KbScope, KnowledgeBase, QuantizedDecoder, QuantizedEncoder, QuantizedKb,
+};
 use semcom_fl::BufferSample;
 use semcom_nn::params::ParamVec;
 use semcom_nn::rng::{derive_seed, seeded_rng};
+use semcom_nn::Tensor;
 use semcom_obs::{Event, Recorder, RejectCause, Snapshot, Stage};
 use semcom_select::{BanditSelector, ContextualSelector, DomainSelector, NaiveBayesSelector};
 use semcom_text::{
-    CorpusGenerator, Domain, Idiolect, IdiolectConfig, Rendering, Sentence, SyntheticLanguage,
+    ConceptId, CorpusGenerator, Domain, Idiolect, IdiolectConfig, Rendering, Sentence,
+    SyntheticLanguage,
 };
 use std::collections::HashMap;
 
@@ -25,6 +30,33 @@ struct UserProfile {
     home: usize,
     /// Edge server `j` the user's conversation partner attaches to.
     peer: usize,
+}
+
+/// Cached int8 twins used while quantized serving is enabled. User-model
+/// twins are dropped at every point the f32 originals change (training,
+/// sync, eviction, edge restart), so a cached twin always mirrors the
+/// currently-resident model; general twins are frozen at enable time,
+/// matching the frozen general KBs.
+struct QuantServing {
+    general: HashMap<Domain, QuantizedKb>,
+    user_encoders: HashMap<UserKey, QuantizedEncoder>,
+    user_decoders: HashMap<UserKey, QuantizedDecoder>,
+}
+
+/// Per-message state shared by the sequential and batched send paths: the
+/// composed sentence plus everything selection and cache lookup decided,
+/// tagged with the message index that seeds channel noise and training.
+struct MessageSlot {
+    user: UserId,
+    profile: UserProfile,
+    sentence: Sentence,
+    selected: Domain,
+    key: UserKey,
+    used_user_model: bool,
+    msg_idx: u64,
+    /// Pre-computed encoder output (batched path); `None` means encode on
+    /// demand.
+    features: Option<Tensor>,
 }
 
 /// The complete semantic edge computing and caching system of the paper's
@@ -46,6 +78,7 @@ pub struct SemanticEdgeSystem {
     next_user: UserId,
     metrics: SystemMetrics,
     obs: Recorder,
+    quant: Option<QuantServing>,
     seed: u64,
 }
 
@@ -114,8 +147,38 @@ impl SemanticEdgeSystem {
             next_user: 1,
             metrics: SystemMetrics::default(),
             obs: Recorder::disabled(),
+            quant: None,
             seed,
         }
+    }
+
+    /// Switches message serving to the int8 quantized inference path: the
+    /// frozen general KBs are converted via [`quantize_model`] up front, and
+    /// user-specific models are quantized lazily on first use (re-quantized
+    /// whenever a training round updates them). Quantization trades a
+    /// bounded task-accuracy loss for ~4x smaller model bytes and integer
+    /// arithmetic in the encode/decode hot path; training always runs in
+    /// f32 — only inference is quantized.
+    pub fn enable_quantized_serving(&mut self) {
+        let general = Domain::ALL
+            .iter()
+            .map(|&d| (d, quantize_model(self.servers[0].general_kb(d))))
+            .collect();
+        self.quant = Some(QuantServing {
+            general,
+            user_encoders: HashMap::new(),
+            user_decoders: HashMap::new(),
+        });
+    }
+
+    /// Returns serving to the f32 path and drops all cached int8 twins.
+    pub fn disable_quantized_serving(&mut self) {
+        self.quant = None;
+    }
+
+    /// Whether messages are currently served by the quantized path.
+    pub fn quantized_serving(&self) -> bool {
+        self.quant.is_some()
     }
 
     /// Attaches an observability recorder: message/training/sync stages are
@@ -393,10 +456,102 @@ impl SemanticEdgeSystem {
     /// sentence.
     pub fn send_sentence(&mut self, user: UserId, sentence: &Sentence) -> MessageOutcome {
         let _msg_span = self.obs.span(Stage::Message);
-        let profile = self.users.get(&user).expect("user is registered").clone();
-        let (home, peer) = (profile.home, profile.peer);
         let msg_idx = self.metrics.messages;
+        let slot = self.prepare_slot(user, sentence.clone(), msg_idx);
         let mut rng = seeded_rng(derive_seed(self.seed, 2_000_000 + msg_idx));
+        let decoded = {
+            let _span = self.obs.span(Stage::SemanticTransmit);
+            self.transmit_slot(&slot, &mut rng)
+        };
+        self.finalize_slot(&slot, decoded)
+    }
+
+    /// Sends one message for every listed user with the encoder work
+    /// **batched across users**: messages that resolve to the same encoder
+    /// (same edge, same model) are packed into one activation matrix and
+    /// encoded in a single matmul. Per-row independence of the encoder
+    /// makes the packed pass bit-identical to per-user encodes, and every
+    /// message keeps its own composition/channel/training seed schedule
+    /// (the message counter advances one slot at a time exactly as in
+    /// sequential [`Self::send_message`] calls). For *distinct* users a
+    /// batch therefore matches the sequential loop unless a mid-batch
+    /// training round would have evicted a later user's cached model.
+    ///
+    /// The realized packing is published on the attached recorder as the
+    /// `encode_batch_size` gauge (mean feature rows per encoder matmul).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any user is unknown.
+    pub fn send_batch(&mut self, users: &[UserId]) -> Vec<MessageOutcome> {
+        // Phase 1: compose + select + cache lookup, in arrival order.
+        let base = self.metrics.messages;
+        let mut slots: Vec<MessageSlot> = Vec::with_capacity(users.len());
+        for (i, &user) in users.iter().enumerate() {
+            let msg_idx = base + i as u64;
+            let profile = self.users.get(&user).expect("user is registered");
+            let mut gen = CorpusGenerator::new(
+                &self.language,
+                derive_seed(self.seed, 1_000_000 + msg_idx * 7 + user),
+            );
+            let sentence = gen.sentence(profile.domain, Rendering::Idiolect(&profile.idiolect));
+            slots.push(self.prepare_slot(user, sentence, msg_idx));
+        }
+
+        // Phase 2: group slots by serving encoder and encode each group in
+        // one packed forward pass. Empty messages never reach the encoder.
+        type EncoderKey = (usize, Option<UserKey>, Domain);
+        let mut groups: Vec<(EncoderKey, Vec<usize>)> = Vec::new();
+        for (i, slot) in slots.iter().enumerate() {
+            if slot.sentence.tokens.is_empty() {
+                continue;
+            }
+            let gkey = (
+                slot.profile.home,
+                slot.used_user_model.then_some(slot.key),
+                slot.selected,
+            );
+            match groups.iter_mut().find(|(k, _)| *k == gkey) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((gkey, vec![i])),
+            }
+        }
+        let mut packed_rows = 0usize;
+        for ((home, user_key, selected), members) in &groups {
+            let _span = self.obs.span(Stage::SemanticTransmit);
+            let token_lists: Vec<&[usize]> = members
+                .iter()
+                .map(|&i| slots[i].sentence.tokens.as_slice())
+                .collect();
+            packed_rows += token_lists.iter().map(|t| t.len()).sum::<usize>();
+            let features = self.encode_group(*home, *user_key, *selected, &token_lists);
+            for (&i, f) in members.iter().zip(features) {
+                slots[i].features = Some(f);
+            }
+        }
+        if !groups.is_empty() {
+            self.obs.set_gauge(
+                "encode_batch_size",
+                packed_rows as f64 / groups.len() as f64,
+            );
+        }
+
+        // Phase 3: channel, decode, buffers, training, and metrics — one
+        // slot at a time, in order, on each message's own seed.
+        let mut out = Vec::with_capacity(slots.len());
+        for slot in &slots {
+            let _msg_span = self.obs.span(Stage::Message);
+            let mut rng = seeded_rng(derive_seed(self.seed, 2_000_000 + slot.msg_idx));
+            let decoded = self.transmit_slot(slot, &mut rng);
+            out.push(self.finalize_slot(slot, decoded));
+        }
+        out
+    }
+
+    /// Selection + cache lookup for one composed message; shared by the
+    /// sequential and batched send paths.
+    fn prepare_slot(&mut self, user: UserId, sentence: Sentence, msg_idx: u64) -> MessageSlot {
+        let profile = self.users.get(&user).expect("user is registered").clone();
 
         // §III-A: pick the domain model from message content + context.
         let selected = self
@@ -415,23 +570,133 @@ impl SemanticEdgeSystem {
 
         // Cache lookup (records hit/miss on the home edge's user-model
         // cache).
-        let used_user_model = self.servers[home].lookup_user_kb(&key);
+        let used_user_model = self.servers[profile.home].lookup_user_kb(&key);
+        MessageSlot {
+            user,
+            profile,
+            sentence,
+            selected,
+            key,
+            used_user_model,
+            msg_idx,
+            features: None,
+        }
+    }
 
-        // Encoder at the home edge, decoder at the peer edge.
-        let decoded = {
-            let _span = self.obs.span(Stage::SemanticTransmit);
-            let enc: &KnowledgeBase = if used_user_model {
-                self.servers[home]
-                    .peek_user_kb(&key)
-                    .expect("lookup_user_kb reported residency")
-            } else {
-                self.servers[home].general_kb(selected)
-            };
-            let dec: &KnowledgeBase = self.servers[peer]
-                .user_decoder(&key)
-                .unwrap_or_else(|| self.servers[peer].general_kb(selected));
-            enc.transmit(dec, &sentence.tokens, self.channel.as_ref(), &mut rng)
+    /// Encode (or reuse pre-batched features) → channel → decode for one
+    /// message, on the f32 or quantized path depending on serving mode.
+    fn transmit_slot(&mut self, slot: &MessageSlot, rng: &mut dyn RngCore) -> Vec<ConceptId> {
+        if slot.sentence.tokens.is_empty() {
+            return Vec::new();
+        }
+        let features = match &slot.features {
+            Some(f) => f.clone(),
+            None => {
+                let key = slot.used_user_model.then_some(slot.key);
+                let mut f = self.encode_group(
+                    slot.profile.home,
+                    key,
+                    slot.selected,
+                    &[&slot.sentence.tokens],
+                );
+                f.pop().expect("one tensor per token list")
+            }
         };
+        let received = self.channel.transmit_f32(features.as_slice(), rng);
+        let received = Tensor::from_vec(features.rows(), features.cols(), received)
+            .expect("channel preserves feature length");
+        self.decode_one(slot.key, slot.profile.peer, &received)
+    }
+
+    /// Encodes the token lists of all messages served by one encoder
+    /// (`user_key = Some` → that cached user model on `home`, `None` → the
+    /// general `selected`-domain model) in a single packed forward pass.
+    fn encode_group(
+        &mut self,
+        home: usize,
+        user_key: Option<UserKey>,
+        selected: Domain,
+        token_lists: &[&[usize]],
+    ) -> Vec<Tensor> {
+        match &mut self.quant {
+            None => {
+                let kb: &KnowledgeBase = match user_key {
+                    Some(key) => self.servers[home]
+                        .peek_user_kb(&key)
+                        .expect("lookup_user_kb reported residency"),
+                    None => self.servers[home].general_kb(selected),
+                };
+                kb.encoder.encode_batch(token_lists)
+            }
+            Some(q) => {
+                let enc: &QuantizedEncoder = match user_key {
+                    Some(key) => {
+                        let kb = self.servers[home]
+                            .peek_user_kb(&key)
+                            .expect("lookup_user_kb reported residency");
+                        q.user_encoders
+                            .entry(key)
+                            .or_insert_with(|| QuantizedEncoder::from_encoder(&kb.encoder))
+                    }
+                    None => &q.general[&selected].encoder,
+                };
+                let total: usize = token_lists.iter().map(|t| t.len()).sum();
+                let mut packed = Vec::with_capacity(total);
+                for t in token_lists {
+                    packed.extend_from_slice(t);
+                }
+                let features = enc.encode(&packed);
+                let dim = features.cols();
+                let flat = features.as_slice();
+                let mut out = Vec::with_capacity(token_lists.len());
+                let mut row = 0;
+                for t in token_lists {
+                    let part = flat[row * dim..(row + t.len()) * dim].to_vec();
+                    out.push(Tensor::from_vec(t.len(), dim, part).expect("split preserves shape"));
+                    row += t.len();
+                }
+                out
+            }
+        }
+    }
+
+    /// Decodes received features at the peer edge (user decoder if synced,
+    /// general otherwise), on the f32 or quantized path.
+    fn decode_one(&mut self, key: UserKey, peer: usize, received: &Tensor) -> Vec<ConceptId> {
+        let selected = key.1;
+        match &mut self.quant {
+            None => {
+                let dec: &KnowledgeBase = self.servers[peer]
+                    .user_decoder(&key)
+                    .unwrap_or_else(|| self.servers[peer].general_kb(selected));
+                dec.decoder.predict(received)
+            }
+            Some(q) => match self.servers[peer].user_decoder(&key) {
+                Some(kb) => q
+                    .user_decoders
+                    .entry(key)
+                    .or_insert_with(|| QuantizedDecoder::from_decoder(&kb.decoder))
+                    .predict(received),
+                None => q.general[&selected].decoder.predict(received),
+            },
+        }
+    }
+
+    /// Mismatch bookkeeping, buffer fill, training trigger, metrics, and
+    /// selector feedback for one decoded message.
+    fn finalize_slot(&mut self, slot: &MessageSlot, decoded: Vec<ConceptId>) -> MessageOutcome {
+        let MessageSlot {
+            user,
+            profile,
+            sentence,
+            selected,
+            key,
+            used_user_model,
+            msg_idx,
+            ..
+        } = slot;
+        let (user, selected, key) = (*user, *selected, *key);
+        let (home, peer) = (profile.home, profile.peer);
 
         // §II-C: the home edge has the decoder copy (d_i^m = d_j^m) and the
         // ground truth, so it records the mismatch locally — no output is
@@ -455,7 +720,7 @@ impl SemanticEdgeSystem {
         // ship the decoder update to the peer edge.
         let mut sync_bytes = 0usize;
         if ready {
-            sync_bytes = self.train_and_sync(key, home, peer, msg_idx);
+            sync_bytes = self.train_and_sync(key, home, peer, *msg_idx);
         }
 
         // Bookkeeping.
@@ -466,7 +731,7 @@ impl SemanticEdgeSystem {
             selected_domain: selected,
             sent: sentence.concepts.clone(),
             decoded,
-            used_user_model,
+            used_user_model: *used_user_model,
             trained: ready,
             sync_bytes,
             symbols,
@@ -483,7 +748,7 @@ impl SemanticEdgeSystem {
             self.metrics.selection_correct += 1;
         }
         self.metrics.payload_symbols += symbols as u64;
-        if used_user_model {
+        if *used_user_model {
             self.metrics.user_model_messages += 1;
         }
         if ready {
@@ -503,6 +768,12 @@ impl SemanticEdgeSystem {
     /// spent.
     fn train_and_sync(&mut self, key: UserKey, home: usize, peer: usize, msg_idx: u64) -> usize {
         let (user, domain) = key;
+        // The f32 model and its synced decoder are about to change; any
+        // cached int8 twins are stale the moment training finishes.
+        if let Some(q) = &mut self.quant {
+            q.user_encoders.remove(&key);
+            q.user_decoders.remove(&key);
+        }
         let pairs = self.servers[home]
             .buffer_mut(
                 key,
@@ -642,6 +913,10 @@ impl SemanticEdgeSystem {
             let ev_peer = self.users.get(&ev.0).map(|p| p.peer).unwrap_or(peer);
             self.servers[ev_peer].drop_user_decoder(&ev);
             self.servers[home].drop_session(&ev);
+            if let Some(q) = &mut self.quant {
+                q.user_encoders.remove(&ev);
+                q.user_decoders.remove(&ev);
+            }
         }
         bytes
     }
@@ -659,6 +934,12 @@ impl SemanticEdgeSystem {
     pub fn restart_edge(&mut self, i: usize) {
         assert!(i < self.servers.len(), "edge index out of range");
         self.servers[i].restart();
+        // All user state on this edge is gone; drop every cached int8 user
+        // twin rather than track which keys touched edge `i`.
+        if let Some(q) = &mut self.quant {
+            q.user_encoders.clear();
+            q.user_decoders.clear();
+        }
         // Senders whose peer decoders just vanished must not keep shipping
         // deltas against a baseline the peer no longer has: their next
         // training round detects the missing decoder and re-baselines, but
@@ -1138,6 +1419,91 @@ mod tests {
             .events
             .iter()
             .any(|r| matches!(r.event, Event::Resync { .. })));
+    }
+
+    #[test]
+    fn send_batch_matches_sequential_sends() {
+        let mut a = system();
+        let mut b = system();
+        let domains = [Domain::It, Domain::News, Domain::Medical];
+        let ua: Vec<UserId> = domains.iter().map(|&d| a.register_user(d, 1.0)).collect();
+        let ub: Vec<UserId> = domains.iter().map(|&d| b.register_user(d, 1.0)).collect();
+        for _ in 0..25 {
+            let seq: Vec<MessageOutcome> = ua.iter().map(|&u| a.send_message(u)).collect();
+            let batched = b.send_batch(&ub);
+            for (x, y) in seq.iter().zip(&batched) {
+                assert_eq!(x.sent, y.sent);
+                assert_eq!(x.decoded, y.decoded);
+                assert_eq!(x.selected_domain, y.selected_domain);
+                assert_eq!(x.used_user_model, y.used_user_model);
+                assert_eq!(x.trained, y.trained);
+                assert_eq!(x.sync_bytes, y.sync_bytes);
+            }
+        }
+        assert_eq!(a.metrics().messages, b.metrics().messages);
+        assert_eq!(a.metrics().correct_tokens, b.metrics().correct_tokens);
+    }
+
+    #[test]
+    fn send_batch_publishes_realized_batch_gauge() {
+        let mut s = system();
+        let rec = Recorder::with_ticks();
+        s.attach_recorder(rec);
+        // Two users in the same domain share the general encoder, so the
+        // packed matmul covers both messages.
+        let u1 = s.register_user(Domain::It, 0.0);
+        let u2 = s.register_user(Domain::It, 0.0);
+        s.send_batch(&[u1, u2]);
+        let snap = s.observability_snapshot();
+        let gauge = snap.gauge("encode_batch_size").expect("gauge published");
+        assert!(gauge >= 2.0, "two messages in one matmul, got {gauge}");
+    }
+
+    #[test]
+    fn quantized_serving_tracks_f32_accuracy() {
+        let mut f32_sys = system();
+        let mut int8_sys = system();
+        let uf = f32_sys.register_user(Domain::News, 1.5);
+        let uq = int8_sys.register_user(Domain::News, 1.5);
+        int8_sys.enable_quantized_serving();
+        assert!(int8_sys.quantized_serving());
+        // Full adaptation loop on both paths: training and sync run in f32
+        // either way; only inference differs.
+        for _ in 0..60 {
+            f32_sys.send_message(uf);
+            int8_sys.send_message(uq);
+        }
+        let mf = f32_sys.metrics();
+        let mq = int8_sys.metrics();
+        assert!(
+            mq.trainings > 0,
+            "quantized serving must not stall training"
+        );
+        let loss = mf.token_accuracy() - mq.token_accuracy();
+        assert!(
+            loss < 0.05,
+            "int8 serving accuracy loss too large: f32 {} vs int8 {}",
+            mf.token_accuracy(),
+            mq.token_accuracy()
+        );
+        int8_sys.disable_quantized_serving();
+        assert!(!int8_sys.quantized_serving());
+        int8_sys.send_message(uq); // f32 path serves again without issue
+    }
+
+    #[test]
+    fn quantized_serving_batch_uses_user_models() {
+        let mut s = system();
+        s.enable_quantized_serving();
+        let u = s.register_user(Domain::It, 2.0);
+        let mut used_user_model = false;
+        for _ in 0..40 {
+            for o in s.send_batch(&[u]) {
+                used_user_model |= o.used_user_model;
+            }
+        }
+        assert!(used_user_model, "user model never served");
+        assert!(s.probe_accuracy(u, 20, 9) > 0.5);
     }
 
     #[test]

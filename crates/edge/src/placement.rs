@@ -45,17 +45,23 @@ pub struct MessageCost {
     pub feature_bytes: usize,
     /// Bytes of the raw message text.
     pub text_bytes: usize,
+    /// Per-dispatch overhead operations (kernel setup, activation packing)
+    /// paid **once per batched service** rather than once per message —
+    /// the cost cross-user batching amortizes. Only the fleet simulator's
+    /// batched mode spends it; single-message placement latency ignores it.
+    pub dispatch_ops: f64,
 }
 
 impl Default for MessageCost {
     /// A ~10-token message through the default codec: ≈2 Mop per stage,
-    /// 40 feature bytes versus 60 text bytes.
+    /// 40 feature bytes versus 60 text bytes, no dispatch overhead.
     fn default() -> Self {
         MessageCost {
             encode_ops: 2e6,
             decode_ops: 2e6,
             feature_bytes: 40,
             text_bytes: 60,
+            dispatch_ops: 0.0,
         }
     }
 }

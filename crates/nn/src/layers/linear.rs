@@ -50,6 +50,17 @@ impl Linear {
         x.matmul(&self.weight.value)
             .add_row_broadcast(&self.bias.value)
     }
+
+    /// The `[in, out]` weight matrix (read-only view; used by the int8
+    /// post-training quantizer in [`crate::quant`]).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The `[1, out]` bias row (read-only view).
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
 }
 
 impl DenseLayer for Linear {

@@ -45,6 +45,86 @@ impl LayerNorm {
         self.normalize(x).0
     }
 
+    /// The `[1, dim]` scale row (read-only view; used by the quantized
+    /// inference path in [`crate::quant`]).
+    pub fn gamma(&self) -> &Tensor {
+        &self.gamma.value
+    }
+
+    /// The `[1, dim]` shift row (read-only view).
+    pub fn beta(&self) -> &Tensor {
+        &self.beta.value
+    }
+
+    /// In-place normalization of a flat row-major `[rows, dim]` buffer —
+    /// the allocation-free twin of [`LayerNorm::infer`] for warm quantized
+    /// `encode_batch` paths. Uses the same per-row expression order as
+    /// `infer`, so outputs match it exactly.
+    ///
+    /// Rows are processed in lockstep quads: each row's reductions keep
+    /// the exact ascending-column order `infer` uses (rows are
+    /// independent, so interleaving them changes no per-row result), but
+    /// the four serial float dependency chains run concurrently and the
+    /// four `sqrt`/divide latency chains overlap — the dominant cost of
+    /// this layer on short feature rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `dim()`.
+    pub fn normalize_rows(&self, data: &mut [f32]) {
+        let dim = self.dim();
+        assert_eq!(
+            data.len() % dim,
+            0,
+            "normalize_rows buffer length {} is not a multiple of dim {dim}",
+            data.len()
+        );
+        let n = dim as f32;
+        let gamma = self.gamma.value.as_slice();
+        let beta = self.beta.value.as_slice();
+        let mut quads = data.chunks_exact_mut(4 * dim);
+        for quad in &mut quads {
+            let (r0, rest) = quad.split_at_mut(dim);
+            let (r1, rest) = rest.split_at_mut(dim);
+            let (r2, r3) = rest.split_at_mut(dim);
+            let mut sum = [0.0f32; 4];
+            for c in 0..dim {
+                sum[0] += r0[c];
+                sum[1] += r1[c];
+                sum[2] += r2[c];
+                sum[3] += r3[c];
+            }
+            let mean = sum.map(|s| s / n);
+            let mut var = [0.0f32; 4];
+            for c in 0..dim {
+                let d0 = r0[c] - mean[0];
+                let d1 = r1[c] - mean[1];
+                let d2 = r2[c] - mean[2];
+                let d3 = r3[c] - mean[3];
+                var[0] += d0 * d0;
+                var[1] += d1 * d1;
+                var[2] += d2 * d2;
+                var[3] += d3 * d3;
+            }
+            let inv_std = var.map(|v| 1.0 / (v / n + EPS).sqrt());
+            for c in 0..dim {
+                r0[c] = (r0[c] - mean[0]) * inv_std[0] * gamma[c] + beta[c];
+                r1[c] = (r1[c] - mean[1]) * inv_std[1] * gamma[c] + beta[c];
+                r2[c] = (r2[c] - mean[2]) * inv_std[2] * gamma[c] + beta[c];
+                r3[c] = (r3[c] - mean[3]) * inv_std[3] * gamma[c] + beta[c];
+            }
+        }
+        for row in quads.into_remainder().chunks_exact_mut(dim) {
+            let mean = row.iter().sum::<f32>() / n;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+            let inv_std = 1.0 / (var + EPS).sqrt();
+            for (c, xv) in row.iter_mut().enumerate() {
+                let xh = (*xv - mean) * inv_std;
+                *xv = xh * gamma[c] + beta[c];
+            }
+        }
+    }
+
     fn normalize(&self, x: &Tensor) -> (Tensor, Tensor, Vec<f32>) {
         assert_eq!(x.cols(), self.dim(), "layernorm width mismatch");
         let n = x.cols() as f32;
@@ -166,5 +246,24 @@ mod tests {
         let mut ln = LayerNorm::new(4);
         let x = input();
         assert_eq!(ln.infer(&x), ln.forward(&x));
+    }
+
+    #[test]
+    fn normalize_rows_matches_infer_bit_exactly() {
+        // Row counts chosen to exercise the 4-row lockstep quads alone
+        // (4, 8), the scalar remainder alone (1..3), and both (5..7, 11).
+        for rows in [1usize, 2, 3, 4, 5, 6, 7, 8, 11] {
+            let mut ln = LayerNorm::new(4);
+            // Non-trivial affine params so the scale/shift order matters.
+            ln.gamma.value = Tensor::from_vec(1, 4, vec![1.1, 0.9, -1.3, 0.7]).unwrap();
+            ln.beta.value = Tensor::from_vec(1, 4, vec![0.2, -0.1, 0.05, 0.3]).unwrap();
+            let data: Vec<f32> = (0..rows * 4)
+                .map(|i| ((i * 37 + 11) % 23) as f32 * 0.3 - 3.0)
+                .collect();
+            let x = Tensor::from_vec(rows, 4, data.clone()).unwrap();
+            let mut buf = data;
+            ln.normalize_rows(&mut buf);
+            assert_eq!(buf.as_slice(), ln.infer(&x).as_slice(), "rows={rows}");
+        }
     }
 }

@@ -54,7 +54,8 @@ pub mod layers;
 pub mod loss;
 pub mod optim;
 pub mod params;
+pub mod quant;
 pub mod rng;
 
 pub use error::NnError;
-pub use tensor::Tensor;
+pub use tensor::{Tensor, PAR_WORK};

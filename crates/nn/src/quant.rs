@@ -1,0 +1,852 @@
+//! Post-training int8 quantization for frozen inference models.
+//!
+//! The paper's serving path (edge encode → channel → decode) runs *frozen*
+//! knowledge bases: training happens in `Trainer`/sync rounds, but every
+//! message forward pass uses fixed weights. That makes the codec hot path a
+//! textbook candidate for post-training quantization — store weights as
+//! `i8` with affine row parameters (4x smaller), accumulate dot products in
+//! `i32` (exact: integer addition is associative, so lane-grouped SIMD
+//! accumulation cannot change results), and dequantize once per output
+//! channel.
+//!
+//! Layout and math, for `y = x · W + b` with `W` as `[in, out]` f32:
+//!
+//! * Weights keep the f32 `[in, out]` row-major layout so the integer
+//!   kernel has the same axpy shape as the f32 SIMD microkernel — for each
+//!   input position the activation code broadcasts against a contiguous
+//!   row of output channels, which the compiler turns into wide integer
+//!   multiply-accumulates. Quantization is still per **output channel**
+//!   (per column): scale `s_w`, zero point `z_w`, precomputed quantized
+//!   column sum `Σq_w`.
+//! * Activations are quantized dynamically per input row (asymmetric,
+//!   range always includes zero so ReLU zeros and padding stay exact).
+//! * With `x = s_x (q_x − z_x)` and `w = s_w (q_w − z_w)`:
+//!
+//!   ```text
+//!   y[o] = s_x·s_w[o] · ( Σ q_x q_w − z_w[o]·Σq_x − z_x·Σq_w[o] + K·z_x·z_w[o] ) + b[o]
+//!   ```
+//!
+//!   where only `Σ q_x q_w` touches the `K`-length inner loop — everything
+//!   else is O(1) per output using the precomputed sums.
+//!
+//! Quantized models are conversions of trained f32 layers (see
+//! [`QuantizedLinear::from_linear`]); they deliberately have no backward
+//! pass.
+
+use crate::layers::Linear;
+use crate::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Lane width of the i8 dot kernel (mirrors the f32 matmul microkernel's
+/// lane grouping; exact here regardless of grouping because i32 addition
+/// is associative).
+const LANES: usize = 8;
+
+/// Affine quantization parameters for one row (one output channel or one
+/// activation row): `value = scale * (q - zero_point)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RowQuantParams {
+    /// Dequantization step size.
+    pub scale: f32,
+    /// The `i8` code representing `0.0` (always exactly representable:
+    /// the quantization range is widened to include zero).
+    pub zero_point: i32,
+    /// Sum of the row's quantized codes, precomputed for the affine
+    /// correction terms.
+    pub qsum: i32,
+}
+
+/// Quantizes one f32 row into `i8` codes, returning its affine parameters.
+///
+/// Asymmetric min/max quantization over `[min(lo, 0), max(hi, 0)]` — the
+/// range is widened to include `0.0` so exact zeros (ReLU output, padding)
+/// map to the zero point exactly, and constant rows survive round-trips.
+/// Non-finite values quantize to the zero point.
+///
+/// # Panics
+///
+/// Panics if `dst.len() != src.len()`.
+pub fn quantize_row(src: &[f32], dst: &mut [i8]) -> RowQuantParams {
+    assert_eq!(
+        src.len(),
+        dst.len(),
+        "quantize_row length mismatch: {} vs {}",
+        src.len(),
+        dst.len()
+    );
+    let mut lo = 0.0f32;
+    let mut hi = 0.0f32;
+    for &v in src {
+        if v < lo {
+            lo = v;
+        }
+        if v > hi {
+            hi = v;
+        }
+    }
+    let scale = (hi - lo) / 255.0;
+    if scale <= 0.0 || !scale.is_finite() {
+        // All-zero (or degenerate) row: every code is the zero point.
+        dst.fill(0);
+        return RowQuantParams {
+            scale: 1.0,
+            zero_point: 0,
+            qsum: 0,
+        };
+    }
+    // lo maps to -128, hi to 127; lo <= 0 <= hi keeps this in i8 range.
+    let zero_point = (-128.0 - lo / scale).round() as i32;
+    let inv_scale = 1.0 / scale;
+    let mut qsum = 0i32;
+    for (d, &v) in dst.iter_mut().zip(src) {
+        let q = if v.is_finite() {
+            ((v * inv_scale).round() as i32 + zero_point).clamp(-128, 127)
+        } else {
+            zero_point
+        };
+        *d = q as i8;
+        qsum += q;
+    }
+    RowQuantParams {
+        scale,
+        zero_point,
+        qsum,
+    }
+}
+
+/// Integer matmul `a (rows×k, i8) · b (k×n, i32-widened i8 codes) ->
+/// out (rows×n, i32)`, mirroring the f32 SIMD microkernel's structure:
+/// 4-row register quads with [`LANES`]-wide column tiles, a 1-row tile for
+/// the remainder rows, and scalar columns for `n % LANES`. Unlike the f32
+/// kernel the grouping needs no order discipline — i32 addition is
+/// associative, so any accumulation order is exact.
+///
+/// `b` is the weight matrix's **pre-widened compute copy** (each i8 code
+/// sign-extended to i32 once at conversion time): widening inside the
+/// inner loop defeats the compiler's vectorizer and costs ~3x on this
+/// kernel, while widening the streamed activation side is a cheap scalar
+/// broadcast.
+fn mm_i8(a: &[i8], b: &[i32], out: &mut [i32], k_dim: usize, n: usize) {
+    debug_assert_eq!(a.len() % k_dim.max(1), 0);
+    debug_assert_eq!(b.len(), k_dim * n);
+    debug_assert_eq!(out.len() % n.max(1), 0);
+    let mut quads = out.chunks_exact_mut(4 * n);
+    let mut i = 0;
+    for quad in &mut quads {
+        let (o0, r123) = quad.split_at_mut(n);
+        let (o1, r23) = r123.split_at_mut(n);
+        let (o2, o3) = r23.split_at_mut(n);
+        mm_tile4_i8(
+            [
+                &a[i * k_dim..(i + 1) * k_dim],
+                &a[(i + 1) * k_dim..(i + 2) * k_dim],
+                &a[(i + 2) * k_dim..(i + 3) * k_dim],
+                &a[(i + 3) * k_dim..(i + 4) * k_dim],
+            ],
+            b,
+            n,
+            [o0, o1, o2, o3],
+        );
+        i += 4;
+    }
+    for orow in quads.into_remainder().chunks_exact_mut(n) {
+        mm_tile1_i8(&a[i * k_dim..(i + 1) * k_dim], b, n, orow);
+        i += 1;
+    }
+}
+
+/// 4-row register tile of [`mm_i8`]: the partial sums for a 4×[`LANES`]
+/// output tile stay in `i32` lane arrays (registers) across the whole `k`
+/// loop, and each weight row load is shared by all four activation rows.
+fn mm_tile4_i8(a_rows: [&[i8]; 4], b: &[i32], n: usize, o: [&mut [i32]; 4]) {
+    let [a0, a1, a2, a3] = a_rows;
+    let [o0, o1, o2, o3] = o;
+    let k_dim = a0.len();
+    let mut j = 0;
+    while j + LANES <= n {
+        let mut c0 = [0i32; LANES];
+        let mut c1 = [0i32; LANES];
+        let mut c2 = [0i32; LANES];
+        let mut c3 = [0i32; LANES];
+        for k in 0..k_dim {
+            let bv: [i32; LANES] = b[k * n + j..k * n + j + LANES].try_into().unwrap();
+            let (av0, av1, av2, av3) = (a0[k] as i32, a1[k] as i32, a2[k] as i32, a3[k] as i32);
+            for l in 0..LANES {
+                c0[l] += av0 * bv[l];
+                c1[l] += av1 * bv[l];
+                c2[l] += av2 * bv[l];
+                c3[l] += av3 * bv[l];
+            }
+        }
+        o0[j..j + LANES].copy_from_slice(&c0);
+        o1[j..j + LANES].copy_from_slice(&c1);
+        o2[j..j + LANES].copy_from_slice(&c2);
+        o3[j..j + LANES].copy_from_slice(&c3);
+        j += LANES;
+    }
+    for jj in j..n {
+        let (mut s0, mut s1, mut s2, mut s3) = (0i32, 0i32, 0i32, 0i32);
+        for k in 0..k_dim {
+            let bv = b[k * n + jj];
+            s0 += a0[k] as i32 * bv;
+            s1 += a1[k] as i32 * bv;
+            s2 += a2[k] as i32 * bv;
+            s3 += a3[k] as i32 * bv;
+        }
+        o0[jj] = s0;
+        o1[jj] = s1;
+        o2[jj] = s2;
+        o3[jj] = s3;
+    }
+}
+
+/// Sets `buf`'s length without re-zeroing when it already matches: every
+/// caller fully overwrites the buffer, so the fill only matters on growth.
+/// In the warm serving path this skips a memset per forward call.
+fn reset_len<T: Copy + Default>(buf: &mut Vec<T>, len: usize) {
+    if buf.len() != len {
+        buf.clear();
+        buf.resize(len, T::default());
+    }
+}
+
+/// 1-row tile of [`mm_i8`] for the rows % 4 remainder.
+fn mm_tile1_i8(a_row: &[i8], b: &[i32], n: usize, o: &mut [i32]) {
+    let k_dim = a_row.len();
+    let mut j = 0;
+    while j + LANES <= n {
+        let mut c = [0i32; LANES];
+        for k in 0..k_dim {
+            let bv: [i32; LANES] = b[k * n + j..k * n + j + LANES].try_into().unwrap();
+            let av = a_row[k] as i32;
+            for l in 0..LANES {
+                c[l] += av * bv[l];
+            }
+        }
+        o[j..j + LANES].copy_from_slice(&c);
+        j += LANES;
+    }
+    for jj in j..n {
+        let mut s = 0i32;
+        for k in 0..k_dim {
+            s += a_row[k] as i32 * b[k * n + jj];
+        }
+        o[jj] = s;
+    }
+}
+
+/// Reusable buffers for dynamic activation quantization — the per-call
+/// state of [`QuantizedLinear::forward_into`]. Reusing one `QuantScratch`
+/// across calls keeps the warm quantized forward path allocation-free.
+#[derive(Debug, Default)]
+pub struct QuantScratch {
+    qx: Vec<i8>,
+    xq: Vec<RowQuantParams>,
+    acc: Vec<i32>,
+}
+
+impl QuantScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// An int8 post-training-quantized [`Linear`] layer for inference.
+///
+/// See the [module docs](crate::quant) for the storage layout and math.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedLinear {
+    /// `[in, out]` row-major quantized weights (same layout as the f32
+    /// weight matrix) — the canonical serialized form counted by
+    /// [`QuantizedLinear::size_bytes`].
+    wq: Vec<i8>,
+    /// Runtime-only compute copy of `wq` sign-extended to `i32` (see
+    /// [`mm_i8`]); rebuilt from `wq` at conversion time, never serialized
+    /// or counted as model bytes.
+    wq_wide: Vec<i32>,
+    /// Per-output-channel affine parameters (scale, zero point, `Σq_w`
+    /// over the output channel's column).
+    wparams: Vec<RowQuantParams>,
+    /// Runtime-only per-channel correction `Σq_w − K·z_w`, folded at
+    /// conversion time so dequantization spends one multiply per element
+    /// instead of two (`corr = dot − z_w·Σq_x − z_x·(Σq_w − K·z_w)` is the
+    /// same integer as the four-term form). Rebuilt from `wparams`, never
+    /// counted as model bytes.
+    wcorr: Vec<i32>,
+    /// Bias kept in f32 (`out` values; negligible size, added after
+    /// dequantization).
+    bias: Vec<f32>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl QuantizedLinear {
+    /// Quantizes a trained f32 [`Linear`] layer (per-output-channel affine
+    /// weights, f32 bias).
+    pub fn from_linear(layer: &Linear) -> Self {
+        Self::from_weights(layer.weight(), layer.bias())
+    }
+
+    /// Quantizes explicit `[in, out]` weights and a `[1, out]` bias row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x weight.cols()`.
+    pub fn from_weights(weight: &Tensor, bias: &Tensor) -> Self {
+        let (in_dim, out_dim) = weight.shape();
+        assert_eq!(
+            bias.shape(),
+            (1, out_dim),
+            "bias shape mismatch: {}x{}, need 1x{out_dim}",
+            bias.rows(),
+            bias.cols()
+        );
+        let mut col = vec![0.0f32; in_dim];
+        let mut qcol = vec![0i8; in_dim];
+        let mut wq = vec![0i8; in_dim * out_dim];
+        let mut wparams = Vec::with_capacity(out_dim);
+        for o in 0..out_dim {
+            for (i, c) in col.iter_mut().enumerate() {
+                *c = weight.get(i, o);
+            }
+            wparams.push(quantize_row(&col, &mut qcol));
+            // Scatter the quantized column back into the [in, out] layout.
+            for (i, &q) in qcol.iter().enumerate() {
+                wq[i * out_dim + o] = q;
+            }
+        }
+        let wq_wide = wq.iter().map(|&q| q as i32).collect();
+        let kf = in_dim as i32;
+        let wcorr = wparams.iter().map(|p| p.qsum - kf * p.zero_point).collect();
+        QuantizedLinear {
+            wq,
+            wq_wide,
+            wparams,
+            wcorr,
+            bias: bias.as_slice().to_vec(),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Serialized model size in bytes: i8 weights + per-channel affine
+    /// parameters + f32 bias. The f32 equivalent is `4·(in·out + out)`.
+    pub fn size_bytes(&self) -> usize {
+        self.wq.len()
+            + self.wparams.len() * (4 + 4 + 4)
+            + self.bias.len() * 4
+            + 2 * std::mem::size_of::<usize>()
+    }
+
+    /// Quantized forward pass on a flat row-major `[rows, in_dim]` buffer,
+    /// writing `[rows, out_dim]` into `out` (resized and fully overwritten;
+    /// no allocation once `out` and `scratch` have reached working-set size).
+    ///
+    /// Activations are quantized per row, the inner loop accumulates in
+    /// `i32`, and each output channel dequantizes once via its precomputed
+    /// affine correction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows * in_dim`.
+    pub fn forward_into(
+        &self,
+        x: &[f32],
+        rows: usize,
+        scratch: &mut QuantScratch,
+        out: &mut Vec<f32>,
+    ) {
+        let k = self.in_dim;
+        assert_eq!(
+            x.len(),
+            rows * k,
+            "quantized forward input mismatch: {} values for {rows} rows of {k}",
+            x.len()
+        );
+        reset_len(&mut scratch.qx, rows * k);
+        scratch.xq.clear();
+        for (r, xrow) in x.chunks_exact(k).enumerate() {
+            let p = quantize_row(xrow, &mut scratch.qx[r * k..(r + 1) * k]);
+            scratch.xq.push(p);
+        }
+        reset_len(&mut scratch.acc, rows * self.out_dim);
+        mm_i8(
+            &scratch.qx,
+            &self.wq_wide,
+            &mut scratch.acc,
+            k,
+            self.out_dim,
+        );
+        self.dequantize_acc(&scratch.acc, &scratch.xq, out);
+    }
+
+    /// Applies the per-(row, output-channel) affine correction and bias to
+    /// raw `i32` dot products, producing the f32 output matrix.
+    fn dequantize_acc(&self, acc: &[i32], xparams: &[RowQuantParams], out: &mut Vec<f32>) {
+        reset_len(out, xparams.len() * self.out_dim);
+        for ((orow, arow), &px) in out
+            .chunks_exact_mut(self.out_dim)
+            .zip(acc.chunks_exact(self.out_dim))
+            .zip(xparams)
+        {
+            for (((y, &dot), (&pw, &wc)), &b) in orow
+                .iter_mut()
+                .zip(arow)
+                .zip(self.wparams.iter().zip(&self.wcorr))
+                .zip(&self.bias)
+            {
+                // `wc = Σq_w − K·z_w`, so this equals the four-term affine
+                // correction exactly (integer math, no rounding).
+                let corr = dot - pw.zero_point * px.qsum - px.zero_point * wc;
+                *y = px.scale * pw.scale * corr as f32 + b;
+            }
+        }
+    }
+
+    /// Fused embedding-gather + quantized forward: projects the
+    /// `table` rows selected by `ids` without materializing the gathered
+    /// activation matrix — the kernel's register tiles read each row's
+    /// `i8` codes in place. This is the text codec's batched-encode hot
+    /// path: it skips the dequantize-to-f32, the dynamic re-quantization,
+    /// *and* the per-token gather copy a f32 forward would pay.
+    ///
+    /// Writes `[ids.len(), out_dim]` into `out` (resized and fully
+    /// overwritten). `scratch` lends the integer accumulator and the
+    /// row-parameter gather buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table.cols() != in_dim` or any id is out of bounds.
+    pub fn forward_gathered_into(
+        &self,
+        table: &QuantizedTable,
+        ids: &[usize],
+        scratch: &mut QuantScratch,
+        out: &mut Vec<f32>,
+    ) {
+        let k = self.in_dim;
+        assert_eq!(
+            table.cols(),
+            k,
+            "gathered forward width mismatch: table rows of {} vs in_dim {k}",
+            table.cols()
+        );
+        let n = self.out_dim;
+        scratch.xq.clear();
+        for &id in ids {
+            assert!(
+                id < table.rows,
+                "row {id} out of bounds for {} rows",
+                table.rows
+            );
+            scratch.xq.push(table.params[id]);
+        }
+        reset_len(&mut scratch.acc, ids.len() * n);
+        let row = |i: usize| &table.q[ids[i] * k..(ids[i] + 1) * k];
+        let mut quads = scratch.acc.chunks_exact_mut(4 * n);
+        let mut i = 0;
+        for quad in &mut quads {
+            let (o0, r123) = quad.split_at_mut(n);
+            let (o1, r23) = r123.split_at_mut(n);
+            let (o2, o3) = r23.split_at_mut(n);
+            mm_tile4_i8(
+                [row(i), row(i + 1), row(i + 2), row(i + 3)],
+                &self.wq_wide,
+                n,
+                [o0, o1, o2, o3],
+            );
+            i += 4;
+        }
+        for orow in quads.into_remainder().chunks_exact_mut(n) {
+            mm_tile1_i8(row(i), &self.wq_wide, n, orow);
+            i += 1;
+        }
+        self.dequantize_acc(&scratch.acc, &scratch.xq, out);
+    }
+
+    /// Allocating convenience wrapper over [`QuantizedLinear::forward_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(
+            x.cols(),
+            self.in_dim,
+            "quantized forward width mismatch: {} vs {}",
+            x.cols(),
+            self.in_dim
+        );
+        let mut scratch = QuantScratch::new();
+        let mut out = Vec::new();
+        self.forward_into(x.as_slice(), x.rows(), &mut scratch, &mut out);
+        Tensor::from_vec(x.rows(), self.out_dim, out).expect("shape correct by construction")
+    }
+}
+
+/// A quantized embedding/lookup table: `i8` codes with per-row affine
+/// parameters, dequantized on gather. This is where most of a text KB's
+/// bytes live (`vocab × dim`), so it dominates the 4x size win.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedTable {
+    q: Vec<i8>,
+    params: Vec<RowQuantParams>,
+    rows: usize,
+    cols: usize,
+}
+
+impl QuantizedTable {
+    /// Quantizes a `rows x cols` f32 table per row.
+    pub fn from_tensor(table: &Tensor) -> Self {
+        let (rows, cols) = table.shape();
+        let mut q = vec![0i8; rows * cols];
+        let mut params = Vec::with_capacity(rows);
+        for r in 0..rows {
+            params.push(quantize_row(table.row(r), &mut q[r * cols..(r + 1) * cols]));
+        }
+        QuantizedTable {
+            q,
+            params,
+            rows,
+            cols,
+        }
+    }
+
+    /// Number of rows (vocabulary size for embedding tables).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row width.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Dequantizes row `r` into `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `dst.len() != cols`.
+    pub fn dequantize_row_into(&self, r: usize, dst: &mut [f32]) {
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
+        assert_eq!(dst.len(), self.cols, "dst width mismatch");
+        let p = self.params[r];
+        let src = &self.q[r * self.cols..(r + 1) * self.cols];
+        for (d, &qv) in dst.iter_mut().zip(src) {
+            *d = p.scale * (qv as i32 - p.zero_point) as f32;
+        }
+    }
+
+    /// Serialized table size in bytes (i8 codes + per-row parameters).
+    pub fn size_bytes(&self) -> usize {
+        self.q.len() + self.params.len() * (4 + 4 + 4) + 2 * std::mem::size_of::<usize>()
+    }
+}
+
+/// A stack of [`QuantizedLinear`] layers with ReLU between consecutive
+/// layers (and no activation after the last) — the shape of every decoder
+/// and MLP encoder in the codec crates. Callers that need a trailing
+/// LayerNorm apply it to the output buffer
+/// (see `LayerNorm::normalize_rows`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedModel {
+    layers: Vec<QuantizedLinear>,
+}
+
+/// Reusable activation + quantization buffers for
+/// [`QuantizedModel::forward_into`]; holds the ping-pong intermediate
+/// activations so warm multi-layer forwards are allocation-free.
+#[derive(Debug, Default)]
+pub struct ModelScratch {
+    /// Activation-quantization buffers shared by all layers.
+    pub quant: QuantScratch,
+    act_a: Vec<f32>,
+    act_b: Vec<f32>,
+}
+
+impl ModelScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl QuantizedModel {
+    /// Builds a quantized MLP from trained f32 layers, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive dimensions mismatch.
+    pub fn from_linears(layers: &[&Linear]) -> Self {
+        assert!(!layers.is_empty(), "quantized model needs at least 1 layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].out_dim(),
+                pair[1].in_dim(),
+                "layer dimension mismatch: {} -> {}",
+                pair[0].out_dim(),
+                pair[1].in_dim()
+            );
+        }
+        QuantizedModel {
+            layers: layers
+                .iter()
+                .map(|l| QuantizedLinear::from_linear(l))
+                .collect(),
+        }
+    }
+
+    /// Input dimensionality of the first layer.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimensionality of the last layer.
+    pub fn out_dim(&self) -> usize {
+        self.layers[self.layers.len() - 1].out_dim()
+    }
+
+    /// Total serialized size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.layers.iter().map(QuantizedLinear::size_bytes).sum()
+    }
+
+    /// Quantized forward pass over a flat `[rows, in_dim]` buffer into
+    /// `out` (`[rows, out_dim]`), ReLU between layers. Allocation-free
+    /// once warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows * in_dim()`.
+    pub fn forward_into(
+        &self,
+        x: &[f32],
+        rows: usize,
+        scratch: &mut ModelScratch,
+        out: &mut Vec<f32>,
+    ) {
+        let ModelScratch {
+            quant,
+            act_a,
+            act_b,
+        } = scratch;
+        let n = self.layers.len();
+        if n == 1 {
+            self.layers[0].forward_into(x, rows, quant, out);
+            return;
+        }
+        self.layers[0].forward_into(x, rows, quant, act_a);
+        relu_in_place(act_a);
+        let (mut src, mut dst) = (act_a, act_b);
+        for (i, layer) in self.layers.iter().enumerate().skip(1) {
+            if i + 1 == n {
+                layer.forward_into(src, rows, quant, out);
+            } else {
+                layer.forward_into(src, rows, quant, dst);
+                relu_in_place(dst);
+                std::mem::swap(&mut src, &mut dst);
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper over [`QuantizedModel::forward_into`].
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut scratch = ModelScratch::new();
+        let mut out = Vec::new();
+        self.forward_into(x.as_slice(), x.rows(), &mut scratch, &mut out);
+        Tensor::from_vec(x.rows(), self.out_dim(), out).expect("shape correct by construction")
+    }
+}
+
+fn relu_in_place(x: &mut [f32]) {
+    for v in x {
+        *v = v.max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use rand::Rng;
+
+    fn random_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut rng = seeded_rng(seed);
+        let data = (0..rows * cols).map(|_| rng.gen_range(-1.5..1.5)).collect();
+        Tensor::from_vec(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn quantize_row_roundtrip_error_is_below_half_step() {
+        let t = random_tensor(1, 64, 3);
+        let mut q = vec![0i8; 64];
+        let p = quantize_row(t.row(0), &mut q);
+        for (&v, &qv) in t.row(0).iter().zip(&q) {
+            let back = p.scale * (qv as i32 - p.zero_point) as f32;
+            assert!(
+                (v - back).abs() <= p.scale * 0.5 + 1e-6,
+                "v={v} back={back} scale={}",
+                p.scale
+            );
+        }
+        assert_eq!(p.qsum, q.iter().map(|&v| v as i32).sum::<i32>());
+    }
+
+    #[test]
+    fn zero_maps_to_zero_exactly() {
+        let mut q = vec![0i8; 4];
+        let p = quantize_row(&[-3.0, 0.0, 5.0, 0.0], &mut q);
+        let back = p.scale * (q[1] as i32 - p.zero_point) as f32;
+        assert_eq!(back, 0.0);
+    }
+
+    #[test]
+    fn constant_and_empty_rows_survive() {
+        let mut q = vec![0i8; 3];
+        let p = quantize_row(&[2.5, 2.5, 2.5], &mut q);
+        for &qv in &q {
+            let back = p.scale * (qv as i32 - p.zero_point) as f32;
+            assert!((back - 2.5).abs() < 0.02, "back={back}");
+        }
+        let p0 = quantize_row(&[0.0, 0.0, 0.0], &mut q);
+        assert_eq!(q, vec![0, 0, 0]);
+        assert_eq!(p0.qsum, 0);
+        let pe = quantize_row(&[], &mut []);
+        assert_eq!(pe.qsum, 0);
+    }
+
+    #[test]
+    fn quantized_linear_tracks_f32_linear() {
+        let layer = Linear::new(24, 8, 42);
+        let ql = QuantizedLinear::from_linear(&layer);
+        let x = random_tensor(5, 24, 7);
+        let exact = layer.infer(&x);
+        let approx = ql.forward(&x);
+        assert_eq!(approx.shape(), exact.shape());
+        let scale = exact.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        for (e, a) in exact.as_slice().iter().zip(approx.as_slice()) {
+            assert!(
+                (e - a).abs() < 0.02 * scale.max(1.0),
+                "exact={e} approx={a}"
+            );
+        }
+    }
+
+    #[test]
+    fn integer_matmul_kernel_handles_remainders() {
+        // Row counts straddle the 4-row quads; widths straddle the 8-lane
+        // column groups.
+        for rows in [1usize, 3, 4, 5, 8] {
+            for out in [1usize, 7, 8, 9, 16, 31] {
+                let k = 13;
+                let a: Vec<i8> = (0..rows * k)
+                    .map(|i| (i as i32 % 251 - 125) as i8)
+                    .collect();
+                let b: Vec<i32> = (0..k * out).map(|i| i as i32 * 7 % 251 - 125).collect();
+                let mut acc = vec![0i32; rows * out];
+                mm_i8(&a, &b, &mut acc, k, out);
+                for r in 0..rows {
+                    for o in 0..out {
+                        let naive: i32 = (0..k).map(|i| a[r * k + i] as i32 * b[i * out + o]).sum();
+                        assert_eq!(acc[r * out + o], naive, "rows={rows} out={out} r={r} o={o}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gathered_forward_matches_materialized_gather() {
+        let layer = Linear::new(6, 10, 11);
+        let ql = QuantizedLinear::from_linear(&layer);
+        let table = QuantizedTable::from_tensor(&random_tensor(20, 6, 13));
+        // 7 ids: one 4-row quad plus 3 remainder rows, with a repeat.
+        let ids = [3usize, 19, 0, 7, 7, 12, 1];
+        let mut scratch = QuantScratch::new();
+        let mut out = Vec::new();
+        ql.forward_gathered_into(&table, &ids, &mut scratch, &mut out);
+
+        // Reference: materialize the gathered codes, run the plain integer
+        // kernel, dequantize. Identical integer math => exact equality.
+        let mut qx = Vec::new();
+        let mut xp = Vec::new();
+        for &id in &ids {
+            qx.extend_from_slice(&table.q[id * 6..(id + 1) * 6]);
+            xp.push(table.params[id]);
+        }
+        let mut acc = vec![0i32; ids.len() * 10];
+        mm_i8(&qx, &ql.wq_wide, &mut acc, 6, 10);
+        let mut expect = Vec::new();
+        ql.dequantize_acc(&acc, &xp, &mut expect);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn quantized_model_matches_layered_forward() {
+        let l1 = Linear::new(8, 16, 1);
+        let l2 = Linear::new(16, 4, 2);
+        let qm = QuantizedModel::from_linears(&[&l1, &l2]);
+        assert_eq!(qm.in_dim(), 8);
+        assert_eq!(qm.out_dim(), 4);
+        let x = random_tensor(3, 8, 9);
+        let exact = l2.infer(&l1.infer(&x).map(|v| v.max(0.0)));
+        let approx = qm.forward(&x);
+        let scale = exact.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        for (e, a) in exact.as_slice().iter().zip(approx.as_slice()) {
+            assert!(
+                (e - a).abs() < 0.05 * scale.max(1.0),
+                "exact={e} approx={a}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_sizes_are_about_4x_smaller() {
+        let layer = Linear::new(64, 64, 0);
+        let ql = QuantizedLinear::from_linear(&layer);
+        let fp32 = 4 * (64 * 64 + 64);
+        assert!(ql.size_bytes() < fp32 / 2, "{} vs {fp32}", ql.size_bytes());
+        let table = random_tensor(100, 24, 5);
+        let qt = QuantizedTable::from_tensor(&table);
+        assert!(qt.size_bytes() < 100 * 24 * 4 / 2);
+        let mut row = vec![0.0f32; 24];
+        qt.dequantize_row_into(17, &mut row);
+        for (d, &v) in row.iter().zip(table.row(17)) {
+            assert!((d - v).abs() < 0.02, "d={d} v={v}");
+        }
+    }
+
+    #[test]
+    fn warm_forward_into_reuses_buffers() {
+        let layer = Linear::new(12, 6, 4);
+        let ql = QuantizedLinear::from_linear(&layer);
+        let x = random_tensor(4, 12, 11);
+        let mut scratch = QuantScratch::new();
+        let mut out = Vec::new();
+        ql.forward_into(x.as_slice(), 4, &mut scratch, &mut out);
+        let first = out.clone();
+        let cap = (out.capacity(), scratch.qx.capacity(), scratch.xq.capacity());
+        ql.forward_into(x.as_slice(), 4, &mut scratch, &mut out);
+        assert_eq!(out, first, "quantized forward must be deterministic");
+        assert_eq!(
+            cap,
+            (out.capacity(), scratch.qx.capacity(), scratch.xq.capacity()),
+            "warm forward_into grew a buffer"
+        );
+    }
+}

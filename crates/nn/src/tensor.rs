@@ -210,7 +210,15 @@ impl Tensor {
         assert_eq!(
             out.shape(),
             (self.rows, other.cols),
-            "matmul output shape mismatch"
+            "matmul output shape mismatch: out is {}x{}, need {}x{} for {}x{} . {}x{}",
+            out.rows,
+            out.cols,
+            self.rows,
+            other.cols,
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
         );
         let (k_dim, n) = (self.cols, other.cols);
         let a = &self.data;
@@ -218,6 +226,40 @@ impl Tensor {
         for_row_bands(&mut out.data, self.rows, n, 2 * k_dim * n, |i0, band| {
             mm_kernel(&a[i0 * k_dim..], b, band, k_dim, n);
         });
+    }
+
+    /// Reference matrix product: the serial scalar i-k-j axpy kernel,
+    /// retained as the ground truth that the SIMD microkernel behind
+    /// [`Tensor::matmul`] is property-pinned against (and as the readable
+    /// statement of the accumulation-order contract).
+    ///
+    /// Each output element accumulates its `k` terms in ascending order —
+    /// the same per-element order the lane-grouped kernel uses — so this is
+    /// **bit-identical** to [`Tensor::matmul`] at any worker count, not
+    /// merely approximately equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul_reference(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} . {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k_dim, n) = (self.cols, other.cols);
+        let mut out = Tensor::zeros(self.rows, n);
+        for i in 0..self.rows {
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for k in 0..k_dim {
+                let av = self.data[i * k_dim + k];
+                let brow = &other.data[k * n..(k + 1) * n];
+                for (d, &bv) in orow.iter_mut().zip(brow) {
+                    *d += av * bv;
+                }
+            }
+        }
+        out
     }
 
     /// Fused `selfᵀ (k×m)ᵀ · other (k×n) -> (m×n)` — the weight-gradient
@@ -365,7 +407,15 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn add_scaled(&mut self, other: &Tensor, s: f32) {
-        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add_scaled shape mismatch: {}x{} += {}x{}",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
         for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += b * s;
         }
@@ -491,19 +541,34 @@ where
     });
 }
 
+/// Explicit SIMD lane width of the matmul microkernel: output columns are
+/// processed eight at a time through fixed-size `[f32; 8]` accumulator
+/// arrays. Safe portable Rust (this crate forbids `unsafe`), but the
+/// fixed-width value arrays compile to one AVX/NEON register group per
+/// accumulator, so the inner loop vectorizes without intrinsics.
+const LANES: usize = 8;
+
 /// Dense row-major product kernel: `band = a_band (rows×k) · b (k×n)`.
 ///
-/// Processes four output rows at a time so each streamed row of `b` is
-/// reused fourfold from registers/L1. The inner loops are dense on purpose:
-/// a data-dependent sparse skip (the old `a == 0.0` branch) defeats
-/// vectorization and mispredicts on dense inputs, which is the common case
-/// for activations and gradients.
+/// Register-tiled microkernel: four output rows × eight output columns per
+/// tile, with the 4×8 partial sums held in `[f32; 8]` lane arrays
+/// ([`LANES`]) that live in vector registers across the whole `k` block.
+/// Each streamed row of `b` is thus reused fourfold from registers, and the
+/// per-lane multiply-adds vectorize. Columns beyond the last full lane
+/// group (`n % 8 != 0`) and rows beyond the last full quad fall back to
+/// scalar tiles.
+///
+/// The inner loops are dense on purpose: a data-dependent sparse skip (the
+/// old `a == 0.0` branch) defeats vectorization and mispredicts on dense
+/// inputs, which is the common case for activations and gradients.
 fn mm_kernel(a: &[f32], b: &[f32], band: &mut [f32], k_dim: usize, n: usize) {
     // Rows of `b` covered per pass: keeps the active `b` block (up to
     // K_BLOCK·n floats) cache-resident while every band row accumulates
     // it, instead of streaming all of `b` once per row quad. Blocks are
-    // visited in ascending `k`, so per-element accumulation order — and
-    // therefore bit-exact output — is unchanged.
+    // visited in ascending `k`, and every tile accumulates its `k` terms
+    // in ascending order, so per-element accumulation order — and
+    // therefore bit-exact output (vs. [`Tensor::matmul_reference`] and any
+    // worker count) — is unchanged.
     const K_BLOCK: usize = 64;
     band.fill(0.0);
     let rows = band.len() / n;
@@ -516,39 +581,103 @@ fn mm_kernel(a: &[f32], b: &[f32], band: &mut [f32], k_dim: usize, n: usize) {
             let (o0, r123) = quad.split_at_mut(n);
             let (o1, r23) = r123.split_at_mut(n);
             let (o2, o3) = r23.split_at_mut(n);
-            for k in k0..k1 {
-                let av0 = a[i * k_dim + k];
-                let av1 = a[(i + 1) * k_dim + k];
-                let av2 = a[(i + 2) * k_dim + k];
-                let av3 = a[(i + 3) * k_dim + k];
-                let brow = &b[k * n..(k + 1) * n];
-                for ((((d0, d1), d2), d3), &bv) in o0
-                    .iter_mut()
-                    .zip(o1.iter_mut())
-                    .zip(o2.iter_mut())
-                    .zip(o3.iter_mut())
-                    .zip(brow)
-                {
-                    *d0 += av0 * bv;
-                    *d1 += av1 * bv;
-                    *d2 += av2 * bv;
-                    *d3 += av3 * bv;
-                }
-            }
+            mm_tile4(
+                [
+                    &a[i * k_dim..(i + 1) * k_dim],
+                    &a[(i + 1) * k_dim..(i + 2) * k_dim],
+                    &a[(i + 2) * k_dim..(i + 3) * k_dim],
+                    &a[(i + 3) * k_dim..(i + 4) * k_dim],
+                ],
+                b,
+                (k0, k1),
+                n,
+                [o0, o1, o2, o3],
+            );
             i += 4;
         }
         for orow in quads.into_remainder().chunks_exact_mut(n) {
-            for k in k0..k1 {
-                let av = a[i * k_dim + k];
-                let brow = &b[k * n..(k + 1) * n];
-                for (d, &bv) in orow.iter_mut().zip(brow) {
-                    *d += av * bv;
-                }
-            }
+            mm_tile1(&a[i * k_dim..(i + 1) * k_dim], b, (k0, k1), n, orow);
             i += 1;
         }
         debug_assert_eq!(i, rows);
         k0 = k1;
+    }
+}
+
+/// 4-row register tile of [`mm_kernel`]: accumulates `a_rows · b[k0..k1]`
+/// into four output rows, eight columns ([`LANES`]) at a time.
+fn mm_tile4(
+    a_rows: [&[f32]; 4],
+    b: &[f32],
+    (k0, k1): (usize, usize),
+    n: usize,
+    o: [&mut [f32]; 4],
+) {
+    let [a0, a1, a2, a3] = a_rows;
+    let [o0, o1, o2, o3] = o;
+    let mut j = 0;
+    while j + LANES <= n {
+        // Partial sums for this 4×8 tile live in lane arrays (registers)
+        // for the whole k block; loaded/stored once per block.
+        let mut c0: [f32; LANES] = o0[j..j + LANES].try_into().unwrap();
+        let mut c1: [f32; LANES] = o1[j..j + LANES].try_into().unwrap();
+        let mut c2: [f32; LANES] = o2[j..j + LANES].try_into().unwrap();
+        let mut c3: [f32; LANES] = o3[j..j + LANES].try_into().unwrap();
+        for k in k0..k1 {
+            let bv: [f32; LANES] = b[k * n + j..k * n + j + LANES].try_into().unwrap();
+            let (av0, av1, av2, av3) = (a0[k], a1[k], a2[k], a3[k]);
+            for l in 0..LANES {
+                c0[l] += av0 * bv[l];
+                c1[l] += av1 * bv[l];
+                c2[l] += av2 * bv[l];
+                c3[l] += av3 * bv[l];
+            }
+        }
+        o0[j..j + LANES].copy_from_slice(&c0);
+        o1[j..j + LANES].copy_from_slice(&c1);
+        o2[j..j + LANES].copy_from_slice(&c2);
+        o3[j..j + LANES].copy_from_slice(&c3);
+        j += LANES;
+    }
+    // Scalar fallback for the n % LANES remainder columns: same ascending-k
+    // per-element order, so still bit-identical to the reference.
+    for jj in j..n {
+        let (mut s0, mut s1, mut s2, mut s3) = (o0[jj], o1[jj], o2[jj], o3[jj]);
+        for k in k0..k1 {
+            let bv = b[k * n + jj];
+            s0 += a0[k] * bv;
+            s1 += a1[k] * bv;
+            s2 += a2[k] * bv;
+            s3 += a3[k] * bv;
+        }
+        o0[jj] = s0;
+        o1[jj] = s1;
+        o2[jj] = s2;
+        o3[jj] = s3;
+    }
+}
+
+/// 1-row tile of [`mm_kernel`] for the rows % 4 remainder band rows.
+fn mm_tile1(a_row: &[f32], b: &[f32], (k0, k1): (usize, usize), n: usize, o: &mut [f32]) {
+    let mut j = 0;
+    while j + LANES <= n {
+        let mut c: [f32; LANES] = o[j..j + LANES].try_into().unwrap();
+        for k in k0..k1 {
+            let bv: [f32; LANES] = b[k * n + j..k * n + j + LANES].try_into().unwrap();
+            let av = a_row[k];
+            for l in 0..LANES {
+                c[l] += av * bv[l];
+            }
+        }
+        o[j..j + LANES].copy_from_slice(&c);
+        j += LANES;
+    }
+    for jj in j..n {
+        let mut s = o[jj];
+        for k in k0..k1 {
+            s += a_row[k] * b[k * n + jj];
+        }
+        o[jj] = s;
     }
 }
 
@@ -793,6 +922,38 @@ mod tests {
             );
         }
         semcom_par::set_workers(1);
+    }
+
+    #[test]
+    fn simd_kernel_matches_scalar_reference_bit_exactly() {
+        // Shapes straddle the 8-lane groups (n % 8 ∈ {0,1,5,7}) and the
+        // 4-row quads; equality is bit-exact, not approximate.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 8),
+            (5, 9, 13),
+            (8, 24, 8),
+            (16, 16, 17),
+            (7, 65, 21),
+        ] {
+            let a = pseudo(m, k, 11);
+            let b = pseudo(k, n, 12);
+            assert_eq!(
+                a.matmul(&b).as_slice(),
+                a.matmul_reference(&b).as_slice(),
+                "m={m} k={k} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul output shape mismatch: out is 2x2, need 2x3")]
+    fn matmul_into_reports_output_shape() {
+        let a = t(2, 3, &[0.; 6]);
+        let b = t(3, 3, &[0.; 9]);
+        let mut out = Tensor::zeros(2, 2);
+        a.matmul_into(&b, &mut out);
     }
 
     #[test]

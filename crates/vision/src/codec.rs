@@ -4,6 +4,7 @@ use semcom_channel::{AwgnChannel, Channel};
 use semcom_nn::layers::{Activation, Conv2d, DenseLayer, LayerNorm, Linear, MaxPool2};
 use semcom_nn::loss::softmax_cross_entropy;
 use semcom_nn::optim::{Adam, Optimizer};
+use semcom_nn::quant::{QuantizedLinear, QuantizedModel};
 use semcom_nn::rng::{derive_seed, seeded_rng};
 use semcom_nn::Tensor;
 use serde::{Deserialize, Serialize};
@@ -132,6 +133,41 @@ impl ImageKb {
         let x = Tensor::row_from_slice(image);
         let h = self.pool.infer(&self.act1.infer(&self.conv.infer(&x)));
         self.norm.infer(&self.proj.infer(&h)).into_vec()
+    }
+
+    /// Encodes many images in one forward pass, returning
+    /// `[images.len(), feature_dim]` features. Every image flows through
+    /// the CNN independently (per-row conv, pool, projection, power norm),
+    /// so this is bit-identical to encoding each image separately — the
+    /// packed activation matrix only amortizes dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is empty or any image has the wrong size.
+    pub fn encode_batch(&self, images: &[&[f32]]) -> Tensor {
+        let mut flat = Vec::with_capacity(images.len() * GLYPH_PIXELS);
+        for img in images {
+            assert_eq!(img.len(), GLYPH_PIXELS, "wrong image size");
+            flat.extend_from_slice(img);
+        }
+        let x = Tensor::from_vec(images.len(), GLYPH_PIXELS, flat).expect("sizes checked above");
+        let h = self.pool.infer(&self.act1.infer(&self.conv.infer(&x)));
+        self.norm.infer(&self.proj.infer(&h))
+    }
+
+    /// Converts this trained KB into its int8 inference twin: projection
+    /// and decoder linears quantized, the (tiny) conv front-end kept f32.
+    pub fn quantize(&self) -> QuantizedImageKb {
+        QuantizedImageKb {
+            conv: self.conv.clone(),
+            act1: self.act1.clone(),
+            pool: self.pool.clone(),
+            proj: QuantizedLinear::from_linear(&self.proj),
+            norm: self.norm.clone(),
+            dec: QuantizedModel::from_linears(&[&self.dec1, &self.dec2]),
+            feature_dim: self.feature_dim,
+            classes: self.classes,
+        }
     }
 
     /// Decodes received features to the most likely concept.
@@ -362,6 +398,118 @@ impl ImageKb {
     }
 }
 
+/// Int8 post-training-quantized twin of [`ImageKb`] for inference: the
+/// projection and decoder linears (the bulk of the parameters) are stored
+/// as quantized weights with i32 accumulation; the conv front-end (40
+/// scalars) stays f32.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedImageKb {
+    conv: Conv2d,
+    act1: Activation,
+    pool: MaxPool2,
+    proj: QuantizedLinear,
+    norm: LayerNorm,
+    dec: QuantizedModel,
+    feature_dim: usize,
+    classes: usize,
+}
+
+impl QuantizedImageKb {
+    /// Features (channel symbols) per image.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Number of visual concepts the decoder can emit.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Complex channel symbols per transmitted image (unchanged by
+    /// quantization: model bytes shrink, the air interface does not).
+    pub fn symbols_per_image(&self) -> usize {
+        self.feature_dim.div_ceil(2)
+    }
+
+    /// Storage size in bytes: f32 conv front-end + quantized projection and
+    /// decoder + f32 norm, same fixed header as [`ImageKb::size_bytes`].
+    pub fn size_bytes(&self) -> usize {
+        let conv_params = CONV_CH * KERNEL * KERNEL + CONV_CH;
+        conv_params * 4
+            + self.proj.size_bytes()
+            + 2 * self.feature_dim * 4
+            + self.dec.size_bytes()
+            + 64
+    }
+
+    /// Encodes one image to power-normalized features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image.len() != GLYPH_PIXELS`.
+    pub fn encode(&self, image: &[f32]) -> Vec<f32> {
+        self.encode_batch(&[image]).into_vec()
+    }
+
+    /// Encodes many images in one forward pass (f32 conv front-end, then
+    /// one quantized projection over the packed activation matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is empty or any image has the wrong size.
+    pub fn encode_batch(&self, images: &[&[f32]]) -> Tensor {
+        let mut flat = Vec::with_capacity(images.len() * GLYPH_PIXELS);
+        for img in images {
+            assert_eq!(img.len(), GLYPH_PIXELS, "wrong image size");
+            flat.extend_from_slice(img);
+        }
+        let x = Tensor::from_vec(images.len(), GLYPH_PIXELS, flat).expect("sizes checked above");
+        let h = self.pool.infer(&self.act1.infer(&self.conv.infer(&x)));
+        let mut feat = self.proj.forward(&h);
+        self.norm.normalize_rows(feat.as_mut_slice());
+        feat
+    }
+
+    /// Decodes received features to the most likely concept.
+    pub fn decode(&self, features: &[f32]) -> usize {
+        let f = Tensor::row_from_slice(features);
+        self.dec.forward(&f).argmax_row(0)
+    }
+
+    /// End-to-end transmission: `self` encodes, `receiver` decodes.
+    pub fn transmit(
+        &self,
+        receiver: &QuantizedImageKb,
+        image: &[f32],
+        channel: &dyn Channel,
+        rng: &mut dyn RngCore,
+    ) -> usize {
+        let features = self.encode(image);
+        let received = channel.transmit_f32(&features, rng);
+        receiver.decode(&received)
+    }
+
+    /// Classification accuracy over `n` fresh samples through `channel` —
+    /// same protocol as [`ImageKb::accuracy`], so fp32 and int8 accuracy
+    /// are directly comparable at equal seeds.
+    pub fn accuracy(
+        &self,
+        glyphs: &GlyphSet,
+        channel: &dyn Channel,
+        n: usize,
+        rng: &mut dyn RngCore,
+    ) -> f64 {
+        let mut correct = 0;
+        for _ in 0..n {
+            let (img, label) = glyphs.sample(rng);
+            if self.transmit(self, &img, channel, rng) == label {
+                correct += 1;
+            }
+        }
+        correct as f64 / n.max(1) as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,5 +603,47 @@ mod tests {
         let g = GlyphSet::new(3, 1);
         let kb = ImageKb::new(&g, 8, 1);
         kb.encode(&[0.0; 10]);
+    }
+
+    #[test]
+    fn encode_batch_is_bit_identical_to_individual_encodes() {
+        let g = GlyphSet::new(5, 1);
+        let kb = ImageKb::new(&g, 8, 2);
+        let mut rng = seeded_rng(9);
+        let imgs: Vec<Vec<f32>> = (0..3).map(|_| g.sample(&mut rng).0).collect();
+        let refs: Vec<&[f32]> = imgs.iter().map(Vec::as_slice).collect();
+        let batched = kb.encode_batch(&refs);
+        assert_eq!(batched.shape(), (3, 8));
+        for (r, img) in refs.iter().enumerate() {
+            assert_eq!(batched.row(r), kb.encode(img).as_slice(), "image {r}");
+        }
+    }
+
+    #[test]
+    fn quantized_kb_tracks_f32_accuracy_and_is_smaller() {
+        let g = GlyphSet::new(6, 1);
+        let mut kb = ImageKb::new(&g, 8, 2);
+        kb.train(&g, &quick(), 5);
+        let q = kb.quantize();
+        assert_eq!(q.feature_dim(), kb.feature_dim());
+        assert_eq!(q.classes(), kb.classes());
+        assert_eq!(q.symbols_per_image(), kb.symbols_per_image());
+        assert!(
+            q.size_bytes() < kb.size_bytes() / 2,
+            "quantized {} vs f32 {}",
+            q.size_bytes(),
+            kb.size_bytes()
+        );
+        let mut rng = seeded_rng(11);
+        let acc_f32 = kb.accuracy(&g, &NoiselessChannel, 150, &mut rng);
+        let mut rng = seeded_rng(11);
+        let acc_int8 = q.accuracy(&g, &NoiselessChannel, 150, &mut rng);
+        assert!(
+            acc_f32 - acc_int8 < 0.01,
+            "int8 accuracy loss too large: {acc_f32} -> {acc_int8}"
+        );
+        // Batch encode agrees with single encode.
+        let (img, _) = g.sample(&mut rng);
+        assert_eq!(q.encode_batch(&[&img]).into_vec(), q.encode(&img));
     }
 }

@@ -53,6 +53,6 @@ mod glyphs;
 mod video;
 
 pub use baseline::PixelBaseline;
-pub use codec::{ImageKb, ImageTrainConfig};
+pub use codec::{ImageKb, ImageTrainConfig, QuantizedImageKb};
 pub use glyphs::{GlyphSet, GLYPH_PIXELS, GLYPH_SIDE};
 pub use video::{Motion, VideoKb, VideoSet, VideoTrainConfig, CLIP_SAMPLES, FRAMES};

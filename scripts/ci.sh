@@ -26,6 +26,17 @@ cargo bench -p semcom-bench --bench sync -- --test
 # Observability overhead routines (disabled vs enabled recorder on the
 # packed-transmit and sync-round hot paths; see BENCH_pr5.json).
 cargo bench -p semcom-bench --bench obs -- --test
+# NN kernel + codec serving routines (SIMD vs scalar reference matmul,
+# int8 vs fp32 encode, batched vs per-user; see BENCH_pr6.json).
+cargo bench -p semcom-bench --bench matmul -- --test
+cargo bench -p semcom-bench --bench codec -- --test
+
+echo "=== int8 accuracy gate (quantization loss < 1%) ==="
+# Redundant with `cargo test --workspace` above but called out as its own
+# gate: post-training int8 quantization must cost < 1% absolute task
+# accuracy on the seeded eval before any benchmark may advertise its
+# speedup (PR 6).
+cargo test -q -p semcom-codec --test quant_accuracy
 
 echo "=== wire fuzz (decode-never-panics) ==="
 # Redundant with `cargo test --workspace` above but called out as its own

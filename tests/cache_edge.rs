@@ -80,6 +80,7 @@ fn device_placement_only_wins_for_featherweight_codecs() {
         decode_ops: 1e5,
         feature_bytes: 100,
         text_bytes: 20_000,
+        ..MessageCost::default()
     };
     let heavy = MessageCost {
         encode_ops: 1e9,

@@ -16,6 +16,7 @@ use std::cell::Cell;
 
 use semcom_channel::coding::HammingCode74;
 use semcom_channel::{AwgnChannel, BitPipeline, BitVec, Modulation, TransmitScratch};
+use semcom_codec::{CodecConfig, DecodeScratch, EncodeScratch, KbScope, KnowledgeBase};
 use semcom_nn::rng::seeded_rng;
 use semcom_obs::{Recorder, Stage};
 
@@ -121,6 +122,44 @@ fn warm_transmit_packed_with_enabled_recorder_does_not_allocate() {
             "recorder was enabled but idle"
         );
     }
+}
+
+#[test]
+fn warm_quantized_encode_batch_does_not_allocate() {
+    // The int8 serving path (PR 6): once the scratch buffers have grown to
+    // the largest batch seen, repeated cross-user batched encode + decode
+    // must not touch the heap.
+    let kb = KnowledgeBase::new(CodecConfig::tiny(), 30, 12, KbScope::General, 1);
+    let q = kb.quantize();
+    // A packed batch: three "users" worth of token lists, concatenated.
+    let tokens: Vec<usize> = (0..24).map(|i| (i * 7 + 3) % 30).collect();
+    let mut enc_scratch = EncodeScratch::new();
+    let mut dec_scratch = DecodeScratch::new();
+    let mut decisions = Vec::new();
+
+    for _ in 0..3 {
+        let feat = q.encoder.encode_batch_into(&tokens, &mut enc_scratch);
+        q.decoder
+            .predict_into(feat, tokens.len(), &mut dec_scratch, &mut decisions);
+    }
+
+    let before = local_allocations();
+    let mut guard = 0u32;
+    for _ in 0..50 {
+        let feat = q.encoder.encode_batch_into(&tokens, &mut enc_scratch);
+        guard ^= feat.len() as u32;
+        q.decoder
+            .predict_into(feat, tokens.len(), &mut dec_scratch, &mut decisions);
+        guard ^= decisions[0].0;
+    }
+    let after = local_allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "warm quantized encode_batch/predict allocated {} time(s) over 50 calls (guard {guard})",
+        after - before
+    );
 }
 
 #[test]
