@@ -1,0 +1,139 @@
+//! Criterion benchmarks for the staged serving pipeline (PR 7), pinned by
+//! `BENCH_pr7.json`.
+//!
+//! Three questions:
+//!
+//! 1. What does the serial fallback cost? `pipeline/send_stream_1worker`
+//!    runs the identical stage functions inline and must stay within a few
+//!    percent of `pipeline/sequential_send_message`.
+//! 2. What does the threaded pipeline cost on pure-CPU work?
+//!    `pipeline/send_stream_4workers` — on a single-core host this mostly
+//!    measures queue overhead, since NN encode/decode cannot physically
+//!    parallelize there.
+//! 3. How much does stage overlap buy when the PHY leg has real airtime?
+//!    The `pipeline/paced_*` pair wraps the channel in a
+//!    [`PacedChannel`] (deterministic per-symbol `thread::sleep`,
+//!    bit-identical output): while message N's symbols are on the air, the
+//!    encode worker is already serving message N+1 — sleeping threads
+//!    don't compete for cores. This is the sustained-throughput gate.
+//!    Honest ceiling note: on a single-core host the pipelined wall clock
+//!    is bounded below by `max(total CPU, total airtime)` while sequential
+//!    pays `CPU + airtime`, so the speedup is capped strictly under 2×
+//!    (measured ≈1.9× here, i.e. ~96% of that host's own ceiling); the
+//!    full ≥2× needs ≥2 cores, where the encode/decode legs of different
+//!    messages also run concurrently instead of time-slicing one core.
+//!
+//! Training is disabled (threshold above buffer capacity) so every
+//! iteration serves a stationary workload: no mid-trace training rounds,
+//! whose cost would otherwise swamp the per-message numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use semcom::{ChannelModel, SemanticEdgeSystem, SystemConfig, UserId};
+use semcom_channel::{AwgnChannel, PacedChannel};
+use semcom_codec::CodecConfig;
+use semcom_text::Domain;
+
+/// Messages per measured iteration.
+const TRACE_LEN: usize = 64;
+
+/// Airtime per complex symbol for the paced pair. Sized so per-message
+/// airtime lands in the same range as the per-message CPU encode+decode
+/// cost of the bench codec — the regime where stage overlap pays the most
+/// (an air leg far larger than the CPU legs caps the pipeline at the PHY
+/// stage's own throughput; far smaller and there is nothing to hide).
+const NS_PER_SYMBOL: u64 = 1_100;
+
+fn build(paced: bool) -> (SemanticEdgeSystem, Vec<UserId>) {
+    let mut config = SystemConfig::tiny();
+    config.n_edges = 3;
+    config.channel = ChannelModel::Awgn { snr_db: 10.0 };
+    // A deliberately beefy codec over the tiny language: the serving-side
+    // encode/decode cost is what the pipeline overlaps, so give it real
+    // work per message. Pretraining accuracy is irrelevant to throughput,
+    // so keep its epochs low and system builds fast.
+    config.codec = CodecConfig {
+        embed_dim: 256,
+        feature_dim: 64,
+        hidden_dim: 3072,
+    };
+    config.pretrain.epochs = 2;
+    config.pretrain_sentences = 30;
+    // Never reaches the threshold: no training rounds mid-bench.
+    config.buffer_capacity = 1_000_000;
+    config.buffer_threshold = 1_000_000;
+    let mut system = SemanticEdgeSystem::build(config, 7);
+    if paced {
+        system.set_channel(Box::new(PacedChannel::new(
+            AwgnChannel::new(10.0),
+            NS_PER_SYMBOL,
+        )));
+    }
+    let users = (0..8)
+        .map(|i| {
+            system.register_user_at(
+                Domain::ALL[i % Domain::ALL.len()],
+                0.3 + 0.08 * i as f64,
+                i % 3,
+                (i + 1) % 3,
+            )
+        })
+        .collect();
+    (system, users)
+}
+
+fn trace(users: &[UserId]) -> Vec<UserId> {
+    (0..TRACE_LEN)
+        .map(|i| users[(i * 3 + 1) % users.len()])
+        .collect()
+}
+
+fn bench_cpu_paths(c: &mut Criterion) {
+    let (mut seq, users) = build(false);
+    let order = trace(&users);
+    c.bench_function("pipeline/sequential_send_message", |b| {
+        b.iter(|| {
+            for &u in &order {
+                std::hint::black_box(seq.send_message(u));
+            }
+        })
+    });
+
+    let (mut stream1, users) = build(false);
+    let order = trace(&users);
+    semcom_par::set_workers(1);
+    c.bench_function("pipeline/send_stream_1worker", |b| {
+        b.iter(|| std::hint::black_box(stream1.send_stream(&order)))
+    });
+
+    let (mut stream4, users) = build(false);
+    let order = trace(&users);
+    semcom_par::set_workers(4);
+    c.bench_function("pipeline/send_stream_4workers", |b| {
+        b.iter(|| std::hint::black_box(stream4.send_stream(&order)))
+    });
+    semcom_par::reset_workers();
+}
+
+fn bench_paced_overlap(c: &mut Criterion) {
+    let (mut seq, users) = build(true);
+    let order = trace(&users);
+    semcom_par::set_workers(1);
+    c.bench_function("pipeline/paced_sequential_send_message", |b| {
+        b.iter(|| {
+            for &u in &order {
+                std::hint::black_box(seq.send_message(u));
+            }
+        })
+    });
+
+    let (mut stream4, users) = build(true);
+    let order = trace(&users);
+    semcom_par::set_workers(4);
+    c.bench_function("pipeline/paced_send_stream_4workers", |b| {
+        b.iter(|| std::hint::black_box(stream4.send_stream(&order)))
+    });
+    semcom_par::reset_workers();
+}
+
+criterion_group!(benches, bench_cpu_paths, bench_paced_overlap);
+criterion_main!(benches);

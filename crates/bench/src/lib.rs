@@ -25,6 +25,8 @@
 //! | `t6_lossy_sync` | decoder sync over an unreliable link |
 //! | `t7_fault_sweep` | fault-tolerant sync transport: fault rate vs divergence/resyncs/overhead |
 //! | `t8_observability` | unified observability: stage latencies, counters, event journal over a mixed workload |
+//! | `t9_trilemma` | accuracy–latency–size trilemma: SIMD lanes, int8, cross-user batching |
+//! | `t10_pipeline` | staged serving pipeline: stream-vs-sequential bit-equality + fleet-driven service rounds |
 //!
 //! Run all with `scripts/run_all_experiments.sh` or individually:
 //!

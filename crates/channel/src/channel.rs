@@ -48,6 +48,106 @@ pub trait Channel {
         out.truncate(features.len());
         out
     }
+
+    /// In-place, scratch-reusing variant of [`Self::transmit_f32`]:
+    /// `features` is overwritten with the received values. Bit-identical to
+    /// `transmit_f32` (same packing, same per-symbol RNG order) and
+    /// allocation-free once the scratch buffers are warm — the semantic
+    /// serving pipeline's PHY stage keeps one [`FeatureScratch`] per
+    /// worker.
+    fn transmit_f32_in_place(
+        &self,
+        features: &mut [f32],
+        scratch: &mut FeatureScratch,
+        rng: &mut dyn RngCore,
+    ) {
+        scratch.symbols.clear();
+        scratch.symbols.reserve(features.len().div_ceil(2));
+        for pair in features.chunks(2) {
+            let re = pair[0] as f64;
+            let im = pair.get(1).copied().unwrap_or(0.0) as f64;
+            scratch.symbols.push(Complex::new(re, im));
+        }
+        self.transmit_into(&scratch.symbols, &mut scratch.received, rng);
+        for (pair, s) in features.chunks_mut(2).zip(&scratch.received) {
+            pair[0] = s.re as f32;
+            if let Some(im) = pair.get_mut(1) {
+                *im = s.im as f32;
+            }
+        }
+    }
+}
+
+/// Reusable buffers for [`Channel::transmit_f32_in_place`]: holds the
+/// packed I/Q symbols and the received symbols so warm feature transmits
+/// allocate nothing.
+#[derive(Debug, Default)]
+pub struct FeatureScratch {
+    symbols: Vec<Complex>,
+    received: Vec<Complex>,
+}
+
+impl FeatureScratch {
+    /// Creates an empty scratch; buffers grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        FeatureScratch::default()
+    }
+}
+
+/// Wraps a channel with a deterministic per-symbol airtime cost, modeled
+/// as a real `thread::sleep` during transmission.
+///
+/// Received values are **bit-identical** to the inner channel's (pacing
+/// happens before the inner transmit and consumes no RNG), so goldens and
+/// equivalence tests are unaffected. The staged serving pipeline uses this
+/// to demonstrate stage overlap on hosts where pure-CPU work cannot
+/// parallelize (NN encode/decode for message N+1 proceeds while message
+/// N's symbols are "on the air").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacedChannel<C> {
+    inner: C,
+    ns_per_symbol: u64,
+}
+
+impl<C: Channel> PacedChannel<C> {
+    /// Wraps `inner`, charging `ns_per_symbol` nanoseconds of airtime per
+    /// complex symbol transmitted.
+    pub fn new(inner: C, ns_per_symbol: u64) -> Self {
+        PacedChannel {
+            inner,
+            ns_per_symbol,
+        }
+    }
+
+    /// The wrapped channel.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Configured airtime per symbol in nanoseconds.
+    pub fn ns_per_symbol(&self) -> u64 {
+        self.ns_per_symbol
+    }
+
+    fn pace(&self, n_symbols: usize) {
+        let ns = self.ns_per_symbol.saturating_mul(n_symbols as u64);
+        if ns > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(ns));
+        }
+    }
+}
+
+impl<C: Channel> Channel for PacedChannel<C> {
+    fn transmit(&self, symbols: &[Complex], rng: &mut dyn RngCore) -> Vec<Complex> {
+        self.pace(symbols.len());
+        self.inner.transmit(symbols, rng)
+    }
+
+    fn transmit_into(&self, symbols: &[Complex], out: &mut Vec<Complex>, rng: &mut dyn RngCore) {
+        self.pace(symbols.len());
+        self.inner.transmit_into(symbols, out, rng);
+    }
 }
 
 /// The identity channel (no impairment). Useful as a baseline and in tests.
@@ -395,6 +495,45 @@ mod tests {
                 assert_eq!(a.re.to_bits(), b.re.to_bits());
                 assert_eq!(a.im.to_bits(), b.im.to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn transmit_f32_in_place_matches_transmit_f32_bit_for_bit() {
+        let feats: Vec<f32> = (0..513).map(|i| (i as f32) * 0.013 - 3.0).collect();
+        let channels: Vec<Box<dyn Channel>> = vec![
+            Box::new(NoiselessChannel),
+            Box::new(AwgnChannel::new(7.0)),
+            Box::new(RayleighChannel::new(7.0)),
+            Box::new(ErasureChannel::new(0.15)),
+        ];
+        let mut scratch = FeatureScratch::new();
+        for ch in &channels {
+            for len in [0usize, 1, 2, 5, 513] {
+                let legacy = ch.transmit_f32(&feats[..len], &mut seeded_rng(41));
+                let mut in_place = feats[..len].to_vec();
+                ch.transmit_f32_in_place(&mut in_place, &mut scratch, &mut seeded_rng(41));
+                assert_eq!(in_place.len(), legacy.len());
+                for (a, b) in in_place.iter().zip(&legacy) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paced_channel_output_is_bit_identical_to_inner() {
+        let symbols: Vec<Complex> = (0..97)
+            .map(|i| Complex::new((i % 7) as f64 - 3.0, (i % 4) as f64))
+            .collect();
+        let inner = AwgnChannel::new(5.0);
+        let paced = PacedChannel::new(inner, 10);
+        let a = inner.transmit(&symbols, &mut seeded_rng(77));
+        let b = paced.transmit(&symbols, &mut seeded_rng(77));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
         }
     }
 

@@ -59,7 +59,8 @@ pub mod coding;
 pub use arq::{ArqOutcome, ArqPipeline};
 pub use bits::{bits_to_bytes, bytes_to_bits, hamming_distance, BitVec, Bits};
 pub use channel::{
-    AwgnChannel, BinarySymmetricChannel, Channel, ErasureChannel, NoiselessChannel, RayleighChannel,
+    AwgnChannel, BinarySymmetricChannel, Channel, ErasureChannel, FeatureScratch, NoiselessChannel,
+    PacedChannel, RayleighChannel,
 };
 pub use complex::Complex;
 pub use fault::{FaultConfig, FaultStats, FaultyChannel, FaultyLink};

@@ -67,6 +67,10 @@ pub struct SystemConfig {
     pub selection: SelectionStrategy,
     /// Number of edge servers in the topology (min 2).
     pub n_edges: usize,
+    /// Max messages the staged pipeline's encode stage packs into one
+    /// batched NN call ([`crate::SemanticEdgeSystem::send_stream`] /
+    /// `send_batch` grouping).
+    pub encode_batch_size: usize,
 }
 
 impl Default for SystemConfig {
@@ -90,6 +94,7 @@ impl Default for SystemConfig {
             sync_protocol: SyncProtocol::DenseDelta,
             selection: SelectionStrategy::Contextual { decay: 0.7 },
             n_edges: 2,
+            encode_batch_size: 16,
         }
     }
 }
@@ -119,6 +124,7 @@ impl SystemConfig {
             sync_protocol: SyncProtocol::DenseDelta,
             selection: SelectionStrategy::Contextual { decay: 0.7 },
             n_edges: 2,
+            encode_batch_size: 4,
         }
     }
 }
@@ -140,6 +146,7 @@ mod tests {
             }
         }
         assert!(c.pretrain_sentences > 0);
+        assert!(c.encode_batch_size >= 1);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 mod config;
 mod metrics;
 mod server;
+pub mod stream;
 mod system;
 
 pub use config::{ChannelModel, SelectionStrategy, SystemConfig};

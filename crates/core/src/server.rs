@@ -9,6 +9,7 @@ use semcom_nn::params::ParamVec;
 use semcom_obs::Recorder;
 use semcom_text::Domain;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A `(user, domain)` model key — the unit of user-specific caching.
 pub type UserKey = (u64, Domain);
@@ -21,11 +22,15 @@ pub type UserKey = (u64, Domain);
 /// receiver role — the synchronized user decoders.
 pub struct EdgeServer {
     id: usize,
-    general: HashMap<Domain, KnowledgeBase>,
+    /// Models are stored behind [`Arc`] so the staged serving pipeline can
+    /// hand frozen snapshots to encode/decode workers without cloning
+    /// parameters; mutation goes through [`Arc::make_mut`] (copy-on-write,
+    /// a no-op while no pipeline slot holds a reference).
+    general: HashMap<Domain, Arc<KnowledgeBase>>,
     /// Sender role: cached user-specific KBs under a byte budget.
-    user_kbs: ModelCache<UserKey, KnowledgeBase>,
+    user_kbs: ModelCache<UserKey, Arc<KnowledgeBase>>,
     /// Receiver role: user decoders kept in sync by the sender's updates.
-    user_decoders: HashMap<UserKey, KnowledgeBase>,
+    user_decoders: HashMap<UserKey, Arc<KnowledgeBase>>,
     /// Sender role: per-user-per-domain mismatch buffers.
     buffers: HashMap<UserKey, DomainBuffer>,
     /// Sender role: sequence-numbered sync sessions.
@@ -55,7 +60,10 @@ impl EdgeServer {
     pub fn new(id: usize, general: HashMap<Domain, KnowledgeBase>, cache_bytes: usize) -> Self {
         EdgeServer {
             id,
-            general,
+            general: general
+                .into_iter()
+                .map(|(d, kb)| (d, Arc::new(kb)))
+                .collect(),
             user_kbs: ModelCache::new(cache_bytes, Box::new(SemanticCost::new())),
             user_decoders: HashMap::new(),
             buffers: HashMap::new(),
@@ -106,6 +114,20 @@ impl EdgeServer {
             .expect("general KB installed for every domain at build time")
     }
 
+    /// Shared handle to the general KB for a domain (pipeline ingress
+    /// captures these for the encode/decode workers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no general KB was installed for `domain`.
+    pub fn general_kb_shared(&self, domain: Domain) -> Arc<KnowledgeBase> {
+        Arc::clone(
+            self.general
+                .get(&domain)
+                .expect("general KB installed for every domain at build time"),
+        )
+    }
+
     /// Records a user-KB cache lookup (hit/miss statistics) and reports
     /// residency.
     pub fn lookup_user_kb(&mut self, key: &UserKey) -> bool {
@@ -114,18 +136,26 @@ impl EdgeServer {
 
     /// Borrows a resident user KB without touching statistics.
     pub fn peek_user_kb(&self, key: &UserKey) -> Option<&KnowledgeBase> {
-        self.user_kbs.peek(key)
+        self.user_kbs.peek(key).map(Arc::as_ref)
     }
 
-    /// Removes a user KB from the cache (e.g. to train it).
+    /// Shared handle to a resident user KB, without touching statistics.
+    pub fn peek_user_kb_shared(&self, key: &UserKey) -> Option<Arc<KnowledgeBase>> {
+        self.user_kbs.peek(key).map(Arc::clone)
+    }
+
+    /// Removes a user KB from the cache (e.g. to train it). If a pipeline
+    /// slot still holds the model, the cache's copy is detached from it.
     pub fn take_user_kb(&mut self, key: &UserKey) -> Option<KnowledgeBase> {
-        self.user_kbs.remove(key)
+        self.user_kbs
+            .remove(key)
+            .map(|arc| Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Inserts a user KB, returning any evicted keys.
     pub fn store_user_kb(&mut self, key: UserKey, kb: KnowledgeBase, cost: f64) -> Vec<UserKey> {
         let size = kb.size_bytes();
-        match self.user_kbs.insert(key, kb, size, cost) {
+        match self.user_kbs.insert(key, Arc::new(kb), size, cost) {
             semcom_cache::InsertOutcome::Inserted { evicted } => evicted,
             semcom_cache::InsertOutcome::TooLarge => Vec::new(),
         }
@@ -143,19 +173,25 @@ impl EdgeServer {
 
     /// Receiver role: the synchronized decoder for a user, if present.
     pub fn user_decoder(&self, key: &UserKey) -> Option<&KnowledgeBase> {
-        self.user_decoders.get(key)
+        self.user_decoders.get(key).map(Arc::as_ref)
     }
 
-    /// Receiver role: mutable access for applying sync updates.
+    /// Receiver role: shared handle to a synchronized user decoder.
+    pub fn user_decoder_shared(&self, key: &UserKey) -> Option<Arc<KnowledgeBase>> {
+        self.user_decoders.get(key).map(Arc::clone)
+    }
+
+    /// Receiver role: mutable access for applying sync updates
+    /// (copy-on-write if a pipeline slot still holds the decoder).
     pub fn user_decoder_mut(&mut self, key: &UserKey) -> Option<&mut KnowledgeBase> {
-        self.user_decoders.get_mut(key)
+        self.user_decoders.get_mut(key).map(Arc::make_mut)
     }
 
     /// Receiver role: installs the baseline user decoder and starts a
     /// fresh validating sync session for it (expected sequence number 0 —
     /// the sender session is recreated alongside, so both stay aligned).
     pub fn install_user_decoder(&mut self, key: UserKey, kb: KnowledgeBase) {
-        self.user_decoders.insert(key, kb);
+        self.user_decoders.insert(key, Arc::new(kb));
         self.receivers.insert(key, SyncReceiver::new());
     }
 
@@ -170,7 +206,7 @@ impl EdgeServer {
     /// check passes (decode, sequence, layout, digest), applies it to the
     /// user decoder. Returns `None` if no decoder is installed for `key`.
     pub fn receive_sync(&mut self, key: &UserKey, frame_bytes: &[u8]) -> Option<SyncVerdict> {
-        let kb = self.user_decoders.get_mut(key)?;
+        let kb = Arc::make_mut(self.user_decoders.get_mut(key)?);
         let receiver = self.receivers.entry(*key).or_default();
         let mut params = ParamVec::values_of(&kb.decoder.params_mut());
         let verdict = receiver.receive(frame_bytes, &mut params);

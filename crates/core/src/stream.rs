@@ -1,0 +1,559 @@
+//! Staged, pipelined message serving: [`SemanticEdgeSystem::send_stream`].
+//!
+//! The sequential [`SemanticEdgeSystem::send_message`] walks one message at
+//! a time through *compose → select → encode → channel → decode → commit*.
+//! This module overlaps those stages across messages on a
+//! [`semcom_par::Pipeline`] of bounded SPSC queues:
+//!
+//! ```text
+//! driver (caller thread)        stage workers
+//! ┌─────────┐   queue   ┌────────┐  ┌─────┐  ┌────────┐   queue   ┌────────┐
+//! │ Ingress ├──────────►│ Encode ├──► PHY ├──► Decode ├──────────►│ Commit │
+//! └─────────┘           └────────┘  └─────┘  └────────┘           └────────┘
+//! ```
+//!
+//! * **Ingress** (caller thread, needs `&mut self`): composes the sentence,
+//!   runs §III-A selection and the home-edge cache lookup, captures frozen
+//!   `Arc` handles to the serving encoder/decoder, and pre-assigns the
+//!   message's channel RNG from the same `derive_seed` schedule the
+//!   sequential path uses. Each message gets a monotonically increasing
+//!   *sequence ticket*.
+//! * **Encode** batches up to [`SystemConfig::encode_batch_size`] queued
+//!   messages per tick and packs the ones that share an encoder into one
+//!   forward pass (bit-identical to per-message encodes by the encoder's
+//!   per-row independence, the PR 6 property).
+//! * **PHY** transmits features in place through one per-worker
+//!   [`FeatureScratch`] using the slot's own pre-assigned RNG.
+//! * **Decode** runs the peer-edge decoder captured at ingress.
+//! * **Commit** (caller thread) applies cache/buffer/training/metrics/sync
+//!   effects strictly in ticket order, emitting deferred journal events
+//!   (e.g. `DomainMisselected`) at that point.
+//!
+//! # Determinism contract
+//!
+//! `send_stream` is **bit-identical to the equivalent sequence of
+//! `send_message` calls at any `SEMCOM_THREADS`** (pinned by the
+//! `pipeline_equivalence` property test). The three mechanisms:
+//!
+//! 1. **Pre-assigned RNG**: every slot carries its own channel RNG seeded
+//!    from its message index at ingress, so noise draws never depend on
+//!    stage interleaving.
+//! 2. **Per-user dependencies**: user `u`'s next message is not ingressed
+//!    until `u`'s previous ticket has committed (selector state and buffer
+//!    occupancy are read at ingress).
+//! 3. **Training barriers**: ingress predicts from buffer occupancy
+//!    whether a message will trigger training (`min(len + tokens, capacity)
+//!    ≥ threshold`, the exact [`semcom_fl::DomainBuffer`] readiness rule).
+//!    A predicted-training ticket becomes a full pipeline barrier — no
+//!    later message is ingressed until it commits — so model mutation,
+//!    cache eviction, and twin invalidation never race a captured handle.
+//!
+//! At `max_workers() <= 1` the same stage functions run inline on the
+//! caller thread (no queues, no threads), recording the identical span
+//! and counter schedule, so goldens match byte-for-byte at 1/2/4 threads.
+
+use crate::metrics::MessageOutcome;
+use crate::server::UserKey;
+use crate::system::{SemanticEdgeSystem, UserId};
+use rand::rngs::StdRng;
+use semcom_channel::{Channel, Complex, FeatureScratch};
+use semcom_codec::{KnowledgeBase, QuantizedDecoder, QuantizedEncoder};
+use semcom_nn::rng::{derive_seed, seeded_rng};
+use semcom_nn::Tensor;
+use semcom_obs::{Event, Recorder, Stage};
+use semcom_par::spsc::PushError;
+use semcom_par::Pipeline;
+use semcom_text::{ConceptId, CorpusGenerator, Domain, Rendering, Sentence};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Frozen encoder handle captured at ingress; stage workers read it
+/// without locking or cloning weight tables.
+#[derive(Clone)]
+enum StreamEncoder {
+    F32(Arc<KnowledgeBase>),
+    Int8(Arc<QuantizedEncoder>),
+}
+
+/// Frozen decoder handle captured at ingress.
+#[derive(Clone)]
+enum StreamDecoder {
+    F32(Arc<KnowledgeBase>),
+    Int8(Arc<QuantizedDecoder>),
+}
+
+/// One in-flight message: everything ingress decided, the frozen model
+/// handles, and the pre-assigned channel RNG. Mutated in place as it moves
+/// through the stages.
+struct StreamSlot {
+    ticket: u64,
+    msg_idx: u64,
+    user: UserId,
+    home: usize,
+    peer: usize,
+    true_domain: Domain,
+    selected: Domain,
+    key: UserKey,
+    used_user_model: bool,
+    misselected: bool,
+    will_train: bool,
+    sentence: Sentence,
+    enc: Option<StreamEncoder>,
+    dec: Option<StreamDecoder>,
+    rng: StdRng,
+    features: Option<Tensor>,
+    decoded: Vec<ConceptId>,
+    /// Ingress time, accumulated into this message's `Message` entry.
+    ingress_ns: u64,
+    /// Encode + channel + decode time accumulated across the stages.
+    stage_ns: u64,
+}
+
+fn same_encoder(a: &StreamEncoder, b: &StreamEncoder) -> bool {
+    match (a, b) {
+        (StreamEncoder::F32(x), StreamEncoder::F32(y)) => Arc::ptr_eq(x, y),
+        (StreamEncoder::Int8(x), StreamEncoder::Int8(y)) => Arc::ptr_eq(x, y),
+        _ => false,
+    }
+}
+
+/// Encode stage: groups the batch by serving encoder (`Arc` identity) and
+/// packs each group into one forward pass. Per-row independence of the
+/// encoder makes the packed pass bit-identical to per-message encodes.
+fn run_encode(batch: &mut [StreamSlot], obs: &Recorder) {
+    let t0 = obs.now_ns();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for i in 0..batch.len() {
+        let Some(enc) = &batch[i].enc else { continue };
+        match groups.iter_mut().find(|g| {
+            same_encoder(
+                batch[g[0]]
+                    .enc
+                    .as_ref()
+                    .expect("grouped slots carry encoders"),
+                enc,
+            )
+        }) {
+            Some(g) => g.push(i),
+            None => groups.push(vec![i]),
+        }
+    }
+    for g in &groups {
+        let enc = batch[g[0]]
+            .enc
+            .clone()
+            .expect("grouped slots carry encoders");
+        match enc {
+            StreamEncoder::F32(kb) => {
+                let lists: Vec<&[usize]> = g
+                    .iter()
+                    .map(|&i| batch[i].sentence.tokens.as_slice())
+                    .collect();
+                let feats = kb.encoder.encode_batch(&lists);
+                for (&i, f) in g.iter().zip(feats) {
+                    batch[i].features = Some(f);
+                }
+            }
+            StreamEncoder::Int8(enc) => {
+                let total: usize = g.iter().map(|&i| batch[i].sentence.tokens.len()).sum();
+                let mut packed = Vec::with_capacity(total);
+                for &i in g {
+                    packed.extend_from_slice(&batch[i].sentence.tokens);
+                }
+                let features = enc.encode(&packed);
+                let dim = features.cols();
+                let flat = features.as_slice();
+                let mut row = 0;
+                for &i in g {
+                    let len = batch[i].sentence.tokens.len();
+                    let part = flat[row * dim..(row + len) * dim].to_vec();
+                    batch[i].features =
+                        Some(Tensor::from_vec(len, dim, part).expect("split preserves shape"));
+                    row += len;
+                }
+            }
+        }
+    }
+    let n: usize = groups.iter().map(|g| g.len()).sum();
+    if n > 0 {
+        let share = obs.now_ns().saturating_sub(t0) / n as u64;
+        for g in &groups {
+            for &i in g {
+                obs.record_ns(Stage::SemanticEncode, share);
+                batch[i].stage_ns += share;
+            }
+        }
+        obs.add("pipeline_stage_encode", n as u64);
+        obs.add("sched_stream_encode_batches", 1);
+    }
+}
+
+/// PHY stage: in-place feature transmission on the slot's pre-assigned RNG
+/// through a per-worker scratch (zero allocations once warm).
+fn run_phy(
+    slot: &mut StreamSlot,
+    channel: &dyn Channel,
+    scratch: &mut FeatureScratch,
+    obs: &Recorder,
+) {
+    if let Some(f) = slot.features.as_mut() {
+        let t0 = obs.now_ns();
+        channel.transmit_f32_in_place(f.as_mut_slice(), scratch, &mut slot.rng);
+        let elapsed = obs.now_ns().saturating_sub(t0);
+        obs.record_ns(Stage::Channel, elapsed);
+        slot.stage_ns += elapsed;
+        obs.add("pipeline_stage_phy", 1);
+    }
+}
+
+/// Decode stage: peer-edge decoder captured at ingress.
+fn run_decode(slot: &mut StreamSlot, obs: &Recorder) {
+    if let Some(f) = &slot.features {
+        let t0 = obs.now_ns();
+        slot.decoded = match slot.dec.as_ref().expect("non-empty slots carry decoders") {
+            StreamDecoder::F32(kb) => kb.decoder.predict(f),
+            StreamDecoder::Int8(qd) => qd.predict(f),
+        };
+        let elapsed = obs.now_ns().saturating_sub(t0);
+        obs.record_ns(Stage::SemanticDecode, elapsed);
+        slot.stage_ns += elapsed;
+        obs.add("pipeline_stage_decode", 1);
+    }
+}
+
+/// Stand-in installed while the real channel is lent to the stage workers;
+/// nothing may transmit through the system during `send_stream`.
+#[derive(Debug)]
+struct DetachedChannel;
+
+impl Channel for DetachedChannel {
+    fn transmit(&self, _symbols: &[Complex], _rng: &mut dyn rand::RngCore) -> Vec<Complex> {
+        unreachable!("channel is detached while send_stream is running")
+    }
+}
+
+impl SemanticEdgeSystem {
+    /// Sends one message for every listed user through the **staged
+    /// serving pipeline**: ingress and ordered commit on the caller
+    /// thread, encode (cross-user batched) → PHY → decode on stage workers
+    /// connected by bounded SPSC queues. Results are returned in input
+    /// order and are **bit-identical to the equivalent sequence of
+    /// [`Self::send_message`] calls at any `SEMCOM_THREADS`** — see the
+    /// [module docs](crate::stream) for the ticket/barrier mechanics that
+    /// guarantee it. With one worker the stages run inline (same spans,
+    /// same effects, no queues).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any user is unknown.
+    pub fn send_stream(&mut self, users: &[UserId]) -> Vec<MessageOutcome> {
+        for user in users {
+            assert!(self.users.contains_key(user), "user is registered");
+        }
+        if users.is_empty() {
+            return Vec::new();
+        }
+        self.obs.add("pipeline_messages", users.len() as u64);
+        if semcom_par::max_workers() <= 1 {
+            self.send_stream_serial(users)
+        } else {
+            self.send_stream_pipelined(users)
+        }
+    }
+
+    /// Inline single-thread fallback: identical stage functions, identical
+    /// span/counter/event schedule, no queues or worker threads.
+    fn send_stream_serial(&mut self, users: &[UserId]) -> Vec<MessageOutcome> {
+        let base = self.metrics.messages;
+        let obs = self.obs.clone();
+        let channel = std::mem::replace(&mut self.channel, Box::new(DetachedChannel));
+        let mut scratch = FeatureScratch::new();
+        let mut batch: Vec<StreamSlot> = Vec::with_capacity(1);
+        let mut outcomes = Vec::with_capacity(users.len());
+        for (i, &user) in users.iter().enumerate() {
+            let slot = self.stream_ingress(user, i as u64, base + i as u64);
+            batch.push(slot);
+            run_encode(&mut batch, &obs);
+            let mut slot = batch.pop().expect("one slot in flight");
+            run_phy(&mut slot, channel.as_ref(), &mut scratch, &obs);
+            run_decode(&mut slot, &obs);
+            outcomes.push(self.stream_commit(slot));
+        }
+        self.channel = channel;
+        self.obs.set_gauge("sched_stream_workers", 1.0);
+        self.obs.set_gauge("sched_stream_encode_queue_peak", 0.0);
+        self.obs.set_gauge("sched_stream_egress_queue_peak", 0.0);
+        outcomes
+    }
+
+    /// The overlapped path: stage workers borrow the channel and frozen
+    /// model handles; the driver (this thread) interleaves ingress, feed,
+    /// and ordered commit.
+    fn send_stream_pipelined(&mut self, users: &[UserId]) -> Vec<MessageOutcome> {
+        let base = self.metrics.messages;
+        let encode_batch = self.config.encode_batch_size.max(1);
+        let queue_cap = (encode_batch * 2).max(8);
+        // Lend the channel to the PHY stage for the duration of the run;
+        // ingress/commit never transmit.
+        let channel = std::mem::replace(&mut self.channel, Box::new(DetachedChannel));
+        let channel_ref: &(dyn Channel + Send + Sync) = channel.as_ref();
+        let obs_e = self.obs.clone();
+        let obs_p = self.obs.clone();
+        let obs_d = self.obs.clone();
+        let mut scratch = FeatureScratch::new();
+        let pipeline = Pipeline::new(queue_cap)
+            .batch_stage(encode_batch, move |batch: &mut Vec<StreamSlot>| {
+                run_encode(batch, &obs_e);
+            })
+            .stage(move |mut slot: StreamSlot| {
+                run_phy(&mut slot, channel_ref, &mut scratch, &obs_p);
+                slot
+            })
+            .stage(move |mut slot: StreamSlot| {
+                run_decode(&mut slot, &obs_d);
+                slot
+            });
+        let workers = pipeline.planned_workers();
+
+        let (outcomes, peak_in, peak_out) = pipeline.run(|mut tx, mut rx| {
+            let mut outcomes = Vec::with_capacity(users.len());
+            let mut pending: Option<StreamSlot> = None;
+            let mut next = 0usize; // next user index to ingress
+            let mut committed = 0usize; // tickets committed so far
+            let mut barrier: Option<u64> = None; // training ticket in flight
+            let mut last_ticket: HashMap<UserId, u64> = HashMap::new();
+            let (mut peak_in, mut peak_out) = (0usize, 0usize);
+            loop {
+                // Feed as far as the dependency rules and queue space allow.
+                loop {
+                    if pending.is_none() {
+                        if next >= users.len() {
+                            break;
+                        }
+                        // A predicted-training ticket is a full barrier.
+                        if barrier.is_some_and(|b| (committed as u64) <= b) {
+                            break;
+                        }
+                        let user = users[next];
+                        // User state (selector, buffers) is read at ingress:
+                        // wait for this user's previous ticket to commit.
+                        if last_ticket
+                            .get(&user)
+                            .is_some_and(|&t| (committed as u64) <= t)
+                        {
+                            break;
+                        }
+                        let ticket = next as u64;
+                        let slot = self.stream_ingress(user, ticket, base + ticket);
+                        if slot.will_train {
+                            barrier = Some(ticket);
+                        }
+                        last_ticket.insert(user, ticket);
+                        next += 1;
+                        pending = Some(slot);
+                    }
+                    peak_in = peak_in.max(tx.len() + 1);
+                    match tx.try_push(pending.take().expect("pending set above")) {
+                        Ok(()) => {}
+                        Err(PushError::Full(slot)) => {
+                            pending = Some(slot);
+                            break;
+                        }
+                        Err(PushError::Closed(_)) => {
+                            unreachable!("stage workers outlive the driver")
+                        }
+                    }
+                }
+                // Drain exactly one committed result, or finish.
+                let in_pipe = next - committed - usize::from(pending.is_some());
+                if in_pipe == 0 {
+                    assert!(
+                        pending.is_none() && next >= users.len(),
+                        "feed loop only stalls with work in flight"
+                    );
+                    break;
+                }
+                peak_out = peak_out.max(rx.len());
+                let done = rx.pop().expect("pipeline holds in-flight slots");
+                assert_eq!(done.ticket, committed as u64, "tickets commit in order");
+                outcomes.push(self.stream_commit(done));
+                committed += 1;
+            }
+            drop(tx);
+            assert!(rx.pop().is_none(), "all tickets drained");
+            (outcomes, peak_in, peak_out)
+        });
+
+        self.channel = channel;
+        self.obs.set_gauge("sched_stream_workers", workers as f64);
+        self.obs
+            .set_gauge("sched_stream_queue_cap", queue_cap as f64);
+        self.obs
+            .set_gauge("sched_stream_encode_queue_peak", peak_in as f64);
+        self.obs
+            .set_gauge("sched_stream_egress_queue_peak", peak_out as f64);
+        outcomes
+    }
+
+    /// Ingress for ticket `ticket` (= message index `msg_idx - base`):
+    /// compose, select, cache lookup, model capture, training prediction,
+    /// RNG pre-assignment. Runs on the caller thread; the only stage
+    /// besides commit that touches `&mut self`.
+    fn stream_ingress(&mut self, user: UserId, ticket: u64, msg_idx: u64) -> StreamSlot {
+        let t0 = self.obs.now_ns();
+        let (sentence, home, peer, true_domain) = {
+            let profile = self.users.get(&user).expect("user is registered");
+            let mut gen = CorpusGenerator::new(
+                &self.language,
+                derive_seed(self.seed, 1_000_000 + msg_idx * 7 + user),
+            );
+            (
+                gen.sentence(profile.domain, Rendering::Idiolect(&profile.idiolect)),
+                profile.home,
+                profile.peer,
+                profile.domain,
+            )
+        };
+        let (selected, key, used_user_model, misselected) =
+            self.select_and_lookup(user, true_domain, home, &sentence.tokens);
+
+        // Capture frozen serving handles. Training commits are barriers,
+        // so the captured models are exactly what the sequential path
+        // would read at its encode/decode time.
+        let (enc, dec) = if sentence.tokens.is_empty() {
+            (None, None)
+        } else {
+            let enc = match &mut self.quant {
+                None => StreamEncoder::F32(if used_user_model {
+                    self.servers[home]
+                        .peek_user_kb_shared(&key)
+                        .expect("lookup_user_kb reported residency")
+                } else {
+                    self.servers[home].general_kb_shared(selected)
+                }),
+                Some(q) => StreamEncoder::Int8(if used_user_model {
+                    let kb = self.servers[home]
+                        .peek_user_kb(&key)
+                        .expect("lookup_user_kb reported residency");
+                    q.user_encoders
+                        .entry(key)
+                        .or_insert_with(|| Arc::new(QuantizedEncoder::from_encoder(&kb.encoder)))
+                        .clone()
+                } else {
+                    q.general[&selected].0.clone()
+                }),
+            };
+            let dec = match &mut self.quant {
+                None => StreamDecoder::F32(
+                    self.servers[peer]
+                        .user_decoder_shared(&key)
+                        .unwrap_or_else(|| self.servers[peer].general_kb_shared(selected)),
+                ),
+                Some(q) => StreamDecoder::Int8(match self.servers[peer].user_decoder(&key) {
+                    Some(kb) => q
+                        .user_decoders
+                        .entry(key)
+                        .or_insert_with(|| Arc::new(QuantizedDecoder::from_decoder(&kb.decoder)))
+                        .clone(),
+                    None => q.general[&selected].1.clone(),
+                }),
+            };
+            (Some(enc), Some(dec))
+        };
+
+        // Exact readiness prediction: the buffer drops oldest at capacity,
+        // so post-commit occupancy is min(len + tokens, capacity).
+        let will_train = {
+            let buf = self.servers[home].buffer_mut(
+                key,
+                self.config.buffer_capacity,
+                self.config.buffer_threshold,
+            );
+            (buf.len() + sentence.tokens.len()).min(self.config.buffer_capacity)
+                >= self.config.buffer_threshold
+        };
+
+        let rng = seeded_rng(derive_seed(self.seed, 2_000_000 + msg_idx));
+        let ingress_ns = self.obs.now_ns().saturating_sub(t0);
+        self.obs.record_ns(Stage::Ingress, ingress_ns);
+        self.obs.add("pipeline_stage_ingress", 1);
+        StreamSlot {
+            ticket,
+            msg_idx,
+            user,
+            home,
+            peer,
+            true_domain,
+            selected,
+            key,
+            used_user_model,
+            misselected,
+            will_train,
+            sentence,
+            enc,
+            dec,
+            rng,
+            features: None,
+            decoded: Vec::new(),
+            ingress_ns,
+            stage_ns: 0,
+        }
+    }
+
+    /// Ordered commit: deferred journal events, then the shared back half
+    /// of serving (buffers, training, sync, metrics, selector feedback).
+    fn stream_commit(&mut self, slot: StreamSlot) -> MessageOutcome {
+        let t0 = self.obs.now_ns();
+        let StreamSlot {
+            msg_idx,
+            user,
+            home,
+            peer,
+            true_domain,
+            selected,
+            key,
+            used_user_model,
+            misselected,
+            will_train,
+            sentence,
+            decoded,
+            ingress_ns,
+            stage_ns,
+            ..
+        } = slot;
+        // The unbound fields (enc, dec, rng, features) drop here, so a
+        // training round's `Arc::make_mut` never clones weights for a
+        // handle this slot was still holding.
+        if misselected {
+            self.obs.emit(Event::DomainMisselected {
+                user,
+                selected: selected.index() as u8,
+                actual: true_domain.index() as u8,
+            });
+        }
+        let outcome = self.finalize_core(
+            user,
+            home,
+            peer,
+            true_domain,
+            selected,
+            key,
+            used_user_model,
+            msg_idx,
+            &sentence,
+            decoded,
+        );
+        debug_assert_eq!(
+            outcome.trained, will_train,
+            "ingress training prediction must match the commit"
+        );
+        let commit_ns = self.obs.now_ns().saturating_sub(t0);
+        self.obs.record_ns(Stage::Commit, commit_ns);
+        // Per-message parity with the sequential path's envelope spans.
+        self.obs.record_ns(Stage::SemanticTransmit, stage_ns);
+        self.obs
+            .record_ns(Stage::Message, ingress_ns + stage_ns + commit_ns);
+        self.obs.add("pipeline_stage_commit", 1);
+        outcome
+    }
+}

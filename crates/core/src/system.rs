@@ -18,18 +18,19 @@ use semcom_text::{
     SyntheticLanguage,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Stable user identifier.
 pub type UserId = u64;
 
 #[derive(Debug, Clone)]
-struct UserProfile {
-    domain: Domain,
-    idiolect: Idiolect,
+pub(crate) struct UserProfile {
+    pub(crate) domain: Domain,
+    pub(crate) idiolect: Idiolect,
     /// Edge server `i` the user attaches to (sender side).
-    home: usize,
+    pub(crate) home: usize,
     /// Edge server `j` the user's conversation partner attaches to.
-    peer: usize,
+    pub(crate) peer: usize,
 }
 
 /// Cached int8 twins used while quantized serving is enabled. User-model
@@ -37,10 +38,12 @@ struct UserProfile {
 /// sync, eviction, edge restart), so a cached twin always mirrors the
 /// currently-resident model; general twins are frozen at enable time,
 /// matching the frozen general KBs.
-struct QuantServing {
-    general: HashMap<Domain, QuantizedKb>,
-    user_encoders: HashMap<UserKey, QuantizedEncoder>,
-    user_decoders: HashMap<UserKey, QuantizedDecoder>,
+/// Twins are held behind [`Arc`] so the streaming pipeline can hand frozen
+/// references to stage workers without cloning weight tables.
+pub(crate) struct QuantServing {
+    pub(crate) general: HashMap<Domain, (Arc<QuantizedEncoder>, Arc<QuantizedDecoder>)>,
+    pub(crate) user_encoders: HashMap<UserKey, Arc<QuantizedEncoder>>,
+    pub(crate) user_decoders: HashMap<UserKey, Arc<QuantizedDecoder>>,
 }
 
 /// Per-message state shared by the sequential and batched send paths: the
@@ -68,18 +71,18 @@ struct MessageSlot {
 ///
 /// See the [crate documentation](crate) for an end-to-end example.
 pub struct SemanticEdgeSystem {
-    config: SystemConfig,
-    language: SyntheticLanguage,
-    servers: Vec<EdgeServer>,
-    channel: Box<dyn Channel + Send>,
+    pub(crate) config: SystemConfig,
+    pub(crate) language: SyntheticLanguage,
+    pub(crate) servers: Vec<EdgeServer>,
+    pub(crate) channel: Box<dyn Channel + Send + Sync>,
     selector_template: NaiveBayesSelector,
-    selectors: HashMap<UserId, Box<dyn DomainSelector + Send>>,
-    users: HashMap<UserId, UserProfile>,
+    pub(crate) selectors: HashMap<UserId, Box<dyn DomainSelector + Send>>,
+    pub(crate) users: HashMap<UserId, UserProfile>,
     next_user: UserId,
-    metrics: SystemMetrics,
-    obs: Recorder,
-    quant: Option<QuantServing>,
-    seed: u64,
+    pub(crate) metrics: SystemMetrics,
+    pub(crate) obs: Recorder,
+    pub(crate) quant: Option<QuantServing>,
+    pub(crate) seed: u64,
 }
 
 impl std::fmt::Debug for SemanticEdgeSystem {
@@ -131,7 +134,7 @@ impl SemanticEdgeSystem {
             .map(|i| EdgeServer::new(i, general.clone(), config.user_cache_bytes))
             .collect();
 
-        let channel: Box<dyn Channel + Send> = match config.channel {
+        let channel: Box<dyn Channel + Send + Sync> = match config.channel {
             ChannelModel::Awgn { snr_db } => Box::new(AwgnChannel::new(snr_db)),
             ChannelModel::Rayleigh { snr_db } => Box::new(RayleighChannel::new(snr_db)),
         };
@@ -162,7 +165,12 @@ impl SemanticEdgeSystem {
     pub fn enable_quantized_serving(&mut self) {
         let general = Domain::ALL
             .iter()
-            .map(|&d| (d, quantize_model(self.servers[0].general_kb(d))))
+            .map(|&d| {
+                let QuantizedKb {
+                    encoder, decoder, ..
+                } = quantize_model(self.servers[0].general_kb(d));
+                (d, (Arc::new(encoder), Arc::new(decoder)))
+            })
             .collect();
         self.quant = Some(QuantServing {
             general,
@@ -286,6 +294,16 @@ impl SemanticEdgeSystem {
     /// The configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// Replaces the physical channel used for message serving — e.g. a
+    /// [`semcom_channel::PacedChannel`] that models per-symbol airtime so
+    /// stage overlap in [`Self::send_stream`] is measurable even where CPU
+    /// parallelism is not available. The replacement participates in all
+    /// serving paths; determinism holds as long as the channel itself is
+    /// deterministic for a given RNG stream.
+    pub fn set_channel(&mut self, channel: Box<dyn Channel + Send + Sync>) {
+        self.channel = channel;
     }
 
     /// Number of edge servers.
@@ -479,6 +497,10 @@ impl SemanticEdgeSystem {
     ///
     /// The realized packing is published on the attached recorder as the
     /// `encode_batch_size` gauge (mean feature rows per encoder matmul).
+    /// Every message in a batch records its **own** per-stage histogram
+    /// entries — a [`Stage::SemanticEncode`] share of its group's packed
+    /// pass and a full [`Stage::SemanticTransmit`] — not just one envelope
+    /// span per group.
     ///
     /// # Panics
     ///
@@ -517,16 +539,23 @@ impl SemanticEdgeSystem {
             }
         }
         let mut packed_rows = 0usize;
+        // Per-slot share of its group's packed encode time, so every
+        // message in a batch gets its own SemanticEncode/SemanticTransmit
+        // histogram entry rather than one envelope span per group.
+        let mut encode_ns = vec![0u64; slots.len()];
         for ((home, user_key, selected), members) in &groups {
-            let _span = self.obs.span(Stage::SemanticTransmit);
+            let t0 = self.obs.now_ns();
             let token_lists: Vec<&[usize]> = members
                 .iter()
                 .map(|&i| slots[i].sentence.tokens.as_slice())
                 .collect();
             packed_rows += token_lists.iter().map(|t| t.len()).sum::<usize>();
             let features = self.encode_group(*home, *user_key, *selected, &token_lists);
+            let share = self.obs.now_ns().saturating_sub(t0) / members.len().max(1) as u64;
             for (&i, f) in members.iter().zip(features) {
                 slots[i].features = Some(f);
+                encode_ns[i] = share;
+                self.obs.record_ns(Stage::SemanticEncode, share);
             }
         }
         if !groups.is_empty() {
@@ -539,10 +568,15 @@ impl SemanticEdgeSystem {
         // Phase 3: channel, decode, buffers, training, and metrics — one
         // slot at a time, in order, on each message's own seed.
         let mut out = Vec::with_capacity(slots.len());
-        for slot in &slots {
+        for (i, slot) in slots.iter().enumerate() {
             let _msg_span = self.obs.span(Stage::Message);
             let mut rng = seeded_rng(derive_seed(self.seed, 2_000_000 + slot.msg_idx));
+            let t0 = self.obs.now_ns();
             let decoded = self.transmit_slot(slot, &mut rng);
+            // Full per-message transmit time: this message's share of the
+            // packed encode plus its own channel + decode.
+            let spent = encode_ns[i] + self.obs.now_ns().saturating_sub(t0);
+            self.obs.record_ns(Stage::SemanticTransmit, spent);
             out.push(self.finalize_slot(slot, decoded));
         }
         out
@@ -552,25 +586,15 @@ impl SemanticEdgeSystem {
     /// sequential and batched send paths.
     fn prepare_slot(&mut self, user: UserId, sentence: Sentence, msg_idx: u64) -> MessageSlot {
         let profile = self.users.get(&user).expect("user is registered").clone();
-
-        // §III-A: pick the domain model from message content + context.
-        let selected = self
-            .selectors
-            .get_mut(&user)
-            .expect("selector per registered user")
-            .select(&sentence.tokens);
-        if selected != profile.domain {
+        let (selected, key, used_user_model, misselected) =
+            self.select_and_lookup(user, profile.domain, profile.home, &sentence.tokens);
+        if misselected {
             self.obs.emit(Event::DomainMisselected {
                 user,
                 selected: selected.index() as u8,
                 actual: profile.domain.index() as u8,
             });
         }
-        let key: UserKey = (user, selected);
-
-        // Cache lookup (records hit/miss on the home edge's user-model
-        // cache).
-        let used_user_model = self.servers[profile.home].lookup_user_kb(&key);
         MessageSlot {
             user,
             profile,
@@ -581,6 +605,31 @@ impl SemanticEdgeSystem {
             msg_idx,
             features: None,
         }
+    }
+
+    /// §III-A selection + home-edge cache lookup for one message — the
+    /// state-mutating front half of serving, shared by `prepare_slot` and
+    /// the streaming ingress (which defers the misselection event to its
+    /// ordered commit instead of emitting it here). Returns
+    /// `(selected, key, used_user_model, misselected)`.
+    pub(crate) fn select_and_lookup(
+        &mut self,
+        user: UserId,
+        true_domain: Domain,
+        home: usize,
+        tokens: &[usize],
+    ) -> (Domain, UserKey, bool, bool) {
+        // §III-A: pick the domain model from message content + context.
+        let selected = self
+            .selectors
+            .get_mut(&user)
+            .expect("selector per registered user")
+            .select(tokens);
+        let key: UserKey = (user, selected);
+        // Cache lookup (records hit/miss on the home edge's user-model
+        // cache).
+        let used_user_model = self.servers[home].lookup_user_kb(&key);
+        (selected, key, used_user_model, selected != true_domain)
     }
 
     /// Encode (or reuse pre-batched features) → channel → decode for one
@@ -634,11 +683,11 @@ impl SemanticEdgeSystem {
                         let kb = self.servers[home]
                             .peek_user_kb(&key)
                             .expect("lookup_user_kb reported residency");
-                        q.user_encoders
-                            .entry(key)
-                            .or_insert_with(|| QuantizedEncoder::from_encoder(&kb.encoder))
+                        q.user_encoders.entry(key).or_insert_with(|| {
+                            Arc::new(QuantizedEncoder::from_encoder(&kb.encoder))
+                        })
                     }
-                    None => &q.general[&selected].encoder,
+                    None => &q.general[&selected].0,
                 };
                 let total: usize = token_lists.iter().map(|t| t.len()).sum();
                 let mut packed = Vec::with_capacity(total);
@@ -675,9 +724,9 @@ impl SemanticEdgeSystem {
                 Some(kb) => q
                     .user_decoders
                     .entry(key)
-                    .or_insert_with(|| QuantizedDecoder::from_decoder(&kb.decoder))
+                    .or_insert_with(|| Arc::new(QuantizedDecoder::from_decoder(&kb.decoder)))
                     .predict(received),
-                None => q.general[&selected].decoder.predict(received),
+                None => q.general[&selected].1.predict(received),
             },
         }
     }
@@ -685,19 +734,36 @@ impl SemanticEdgeSystem {
     /// Mismatch bookkeeping, buffer fill, training trigger, metrics, and
     /// selector feedback for one decoded message.
     fn finalize_slot(&mut self, slot: &MessageSlot, decoded: Vec<ConceptId>) -> MessageOutcome {
-        let MessageSlot {
-            user,
-            profile,
-            sentence,
-            selected,
-            key,
-            used_user_model,
-            msg_idx,
-            ..
-        } = slot;
-        let (user, selected, key) = (*user, *selected, *key);
-        let (home, peer) = (profile.home, profile.peer);
+        self.finalize_core(
+            slot.user,
+            slot.profile.home,
+            slot.profile.peer,
+            slot.profile.domain,
+            slot.selected,
+            slot.key,
+            slot.used_user_model,
+            slot.msg_idx,
+            &slot.sentence,
+            decoded,
+        )
+    }
 
+    /// The back half of serving on borrowed parts (so the streaming commit
+    /// can reuse it without materializing a [`MessageSlot`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn finalize_core(
+        &mut self,
+        user: UserId,
+        home: usize,
+        peer: usize,
+        true_domain: Domain,
+        selected: Domain,
+        key: UserKey,
+        used_user_model: bool,
+        msg_idx: u64,
+        sentence: &Sentence,
+        decoded: Vec<ConceptId>,
+    ) -> MessageOutcome {
         // §II-C: the home edge has the decoder copy (d_i^m = d_j^m) and the
         // ground truth, so it records the mismatch locally — no output is
         // echoed back over the network.
@@ -720,18 +786,18 @@ impl SemanticEdgeSystem {
         // ship the decoder update to the peer edge.
         let mut sync_bytes = 0usize;
         if ready {
-            sync_bytes = self.train_and_sync(key, home, peer, *msg_idx);
+            sync_bytes = self.train_and_sync(key, home, peer, msg_idx);
         }
 
         // Bookkeeping.
         let symbols = self.config.codec.symbols_per_token() * sentence.tokens.len();
         let outcome = MessageOutcome {
             user,
-            true_domain: profile.domain,
+            true_domain,
             selected_domain: selected,
             sent: sentence.concepts.clone(),
             decoded,
-            used_user_model: *used_user_model,
+            used_user_model,
             trained: ready,
             sync_bytes,
             symbols,
@@ -748,7 +814,7 @@ impl SemanticEdgeSystem {
             self.metrics.selection_correct += 1;
         }
         self.metrics.payload_symbols += symbols as u64;
-        if *used_user_model {
+        if used_user_model {
             self.metrics.user_model_messages += 1;
         }
         if ready {

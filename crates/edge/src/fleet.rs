@@ -113,13 +113,26 @@ pub struct FleetReport {
     pub duration: f64,
 }
 
+/// A real serving backend that [`FleetSim::run_served`] routes dispatched
+/// service rounds through: the DES decides *which* requests coalesce into
+/// a round on *which* edge and *when*; the backend actually serves them.
+/// The T10 harness implements this by mapping model ids to registered
+/// users and calling `SemanticEdgeSystem::send_stream`, so the fleet's
+/// dispatch loop drives the staged serving pipeline end to end.
+pub trait BatchServer {
+    /// Serves one dispatched round on `edge`; `model_ids` are in queue
+    /// (FIFO) order.
+    fn serve_round(&mut self, edge: usize, model_ids: &[u64]);
+}
+
 struct EdgeState {
     cache: ModelCache<u64, ModelSpec>,
     free_at: f64,
     busy_time: f64,
     /// Ready requests awaiting a batched service round, FIFO by ready
-    /// time: `(ready_at, arrive_at)`. Only used when `max_batch > 1`.
-    queue: std::collections::VecDeque<(f64, f64)>,
+    /// time: `(ready_at, arrive_at, model_id)`. Only used when
+    /// `max_batch > 1`.
+    queue: std::collections::VecDeque<(f64, f64, u64)>,
 }
 
 struct World {
@@ -134,6 +147,9 @@ struct World {
     fetch_time_for: Box<dyn Fn(usize) -> f64>,
     rr_next: usize,
     assignment: Assignment,
+    /// Dispatched service rounds `(edge, model ids in service order)` in
+    /// simulation-time order; recorded only for [`FleetSim::run_served`].
+    rounds: Option<Vec<(usize, Vec<u64>)>>,
 }
 
 impl World {
@@ -168,12 +184,19 @@ impl World {
         let k = self.max_batch.min(self.edges[e].queue.len());
         let cost = self.dispatch_time + k as f64 * self.service_time;
         let done = now + cost;
+        let mut ids = Vec::with_capacity(if self.rounds.is_some() { k } else { 0 });
         for _ in 0..k {
-            let (_, arrive) = self.edges[e]
+            let (_, arrive, id) = self.edges[e]
                 .queue
                 .pop_front()
                 .expect("k bounded by queue length");
             self.latencies.push(done - arrive);
+            if self.rounds.is_some() {
+                ids.push(id);
+            }
+        }
+        if let Some(rounds) = &mut self.rounds {
+            rounds.push((e, ids));
         }
         self.edges[e].free_at = done;
         self.edges[e].busy_time += cost;
@@ -226,6 +249,33 @@ impl FleetSim {
         P: EvictionPolicy<u64> + Send + 'static,
         F: Fn() -> P,
     {
+        self.run_inner(seed, make_policy, false).0
+    }
+
+    /// Like [`FleetSim::run`], but additionally **routes every dispatched
+    /// service round through a real serving backend**: after the DES
+    /// resolves assignment, queueing, and batching, each round `(edge,
+    /// model ids)` is replayed in simulation-time order through
+    /// `server.serve_round`. The report is identical to [`FleetSim::run`]
+    /// for the same seed (recording rounds does not perturb the DES).
+    pub fn run_served<S: BatchServer>(&self, seed: u64, server: &mut S) -> FleetReport {
+        let (report, rounds) = self.run_inner(seed, Lru::new, true);
+        for (edge, ids) in &rounds {
+            server.serve_round(*edge, ids);
+        }
+        report
+    }
+
+    fn run_inner<P, F>(
+        &self,
+        seed: u64,
+        make_policy: F,
+        record_rounds: bool,
+    ) -> (FleetReport, Vec<(usize, Vec<u64>)>)
+    where
+        P: EvictionPolicy<u64> + Send + 'static,
+        F: Fn() -> P,
+    {
         let cfg = &self.config;
         let workload = Workload::standard(cfg.n_domains, cfg.n_users, cfg.zipf_alpha);
         let mut rng = seeded_rng(seed);
@@ -263,6 +313,7 @@ impl FleetSim {
             fetch_time_for: Box::new(move |bytes| edge_cloud.transfer_time(bytes)),
             rr_next: 0,
             assignment: cfg.assignment,
+            rounds: record_rounds.then(Vec::new),
         };
 
         let mut sim: Sim<World> = Sim::new();
@@ -291,6 +342,9 @@ impl FleetSim {
                         w.latencies.push(done - now);
                         w.batches += 1;
                         w.served += 1;
+                        if let Some(rounds) = &mut w.rounds {
+                            rounds.push((e, vec![spec.id]));
+                        }
                     } else {
                         // Batched mode: the request queues once its model
                         // is resident; a busy edge drains whatever has
@@ -298,7 +352,7 @@ impl FleetSim {
                         sim.schedule_at(
                             now + fetch,
                             Box::new(move |sim, w: &mut World| {
-                                w.edges[e].queue.push_back((sim.now(), now));
+                                w.edges[e].queue.push_back((sim.now(), now, spec.id));
                                 dispatch_loop(sim, w, e);
                             }),
                         );
@@ -314,7 +368,7 @@ impl FleetSim {
             hits += e.cache.stats().hits;
             lookups += e.cache.stats().lookups();
         }
-        FleetReport {
+        let report = FleetReport {
             latency: LatencySummary::from_samples(&world.latencies),
             hit_rate: if lookups == 0 {
                 0.0
@@ -329,7 +383,8 @@ impl FleetSim {
                 world.served as f64 / world.batches as f64
             },
             duration,
-        }
+        };
+        (report, world.rounds.unwrap_or_default())
     }
 }
 
@@ -491,6 +546,62 @@ mod tests {
     #[test]
     fn batched_replay_is_deterministic() {
         assert_eq!(overloaded(8), overloaded(8));
+    }
+
+    /// Counts what a backend would serve; used to pin `run_served`'s
+    /// replay contract.
+    #[derive(Default)]
+    struct CountingServer {
+        rounds: Vec<(usize, Vec<u64>)>,
+    }
+
+    impl BatchServer for CountingServer {
+        fn serve_round(&mut self, edge: usize, model_ids: &[u64]) {
+            self.rounds.push((edge, model_ids.to_vec()));
+        }
+    }
+
+    #[test]
+    fn run_served_replays_every_request_and_matches_run() {
+        let fleet = sim(Assignment::Sticky);
+        let mut server = CountingServer::default();
+        let served = fleet.run_served(11, &mut server);
+        assert_eq!(served, fleet.run(11), "recording rounds perturbed the DES");
+        let total: usize = server.rounds.iter().map(|(_, ids)| ids.len()).sum();
+        assert_eq!(total, fleet.config.n_requests);
+        assert!(server.rounds.iter().all(|&(e, _)| e < fleet.config.n_edges));
+    }
+
+    #[test]
+    fn run_served_rounds_coalesce_under_batching() {
+        let fleet = FleetSim::new(
+            FleetConfig {
+                n_edges: 1,
+                arrival_rate_hz: 300.0,
+                capacity_bytes: 40_000_000,
+                message: MessageCost {
+                    encode_ops: 1e8,
+                    decode_ops: 1e8,
+                    dispatch_ops: 4e8,
+                    ..MessageCost::default()
+                },
+                max_batch: 16,
+                ..FleetConfig::default()
+            },
+            Topology::default(),
+        );
+        let mut server = CountingServer::default();
+        let report = fleet.run_served(4, &mut server);
+        assert_eq!(report, overloaded(16));
+        let total: usize = server.rounds.iter().map(|(_, ids)| ids.len()).sum();
+        assert_eq!(total, fleet.config.n_requests);
+        let widest = server
+            .rounds
+            .iter()
+            .map(|(_, ids)| ids.len())
+            .max()
+            .unwrap();
+        assert!(widest > 2, "queue never coalesced: widest round {widest}");
     }
 
     #[test]

@@ -44,7 +44,7 @@ mod topology;
 pub mod engine;
 pub mod placement;
 
-pub use fleet::{Assignment, FleetConfig, FleetReport, FleetSim};
+pub use fleet::{Assignment, BatchServer, FleetConfig, FleetReport, FleetSim};
 pub use metrics::LatencySummary;
 pub use sim::{EdgeWorkloadSim, WorkloadConfig, WorkloadReport};
 pub use topology::{ComputeNode, Link, Topology};

@@ -37,11 +37,20 @@ pub enum Stage {
     SyncRound,
     /// One end-to-end message (`SemanticEdgeSystem::send_sentence`).
     Message,
+    /// Pipeline ingress: compose + select + model capture for one message
+    /// (`SemanticEdgeSystem::send_stream`).
+    Ingress,
+    /// Semantic NN encode, batched per pipeline tick (per-message share).
+    SemanticEncode,
+    /// Semantic NN decode in the pipeline's decode stage.
+    SemanticDecode,
+    /// Pipeline commit: cache/metrics/sync effects applied in ticket order.
+    Commit,
 }
 
 impl Stage {
     /// Every stage, in export order.
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 15] = [
         Stage::Encode,
         Stage::Modulate,
         Stage::Channel,
@@ -53,6 +62,10 @@ impl Stage {
         Stage::TrainRound,
         Stage::SyncRound,
         Stage::Message,
+        Stage::Ingress,
+        Stage::SemanticEncode,
+        Stage::SemanticDecode,
+        Stage::Commit,
     ];
 
     /// Stable snake_case name used in exports.
@@ -69,6 +82,10 @@ impl Stage {
             Stage::TrainRound => "train_round",
             Stage::SyncRound => "sync_round",
             Stage::Message => "message",
+            Stage::Ingress => "ingress",
+            Stage::SemanticEncode => "semantic_encode",
+            Stage::SemanticDecode => "semantic_decode",
+            Stage::Commit => "commit",
         }
     }
 }
@@ -157,6 +174,13 @@ impl Recorder {
                 start_ns: inner.clock.now_ns(),
             }),
         }
+    }
+
+    /// Reads the recorder's clock, or 0 when disabled. Pipeline stages use
+    /// matched `now_ns` pairs to accumulate per-message time across
+    /// threads before recording it with [`Self::record_ns`].
+    pub fn now_ns(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.clock.now_ns())
     }
 
     /// Records a pre-measured duration into a stage histogram.

@@ -94,8 +94,8 @@ impl Snapshot {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str("{\n");
-        self.write_counters(&mut out);
-        self.write_gauges(&mut out);
+        self.write_counters(&mut out, true);
+        self.write_gauges(&mut out, true);
 
         out.push_str("  \"histograms\": [\n");
         for (i, h) in self.histograms.iter().enumerate() {
@@ -138,18 +138,29 @@ impl Snapshot {
     /// and the event journal without timestamps. For a deterministic
     /// workload this output is byte-identical at any `SEMCOM_THREADS`
     /// setting — it is the section golden-checked by `scripts/ci.sh`.
+    ///
+    /// Metrics whose names start with `sched_` (queue depths, observed
+    /// batch sizes — anything that depends on thread scheduling rather
+    /// than the workload) are excluded here, and so are histograms with
+    /// zero samples (so goldens survive `Stage` gaining variants); both
+    /// still appear in [`Self::to_json`] and [`Self::to_prom`].
     pub fn to_json_deterministic(&self) -> String {
         let mut out = String::with_capacity(512);
         out.push_str("{\n");
-        self.write_counters(&mut out);
-        self.write_gauges(&mut out);
+        self.write_counters(&mut out, false);
+        self.write_gauges(&mut out, false);
 
         out.push_str("  \"histogram_counts\": {\n");
-        for (i, h) in self.histograms.iter().enumerate() {
+        // Stages the workload never hit are omitted: every golden recorded
+        // before a new `Stage` variant existed would otherwise grow a
+        // spurious zero entry the moment the enum does. The full
+        // [`Self::to_json`] export still lists every stage.
+        let kept: Vec<_> = self.histograms.iter().filter(|h| h.count > 0).collect();
+        for (i, h) in kept.iter().enumerate() {
             out.push_str("    ");
             escape_into(&mut out, &h.stage);
             out.push_str(&format!(": {}", h.count));
-            if i + 1 < self.histograms.len() {
+            if i + 1 < kept.len() {
                 out.push(',');
             }
             out.push('\n');
@@ -164,13 +175,18 @@ impl Snapshot {
         out
     }
 
-    fn write_counters(&self, out: &mut String) {
+    fn write_counters(&self, out: &mut String, include_sched: bool) {
         out.push_str("  \"counters\": {\n");
-        for (i, (name, v)) in self.counters.iter().enumerate() {
+        let kept: Vec<_> = self
+            .counters
+            .iter()
+            .filter(|(n, _)| include_sched || !n.starts_with("sched_"))
+            .collect();
+        for (i, (name, v)) in kept.iter().enumerate() {
             out.push_str("    ");
             escape_into(out, name);
             out.push_str(&format!(": {v}"));
-            if i + 1 < self.counters.len() {
+            if i + 1 < kept.len() {
                 out.push(',');
             }
             out.push('\n');
@@ -178,13 +194,18 @@ impl Snapshot {
         out.push_str("  },\n");
     }
 
-    fn write_gauges(&self, out: &mut String) {
+    fn write_gauges(&self, out: &mut String, include_sched: bool) {
         out.push_str("  \"gauges\": {\n");
-        for (i, (name, v)) in self.gauges.iter().enumerate() {
+        let kept: Vec<_> = self
+            .gauges
+            .iter()
+            .filter(|(n, _)| include_sched || !n.starts_with("sched_"))
+            .collect();
+        for (i, (name, v)) in kept.iter().enumerate() {
             out.push_str("    ");
             escape_into(out, name);
             out.push_str(&format!(": {}", fmt_f64(*v)));
-            if i + 1 < self.gauges.len() {
+            if i + 1 < kept.len() {
                 out.push(',');
             }
             out.push('\n');
@@ -468,6 +489,41 @@ mod tests {
         assert!(det.contains("\"histogram_counts\""));
         assert!(det.contains("\"encode\": 3"));
         assert!(det.contains("\"cause\": \"digest\""));
+    }
+
+    #[test]
+    fn deterministic_export_omits_untouched_stage_histograms() {
+        // `populated()` only touches encode and decode; the deterministic
+        // export must not list the other stages at all — a golden recorded
+        // today has to stay byte-identical when `Stage::ALL` grows.
+        let snap = populated();
+        let det = snap.to_json_deterministic();
+        assert!(det.contains("\"encode\": 3"));
+        assert!(det.contains("\"decode\": 1"));
+        assert!(!det.contains("\"ingress\""));
+        assert!(!det.contains("\"modulate\""));
+        // The full export still carries every stage's histogram.
+        let full = snap.to_json();
+        assert!(full.contains("\"ingress\""));
+        assert!(full.contains("\"modulate\""));
+    }
+
+    #[test]
+    fn deterministic_export_drops_sched_metrics_but_full_export_keeps_them() {
+        let rec = Recorder::with_ticks();
+        rec.add("messages", 7);
+        rec.add("sched_queue_full", 3);
+        rec.set_gauge("hit_rate", 0.5);
+        rec.set_gauge("sched_encode_depth", 4.0);
+        let snap = rec.snapshot();
+        let det = snap.to_json_deterministic();
+        assert!(!det.contains("sched_queue_full"));
+        assert!(!det.contains("sched_encode_depth"));
+        assert!(det.contains("\"messages\": 7"));
+        assert!(det.contains("\"hit_rate\": 0.5"));
+        let full = snap.to_json();
+        assert!(full.contains("sched_queue_full"));
+        assert!(full.contains("sched_encode_depth"));
     }
 
     #[test]

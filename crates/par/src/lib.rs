@@ -27,6 +27,19 @@
 //! can be overridden in-process with [`set_workers`] (used by benches to
 //! compare 1-thread and N-thread runs in one process). Calls made from
 //! inside a worker run serially — nested parallelism never oversubscribes.
+//!
+//! # Pipelines
+//!
+//! Besides fork-join data parallelism, the crate provides bounded SPSC
+//! queues ([`spsc`]) and a staged [`Pipeline`] builder ([`pipeline`]) for
+//! producer/consumer overlap: stages run on scoped workers connected by
+//! queues, items exit in push order, and adjacent stages are fused when
+//! the worker budget is smaller than the stage count.
+
+pub mod pipeline;
+pub mod spsc;
+
+pub use pipeline::{Pipeline, Stage};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};

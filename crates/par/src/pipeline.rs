@@ -1,0 +1,341 @@
+//! Staged pipeline over bounded SPSC queues and scoped threads.
+//!
+//! A [`Pipeline`] wires N stages in a chain: every stage pops items from
+//! its input [`spsc`](crate::spsc) queue, transforms them, and pushes them
+//! downstream. Stages run on scoped worker threads; the *driver* (the
+//! calling thread) keeps the ingress [`Sender`] and egress [`Receiver`]
+//! and is responsible for feeding items in and draining results out.
+//!
+//! # Worker budget and stage fusion
+//!
+//! [`Pipeline::run`] spawns `min(stages, max_workers() - 1)` workers — one
+//! worker slot is reserved for the driver thread. When there are fewer
+//! workers than stages, adjacent stages are **fused**: a single worker
+//! applies a contiguous run of stages to each batch it pops, preserving
+//! stage order and item order exactly. At `max_workers() == 1` the caller
+//! should prefer running the stages inline (no queues, no threads); `run`
+//! still works (one worker executes all stages) but overlap is nil.
+//!
+//! # Ordering
+//!
+//! Queues are FIFO and every stage processes its batch in pop order, so
+//! items leave the pipeline in exactly the order the driver pushed them —
+//! the property the serving pipeline's sequence tickets rely on.
+//!
+//! # Deadlock rules for the driver
+//!
+//! The driver must never block pushing to a full ingress queue while the
+//! egress queue is also full: drain egress first ([`Sender::try_push`] +
+//! retry is the usual shape). Dropping the ingress `Sender` closes the
+//! chain; workers drain, forward the close, and exit, at which point the
+//! egress `Receiver` reports end-of-stream.
+
+use crate::spsc::{self, PushError, Receiver, Sender, TryPop};
+
+/// One pipeline stage: transforms batches of items in place.
+pub trait Stage<T>: Send {
+    /// Upper bound on how many items this stage wants per tick. The worker
+    /// pops one item (blocking), then opportunistically drains up to
+    /// `max_batch - 1` more without blocking — batching never trades
+    /// latency for occupancy.
+    fn max_batch(&self) -> usize {
+        1
+    }
+
+    /// Processes `items` in place, preserving order and length.
+    fn run(&mut self, items: &mut Vec<T>);
+}
+
+/// Adapter: a per-item `FnMut(T) -> T` closure as a [`Stage`]. Items move
+/// through a reusable scratch buffer so the by-value closure applies
+/// without clones and without steady-state allocation.
+struct MapStage<T, F> {
+    f: F,
+    scratch: Vec<T>,
+}
+
+impl<T: Send, F: FnMut(T) -> T + Send> Stage<T> for MapStage<T, F> {
+    fn run(&mut self, items: &mut Vec<T>) {
+        std::mem::swap(items, &mut self.scratch);
+        for item in self.scratch.drain(..) {
+            items.push((self.f)(item));
+        }
+    }
+}
+
+/// Adapter: a batch `FnMut(&mut Vec<T>)` closure as a [`Stage`].
+struct BatchStage<F> {
+    max_batch: usize,
+    f: F,
+}
+
+impl<T, F: FnMut(&mut Vec<T>) + Send> Stage<T> for BatchStage<F> {
+    fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    fn run(&mut self, items: &mut Vec<T>) {
+        (self.f)(items);
+    }
+}
+
+/// Builder for a staged pipeline. See the module docs.
+pub struct Pipeline<'env, T: Send> {
+    queue_cap: usize,
+    stages: Vec<Box<dyn Stage<T> + 'env>>,
+}
+
+impl<'env, T: Send + 'env> Pipeline<'env, T> {
+    /// Starts an empty pipeline whose queues hold `queue_cap` items each.
+    pub fn new(queue_cap: usize) -> Self {
+        Pipeline {
+            queue_cap: queue_cap.max(1),
+            stages: Vec::new(),
+        }
+    }
+
+    /// Appends a per-item stage.
+    pub fn stage(mut self, f: impl FnMut(T) -> T + Send + 'env) -> Self {
+        self.stages.push(Box::new(MapStage {
+            f,
+            scratch: Vec::new(),
+        }));
+        self
+    }
+
+    /// Appends a batching stage: pops up to `max_batch` queued items per
+    /// tick and hands them to `f` together (order-preserving).
+    pub fn batch_stage(
+        mut self,
+        max_batch: usize,
+        f: impl FnMut(&mut Vec<T>) + Send + 'env,
+    ) -> Self {
+        self.stages.push(Box::new(BatchStage {
+            max_batch: max_batch.max(1),
+            f,
+        }));
+        self
+    }
+
+    /// Appends a custom [`Stage`].
+    pub fn add_stage(mut self, stage: impl Stage<T> + 'env) -> Self {
+        self.stages.push(Box::new(stage));
+        self
+    }
+
+    /// Number of stages added so far.
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Worker threads `run` would spawn right now (stage fusion applies
+    /// when this is below the stage count).
+    pub fn planned_workers(&self) -> usize {
+        planned_workers(self.stages.len())
+    }
+
+    /// Spawns the stage workers and hands the driver closure the ingress
+    /// sender and egress receiver. Returns the driver's result after all
+    /// workers have drained and joined.
+    ///
+    /// The driver must eventually drop (or close) the ingress `Sender` and
+    /// drain the egress `Receiver`, or `run` never returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no stages were added, or propagates a stage panic.
+    pub fn run<R>(self, driver: impl FnOnce(Sender<T>, Receiver<T>) -> R) -> R {
+        assert!(!self.stages.is_empty(), "pipeline needs at least one stage");
+        let n_stages = self.stages.len();
+        let workers = planned_workers(n_stages);
+        // Partition stages into contiguous fused groups, one per worker.
+        let sizes = group_sizes(n_stages, workers);
+        let mut groups: Vec<Vec<Box<dyn Stage<T> + 'env>>> = Vec::with_capacity(workers);
+        let mut stages = self.stages.into_iter();
+        for size in sizes {
+            groups.push(stages.by_ref().take(size).collect());
+        }
+        let (ingress_tx, mut upstream_rx) = spsc::channel::<T>(self.queue_cap);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for group in groups {
+                let (tx, rx) = spsc::channel::<T>(self.queue_cap);
+                let stage_rx = std::mem::replace(&mut upstream_rx, rx);
+                handles.push(scope.spawn(move || stage_worker(stage_rx, tx, group)));
+            }
+            let out = driver(ingress_tx, upstream_rx);
+            for handle in handles {
+                handle.join().expect("pipeline stage worker panicked");
+            }
+            out
+        })
+    }
+}
+
+/// Worker threads for `n_stages` stages under the current global budget:
+/// one queue-connected worker per stage, capped at `max_workers() - 1`
+/// (the driver thread occupies the remaining slot), never below 1.
+fn planned_workers(n_stages: usize) -> usize {
+    crate::max_workers()
+        .saturating_sub(1)
+        .clamp(1, n_stages.max(1))
+}
+
+/// Splits `n_stages` into `workers` contiguous group sizes, earlier groups
+/// one stage larger when the split is uneven.
+fn group_sizes(n_stages: usize, workers: usize) -> Vec<usize> {
+    let workers = workers.min(n_stages).max(1);
+    let base = n_stages / workers;
+    let extra = n_stages % workers;
+    (0..workers)
+        .map(|w| base + usize::from(w < extra))
+        .collect()
+}
+
+/// Body of one fused stage worker: pop a batch, apply each owned stage in
+/// order, forward downstream. Exits when upstream closes and drains; its
+/// own `Sender` drop then forwards the close downstream.
+fn stage_worker<T: Send>(
+    mut rx: Receiver<T>,
+    mut tx: Sender<T>,
+    mut stages: Vec<Box<dyn Stage<T> + '_>>,
+) {
+    // Stage workers are pool workers: nested par_map/par_chunks calls made
+    // from inside a stage run serially instead of oversubscribing.
+    crate::IN_WORKER.with(|w| w.set(true));
+    let max_batch = stages
+        .iter()
+        .map(|s| s.max_batch())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let mut batch: Vec<T> = Vec::with_capacity(max_batch);
+    while let Some(first) = rx.pop() {
+        batch.push(first);
+        while batch.len() < max_batch {
+            match rx.try_pop() {
+                TryPop::Item(item) => batch.push(item),
+                TryPop::Empty | TryPop::Closed => break,
+            }
+        }
+        for stage in &mut stages {
+            stage.run(&mut batch);
+        }
+        for item in batch.drain(..) {
+            match tx.push(item) {
+                Ok(()) => {}
+                // Downstream is gone: nothing left to do but drain out.
+                Err(PushError::Closed(_)) => return,
+                Err(PushError::Full(_)) => unreachable!("push retries on Full"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    static WORKER_LOCK: Mutex<()> = Mutex::new(());
+
+    fn run_collect(pipeline: Pipeline<'_, u64>, items: Vec<u64>) -> Vec<u64> {
+        pipeline.run(move |mut tx, mut rx| {
+            let mut out = Vec::with_capacity(items.len());
+            let mut pending = items.into_iter();
+            let mut in_flight = 0usize;
+            let mut next = pending.next();
+            loop {
+                while let Some(item) = next.take() {
+                    match tx.try_push(item) {
+                        Ok(()) => {
+                            in_flight += 1;
+                            next = pending.next();
+                        }
+                        Err(PushError::Full(item)) => {
+                            next = Some(item);
+                            break;
+                        }
+                        Err(PushError::Closed(_)) => unreachable!(),
+                    }
+                }
+                if next.is_none() {
+                    break;
+                }
+                if in_flight > 0 {
+                    out.push(rx.pop().expect("in-flight item"));
+                    in_flight -= 1;
+                }
+            }
+            drop(tx);
+            while let Some(item) = rx.pop() {
+                out.push(item);
+            }
+            out
+        })
+    }
+
+    #[test]
+    fn stages_apply_in_order_and_preserve_item_order() {
+        let _guard = WORKER_LOCK.lock().unwrap();
+        for workers in [1usize, 2, 3, 4] {
+            crate::set_workers(workers);
+            let pipeline = Pipeline::new(4)
+                .stage(|x: u64| x + 1)
+                .stage(|x: u64| x * 10)
+                .stage(|x: u64| x + 3);
+            let got = run_collect(pipeline, (0..200).collect());
+            let expect: Vec<u64> = (0..200).map(|x| (x + 1) * 10 + 3).collect();
+            assert_eq!(got, expect, "workers={workers}");
+        }
+        crate::reset_workers();
+    }
+
+    #[test]
+    fn batch_stage_sees_batches_but_keeps_order() {
+        let _guard = WORKER_LOCK.lock().unwrap();
+        crate::set_workers(4);
+        let seen = Mutex::new(Vec::new());
+        let pipeline = Pipeline::new(16).batch_stage(8, |items: &mut Vec<u64>| {
+            seen.lock().unwrap().push(items.len());
+            for v in items.iter_mut() {
+                *v *= 2;
+            }
+        });
+        let got = run_collect(pipeline, (0..100).collect());
+        let expect: Vec<u64> = (0..100).map(|x| x * 2).collect();
+        assert_eq!(got, expect);
+        let batches = seen.into_inner().unwrap();
+        assert_eq!(batches.iter().sum::<usize>(), 100);
+        assert!(batches.iter().all(|&b| (1..=8).contains(&b)));
+        crate::reset_workers();
+    }
+
+    #[test]
+    fn fusion_keeps_semantics_with_fewer_workers_than_stages() {
+        let _guard = WORKER_LOCK.lock().unwrap();
+        crate::set_workers(2); // 1 worker thread => all 3 stages fused
+        let pipeline = Pipeline::new(2)
+            .stage(|x: u64| x ^ 0xFF)
+            .stage(|x: u64| x.rotate_left(3))
+            .stage(|x: u64| x.wrapping_add(7));
+        assert_eq!(pipeline.planned_workers(), 1);
+        let got = run_collect(pipeline, (0..64).collect());
+        let expect: Vec<u64> = (0..64)
+            .map(|x: u64| (x ^ 0xFF).rotate_left(3).wrapping_add(7))
+            .collect();
+        assert_eq!(got, expect);
+        crate::reset_workers();
+    }
+
+    #[test]
+    fn group_sizes_cover_all_stages() {
+        for n in 1..8usize {
+            for w in 1..8usize {
+                let sizes = group_sizes(n, w);
+                assert_eq!(sizes.iter().sum::<usize>(), n);
+                assert!(sizes.iter().all(|&s| s >= 1));
+            }
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Bounded single-producer / single-consumer queue.
+//!
+//! The building block of the staged serving pipeline: each pipeline stage
+//! owns the [`Receiver`] of its input queue and the [`Sender`] of its
+//! output queue, so every queue has exactly one producer and one consumer.
+//! That discipline is enforced in safe code by requiring `&mut` for all
+//! queue operations — a `Sender` or `Receiver` can be *moved* to another
+//! thread but never *shared* mid-operation.
+//!
+//! # Design
+//!
+//! * Fixed-capacity ring of `Mutex<Option<T>>` slots indexed by two
+//!   monotonically increasing counters (`head` = next pop, `tail` = next
+//!   push), each padded to its own cache line so the producer and consumer
+//!   never false-share. The producer is the only writer of `tail`, the
+//!   consumer the only writer of `head`; cross-thread visibility uses
+//!   release stores / acquire loads. Slot mutexes are uncontended by
+//!   construction (the counters hand each slot to exactly one side at a
+//!   time) — they exist to keep the implementation `forbid(unsafe_code)`
+//!   clean, not for synchronization.
+//! * Blocking [`push`](Sender::push) / [`pop`](Receiver::pop) use
+//!   spin-then-park backoff: a bounded spin with [`std::hint::spin_loop`],
+//!   then a [`Condvar`] wait with a short timeout backstop so a lost
+//!   wakeup can never hang the pipeline.
+//! * **`Closed` drain protocol**: dropping the `Sender` (or calling
+//!   [`Sender::close`]) marks the queue closed. The consumer continues to
+//!   drain buffered items; once the ring is empty *and* closed,
+//!   [`Receiver::pop`] returns `None`. Dropping the `Receiver` also closes
+//!   the queue so a producer blocked on a full ring wakes up and gets its
+//!   item back via [`PushError::Closed`].
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Pads the wrapped value to a 64-byte cache line so the producer-owned and
+/// consumer-owned counters never share a line.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// Iterations of busy-spinning before a blocked side parks on the condvar.
+const SPIN_LIMIT: u32 = 128;
+
+/// Park timeout backstop: bounds the cost of any lost-wakeup race without
+/// busy-spinning. Parked sides re-check the ring on every wakeup.
+const PARK_TIMEOUT: Duration = Duration::from_micros(200);
+
+struct Shared<T> {
+    /// Ring slots; slot `i % cap` holds item number `i`.
+    slots: Vec<Mutex<Option<T>>>,
+    /// Index of the next item to pop. Written only by the consumer.
+    head: CachePadded<AtomicUsize>,
+    /// Index of the next item to push. Written only by the producer.
+    tail: CachePadded<AtomicUsize>,
+    /// Set when either endpoint is dropped/closed.
+    closed: AtomicBool,
+    /// Park support. Both sides wait on the same condvar; wakeups are rare
+    /// (a side parks only after the spin budget is exhausted).
+    lot: Mutex<()>,
+    signal: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn wake(&self) {
+        // Lock-then-notify so a parking thread cannot miss the signal
+        // between its ring re-check and its wait.
+        drop(self.lot.lock().expect("spsc lot poisoned"));
+        self.signal.notify_all();
+    }
+
+    fn park(&self) {
+        let guard = self.lot.lock().expect("spsc lot poisoned");
+        // Timeout backstop: correctness never depends on the wakeup.
+        let _ = self
+            .signal
+            .wait_timeout(guard, PARK_TIMEOUT)
+            .expect("spsc lot poisoned");
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.wake();
+    }
+}
+
+/// Producer endpoint of a bounded SPSC queue. See [`channel`].
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Consumer endpoint of a bounded SPSC queue. See [`channel`].
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Why a push could not complete. The rejected item is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The ring is full (only returned by [`Sender::try_push`]).
+    Full(T),
+    /// The receiver is gone; the queue will never drain.
+    Closed(T),
+}
+
+/// Result of a non-blocking [`Receiver::try_pop`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The ring is currently empty but the sender is still alive.
+    Empty,
+    /// The ring is empty and the sender is gone: no item will ever arrive.
+    Closed,
+}
+
+/// Creates a bounded SPSC queue with room for `cap` in-flight items.
+///
+/// # Panics
+///
+/// Panics if `cap` is zero (a zero-capacity ring cannot make progress).
+pub fn channel<T: Send>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "spsc capacity must be at least 1");
+    let shared = Arc::new(Shared {
+        slots: (0..cap).map(|_| Mutex::new(None)).collect(),
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+        closed: AtomicBool::new(false),
+        lot: Mutex::new(()),
+        signal: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T: Send> Sender<T> {
+    /// Attempts to enqueue without blocking. On [`PushError::Full`] the
+    /// item is handed back for the caller to retry (or park on).
+    pub fn try_push(&mut self, item: T) -> Result<(), PushError<T>> {
+        let shared = &*self.shared;
+        if shared.closed.load(Ordering::Acquire) {
+            return Err(PushError::Closed(item));
+        }
+        let tail = shared.tail.0.load(Ordering::Relaxed);
+        let head = shared.head.0.load(Ordering::Acquire);
+        if tail - head == shared.slots.len() {
+            return Err(PushError::Full(item));
+        }
+        let slot = &shared.slots[tail % shared.slots.len()];
+        let mut guard = slot.lock().expect("spsc slot poisoned");
+        debug_assert!(guard.is_none(), "spsc slot reused before drain");
+        *guard = Some(item);
+        drop(guard);
+        // Publish: the consumer's acquire load of `tail` sees the slot.
+        shared.tail.0.store(tail + 1, Ordering::Release);
+        shared.wake();
+        Ok(())
+    }
+
+    /// Enqueues `item`, blocking (spin-then-park) while the ring is full.
+    ///
+    /// Returns `Err(PushError::Closed(item))` if the receiver disappears
+    /// while waiting — the item is handed back so no work is lost.
+    pub fn push(&mut self, item: T) -> Result<(), PushError<T>> {
+        let mut item = item;
+        let mut spins = 0u32;
+        loop {
+            match self.try_push(item) {
+                Ok(()) => return Ok(()),
+                Err(PushError::Closed(it)) => return Err(PushError::Closed(it)),
+                Err(PushError::Full(it)) => {
+                    item = it;
+                    if spins < SPIN_LIMIT {
+                        spins += 1;
+                        std::hint::spin_loop();
+                    } else {
+                        self.shared.park();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of items currently buffered (racy snapshot; exact only when
+    /// the other side is quiescent). Used for queue-depth gauges.
+    pub fn len(&self) -> usize {
+        let tail = self.shared.tail.0.load(Ordering::Relaxed);
+        let head = self.shared.head.0.load(Ordering::Acquire);
+        tail.saturating_sub(head)
+    }
+
+    /// True when no items are buffered (racy snapshot, like [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.slots.len()
+    }
+
+    /// Marks the queue closed without dropping the endpoint. The receiver
+    /// drains buffered items, then sees end-of-stream.
+    pub fn close(&mut self) {
+        self.shared.close();
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        self.shared.close();
+    }
+}
+
+impl<T: Send> Receiver<T> {
+    /// Attempts to dequeue without blocking.
+    pub fn try_pop(&mut self) -> TryPop<T> {
+        let shared = &*self.shared;
+        let head = shared.head.0.load(Ordering::Relaxed);
+        let tail = shared.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return if shared.closed.load(Ordering::Acquire) {
+                // Re-check after observing `closed`: an item may have been
+                // published between the tail load and the closed load.
+                if shared.tail.0.load(Ordering::Acquire) == head {
+                    TryPop::Closed
+                } else {
+                    self.try_pop()
+                }
+            } else {
+                TryPop::Empty
+            };
+        }
+        let slot = &shared.slots[head % shared.slots.len()];
+        let mut guard = slot.lock().expect("spsc slot poisoned");
+        let item = guard.take().expect("spsc slot published empty");
+        drop(guard);
+        shared.head.0.store(head + 1, Ordering::Release);
+        shared.wake();
+        TryPop::Item(item)
+    }
+
+    /// Dequeues the next item, blocking (spin-then-park) while the ring is
+    /// empty. Returns `None` once the queue is closed **and** drained —
+    /// the end-of-stream signal of the drain protocol.
+    pub fn pop(&mut self) -> Option<T> {
+        let mut spins = 0u32;
+        loop {
+            match self.try_pop() {
+                TryPop::Item(item) => return Some(item),
+                TryPop::Closed => return None,
+                TryPop::Empty => {
+                    if spins < SPIN_LIMIT {
+                        spins += 1;
+                        std::hint::spin_loop();
+                    } else {
+                        self.shared.park();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of items currently buffered (racy snapshot). Used for
+    /// queue-depth gauges.
+    pub fn len(&self) -> usize {
+        let tail = self.shared.tail.0.load(Ordering::Acquire);
+        let head = self.shared.head.0.load(Ordering::Relaxed);
+        tail.saturating_sub(head)
+    }
+
+    /// True when no items are buffered (racy snapshot, like [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.slots.len()
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        // Wake and fail a producer blocked on a full ring.
+        self.shared.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let (mut tx, mut rx) = channel(4);
+        for i in 0..4 {
+            tx.try_push(i).unwrap();
+        }
+        assert!(matches!(tx.try_push(99), Err(PushError::Full(99))));
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert!(matches!(rx.try_pop(), TryPop::Empty));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let (mut tx, mut rx) = channel(8);
+        tx.try_push("a").unwrap();
+        tx.try_push("b").unwrap();
+        tx.close();
+        assert!(matches!(tx.try_push("c"), Err(PushError::Closed("c"))));
+        assert_eq!(rx.pop(), Some("a"));
+        assert_eq!(rx.pop(), Some("b"));
+        assert_eq!(rx.pop(), None);
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn drop_sender_closes() {
+        let (tx, mut rx) = channel::<u32>(2);
+        drop(tx);
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn drop_receiver_fails_blocked_push() {
+        let (mut tx, rx) = channel(1);
+        tx.try_push(1).unwrap();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            drop(rx);
+        });
+        // Ring is full and the receiver never drains: push must return the
+        // item once the receiver drops.
+        match tx.push(2) {
+            Err(PushError::Closed(2)) => {}
+            other => panic!("expected Closed(2), got {other:?}"),
+        }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn cross_thread_sequence_is_lossless_and_ordered() {
+        const N: usize = 50_000;
+        let (mut tx, mut rx) = channel(16);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..N {
+                    tx.push(i).unwrap();
+                }
+            });
+            let mut expect = 0;
+            while let Some(got) = rx.pop() {
+                assert_eq!(got, expect);
+                expect += 1;
+            }
+            assert_eq!(expect, N);
+        });
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let (mut tx, mut rx) = channel(4);
+        assert_eq!(tx.len(), 0);
+        assert!(tx.is_empty());
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.capacity(), 4);
+        assert!(matches!(rx.try_pop(), TryPop::Item(1)));
+        assert_eq!(rx.len(), 1);
+        assert!(!rx.is_empty());
+    }
+}

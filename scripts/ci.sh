@@ -30,6 +30,9 @@ cargo bench -p semcom-bench --bench obs -- --test
 # int8 vs fp32 encode, batched vs per-user; see BENCH_pr6.json).
 cargo bench -p semcom-bench --bench matmul -- --test
 cargo bench -p semcom-bench --bench codec -- --test
+# Staged serving pipeline routines (sequential vs send_stream, serial
+# fallback, paced airtime overlap; see BENCH_pr7.json).
+cargo bench -p semcom-bench --bench pipeline -- --test
 
 echo "=== int8 accuracy gate (quantization loss < 1%) ==="
 # Redundant with `cargo test --workspace` above but called out as its own
@@ -51,8 +54,12 @@ echo "=== determinism goldens ==="
 # and additionally asserted by crates/bench/tests/f4_workers.rs; T7 keeps
 # the trainer out of the loop and is thread-count-invariant by design).
 for fig in f2_snr_sweep f6_channel_ablation f4_cache_sweep t7_fault_sweep; do
-    SEMCOM_THREADS=1 "./target/release/$fig" | diff -u "tests/goldens/$fig.stdout" - \
-        || { echo "ci: $fig output diverged from golden" >&2; exit 1; }
+    SEMCOM_THREADS=1 "./target/release/$fig" | diff -u "tests/goldens/$fig.stdout" - || {
+        echo "ci: harness $fig (crates/bench/src/bin/$fig.rs) diverged from tests/goldens/$fig.stdout." >&2
+        echo "ci: if the change is intentional, regenerate with:" >&2
+        echo "ci:   SEMCOM_THREADS=1 ./target/release/$fig > tests/goldens/$fig.stdout" >&2
+        exit 1
+    }
     echo "$fig matches golden"
 done
 
@@ -64,9 +71,32 @@ echo "=== observability golden (T8) + thread invariance ==="
 # the golden.
 for threads in 1 4; do
     SEMCOM_THREADS=$threads ./target/release/t8_observability 2>/dev/null \
-        | diff -u tests/goldens/t8_observability.stdout - \
-        || { echo "ci: t8_observability diverged from golden at SEMCOM_THREADS=$threads" >&2; exit 1; }
+        | diff -u tests/goldens/t8_observability.stdout - || {
+        echo "ci: harness t8_observability (crates/bench/src/bin/t8_observability.rs) diverged from tests/goldens/t8_observability.stdout at SEMCOM_THREADS=$threads." >&2
+        echo "ci: if the change is intentional, regenerate with:" >&2
+        echo "ci:   SEMCOM_THREADS=1 ./target/release/t8_observability 2>/dev/null > tests/goldens/t8_observability.stdout" >&2
+        echo "ci: then re-run this script — the golden must hold at every worker count." >&2
+        exit 1
+    }
     echo "t8_observability matches golden at SEMCOM_THREADS=$threads"
+done
+
+echo "=== staged pipeline golden (T10) + thread invariance ==="
+# T10 serves a mixed trace through send_stream (asserting bit-identity to
+# send_message inside the harness) and replays the fleet DES dispatch loop
+# through the pipeline. Its stdout — ending in the deterministic snapshot —
+# must match the golden byte-for-byte at 1, 2, AND 4 workers: the PR 7
+# contract that pipelining never changes what any user receives.
+for threads in 1 2 4; do
+    SEMCOM_THREADS=$threads ./target/release/t10_pipeline 2>/dev/null \
+        | diff -u tests/goldens/t10_pipeline.stdout - || {
+        echo "ci: harness t10_pipeline (crates/bench/src/bin/t10_pipeline.rs) diverged from tests/goldens/t10_pipeline.stdout at SEMCOM_THREADS=$threads." >&2
+        echo "ci: if the change is intentional, regenerate with:" >&2
+        echo "ci:   SEMCOM_THREADS=1 ./target/release/t10_pipeline 2>/dev/null > tests/goldens/t10_pipeline.stdout" >&2
+        echo "ci: then re-run this script — divergence at only SOME worker counts means the staged pipeline broke determinism, not the golden." >&2
+        exit 1
+    }
+    echo "t10_pipeline matches golden at SEMCOM_THREADS=$threads"
 done
 
 echo "ci: all gates passed"

@@ -1,0 +1,156 @@
+//! Property test pinning the PR 7 determinism contract: the staged
+//! serving pipeline ([`SemanticEdgeSystem::send_stream`]) is
+//! **bit-identical** to the equivalent sequence of `send_message` calls —
+//! outcomes and system metrics — at every worker count, over randomized
+//! user mixes, idiolect strengths, edge placements, SNRs, serving modes,
+//! and training-trigger schedules. A second assertion pins the
+//! observability side: the deterministic snapshot export of a streamed run
+//! must be byte-identical at 1, 2, and 4 workers (the property the T10
+//! golden relies on).
+//!
+//! Cases are drawn through the vendored `proptest` strategies but driven
+//! by an explicit bounded loop: each case builds four full systems (one
+//! sequential reference + three streamed runs), so the stock 96-case
+//! schedule would dominate the suite's runtime.
+//!
+//! The worker count is a process-global (`semcom_par::set_workers`), so
+//! every case runs under one mutex; this file is its own test binary, so
+//! no other tests race it.
+
+use proptest::collection::vec;
+use proptest::{Strategy, TestRng};
+use semcom::{ChannelModel, MessageOutcome, SemanticEdgeSystem, SystemConfig, UserId};
+use semcom_obs::Recorder;
+use semcom_text::Domain;
+use std::sync::Mutex;
+
+static WORKER_LOCK: Mutex<()> = Mutex::new(());
+
+const CASES: u32 = 6;
+
+/// Builds a system with `placements[i] = (domain_idx, strength, home, peer)`
+/// registered in order; returns it with the registered user ids.
+fn build(
+    seed: u64,
+    snr_db: f64,
+    threshold: usize,
+    quant: bool,
+    placements: &[(usize, f64, usize, usize)],
+) -> (SemanticEdgeSystem, Vec<UserId>) {
+    let mut config = SystemConfig::tiny();
+    config.channel = ChannelModel::Awgn { snr_db };
+    config.buffer_threshold = threshold;
+    config.n_edges = 3;
+    let mut system = SemanticEdgeSystem::build(config, seed);
+    if quant {
+        system.enable_quantized_serving();
+    }
+    let users = placements
+        .iter()
+        .map(|&(d, strength, home, peer)| {
+            system.register_user_at(Domain::ALL[d % Domain::ALL.len()], strength, home, peer)
+        })
+        .collect();
+    (system, users)
+}
+
+#[test]
+fn send_stream_matches_sequential_send_message_at_any_worker_count() {
+    let _guard = WORKER_LOCK.lock().unwrap();
+    for case in 0..CASES {
+        let mut rng = TestRng::deterministic("pipeline_equivalence::stream_vs_sequential", case);
+        let seed = (0u64..10_000).generate(&mut rng);
+        let snr_db = (2.0f64..14.0).generate(&mut rng);
+        // Low thresholds force training rounds (pipeline barriers) to fire
+        // mid-stream; higher ones exercise the steady overlapped path.
+        let threshold = (8usize..48).generate(&mut rng);
+        let quant = case % 2 == 1;
+        let n_placements = (1usize..4).generate(&mut rng);
+        let placements: Vec<(usize, f64, usize, usize)> = (0..n_placements)
+            .map(|_| {
+                (
+                    (0usize..4).generate(&mut rng),
+                    (0.0f64..0.9).generate(&mut rng),
+                    (0usize..3).generate(&mut rng),
+                    (0usize..3).generate(&mut rng),
+                )
+            })
+            .collect();
+        let mix = vec(0usize..4, 1..48).generate(&mut rng);
+
+        // Sequential reference (itself thread-count invariant).
+        semcom_par::set_workers(1);
+        let (mut reference, users) = build(seed, snr_db, threshold, quant, &placements);
+        let order: Vec<UserId> = mix.iter().map(|&i| users[i % users.len()]).collect();
+        let expected: Vec<MessageOutcome> =
+            order.iter().map(|&u| reference.send_message(u)).collect();
+        let expected_metrics = reference.metrics();
+
+        let mut exports: Vec<String> = Vec::new();
+        for workers in [1usize, 2, 4] {
+            semcom_par::set_workers(workers);
+            let (mut streamed, stream_users) = build(seed, snr_db, threshold, quant, &placements);
+            assert_eq!(stream_users, users);
+            streamed.attach_recorder(Recorder::with_ticks());
+            let got = streamed.send_stream(&order);
+            assert_eq!(
+                got, expected,
+                "case {case}: outcomes diverged at {workers} workers"
+            );
+            assert_eq!(
+                streamed.metrics(),
+                expected_metrics,
+                "case {case}: metrics diverged at {workers} workers"
+            );
+            exports.push(streamed.observability_snapshot().to_json_deterministic());
+        }
+        assert_eq!(
+            exports[0], exports[1],
+            "case {case}: snapshot differs at 2 workers"
+        );
+        assert_eq!(
+            exports[0], exports[2],
+            "case {case}: snapshot differs at 4 workers"
+        );
+    }
+    semcom_par::reset_workers();
+}
+
+/// Streaming twice over the same system continues the message counter and
+/// stays equivalent to the same sequential calls — the resume path the
+/// fleet harness uses (one `send_stream` per dispatched service round).
+#[test]
+fn repeated_send_stream_rounds_match_sequential() {
+    let _guard = WORKER_LOCK.lock().unwrap();
+    let placements = [
+        (0usize, 0.6f64, 0usize, 1usize),
+        (1, 0.4, 1, 2),
+        (2, 0.7, 2, 0),
+    ];
+
+    semcom_par::set_workers(1);
+    let (mut reference, users) = build(42, 9.0, 16, false, &placements);
+    let rounds: Vec<Vec<UserId>> = vec![
+        vec![users[0], users[1], users[0], users[2]],
+        vec![users[2], users[2], users[1], users[0], users[1]],
+        vec![users[0]],
+    ];
+    let mut expected = Vec::new();
+    for round in &rounds {
+        for &u in round {
+            expected.push(reference.send_message(u));
+        }
+    }
+
+    for workers in [1usize, 4] {
+        semcom_par::set_workers(workers);
+        let (mut streamed, _) = build(42, 9.0, 16, false, &placements);
+        let mut got = Vec::new();
+        for round in &rounds {
+            got.extend(streamed.send_stream(round));
+        }
+        assert_eq!(got, expected, "workers={workers}");
+        assert_eq!(streamed.metrics(), reference.metrics(), "workers={workers}");
+    }
+    semcom_par::reset_workers();
+}

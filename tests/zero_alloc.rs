@@ -178,3 +178,65 @@ fn enabled_recorder_span_itself_does_not_allocate() {
     let after = local_allocations();
     assert_eq!(after - before, 0, "span/record path allocated");
 }
+
+#[test]
+fn warm_spsc_queue_does_not_allocate() {
+    // The staged serving pipeline's queues (PR 7): slots are pre-allocated
+    // at `channel()` time, so steady-state push/pop traffic — including the
+    // occupancy reads the driver uses for queue-depth gauges — must never
+    // touch the heap. (Blocking wake-ups go through a pre-built
+    // Mutex/Condvar pair, also allocation-free after construction.)
+    let (mut tx, mut rx) = semcom_par::spsc::channel::<u64>(8);
+    for i in 0..16u64 {
+        tx.push(i).unwrap();
+        assert_eq!(rx.pop(), Some(i));
+    }
+
+    let before = local_allocations();
+    let mut guard = 0u64;
+    for i in 0..200u64 {
+        tx.push(i).unwrap();
+        guard ^= tx.len() as u64;
+        guard ^= rx.pop().expect("just pushed");
+    }
+    let after = local_allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "warm spsc push/pop allocated {} time(s) over 200 round trips (guard {guard})",
+        after - before
+    );
+}
+
+#[test]
+fn warm_transmit_f32_in_place_does_not_allocate() {
+    // The pipeline's PHY stage transmits features in place through one
+    // per-worker `FeatureScratch`; once the scratch has grown to the
+    // largest feature vector seen, repeated transmits are allocation-free.
+    // (The full per-message path is *not* asserted allocation-free: the
+    // encode stage materializes one fresh feature tensor and one decoded
+    // vector per message by design — those are the message's payload, not
+    // scratch.)
+    use semcom_channel::{Channel, FeatureScratch};
+    let channel = AwgnChannel::new(6.0);
+    let mut rng = seeded_rng(23);
+    let mut features: Vec<f32> = (0..513).map(|i| (i as f32 * 0.7).sin()).collect();
+    let mut scratch = FeatureScratch::new();
+    for _ in 0..3 {
+        channel.transmit_f32_in_place(&mut features, &mut scratch, &mut rng);
+    }
+
+    let before = local_allocations();
+    let mut guard = 0.0f32;
+    for _ in 0..50 {
+        channel.transmit_f32_in_place(&mut features, &mut scratch, &mut rng);
+        guard += features[0];
+    }
+    let after = local_allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "warm transmit_f32_in_place allocated {} time(s) over 50 calls (guard {guard})",
+        after - before
+    );
+}
