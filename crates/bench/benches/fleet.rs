@@ -1,0 +1,76 @@
+//! Criterion benchmarks for the sharded fleet engine (PR 8), pinned by
+//! `BENCH_pr8.json`.
+//!
+//! Two questions:
+//!
+//! 1. What does sharding cost when it cannot help?
+//!    `fleet/sharded_x4_1worker` runs 4 shards serially on one worker and
+//!    must stay within ~10% of `fleet/single_loop` on the same aggregate
+//!    workload — the streaming driver (strict-before drains + inline
+//!    arrival injection + histogram sink) replaces the reference's
+//!    materialized trace and pre-scheduled heap, and on one core that
+//!    substitution is all you pay. In practice it *wins* here: the event
+//!    heap stays tiny (in-flight events only, never 50k pre-scheduled
+//!    arrivals), so heap ops are cheaper and memory is constant.
+//! 2. What does it buy when it can? `fleet/sharded_x4` runs the same 4
+//!    shards at the host's natural worker count. On a 1-core CI container
+//!    it measures the fan-out overhead (expect parity with the 1-worker
+//!    row); on >= 4 cores the shards are embarrassingly parallel and
+//!    event throughput scales toward 4x — the scale gate recorded in
+//!    BENCH_pr8.json.
+//!
+//! The equivalence of the two engines is not benched here — it is pinned
+//! exactly by `crates/edge/tests/fleet_shard_equivalence.rs` and the F13
+//! golden.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use semcom_edge::{
+    Assignment, FleetConfig, FleetSim, SessionPlacement, ShardedFleetConfig, ShardedFleetSim,
+    Topology,
+};
+
+/// Aggregate workload: 50k requests over 8 edges and a 10k-user universe,
+/// sized so one measured iteration is tens of milliseconds.
+fn aggregate() -> FleetConfig {
+    FleetConfig {
+        n_edges: 8,
+        n_requests: 50_000,
+        arrival_rate_hz: 400.0,
+        n_domains: 16,
+        n_users: 10_000,
+        ..FleetConfig::default()
+    }
+}
+
+fn sharded() -> ShardedFleetSim {
+    ShardedFleetSim::new(
+        ShardedFleetConfig {
+            fleet: aggregate(),
+            n_shards: 4,
+            placement: SessionPlacement::Assigned(Assignment::Sticky),
+            node_weights: None,
+        },
+        Topology::default(),
+    )
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let single = FleetSim::new(aggregate(), Topology::default());
+    c.bench_function("fleet/single_loop", |b| {
+        b.iter(|| std::hint::black_box(single.run_hist(13)))
+    });
+
+    let sim = sharded();
+    c.bench_function("fleet/sharded_x4_1worker", |b| {
+        semcom_par::set_workers(1);
+        b.iter(|| std::hint::black_box(sim.run(13)));
+        semcom_par::reset_workers();
+    });
+
+    c.bench_function("fleet/sharded_x4", |b| {
+        b.iter(|| std::hint::black_box(sim.run(13)))
+    });
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -7,8 +7,9 @@
 use crate::cache::{InsertOutcome, ModelCache};
 use crate::policy::EvictionPolicy;
 use crate::stats::CacheStats;
-use rand::RngCore;
-use semcom_nn::rng::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+use semcom_nn::rng::{seeded_rng, Zipf};
 use serde::{Deserialize, Serialize};
 
 /// A cacheable model in the workload universe.
@@ -77,6 +78,25 @@ impl Workload {
     /// request through the `dyn RngCore` vtable.
     pub fn draw_trace(&self, n_requests: usize, rng: &mut dyn RngCore) -> Vec<ModelSpec> {
         (0..n_requests).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Turns the workload into a constant-memory Poisson/Zipf arrival
+    /// generator (see [`ArrivalStream`]). The stream draws exactly the
+    /// pairs a materializing loop would — one inter-arrival uniform then
+    /// one Zipf rank per request, from the same seeded RNG — so collecting
+    /// `n` items reproduces a pre-drawn `n`-request trace byte for byte
+    /// while a 10M-request replay holds only the generator itself.
+    pub fn into_stream(self, arrival_rate_hz: f64, seed: u64) -> ArrivalStream {
+        assert!(
+            arrival_rate_hz.is_finite() && arrival_rate_hz > 0.0,
+            "arrival rate must be finite and positive"
+        );
+        ArrivalStream {
+            workload: self,
+            rng: seeded_rng(seed),
+            rate_hz: arrival_rate_hz,
+            now: 0.0,
+        }
     }
 
     /// Replays `n_requests` against a cache: a miss fetches/rebuilds the
@@ -336,6 +356,49 @@ impl Workload {
     }
 }
 
+/// A seeded, constant-memory stream of `(arrival time, model)` requests:
+/// Poisson arrivals (exponential inter-arrival times at `rate_hz`) over
+/// the owning [`Workload`]'s Zipf popularity.
+///
+/// This is the trace source of the sharded fleet engine: instead of
+/// materializing a 10M-entry arrival vector (and pre-scheduling 10M
+/// boxed events), each shard pulls the next arrival on demand. The RNG
+/// draw order per request — one `f64` for the inter-arrival gap, then the
+/// Zipf rank — is identical to [`Workload::draw_trace`] preceded by the
+/// same gap draws, so streaming and materialized replays of one seed see
+/// the same trace.
+#[derive(Debug, Clone)]
+pub struct ArrivalStream {
+    workload: Workload,
+    rng: StdRng,
+    rate_hz: f64,
+    now: f64,
+}
+
+impl ArrivalStream {
+    /// Draws the next request: absolute arrival time (strictly increasing)
+    /// and the requested model.
+    pub fn next_arrival(&mut self) -> (f64, ModelSpec) {
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        self.now += -u.ln() / self.rate_hz;
+        let spec = self.workload.sample(&mut self.rng);
+        (self.now, spec)
+    }
+
+    /// The underlying model universe.
+    pub fn models(&self) -> &[ModelSpec] {
+        self.workload.models()
+    }
+}
+
+impl Iterator for ArrivalStream {
+    type Item = (f64, ModelSpec);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        Some(self.next_arrival())
+    }
+}
+
 /// Outcome of an oracle replay: the aggregate report plus the exact
 /// victim sequence, so the heap and scan engines can be asserted
 /// identical.
@@ -494,5 +557,41 @@ mod tests {
     #[should_panic(expected = "at least one model")]
     fn empty_universe_is_rejected() {
         Workload::new(Vec::new(), 1.0);
+    }
+
+    #[test]
+    fn stream_matches_materializing_loop_draw_for_draw() {
+        let w = Workload::standard(3, 40, 0.9);
+        let rate = 80.0;
+        // The classic materializing loop, draw order: gap then sample.
+        let mut rng = seeded_rng(11);
+        let mut t = 0.0;
+        let reference: Vec<(f64, ModelSpec)> = (0..500)
+            .map(|_| {
+                let u: f64 = rand::Rng::gen::<f64>(&mut rng).max(1e-12);
+                t += -u.ln() / rate;
+                (t, w.sample(&mut rng))
+            })
+            .collect();
+        let streamed: Vec<(f64, ModelSpec)> = w.clone().into_stream(rate, 11).take(500).collect();
+        assert_eq!(reference, streamed);
+    }
+
+    #[test]
+    fn stream_arrival_times_strictly_increase() {
+        let mut s = Workload::standard(2, 10, 1.0).into_stream(500.0, 3);
+        let mut last = 0.0;
+        for _ in 0..2_000 {
+            let (t, spec) = s.next_arrival();
+            assert!(t > last, "t {t} after {last}");
+            assert!((spec.id as usize) < 12);
+            last = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn stream_rejects_bad_rate() {
+        let _ = Workload::standard(1, 1, 1.0).into_stream(f64::NAN, 1);
     }
 }

@@ -148,6 +148,42 @@ impl<W> Sim<W> {
         while self.step(world) {}
     }
 
+    /// Fires every queued event **strictly earlier** than `t`, leaving
+    /// events at exactly `t` (or later) queued. `now` is not advanced past
+    /// the last fired event.
+    ///
+    /// This is the streaming-arrival drain: an externally generated
+    /// arrival at time `t` is injected *after* this call (via
+    /// [`Sim::advance_to`]), so it fires before any internally scheduled
+    /// event at the same instant — exactly the tie-break a run that
+    /// pre-scheduled all arrivals first (lowest sequence numbers) would
+    /// produce. The sharded fleet engine relies on this to replay the
+    /// single-loop reference byte-identically without materializing the
+    /// trace.
+    pub fn run_while_before(&mut self, world: &mut W, t: f64) {
+        while let Some(head) = self.queue.peek() {
+            if head.time >= t {
+                break;
+            }
+            self.step(world);
+        }
+    }
+
+    /// Advances the clock to `t` without firing anything. Used by drivers
+    /// that inject externally generated events (streaming arrivals) between
+    /// [`Sim::run_while_before`] drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past or not finite.
+    pub fn advance_to(&mut self, t: f64) {
+        assert!(
+            t >= self.now && t.is_finite(),
+            "cannot advance into the past or to a non-finite time"
+        );
+        self.now = t;
+    }
+
     /// Runs until the queue drains or the next event would fire after
     /// `t_end` (remaining events stay queued; `now` advances to `t_end`).
     pub fn run_until(&mut self, world: &mut W, t_end: f64) {
@@ -219,6 +255,35 @@ mod tests {
         assert_eq!(sim.now(), 2.0);
         sim.run(&mut world);
         assert_eq!(world, vec![1, 5]);
+    }
+
+    #[test]
+    fn run_while_before_is_strict_and_advance_to_moves_the_clock() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        sim.schedule(1.0, Box::new(|_, w: &mut Vec<u32>| w.push(1)));
+        sim.schedule(2.0, Box::new(|_, w: &mut Vec<u32>| w.push(2)));
+        // Strictly-before: the event at exactly 2.0 stays queued.
+        sim.run_while_before(&mut world, 2.0);
+        assert_eq!(world, vec![1]);
+        assert_eq!(sim.pending(), 1);
+        sim.advance_to(2.0);
+        assert_eq!(sim.now(), 2.0);
+        // An injected event at 2.0 now schedules *after* advance_to, yet
+        // the pre-existing event at 2.0 still fires first only once the
+        // injection has run — mirroring arrivals-win-ties semantics when
+        // the driver injects before draining.
+        world.push(99);
+        sim.run(&mut world);
+        assert_eq!(world, vec![1, 99, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance into the past")]
+    fn advance_to_rejects_past_times() {
+        let mut sim: Sim<()> = Sim::new();
+        sim.advance_to(3.0);
+        sim.advance_to(2.0);
     }
 
     #[test]

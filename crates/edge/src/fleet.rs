@@ -7,16 +7,26 @@
 //! stickiness maximizes cache locality (a model lives on one edge), while
 //! load-oriented strategies spread queueing delay but duplicate models
 //! across caches.
+//!
+//! [`FleetSim`] here is the **single-loop reference engine**: it
+//! materializes the whole arrival trace and pre-schedules every request
+//! into one event heap. The million-user scale path lives in
+//! [`crate::orchestrator`], which shards this exact per-request logic
+//! (the [`World`] internals are shared) across `semcom-par` workers over
+//! streaming traces; `FleetSim` is retained — like `policy::reference`
+//! and `matmul_reference` before it — as the ground truth the sharded
+//! engine is property-pinned against.
 
 use crate::engine::Sim;
-use crate::metrics::LatencySummary;
+use crate::metrics::{LatencyHist, LatencySummary};
 use crate::placement::MessageCost;
 use crate::topology::Topology;
+use rand::rngs::StdRng;
 use rand::Rng;
 use semcom_cache::policy::{EvictionPolicy, Lru};
 use semcom_cache::workload::{ModelSpec, Workload};
 use semcom_cache::ModelCache;
-use semcom_nn::rng::seeded_rng;
+use semcom_obs::Recorder;
 use serde::{Deserialize, Serialize};
 
 /// How requests are assigned to edges.
@@ -48,6 +58,74 @@ impl Assignment {
         }
     }
 }
+
+/// A rejected fleet or orchestrator configuration. Every invalid knob is
+/// caught at construction with a typed error instead of panicking deep in
+/// the event loop (a non-finite arrival rate, for example, used to
+/// surface as a "delay must be finite" panic from the scheduler).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `n_edges == 0`.
+    ZeroEdges,
+    /// `max_batch == 0` (a service round must hold at least one request).
+    ZeroBatch,
+    /// `arrival_rate_hz` non-finite or not positive.
+    BadArrivalRate(f64),
+    /// `zipf_alpha` non-finite or negative.
+    BadZipf(f64),
+    /// The orchestrator was asked for zero shards.
+    ZeroShards,
+    /// More shards than edges: a shard must own at least one node.
+    MoreShardsThanEdges {
+        /// Requested shard count.
+        shards: usize,
+        /// Available edges.
+        edges: usize,
+    },
+    /// A shard would own no models (domain + user split both empty).
+    EmptyShardUniverse {
+        /// The starved shard index.
+        shard: usize,
+    },
+    /// Node weights missing a node, or holding a non-finite/non-positive
+    /// weight.
+    BadNodeWeights {
+        /// Expected weight count (`n_edges`).
+        expected: usize,
+        /// Provided weight count.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroEdges => write!(f, "fleet needs at least one edge"),
+            ConfigError::ZeroBatch => write!(f, "max_batch must be at least 1"),
+            ConfigError::BadArrivalRate(r) => {
+                write!(f, "arrival_rate_hz must be finite and positive (got {r})")
+            }
+            ConfigError::BadZipf(a) => {
+                write!(f, "zipf_alpha must be finite and non-negative (got {a})")
+            }
+            ConfigError::ZeroShards => write!(f, "orchestrator needs at least one shard"),
+            ConfigError::MoreShardsThanEdges { shards, edges } => write!(
+                f,
+                "{shards} shards need at least {shards} edges (got {edges})"
+            ),
+            ConfigError::EmptyShardUniverse { shard } => write!(
+                f,
+                "shard {shard} would own no models; grow the universe or cut n_shards"
+            ),
+            ConfigError::BadNodeWeights { expected, got } => write!(
+                f,
+                "node weights must be finite and positive, one per edge ({expected} expected, {got} usable)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration of a fleet replay.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -95,6 +173,26 @@ impl Default for FleetConfig {
     }
 }
 
+impl FleetConfig {
+    /// Validates every knob that would otherwise panic (or loop) deep in
+    /// the event loop.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n_edges == 0 {
+            return Err(ConfigError::ZeroEdges);
+        }
+        if self.max_batch == 0 {
+            return Err(ConfigError::ZeroBatch);
+        }
+        if !self.arrival_rate_hz.is_finite() || self.arrival_rate_hz <= 0.0 {
+            return Err(ConfigError::BadArrivalRate(self.arrival_rate_hz));
+        }
+        if !self.zipf_alpha.is_finite() || self.zipf_alpha < 0.0 {
+            return Err(ConfigError::BadZipf(self.zipf_alpha));
+        }
+        Ok(())
+    }
+}
+
 /// Results of a fleet replay.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetReport {
@@ -125,52 +223,200 @@ pub trait BatchServer {
     fn serve_round(&mut self, edge: usize, model_ids: &[u64]);
 }
 
-struct EdgeState {
-    cache: ModelCache<u64, ModelSpec>,
-    free_at: f64,
-    busy_time: f64,
-    /// Ready requests awaiting a batched service round, FIFO by ready
-    /// time: `(ready_at, arrive_at, model_id)`. Only used when
-    /// `max_batch > 1`.
-    queue: std::collections::VecDeque<(f64, f64, u64)>,
+/// Where per-request latencies go: the reference engine keeps the exact
+/// sample vector (O(n) memory, exact percentiles); the sharded engine and
+/// [`FleetSim::run_hist`] use the constant-size [`LatencyHist`].
+pub(crate) enum LatencySink {
+    Exact(Vec<f64>),
+    Hist(LatencyHist),
 }
 
-struct World {
-    edges: Vec<EdgeState>,
-    latencies: Vec<f64>,
-    fetch_time_total: f64,
-    service_time: f64,
-    dispatch_time: f64,
-    max_batch: usize,
-    batches: u64,
-    served: u64,
-    fetch_time_for: Box<dyn Fn(usize) -> f64>,
-    rr_next: usize,
-    assignment: Assignment,
-    /// Dispatched service rounds `(edge, model ids in service order)` in
-    /// simulation-time order; recorded only for [`FleetSim::run_served`].
-    rounds: Option<Vec<(usize, Vec<u64>)>>,
+impl LatencySink {
+    pub(crate) fn record(&mut self, latency: f64) {
+        match self {
+            LatencySink::Exact(v) => v.push(latency),
+            LatencySink::Hist(h) => h.record(latency),
+        }
+    }
+
+    pub(crate) fn summary(&self) -> LatencySummary {
+        match self {
+            LatencySink::Exact(v) => LatencySummary::from_samples(v),
+            LatencySink::Hist(h) => h.summary(),
+        }
+    }
 }
 
-impl World {
-    fn pick_edge(&mut self, model_id: u64) -> usize {
-        match self.assignment {
-            Assignment::Sticky => (model_id as usize) % self.edges.len(),
-            Assignment::RoundRobin => {
-                let e = self.rr_next;
-                self.rr_next = (self.rr_next + 1) % self.edges.len();
+/// The lower placement tier: maps each session/request onto a node. The
+/// three classic [`Assignment`]s are reproduced verbatim; the sharded
+/// engine adds seeded weighted-random spreading and telemetry-driven
+/// (deliberately stale) load-aware placement.
+pub(crate) enum Picker {
+    Sticky,
+    RoundRobin {
+        next: usize,
+    },
+    LeastLoaded,
+    /// Weighted random: node i drawn with probability `w[i] / Σw`, from a
+    /// dedicated placement RNG (the trace RNG is never touched).
+    RandomWeighted {
+        rng: StdRng,
+        cum: Vec<f64>,
+    },
+    /// Argmin over the *last published* per-node busy-seconds gauges in
+    /// `rec` — stale between dispatch completions, like real telemetry.
+    LoadAware {
+        rec: Recorder,
+        names: Vec<String>,
+    },
+}
+
+impl Picker {
+    pub(crate) fn from_assignment(a: Assignment) -> Self {
+        match a {
+            Assignment::Sticky => Picker::Sticky,
+            Assignment::RoundRobin => Picker::RoundRobin { next: 0 },
+            Assignment::LeastLoaded => Picker::LeastLoaded,
+        }
+    }
+
+    fn pick(&mut self, edges: &[EdgeState], model_id: u64) -> usize {
+        match self {
+            Picker::Sticky => (model_id as usize) % edges.len(),
+            Picker::RoundRobin { next } => {
+                let e = *next;
+                *next = (*next + 1) % edges.len();
                 e
             }
-            Assignment::LeastLoaded => {
+            Picker::LeastLoaded => {
                 let mut best = 0;
-                for (i, e) in self.edges.iter().enumerate() {
-                    if e.free_at < self.edges[best].free_at {
+                for (i, e) in edges.iter().enumerate() {
+                    if e.free_at < edges[best].free_at {
                         best = i;
                     }
                     let _ = i;
                 }
                 best
             }
+            Picker::RandomWeighted { rng, cum } => {
+                let total = *cum.last().expect("non-empty weights");
+                let u: f64 = rng.gen::<f64>() * total;
+                match cum.binary_search_by(|c| c.partial_cmp(&u).expect("finite weights")) {
+                    Ok(i) => i,
+                    Err(i) => i.min(cum.len() - 1),
+                }
+            }
+            Picker::LoadAware { rec, names } => {
+                let mut best = 0;
+                let mut best_busy = f64::INFINITY;
+                for (i, name) in names.iter().enumerate() {
+                    let busy = rec.gauge(name).unwrap_or(0.0);
+                    if busy < best_busy {
+                        best = i;
+                        best_busy = busy;
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+/// Per-node telemetry hook: the dispatch loop publishes each node's
+/// accumulated busy seconds to a gauge after every service round, which
+/// is what a [`Picker::LoadAware`] reads back.
+pub(crate) struct NodeTelemetry {
+    pub(crate) rec: Recorder,
+    pub(crate) names: Vec<String>,
+}
+
+impl NodeTelemetry {
+    fn publish(&self, node: usize, busy_s: f64) {
+        self.rec.set_gauge(&self.names[node], busy_s);
+    }
+}
+
+pub(crate) struct EdgeState {
+    pub(crate) cache: ModelCache<u64, ModelSpec>,
+    pub(crate) free_at: f64,
+    pub(crate) busy_time: f64,
+    /// Ready requests awaiting a batched service round, FIFO by ready
+    /// time: `(ready_at, arrive_at, model_id)`. Only used when
+    /// `max_batch > 1`.
+    pub(crate) queue: std::collections::VecDeque<(f64, f64, u64)>,
+}
+
+pub(crate) struct World {
+    pub(crate) edges: Vec<EdgeState>,
+    pub(crate) sink: LatencySink,
+    pub(crate) fetch_time_total: f64,
+    pub(crate) service_time: f64,
+    pub(crate) dispatch_time: f64,
+    pub(crate) max_batch: usize,
+    pub(crate) batches: u64,
+    pub(crate) served: u64,
+    pub(crate) fetch_time_for: Box<dyn Fn(usize) -> f64>,
+    pub(crate) picker: Picker,
+    /// Deepest any node's service queue has grown (0 when `max_batch <= 1`
+    /// — the classic pipeline never queues).
+    pub(crate) queue_peak: usize,
+    /// Per-node busy-gauge publisher, when telemetry is on.
+    pub(crate) telemetry: Option<NodeTelemetry>,
+    /// Dispatched service rounds `(edge, model ids in service order)` in
+    /// simulation-time order; recorded only for [`FleetSim::run_served`].
+    pub(crate) rounds: Option<Vec<(usize, Vec<u64>)>>,
+}
+
+impl World {
+    /// Builds a fleet world over `n_edges` fresh caches with the classic
+    /// latency/picker setup derived from `cfg` and `topology`.
+    pub(crate) fn new<P, F>(
+        cfg: &FleetConfig,
+        topology: &Topology,
+        make_policy: F,
+        sink: LatencySink,
+        picker: Picker,
+        telemetry: Option<NodeTelemetry>,
+        record_rounds: bool,
+    ) -> Self
+    where
+        P: EvictionPolicy<u64> + Send + 'static,
+        F: Fn() -> P,
+    {
+        let edge_cloud = topology.edge_cloud;
+        World {
+            edges: (0..cfg.n_edges)
+                .map(|_| EdgeState {
+                    cache: ModelCache::new(cfg.capacity_bytes, Box::new(make_policy())),
+                    free_at: 0.0,
+                    busy_time: 0.0,
+                    queue: std::collections::VecDeque::new(),
+                })
+                .collect(),
+            sink,
+            fetch_time_total: 0.0,
+            service_time: topology.edge.compute_time(cfg.message.encode_ops)
+                + topology.edge.compute_time(cfg.message.decode_ops),
+            dispatch_time: topology.edge.compute_time(cfg.message.dispatch_ops),
+            max_batch: cfg.max_batch.max(1),
+            batches: 0,
+            served: 0,
+            fetch_time_for: Box::new(move |bytes| edge_cloud.transfer_time(bytes)),
+            picker,
+            queue_peak: 0,
+            telemetry,
+            rounds: record_rounds.then(Vec::new),
+        }
+    }
+
+    fn pick_edge(&mut self, model_id: u64) -> usize {
+        self.picker.pick(&self.edges, model_id)
+    }
+
+    fn note_busy(&mut self, e: usize, cost: f64) {
+        self.edges[e].busy_time += cost;
+        if let Some(t) = &self.telemetry {
+            t.publish(e, self.edges[e].busy_time);
         }
     }
 
@@ -190,7 +436,7 @@ impl World {
                 .queue
                 .pop_front()
                 .expect("k bounded by queue length");
-            self.latencies.push(done - arrive);
+            self.sink.record(done - arrive);
             if self.rounds.is_some() {
                 ids.push(id);
             }
@@ -199,10 +445,46 @@ impl World {
             rounds.push((e, ids));
         }
         self.edges[e].free_at = done;
-        self.edges[e].busy_time += cost;
+        self.note_busy(e, cost);
         self.batches += 1;
         self.served += k as u64;
         Some(done)
+    }
+
+    /// Folds the world into a report once the simulation has drained.
+    pub(crate) fn finish(&self, duration: f64) -> FleetReport {
+        let duration = duration.max(1e-9);
+        let (mut hits, mut lookups) = (0u64, 0u64);
+        for e in &self.edges {
+            hits += e.cache.stats().hits;
+            lookups += e.cache.stats().lookups();
+        }
+        FleetReport {
+            latency: self.sink.summary(),
+            hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 / lookups as f64
+            },
+            utilization: self.edges.iter().map(|e| e.busy_time / duration).collect(),
+            fetch_time_total: self.fetch_time_total,
+            mean_batch: if self.batches == 0 {
+                0.0
+            } else {
+                self.served as f64 / self.batches as f64
+            },
+            duration,
+        }
+    }
+
+    /// Aggregate cache hit / lookup counts across the fleet's nodes.
+    pub(crate) fn cache_totals(&self) -> (u64, u64) {
+        let (mut hits, mut lookups) = (0u64, 0u64);
+        for e in &self.edges {
+            hits += e.cache.stats().hits;
+            lookups += e.cache.stats().lookups();
+        }
+        (hits, lookups)
     }
 }
 
@@ -218,6 +500,52 @@ fn dispatch_loop(sim: &mut Sim<World>, w: &mut World, e: usize) {
     }
 }
 
+/// Handles one request arrival at `sim.now()`. This is the *entire*
+/// per-request fleet logic, shared verbatim by the materialized reference
+/// engine ([`FleetSim`], which fires it from pre-scheduled events) and
+/// the streaming sharded engine ([`crate::orchestrator`], which injects
+/// it between strict event drains) — the engines cannot drift apart in
+/// semantics because there is only one arrival body.
+pub(crate) fn on_arrival(sim: &mut Sim<World>, w: &mut World, spec: ModelSpec) {
+    let now = sim.now();
+    let e = w.pick_edge(spec.id);
+    let fetch = if w.edges[e].cache.get(&spec.id).is_some() {
+        0.0
+    } else {
+        let f = (w.fetch_time_for)(spec.size);
+        w.fetch_time_total += f;
+        w.edges[e].cache.insert(spec.id, spec, spec.size, spec.cost);
+        f
+    };
+    if w.max_batch <= 1 {
+        // Classic pipeline: service chains off the edge's running
+        // completion time immediately (dispatch overhead is per message,
+        // so batching is moot).
+        let start = (now + fetch).max(w.edges[e].free_at);
+        let done = start + w.dispatch_time + w.service_time;
+        w.edges[e].free_at = done;
+        w.note_busy(e, w.dispatch_time + w.service_time);
+        w.sink.record(done - now);
+        w.batches += 1;
+        w.served += 1;
+        if let Some(rounds) = &mut w.rounds {
+            rounds.push((e, vec![spec.id]));
+        }
+    } else {
+        // Batched mode: the request queues once its model is resident; a
+        // busy edge drains whatever has accumulated when it frees, one
+        // dispatch per round.
+        sim.schedule_at(
+            now + fetch,
+            Box::new(move |sim, w: &mut World| {
+                w.edges[e].queue.push_back((sim.now(), now, spec.id));
+                w.queue_peak = w.queue_peak.max(w.edges[e].queue.len());
+                dispatch_loop(sim, w, e);
+            }),
+        );
+    }
+}
+
 /// The multi-edge fleet simulator. See the module-level documentation.
 #[derive(Debug)]
 pub struct FleetSim {
@@ -226,14 +554,20 @@ pub struct FleetSim {
 }
 
 impl FleetSim {
+    /// Creates a simulator over a topology, validating the configuration.
+    pub fn try_new(config: FleetConfig, topology: Topology) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(FleetSim { config, topology })
+    }
+
     /// Creates a simulator over a topology.
     ///
     /// # Panics
     ///
-    /// Panics if `n_edges == 0`.
+    /// Panics on an invalid configuration (see [`FleetConfig::validate`]);
+    /// use [`FleetSim::try_new`] for a typed error.
     pub fn new(config: FleetConfig, topology: Topology) -> Self {
-        assert!(config.n_edges > 0, "fleet needs at least one edge");
-        FleetSim { config, topology }
+        Self::try_new(config, topology).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Replays the workload with per-edge LRU caches.
@@ -249,7 +583,18 @@ impl FleetSim {
         P: EvictionPolicy<u64> + Send + 'static,
         F: Fn() -> P,
     {
-        self.run_inner(seed, make_policy, false).0
+        self.run_inner(seed, make_policy, false, false).0
+    }
+
+    /// Like [`FleetSim::run`], but recording per-request latencies into
+    /// the bounded [`LatencyHist`] instead of the exact sample vector:
+    /// `count`, `mean`, and `max` match [`FleetSim::run`] exactly,
+    /// percentiles are bucket lower bounds (≤ 1/16 low). This is the
+    /// single-loop **reference summary** the sharded engine
+    /// (`ShardedFleetSim`) is property-pinned against — both sides must
+    /// quantize identically for byte-equality to be checkable.
+    pub fn run_hist(&self, seed: u64) -> FleetReport {
+        self.run_inner(seed, Lru::new, false, true).0
     }
 
     /// Like [`FleetSim::run`], but additionally **routes every dispatched
@@ -259,7 +604,7 @@ impl FleetSim {
     /// `server.serve_round`. The report is identical to [`FleetSim::run`]
     /// for the same seed (recording rounds does not perturb the DES).
     pub fn run_served<S: BatchServer>(&self, seed: u64, server: &mut S) -> FleetReport {
-        let (report, rounds) = self.run_inner(seed, Lru::new, true);
+        let (report, rounds) = self.run_inner(seed, Lru::new, true, false);
         for (edge, ids) in &rounds {
             server.serve_round(*edge, ids);
         }
@@ -271,6 +616,7 @@ impl FleetSim {
         seed: u64,
         make_policy: F,
         record_rounds: bool,
+        hist_latency: bool,
     ) -> (FleetReport, Vec<(usize, Vec<u64>)>)
     where
         P: EvictionPolicy<u64> + Send + 'static,
@@ -278,113 +624,39 @@ impl FleetSim {
     {
         let cfg = &self.config;
         let workload = Workload::standard(cfg.n_domains, cfg.n_users, cfg.zipf_alpha);
-        let mut rng = seeded_rng(seed);
+        // Materialize the trace through the same streaming generator the
+        // sharded engine consumes lazily: identical draws by construction.
+        let arrivals: Vec<(f64, ModelSpec)> = workload
+            .into_stream(cfg.arrival_rate_hz, seed)
+            .take(cfg.n_requests)
+            .collect();
 
-        let mut t = 0.0;
-        let mut arrivals: Vec<(f64, ModelSpec)> = Vec::with_capacity(cfg.n_requests);
-        for _ in 0..cfg.n_requests {
-            let u: f64 = rng.gen::<f64>().max(1e-12);
-            t += -u.ln() / cfg.arrival_rate_hz;
-            arrivals.push((t, workload.sample(&mut rng)));
-        }
-
-        let edge_cloud = self.topology.edge_cloud;
-        let service_time = self.topology.edge.compute_time(cfg.message.encode_ops)
-            + self.topology.edge.compute_time(cfg.message.decode_ops);
-        let dispatch_time = self.topology.edge.compute_time(cfg.message.dispatch_ops);
-        let max_batch = cfg.max_batch.max(1);
-
-        let mut world = World {
-            edges: (0..cfg.n_edges)
-                .map(|_| EdgeState {
-                    cache: ModelCache::new(cfg.capacity_bytes, Box::new(make_policy())),
-                    free_at: 0.0,
-                    busy_time: 0.0,
-                    queue: std::collections::VecDeque::new(),
-                })
-                .collect(),
-            latencies: Vec::with_capacity(cfg.n_requests),
-            fetch_time_total: 0.0,
-            service_time,
-            dispatch_time,
-            max_batch,
-            batches: 0,
-            served: 0,
-            fetch_time_for: Box::new(move |bytes| edge_cloud.transfer_time(bytes)),
-            rr_next: 0,
-            assignment: cfg.assignment,
-            rounds: record_rounds.then(Vec::new),
+        let sink = if hist_latency {
+            LatencySink::Hist(LatencyHist::new())
+        } else {
+            LatencySink::Exact(Vec::with_capacity(cfg.n_requests))
         };
+        let mut world = World::new(
+            cfg,
+            &self.topology,
+            make_policy,
+            sink,
+            Picker::from_assignment(cfg.assignment),
+            None,
+            record_rounds,
+        );
 
         let mut sim: Sim<World> = Sim::new();
         for (arrive_at, spec) in arrivals {
             sim.schedule_at(
                 arrive_at,
-                Box::new(move |sim, w: &mut World| {
-                    let now = sim.now();
-                    let e = w.pick_edge(spec.id);
-                    let fetch = if w.edges[e].cache.get(&spec.id).is_some() {
-                        0.0
-                    } else {
-                        let f = (w.fetch_time_for)(spec.size);
-                        w.fetch_time_total += f;
-                        w.edges[e].cache.insert(spec.id, spec, spec.size, spec.cost);
-                        f
-                    };
-                    if w.max_batch <= 1 {
-                        // Classic pipeline: service chains off the edge's
-                        // running completion time immediately (dispatch
-                        // overhead is per message, so batching is moot).
-                        let start = (now + fetch).max(w.edges[e].free_at);
-                        let done = start + w.dispatch_time + w.service_time;
-                        w.edges[e].free_at = done;
-                        w.edges[e].busy_time += w.dispatch_time + w.service_time;
-                        w.latencies.push(done - now);
-                        w.batches += 1;
-                        w.served += 1;
-                        if let Some(rounds) = &mut w.rounds {
-                            rounds.push((e, vec![spec.id]));
-                        }
-                    } else {
-                        // Batched mode: the request queues once its model
-                        // is resident; a busy edge drains whatever has
-                        // accumulated when it frees, one dispatch per round.
-                        sim.schedule_at(
-                            now + fetch,
-                            Box::new(move |sim, w: &mut World| {
-                                w.edges[e].queue.push_back((sim.now(), now, spec.id));
-                                dispatch_loop(sim, w, e);
-                            }),
-                        );
-                    }
-                }),
+                Box::new(move |sim, w: &mut World| on_arrival(sim, w, spec)),
             );
         }
         sim.run(&mut world);
 
-        let duration = sim.now().max(1e-9);
-        let (mut hits, mut lookups) = (0u64, 0u64);
-        for e in &world.edges {
-            hits += e.cache.stats().hits;
-            lookups += e.cache.stats().lookups();
-        }
-        let report = FleetReport {
-            latency: LatencySummary::from_samples(&world.latencies),
-            hit_rate: if lookups == 0 {
-                0.0
-            } else {
-                hits as f64 / lookups as f64
-            },
-            utilization: world.edges.iter().map(|e| e.busy_time / duration).collect(),
-            fetch_time_total: world.fetch_time_total,
-            mean_batch: if world.batches == 0 {
-                0.0
-            } else {
-                world.served as f64 / world.batches as f64
-            },
-            duration,
-        };
-        (report, world.rounds.unwrap_or_default())
+        let report = world.finish(sim.now());
+        (report, world.rounds.take().unwrap_or_default())
     }
 }
 
@@ -476,6 +748,22 @@ mod tests {
         let a = sim(Assignment::Sticky).run(5);
         let b = sim(Assignment::Sticky).run_with_policy(5, Lru::new);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_hist_matches_run_on_exact_fields() {
+        let exact = sim(Assignment::Sticky).run(5);
+        let hist = sim(Assignment::Sticky).run_hist(5);
+        assert_eq!(hist.latency.count, exact.latency.count);
+        assert_eq!(hist.latency.max, exact.latency.max);
+        assert!((hist.latency.mean - exact.latency.mean).abs() < 1e-12);
+        assert_eq!(hist.hit_rate, exact.hit_rate);
+        assert_eq!(hist.utilization, exact.utilization);
+        assert_eq!(hist.fetch_time_total, exact.fetch_time_total);
+        assert_eq!(hist.duration, exact.duration);
+        // Bucket lower bounds: at most 1/16 below the exact percentile.
+        assert!(hist.latency.p95 <= exact.latency.p95);
+        assert!(hist.latency.p95 >= exact.latency.p95 * (1.0 - 1.0 / 16.0) - 1e-12);
     }
 
     #[test]
@@ -614,5 +902,79 @@ mod tests {
             },
             Topology::default(),
         );
+    }
+
+    #[test]
+    fn validation_catches_every_bad_knob() {
+        let base = FleetConfig::default();
+        assert!(base.validate().is_ok());
+        let cases = [
+            (FleetConfig { n_edges: 0, ..base }, ConfigError::ZeroEdges),
+            (
+                FleetConfig {
+                    max_batch: 0,
+                    ..base
+                },
+                ConfigError::ZeroBatch,
+            ),
+            (
+                FleetConfig {
+                    arrival_rate_hz: f64::NAN,
+                    ..base
+                },
+                ConfigError::BadArrivalRate(f64::NAN),
+            ),
+            (
+                FleetConfig {
+                    arrival_rate_hz: 0.0,
+                    ..base
+                },
+                ConfigError::BadArrivalRate(0.0),
+            ),
+            (
+                FleetConfig {
+                    arrival_rate_hz: f64::INFINITY,
+                    ..base
+                },
+                ConfigError::BadArrivalRate(f64::INFINITY),
+            ),
+            (
+                FleetConfig {
+                    zipf_alpha: f64::NAN,
+                    ..base
+                },
+                ConfigError::BadZipf(f64::NAN),
+            ),
+            (
+                FleetConfig {
+                    zipf_alpha: -0.5,
+                    ..base
+                },
+                ConfigError::BadZipf(-0.5),
+            ),
+        ];
+        for (cfg, want) in cases {
+            let got = FleetSim::try_new(cfg, Topology::default())
+                .err()
+                .unwrap_or_else(|| panic!("{cfg:?} should be rejected"));
+            // NaN != NaN: compare the rendered error instead.
+            assert_eq!(got.to_string(), want.to_string(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn config_errors_render_actionable_messages() {
+        assert!(ConfigError::ZeroEdges
+            .to_string()
+            .contains("at least one edge"));
+        assert!(ConfigError::ZeroBatch.to_string().contains("max_batch"));
+        assert!(ConfigError::BadArrivalRate(f64::NAN)
+            .to_string()
+            .contains("finite and positive"));
+        assert!(ConfigError::BadZipf(-1.0)
+            .to_string()
+            .contains("non-negative"));
+        let e: Box<dyn std::error::Error> = Box::new(ConfigError::ZeroShards);
+        assert!(e.to_string().contains("shard"));
     }
 }

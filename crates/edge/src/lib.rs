@@ -19,7 +19,11 @@
 //!   (experiment F4's latency rows);
 //! * [`FleetSim`] — a multi-edge variant exposing the cache-locality vs
 //!   load-balance tradeoff of request [`Assignment`] (experiment F12);
-//! * [`LatencySummary`] — mean/percentile aggregation.
+//! * [`orchestrator`] — the two-level sharded fleet engine scaling the
+//!   same per-request semantics to a million users over streaming traces
+//!   and `semcom-par` workers (experiment F13);
+//! * [`LatencySummary`] — mean/percentile aggregation, plus the
+//!   bounded-memory [`LatencyHist`] the sharded engine aggregates with.
 //!
 //! # Example
 //!
@@ -38,13 +42,19 @@
 
 mod fleet;
 mod metrics;
+mod shard;
 mod sim;
 mod topology;
 
 pub mod engine;
+pub mod orchestrator;
 pub mod placement;
 
-pub use fleet::{Assignment, BatchServer, FleetConfig, FleetReport, FleetSim};
-pub use metrics::LatencySummary;
+pub use fleet::{Assignment, BatchServer, ConfigError, FleetConfig, FleetReport, FleetSim};
+pub use metrics::{LatencyHist, LatencySummary};
+pub use orchestrator::{
+    merge_reports, FleetScaleReport, Orchestrator, SessionPlacement, ShardPlan, ShardStats,
+    ShardedFleetConfig, ShardedFleetSim,
+};
 pub use sim::{EdgeWorkloadSim, WorkloadConfig, WorkloadReport};
 pub use topology::{ComputeNode, Link, Topology};

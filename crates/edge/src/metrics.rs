@@ -41,6 +41,123 @@ impl LatencySummary {
     }
 }
 
+/// Sub-buckets per power-of-two octave: 4 mantissa bits bound the
+/// quantile quantization error at 1/16 (~6%) of the sample value.
+const SUB_BITS: u32 = 4;
+const SUBS: usize = 1 << SUB_BITS;
+/// Values 0..16 ns get exact unit buckets; octaves 4..=63 get 16 linear
+/// sub-buckets each.
+const BUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
+
+/// A bounded-memory latency aggregator: samples (seconds) are quantized to
+/// nanoseconds and counted in log2-major / 16-linear-sub-bucket bins, with
+/// the running sum and maximum kept exactly.
+///
+/// This is the constant-size replacement for the `Vec<f64>` sample buffer
+/// in the million-user sharded fleet engine: a 10M-request shard replay
+/// allocates the same ~8 KiB histogram as a 100-request one. Percentiles
+/// come back as the **lower bound of the owning bucket** (deterministic,
+/// at most 1/16 below the exact order statistic); `count`, `mean`, and
+/// `max` are exact. The summed `mean` accumulates in record order, so two
+/// engines that observe the same samples in the same order summarize
+/// bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHist {
+    buckets: Vec<u64>,
+    count: usize,
+    sum: f64,
+    max: f64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHist {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if ns < SUBS as u64 {
+            ns as usize
+        } else {
+            let msb = 63 - ns.leading_zeros();
+            let sub = (ns >> (msb - SUB_BITS)) & (SUBS as u64 - 1);
+            SUBS + ((msb - SUB_BITS) as usize) * SUBS + sub as usize
+        }
+    }
+
+    fn lower_bound_ns(idx: usize) -> u64 {
+        if idx < SUBS {
+            idx as u64
+        } else {
+            let major = (idx - SUBS) / SUBS;
+            let sub = ((idx - SUBS) % SUBS) as u64;
+            let msb = major as u32 + SUB_BITS;
+            (1u64 << msb) | (sub << (msb - SUB_BITS))
+        }
+    }
+
+    /// Records one latency sample in seconds. Negative and NaN samples
+    /// count into the zero bucket (latencies are non-negative by
+    /// construction; saturating keeps the histogram total).
+    pub fn record(&mut self, seconds: f64) {
+        let ns = (seconds * 1e9) as u64; // saturating cast: NaN/neg → 0
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum += seconds;
+        self.max = self.max.max(seconds);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The `q`-quantile (0..=1) in seconds: the lower bound of the bucket
+    /// holding the order statistic at rank `round((count-1) * q)` — the
+    /// same rank rule as [`LatencySummary::from_samples`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((self.count as f64 - 1.0) * q).round() as u64;
+        let mut cum = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum > rank {
+                return Self::lower_bound_ns(idx) as f64 / 1e9;
+            }
+        }
+        self.max
+    }
+
+    /// Summarizes into the common report shape: exact count/mean/max,
+    /// bucket-quantized percentiles.
+    pub fn summary(&self) -> LatencySummary {
+        if self.count == 0 {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            count: self.count,
+            mean: self.sum / self.count as f64,
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +184,65 @@ mod tests {
         let a = LatencySummary::from_samples(&[3.0, 1.0, 2.0]);
         let b = LatencySummary::from_samples(&[1.0, 2.0, 3.0]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hist_bucket_bounds_are_monotone_and_self_consistent() {
+        let mut last = 0;
+        for idx in 0..BUCKETS {
+            let lb = LatencyHist::lower_bound_ns(idx);
+            assert!(idx == 0 || lb > last, "bucket {idx}: {lb} after {last}");
+            assert_eq!(LatencyHist::bucket_of(lb), idx, "lower bound owns bucket");
+            last = lb;
+        }
+        // Extremes land in valid buckets.
+        assert_eq!(LatencyHist::bucket_of(0), 0);
+        assert!(LatencyHist::bucket_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn hist_quantiles_are_within_one_sixteenth() {
+        let mut h = LatencyHist::new();
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64 * 1e-3).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        let exact = LatencySummary::from_samples(&samples);
+        let approx = h.summary();
+        assert_eq!(approx.count, exact.count);
+        // from_samples sums in sorted order, the hist in record order:
+        // equal up to summation-order rounding.
+        assert!((approx.mean - exact.mean).abs() < 1e-9);
+        assert_eq!(approx.max, exact.max);
+        for (a, e) in [
+            (approx.p50, exact.p50),
+            (approx.p95, exact.p95),
+            (approx.p99, exact.p99),
+        ] {
+            assert!(
+                a <= e + 1e-12,
+                "bucket lower bound exceeds exact: {a} > {e}"
+            );
+            assert!(a >= e * (1.0 - 1.0 / 16.0) - 1e-12, "{a} too far below {e}");
+        }
+    }
+
+    #[test]
+    fn hist_is_empty_safe_and_deterministic() {
+        assert_eq!(LatencyHist::new().summary(), LatencySummary::default());
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        for s in [0.0, 1e-9, 0.5, 3.25] {
+            a.record(s);
+            b.record(s);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.count(), 4);
+        // Pathological samples quantize into the zero bucket, no panic.
+        let mut p = LatencyHist::new();
+        p.record(f64::NAN);
+        p.record(-1.0);
+        assert_eq!(p.count(), 2);
+        assert_eq!(p.quantile(0.5), 0.0);
     }
 }

@@ -1,0 +1,138 @@
+//! The streaming per-shard fleet engine: one discrete-event loop over one
+//! shard's slice of the fleet, fed by a constant-memory
+//! [`semcom_cache::workload::ArrivalStream`] instead of a materialized
+//! trace.
+//!
+//! The per-request semantics are **shared code** with the single-loop
+//! reference engine (`fleet::on_arrival`); what differs is purely the
+//! driver. The reference pre-schedules every arrival into the event heap
+//! (O(n_requests) boxed events); this engine injects arrivals one at a
+//! time between strict [`Sim::run_while_before`] drains, so the heap only
+//! ever holds the in-flight fetch/dispatch events. The strict (`< t`)
+//! drain plus [`Sim::advance_to`] reproduces the reference's tie-break —
+//! pre-scheduled arrivals carry the lowest sequence numbers, so they win
+//! ties against derived events — which is what makes the two engines
+//! byte-identical and lets the equivalence proptest pin them together.
+
+use crate::engine::Sim;
+use crate::fleet::{on_arrival, FleetReport, LatencySink, NodeTelemetry, Picker, World};
+use crate::metrics::LatencyHist;
+use crate::orchestrator::{SessionPlacement, ShardPlan};
+use crate::topology::Topology;
+use semcom_cache::policy::Lru;
+use semcom_cache::workload::Workload;
+use semcom_nn::rng::{derive_seed, seeded_rng};
+use semcom_obs::Recorder;
+
+/// Stream index for the placement RNG, so `RandomWeighted` draws never
+/// perturb the shard's trace RNG (`plan.seed` itself).
+const PLACEMENT_STREAM: u64 = 0x706c_6163; // "plac"
+
+/// Execution statistics for one shard, reported alongside its
+/// [`FleetReport`].
+///
+/// Everything except `wall_ns` is a pure function of the shard's DES and
+/// therefore identical at any `SEMCOM_THREADS`; `wall_ns` is wall-clock
+/// and scheduling-dependent, so exports prefix it `sched_` (excluded from
+/// the deterministic snapshot, like PR 7's queue-depth gauges).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardStats {
+    /// Arrivals injected plus derived events fired by this shard's loop.
+    pub events_total: u64,
+    /// Deepest any of the shard's node queues grew (0 for `max_batch <= 1`).
+    pub queue_depth_peak: usize,
+    /// Cache hits summed over the shard's nodes.
+    pub hits: u64,
+    /// Cache lookups summed over the shard's nodes.
+    pub lookups: u64,
+    /// Wall-clock nanoseconds this shard's replay took (scheduling-
+    /// dependent; never golden-checked).
+    pub wall_ns: u64,
+}
+
+/// Replays one shard to completion. Called from the orchestrator's
+/// `semcom-par` fan-out (one call per shard, any worker count) and — with
+/// the same plan — from serial reference loops; the result depends only
+/// on the plan, topology, and placement.
+pub(crate) fn run_shard(
+    plan: &ShardPlan,
+    topology: &Topology,
+    placement: &SessionPlacement,
+) -> (FleetReport, ShardStats) {
+    let t0 = std::time::Instant::now();
+    let cfg = &plan.config;
+    let workload = Workload::standard(cfg.n_domains, cfg.n_users, cfg.zipf_alpha);
+    let mut stream = workload.into_stream(cfg.arrival_rate_hz, plan.seed);
+
+    let (picker, telemetry) = match placement {
+        SessionPlacement::Assigned(a) => (Picker::from_assignment(*a), None),
+        SessionPlacement::RandomWeighted => {
+            let weights = plan
+                .weights
+                .clone()
+                .unwrap_or_else(|| vec![1.0; cfg.n_edges]);
+            let mut cum = Vec::with_capacity(weights.len());
+            let mut acc = 0.0;
+            for w in weights {
+                acc += w;
+                cum.push(acc);
+            }
+            (
+                Picker::RandomWeighted {
+                    rng: seeded_rng(derive_seed(plan.seed, PLACEMENT_STREAM)),
+                    cum,
+                },
+                None,
+            )
+        }
+        SessionPlacement::LoadAware => {
+            // A shard-private recorder closes the telemetry loop: the
+            // dispatch path publishes per-node busy gauges, the picker
+            // polls them back (stale between publishes, like real node
+            // telemetry). Deterministic because the DES is.
+            let rec = Recorder::with_ticks();
+            let names: Vec<String> = (0..cfg.n_edges)
+                .map(|j| format!("node{j}_busy_s"))
+                .collect();
+            (
+                Picker::LoadAware {
+                    rec: rec.clone(),
+                    names: names.clone(),
+                },
+                Some(NodeTelemetry { rec, names }),
+            )
+        }
+    };
+
+    let mut world = World::new(
+        cfg,
+        topology,
+        Lru::new,
+        LatencySink::Hist(LatencyHist::new()),
+        picker,
+        telemetry,
+        false,
+    );
+    let mut sim: Sim<World> = Sim::new();
+    for _ in 0..cfg.n_requests {
+        let (t, spec) = stream.next_arrival();
+        // Fire everything strictly earlier than this arrival, then inject
+        // it — arrivals win ties, exactly like the reference's
+        // pre-scheduled (lowest-seq) arrival events.
+        sim.run_while_before(&mut world, t);
+        sim.advance_to(t);
+        on_arrival(&mut sim, &mut world, spec);
+    }
+    sim.run(&mut world);
+
+    let report = world.finish(sim.now());
+    let (hits, lookups) = world.cache_totals();
+    let stats = ShardStats {
+        events_total: cfg.n_requests as u64 + sim.processed(),
+        queue_depth_peak: world.queue_peak,
+        hits,
+        lookups,
+        wall_ns: t0.elapsed().as_nanos() as u64,
+    };
+    (report, stats)
+}

@@ -1,0 +1,146 @@
+//! Sharded-engine vs. single-loop-reference equivalence (experiment F13).
+//!
+//! The streaming sharded engine (`ShardedFleetSim::run`: constant-memory
+//! arrival streams, strict-before event drains, `semcom-par` fan-out)
+//! must produce **identical** per-shard `FleetReport`s — and therefore an
+//! identical merged report — to serial replays of each shard's plan
+//! through the materialized single-loop engine (`FleetSim::run_hist`),
+//! across randomized fleet shapes and at 1, 2, and 4 workers. The worker
+//! count is process-global, so tests serialize on a lock and restore the
+//! default before releasing it (the `tests/f4_workers.rs` pattern).
+
+use proptest::prelude::*;
+use semcom_edge::{
+    Assignment, FleetConfig, SessionPlacement, ShardedFleetConfig, ShardedFleetSim, Topology,
+};
+use std::sync::Mutex;
+
+static WORKER_LOCK: Mutex<()> = Mutex::new(());
+
+/// Projects the deterministic fields of per-shard stats (`wall_ns` is
+/// wall-clock and legitimately varies run to run).
+fn det_stats(r: &semcom_edge::FleetScaleReport) -> Vec<(u64, usize, u64, u64)> {
+    r.stats
+        .iter()
+        .map(|s| (s.events_total, s.queue_depth_peak, s.hits, s.lookups))
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fleet(
+    n_edges: usize,
+    n_requests: usize,
+    rate: f64,
+    alpha: f64,
+    capacity_kb: usize,
+    n_domains: usize,
+    n_users: usize,
+    assignment: Assignment,
+    max_batch: usize,
+) -> FleetConfig {
+    FleetConfig {
+        n_edges,
+        n_requests,
+        arrival_rate_hz: rate,
+        capacity_bytes: capacity_kb * 1_000,
+        zipf_alpha: alpha,
+        n_domains,
+        n_users,
+        assignment,
+        max_batch,
+        ..FleetConfig::default()
+    }
+}
+
+proptest! {
+    /// The headline pin: for any valid fleet shape and classic assignment,
+    /// sharded == reference, byte for byte, at every worker count.
+    #[test]
+    fn sharded_engine_matches_reference_at_1_2_4_workers(
+        seed in any::<u64>(),
+        n_shards in 1usize..=4,
+        extra_edges in 0usize..=4,
+        assignment_idx in 0usize..3,
+        max_batch in 1usize..=8,
+        n_domains in 0usize..=4,
+        extra_users in 0usize..=40,
+        rate in 20.0f64..300.0,
+        alpha in 0.4f64..1.2,
+        capacity_kb in 200usize..=4_000,
+        n_requests in 50usize..=400,
+    ) {
+        // Valid by construction: every shard owns >= 1 edge and, because
+        // users >= shards, a non-empty model universe.
+        let n_edges = n_shards + extra_edges;
+        let n_users = n_shards + extra_users;
+        let assignment = Assignment::ALL[assignment_idx];
+        let sim = ShardedFleetSim::new(
+            ShardedFleetConfig {
+                fleet: fleet(
+                    n_edges, n_requests, rate, alpha, capacity_kb,
+                    n_domains, n_users, assignment, max_batch,
+                ),
+                n_shards,
+                placement: SessionPlacement::Assigned(assignment),
+                node_weights: None,
+            },
+            Topology::default(),
+        );
+        let reference = sim.run_reference(seed);
+
+        let _guard = WORKER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for workers in [1usize, 2, 4] {
+            semcom_par::set_workers(workers);
+            let sharded = sim.run(seed);
+            prop_assert_eq!(&sharded.shards, &reference.shards, "{} workers", workers);
+            prop_assert_eq!(&sharded.merged, &reference.merged, "{} workers", workers);
+        }
+        semcom_par::reset_workers();
+    }
+
+    /// The placements the reference engine cannot speak must still be
+    /// worker-count invariant: weighted-random draws come from per-shard
+    /// stream-split RNGs and load-aware reads from shard-private gauges,
+    /// so 1, 2, and 4 workers replay identically.
+    #[test]
+    fn scale_placements_are_worker_count_invariant(
+        seed in any::<u64>(),
+        n_shards in 1usize..=3,
+        extra_edges in 1usize..=4,
+        weighted in any::<bool>(),
+        max_batch in 1usize..=4,
+        n_requests in 50usize..=300,
+    ) {
+        let n_edges = n_shards + extra_edges;
+        let placement = if weighted {
+            SessionPlacement::RandomWeighted
+        } else {
+            SessionPlacement::LoadAware
+        };
+        let sim = ShardedFleetSim::new(
+            ShardedFleetConfig {
+                fleet: fleet(
+                    n_edges, n_requests, 120.0, 0.9, 1_000,
+                    2, 30, Assignment::Sticky, max_batch,
+                ),
+                n_shards,
+                placement,
+                node_weights: weighted.then(|| {
+                    (0..n_edges).map(|i| 1.0 + (i % 3) as f64).collect()
+                }),
+            },
+            Topology::default(),
+        );
+
+        let _guard = WORKER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        semcom_par::set_workers(1);
+        let serial = sim.run(seed);
+        for workers in [2usize, 4] {
+            semcom_par::set_workers(workers);
+            let parallel = sim.run(seed);
+            prop_assert_eq!(&parallel.shards, &serial.shards, "{} workers", workers);
+            prop_assert_eq!(det_stats(&parallel), det_stats(&serial), "{} workers", workers);
+        }
+        semcom_par::reset_workers();
+    }
+}

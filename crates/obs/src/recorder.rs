@@ -226,6 +226,27 @@ impl Recorder {
         }
     }
 
+    /// Reads a named counter back (`None` when disabled or never
+    /// written).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.counters.lock().expect("counter lock").get(name).copied())
+    }
+
+    /// Reads a named gauge back (`None` when disabled or never written).
+    ///
+    /// Telemetry-driven schedulers poll node gauges through this: the
+    /// edge fleet's `LoadAware` placement reads the per-node busy-time
+    /// gauges its dispatch loop publishes, steering sessions toward the
+    /// node whose *last-reported* load is lowest — deliberately stale
+    /// between publishes, like real node telemetry.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.gauges.lock().expect("gauge lock").get(name).copied())
+    }
+
     /// Appends an event to the journal (oldest entry overwritten when
     /// full).
     pub fn emit(&self, event: Event) {
@@ -367,6 +388,23 @@ mod tests {
         assert_eq!(snap.counter("frames"), Some(5));
         assert_eq!(snap.counter("frames_abs"), Some(11));
         assert_eq!(snap.gauge("rate"), Some(0.5));
+    }
+
+    #[test]
+    fn live_readback_sees_latest_values() {
+        let rec = Recorder::with_ticks();
+        assert_eq!(rec.gauge("node0_busy_s"), None);
+        assert_eq!(rec.counter("events"), None);
+        rec.set_gauge("node0_busy_s", 1.5);
+        rec.set_gauge("node0_busy_s", 2.5);
+        rec.add("events", 7);
+        assert_eq!(rec.gauge("node0_busy_s"), Some(2.5));
+        assert_eq!(rec.counter("events"), Some(7));
+        // Disabled recorders read back nothing.
+        let off = Recorder::disabled();
+        off.set_gauge("g", 1.0);
+        assert_eq!(off.gauge("g"), None);
+        assert_eq!(off.counter("g"), None);
     }
 
     #[test]

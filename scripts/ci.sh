@@ -33,6 +33,9 @@ cargo bench -p semcom-bench --bench codec -- --test
 # Staged serving pipeline routines (sequential vs send_stream, serial
 # fallback, paced airtime overlap; see BENCH_pr7.json).
 cargo bench -p semcom-bench --bench pipeline -- --test
+# Sharded fleet routines (single-loop reference vs 4-shard streaming
+# engine at 1 worker and at the natural count; see BENCH_pr8.json).
+cargo bench -p semcom-bench --bench fleet -- --test
 
 echo "=== int8 accuracy gate (quantization loss < 1%) ==="
 # Redundant with `cargo test --workspace` above but called out as its own
@@ -97,6 +100,24 @@ for threads in 1 2 4; do
         exit 1
     }
     echo "t10_pipeline matches golden at SEMCOM_THREADS=$threads"
+done
+
+echo "=== sharded fleet golden (F13) + thread invariance ==="
+# F13 plans, replays, and merges the two-level sharded fleet — including a
+# 1M-user / 10M-request streaming trace — and asserts sharded == reference
+# inside the harness. Its stdout must match the golden byte-for-byte at 1
+# AND 4 workers: the PR 8 contract that shard fan-out never changes any
+# report. Wall-clock timings go to stderr, outside the golden.
+for threads in 1 4; do
+    SEMCOM_THREADS=$threads ./target/release/f13_fleet_scale 2>/dev/null \
+        | diff -u tests/goldens/f13_fleet_scale.stdout - || {
+        echo "ci: harness f13_fleet_scale (crates/bench/src/bin/f13_fleet_scale.rs) diverged from tests/goldens/f13_fleet_scale.stdout at SEMCOM_THREADS=$threads." >&2
+        echo "ci: if the change is intentional, regenerate with:" >&2
+        echo "ci:   SEMCOM_THREADS=1 ./target/release/f13_fleet_scale 2>/dev/null > tests/goldens/f13_fleet_scale.stdout" >&2
+        echo "ci: then re-run this script — divergence at only SOME worker counts means the shard fan-out or merge order broke determinism, not the golden." >&2
+        exit 1
+    }
+    echo "f13_fleet_scale matches golden at SEMCOM_THREADS=$threads"
 done
 
 echo "ci: all gates passed"
