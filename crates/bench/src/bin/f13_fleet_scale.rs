@@ -19,10 +19,10 @@ use semcom_edge::{
     Topology,
 };
 
-fn sharded(fleet: FleetConfig, n_shards: usize, placement: SessionPlacement) -> ShardedFleetSim {
+fn sharded(fleet: &FleetConfig, n_shards: usize, placement: SessionPlacement) -> ShardedFleetSim {
     ShardedFleetSim::new(
         ShardedFleetConfig {
-            fleet,
+            fleet: fleet.clone(),
             n_shards,
             placement,
             node_weights: None,
@@ -51,7 +51,7 @@ fn main() {
 
     println!("\n--- orchestrator plan: 8 edges x 4 shards, 200k requests ---");
     println!("shard,edges,first_edge,requests,domains,users,rate_hz,seed");
-    for p in sharded(base, 4, SessionPlacement::Assigned(Assignment::Sticky)).plan(13) {
+    for p in sharded(&base, 4, SessionPlacement::Assigned(Assignment::Sticky)).plan(13) {
         println!(
             "{},{},{},{},{},{},{:.1},{:#018x}",
             p.shard,
@@ -68,7 +68,7 @@ fn main() {
     println!("\n--- sharded engine vs single-loop reference (must be identical) ---");
     println!("assignment,hit_rate,mean_ms,p95_ms,identical");
     for a in Assignment::ALL {
-        let sim = sharded(base, 4, SessionPlacement::Assigned(a));
+        let sim = sharded(&base, 4, SessionPlacement::Assigned(a));
         let t0 = std::time::Instant::now();
         let s = sim.run(13);
         let t_sharded = t0.elapsed();
@@ -115,7 +115,7 @@ fn main() {
         SessionPlacement::RandomWeighted,
         SessionPlacement::LoadAware,
     ] {
-        let r = sharded(placement_fleet, 4, placement).run(29);
+        let r = sharded(&placement_fleet, 4, placement).run(29);
         let min = r.merged.utilization.iter().cloned().fold(1.0f64, f64::min);
         let max = r.merged.utilization.iter().cloned().fold(0.0f64, f64::max);
         println!(
@@ -131,14 +131,14 @@ fn main() {
 
     println!("\n--- single-loop ceiling: the same aggregate, one event heap ---");
     println!("engine,requests,hit_rate,mean_ms");
-    let ceiling = FleetSim::new(base, Topology::default()).run_hist(13);
+    let ceiling = FleetSim::new(base.clone(), Topology::default()).run_hist(13);
     println!(
         "single_loop,{},{:.4},{:.3}",
         ceiling.latency.count,
         ceiling.hit_rate,
         ceiling.latency.mean * 1e3
     );
-    let s = sharded(base, 4, SessionPlacement::Assigned(Assignment::Sticky)).run(13);
+    let s = sharded(&base, 4, SessionPlacement::Assigned(Assignment::Sticky)).run(13);
     println!(
         "sharded_x4,{},{:.4},{:.3}",
         s.merged.latency.count,
@@ -158,7 +158,7 @@ fn main() {
         max_batch: 8,
         ..FleetConfig::default()
     };
-    let sim = sharded(scale, 16, SessionPlacement::Assigned(Assignment::Sticky));
+    let sim = sharded(&scale, 16, SessionPlacement::Assigned(Assignment::Sticky));
     let t0 = std::time::Instant::now();
     let r = sim.run(101);
     let elapsed = t0.elapsed();

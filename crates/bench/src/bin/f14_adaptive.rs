@@ -1,0 +1,431 @@
+//! F14 — link-adaptive serving with edge↔cloud offloading and mobility.
+//!
+//! The paper's communication-optimization direction (Sec. III-B) made
+//! *adaptive*: a per-user Good/Fair/Bad Markov SNR process drives an
+//! EWMA-estimated, hysteresis-guarded selection of (modulation, code
+//! rate, feature dim) per message. Four sections:
+//!
+//! * **A — policy trace**: the raw adaptation loop over one link
+//!   (state occupancy, entry shares, switch count).
+//! * **B — serving accuracy**: adaptive vs single-entry fixed configs
+//!   through the full `SemanticEdgeSystem` under the *same* SNR trace —
+//!   adaptive holds the robust config's accuracy at fewer symbols.
+//! * **C — mobility**: a user migrates between edges; buffers travel,
+//!   the decoder copy re-establishes over the sync transport (and drops
+//!   cleanly when the backhaul round fails).
+//! * **D — flash crowd**: the sharded fleet DES with per-cell adaptation
+//!   and busy-fraction offloading; SLO percentiles are simulated seconds,
+//!   so the whole stdout is byte-identical at any `SEMCOM_THREADS`
+//!   (CI diffs the golden at 1 and 4 workers). Wall-clock goes to stderr.
+
+use semcom::{SemanticEdgeSystem, SystemConfig, UserId};
+use semcom_bench::banner;
+use semcom_channel::adapt::{AdaptEntry, AdaptSpec, LinkState, STATE_NAMES};
+use semcom_channel::{FaultConfig, FaultyLink, LinkConfig, Modulation};
+use semcom_codec::CodecConfig;
+use semcom_edge::placement::MessageCost;
+use semcom_edge::{
+    Assignment, FleetAdapt, FleetConfig, OffloadConfig, SessionPlacement, ShardedFleetConfig,
+    ShardedFleetSim, Topology,
+};
+use semcom_fl::PerfectLink;
+use semcom_text::Domain;
+
+/// Feature dimensionality the F14 codec is trained at. Wide enough that
+/// the top feature dims are redundant — puncturing a quarter of them at
+/// decent SNR is nearly free, which is the headroom adaptation spends.
+const FULL_DIM: usize = 16;
+
+/// The serving config: `tiny` everywhere except a 16-dim codec.
+fn system_config() -> SystemConfig {
+    SystemConfig {
+        codec: CodecConfig {
+            embed_dim: 12,
+            feature_dim: FULL_DIM,
+            hidden_dim: 24,
+        },
+        ..SystemConfig::tiny()
+    }
+}
+
+/// The F14 adaptation table. Good links run hot (16-QAM r=0.9, all dims);
+/// degraded links drop to robust modulation *and* shed a quarter of the
+/// feature dims, bounding airtime where the channel is slow while the
+/// codec's redundancy absorbs most of the accuracy cost.
+fn adaptive_spec() -> AdaptSpec {
+    AdaptSpec {
+        entries: vec![
+            AdaptEntry {
+                min_snr_db: -100.0,
+                link: LinkConfig {
+                    modulation: Modulation::Bpsk,
+                    code_rate: 0.5,
+                    feature_dim: 12,
+                },
+            },
+            AdaptEntry {
+                min_snr_db: 4.0,
+                link: LinkConfig {
+                    modulation: Modulation::Qpsk,
+                    code_rate: 0.75,
+                    feature_dim: 12,
+                },
+            },
+            AdaptEntry {
+                min_snr_db: 10.0,
+                link: LinkConfig {
+                    modulation: Modulation::Qam16,
+                    code_rate: 0.9,
+                    feature_dim: FULL_DIM,
+                },
+            },
+        ],
+        ..AdaptSpec::standard(FULL_DIM)
+    }
+}
+
+/// A single-entry spec that keeps the *default time-varying* Markov
+/// channel but pins the operating point — the fair fixed-config baseline
+/// (same SNR realizations as the adaptive runs, no adaptation).
+fn fixed_point(link: LinkConfig) -> AdaptSpec {
+    AdaptSpec {
+        entries: vec![AdaptEntry {
+            min_snr_db: -1e9,
+            link,
+        }],
+        hysteresis_db: 0.0,
+        alpha: 1.0,
+        ..AdaptSpec::standard(FULL_DIM)
+    }
+}
+
+/// Robust fixed baseline: BPSK r=1/2, every feature dim — the best fixed
+/// accuracy, the worst airtime.
+fn conservative() -> LinkConfig {
+    LinkConfig {
+        modulation: Modulation::Bpsk,
+        code_rate: 0.5,
+        feature_dim: FULL_DIM,
+    }
+}
+
+/// Cheap fixed baseline: QPSK r=3/4 on half the dims — the airtime of a
+/// good link always, the accuracy of a punctured one always.
+fn aggressive() -> LinkConfig {
+    LinkConfig {
+        modulation: Modulation::Qpsk,
+        code_rate: 0.75,
+        feature_dim: FULL_DIM / 2,
+    }
+}
+
+fn section_a() {
+    println!("\n--- A: adaptation policy over one Markov link (2000 steps) ---");
+    let spec = adaptive_spec();
+    let mut link = LinkState::new(&spec, 14);
+    let mut occupancy = [0u64; STATE_NAMES.len()];
+    let mut entry_hits = vec![0u64; spec.entries.len()];
+    let mut switches = 0u64;
+    let mut est_err = 0.0f64;
+    const STEPS: usize = 2000;
+    for _ in 0..STEPS {
+        let d = link.step();
+        let state = spec
+            .markov
+            .state_snr_db
+            .iter()
+            .position(|&s| s == d.snr_db)
+            .expect("trace emits a table SNR");
+        occupancy[state] += 1;
+        entry_hits[d.index] += 1;
+        switches += d.switched as u64;
+        est_err += (d.est_db - d.snr_db).abs();
+    }
+    println!("state,occupancy_frac");
+    for (name, n) in STATE_NAMES.iter().zip(occupancy) {
+        println!("{},{:.4}", name, n as f64 / STEPS as f64);
+    }
+    println!("entry,modulation,code_rate,feature_dim,share");
+    for (i, (e, n)) in spec.entries.iter().zip(&entry_hits).enumerate() {
+        println!(
+            "{},{:?},{:.2},{},{:.4}",
+            i,
+            e.link.modulation,
+            e.link.code_rate,
+            e.link.feature_dim,
+            *n as f64 / STEPS as f64
+        );
+    }
+    println!(
+        "switches,{switches}\nmean_estimate_error_db,{:.3}",
+        est_err / STEPS as f64
+    );
+    assert!(
+        switches > 0 && (switches as f64) < 0.2 * STEPS as f64,
+        "hysteresis keeps switching rare but alive"
+    );
+}
+
+/// Runs `rounds` streaming rounds over two users and returns
+/// (token_accuracy, payload_symbols, switches).
+fn serve(spec: AdaptSpec, seed: u64, rounds: usize) -> (f64, u64, u64) {
+    let config = SystemConfig {
+        adapt: Some(spec),
+        ..system_config()
+    };
+    let mut sys = SemanticEdgeSystem::build(config, seed);
+    let users: Vec<UserId> = [Domain::It, Domain::News]
+        .iter()
+        .map(|&d| sys.register_user(d, 1.5))
+        .collect();
+    for _ in 0..rounds {
+        sys.send_stream(&users);
+    }
+    let m = sys.metrics();
+    let (_, switches) = sys.adapt_stats();
+    (m.token_accuracy(), m.payload_symbols, switches)
+}
+
+fn section_b() {
+    println!("\n--- B: serving accuracy under the same SNR trace (300 msgs) ---");
+    let rows = [
+        ("fixed_conservative", fixed_point(conservative())),
+        ("fixed_aggressive", fixed_point(aggressive())),
+        ("adaptive", adaptive_spec()),
+    ];
+    println!("policy,token_accuracy,payload_symbols,switches");
+    let mut by_name = std::collections::HashMap::new();
+    for (name, spec) in rows {
+        let (acc, symbols, switches) = serve(spec, 99, 150);
+        println!("{name},{acc:.4},{symbols},{switches}");
+        by_name.insert(name, (acc, symbols));
+    }
+    let (acc_cons, sym_cons) = by_name["fixed_conservative"];
+    let (acc_aggr, sym_aggr) = by_name["fixed_aggressive"];
+    let (acc_adapt, sym_adapt) = by_name["adaptive"];
+    assert!(
+        acc_adapt >= acc_cons - 0.02,
+        "adaptive holds the robust config's accuracy ({acc_adapt:.4} vs {acc_cons:.4})"
+    );
+    assert!(
+        sym_adapt < sym_cons && sym_adapt > sym_aggr,
+        "adaptive symbol spend sits between the fixed extremes"
+    );
+    assert!(
+        acc_adapt > acc_aggr + 0.02,
+        "adaptive clearly beats the always-punctured config on accuracy"
+    );
+}
+
+/// Token accuracy over only the messages sent inside `f`.
+fn windowed_accuracy(sys: &mut SemanticEdgeSystem, f: impl FnOnce(&mut SemanticEdgeSystem)) -> f64 {
+    let before = sys.metrics();
+    f(sys);
+    let after = sys.metrics();
+    (after.correct_tokens - before.correct_tokens) as f64 / (after.tokens - before.tokens) as f64
+}
+
+fn section_c() {
+    println!("\n--- C: user mobility (cache handoff + decoder-copy migration) ---");
+    let config = SystemConfig {
+        n_edges: 3,
+        adapt: Some(adaptive_spec()),
+        ..system_config()
+    };
+    let mut sys = SemanticEdgeSystem::build(config, 41);
+    let mover = sys.register_user_at(Domain::It, 1.5, 0, 1);
+    let faulty_user = sys.register_user_at(Domain::Medical, 1.5, 0, 1);
+    for _ in 0..60 {
+        sys.send_message(mover);
+        sys.send_message(faulty_user);
+    }
+    let acc_before = windowed_accuracy(&mut sys, |s| {
+        for _ in 0..40 {
+            s.send_message(mover);
+        }
+    });
+
+    let mut link = PerfectLink;
+    let report = sys.migrate_user(mover, 2, &mut link);
+    println!("migration,user,from,to,models_moved,models_dropped,buffers_moved,wire_bytes");
+    println!(
+        "clean,{},{},{},{},{},{},{}",
+        report.user,
+        report.from,
+        report.to,
+        report.models_moved,
+        report.models_dropped,
+        report.buffers_moved,
+        report.transport.wire_bytes
+    );
+    assert!(report.models_moved >= 1, "warm user model travels");
+    assert!(report.buffers_moved >= 1, "mismatch buffers travel");
+
+    let acc_after = windowed_accuracy(&mut sys, |s| {
+        for _ in 0..40 {
+            s.send_message(mover);
+        }
+    });
+    println!("accuracy_before_move,{acc_before:.4}\naccuracy_after_move,{acc_after:.4}");
+    assert!(
+        acc_after >= acc_before - 0.05,
+        "migration preserves personalization ({acc_after:.4} vs {acc_before:.4})"
+    );
+
+    let mut bad = FaultyLink::new(FaultConfig::uniform(1.0), 5);
+    let broken = sys.migrate_user(faulty_user, 2, &mut bad);
+    println!(
+        "faulty,{},{},{},{},{},{},{}",
+        broken.user,
+        broken.from,
+        broken.to,
+        broken.models_moved,
+        broken.models_dropped,
+        broken.buffers_moved,
+        broken.transport.wire_bytes
+    );
+    assert!(
+        broken.models_dropped >= 1 && broken.transport.failures >= 1,
+        "a dead backhaul drops the decoder copy instead of installing garbage"
+    );
+    // The dropped model re-establishes through the normal buffer→train path.
+    for _ in 0..60 {
+        sys.send_message(faulty_user);
+    }
+    let m = sys.metrics();
+    println!("post_drop_recovery_trainings,{}", m.trainings);
+}
+
+fn flash_fleet(spec: AdaptSpec, rate_hz: f64, offload: bool) -> FleetConfig {
+    FleetConfig {
+        n_edges: 4,
+        n_requests: 40_000,
+        arrival_rate_hz: rate_hz,
+        n_domains: 8,
+        n_users: 200,
+        // Heavy decodes (2e8 ops/stage at 100 Gop/s edges = 4 ms service)
+        // so the flash crowd actually queues; 20 kbit feature payloads so
+        // the air matters (40 ms at BPSK r=1/2, 5.6 ms at 16-QAM r=0.9).
+        message: MessageCost {
+            encode_ops: 2e8,
+            decode_ops: 2e8,
+            ..MessageCost::default()
+        },
+        adapt: Some(FleetAdapt {
+            spec,
+            payload_bits: 20_000.0,
+            full_feature_dim: FULL_DIM,
+            symbol_rate_hz: 1e6,
+        }),
+        offload: offload.then(|| OffloadConfig {
+            busy_frac_threshold: 0.7,
+            ..OffloadConfig::default()
+        }),
+        ..FleetConfig::default()
+    }
+}
+
+fn section_d() -> Vec<(String, f64, f64, f64, u64)> {
+    println!("\n--- D: flash crowd on the sharded fleet (4 edges x 2 shards) ---");
+    let specs = [
+        ("fixed_conservative", fixed_point(conservative())),
+        ("fixed_aggressive", fixed_point(aggressive())),
+        ("adaptive", adaptive_spec()),
+    ];
+    println!("load,policy,offload,hit_rate,mean_ms,p95_ms,p99_ms,offloaded");
+    let mut rows = Vec::new();
+    for (load, rate) in [("steady", 600.0), ("flash", 1_600.0)] {
+        for (policy, spec) in &specs {
+            for offload in [false, true] {
+                let sim = ShardedFleetSim::new(
+                    ShardedFleetConfig {
+                        fleet: flash_fleet(spec.clone(), rate, offload),
+                        n_shards: 2,
+                        placement: SessionPlacement::Assigned(Assignment::Sticky),
+                        node_weights: None,
+                    },
+                    Topology::default(),
+                );
+                let t0 = std::time::Instant::now();
+                let r = sim.run(14);
+                eprintln!(
+                    "[timing] {load}/{policy}/offload={offload}: {:?}",
+                    t0.elapsed()
+                );
+                let l = &r.merged.latency;
+                println!(
+                    "{},{},{},{:.4},{:.3},{:.3},{:.3},{}",
+                    load,
+                    policy,
+                    offload,
+                    r.merged.hit_rate,
+                    l.mean * 1e3,
+                    l.p95 * 1e3,
+                    l.p99 * 1e3,
+                    r.merged.offloaded
+                );
+                rows.push((
+                    format!("{load}/{policy}/offload={offload}"),
+                    r.merged.hit_rate,
+                    l.mean * 1e3,
+                    l.p99 * 1e3,
+                    r.merged.offloaded,
+                ));
+            }
+        }
+    }
+    let p99 = |name: &str| {
+        rows.iter()
+            .find(|r| r.0 == name)
+            .map(|r| r.3)
+            .expect("row printed above")
+    };
+    // Below the offload threshold the airtime term owns the tail: adaptive
+    // beats the robust fixed config at matched accuracy (section B).
+    assert!(
+        p99("steady/adaptive/offload=false") < p99("steady/fixed_conservative/offload=false"),
+        "adaptive p99 beats conservative fixed under steady load"
+    );
+    // Under the flash crowd queueing dominates; shipping decodes to the
+    // cloud past the busy threshold is what rescues the tail...
+    for (policy, _) in &specs {
+        assert!(
+            p99(&format!("flash/{policy}/offload=true"))
+                < p99(&format!("flash/{policy}/offload=false")),
+            "offloading shortens the flash-crowd tail for {policy}"
+        );
+    }
+    // ...and once it has, the airtime term re-emerges: adaptation and
+    // offloading compose, beating the robust fixed config's tail even
+    // during the crowd.
+    assert!(
+        p99("flash/adaptive/offload=true") < p99("flash/fixed_conservative/offload=true"),
+        "adaptive + offload beats conservative fixed + offload under the flash crowd"
+    );
+    rows
+}
+
+fn main() {
+    banner(
+        "F14",
+        "link-adaptive serving, mobility, and edge->cloud offloading",
+        "semantic communication spends the channel on meaning, so the link \
+         budget (modulation, code rate, feature dims) can follow the channel \
+         state (Sec. III-B); edge servers relieve overloaded cells by \
+         offloading semantic decoding to the cloud tier (Sec. I, IV)",
+    );
+    section_a();
+    section_b();
+    section_c();
+    let _rows = section_d();
+
+    println!("\nexpected shape: the Markov link spends most steps in Good, the policy");
+    println!("tracks it with rare hysteresis-guarded switches (A). Adaptive serving");
+    println!("matches the robust fixed config's accuracy while spending strictly");
+    println!("fewer payload symbols (B). Migration carries buffers and the user");
+    println!("model to the new home edge with no accuracy cliff, and a dead backhaul");
+    println!("drops the copy instead of installing garbage (C). Steady-load tails are");
+    println!("airtime-bound, so adaptation wins them; flash-crowd tails are");
+    println!("queue-bound, so offloading wins them; together they hold the SLO");
+    println!("through the crowd (D).");
+}

@@ -1,0 +1,721 @@
+//! Link adaptation (the paper's "communication optimization" direction,
+//! made *adaptive*): per-user SNR estimation driving online selection of
+//! `(modulation, code rate, feature dim)` from an SNR→config table.
+//!
+//! Three pieces compose, all seeded and allocation-light so the serving
+//! and fleet engines stay byte-identical at any worker count:
+//!
+//! * [`MarkovSnrModel`] / [`MarkovSnrTrace`] — a Good/Fair/Bad
+//!   finite-state Markov channel (the classic Gilbert–Elliott
+//!   generalization) emitting a time-varying SNR trace from a seeded RNG;
+//! * [`SnrEstimator`] — an EWMA over pilot/ACK SNR observations, the
+//!   receiver-side estimate the adapter actually acts on (never the true
+//!   instantaneous state);
+//! * [`AdaptivePolicy`] — a sorted SNR-threshold table of [`LinkConfig`]
+//!   entries with symmetric hysteresis, so the selection does not flap
+//!   when the estimate dithers around a boundary.
+//!
+//! [`LinkState`] bundles the three into the per-user object the serving
+//! ingress and fleet arrival paths advance exactly once per message.
+
+use crate::modulation::Modulation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Number of channel states in the Markov SNR model.
+pub const SNR_STATES: usize = 3;
+
+/// Human-readable names for the three Markov channel states, indexed by
+/// state number (0 = best).
+pub const STATE_NAMES: [&str; SNR_STATES] = ["good", "fair", "bad"];
+
+/// A rejected adaptation configuration: every knob that would otherwise
+/// produce NaN SNRs, unreachable table entries, or a non-terminating
+/// transition draw is caught at construction with a typed error
+/// (the `FleetConfig::validate` style).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdaptError {
+    /// A Markov state SNR is NaN or infinite.
+    NonFiniteStateSnr(f64),
+    /// A transition-matrix row has a non-finite or negative entry, or does
+    /// not sum to 1.
+    NonStochasticRow {
+        /// Offending row (source state).
+        row: usize,
+        /// The row's actual sum.
+        sum: f64,
+    },
+    /// The SNR→config table is empty.
+    EmptyTable,
+    /// Table thresholds are not strictly ascending.
+    UnsortedTable {
+        /// Index of the first out-of-order entry.
+        index: usize,
+    },
+    /// A table threshold is NaN or infinite.
+    NonFiniteThreshold(f64),
+    /// A code rate outside `(0, 1]`.
+    BadCodeRate(f64),
+    /// A table entry with `feature_dim == 0`.
+    ZeroFeatureDim,
+    /// Hysteresis margin NaN, infinite, or negative.
+    BadHysteresis(f64),
+    /// EWMA coefficient outside `(0, 1]`.
+    BadAlpha(f64),
+}
+
+impl std::fmt::Display for AdaptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdaptError::NonFiniteStateSnr(s) => {
+                write!(f, "Markov state SNR must be finite (got {s} dB)")
+            }
+            AdaptError::NonStochasticRow { row, sum } => write!(
+                f,
+                "Markov transition row {row} must be non-negative and sum to 1 (sums to {sum})"
+            ),
+            AdaptError::EmptyTable => write!(f, "SNR\u{2192}config table must not be empty"),
+            AdaptError::UnsortedTable { index } => write!(
+                f,
+                "SNR\u{2192}config thresholds must be strictly ascending (entry {index} is not)"
+            ),
+            AdaptError::NonFiniteThreshold(t) => {
+                write!(f, "SNR\u{2192}config threshold must be finite (got {t} dB)")
+            }
+            AdaptError::BadCodeRate(r) => {
+                write!(f, "code rate must be in (0, 1] (got {r})")
+            }
+            AdaptError::ZeroFeatureDim => write!(f, "feature_dim must be at least 1"),
+            AdaptError::BadHysteresis(h) => {
+                write!(
+                    f,
+                    "hysteresis margin must be finite and non-negative (got {h} dB)"
+                )
+            }
+            AdaptError::BadAlpha(a) => {
+                write!(f, "EWMA alpha must be in (0, 1] (got {a})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdaptError {}
+
+/// A Good/Fair/Bad finite-state Markov channel: each state carries a
+/// representative SNR, and a row-stochastic matrix governs transitions
+/// between consecutive messages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarkovSnrModel {
+    /// Representative SNR per state (dB), indexed Good/Fair/Bad.
+    pub state_snr_db: [f64; SNR_STATES],
+    /// Row-stochastic transition matrix: `transition[i][j]` is the
+    /// probability of moving from state `i` to state `j` per step.
+    pub transition: [[f64; SNR_STATES]; SNR_STATES],
+}
+
+impl Default for MarkovSnrModel {
+    /// A sticky three-state channel: 14 dB / 7 dB / 0 dB with ~0.85
+    /// self-transition probability, so states persist for several messages
+    /// (long enough for the EWMA estimate to track them).
+    fn default() -> Self {
+        MarkovSnrModel {
+            state_snr_db: [14.0, 7.0, 0.0],
+            transition: [[0.90, 0.08, 0.02], [0.10, 0.80, 0.10], [0.05, 0.15, 0.80]],
+        }
+    }
+}
+
+impl MarkovSnrModel {
+    /// A degenerate single-effective-state model: every state holds
+    /// `snr_db` and never transitions away from Good. A trace over this
+    /// model is a constant — the regression anchor that makes adaptive
+    /// runs reproduce fixed-config reports exactly.
+    pub fn fixed(snr_db: f64) -> Self {
+        MarkovSnrModel {
+            state_snr_db: [snr_db; SNR_STATES],
+            transition: [[1.0, 0.0, 0.0], [1.0, 0.0, 0.0], [1.0, 0.0, 0.0]],
+        }
+    }
+
+    /// Validates state SNRs (finite) and the transition matrix
+    /// (non-negative rows summing to 1 within `1e-9`).
+    pub fn validate(&self) -> Result<(), AdaptError> {
+        for &s in &self.state_snr_db {
+            if !s.is_finite() {
+                return Err(AdaptError::NonFiniteStateSnr(s));
+            }
+        }
+        for (row, probs) in self.transition.iter().enumerate() {
+            let mut sum = 0.0;
+            for &p in probs {
+                if !p.is_finite() || p < 0.0 {
+                    return Err(AdaptError::NonStochasticRow { row, sum: f64::NAN });
+                }
+                sum += p;
+            }
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(AdaptError::NonStochasticRow { row, sum });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A seeded walk over a [`MarkovSnrModel`]: one transition draw plus one
+/// SNR emission per step. Starts in state 0 (Good).
+#[derive(Debug, Clone)]
+pub struct MarkovSnrTrace {
+    model: MarkovSnrModel,
+    state: usize,
+    rng: StdRng,
+}
+
+impl MarkovSnrTrace {
+    /// Starts a trace in the Good state with its own RNG stream.
+    pub fn new(model: MarkovSnrModel, seed: u64) -> Self {
+        MarkovSnrTrace {
+            model,
+            state: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current state index (0 = Good).
+    pub fn state(&self) -> usize {
+        self.state
+    }
+
+    /// Advances one step (transition first, then emit) and returns the new
+    /// state's SNR in dB. Consumes exactly one `f64` draw per step.
+    pub fn step(&mut self) -> f64 {
+        let u: f64 = self.rng.gen();
+        let row = &self.model.transition[self.state];
+        let mut cum = 0.0;
+        let mut next = SNR_STATES - 1;
+        for (j, &p) in row.iter().enumerate() {
+            cum += p;
+            if u < cum {
+                next = j;
+                break;
+            }
+        }
+        self.state = next;
+        self.model.state_snr_db[self.state]
+    }
+}
+
+/// EWMA SNR estimator over pilot/ACK observations:
+/// `est ← alpha * obs + (1 - alpha) * est`, seeded by the first
+/// observation. Non-finite observations are ignored (a NaN pilot must not
+/// poison the estimate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnrEstimator {
+    alpha: f64,
+    est: Option<f64>,
+}
+
+impl SnrEstimator {
+    /// Creates an estimator; `alpha` must be in `(0, 1]` and finite.
+    pub fn try_new(alpha: f64) -> Result<Self, AdaptError> {
+        if !alpha.is_finite() || alpha <= 0.0 || alpha > 1.0 {
+            return Err(AdaptError::BadAlpha(alpha));
+        }
+        Ok(SnrEstimator { alpha, est: None })
+    }
+
+    /// Folds one SNR observation (dB) into the estimate; non-finite
+    /// observations are dropped.
+    pub fn observe(&mut self, snr_db: f64) {
+        if !snr_db.is_finite() {
+            return;
+        }
+        self.est = Some(match self.est {
+            None => snr_db,
+            Some(e) => self.alpha * snr_db + (1.0 - self.alpha) * e,
+        });
+    }
+
+    /// The current estimate, if any observation has been folded in.
+    pub fn estimate(&self) -> Option<f64> {
+        self.est
+    }
+}
+
+/// One operating point the adapter can select: a modulation, a channel
+/// code rate, and the number of semantic feature dimensions kept on air
+/// (lower dims ⇒ fewer symbols ⇒ less airtime, at some accuracy cost).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Constellation used on the air.
+    pub modulation: Modulation,
+    /// Channel code rate in `(0, 1]`.
+    pub code_rate: f64,
+    /// Semantic feature dimensions transmitted (the rest are punctured).
+    pub feature_dim: usize,
+}
+
+impl LinkConfig {
+    /// Information bits carried per channel symbol:
+    /// `bits_per_symbol * code_rate`.
+    pub fn bits_per_symbol_coded(&self) -> f64 {
+        self.modulation.bits_per_symbol() as f64 * self.code_rate
+    }
+}
+
+/// One row of the SNR→config table: `link` applies while the SNR estimate
+/// is at or above `min_snr_db` (and below the next row's threshold).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptEntry {
+    /// Lowest estimated SNR (dB) at which this entry is selected.
+    pub min_snr_db: f64,
+    /// The operating point.
+    pub link: LinkConfig,
+}
+
+/// A validated SNR→config table with symmetric hysteresis.
+///
+/// Selection: the *raw* index for an estimate is the highest entry whose
+/// threshold the estimate meets (entry 0 is the floor — it applies at any
+/// SNR). Hysteresis keeps the current entry unless the estimate clears
+/// the candidate's threshold by `hysteresis_db` (upward) or falls
+/// `hysteresis_db` below the current entry's own threshold (downward).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptivePolicy {
+    entries: Vec<AdaptEntry>,
+    hysteresis_db: f64,
+}
+
+impl AdaptivePolicy {
+    /// Builds a policy, validating the table (non-empty, finite strictly
+    /// ascending thresholds, sane per-entry knobs) and the hysteresis
+    /// margin (finite, non-negative).
+    pub fn try_new(entries: Vec<AdaptEntry>, hysteresis_db: f64) -> Result<Self, AdaptError> {
+        if entries.is_empty() {
+            return Err(AdaptError::EmptyTable);
+        }
+        if !hysteresis_db.is_finite() || hysteresis_db < 0.0 {
+            return Err(AdaptError::BadHysteresis(hysteresis_db));
+        }
+        for (i, e) in entries.iter().enumerate() {
+            if !e.min_snr_db.is_finite() {
+                return Err(AdaptError::NonFiniteThreshold(e.min_snr_db));
+            }
+            if i > 0 && e.min_snr_db <= entries[i - 1].min_snr_db {
+                return Err(AdaptError::UnsortedTable { index: i });
+            }
+            if !e.link.code_rate.is_finite() || e.link.code_rate <= 0.0 || e.link.code_rate > 1.0 {
+                return Err(AdaptError::BadCodeRate(e.link.code_rate));
+            }
+            if e.link.feature_dim == 0 {
+                return Err(AdaptError::ZeroFeatureDim);
+            }
+        }
+        Ok(AdaptivePolicy {
+            entries,
+            hysteresis_db,
+        })
+    }
+
+    /// The validated table rows.
+    pub fn entries(&self) -> &[AdaptEntry] {
+        &self.entries
+    }
+
+    /// Hysteresis margin in dB.
+    pub fn hysteresis_db(&self) -> f64 {
+        self.hysteresis_db
+    }
+
+    /// The hysteresis-free table index for an estimate: the highest entry
+    /// whose threshold `est_db` meets, or 0 (the floor entry).
+    pub fn raw_index(&self, est_db: f64) -> usize {
+        let mut idx = 0;
+        for (i, e) in self.entries.iter().enumerate() {
+            if est_db >= e.min_snr_db {
+                idx = i;
+            }
+        }
+        idx
+    }
+
+    /// Applies hysteresis: moves from `current` toward the raw index only
+    /// when the estimate clears the margin; holds otherwise.
+    pub fn select(&self, current: usize, est_db: f64) -> usize {
+        let current = current.min(self.entries.len() - 1);
+        let raw = self.raw_index(est_db);
+        if raw > current {
+            if est_db >= self.entries[raw].min_snr_db + self.hysteresis_db {
+                return raw;
+            }
+        } else if raw < current && est_db <= self.entries[current].min_snr_db - self.hysteresis_db {
+            return raw;
+        }
+        current
+    }
+}
+
+/// The full adaptation spec a system or fleet embeds in its config:
+/// Markov channel model, SNR→config table, hysteresis, and the EWMA
+/// coefficient. Validated as a unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptSpec {
+    /// The channel-state process each user's link follows.
+    pub markov: MarkovSnrModel,
+    /// SNR→config rows, strictly ascending by threshold.
+    pub entries: Vec<AdaptEntry>,
+    /// Hysteresis margin (dB) around table boundaries.
+    pub hysteresis_db: f64,
+    /// EWMA coefficient of the SNR estimator, in `(0, 1]`.
+    pub alpha: f64,
+}
+
+impl AdaptSpec {
+    /// A three-row reference table over `full_dim`-dimensional features:
+    /// BPSK r=1/2 with a quarter of the dims as the floor, QPSK r=3/4
+    /// with three quarters from 4 dB, and 16-QAM r=0.9 full-dim from
+    /// 10 dB; 1 dB hysteresis, EWMA alpha 0.5.
+    pub fn standard(full_dim: usize) -> Self {
+        let full_dim = full_dim.max(4);
+        AdaptSpec {
+            markov: MarkovSnrModel::default(),
+            entries: vec![
+                AdaptEntry {
+                    min_snr_db: -100.0,
+                    link: LinkConfig {
+                        modulation: Modulation::Bpsk,
+                        code_rate: 0.5,
+                        feature_dim: full_dim / 4,
+                    },
+                },
+                AdaptEntry {
+                    min_snr_db: 4.0,
+                    link: LinkConfig {
+                        modulation: Modulation::Qpsk,
+                        code_rate: 0.75,
+                        feature_dim: (3 * full_dim) / 4,
+                    },
+                },
+                AdaptEntry {
+                    min_snr_db: 10.0,
+                    link: LinkConfig {
+                        modulation: Modulation::Qam16,
+                        code_rate: 0.9,
+                        feature_dim: full_dim,
+                    },
+                },
+            ],
+            hysteresis_db: 1.0,
+            alpha: 0.5,
+        }
+    }
+
+    /// A degenerate spec that pins every message to one fixed operating
+    /// point at one fixed SNR — adaptive machinery on, adaptation
+    /// trivially constant (the F13/F2 regression anchor).
+    pub fn fixed(snr_db: f64, link: LinkConfig) -> Self {
+        AdaptSpec {
+            markov: MarkovSnrModel::fixed(snr_db),
+            entries: vec![AdaptEntry {
+                min_snr_db: -1e9,
+                link,
+            }],
+            hysteresis_db: 0.0,
+            alpha: 1.0,
+        }
+    }
+
+    /// Validates every component (model, table, hysteresis, alpha).
+    pub fn validate(&self) -> Result<(), AdaptError> {
+        self.markov.validate()?;
+        AdaptivePolicy::try_new(self.entries.clone(), self.hysteresis_db)?;
+        SnrEstimator::try_new(self.alpha)?;
+        Ok(())
+    }
+
+    /// The largest `feature_dim` any table row can select.
+    pub fn max_feature_dim(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| e.link.feature_dim)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// What one [`LinkState::step`] decided for the message it precedes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDecision {
+    /// True channel SNR drawn by the Markov trace (dB).
+    pub snr_db: f64,
+    /// The EWMA estimate the selection acted on (dB).
+    pub est_db: f64,
+    /// Selected table index.
+    pub index: usize,
+    /// The selected operating point.
+    pub link: LinkConfig,
+    /// Whether this step changed the selected entry.
+    pub switched: bool,
+}
+
+/// Per-user (or per-cell) runtime adaptation state: the Markov trace, the
+/// EWMA estimator, the policy, and the currently selected entry. Advanced
+/// exactly once per message, in message order, so every engine that
+/// replays the same message sequence sees the same decisions.
+#[derive(Debug, Clone)]
+pub struct LinkState {
+    trace: MarkovSnrTrace,
+    est: SnrEstimator,
+    policy: AdaptivePolicy,
+    current: usize,
+    initialized: bool,
+}
+
+impl LinkState {
+    /// Builds runtime state from a validated spec and a seed for the
+    /// trace RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` is invalid; validate configs up front (see
+    /// [`AdaptSpec::validate`]).
+    pub fn new(spec: &AdaptSpec, seed: u64) -> Self {
+        spec.markov.validate().unwrap_or_else(|e| panic!("{e}"));
+        let policy = AdaptivePolicy::try_new(spec.entries.clone(), spec.hysteresis_db)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let est = SnrEstimator::try_new(spec.alpha).unwrap_or_else(|e| panic!("{e}"));
+        LinkState {
+            trace: MarkovSnrTrace::new(spec.markov, seed),
+            est,
+            policy,
+            current: 0,
+            initialized: false,
+        }
+    }
+
+    /// The currently selected table index.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Advances the channel one step, folds the pilot observation into the
+    /// estimate, and (re)selects the operating point. The first step
+    /// initializes the selection hysteresis-free.
+    pub fn step(&mut self) -> LinkDecision {
+        let snr_db = self.trace.step();
+        self.est.observe(snr_db);
+        let est_db = self.est.estimate().unwrap_or(snr_db);
+        let next = if self.initialized {
+            self.policy.select(self.current, est_db)
+        } else {
+            self.policy.raw_index(est_db)
+        };
+        let switched = self.initialized && next != self.current;
+        self.initialized = true;
+        self.current = next;
+        LinkDecision {
+            snr_db,
+            est_db,
+            index: next,
+            link: self.policy.entries()[next].link,
+            switched,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Vec<AdaptEntry> {
+        AdaptSpec::standard(64).entries
+    }
+
+    #[test]
+    fn default_model_is_valid_and_fixed_model_is_constant() {
+        assert!(MarkovSnrModel::default().validate().is_ok());
+        let mut t = MarkovSnrTrace::new(MarkovSnrModel::fixed(6.5), 9);
+        for _ in 0..50 {
+            assert_eq!(t.step(), 6.5);
+            assert_eq!(t.state(), 0);
+        }
+    }
+
+    #[test]
+    fn trace_is_seed_deterministic_and_visits_every_state() {
+        let model = MarkovSnrModel::default();
+        let a: Vec<f64> = {
+            let mut t = MarkovSnrTrace::new(model, 42);
+            (0..200).map(|_| t.step()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut t = MarkovSnrTrace::new(model, 42);
+            (0..200).map(|_| t.step()).collect()
+        };
+        assert_eq!(a, b);
+        for &s in &model.state_snr_db {
+            assert!(a.contains(&s), "state {s} dB never visited");
+        }
+    }
+
+    #[test]
+    fn model_validation_rejects_bad_rows_and_snrs() {
+        let mut m = MarkovSnrModel::default();
+        m.transition[1] = [0.5, 0.4, 0.0]; // sums to 0.9
+        assert!(matches!(
+            m.validate(),
+            Err(AdaptError::NonStochasticRow { row: 1, .. })
+        ));
+        let mut m = MarkovSnrModel::default();
+        m.transition[2][0] = -0.1;
+        assert!(matches!(
+            m.validate(),
+            Err(AdaptError::NonStochasticRow { row: 2, .. })
+        ));
+        let mut m = MarkovSnrModel::default();
+        m.state_snr_db[0] = f64::NAN;
+        assert!(matches!(
+            m.validate(),
+            Err(AdaptError::NonFiniteStateSnr(_))
+        ));
+    }
+
+    #[test]
+    fn estimator_tracks_and_ignores_non_finite() {
+        let mut e = SnrEstimator::try_new(0.5).unwrap();
+        assert_eq!(e.estimate(), None);
+        e.observe(10.0);
+        assert_eq!(e.estimate(), Some(10.0));
+        e.observe(f64::NAN);
+        e.observe(f64::INFINITY);
+        assert_eq!(e.estimate(), Some(10.0));
+        e.observe(0.0);
+        assert_eq!(e.estimate(), Some(5.0));
+        assert!(SnrEstimator::try_new(0.0).is_err());
+        assert!(SnrEstimator::try_new(1.5).is_err());
+        assert!(SnrEstimator::try_new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn policy_validation_catches_every_bad_table() {
+        assert!(matches!(
+            AdaptivePolicy::try_new(vec![], 1.0),
+            Err(AdaptError::EmptyTable)
+        ));
+        let mut unsorted = table();
+        unsorted.swap(0, 2);
+        assert!(matches!(
+            AdaptivePolicy::try_new(unsorted, 1.0),
+            Err(AdaptError::UnsortedTable { .. })
+        ));
+        let mut nan = table();
+        nan[1].min_snr_db = f64::NAN;
+        assert!(matches!(
+            AdaptivePolicy::try_new(nan, 1.0),
+            Err(AdaptError::NonFiniteThreshold(_))
+        ));
+        let mut rate = table();
+        rate[0].link.code_rate = 0.0;
+        assert!(matches!(
+            AdaptivePolicy::try_new(rate, 1.0),
+            Err(AdaptError::BadCodeRate(_))
+        ));
+        let mut dim = table();
+        dim[2].link.feature_dim = 0;
+        assert!(matches!(
+            AdaptivePolicy::try_new(dim, 1.0),
+            Err(AdaptError::ZeroFeatureDim)
+        ));
+        assert!(matches!(
+            AdaptivePolicy::try_new(table(), -1.0),
+            Err(AdaptError::BadHysteresis(_))
+        ));
+        assert!(AdaptivePolicy::try_new(table(), 0.0).is_ok());
+    }
+
+    #[test]
+    fn raw_index_brackets_thresholds() {
+        let p = AdaptivePolicy::try_new(table(), 1.0).unwrap();
+        assert_eq!(p.raw_index(-200.0), 0); // below the floor: entry 0 still applies
+        assert_eq!(p.raw_index(0.0), 0);
+        assert_eq!(p.raw_index(4.0), 1);
+        assert_eq!(p.raw_index(9.9), 1);
+        assert_eq!(p.raw_index(10.0), 2);
+        assert_eq!(p.raw_index(100.0), 2);
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping_at_a_boundary() {
+        let p = AdaptivePolicy::try_new(table(), 1.0).unwrap();
+        // Sitting at entry 1, dithering around the 10 dB boundary must not
+        // flap: 10.5 is within the +1 dB margin, 11.0 clears it.
+        assert_eq!(p.select(1, 10.5), 1);
+        assert_eq!(p.select(1, 11.0), 2);
+        // Downward from entry 2: holds until 1 dB below entry 2's own
+        // threshold.
+        assert_eq!(p.select(2, 9.5), 2);
+        assert_eq!(p.select(2, 9.0), 1);
+        // Zero hysteresis degenerates to the raw index.
+        let p0 = AdaptivePolicy::try_new(table(), 0.0).unwrap();
+        assert_eq!(p0.select(1, 10.0), 2);
+        assert_eq!(p0.select(2, 9.99), 1);
+    }
+
+    #[test]
+    fn link_state_is_deterministic_and_fixed_spec_never_switches() {
+        let spec = AdaptSpec::standard(64);
+        assert!(spec.validate().is_ok());
+        let mut a = LinkState::new(&spec, 7);
+        let mut b = LinkState::new(&spec, 7);
+        let da: Vec<LinkDecision> = (0..100).map(|_| a.step()).collect();
+        let db: Vec<LinkDecision> = (0..100).map(|_| b.step()).collect();
+        assert_eq!(da, db);
+        assert!(
+            da.iter().any(|d| d.switched),
+            "a 100-step default trace should switch at least once"
+        );
+        let fixed = AdaptSpec::fixed(
+            8.0,
+            LinkConfig {
+                modulation: Modulation::Qpsk,
+                code_rate: 0.5,
+                feature_dim: 32,
+            },
+        );
+        let mut f = LinkState::new(&fixed, 3);
+        for _ in 0..50 {
+            let d = f.step();
+            assert_eq!(d.snr_db, 8.0);
+            assert_eq!(d.index, 0);
+            assert!(!d.switched);
+        }
+    }
+
+    #[test]
+    fn spec_validate_flags_each_component() {
+        let mut s = AdaptSpec::standard(32);
+        s.alpha = 2.0;
+        assert!(matches!(s.validate(), Err(AdaptError::BadAlpha(_))));
+        let mut s = AdaptSpec::standard(32);
+        s.entries.clear();
+        assert!(matches!(s.validate(), Err(AdaptError::EmptyTable)));
+        let mut s = AdaptSpec::standard(32);
+        s.markov.transition[0][0] = 2.0;
+        assert!(matches!(
+            s.validate(),
+            Err(AdaptError::NonStochasticRow { .. })
+        ));
+        assert_eq!(AdaptSpec::standard(64).max_feature_dim(), 64);
+    }
+
+    #[test]
+    fn errors_render_actionable_messages() {
+        assert!(AdaptError::EmptyTable.to_string().contains("table"));
+        assert!(AdaptError::NonStochasticRow { row: 1, sum: 0.9 }
+            .to_string()
+            .contains("sum to 1"));
+        assert!(AdaptError::BadAlpha(0.0).to_string().contains("(0, 1]"));
+        let e: Box<dyn std::error::Error> = Box::new(AdaptError::ZeroFeatureDim);
+        assert!(e.to_string().contains("feature_dim"));
+    }
+}

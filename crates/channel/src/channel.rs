@@ -150,6 +150,36 @@ impl<C: Channel> Channel for PacedChannel<C> {
     }
 }
 
+/// A rejected channel configuration: a NaN or infinite SNR would turn
+/// into NaN noise sigma and silently poison every downstream sample, so
+/// it is caught at construction with a typed error (the
+/// `FleetConfig::validate` style).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChannelError {
+    /// `snr_db` was NaN or infinite.
+    NonFiniteSnr(f64),
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::NonFiniteSnr(s) => {
+                write!(f, "channel SNR must be finite (got {s} dB)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+fn validate_snr(snr_db: f64) -> Result<f64, ChannelError> {
+    if snr_db.is_finite() {
+        Ok(snr_db)
+    } else {
+        Err(ChannelError::NonFiniteSnr(snr_db))
+    }
+}
+
 /// The identity channel (no impairment). Useful as a baseline and in tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NoiselessChannel;
@@ -173,9 +203,20 @@ pub struct AwgnChannel {
 }
 
 impl AwgnChannel {
+    /// Creates an AWGN channel at the given SNR in dB, rejecting NaN and
+    /// ±inf (which [`snr_db_to_noise_sigma`] would turn into NaN noise).
+    pub fn try_new(snr_db: f64) -> Result<Self, ChannelError> {
+        validate_snr(snr_db).map(|snr_db| AwgnChannel { snr_db })
+    }
+
     /// Creates an AWGN channel at the given SNR in dB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snr_db` is NaN or infinite; use [`AwgnChannel::try_new`]
+    /// for a typed error.
     pub fn new(snr_db: f64) -> Self {
-        AwgnChannel { snr_db }
+        Self::try_new(snr_db).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The configured SNR in dB.
@@ -218,9 +259,21 @@ pub struct RayleighChannel {
 }
 
 impl RayleighChannel {
+    /// Creates a Rayleigh fading channel at the given average SNR in dB,
+    /// rejecting NaN and ±inf (which [`snr_db_to_noise_sigma`] would turn
+    /// into NaN noise).
+    pub fn try_new(snr_db: f64) -> Result<Self, ChannelError> {
+        validate_snr(snr_db).map(|snr_db| RayleighChannel { snr_db })
+    }
+
     /// Creates a Rayleigh fading channel at the given average SNR in dB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snr_db` is NaN or infinite; use
+    /// [`RayleighChannel::try_new`] for a typed error.
     pub fn new(snr_db: f64) -> Self {
-        RayleighChannel { snr_db }
+        Self::try_new(snr_db).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The configured average SNR in dB.
@@ -471,6 +524,37 @@ mod tests {
     #[should_panic(expected = "flip probability")]
     fn bsc_rejects_invalid_probability() {
         BinarySymmetricChannel::new(1.5);
+    }
+
+    /// Regression: `new` used to accept NaN/±inf SNR, which
+    /// `snr_db_to_noise_sigma` turned into NaN noise poisoning every
+    /// downstream sample. Now rejected at construction.
+    #[test]
+    fn non_finite_snr_is_rejected_at_construction() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            // NaN != NaN: pin the variant via the rendered message.
+            let awgn = AwgnChannel::try_new(bad).expect_err("awgn must reject");
+            assert!(awgn.to_string().contains("must be finite"), "{awgn}");
+            let ray = RayleighChannel::try_new(bad).expect_err("rayleigh must reject");
+            assert!(ray.to_string().contains("must be finite"), "{ray}");
+        }
+        // Finite SNRs still construct and produce finite samples.
+        let ch = AwgnChannel::try_new(-10.0).unwrap();
+        let mut rng = seeded_rng(5);
+        let out = ch.transmit_f32(&[1.0, -1.0, 0.5], &mut rng);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn awgn_new_panics_on_nan_snr() {
+        AwgnChannel::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rayleigh_new_panics_on_infinite_snr() {
+        RayleighChannel::new(f64::NEG_INFINITY);
     }
 
     #[test]

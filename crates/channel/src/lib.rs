@@ -54,13 +54,18 @@ mod fault;
 mod modulation;
 mod pipeline;
 
+pub mod adapt;
 pub mod coding;
 
+pub use adapt::{
+    AdaptEntry, AdaptError, AdaptSpec, AdaptivePolicy, LinkConfig, LinkDecision, LinkState,
+    MarkovSnrModel, MarkovSnrTrace, SnrEstimator,
+};
 pub use arq::{ArqOutcome, ArqPipeline};
 pub use bits::{bits_to_bytes, bytes_to_bits, hamming_distance, BitVec, Bits};
 pub use channel::{
-    AwgnChannel, BinarySymmetricChannel, Channel, ErasureChannel, FeatureScratch, NoiselessChannel,
-    PacedChannel, RayleighChannel,
+    AwgnChannel, BinarySymmetricChannel, Channel, ChannelError, ErasureChannel, FeatureScratch,
+    NoiselessChannel, PacedChannel, RayleighChannel,
 };
 pub use complex::Complex;
 pub use fault::{FaultConfig, FaultStats, FaultyChannel, FaultyLink};

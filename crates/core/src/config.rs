@@ -1,3 +1,4 @@
+use semcom_channel::adapt::AdaptSpec;
 use semcom_codec::train::TrainConfig;
 use semcom_codec::CodecConfig;
 use semcom_fl::SyncProtocol;
@@ -71,6 +72,12 @@ pub struct SystemConfig {
     /// batched NN call ([`crate::SemanticEdgeSystem::send_stream`] /
     /// `send_batch` grouping).
     pub encode_batch_size: usize,
+    /// Per-user link adaptation: each user's channel follows a seeded
+    /// Markov SNR trace and the ingress stage consults the user's
+    /// [`semcom_channel::LinkState`] before composing the transmit
+    /// config (SNR, kept feature dims). `None` (the default) reproduces
+    /// the fixed-channel behavior exactly.
+    pub adapt: Option<AdaptSpec>,
 }
 
 impl Default for SystemConfig {
@@ -95,6 +102,7 @@ impl Default for SystemConfig {
             selection: SelectionStrategy::Contextual { decay: 0.7 },
             n_edges: 2,
             encode_batch_size: 16,
+            adapt: None,
         }
     }
 }
@@ -125,6 +133,7 @@ impl SystemConfig {
             selection: SelectionStrategy::Contextual { decay: 0.7 },
             n_edges: 2,
             encode_batch_size: 4,
+            adapt: None,
         }
     }
 }

@@ -49,4 +49,4 @@ mod system;
 pub use config::{ChannelModel, SelectionStrategy, SystemConfig};
 pub use metrics::{MessageOutcome, SystemMetrics};
 pub use server::EdgeServer;
-pub use system::{SemanticEdgeSystem, UserId};
+pub use system::{MigrationReport, SemanticEdgeSystem, UserId};

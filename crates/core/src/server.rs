@@ -246,6 +246,17 @@ impl EdgeServer {
         self.buffers.get(key)
     }
 
+    /// Detaches a buffer from this server (mobility handoff: the samples
+    /// travel with the user to the new home edge).
+    pub(crate) fn take_buffer(&mut self, key: &UserKey) -> Option<DomainBuffer> {
+        self.buffers.remove(key)
+    }
+
+    /// Installs a buffer carried over from another edge.
+    pub(crate) fn install_buffer(&mut self, key: UserKey, buffer: DomainBuffer) {
+        self.buffers.insert(key, buffer);
+    }
+
     pub(crate) fn session_entry(
         &mut self,
         key: UserKey,

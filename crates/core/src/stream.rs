@@ -54,7 +54,7 @@
 
 use crate::metrics::MessageOutcome;
 use crate::server::UserKey;
-use crate::system::{SemanticEdgeSystem, UserId};
+use crate::system::{adaptive_transmit_in_place, SemanticEdgeSystem, SlotLink, UserId};
 use rand::rngs::StdRng;
 use semcom_channel::{Channel, Complex, FeatureScratch};
 use semcom_codec::{KnowledgeBase, QuantizedDecoder, QuantizedEncoder};
@@ -100,6 +100,9 @@ struct StreamSlot {
     sentence: Sentence,
     enc: Option<StreamEncoder>,
     dec: Option<StreamDecoder>,
+    /// The adaptive link decision for this message (`None` when link
+    /// adaptation is disabled).
+    link: Option<SlotLink>,
     rng: StdRng,
     features: Option<Tensor>,
     decoded: Vec<ConceptId>,
@@ -198,7 +201,20 @@ fn run_phy(
 ) {
     if let Some(f) = slot.features.as_mut() {
         let t0 = obs.now_ns();
-        channel.transmit_f32_in_place(f.as_mut_slice(), scratch, &mut slot.rng);
+        match &slot.link {
+            Some(link) => {
+                let (rows, cols) = (f.rows(), f.cols());
+                adaptive_transmit_in_place(
+                    f.as_mut_slice(),
+                    rows,
+                    cols,
+                    link,
+                    scratch,
+                    &mut slot.rng,
+                );
+            }
+            None => channel.transmit_f32_in_place(f.as_mut_slice(), scratch, &mut slot.rng),
+        }
         let elapsed = obs.now_ns().saturating_sub(t0);
         obs.record_ns(Stage::Channel, elapsed);
         slot.stage_ns += elapsed;
@@ -414,6 +430,7 @@ impl SemanticEdgeSystem {
                 profile.domain,
             )
         };
+        let link = self.advance_link(user);
         let (selected, key, used_user_model, misselected) =
             self.select_and_lookup(user, true_domain, home, &sentence.tokens);
 
@@ -492,6 +509,7 @@ impl SemanticEdgeSystem {
             sentence,
             enc,
             dec,
+            link,
             rng,
             features: None,
             decoded: Vec::new(),
@@ -516,6 +534,7 @@ impl SemanticEdgeSystem {
             misselected,
             will_train,
             sentence,
+            link,
             decoded,
             ingress_ns,
             stage_ns,
@@ -531,6 +550,7 @@ impl SemanticEdgeSystem {
                 actual: true_domain.index() as u8,
             });
         }
+        let kept_dim = link.map(|l| l.kept(self.config.codec.feature_dim));
         let outcome = self.finalize_core(
             user,
             home,
@@ -542,6 +562,7 @@ impl SemanticEdgeSystem {
             msg_idx,
             &sentence,
             decoded,
+            kept_dim,
         );
         debug_assert_eq!(
             outcome.trained, will_train,

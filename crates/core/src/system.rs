@@ -2,12 +2,16 @@ use crate::config::{ChannelModel, SelectionStrategy, SystemConfig};
 use crate::metrics::{MessageOutcome, SystemMetrics};
 use crate::server::{EdgeServer, UserKey};
 use rand::RngCore;
-use semcom_channel::{AwgnChannel, Channel, RayleighChannel};
+use semcom_channel::adapt::LinkState;
+use semcom_channel::{AwgnChannel, Channel, FeatureScratch, RayleighChannel};
 use semcom_codec::train::Trainer;
 use semcom_codec::{
     quantize_model, KbScope, KnowledgeBase, QuantizedDecoder, QuantizedEncoder, QuantizedKb,
 };
-use semcom_fl::BufferSample;
+use semcom_fl::{
+    run_sync_round, BufferSample, RoundOutcome, SyncLink, SyncReceiver, SyncSender,
+    TransportConfig, TransportStats,
+};
 use semcom_nn::params::ParamVec;
 use semcom_nn::rng::{derive_seed, seeded_rng};
 use semcom_nn::Tensor;
@@ -46,6 +50,68 @@ pub(crate) struct QuantServing {
     pub(crate) user_decoders: HashMap<UserKey, Arc<QuantizedDecoder>>,
 }
 
+/// The per-message transmit configuration the link-adaptation loop picked:
+/// the instantaneous SNR the message actually experiences, the estimator's
+/// view, and the selected table entry (kept feature dims). Captured once
+/// per message at ingress, so every send path — sequential, batched,
+/// streamed — sees the identical per-user link trajectory.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SlotLink {
+    /// Instantaneous channel SNR from the user's Markov trace (dB).
+    pub(crate) snr_db: f64,
+    /// Feature dims the selected entry transmits (clamped to the codec
+    /// dim at use).
+    pub(crate) keep: usize,
+    /// Whether the slot's channel is Rayleigh fading (else AWGN).
+    pub(crate) rayleigh: bool,
+}
+
+impl SlotLink {
+    /// Feature dims actually transmitted for a codec of `full_dim`.
+    pub(crate) fn kept(&self, full_dim: usize) -> usize {
+        self.keep.min(full_dim).max(1)
+    }
+}
+
+/// Link-adaptive PHY: transmits only the first `kept` feature dims of each
+/// token row through a channel realized at the slot's instantaneous SNR,
+/// zero-filling the punctured dims for the fixed-width decoder. Shared by
+/// the sequential, batched, and streamed paths (same packing, same RNG
+/// order → bit-identical across them). With `kept == cols` this degenerates
+/// to a plain full-width transmit at the slot SNR.
+pub(crate) fn adaptive_transmit_in_place(
+    data: &mut [f32],
+    rows: usize,
+    cols: usize,
+    link: &SlotLink,
+    scratch: &mut FeatureScratch,
+    rng: &mut dyn RngCore,
+) {
+    let keep = link.kept(cols);
+    let transmit = |buf: &mut [f32], scratch: &mut FeatureScratch, rng: &mut dyn RngCore| {
+        if link.rayleigh {
+            RayleighChannel::new(link.snr_db).transmit_f32_in_place(buf, scratch, rng);
+        } else {
+            AwgnChannel::new(link.snr_db).transmit_f32_in_place(buf, scratch, rng);
+        }
+    };
+    if keep == cols {
+        transmit(data, scratch, rng);
+        return;
+    }
+    let mut packed = Vec::with_capacity(rows * keep);
+    for r in 0..rows {
+        packed.extend_from_slice(&data[r * cols..r * cols + keep]);
+    }
+    transmit(&mut packed, scratch, rng);
+    for r in 0..rows {
+        data[r * cols..r * cols + keep].copy_from_slice(&packed[r * keep..(r + 1) * keep]);
+        for v in &mut data[r * cols + keep..(r + 1) * cols] {
+            *v = 0.0;
+        }
+    }
+}
+
 /// Per-message state shared by the sequential and batched send paths: the
 /// composed sentence plus everything selection and cache lookup decided,
 /// tagged with the message index that seeds channel noise and training.
@@ -60,6 +126,9 @@ struct MessageSlot {
     /// Pre-computed encoder output (batched path); `None` means encode on
     /// demand.
     features: Option<Tensor>,
+    /// The adaptive link decision for this message (`None` when link
+    /// adaptation is disabled).
+    link: Option<SlotLink>,
 }
 
 /// The complete semantic edge computing and caching system of the paper's
@@ -82,7 +151,39 @@ pub struct SemanticEdgeSystem {
     pub(crate) metrics: SystemMetrics,
     pub(crate) obs: Recorder,
     pub(crate) quant: Option<QuantServing>,
+    /// Per-user link-adaptation state (Markov SNR trace + EWMA estimator +
+    /// policy), present only when [`SystemConfig::adapt`] is set.
+    pub(crate) links: HashMap<UserId, LinkState>,
+    /// Messages served through the adaptive link path.
+    pub(crate) adapt_messages: u64,
+    /// Link-config switches the adaptation policy made.
+    pub(crate) adapt_switches: u64,
+    /// Completed [`Self::migrate_user`] calls (also the per-migration RNG
+    /// stream index).
+    pub(crate) migrations: u64,
     pub(crate) seed: u64,
+}
+
+/// What one [`SemanticEdgeSystem::migrate_user`] handoff moved, dropped,
+/// and spent on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// The migrated user.
+    pub user: UserId,
+    /// Source edge index.
+    pub from: usize,
+    /// Destination edge index.
+    pub to: usize,
+    /// Cached user models re-established at the destination (decoder state
+    /// carried over the sync transport).
+    pub models_moved: usize,
+    /// Cached user models dropped because the transfer round failed (the
+    /// destination re-derives and retrains from subsequent traffic).
+    pub models_dropped: usize,
+    /// Domain buffers carried to the destination.
+    pub buffers_moved: usize,
+    /// Transport counters for the migration's sync rounds.
+    pub transport: TransportStats,
 }
 
 impl std::fmt::Debug for SemanticEdgeSystem {
@@ -151,6 +252,10 @@ impl SemanticEdgeSystem {
             metrics: SystemMetrics::default(),
             obs: Recorder::disabled(),
             quant: None,
+            links: HashMap::new(),
+            adapt_messages: 0,
+            adapt_switches: 0,
+            migrations: 0,
             seed,
         }
     }
@@ -255,14 +360,7 @@ impl SemanticEdgeSystem {
             recv.rej_digest += r.rej_digest;
             recv.rej_desync += r.rej_desync;
             recv.rej_layout += r.rej_layout;
-            let t = s.transport_stats();
-            transport.rounds += t.rounds;
-            transport.frames_sent += t.frames_sent;
-            transport.wire_bytes += t.wire_bytes;
-            transport.retries += t.retries;
-            transport.resyncs += t.resyncs;
-            transport.backoff_ticks += t.backoff_ticks;
-            transport.failures += t.failures;
+            transport.merge(s.transport_stats());
         }
         rec.set_counter("receiver_applied", recv.applied);
         rec.set_counter("receiver_applied_full", recv.applied_full);
@@ -279,6 +377,11 @@ impl SemanticEdgeSystem {
         rec.set_counter("transport_resyncs", transport.resyncs);
         rec.set_counter("transport_backoff_ticks", transport.backoff_ticks);
         rec.set_counter("transport_failures", transport.failures);
+        if self.config.adapt.is_some() || self.migrations > 0 {
+            rec.set_counter("adapt_messages", self.adapt_messages);
+            rec.set_counter("adapt_switches", self.adapt_switches);
+            rec.set_counter("user_migrations", self.migrations);
+        }
         rec.set_gauge("system_token_accuracy", m.token_accuracy());
         rec.set_gauge("system_selection_accuracy", m.selection_accuracy());
         rec.set_gauge("system_sync_rejection_rate", m.sync_rejection_rate());
@@ -398,7 +501,41 @@ impl SemanticEdgeSystem {
             )),
         };
         self.selectors.insert(id, selector);
+        if let Some(spec) = &self.config.adapt {
+            // Per-user link stream, disjoint from composition (1M+) and
+            // channel-noise (2M+) seed schedules.
+            self.links.insert(
+                id,
+                LinkState::new(spec, derive_seed(self.seed, 4_000_000 + id)),
+            );
+        }
         id
+    }
+
+    /// Advances the user's link-adaptation state by one message slot and
+    /// returns the transmit configuration it picked; `None` when link
+    /// adaptation is disabled. Called exactly once per message, in arrival
+    /// order, by every send path (sequential, batched, streamed), so the
+    /// per-user trace is path-independent.
+    pub(crate) fn advance_link(&mut self, user: UserId) -> Option<SlotLink> {
+        let rayleigh = matches!(self.config.channel, ChannelModel::Rayleigh { .. });
+        let link = self.links.get_mut(&user)?;
+        let d = link.step();
+        self.adapt_messages += 1;
+        if d.switched {
+            self.adapt_switches += 1;
+        }
+        Some(SlotLink {
+            snr_db: d.snr_db,
+            keep: d.link.feature_dim,
+            rayleigh,
+        })
+    }
+
+    /// Link-adaptation counters: `(messages served adaptively, config
+    /// switches made)`. Both zero unless [`SystemConfig::adapt`] is set.
+    pub fn adapt_stats(&self) -> (u64, u64) {
+        (self.adapt_messages, self.adapt_switches)
     }
 
     /// The domain a user was registered with.
@@ -586,6 +723,7 @@ impl SemanticEdgeSystem {
     /// sequential and batched send paths.
     fn prepare_slot(&mut self, user: UserId, sentence: Sentence, msg_idx: u64) -> MessageSlot {
         let profile = self.users.get(&user).expect("user is registered").clone();
+        let link = self.advance_link(user);
         let (selected, key, used_user_model, misselected) =
             self.select_and_lookup(user, profile.domain, profile.home, &sentence.tokens);
         if misselected {
@@ -604,6 +742,7 @@ impl SemanticEdgeSystem {
             used_user_model,
             msg_idx,
             features: None,
+            link,
         }
     }
 
@@ -651,6 +790,22 @@ impl SemanticEdgeSystem {
                 f.pop().expect("one tensor per token list")
             }
         };
+        if let Some(link) = &slot.link {
+            // Adaptive path: the slot's own channel realization (SNR from
+            // the user's Markov trace) and punctured feature dims.
+            let mut received = features;
+            let (rows, cols) = (received.rows(), received.cols());
+            let mut scratch = FeatureScratch::new();
+            adaptive_transmit_in_place(
+                received.as_mut_slice(),
+                rows,
+                cols,
+                link,
+                &mut scratch,
+                rng,
+            );
+            return self.decode_one(slot.key, slot.profile.peer, &received);
+        }
         let received = self.channel.transmit_f32(features.as_slice(), rng);
         let received = Tensor::from_vec(features.rows(), features.cols(), received)
             .expect("channel preserves feature length");
@@ -734,6 +889,7 @@ impl SemanticEdgeSystem {
     /// Mismatch bookkeeping, buffer fill, training trigger, metrics, and
     /// selector feedback for one decoded message.
     fn finalize_slot(&mut self, slot: &MessageSlot, decoded: Vec<ConceptId>) -> MessageOutcome {
+        let kept_dim = slot.link.map(|l| l.kept(self.config.codec.feature_dim));
         self.finalize_core(
             slot.user,
             slot.profile.home,
@@ -745,6 +901,7 @@ impl SemanticEdgeSystem {
             slot.msg_idx,
             &slot.sentence,
             decoded,
+            kept_dim,
         )
     }
 
@@ -763,6 +920,7 @@ impl SemanticEdgeSystem {
         msg_idx: u64,
         sentence: &Sentence,
         decoded: Vec<ConceptId>,
+        kept_dim: Option<usize>,
     ) -> MessageOutcome {
         // §II-C: the home edge has the decoder copy (d_i^m = d_j^m) and the
         // ground truth, so it records the mismatch locally — no output is
@@ -789,8 +947,12 @@ impl SemanticEdgeSystem {
             sync_bytes = self.train_and_sync(key, home, peer, msg_idx);
         }
 
-        // Bookkeeping.
-        let symbols = self.config.codec.symbols_per_token() * sentence.tokens.len();
+        // Bookkeeping. A punctured adaptive transmit spends fewer channel
+        // symbols per token (`kept / 2` complex uses instead of `dim / 2`).
+        let symbols_per_token = kept_dim
+            .map(|k| k.div_ceil(2))
+            .unwrap_or_else(|| self.config.codec.symbols_per_token());
+        let symbols = symbols_per_token * sentence.tokens.len();
         let outcome = MessageOutcome {
             user,
             true_domain,
@@ -987,6 +1149,122 @@ impl SemanticEdgeSystem {
         bytes
     }
 
+    /// Moves a user's sender-side session from their current home edge to
+    /// edge `to` (mobility handoff): per-domain mismatch buffers travel
+    /// with the user, and each cached user model is re-established at the
+    /// destination by carrying its trained decoder state over `link` with
+    /// the validated sync transport (destination baseline = the same
+    /// general-model derivation both edges share). A transfer round that
+    /// exhausts the transport budget drops that model — the destination
+    /// re-derives and retrains it from subsequent traffic, the same
+    /// recovery path as an eviction. The peer edge and its synchronized
+    /// decoders are untouched; the sender sync sessions are re-baselined
+    /// at the new home on the next training round.
+    ///
+    /// Deterministic for a given `(seed, migration order)`; emits
+    /// [`Event::UserMigrated`] on the attached recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user is unknown or `to` is out of range.
+    pub fn migrate_user(
+        &mut self,
+        user: UserId,
+        to: usize,
+        link: &mut dyn SyncLink,
+    ) -> MigrationReport {
+        assert!(to < self.servers.len(), "destination edge out of range");
+        let from = self.users.get(&user).expect("user is registered").home;
+        let mut report = MigrationReport {
+            user,
+            from,
+            to,
+            models_moved: 0,
+            models_dropped: 0,
+            buffers_moved: 0,
+            transport: TransportStats::default(),
+        };
+        if from == to {
+            return report;
+        }
+        let mut rng = seeded_rng(derive_seed(self.seed, 0x4D49_0000 + self.migrations));
+        let transport_config = TransportConfig::default();
+        for d in Domain::ALL {
+            let key: UserKey = (user, d);
+            if let Some(buf) = self.servers[from].take_buffer(&key) {
+                self.servers[to].install_buffer(key, buf);
+                report.buffers_moved += 1;
+            }
+            // The old sender session's baseline is meaningless at the new
+            // home; the next training round re-baselines against the
+            // peer's current decoder.
+            self.servers[from].drop_session(&key);
+            if let Some(q) = &mut self.quant {
+                q.user_encoders.remove(&key);
+                q.user_decoders.remove(&key);
+            }
+            let Some(mut kb) = self.servers[from].take_user_kb(&key) else {
+                continue;
+            };
+            // Decoder-copy migration over the sync transport: both edges
+            // can derive the identical baseline from the shared general
+            // model, so only the trained state rides the backhaul.
+            let after = ParamVec::values_of(&kb.decoder.params_mut());
+            let baseline = {
+                let mut derived = self.servers[to].general_kb(d).derive_user_model(user, d);
+                ParamVec::values_of(&derived.decoder.params_mut())
+            };
+            let mut sender = SyncSender::new(self.config.sync_protocol, baseline.clone());
+            let mut receiver = SyncReceiver::new();
+            let mut params = baseline;
+            let outcome = run_sync_round(
+                &mut sender,
+                &mut receiver,
+                &mut params,
+                &after,
+                link,
+                &mut rng,
+                &transport_config,
+                &mut report.transport,
+            );
+            match outcome {
+                RoundOutcome::Synced { .. } => {
+                    // The trained state arrived intact: install the model
+                    // at its new home, costed like a re-establishment.
+                    let cost = self.config.buffer_threshold as f64
+                        * self.config.finetune.epochs as f64
+                        * 1e-3;
+                    let evicted = self.servers[to].store_user_kb(key, kb, cost);
+                    report.models_moved += 1;
+                    for ev in evicted {
+                        self.obs.emit(Event::CacheEviction {
+                            user: ev.0,
+                            domain: ev.1.index() as u8,
+                        });
+                        let ev_peer = self.users.get(&ev.0).map(|p| p.peer).unwrap_or(to);
+                        self.servers[ev_peer].drop_user_decoder(&ev);
+                        self.servers[to].drop_session(&ev);
+                        if let Some(q) = &mut self.quant {
+                            q.user_encoders.remove(&ev);
+                            q.user_decoders.remove(&ev);
+                        }
+                    }
+                }
+                RoundOutcome::Failed => {
+                    report.models_dropped += 1;
+                }
+            }
+        }
+        self.users.get_mut(&user).expect("user is registered").home = to;
+        self.obs.emit(Event::UserMigrated {
+            user,
+            from: from as u8,
+            to: to as u8,
+        });
+        self.migrations += 1;
+        report
+    }
+
     /// Simulates a crash/restart of edge server `i`: every user model,
     /// receiver decoder, buffer, and sync session on it is lost; the
     /// durable general KBs survive. The adaptation loop re-establishes
@@ -1078,6 +1356,7 @@ fn classify_rejection(verdict: &semcom_fl::SyncVerdict) -> RejectCause {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use semcom_codec::CodecConfig;
 
     fn system() -> SemanticEdgeSystem {
         SemanticEdgeSystem::build(SystemConfig::tiny(), 42)
@@ -1580,6 +1859,161 @@ mod tests {
             s.send_message(u);
         }
         assert_eq!(s.user_edges(u), (0, 0));
+    }
+
+    #[test]
+    fn adaptive_send_paths_are_equivalent() {
+        use semcom_channel::adapt::AdaptSpec;
+        let config = SystemConfig {
+            adapt: Some(AdaptSpec::standard(CodecConfig::tiny().feature_dim)),
+            ..SystemConfig::tiny()
+        };
+        let mut seq = SemanticEdgeSystem::build(config.clone(), 77);
+        let mut bat = SemanticEdgeSystem::build(config.clone(), 77);
+        let mut stm = SemanticEdgeSystem::build(config, 77);
+        let domains = [Domain::It, Domain::News];
+        let us: Vec<UserId> = domains.iter().map(|&d| seq.register_user(d, 1.5)).collect();
+        let ub: Vec<UserId> = domains.iter().map(|&d| bat.register_user(d, 1.5)).collect();
+        let ut: Vec<UserId> = domains.iter().map(|&d| stm.register_user(d, 1.5)).collect();
+        for _ in 0..25 {
+            let a: Vec<MessageOutcome> = us.iter().map(|&u| seq.send_message(u)).collect();
+            let b = bat.send_batch(&ub);
+            let c = stm.send_stream(&ut);
+            for ((x, y), z) in a.iter().zip(&b).zip(&c) {
+                assert_eq!(x.sent, y.sent);
+                assert_eq!(x.decoded, y.decoded);
+                assert_eq!(x.decoded, z.decoded);
+                assert_eq!(x.symbols, y.symbols);
+                assert_eq!(x.symbols, z.symbols);
+                assert_eq!(x.trained, z.trained);
+            }
+        }
+        assert_eq!(seq.adapt_stats(), bat.adapt_stats());
+        assert_eq!(seq.adapt_stats(), stm.adapt_stats());
+        let (msgs, _) = seq.adapt_stats();
+        assert_eq!(msgs, 50);
+        // Punctured transmits spend fewer symbols than the fixed path
+        // would have at least once under the standard 3-row table.
+        let full = CodecConfig::tiny().symbols_per_token();
+        assert!(
+            seq.metrics().payload_symbols < (seq.metrics().tokens as usize * full) as u64,
+            "no message was ever punctured"
+        );
+    }
+
+    #[test]
+    fn degenerate_fixed_spec_matches_adapt_none_exactly() {
+        use semcom_channel::adapt::{AdaptSpec, LinkConfig};
+        use semcom_channel::Modulation;
+        let tiny = SystemConfig::tiny();
+        let snr_db = match tiny.channel {
+            ChannelModel::Awgn { snr_db } => snr_db,
+            ChannelModel::Rayleigh { snr_db } => snr_db,
+        };
+        let fixed = SystemConfig {
+            adapt: Some(AdaptSpec::fixed(
+                snr_db,
+                LinkConfig {
+                    modulation: Modulation::Qpsk,
+                    code_rate: 0.5,
+                    feature_dim: tiny.codec.feature_dim,
+                },
+            )),
+            ..tiny.clone()
+        };
+        let mut plain = SemanticEdgeSystem::build(tiny, 13);
+        let mut degen = SemanticEdgeSystem::build(fixed, 13);
+        let up = plain.register_user(Domain::News, 1.5);
+        let ud = degen.register_user(Domain::News, 1.5);
+        for _ in 0..30 {
+            let a = plain.send_message(up);
+            let b = degen.send_message(ud);
+            assert_eq!(a.sent, b.sent);
+            assert_eq!(a.decoded, b.decoded, "degenerate spec must be a no-op");
+            assert_eq!(a.symbols, b.symbols);
+            assert_eq!(a.trained, b.trained);
+            assert_eq!(a.sync_bytes, b.sync_bytes);
+        }
+        assert_eq!(
+            plain.metrics().correct_tokens,
+            degen.metrics().correct_tokens
+        );
+    }
+
+    #[test]
+    fn migration_moves_session_state_and_preserves_accuracy() {
+        use semcom_fl::PerfectLink;
+        let config = SystemConfig {
+            n_edges: 3,
+            ..SystemConfig::tiny()
+        };
+        let mut s = SemanticEdgeSystem::build(config, 23);
+        let rec = Recorder::with_ticks();
+        s.attach_recorder(rec);
+        let u = s.register_user_at(Domain::It, 2.0, 0, 1);
+        for _ in 0..80 {
+            s.send_message(u);
+        }
+        let key = (u, Domain::It);
+        assert!(s.edge(0).peek_user_kb(&key).is_some());
+        let adapted = s.probe_accuracy(u, 20, 9);
+
+        let mut link = PerfectLink;
+        let report = s.migrate_user(u, 2, &mut link);
+        assert_eq!((report.from, report.to), (0, 2));
+        assert!(report.models_moved >= 1, "{report:?}");
+        assert_eq!(report.models_dropped, 0);
+        assert!(report.buffers_moved >= 1, "{report:?}");
+        assert!(report.transport.rounds >= 1);
+        assert!(report.transport.wire_bytes > 0);
+        // The model and its trained weights now live on edge 2; the old
+        // home is clean and the peer's synced decoder is untouched.
+        assert_eq!(s.user_edges(u), (2, 1));
+        assert!(s.edge(0).peek_user_kb(&key).is_none());
+        assert!(s.edge(2).peek_user_kb(&key).is_some());
+        assert!(s.edge(1).user_decoder(&key).is_some());
+        let migrated = s.probe_accuracy(u, 20, 9);
+        assert!(
+            (migrated - adapted).abs() < 1e-9,
+            "handoff must carry the trained model: {adapted} vs {migrated}"
+        );
+        // Serving continues from the new home, training included.
+        for _ in 0..40 {
+            s.send_message(u);
+        }
+        assert!(s.probe_accuracy(u, 20, 9) > 0.5);
+        let snap = s.observability_snapshot();
+        assert!(snap
+            .events
+            .iter()
+            .any(|r| matches!(r.event, Event::UserMigrated { user, from: 0, to: 2 } if user == u)));
+        assert_eq!(snap.counter("user_migrations"), Some(1));
+    }
+
+    #[test]
+    fn failed_migration_transfer_drops_the_model_and_recovers() {
+        use semcom_channel::{FaultConfig, FaultyLink};
+        let mut s = system();
+        let u = s.register_user(Domain::News, 2.0);
+        for _ in 0..80 {
+            s.send_message(u);
+        }
+        let key = (u, Domain::News);
+        assert!(s.edge(0).peek_user_kb(&key).is_some());
+        // A link that destroys every frame: the transfer round exhausts its
+        // budget and the model is dropped rather than installed corrupt.
+        let mut link = FaultyLink::new(FaultConfig::uniform(1.0), 3);
+        let report = s.migrate_user(u, 1, &mut link);
+        assert_eq!(report.models_moved, 0, "{report:?}");
+        assert!(report.models_dropped >= 1, "{report:?}");
+        assert!(report.transport.failures >= 1);
+        assert!(s.edge(1).peek_user_kb(&key).is_none());
+        // The eviction-recovery path re-establishes the model from traffic.
+        for _ in 0..80 {
+            s.send_message(u);
+        }
+        assert!(s.edge(1).peek_user_kb(&key).is_some());
+        assert!(s.probe_accuracy(u, 20, 5) > 0.5);
     }
 
     #[test]

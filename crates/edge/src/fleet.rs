@@ -26,8 +26,15 @@ use rand::Rng;
 use semcom_cache::policy::{EvictionPolicy, Lru};
 use semcom_cache::workload::{ModelSpec, Workload};
 use semcom_cache::ModelCache;
+use semcom_channel::adapt::{AdaptError, AdaptSpec, LinkState};
+use semcom_nn::rng::derive_seed;
 use semcom_obs::Recorder;
 use serde::{Deserialize, Serialize};
+
+/// Seed-stream tag for per-cell link-adaptation RNGs (one stream per edge,
+/// disjoint from the arrival-trace stream, so switching adaptation on or
+/// off never perturbs the workload draws).
+const ADAPT_STREAM: u64 = 0xADA0_0000;
 
 /// How requests are assigned to edges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -95,6 +102,28 @@ pub enum ConfigError {
         /// Provided weight count.
         got: usize,
     },
+    /// The link-adaptation spec is invalid (non-stochastic Markov row,
+    /// empty SNR→config table, bad code rate, …).
+    BadAdapt(AdaptError),
+    /// Adaptive airtime payload is non-finite or negative.
+    BadPayloadBits(f64),
+    /// Adaptive symbol rate is non-finite or not positive.
+    BadSymbolRate(f64),
+    /// `full_feature_dim` is zero or smaller than a table entry's
+    /// `feature_dim` (the table could then select more dims than exist).
+    BadFullFeatureDim {
+        /// Configured full feature dimension.
+        full: usize,
+        /// Largest `feature_dim` in the SNR→config table.
+        max_entry: usize,
+    },
+    /// The offload backhaul has zero (or non-finite/negative) bandwidth —
+    /// every offloaded request would take forever.
+    ZeroBandwidthBackhaul(f64),
+    /// The offload backhaul latency is non-finite or negative.
+    BadBackhaulLatency(f64),
+    /// The offload busy-fraction threshold is non-finite or negative.
+    BadOffloadThreshold(f64),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -121,14 +150,143 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "node weights must be finite and positive, one per edge ({expected} expected, {got} usable)"
             ),
+            ConfigError::BadAdapt(e) => write!(f, "adaptive link config: {e}"),
+            ConfigError::BadPayloadBits(b) => {
+                write!(f, "payload_bits must be finite and non-negative (got {b})")
+            }
+            ConfigError::BadSymbolRate(r) => {
+                write!(f, "symbol_rate_hz must be finite and positive (got {r})")
+            }
+            ConfigError::BadFullFeatureDim { full, max_entry } => write!(
+                f,
+                "full_feature_dim ({full}) must be positive and cover the largest table entry ({max_entry})"
+            ),
+            ConfigError::ZeroBandwidthBackhaul(b) => write!(
+                f,
+                "offload backhaul bandwidth must be finite and positive (got {b} bytes/s)"
+            ),
+            ConfigError::BadBackhaulLatency(l) => write!(
+                f,
+                "offload backhaul latency must be finite and non-negative (got {l} s)"
+            ),
+            ConfigError::BadOffloadThreshold(t) => write!(
+                f,
+                "offload busy-fraction threshold must be finite and non-negative (got {t})"
+            ),
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
 
-/// Configuration of a fleet replay.
+/// Per-cell link adaptation for the fleet DES: every edge node is a radio
+/// cell whose channel follows a seeded Markov SNR trace; each arrival
+/// advances the cell's [`LinkState`] and pays the airtime of shipping the
+/// selected feature payload at the selected modulation and code rate
+/// before it can be served.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetAdapt {
+    /// Markov channel, SNR→config table, hysteresis, and EWMA alpha.
+    pub spec: AdaptSpec,
+    /// Semantic payload per request at `full_feature_dim` dims, in bits
+    /// (scaled linearly by the selected entry's `feature_dim`). `0.0`
+    /// makes airtime exactly zero — the regression anchor that reproduces
+    /// non-adaptive reports bit for bit.
+    pub payload_bits: f64,
+    /// Feature dimension the payload is quoted at.
+    pub full_feature_dim: usize,
+    /// Channel symbol rate (symbols/second).
+    pub symbol_rate_hz: f64,
+}
+
+impl FleetAdapt {
+    /// A degenerate adaptation: single fixed entry, constant SNR, zero
+    /// payload — adaptive machinery on, reports identical to `adapt: None`.
+    pub fn degenerate() -> Self {
+        FleetAdapt {
+            spec: AdaptSpec::fixed(
+                10.0,
+                semcom_channel::LinkConfig {
+                    modulation: semcom_channel::Modulation::Qpsk,
+                    code_rate: 0.5,
+                    feature_dim: 64,
+                },
+            ),
+            payload_bits: 0.0,
+            full_feature_dim: 64,
+            symbol_rate_hz: 1e6,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        self.spec.validate().map_err(ConfigError::BadAdapt)?;
+        if !self.payload_bits.is_finite() || self.payload_bits < 0.0 {
+            return Err(ConfigError::BadPayloadBits(self.payload_bits));
+        }
+        if !self.symbol_rate_hz.is_finite() || self.symbol_rate_hz <= 0.0 {
+            return Err(ConfigError::BadSymbolRate(self.symbol_rate_hz));
+        }
+        let max_entry = self.spec.max_feature_dim();
+        if self.full_feature_dim == 0 || self.full_feature_dim < max_entry {
+            return Err(ConfigError::BadFullFeatureDim {
+                full: self.full_feature_dim,
+                max_entry,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Edge→cloud offloading over a modeled backhaul: when a node's busy
+/// fraction (the same accumulated busy-seconds the PR 8 telemetry gauges
+/// publish, divided by sim time) exceeds the threshold, the decode half of
+/// a service round runs on the cloud tier instead. The edge frees after
+/// dispatch + encode; the request completes after the backhaul round trip
+/// plus the cloud decode. Cloud capacity is modeled as elastic.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OffloadConfig {
+    /// Offload when `busy_time / now` exceeds this fraction.
+    pub busy_frac_threshold: f64,
+    /// Backhaul bandwidth (bytes/second).
+    pub backhaul_bytes_per_sec: f64,
+    /// One-way backhaul propagation latency (seconds), paid both ways.
+    pub backhaul_latency_s: f64,
+    /// Feature payload shipped per offloaded request (bytes).
+    pub request_bytes: usize,
+}
+
+impl Default for OffloadConfig {
+    /// 1 Gbit/s backhaul at 10 ms one-way, 8 KiB per offloaded request,
+    /// offloading past 80% busy.
+    fn default() -> Self {
+        OffloadConfig {
+            busy_frac_threshold: 0.8,
+            backhaul_bytes_per_sec: 125_000_000.0,
+            backhaul_latency_s: 0.010,
+            request_bytes: 8_192,
+        }
+    }
+}
+
+impl OffloadConfig {
+    fn validate(&self) -> Result<(), ConfigError> {
+        if !self.busy_frac_threshold.is_finite() || self.busy_frac_threshold < 0.0 {
+            return Err(ConfigError::BadOffloadThreshold(self.busy_frac_threshold));
+        }
+        if !self.backhaul_bytes_per_sec.is_finite() || self.backhaul_bytes_per_sec <= 0.0 {
+            return Err(ConfigError::ZeroBandwidthBackhaul(
+                self.backhaul_bytes_per_sec,
+            ));
+        }
+        if !self.backhaul_latency_s.is_finite() || self.backhaul_latency_s < 0.0 {
+            return Err(ConfigError::BadBackhaulLatency(self.backhaul_latency_s));
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of a fleet replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetConfig {
     /// Number of edge servers.
     pub n_edges: usize,
@@ -154,6 +312,12 @@ pub struct FleetConfig {
     /// paying [`MessageCost::dispatch_ops`] once per round instead of once
     /// per message.
     pub max_batch: usize,
+    /// Per-cell link adaptation; `None` (the default) reproduces the
+    /// fixed-config F12/F13 behavior exactly.
+    pub adapt: Option<FleetAdapt>,
+    /// Edge→cloud offloading; `None` (the default) keeps every decode on
+    /// the edge.
+    pub offload: Option<OffloadConfig>,
 }
 
 impl Default for FleetConfig {
@@ -169,6 +333,8 @@ impl Default for FleetConfig {
             message: MessageCost::default(),
             assignment: Assignment::Sticky,
             max_batch: 1,
+            adapt: None,
+            offload: None,
         }
     }
 }
@@ -189,6 +355,12 @@ impl FleetConfig {
         if !self.zipf_alpha.is_finite() || self.zipf_alpha < 0.0 {
             return Err(ConfigError::BadZipf(self.zipf_alpha));
         }
+        if let Some(adapt) = &self.adapt {
+            adapt.validate()?;
+        }
+        if let Some(offload) = &self.offload {
+            offload.validate()?;
+        }
         Ok(())
     }
 }
@@ -207,6 +379,9 @@ pub struct FleetReport {
     /// Mean requests per service round (1.0 when batching is off or the
     /// fleet never queues deep enough to coalesce).
     pub mean_batch: f64,
+    /// Requests whose decode ran on the cloud tier (0 when offloading is
+    /// off or never triggered).
+    pub offloaded: u64,
     /// Simulated duration.
     pub duration: f64,
 }
@@ -346,15 +521,41 @@ pub(crate) struct EdgeState {
     pub(crate) queue: std::collections::VecDeque<(f64, f64, u64)>,
 }
 
+/// Per-cell adaptation runtime carried by the [`World`]: one seeded
+/// [`LinkState`] per edge plus the airtime parameters.
+pub(crate) struct AdaptRuntime {
+    links: Vec<LinkState>,
+    payload_bits: f64,
+    full_feature_dim: usize,
+    symbol_rate_hz: f64,
+    pub(crate) switches: u64,
+}
+
+/// Precomputed offload parameters (derived from [`OffloadConfig`]).
+pub(crate) struct OffloadRuntime {
+    threshold: f64,
+    latency_s: f64,
+    transfer_s: f64,
+}
+
 pub(crate) struct World {
     pub(crate) edges: Vec<EdgeState>,
     pub(crate) sink: LatencySink,
     pub(crate) fetch_time_total: f64,
     pub(crate) service_time: f64,
+    /// The encode half of `service_time` (same first summand, so the
+    /// non-offload path still adds the precomputed sum and stays
+    /// bit-identical to the pre-offload engine).
+    pub(crate) encode_time: f64,
+    /// Decode compute time on the cloud tier, for offloaded rounds.
+    pub(crate) cloud_decode_time: f64,
     pub(crate) dispatch_time: f64,
     pub(crate) max_batch: usize,
     pub(crate) batches: u64,
     pub(crate) served: u64,
+    pub(crate) offloaded: u64,
+    pub(crate) adapt: Option<AdaptRuntime>,
+    pub(crate) offload: Option<OffloadRuntime>,
     pub(crate) fetch_time_for: Box<dyn Fn(usize) -> f64>,
     pub(crate) picker: Picker,
     /// Deepest any node's service queue has grown (0 when `max_batch <= 1`
@@ -370,6 +571,7 @@ pub(crate) struct World {
 impl World {
     /// Builds a fleet world over `n_edges` fresh caches with the classic
     /// latency/picker setup derived from `cfg` and `topology`.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new<P, F>(
         cfg: &FleetConfig,
         topology: &Topology,
@@ -378,6 +580,7 @@ impl World {
         picker: Picker,
         telemetry: Option<NodeTelemetry>,
         record_rounds: bool,
+        seed: u64,
     ) -> Self
     where
         P: EvictionPolicy<u64> + Send + 'static,
@@ -397,15 +600,61 @@ impl World {
             fetch_time_total: 0.0,
             service_time: topology.edge.compute_time(cfg.message.encode_ops)
                 + topology.edge.compute_time(cfg.message.decode_ops),
+            encode_time: topology.edge.compute_time(cfg.message.encode_ops),
+            cloud_decode_time: topology.cloud.compute_time(cfg.message.decode_ops),
             dispatch_time: topology.edge.compute_time(cfg.message.dispatch_ops),
             max_batch: cfg.max_batch.max(1),
             batches: 0,
             served: 0,
+            offloaded: 0,
+            adapt: cfg.adapt.as_ref().map(|a| AdaptRuntime {
+                links: (0..cfg.n_edges)
+                    .map(|e| LinkState::new(&a.spec, derive_seed(seed, ADAPT_STREAM + e as u64)))
+                    .collect(),
+                payload_bits: a.payload_bits,
+                full_feature_dim: a.full_feature_dim.max(1),
+                symbol_rate_hz: a.symbol_rate_hz,
+                switches: 0,
+            }),
+            offload: cfg.offload.as_ref().map(|o| OffloadRuntime {
+                threshold: o.busy_frac_threshold,
+                latency_s: o.backhaul_latency_s,
+                transfer_s: o.request_bytes as f64 / o.backhaul_bytes_per_sec,
+            }),
             fetch_time_for: Box::new(move |bytes| edge_cloud.transfer_time(bytes)),
             picker,
             queue_peak: 0,
             telemetry,
             rounds: record_rounds.then(Vec::new),
+        }
+    }
+
+    /// Advances edge `e`'s cell link one step (when adaptation is on) and
+    /// returns the airtime of this request's feature payload at the
+    /// selected operating point. Exactly zero when adaptation is off or
+    /// `payload_bits == 0`.
+    fn airtime(&mut self, e: usize) -> f64 {
+        let Some(a) = &mut self.adapt else {
+            return 0.0;
+        };
+        let d = a.links[e].step();
+        if d.switched {
+            a.switches += 1;
+        }
+        let bits = a.payload_bits * d.link.feature_dim as f64 / a.full_feature_dim as f64;
+        if bits == 0.0 {
+            return 0.0;
+        }
+        bits / d.link.bits_per_symbol_coded() / a.symbol_rate_hz
+    }
+
+    /// Whether edge `e` should offload decode work right now: its busy
+    /// fraction (the same quantity the telemetry gauges publish, divided
+    /// by sim time) exceeds the configured threshold.
+    fn should_offload(&self, e: usize, now: f64) -> bool {
+        match &self.offload {
+            Some(o) if now > 0.0 => self.edges[e].busy_time / now > o.threshold,
+            _ => false,
         }
     }
 
@@ -428,8 +677,26 @@ impl World {
             return None;
         }
         let k = self.max_batch.min(self.edges[e].queue.len());
-        let cost = self.dispatch_time + k as f64 * self.service_time;
-        let done = now + cost;
+        let offload_round = self.should_offload(e, now);
+        // Edge-side cost: the full round when serving locally, only
+        // dispatch + encode when the decode half ships to the cloud.
+        let (cost, done) = if offload_round {
+            let o = self.offload.as_ref().expect("should_offload checked");
+            let edge_cost = self.dispatch_time + k as f64 * self.encode_time;
+            let done_edge = now + edge_cost;
+            // Batch round trip: features out, one backhaul transfer per
+            // request (serialized), elastic cloud decodes sequentially,
+            // results return after another propagation delay.
+            let done_req = done_edge
+                + 2.0 * o.latency_s
+                + k as f64 * o.transfer_s
+                + k as f64 * self.cloud_decode_time;
+            (edge_cost, done_req)
+        } else {
+            let cost = self.dispatch_time + k as f64 * self.service_time;
+            (cost, now + cost)
+        };
+        let free_at = now + cost;
         let mut ids = Vec::with_capacity(if self.rounds.is_some() { k } else { 0 });
         for _ in 0..k {
             let (_, arrive, id) = self.edges[e]
@@ -444,11 +711,14 @@ impl World {
         if let Some(rounds) = &mut self.rounds {
             rounds.push((e, ids));
         }
-        self.edges[e].free_at = done;
+        self.edges[e].free_at = free_at;
         self.note_busy(e, cost);
         self.batches += 1;
         self.served += k as u64;
-        Some(done)
+        if offload_round {
+            self.offloaded += k as u64;
+        }
+        Some(free_at)
     }
 
     /// Folds the world into a report once the simulation has drained.
@@ -473,6 +743,7 @@ impl World {
             } else {
                 self.served as f64 / self.batches as f64
             },
+            offloaded: self.offloaded,
             duration,
         }
     }
@@ -517,26 +788,47 @@ pub(crate) fn on_arrival(sim: &mut Sim<World>, w: &mut World, spec: ModelSpec) {
         w.edges[e].cache.insert(spec.id, spec, spec.size, spec.cost);
         f
     };
+    // Link adaptation: the cell's Markov channel advances once per
+    // arrival; the request pays the airtime of its (possibly punctured)
+    // feature payload before it is ready to serve. Exactly 0.0 when
+    // adaptation is off, so `+ air` preserves the fixed-config timeline
+    // bit for bit.
+    let air = w.airtime(e);
     if w.max_batch <= 1 {
         // Classic pipeline: service chains off the edge's running
         // completion time immediately (dispatch overhead is per message,
         // so batching is moot).
-        let start = (now + fetch).max(w.edges[e].free_at);
-        let done = start + w.dispatch_time + w.service_time;
-        w.edges[e].free_at = done;
-        w.note_busy(e, w.dispatch_time + w.service_time);
-        w.sink.record(done - now);
+        let start = (now + fetch + air).max(w.edges[e].free_at);
+        if w.should_offload(e, now) {
+            // Decode half runs on the cloud: the edge frees after
+            // dispatch + encode; the request completes after the backhaul
+            // round trip and the cloud decode.
+            let o = w.offload.as_ref().expect("should_offload checked");
+            let (latency_s, transfer_s) = (o.latency_s, o.transfer_s);
+            let edge_cost = w.dispatch_time + w.encode_time;
+            let done_edge = start + edge_cost;
+            let done = done_edge + 2.0 * latency_s + transfer_s + w.cloud_decode_time;
+            w.edges[e].free_at = done_edge;
+            w.note_busy(e, edge_cost);
+            w.sink.record(done - now);
+            w.offloaded += 1;
+        } else {
+            let done = start + w.dispatch_time + w.service_time;
+            w.edges[e].free_at = done;
+            w.note_busy(e, w.dispatch_time + w.service_time);
+            w.sink.record(done - now);
+        }
         w.batches += 1;
         w.served += 1;
         if let Some(rounds) = &mut w.rounds {
             rounds.push((e, vec![spec.id]));
         }
     } else {
-        // Batched mode: the request queues once its model is resident; a
-        // busy edge drains whatever has accumulated when it frees, one
-        // dispatch per round.
+        // Batched mode: the request queues once its model is resident and
+        // its payload is off the air; a busy edge drains whatever has
+        // accumulated when it frees, one dispatch per round.
         sim.schedule_at(
-            now + fetch,
+            now + fetch + air,
             Box::new(move |sim, w: &mut World| {
                 w.edges[e].queue.push_back((sim.now(), now, spec.id));
                 w.queue_peak = w.queue_peak.max(w.edges[e].queue.len());
@@ -644,6 +936,7 @@ impl FleetSim {
             Picker::from_assignment(cfg.assignment),
             None,
             record_rounds,
+            seed,
         );
 
         let mut sim: Sim<World> = Sim::new();
@@ -906,60 +1199,266 @@ mod tests {
 
     #[test]
     fn validation_catches_every_bad_knob() {
-        let base = FleetConfig::default();
-        assert!(base.validate().is_ok());
+        let base = FleetConfig::default;
+        assert!(base().validate().is_ok());
         let cases = [
-            (FleetConfig { n_edges: 0, ..base }, ConfigError::ZeroEdges),
+            (
+                FleetConfig {
+                    n_edges: 0,
+                    ..base()
+                },
+                ConfigError::ZeroEdges,
+            ),
             (
                 FleetConfig {
                     max_batch: 0,
-                    ..base
+                    ..base()
                 },
                 ConfigError::ZeroBatch,
             ),
             (
                 FleetConfig {
                     arrival_rate_hz: f64::NAN,
-                    ..base
+                    ..base()
                 },
                 ConfigError::BadArrivalRate(f64::NAN),
             ),
             (
                 FleetConfig {
                     arrival_rate_hz: 0.0,
-                    ..base
+                    ..base()
                 },
                 ConfigError::BadArrivalRate(0.0),
             ),
             (
                 FleetConfig {
                     arrival_rate_hz: f64::INFINITY,
-                    ..base
+                    ..base()
                 },
                 ConfigError::BadArrivalRate(f64::INFINITY),
             ),
             (
                 FleetConfig {
                     zipf_alpha: f64::NAN,
-                    ..base
+                    ..base()
                 },
                 ConfigError::BadZipf(f64::NAN),
             ),
             (
                 FleetConfig {
                     zipf_alpha: -0.5,
-                    ..base
+                    ..base()
                 },
                 ConfigError::BadZipf(-0.5),
             ),
         ];
         for (cfg, want) in cases {
-            let got = FleetSim::try_new(cfg, Topology::default())
+            let got = FleetSim::try_new(cfg.clone(), Topology::default())
                 .err()
                 .unwrap_or_else(|| panic!("{cfg:?} should be rejected"));
             // NaN != NaN: compare the rendered error instead.
             assert_eq!(got.to_string(), want.to_string(), "{cfg:?}");
         }
+    }
+
+    /// The new adaptive/offload knobs are validated at construction with
+    /// typed errors instead of panicking deep in the event loop (the
+    /// satellite-3 hardening).
+    #[test]
+    fn validation_catches_bad_adaptive_and_offload_knobs() {
+        let base = FleetConfig::default;
+        let mut non_stochastic = FleetAdapt::degenerate();
+        non_stochastic.spec.markov.transition[0] = [0.5, 0.4, 0.0];
+        let mut empty_table = FleetAdapt::degenerate();
+        empty_table.spec.entries.clear();
+        let mut bad_payload = FleetAdapt::degenerate();
+        bad_payload.payload_bits = f64::NAN;
+        let mut bad_rate = FleetAdapt::degenerate();
+        bad_rate.symbol_rate_hz = 0.0;
+        let mut small_full = FleetAdapt::degenerate();
+        small_full.full_feature_dim = 8; // table entry keeps 64 dims
+        let cases: Vec<(FleetConfig, &str)> = vec![
+            (
+                FleetConfig {
+                    adapt: Some(non_stochastic),
+                    ..base()
+                },
+                "sum to 1",
+            ),
+            (
+                FleetConfig {
+                    adapt: Some(empty_table),
+                    ..base()
+                },
+                "table must not be empty",
+            ),
+            (
+                FleetConfig {
+                    adapt: Some(bad_payload),
+                    ..base()
+                },
+                "payload_bits",
+            ),
+            (
+                FleetConfig {
+                    adapt: Some(bad_rate),
+                    ..base()
+                },
+                "symbol_rate_hz",
+            ),
+            (
+                FleetConfig {
+                    adapt: Some(small_full),
+                    ..base()
+                },
+                "full_feature_dim",
+            ),
+            (
+                FleetConfig {
+                    offload: Some(OffloadConfig {
+                        backhaul_bytes_per_sec: 0.0,
+                        ..OffloadConfig::default()
+                    }),
+                    ..base()
+                },
+                "backhaul bandwidth",
+            ),
+            (
+                FleetConfig {
+                    offload: Some(OffloadConfig {
+                        backhaul_latency_s: f64::NEG_INFINITY,
+                        ..OffloadConfig::default()
+                    }),
+                    ..base()
+                },
+                "backhaul latency",
+            ),
+            (
+                FleetConfig {
+                    offload: Some(OffloadConfig {
+                        busy_frac_threshold: f64::NAN,
+                        ..OffloadConfig::default()
+                    }),
+                    ..base()
+                },
+                "busy-fraction threshold",
+            ),
+        ];
+        for (cfg, needle) in cases {
+            let err = FleetSim::try_new(cfg.clone(), Topology::default())
+                .err()
+                .unwrap_or_else(|| panic!("{cfg:?} should be rejected"));
+            assert!(err.to_string().contains(needle), "{err} missing {needle:?}");
+        }
+        // Valid adaptive + offload configs construct.
+        assert!(FleetConfig {
+            adapt: Some(FleetAdapt::degenerate()),
+            offload: Some(OffloadConfig::default()),
+            ..base()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    /// The regression anchor of the refactor: a degenerate single-state
+    /// Markov trace with zero payload reproduces the fixed-config report
+    /// exactly, classic and batched.
+    #[test]
+    fn degenerate_adapt_reproduces_fixed_config_exactly() {
+        for max_batch in [1usize, 8] {
+            let fixed = FleetSim::new(
+                FleetConfig {
+                    max_batch,
+                    ..FleetConfig::default()
+                },
+                Topology::default(),
+            )
+            .run_hist(21);
+            let adaptive = FleetSim::new(
+                FleetConfig {
+                    max_batch,
+                    adapt: Some(FleetAdapt::degenerate()),
+                    ..FleetConfig::default()
+                },
+                Topology::default(),
+            )
+            .run_hist(21);
+            assert_eq!(fixed, adaptive, "max_batch {max_batch}");
+        }
+    }
+
+    /// Adaptive airtime shows up in latency but never perturbs the
+    /// workload: cache behavior is identical with and without adaptation.
+    #[test]
+    fn adaptive_airtime_defers_service_without_touching_the_trace() {
+        let plain = sim(Assignment::Sticky).run(13);
+        let adaptive = FleetSim::new(
+            FleetConfig {
+                adapt: Some(FleetAdapt {
+                    payload_bits: 200_000.0,
+                    ..FleetAdapt::degenerate()
+                }),
+                ..FleetConfig::default()
+            },
+            Topology::default(),
+        )
+        .run(13);
+        assert_eq!(plain.hit_rate, adaptive.hit_rate, "trace perturbed");
+        assert_eq!(plain.fetch_time_total, adaptive.fetch_time_total);
+        assert!(
+            adaptive.latency.mean > plain.latency.mean,
+            "airtime should defer completion: {} vs {}",
+            adaptive.latency.mean,
+            plain.latency.mean
+        );
+    }
+
+    /// Offloading kicks in only past the busy threshold, strictly cuts an
+    /// overloaded fleet's tail latency, and is deterministic.
+    #[test]
+    fn offloading_relieves_an_overloaded_edge() {
+        let mk = |offload: Option<OffloadConfig>| {
+            FleetSim::new(
+                FleetConfig {
+                    n_edges: 1,
+                    arrival_rate_hz: 300.0,
+                    capacity_bytes: 40_000_000,
+                    message: MessageCost {
+                        encode_ops: 1e8,
+                        decode_ops: 9e8,
+                        ..MessageCost::default()
+                    },
+                    offload,
+                    ..FleetConfig::default()
+                },
+                Topology::default(),
+            )
+            .run(6)
+        };
+        let local = mk(None);
+        assert_eq!(local.offloaded, 0);
+        let offloaded = mk(Some(OffloadConfig {
+            busy_frac_threshold: 0.5,
+            ..OffloadConfig::default()
+        }));
+        assert!(
+            offloaded.offloaded > 0,
+            "overloaded edge never offloaded ({:?})",
+            offloaded.offloaded
+        );
+        assert!(
+            offloaded.latency.p95 < local.latency.p95,
+            "offload p95 {} vs local p95 {}",
+            offloaded.latency.p95,
+            local.latency.p95
+        );
+        assert_eq!(
+            offloaded,
+            mk(Some(OffloadConfig {
+                busy_frac_threshold: 0.5,
+                ..OffloadConfig::default()
+            }))
+        );
     }
 
     #[test]

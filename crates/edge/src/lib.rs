@@ -50,7 +50,10 @@ pub mod engine;
 pub mod orchestrator;
 pub mod placement;
 
-pub use fleet::{Assignment, BatchServer, ConfigError, FleetConfig, FleetReport, FleetSim};
+pub use fleet::{
+    Assignment, BatchServer, ConfigError, FleetAdapt, FleetConfig, FleetReport, FleetSim,
+    OffloadConfig,
+};
 pub use metrics::{LatencyHist, LatencySummary};
 pub use orchestrator::{
     merge_reports, FleetScaleReport, Orchestrator, SessionPlacement, ShardPlan, ShardStats,

@@ -1,5 +1,18 @@
 use serde::{Deserialize, Serialize};
 
+/// Sanitizes a quantile argument: NaN maps to 1.0 (the conservative,
+/// max-side answer — a garbage `q` must never produce a garbage latency),
+/// anything else clamps into `0..=1`. Shared by the exact and histogram
+/// rank rules so `merge_reports`' count-weighted percentiles can't index
+/// past the last sample or propagate NaN into reports.
+fn sanitize_q(q: f64) -> f64 {
+    if q.is_nan() {
+        1.0
+    } else {
+        q.clamp(0.0, 1.0)
+    }
+}
+
 /// Order statistics over a set of latency samples.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct LatencySummary {
@@ -27,8 +40,8 @@ impl LatencySummary {
         let mut sorted = samples.to_vec();
         sorted.sort_by(f64::total_cmp);
         let q = |p: f64| {
-            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-            sorted[idx]
+            let idx = ((sorted.len() as f64 - 1.0) * sanitize_q(p)).round() as usize;
+            sorted[idx.min(sorted.len() - 1)]
         };
         LatencySummary {
             count: sorted.len(),
@@ -123,14 +136,17 @@ impl LatencyHist {
         self.count
     }
 
-    /// The `q`-quantile (0..=1) in seconds: the lower bound of the bucket
-    /// holding the order statistic at rank `round((count-1) * q)` — the
-    /// same rank rule as [`LatencySummary::from_samples`].
+    /// The `q`-quantile in seconds: the lower bound of the bucket holding
+    /// the order statistic at rank `round((count-1) * q)` — the same rank
+    /// rule as [`LatencySummary::from_samples`]. `q` is sanitized first
+    /// (NaN → 1.0, out-of-range clamped to `0..=1`), so `q = 1.0` returns
+    /// the last non-empty bucket's lower bound (≤ the exact `max`) and a
+    /// garbage `q` can never read past the last bucket or return NaN.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let rank = ((self.count as f64 - 1.0) * q).round() as u64;
+        let rank = ((self.count as f64 - 1.0) * sanitize_q(q)).round() as u64;
         let mut cum = 0u64;
         for (idx, &c) in self.buckets.iter().enumerate() {
             cum += c;
@@ -225,6 +241,62 @@ mod tests {
             );
             assert!(a >= e * (1.0 - 1.0 / 16.0) - 1e-12, "{a} too far below {e}");
         }
+    }
+
+    /// Regression: a NaN or out-of-range `q` used to saturate-cast into a
+    /// silent rank-0 read (NaN) or could round past the last sample; both
+    /// rank rules now sanitize `q` (NaN → 1.0, clamp to `0..=1`) so no
+    /// garbage can flow into merged reports.
+    #[test]
+    fn quantile_edge_cases_are_sanitized() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let exact = LatencySummary::from_samples(&samples);
+        let mut h = LatencyHist::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        // q = 1.0: the exact rule returns max; the hist returns the last
+        // non-empty bucket's lower bound, never past it.
+        let q1 = |p: f64| ((samples.len() - 1) as f64 * p).round() as usize;
+        assert_eq!(samples[q1(1.0)], exact.max);
+        assert!(h.quantile(1.0) <= exact.max);
+        assert!(h.quantile(1.0) >= exact.max * (1.0 - 1.0 / 16.0) - 1e-12);
+        // NaN maps to the conservative max-side answer, not garbage.
+        assert_eq!(h.quantile(f64::NAN), h.quantile(1.0));
+        assert!(!h.quantile(f64::NAN).is_nan());
+        // Out-of-range clamps to the endpoints.
+        assert_eq!(h.quantile(2.5), h.quantile(1.0));
+        assert_eq!(h.quantile(-0.5), h.quantile(0.0));
+        assert_eq!(h.quantile(f64::INFINITY), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NEG_INFINITY), h.quantile(0.0));
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let s = LatencySummary::from_samples(&[0.25]);
+        assert_eq!(s.count, 1);
+        assert_eq!((s.p50, s.p95, s.p99, s.max), (0.25, 0.25, 0.25, 0.25));
+        let mut h = LatencyHist::new();
+        h.record(0.25);
+        for q in [0.0, 0.5, 0.99, 1.0, f64::NAN, 7.0, -3.0] {
+            let v = h.quantile(q);
+            assert!(
+                (0.25 * (1.0 - 1.0 / 16.0)..=0.25).contains(&v),
+                "q={q} -> {v}"
+            );
+        }
+        assert_eq!(h.summary().max, 0.25);
+    }
+
+    #[test]
+    fn exact_summary_sanitizes_garbage_q_via_public_shape() {
+        // from_samples only exposes fixed percentiles, but the sanitized
+        // closure must keep them ordered and finite even for adversarial
+        // sample values near the rounding boundary.
+        let samples = vec![1e-9, 2e-9, f64::MAX / 4.0];
+        let s = LatencySummary::from_samples(&samples);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert!(!s.p99.is_nan());
     }
 
     #[test]

@@ -206,7 +206,7 @@ impl Orchestrator {
                 n_domains: domains[s],
                 n_users: users[s],
                 assignment,
-                ..*fleet
+                ..fleet.clone()
             };
             let weights = self
                 .config
@@ -264,6 +264,7 @@ pub fn merge_reports(reports: &[FleetReport]) -> FleetReport {
     let mut fetch_time_total = 0.0;
     let mut served_batched = 0.0;
     let mut batches = 0.0;
+    let mut offloaded = 0u64;
     let mut duration = 0.0f64;
     for r in reports {
         let w = r.latency.count as f64 / tw;
@@ -280,6 +281,7 @@ pub fn merge_reports(reports: &[FleetReport]) -> FleetReport {
             served_batched += r.latency.count as f64;
             batches += r.latency.count as f64 / r.mean_batch;
         }
+        offloaded += r.offloaded;
         duration = duration.max(r.duration);
     }
     FleetReport {
@@ -292,6 +294,7 @@ pub fn merge_reports(reports: &[FleetReport]) -> FleetReport {
         } else {
             served_batched / batches
         },
+        offloaded,
         duration,
     }
 }
@@ -595,6 +598,58 @@ mod tests {
         );
         // Fleet-level errors surface through the same path.
         check(&|c| c.fleet.max_batch = 0, ConfigError::ZeroBatch);
+    }
+
+    /// The adaptive/offload knobs added for F14 are validated before the
+    /// orchestrator ever plans a shard: a non-stochastic Markov row, an
+    /// empty SNR→config table, or a zero-bandwidth backhaul come back as
+    /// typed [`ConfigError`]s instead of deep event-loop panics.
+    #[test]
+    fn orchestrator_validation_covers_adaptive_and_offload_knobs() {
+        use crate::fleet::{FleetAdapt, OffloadConfig};
+        let base = cfg(2, SessionPlacement::Assigned(Assignment::Sticky));
+        let check = |mutate: &dyn Fn(&mut ShardedFleetConfig), needle: &str| {
+            let mut c = base.clone();
+            mutate(&mut c);
+            let got =
+                ShardedFleetSim::try_new(c, Topology::default()).expect_err("should be rejected");
+            assert!(got.to_string().contains(needle), "{got} missing {needle:?}");
+        };
+        check(
+            &|c| {
+                let mut a = FleetAdapt::degenerate();
+                a.spec.markov.transition[2] = [0.3, 0.3, 0.3];
+                c.fleet.adapt = Some(a);
+            },
+            "sum to 1",
+        );
+        check(
+            &|c| {
+                let mut a = FleetAdapt::degenerate();
+                a.spec.entries.clear();
+                c.fleet.adapt = Some(a);
+            },
+            "table must not be empty",
+        );
+        check(
+            &|c| {
+                c.fleet.offload = Some(OffloadConfig {
+                    backhaul_bytes_per_sec: 0.0,
+                    ..OffloadConfig::default()
+                });
+            },
+            "backhaul bandwidth",
+        );
+        // A valid adaptive + offload sharded config plans cleanly, and the
+        // per-shard plans inherit both knobs.
+        let mut ok = base.clone();
+        ok.fleet.adapt = Some(FleetAdapt::degenerate());
+        ok.fleet.offload = Some(OffloadConfig::default());
+        let sim = ShardedFleetSim::try_new(ok, Topology::default()).expect("valid");
+        for plan in sim.plan(3) {
+            assert!(plan.config.adapt.is_some());
+            assert!(plan.config.offload.is_some());
+        }
     }
 
     #[test]

@@ -112,6 +112,7 @@ pub(crate) fn run_shard(
         picker,
         telemetry,
         false,
+        plan.seed,
     );
     let mut sim: Sim<World> = Sim::new();
     for _ in 0..cfg.n_requests {

@@ -1,0 +1,147 @@
+//! Link-adaptive + offloading fleet determinism (experiment F14).
+//!
+//! PR 9 adds two per-request levers to the fleet DES — Markov-SNR link
+//! adaptation (per-cell airtime from the selected modulation/code-rate/
+//! feature-dim entry) and busy-fraction edge→cloud offloading over a
+//! modeled backhaul. Both must preserve the engine's two standing
+//! contracts:
+//!
+//! 1. **Worker-count invariance**: the streaming sharded engine replays
+//!    byte-identically at `SEMCOM_THREADS` 1, 2, and 4, and matches the
+//!    materialized single-loop reference shard for shard.
+//! 2. **Degenerate anchor**: a single-entry fixed-SNR table with zero
+//!    payload (`FleetAdapt::degenerate()`) and no offload reproduces the
+//!    `adapt: None` reports bit for bit — the adaptive machinery itself
+//!    has no side channel into the schedule.
+
+use proptest::prelude::*;
+use semcom_channel::adapt::AdaptSpec;
+use semcom_edge::{
+    Assignment, FleetAdapt, FleetConfig, OffloadConfig, SessionPlacement, ShardedFleetConfig,
+    ShardedFleetSim, Topology,
+};
+use std::sync::Mutex;
+
+static WORKER_LOCK: Mutex<()> = Mutex::new(());
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive_fleet(
+    n_edges: usize,
+    n_requests: usize,
+    rate: f64,
+    n_users: usize,
+    assignment: Assignment,
+    max_batch: usize,
+    payload_kbits: f64,
+    offload: bool,
+    threshold: f64,
+) -> FleetConfig {
+    FleetConfig {
+        n_edges,
+        n_requests,
+        arrival_rate_hz: rate,
+        n_domains: 4,
+        n_users,
+        assignment,
+        max_batch,
+        adapt: Some(FleetAdapt {
+            spec: AdaptSpec::standard(64),
+            payload_bits: payload_kbits * 1_000.0,
+            full_feature_dim: 64,
+            symbol_rate_hz: 1e6,
+        }),
+        offload: offload.then(|| OffloadConfig {
+            busy_frac_threshold: threshold,
+            ..OffloadConfig::default()
+        }),
+        ..FleetConfig::default()
+    }
+}
+
+proptest! {
+    /// Adaptive airtime and offload routing are pure functions of the
+    /// shard plan: sharded == reference, byte for byte, at 1/2/4 workers.
+    #[test]
+    fn adaptive_offloading_fleet_is_worker_count_invariant(
+        seed in any::<u64>(),
+        n_shards in 1usize..=4,
+        extra_edges in 0usize..=3,
+        assignment_idx in 0usize..3,
+        max_batch in 1usize..=8,
+        extra_users in 0usize..=40,
+        rate in 50.0f64..400.0,
+        payload_kbits in 0.0f64..200.0,
+        offload in any::<bool>(),
+        threshold in 0.05f64..0.9,
+        n_requests in 50usize..=300,
+    ) {
+        let n_edges = n_shards + extra_edges;
+        let assignment = Assignment::ALL[assignment_idx];
+        let sim = ShardedFleetSim::new(
+            ShardedFleetConfig {
+                fleet: adaptive_fleet(
+                    n_edges, n_requests, rate, n_shards + extra_users,
+                    assignment, max_batch, payload_kbits, offload, threshold,
+                ),
+                n_shards,
+                placement: SessionPlacement::Assigned(assignment),
+                node_weights: None,
+            },
+            Topology::default(),
+        );
+        let reference = sim.run_reference(seed);
+
+        let _guard = WORKER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for workers in [1usize, 2, 4] {
+            semcom_par::set_workers(workers);
+            let sharded = sim.run(seed);
+            prop_assert_eq!(&sharded.shards, &reference.shards, "{} workers", workers);
+            prop_assert_eq!(&sharded.merged, &reference.merged, "{} workers", workers);
+        }
+        semcom_par::reset_workers();
+    }
+
+    /// The degenerate adaptation (fixed single-entry table, zero payload,
+    /// no offload) leaves no trace: the sharded run equals the plain
+    /// `adapt: None` run of the same shape, shard for shard.
+    #[test]
+    fn degenerate_adaptation_reproduces_plain_fleet_reports(
+        seed in any::<u64>(),
+        n_shards in 1usize..=3,
+        extra_edges in 0usize..=3,
+        max_batch in 1usize..=8,
+        n_requests in 50usize..=300,
+    ) {
+        let n_edges = n_shards + extra_edges;
+        let plain = FleetConfig {
+            n_edges,
+            n_requests,
+            arrival_rate_hz: 150.0,
+            n_domains: 4,
+            n_users: 40,
+            max_batch,
+            ..FleetConfig::default()
+        };
+        let degen = FleetConfig {
+            adapt: Some(FleetAdapt::degenerate()),
+            ..plain.clone()
+        };
+        let sharded = |fleet: FleetConfig| {
+            ShardedFleetSim::new(
+                ShardedFleetConfig {
+                    fleet,
+                    n_shards,
+                    placement: SessionPlacement::Assigned(Assignment::Sticky),
+                    node_weights: None,
+                },
+                Topology::default(),
+            )
+        };
+        let a = sharded(plain).run_reference(seed);
+        let b = sharded(degen).run_reference(seed);
+        prop_assert_eq!(&a.shards, &b.shards);
+        prop_assert_eq!(&a.merged.latency, &b.merged.latency);
+        prop_assert_eq!(a.merged.hit_rate, b.merged.hit_rate);
+        prop_assert_eq!(b.merged.offloaded, 0);
+    }
+}

@@ -524,6 +524,20 @@ pub struct TransportStats {
     pub failures: u64,
 }
 
+impl TransportStats {
+    /// Accumulates another session's counters into this one (aggregation
+    /// across edges, sessions, or migration rounds).
+    pub fn merge(&mut self, other: &TransportStats) {
+        self.rounds += other.rounds;
+        self.frames_sent += other.frames_sent;
+        self.wire_bytes += other.wire_bytes;
+        self.retries += other.retries;
+        self.resyncs += other.resyncs;
+        self.backoff_ticks += other.backoff_ticks;
+        self.failures += other.failures;
+    }
+}
+
 /// Outcome of one [`run_sync_round`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RoundOutcome {

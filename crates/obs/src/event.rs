@@ -103,6 +103,16 @@ pub enum Event {
         /// Training samples drawn from the buffer.
         samples: u64,
     },
+    /// A user's session moved between edge servers (mobility handoff):
+    /// cached models, buffers, and sync sessions were migrated or dropped.
+    UserMigrated {
+        /// Migrating user.
+        user: u64,
+        /// Source edge index.
+        from: u8,
+        /// Destination edge index.
+        to: u8,
+    },
 }
 
 impl Event {
@@ -114,6 +124,7 @@ impl Event {
             Event::Resync { .. } => "resync",
             Event::DomainMisselected { .. } => "domain_misselected",
             Event::TrainingTriggered { .. } => "training_triggered",
+            Event::UserMigrated { .. } => "user_migrated",
         }
     }
 }

@@ -247,6 +247,11 @@ impl Snapshot {
                 Event::TrainingTriggered { user, samples } => {
                     out.push_str(&format!(", \"user\": {user}, \"samples\": {samples}"));
                 }
+                Event::UserMigrated { user, from, to } => {
+                    out.push_str(&format!(
+                        ", \"user\": {user}, \"from\": {from}, \"to\": {to}"
+                    ));
+                }
             }
             out.push('}');
             if i + 1 < self.events.len() {
@@ -423,6 +428,11 @@ fn parse_event(e: &Json) -> Option<EventRecord> {
         "training_triggered" => Event::TrainingTriggered {
             user: u64_of("user")?,
             samples: u64_of("samples")?,
+        },
+        "user_migrated" => Event::UserMigrated {
+            user: u64_of("user")?,
+            from: u8_of("from")?,
+            to: u8_of("to")?,
         },
         _ => return None,
     };

@@ -36,6 +36,9 @@ cargo bench -p semcom-bench --bench pipeline -- --test
 # Sharded fleet routines (single-loop reference vs 4-shard streaming
 # engine at 1 worker and at the natural count; see BENCH_pr8.json).
 cargo bench -p semcom-bench --bench fleet -- --test
+# The F14 adaptation loop sits on every serving ingress and fleet arrival:
+# the policy step and the adaptive/offload fleet replays must keep running.
+cargo bench -p semcom-bench --bench adapt -- --test
 
 echo "=== int8 accuracy gate (quantization loss < 1%) ==="
 # Redundant with `cargo test --workspace` above but called out as its own
@@ -118,6 +121,24 @@ for threads in 1 4; do
         exit 1
     }
     echo "f13_fleet_scale matches golden at SEMCOM_THREADS=$threads"
+done
+
+echo "=== link-adaptive serving + offloading golden (F14) + thread invariance ==="
+# F14 drives the adaptation policy, adaptive serving accuracy, user
+# migration over the sync transport, and the flash-crowd offloading grid.
+# Its SLO percentiles are simulated seconds (wall-clock goes to stderr),
+# so the stdout must be byte-identical at 1 AND 4 workers; the harness
+# also asserts adaptive-beats-fixed and offload-rescues-the-tail inline.
+for threads in 1 4; do
+    SEMCOM_THREADS=$threads ./target/release/f14_adaptive 2>/dev/null \
+        | diff -u tests/goldens/f14_adaptive.stdout - || {
+        echo "ci: harness f14_adaptive (crates/bench/src/bin/f14_adaptive.rs) diverged from tests/goldens/f14_adaptive.stdout at SEMCOM_THREADS=$threads." >&2
+        echo "ci: if the change is intentional, regenerate with:" >&2
+        echo "ci:   SEMCOM_THREADS=1 ./target/release/f14_adaptive 2>/dev/null > tests/goldens/f14_adaptive.stdout" >&2
+        echo "ci: then re-run this script — divergence at only SOME worker counts means per-user link streams or the pipelined ingress broke determinism, not the golden." >&2
+        exit 1
+    }
+    echo "f14_adaptive matches golden at SEMCOM_THREADS=$threads"
 done
 
 echo "ci: all gates passed"

@@ -7,7 +7,8 @@ mkdir -p results
 bins=(f2_snr_sweep t1_payload t2_domain_mismatch t3_user_models t4_decoder_copy \
       f3_grad_sync f4_cache_sweep f5_placement t5_selection f6_channel_ablation \
       f7_image_codec f8_train_snr f9_feature_dim f10_audio_codec f11_video_codec \
-      f12_fleet_balancing t6_lossy_sync t7_fault_sweep t9_trilemma t10_pipeline)
+      f12_fleet_balancing f13_fleet_scale f14_adaptive t6_lossy_sync t7_fault_sweep \
+      t9_trilemma t10_pipeline)
 cargo build --release -p semcom-bench --bins
 for b in "${bins[@]}"; do
   echo "=== $b ==="
