@@ -9,6 +9,13 @@
 //!    `obs/sync_round_*` pairs run the identical workload with the
 //!    recorder disabled vs enabled; the delta is the instrumentation tax
 //!    (required ≤ 5%).
+//!
+//! PR 10 extends the second question to causal tracing, pinned by
+//! `BENCH_pr10.json`: `obs/trace_span_*` prices one `trace_span` call
+//! with and without a buffer attached, and the `obs/send_message_*` pair
+//! serves the identical message sequence with tracing off vs on — that
+//! delta is the tracing tax (required ≤ 3%; the untraced call site being
+//! a single branch is pinned by `tests/zero_alloc.rs`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use semcom_channel::coding::HammingCode74;
@@ -124,10 +131,71 @@ fn bench_instrumented_sync(c: &mut Criterion) {
     }
 }
 
+fn bench_tracing(c: &mut Criterion) {
+    use semcom::{ChannelModel, SemanticEdgeSystem, SystemConfig};
+    use semcom_obs::{SpanContext, TraceSpan};
+    use semcom_text::Domain;
+
+    // Primitive: one trace_span call site. Without a buffer attached it
+    // is a single branch; with one it is a short mutex lock plus a push
+    // into reserved storage (the bounded buffer is cleared periodically
+    // so the loop never hits the drop path).
+    let ctx = SpanContext::root(1);
+    let span = TraceSpan::new(ctx.child(0), Some(ctx.span), "semantic_encode", 10, 5);
+    let untraced = Recorder::with_ticks();
+    c.bench_function("obs/trace_span_untraced", |b| {
+        b.iter(|| untraced.trace_span(std::hint::black_box(span)))
+    });
+    let traced = Recorder::with_ticks_and_trace();
+    let buf = traced.trace_buffer().expect("traced recorder has a buffer");
+    let mut recorded = 0usize;
+    c.bench_function("obs/trace_span_traced", |b| {
+        b.iter(|| {
+            recorded += 1;
+            if recorded >= buf.capacity() {
+                buf.clear();
+                recorded = 0;
+            }
+            traced.trace_span(std::hint::black_box(span));
+        })
+    });
+
+    // End to end: the full served message under an enabled recorder with
+    // tracing off vs on — the PR 10 ≤3% tracing-tax gate. The workload is
+    // identical either way; only the recorder differs.
+    for (tag, rec) in [
+        ("untraced", Recorder::with_ticks()),
+        ("traced", Recorder::with_ticks_and_trace()),
+    ] {
+        let mut config = SystemConfig::tiny();
+        config.channel = ChannelModel::Awgn { snr_db: 9.0 };
+        let mut system = SemanticEdgeSystem::build(config, 77);
+        system.attach_recorder(rec.clone());
+        let user = system.register_user(Domain::It, 1.5);
+        let buf = rec.trace_buffer();
+        let mut served = 0usize;
+        c.bench_function(&format!("obs/send_message_{tag}"), |b| {
+            b.iter(|| {
+                if let Some(buf) = &buf {
+                    // ~6 spans/message worst case; stay inside the
+                    // 65 536-span buffer so nothing is ever dropped.
+                    served += 1;
+                    if served >= 8_192 {
+                        buf.clear();
+                        served = 0;
+                    }
+                }
+                system.send_message(std::hint::black_box(user))
+            })
+        });
+    }
+}
+
 criterion_group!(
     benches,
     bench_primitives,
     bench_instrumented_transmit,
-    bench_instrumented_sync
+    bench_instrumented_sync,
+    bench_tracing
 );
 criterion_main!(benches);

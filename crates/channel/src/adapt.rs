@@ -261,6 +261,18 @@ impl LinkConfig {
     pub fn bits_per_symbol_coded(&self) -> f64 {
         self.modulation.bits_per_symbol() as f64 * self.code_rate
     }
+
+    /// A stable, metric-safe label for this operating point, e.g.
+    /// `qpsk_r0.50_d64`. Used as a counter-name suffix by telemetry that
+    /// tracks per-entry adaptation dynamics.
+    pub fn label(&self) -> String {
+        format!(
+            "{}_r{:.2}_d{}",
+            self.modulation.name(),
+            self.code_rate,
+            self.feature_dim
+        )
+    }
 }
 
 /// One row of the SNR→config table: `link` applies while the SNR estimate

@@ -77,6 +77,15 @@ pub struct FaultStats {
     pub reordered: u64,
 }
 
+impl FaultStats {
+    /// Total injected perturbations across every fault class. One frame
+    /// can contribute several (e.g. corrupted *and* duplicated), so this
+    /// may exceed `frames`.
+    pub fn perturbed(&self) -> u64 {
+        self.dropped + self.corrupted + self.duplicated + self.reordered
+    }
+}
+
 /// A seeded frame-plane fault injector: every frame pushed through
 /// [`FaultyLink::transit`] is independently dropped, corrupted, duplicated,
 /// and/or reordered according to a [`FaultConfig`].

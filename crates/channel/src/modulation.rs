@@ -70,6 +70,15 @@ impl Modulation {
         }
     }
 
+    /// Short lowercase name, stable for metric labels and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Modulation::Bpsk => "bpsk",
+            Modulation::Qpsk => "qpsk",
+            Modulation::Qam16 => "qam16",
+        }
+    }
+
     /// Maps bits to symbols. The bit string is zero-padded to a multiple of
     /// [`Self::bits_per_symbol`].
     ///

@@ -246,6 +246,18 @@ impl EdgeServer {
         self.buffers.get(key)
     }
 
+    /// Number of per-user-per-domain mismatch buffers resident on this
+    /// edge (observability: migration harnesses assert state actually
+    /// moved).
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Number of sender-side sync sessions resident on this edge.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
     /// Detaches a buffer from this server (mobility handoff: the samples
     /// travel with the user to the new home edge).
     pub(crate) fn take_buffer(&mut self, key: &UserKey) -> Option<DomainBuffer> {

@@ -54,7 +54,9 @@
 
 use crate::metrics::MessageOutcome;
 use crate::server::UserKey;
-use crate::system::{adaptive_transmit_in_place, SemanticEdgeSystem, SlotLink, UserId};
+use crate::system::{
+    adaptive_transmit_in_place, MsgTraceTimings, SemanticEdgeSystem, SlotLink, UserId,
+};
 use rand::rngs::StdRng;
 use semcom_channel::{Channel, Complex, FeatureScratch};
 use semcom_codec::{KnowledgeBase, QuantizedDecoder, QuantizedEncoder};
@@ -110,6 +112,10 @@ struct StreamSlot {
     ingress_ns: u64,
     /// Encode + channel + decode time accumulated across the stages.
     stage_ns: u64,
+    /// Per-phase `(start, dur)` pairs for the causal trace; `None` unless
+    /// the recorder has a trace buffer. Stages fill the timings in place;
+    /// the commit emits the spans on the driver thread in ticket order.
+    trace: Option<MsgTraceTimings>,
 }
 
 fn same_encoder(a: &StreamEncoder, b: &StreamEncoder) -> bool {
@@ -184,6 +190,9 @@ fn run_encode(batch: &mut [StreamSlot], obs: &Recorder) {
             for &i in g {
                 obs.record_ns(Stage::SemanticEncode, share);
                 batch[i].stage_ns += share;
+                if let Some(t) = batch[i].trace.as_mut() {
+                    t.encode = (t0, share);
+                }
             }
         }
         obs.add("pipeline_stage_encode", n as u64);
@@ -218,6 +227,9 @@ fn run_phy(
         let elapsed = obs.now_ns().saturating_sub(t0);
         obs.record_ns(Stage::Channel, elapsed);
         slot.stage_ns += elapsed;
+        if let Some(t) = slot.trace.as_mut() {
+            t.channel = (t0, elapsed);
+        }
         obs.add("pipeline_stage_phy", 1);
     }
 }
@@ -233,6 +245,9 @@ fn run_decode(slot: &mut StreamSlot, obs: &Recorder) {
         let elapsed = obs.now_ns().saturating_sub(t0);
         obs.record_ns(Stage::SemanticDecode, elapsed);
         slot.stage_ns += elapsed;
+        if let Some(t) = slot.trace.as_mut() {
+            t.decode = (t0, elapsed);
+        }
         obs.add("pipeline_stage_decode", 1);
     }
 }
@@ -515,6 +530,10 @@ impl SemanticEdgeSystem {
             decoded: Vec::new(),
             ingress_ns,
             stage_ns: 0,
+            trace: self.obs.tracing_enabled().then(|| MsgTraceTimings {
+                start_ns: t0,
+                ..MsgTraceTimings::default()
+            }),
         }
     }
 
@@ -538,6 +557,7 @@ impl SemanticEdgeSystem {
             decoded,
             ingress_ns,
             stage_ns,
+            trace,
             ..
         } = slot;
         // The unbound fields (enc, dec, rng, features) drop here, so a
@@ -563,6 +583,7 @@ impl SemanticEdgeSystem {
             &sentence,
             decoded,
             kept_dim,
+            trace,
         );
         debug_assert_eq!(
             outcome.trained, will_train,

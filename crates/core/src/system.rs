@@ -9,13 +9,13 @@ use semcom_codec::{
     quantize_model, KbScope, KnowledgeBase, QuantizedDecoder, QuantizedEncoder, QuantizedKb,
 };
 use semcom_fl::{
-    run_sync_round, BufferSample, RoundOutcome, SyncLink, SyncReceiver, SyncSender,
+    run_sync_round_traced, BufferSample, RoundOutcome, SyncLink, SyncReceiver, SyncSender,
     TransportConfig, TransportStats,
 };
 use semcom_nn::params::ParamVec;
 use semcom_nn::rng::{derive_seed, seeded_rng};
 use semcom_nn::Tensor;
-use semcom_obs::{Event, Recorder, RejectCause, Snapshot, Stage};
+use semcom_obs::{Event, Recorder, RejectCause, Snapshot, SpanContext, Stage, TraceSpan};
 use semcom_select::{BanditSelector, ContextualSelector, DomainSelector, NaiveBayesSelector};
 use semcom_text::{
     ConceptId, CorpusGenerator, Domain, Idiolect, IdiolectConfig, Rendering, Sentence,
@@ -129,6 +129,27 @@ struct MessageSlot {
     /// The adaptive link decision for this message (`None` when link
     /// adaptation is disabled).
     link: Option<SlotLink>,
+    /// `(start_ns, dur_ns)` of this message's (share of a) semantic
+    /// encode, captured for the causal trace when the batched path
+    /// encoded before [`SemanticEdgeSystem::transmit_slot`] ran. Only
+    /// populated when tracing is enabled.
+    trace_encode: (u64, u64),
+}
+
+/// Per-stage `(start_ns, dur_ns)` pairs captured while one message moves
+/// through the pipeline, emitted as child spans of the message's trace
+/// root at commit time. Only populated when the recorder carries a trace
+/// buffer, so tracing-off runs take no extra clock reads.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MsgTraceTimings {
+    /// Message start (composition/ingress).
+    pub start_ns: u64,
+    /// Semantic encode (per-message share of a packed pass).
+    pub encode: (u64, u64),
+    /// Channel transit (adaptive or fixed).
+    pub channel: (u64, u64),
+    /// Semantic decode at the peer edge.
+    pub decode: (u64, u64),
 }
 
 /// The complete semantic edge computing and caching system of the paper's
@@ -612,13 +633,17 @@ impl SemanticEdgeSystem {
     pub fn send_sentence(&mut self, user: UserId, sentence: &Sentence) -> MessageOutcome {
         let _msg_span = self.obs.span(Stage::Message);
         let msg_idx = self.metrics.messages;
+        let mut trace = self.obs.tracing_enabled().then(|| MsgTraceTimings {
+            start_ns: self.obs.now_ns(),
+            ..MsgTraceTimings::default()
+        });
         let slot = self.prepare_slot(user, sentence.clone(), msg_idx);
         let mut rng = seeded_rng(derive_seed(self.seed, 2_000_000 + msg_idx));
         let decoded = {
             let _span = self.obs.span(Stage::SemanticTransmit);
-            self.transmit_slot(&slot, &mut rng)
+            self.transmit_slot(&slot, &mut rng, trace.as_mut())
         };
-        self.finalize_slot(&slot, decoded)
+        self.finalize_slot(&slot, decoded, trace)
     }
 
     /// Sends one message for every listed user with the encoder work
@@ -691,6 +716,7 @@ impl SemanticEdgeSystem {
             let share = self.obs.now_ns().saturating_sub(t0) / members.len().max(1) as u64;
             for (&i, f) in members.iter().zip(features) {
                 slots[i].features = Some(f);
+                slots[i].trace_encode = (t0, share);
                 encode_ns[i] = share;
                 self.obs.record_ns(Stage::SemanticEncode, share);
             }
@@ -705,16 +731,27 @@ impl SemanticEdgeSystem {
         // Phase 3: channel, decode, buffers, training, and metrics — one
         // slot at a time, in order, on each message's own seed.
         let mut out = Vec::with_capacity(slots.len());
+        let tracing = self.obs.tracing_enabled();
         for (i, slot) in slots.iter().enumerate() {
             let _msg_span = self.obs.span(Stage::Message);
             let mut rng = seeded_rng(derive_seed(self.seed, 2_000_000 + slot.msg_idx));
             let t0 = self.obs.now_ns();
-            let decoded = self.transmit_slot(slot, &mut rng);
+            let mut trace = tracing.then(|| MsgTraceTimings {
+                // The batch arrived together: this message's causal start
+                // is its encode (or phase 3 entry for empty messages).
+                start_ns: if slot.trace_encode.1 > 0 {
+                    slot.trace_encode.0
+                } else {
+                    t0
+                },
+                ..MsgTraceTimings::default()
+            });
+            let decoded = self.transmit_slot(slot, &mut rng, trace.as_mut());
             // Full per-message transmit time: this message's share of the
             // packed encode plus its own channel + decode.
             let spent = encode_ns[i] + self.obs.now_ns().saturating_sub(t0);
             self.obs.record_ns(Stage::SemanticTransmit, spent);
-            out.push(self.finalize_slot(slot, decoded));
+            out.push(self.finalize_slot(slot, decoded, trace));
         }
         out
     }
@@ -743,6 +780,7 @@ impl SemanticEdgeSystem {
             msg_idx,
             features: None,
             link,
+            trace_encode: (0, 0),
         }
     }
 
@@ -773,13 +811,27 @@ impl SemanticEdgeSystem {
 
     /// Encode (or reuse pre-batched features) → channel → decode for one
     /// message, on the f32 or quantized path depending on serving mode.
-    fn transmit_slot(&mut self, slot: &MessageSlot, rng: &mut dyn RngCore) -> Vec<ConceptId> {
+    /// With `trace` set, the three phases' `(start, dur)` pairs are
+    /// captured for the message's causal trace (extra clock reads happen
+    /// only then).
+    fn transmit_slot(
+        &mut self,
+        slot: &MessageSlot,
+        rng: &mut dyn RngCore,
+        mut trace: Option<&mut MsgTraceTimings>,
+    ) -> Vec<ConceptId> {
         if slot.sentence.tokens.is_empty() {
             return Vec::new();
         }
         let features = match &slot.features {
-            Some(f) => f.clone(),
+            Some(f) => {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.encode = slot.trace_encode;
+                }
+                f.clone()
+            }
             None => {
+                let t0 = trace.as_ref().map(|_| self.obs.now_ns());
                 let key = slot.used_user_model.then_some(slot.key);
                 let mut f = self.encode_group(
                     slot.profile.home,
@@ -787,10 +839,14 @@ impl SemanticEdgeSystem {
                     slot.selected,
                     &[&slot.sentence.tokens],
                 );
+                if let (Some(t), Some(t0)) = (trace.as_deref_mut(), t0) {
+                    t.encode = (t0, self.obs.now_ns().saturating_sub(t0));
+                }
                 f.pop().expect("one tensor per token list")
             }
         };
-        if let Some(link) = &slot.link {
+        let chan_t0 = trace.as_ref().map(|_| self.obs.now_ns());
+        let received = if let Some(link) = &slot.link {
             // Adaptive path: the slot's own channel realization (SNR from
             // the user's Markov trace) and punctured feature dims.
             let mut received = features;
@@ -804,12 +860,24 @@ impl SemanticEdgeSystem {
                 &mut scratch,
                 rng,
             );
-            return self.decode_one(slot.key, slot.profile.peer, &received);
+            received
+        } else {
+            let out = self.channel.transmit_f32(features.as_slice(), rng);
+            Tensor::from_vec(features.rows(), features.cols(), out)
+                .expect("channel preserves feature length")
+        };
+        let dec_t0 = if let (Some(t), Some(t0)) = (trace.as_deref_mut(), chan_t0) {
+            let now = self.obs.now_ns();
+            t.channel = (t0, now.saturating_sub(t0));
+            Some(now)
+        } else {
+            None
+        };
+        let decoded = self.decode_one(slot.key, slot.profile.peer, &received);
+        if let (Some(t), Some(t0)) = (trace, dec_t0) {
+            t.decode = (t0, self.obs.now_ns().saturating_sub(t0));
         }
-        let received = self.channel.transmit_f32(features.as_slice(), rng);
-        let received = Tensor::from_vec(features.rows(), features.cols(), received)
-            .expect("channel preserves feature length");
-        self.decode_one(slot.key, slot.profile.peer, &received)
+        decoded
     }
 
     /// Encodes the token lists of all messages served by one encoder
@@ -888,7 +956,12 @@ impl SemanticEdgeSystem {
 
     /// Mismatch bookkeeping, buffer fill, training trigger, metrics, and
     /// selector feedback for one decoded message.
-    fn finalize_slot(&mut self, slot: &MessageSlot, decoded: Vec<ConceptId>) -> MessageOutcome {
+    fn finalize_slot(
+        &mut self,
+        slot: &MessageSlot,
+        decoded: Vec<ConceptId>,
+        trace: Option<MsgTraceTimings>,
+    ) -> MessageOutcome {
         let kept_dim = slot.link.map(|l| l.kept(self.config.codec.feature_dim));
         self.finalize_core(
             slot.user,
@@ -902,6 +975,7 @@ impl SemanticEdgeSystem {
             &slot.sentence,
             decoded,
             kept_dim,
+            trace,
         )
     }
 
@@ -921,6 +995,7 @@ impl SemanticEdgeSystem {
         sentence: &Sentence,
         decoded: Vec<ConceptId>,
         kept_dim: Option<usize>,
+        trace: Option<MsgTraceTimings>,
     ) -> MessageOutcome {
         // §II-C: the home edge has the decoder copy (d_i^m = d_j^m) and the
         // ground truth, so it records the mismatch locally — no output is
@@ -988,6 +1063,45 @@ impl SemanticEdgeSystem {
             .get_mut(&user)
             .expect("selector per registered user")
             .observe(outcome.accuracy());
+
+        // Causal trace: one tree per message, identical in structure on
+        // every serving path. Child ordinals are fixed (0 = encode,
+        // 1 = channel, 2 = decode; train/sync children 3/4 are emitted by
+        // `train_and_sync`), and all spans land here, on the driver
+        // thread, in commit order.
+        if let Some(t) = trace {
+            let root = SpanContext::root(msg_idx);
+            let parent = Some(root.span);
+            self.obs.trace_span(TraceSpan::new(
+                root.child(0),
+                parent,
+                "semantic_encode",
+                t.encode.0,
+                t.encode.1,
+            ));
+            self.obs.trace_span(TraceSpan::new(
+                root.child(1),
+                parent,
+                "channel",
+                t.channel.0,
+                t.channel.1,
+            ));
+            self.obs.trace_span(TraceSpan::new(
+                root.child(2),
+                parent,
+                "semantic_decode",
+                t.decode.0,
+                t.decode.1,
+            ));
+            let end = self.obs.now_ns();
+            self.obs.trace_span(TraceSpan::new(
+                root,
+                None,
+                "message",
+                t.start_ns,
+                end.saturating_sub(t.start_ns),
+            ));
+        }
         outcome
     }
 
@@ -1041,16 +1155,33 @@ impl SemanticEdgeSystem {
             self.servers[home].drop_session(&key);
         }
 
+        // When tracing, the train and sync legs become children 3/4 of the
+        // triggering message's trace tree (the message root is emitted
+        // later by `finalize_core`; content-derived ids need no ordering).
+        let tracing = self.obs.tracing_enabled();
+        let trace_root = SpanContext::root(msg_idx);
         let mut trainer = Trainer::new(self.config.finetune);
+        let train_t0 = tracing.then(|| self.obs.now_ns());
         let train_span = self.obs.span(Stage::TrainRound);
         trainer.fit_pairs(&mut kb, &pairs, derive_seed(self.seed, 3_000_000 + msg_idx));
         train_span.finish();
+        if let Some(t0) = train_t0 {
+            let dur = self.obs.now_ns().saturating_sub(t0);
+            self.obs.trace_span(TraceSpan::new(
+                trace_root.child(3),
+                Some(trace_root.span),
+                "train_round",
+                t0,
+                dur,
+            ));
+        }
 
         // Decoder gradient/delta to the peer (§II-D), carried as a
         // validated sync frame: the receiver edge checks decode, sequence,
         // layout, and the rolling parameter digest before committing, and a
         // rejected frame triggers graceful degradation to a full-model
         // resync instead of silent drift.
+        let sync_t0 = tracing.then(|| self.obs.now_ns());
         let sync_span = self.obs.span(Stage::SyncRound);
         let after = ParamVec::values_of(&kb.decoder.params_mut());
         let protocol = self.config.sync_protocol;
@@ -1128,6 +1259,16 @@ impl SemanticEdgeSystem {
             t.resyncs += 1;
         }
         sync_span.finish();
+        if let Some(t0) = sync_t0 {
+            let dur = self.obs.now_ns().saturating_sub(t0);
+            self.obs.trace_span(TraceSpan::new(
+                trace_root.child(4),
+                Some(trace_root.span),
+                "sync_round",
+                t0,
+                dur,
+            ));
+        }
 
         // Cache the trained model; cost = estimated re-establishment time.
         let cost = pairs.len() as f64 * self.config.finetune.epochs as f64 * 1e-3;
@@ -1189,6 +1330,18 @@ impl SemanticEdgeSystem {
         }
         let mut rng = seeded_rng(derive_seed(self.seed, 0x4D49_0000 + self.migrations));
         let transport_config = TransportConfig::default();
+        // Migration traces live in their own trace-id range (high byte 1)
+        // so they never collide with message traces. Without tracing the
+        // transport sees a disabled recorder — byte-identical journals and
+        // histograms to the pre-trace behavior.
+        let tracing = self.obs.tracing_enabled();
+        let trace_root = SpanContext::root((1u64 << 56) | self.migrations);
+        let trace_t0 = tracing.then(|| self.obs.now_ns());
+        let transport_rec = if tracing {
+            self.obs.clone()
+        } else {
+            Recorder::disabled()
+        };
         for d in Domain::ALL {
             let key: UserKey = (user, d);
             if let Some(buf) = self.servers[from].take_buffer(&key) {
@@ -1217,7 +1370,7 @@ impl SemanticEdgeSystem {
             let mut sender = SyncSender::new(self.config.sync_protocol, baseline.clone());
             let mut receiver = SyncReceiver::new();
             let mut params = baseline;
-            let outcome = run_sync_round(
+            let outcome = run_sync_round_traced(
                 &mut sender,
                 &mut receiver,
                 &mut params,
@@ -1226,6 +1379,10 @@ impl SemanticEdgeSystem {
                 &mut rng,
                 &transport_config,
                 &mut report.transport,
+                &transport_rec,
+                user,
+                tracing.then_some(trace_root),
+                d.index() as u64,
             );
             match outcome {
                 RoundOutcome::Synced { .. } => {
@@ -1261,6 +1418,11 @@ impl SemanticEdgeSystem {
             from: from as u8,
             to: to as u8,
         });
+        if let Some(t0) = trace_t0 {
+            let dur = self.obs.now_ns().saturating_sub(t0);
+            self.obs
+                .trace_span(TraceSpan::new(trace_root, None, "migration", t0, dur));
+        }
         self.migrations += 1;
         report
     }

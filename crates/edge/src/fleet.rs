@@ -28,7 +28,9 @@ use semcom_cache::workload::{ModelSpec, Workload};
 use semcom_cache::ModelCache;
 use semcom_channel::adapt::{AdaptError, AdaptSpec, LinkState};
 use semcom_nn::rng::derive_seed;
-use semcom_obs::Recorder;
+use semcom_obs::{
+    Recorder, SloEvaluator, SloSpec, SpanContext, Stage, TimeSeriesSampler, TraceSpan,
+};
 use serde::{Deserialize, Serialize};
 
 /// Seed-stream tag for per-cell link-adaptation RNGs (one stream per edge,
@@ -516,9 +518,10 @@ pub(crate) struct EdgeState {
     pub(crate) free_at: f64,
     pub(crate) busy_time: f64,
     /// Ready requests awaiting a batched service round, FIFO by ready
-    /// time: `(ready_at, arrive_at, model_id)`. Only used when
-    /// `max_batch > 1`.
-    pub(crate) queue: std::collections::VecDeque<(f64, f64, u64)>,
+    /// time: `(ready_at, arrive_at, model_id, request_seq)`. Only used
+    /// when `max_batch > 1`; `request_seq` is the fleet-wide arrival
+    /// sequence number a traced request's spans are keyed by.
+    pub(crate) queue: std::collections::VecDeque<(f64, f64, u64, u64)>,
 }
 
 /// Per-cell adaptation runtime carried by the [`World`]: one seeded
@@ -529,6 +532,9 @@ pub(crate) struct AdaptRuntime {
     full_feature_dim: usize,
     symbol_rate_hz: f64,
     pub(crate) switches: u64,
+    /// Precomputed per-entry counter names (`fleet_adapt_<label>`), so
+    /// the hot arrival path never formats strings.
+    counter_names: Vec<String>,
 }
 
 /// Precomputed offload parameters (derived from [`OffloadConfig`]).
@@ -566,6 +572,25 @@ pub(crate) struct World {
     /// Dispatched service rounds `(edge, model ids in service order)` in
     /// simulation-time order; recorded only for [`FleetSim::run_served`].
     pub(crate) rounds: Option<Vec<(usize, Vec<u64>)>>,
+    /// Observability sink: fleet counters, the `message` latency
+    /// histogram (virtual-time ns), and — when a trace buffer is attached
+    /// — per-request causal spans. Disabled by default; a disabled
+    /// recorder makes every call a single branch.
+    pub(crate) obs: Recorder,
+    /// Fleet-wide arrival sequence number; a traced request's trace id.
+    pub(crate) seq: u64,
+    /// Virtual-time series sampling + SLO watchdog, when attached.
+    pub(crate) series: Option<SeriesRuntime>,
+}
+
+/// Time-series sampling state for an instrumented replay: windows close
+/// on virtual-time interval boundaries (checked at each arrival), so the
+/// exported curves are a pure function of the simulated workload.
+pub(crate) struct SeriesRuntime {
+    interval_s: f64,
+    next_tick: u64,
+    pub(crate) sampler: TimeSeriesSampler,
+    pub(crate) slo: Option<SloEvaluator>,
 }
 
 impl World {
@@ -615,6 +640,12 @@ impl World {
                 full_feature_dim: a.full_feature_dim.max(1),
                 symbol_rate_hz: a.symbol_rate_hz,
                 switches: 0,
+                counter_names: a
+                    .spec
+                    .entries
+                    .iter()
+                    .map(|e| format!("fleet_adapt_{}", e.link.label()))
+                    .collect(),
             }),
             offload: cfg.offload.as_ref().map(|o| OffloadRuntime {
                 threshold: o.busy_frac_threshold,
@@ -626,7 +657,126 @@ impl World {
             queue_peak: 0,
             telemetry,
             rounds: record_rounds.then(Vec::new),
+            obs: Recorder::disabled(),
+            seq: 0,
+            series: None,
         }
+    }
+
+    /// Attaches an observability sink (and optionally a series sampler +
+    /// SLO watchdog) to this world. Pure telemetry: the DES timeline is
+    /// byte-identical with or without it.
+    pub(crate) fn attach_observability(
+        &mut self,
+        rec: Recorder,
+        series_interval_s: Option<f64>,
+        slo: Option<SloSpec>,
+    ) {
+        self.series = series_interval_s.map(|interval_s| SeriesRuntime {
+            interval_s: interval_s.max(1e-9),
+            next_tick: 0,
+            sampler: TimeSeriesSampler::new(&rec),
+            slo: slo.map(SloEvaluator::new),
+        });
+        self.obs = rec;
+    }
+
+    /// Closes every series window whose virtual-time boundary has passed.
+    /// Called at each arrival (and once at drain), so windows land on
+    /// deterministic simulated-time boundaries regardless of host timing.
+    fn tick_series(&mut self, now: f64) {
+        if self.series.is_none() {
+            return;
+        }
+        let depth: usize = self.edges.iter().map(|e| e.queue.len()).sum();
+        let obs = self.obs.clone();
+        let s = self.series.as_mut().expect("checked above");
+        while (s.next_tick as f64 + 1.0) * s.interval_s <= now {
+            obs.set_gauge("fleet_queue_depth", depth as f64);
+            s.sampler.sample(s.next_tick, &obs);
+            if let Some(slo) = &mut s.slo {
+                slo.observe(&obs);
+            }
+            s.next_tick += 1;
+        }
+    }
+
+    /// Flushes the final (partial) series window at drain time. When an
+    /// SLO is armed and the report sink is a histogram, also publishes
+    /// `fleet_over_slo` — the run-total count of requests whose latency
+    /// exceeded the SLO target ([`LatencyHist::count_over`]).
+    pub(crate) fn flush_series(&mut self, now: f64) {
+        self.tick_series(now);
+        let obs = self.obs.clone();
+        if let Some(s) = &mut self.series {
+            obs.set_gauge("fleet_queue_depth", 0.0);
+            s.sampler.sample(s.next_tick, &obs);
+            if let Some(slo) = &mut s.slo {
+                slo.observe(&obs);
+            }
+            if let (LatencySink::Hist(h), Some(slo)) = (&self.sink, &s.slo) {
+                let target_s = slo.spec().target_p99_ns as f64 / 1e9;
+                obs.set_counter("fleet_over_slo", h.count_over(target_s));
+            }
+        }
+    }
+
+    /// Records one completed request's latency into the report sink and
+    /// the observability histogram (virtual-time nanoseconds).
+    fn record_latency(&mut self, latency: f64) {
+        self.sink.record(latency);
+        self.obs.record_ns(Stage::Message, vns(latency));
+    }
+
+    /// Emits the causal span tree for one completed request: a `request`
+    /// root, an `edge` child, and — when the decode half was offloaded —
+    /// `backhaul` and `cloud` children. All timestamps are virtual-time
+    /// ns, so the export is byte-identical at any thread count.
+    fn trace_request(
+        &self,
+        seq: u64,
+        arrive: f64,
+        start: f64,
+        edge_dur: f64,
+        done: f64,
+        offload: Option<(f64, f64)>,
+    ) {
+        if !self.obs.tracing_enabled() {
+            return;
+        }
+        let root = SpanContext::root(seq);
+        let parent = Some(root.span);
+        self.obs.trace_span(TraceSpan::new(
+            root.child(0),
+            parent,
+            "edge",
+            vns(start),
+            vns(edge_dur),
+        ));
+        if let Some((backhaul_dur, cloud_dur)) = offload {
+            let done_edge = start + edge_dur;
+            self.obs.trace_span(TraceSpan::new(
+                root.child(1),
+                parent,
+                "backhaul",
+                vns(done_edge),
+                vns(backhaul_dur),
+            ));
+            self.obs.trace_span(TraceSpan::new(
+                root.child(2),
+                parent,
+                "cloud",
+                vns(done - cloud_dur),
+                vns(cloud_dur),
+            ));
+        }
+        self.obs.trace_span(TraceSpan::new(
+            root,
+            None,
+            "request",
+            vns(arrive),
+            vns(done - arrive),
+        ));
     }
 
     /// Advances edge `e`'s cell link one step (when adaptation is on) and
@@ -640,7 +790,9 @@ impl World {
         let d = a.links[e].step();
         if d.switched {
             a.switches += 1;
+            self.obs.add("fleet_adapt_switches", 1);
         }
+        self.obs.add(&a.counter_names[d.index], 1);
         let bits = a.payload_bits * d.link.feature_dim as f64 / a.full_feature_dim as f64;
         if bits == 0.0 {
             return 0.0;
@@ -680,30 +832,30 @@ impl World {
         let offload_round = self.should_offload(e, now);
         // Edge-side cost: the full round when serving locally, only
         // dispatch + encode when the decode half ships to the cloud.
-        let (cost, done) = if offload_round {
+        let (cost, done, offload_durs) = if offload_round {
             let o = self.offload.as_ref().expect("should_offload checked");
             let edge_cost = self.dispatch_time + k as f64 * self.encode_time;
             let done_edge = now + edge_cost;
             // Batch round trip: features out, one backhaul transfer per
             // request (serialized), elastic cloud decodes sequentially,
             // results return after another propagation delay.
-            let done_req = done_edge
-                + 2.0 * o.latency_s
-                + k as f64 * o.transfer_s
-                + k as f64 * self.cloud_decode_time;
-            (edge_cost, done_req)
+            let backhaul = 2.0 * o.latency_s + k as f64 * o.transfer_s;
+            let cloud = k as f64 * self.cloud_decode_time;
+            let done_req = done_edge + backhaul + cloud;
+            (edge_cost, done_req, Some((backhaul, cloud)))
         } else {
             let cost = self.dispatch_time + k as f64 * self.service_time;
-            (cost, now + cost)
+            (cost, now + cost, None)
         };
         let free_at = now + cost;
         let mut ids = Vec::with_capacity(if self.rounds.is_some() { k } else { 0 });
         for _ in 0..k {
-            let (_, arrive, id) = self.edges[e]
+            let (_, arrive, id, seq) = self.edges[e]
                 .queue
                 .pop_front()
                 .expect("k bounded by queue length");
-            self.sink.record(done - arrive);
+            self.record_latency(done - arrive);
+            self.trace_request(seq, arrive, now, cost, done, offload_durs);
             if self.rounds.is_some() {
                 ids.push(id);
             }
@@ -715,8 +867,11 @@ impl World {
         self.note_busy(e, cost);
         self.batches += 1;
         self.served += k as u64;
+        self.obs.add("fleet_served", k as u64);
+        self.obs.add("fleet_batches", 1);
         if offload_round {
             self.offloaded += k as u64;
+            self.obs.add("fleet_offloaded", k as u64);
         }
         Some(free_at)
     }
@@ -779,10 +934,16 @@ fn dispatch_loop(sim: &mut Sim<World>, w: &mut World, e: usize) {
 /// semantics because there is only one arrival body.
 pub(crate) fn on_arrival(sim: &mut Sim<World>, w: &mut World, spec: ModelSpec) {
     let now = sim.now();
+    w.tick_series(now);
+    let seq = w.seq;
+    w.seq += 1;
+    w.obs.add("fleet_requests", 1);
     let e = w.pick_edge(spec.id);
     let fetch = if w.edges[e].cache.get(&spec.id).is_some() {
+        w.obs.add("fleet_cache_hits", 1);
         0.0
     } else {
+        w.obs.add("fleet_cache_misses", 1);
         let f = (w.fetch_time_for)(spec.size);
         w.fetch_time_total += f;
         w.edges[e].cache.insert(spec.id, spec, spec.size, spec.cost);
@@ -807,19 +968,33 @@ pub(crate) fn on_arrival(sim: &mut Sim<World>, w: &mut World, spec: ModelSpec) {
             let (latency_s, transfer_s) = (o.latency_s, o.transfer_s);
             let edge_cost = w.dispatch_time + w.encode_time;
             let done_edge = start + edge_cost;
-            let done = done_edge + 2.0 * latency_s + transfer_s + w.cloud_decode_time;
+            let backhaul = 2.0 * latency_s + transfer_s;
+            let done = done_edge + backhaul + w.cloud_decode_time;
             w.edges[e].free_at = done_edge;
             w.note_busy(e, edge_cost);
-            w.sink.record(done - now);
+            w.record_latency(done - now);
+            w.trace_request(
+                seq,
+                now,
+                start,
+                edge_cost,
+                done,
+                Some((backhaul, w.cloud_decode_time)),
+            );
             w.offloaded += 1;
+            w.obs.add("fleet_offloaded", 1);
         } else {
-            let done = start + w.dispatch_time + w.service_time;
+            let cost = w.dispatch_time + w.service_time;
+            let done = start + cost;
             w.edges[e].free_at = done;
-            w.note_busy(e, w.dispatch_time + w.service_time);
-            w.sink.record(done - now);
+            w.note_busy(e, cost);
+            w.record_latency(done - now);
+            w.trace_request(seq, now, start, cost, done, None);
         }
         w.batches += 1;
         w.served += 1;
+        w.obs.add("fleet_served", 1);
+        w.obs.add("fleet_batches", 1);
         if let Some(rounds) = &mut w.rounds {
             rounds.push((e, vec![spec.id]));
         }
@@ -830,12 +1005,19 @@ pub(crate) fn on_arrival(sim: &mut Sim<World>, w: &mut World, spec: ModelSpec) {
         sim.schedule_at(
             now + fetch + air,
             Box::new(move |sim, w: &mut World| {
-                w.edges[e].queue.push_back((sim.now(), now, spec.id));
+                w.edges[e].queue.push_back((sim.now(), now, spec.id, seq));
                 w.queue_peak = w.queue_peak.max(w.edges[e].queue.len());
                 dispatch_loop(sim, w, e);
             }),
         );
     }
+}
+
+/// Virtual simulated seconds → trace nanoseconds. The DES timeline is
+/// deterministic at any `SEMCOM_THREADS`, so spans stamped this way export
+/// byte-identically regardless of host scheduling.
+fn vns(t: f64) -> u64 {
+    (t * 1e9).round() as u64
 }
 
 /// The multi-edge fleet simulator. See the module-level documentation.
@@ -878,6 +1060,37 @@ impl FleetSim {
         self.run_inner(seed, make_policy, false, false).0
     }
 
+    /// Like [`FleetSim::run_hist`], but **instrumented**: fleet counters,
+    /// the per-request latency histogram (virtual-time ns, `message`
+    /// stage), and — when `rec` carries a trace buffer — one causal span
+    /// tree per request land on `rec`; a [`TimeSeriesSampler`] closes a
+    /// window every `series_interval_s` simulated seconds (plus one final
+    /// partial window at drain); `slo` optionally arms an SLO watchdog
+    /// evaluated on the same cadence, emitting `slo_breach` journal
+    /// events into `rec`.
+    ///
+    /// The DES timeline is identical to [`FleetSim::run_hist`] for the
+    /// same seed — instrumentation never perturbs the simulation — and
+    /// because every timestamp is virtual, the trace/series exports are
+    /// byte-identical at any `SEMCOM_THREADS`.
+    pub fn run_observed(
+        &self,
+        seed: u64,
+        rec: &Recorder,
+        series_interval_s: f64,
+        slo: Option<SloSpec>,
+    ) -> (FleetReport, TimeSeriesSampler, Option<SloEvaluator>) {
+        let (report, _, series) = self.run_instrumented(
+            seed,
+            Lru::new,
+            false,
+            true,
+            Some((rec.clone(), Some(series_interval_s), slo)),
+        );
+        let s = series.expect("observability attached");
+        (report, s.sampler, s.slo)
+    }
+
     /// Like [`FleetSim::run`], but recording per-request latencies into
     /// the bounded [`LatencyHist`] instead of the exact sample vector:
     /// `count`, `mean`, and `max` match [`FleetSim::run`] exactly,
@@ -914,6 +1127,24 @@ impl FleetSim {
         P: EvictionPolicy<u64> + Send + 'static,
         F: Fn() -> P,
     {
+        let (report, rounds, _) =
+            self.run_instrumented(seed, make_policy, record_rounds, hist_latency, None);
+        (report, rounds)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_instrumented<P, F>(
+        &self,
+        seed: u64,
+        make_policy: F,
+        record_rounds: bool,
+        hist_latency: bool,
+        obs: Option<(Recorder, Option<f64>, Option<SloSpec>)>,
+    ) -> (FleetReport, Vec<(usize, Vec<u64>)>, Option<SeriesRuntime>)
+    where
+        P: EvictionPolicy<u64> + Send + 'static,
+        F: Fn() -> P,
+    {
         let cfg = &self.config;
         let workload = Workload::standard(cfg.n_domains, cfg.n_users, cfg.zipf_alpha);
         // Materialize the trace through the same streaming generator the
@@ -938,6 +1169,9 @@ impl FleetSim {
             record_rounds,
             seed,
         );
+        if let Some((rec, interval, slo)) = obs {
+            world.attach_observability(rec, interval, slo);
+        }
 
         let mut sim: Sim<World> = Sim::new();
         for (arrive_at, spec) in arrivals {
@@ -947,9 +1181,11 @@ impl FleetSim {
             );
         }
         sim.run(&mut world);
+        world.flush_series(sim.now());
 
         let report = world.finish(sim.now());
-        (report, world.rounds.take().unwrap_or_default())
+        let series = world.series.take();
+        (report, world.rounds.take().unwrap_or_default(), series)
     }
 }
 

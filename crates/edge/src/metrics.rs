@@ -157,6 +157,21 @@ impl LatencyHist {
         self.max
     }
 
+    /// Samples recorded at or above `seconds` (quantized to this
+    /// histogram's bucket grid: counts every bucket whose lower bound is
+    /// `>= seconds` in ns). SLO-style accounting — how many requests
+    /// certainly missed a latency target.
+    pub fn count_over(&self, seconds: f64) -> u64 {
+        let target_ns = (seconds * 1e9) as u64;
+        let mut over = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if Self::lower_bound_ns(idx) >= target_ns {
+                over += c;
+            }
+        }
+        over
+    }
+
     /// Summarizes into the common report shape: exact count/mean/max,
     /// bucket-quantized percentiles.
     pub fn summary(&self) -> LatencySummary {
@@ -177,6 +192,25 @@ impl LatencyHist {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn count_over_is_conservative_on_the_bucket_grid() {
+        let mut h = LatencyHist::new();
+        for _ in 0..90 {
+            h.record(0.001); // 1 ms
+        }
+        for _ in 0..10 {
+            h.record(0.1); // 100 ms
+        }
+        // Every sample counts against a generous target, none against an
+        // impossible one.
+        assert_eq!(h.count_over(0.0), 100);
+        assert_eq!(h.count_over(10.0), 0);
+        // A 10 ms target certainly catches the ten 100 ms samples and
+        // certainly not the 1 ms ones (both sit well clear of any bucket
+        // boundary at 16 sub-buckets per octave).
+        assert_eq!(h.count_over(0.01), 10);
+    }
 
     #[test]
     fn empty_samples_give_zeros() {

@@ -22,7 +22,7 @@ use crate::topology::Topology;
 use semcom_cache::policy::Lru;
 use semcom_cache::workload::Workload;
 use semcom_nn::rng::{derive_seed, seeded_rng};
-use semcom_obs::Recorder;
+use semcom_obs::{Recorder, TraceSpan};
 
 /// Stream index for the placement RNG, so `RandomWeighted` draws never
 /// perturb the shard's trace RNG (`plan.seed` itself).
@@ -58,6 +58,33 @@ pub(crate) fn run_shard(
     plan: &ShardPlan,
     topology: &Topology,
     placement: &SessionPlacement,
+) -> (FleetReport, ShardStats) {
+    run_shard_with(plan, topology, placement, None)
+}
+
+/// Like [`run_shard`], but recording a causal request trace into a
+/// shard-private buffer. The returned spans carry the shard's *local*
+/// request sequence as trace id; the orchestrator remaps them into a
+/// globally disjoint id space when it merges shards in fixed order.
+pub(crate) fn run_shard_traced(
+    plan: &ShardPlan,
+    topology: &Topology,
+    placement: &SessionPlacement,
+) -> (FleetReport, ShardStats, Vec<TraceSpan>) {
+    let rec = Recorder::with_ticks_and_trace();
+    let (report, stats) = run_shard_with(plan, topology, placement, Some(rec.clone()));
+    let spans = rec
+        .trace_buffer()
+        .expect("traced recorder carries a buffer")
+        .spans();
+    (report, stats, spans)
+}
+
+fn run_shard_with(
+    plan: &ShardPlan,
+    topology: &Topology,
+    placement: &SessionPlacement,
+    obs: Option<Recorder>,
 ) -> (FleetReport, ShardStats) {
     let t0 = std::time::Instant::now();
     let cfg = &plan.config;
@@ -114,6 +141,9 @@ pub(crate) fn run_shard(
         false,
         plan.seed,
     );
+    if let Some(rec) = obs {
+        world.attach_observability(rec, None, None);
+    }
     let mut sim: Sim<World> = Sim::new();
     for _ in 0..cfg.n_requests {
         let (t, spec) = stream.next_arrival();

@@ -25,7 +25,7 @@ use crate::wire::WireError;
 use rand::RngCore;
 use semcom_channel::{bits_to_bytes, bytes_to_bits, ArqPipeline, Channel, FaultyLink};
 use semcom_nn::params::ParamVec;
-use semcom_obs::{Event, Recorder, RejectCause, Stage};
+use semcom_obs::{Event, Recorder, RejectCause, SpanContext, Stage, TraceSpan};
 
 /// First byte of every [`SyncFrame`] wire encoding.
 pub const FRAME_MAGIC: u8 = 0xA7;
@@ -603,6 +603,88 @@ pub fn run_sync_round_observed(
     recorder: &Recorder,
     session: u64,
 ) -> RoundOutcome {
+    run_sync_round_inner(
+        sender,
+        receiver,
+        receiver_params,
+        after,
+        link,
+        rng,
+        config,
+        stats,
+        recorder,
+        session,
+        None,
+    )
+}
+
+/// [`run_sync_round_observed`] with a causal trace: when `parent` is set
+/// and the recorder has a trace buffer attached, the round becomes span
+/// `parent.child(ordinal)` (named `sync_round`) with one `attempt` child
+/// per delivery attempt and a zero-duration `resync` marker child when the
+/// round degrades to a full-model resync. `ordinal` is caller-chosen and
+/// must be unique among the parent's sync children (a migration uses the
+/// domain index, a harness its round index).
+#[allow(clippy::too_many_arguments)]
+pub fn run_sync_round_traced(
+    sender: &mut SyncSender,
+    receiver: &mut SyncReceiver,
+    receiver_params: &mut ParamVec,
+    after: &ParamVec,
+    link: &mut dyn SyncLink,
+    rng: &mut dyn RngCore,
+    config: &TransportConfig,
+    stats: &mut TransportStats,
+    recorder: &Recorder,
+    session: u64,
+    parent: Option<SpanContext>,
+    ordinal: u64,
+) -> RoundOutcome {
+    let traced = parent.filter(|_| recorder.tracing_enabled());
+    let ctx = traced.map(|p| p.child(ordinal));
+    let t0 = ctx.map(|_| recorder.now_ns());
+    let outcome = run_sync_round_inner(
+        sender,
+        receiver,
+        receiver_params,
+        after,
+        link,
+        rng,
+        config,
+        stats,
+        recorder,
+        session,
+        ctx,
+    );
+    if let (Some(ctx), Some(parent), Some(t0)) = (ctx, traced, t0) {
+        let dur = recorder.now_ns().saturating_sub(t0);
+        recorder.trace_span(TraceSpan::new(
+            ctx,
+            Some(parent.span),
+            "sync_round",
+            t0,
+            dur,
+        ));
+    }
+    outcome
+}
+
+/// The shared round body. `trace` is the round's own span context (already
+/// `parent.child(ordinal)`); delivery attempts hang off it.
+#[allow(clippy::too_many_arguments)]
+fn run_sync_round_inner(
+    sender: &mut SyncSender,
+    receiver: &mut SyncReceiver,
+    receiver_params: &mut ParamVec,
+    after: &ParamVec,
+    link: &mut dyn SyncLink,
+    rng: &mut dyn RngCore,
+    config: &TransportConfig,
+    stats: &mut TransportStats,
+    recorder: &Recorder,
+    session: u64,
+    trace: Option<SpanContext>,
+) -> RoundOutcome {
     let span = recorder.span(Stage::SyncRound);
     stats.rounds += 1;
     let forced_resync = sender.needs_resync();
@@ -631,6 +713,8 @@ pub fn run_sync_round_observed(
         stats,
         recorder,
         session,
+        trace,
+        0,
     ) {
         DeliveryResult::Applied => {
             sender.confirm();
@@ -658,6 +742,17 @@ pub fn run_sync_round_observed(
         user: session,
         seq: resync.seq,
     });
+    if let Some(ctx) = trace {
+        // Zero-duration marker: the round escalated to a full resync.
+        let now = recorder.now_ns();
+        recorder.trace_span(TraceSpan::new(
+            ctx.child(RESYNC_ORDINAL_BASE),
+            Some(ctx.span),
+            "resync",
+            now,
+            0,
+        ));
+    }
     match deliver_with_retries(
         &resync,
         receiver,
@@ -668,6 +763,8 @@ pub fn run_sync_round_observed(
         stats,
         recorder,
         session,
+        trace,
+        RESYNC_ORDINAL_BASE,
     ) {
         DeliveryResult::Applied => {
             sender.confirm();
@@ -701,6 +798,12 @@ enum DeliveryResult {
     Exhausted,
 }
 
+/// Child-ordinal base separating resync-pass spans from update-pass spans
+/// in a traced round. Attempt budgets are far below 64, so the ranges
+/// `1..=attempts` (update) and `65..` (resync) never collide; 64 itself is
+/// the `resync` marker.
+const RESYNC_ORDINAL_BASE: u64 = 64;
+
 #[allow(clippy::too_many_arguments)]
 fn deliver_with_retries(
     frame: &SyncFrame,
@@ -712,10 +815,13 @@ fn deliver_with_retries(
     stats: &mut TransportStats,
     recorder: &Recorder,
     session: u64,
+    trace: Option<SpanContext>,
+    ordinal_base: u64,
 ) -> DeliveryResult {
     let bytes = frame.to_bytes();
     let attempts = attempts.max(1);
     for attempt in 1..=attempts {
+        let attempt_t0 = trace.map(|_| recorder.now_ns());
         if attempt > 1 {
             stats.retries += 1;
             // Simulated exponential backoff (abstract ticks, no wall clock
@@ -748,6 +854,16 @@ fn deliver_with_retries(
                     }
                 }
             }
+        }
+        if let (Some(ctx), Some(t0)) = (trace, attempt_t0) {
+            let dur = recorder.now_ns().saturating_sub(t0);
+            recorder.trace_span(TraceSpan::new(
+                ctx.child(ordinal_base + attempt as u64),
+                Some(ctx.span),
+                "attempt",
+                t0,
+                dur,
+            ));
         }
         if applied {
             return DeliveryResult::Applied;

@@ -113,6 +113,23 @@ pub enum Event {
         /// Destination edge index.
         to: u8,
     },
+    /// An SLO evaluation window closed with its latency objective
+    /// violated (windowed p99 above target). Emitted by the
+    /// `SloEvaluator`, which also accounts error-budget burn.
+    SloBreach {
+        /// Index of the breached stage in [`Stage::ALL`].
+        ///
+        /// [`Stage::ALL`]: crate::Stage::ALL
+        stage: u8,
+        /// Windowed p99 latency (ns) observed in the breaching window.
+        p99_ns: u64,
+        /// The objective's p99 target (ns).
+        target_ns: u64,
+        /// Error-budget burn rate of the window, in thousandths: 1000
+        /// means burning budget exactly as fast as allotted, higher is
+        /// faster.
+        burn_milli: u64,
+    },
 }
 
 impl Event {
@@ -125,6 +142,7 @@ impl Event {
             Event::DomainMisselected { .. } => "domain_misselected",
             Event::TrainingTriggered { .. } => "training_triggered",
             Event::UserMigrated { .. } => "user_migrated",
+            Event::SloBreach { .. } => "slo_breach",
         }
     }
 }

@@ -215,6 +215,20 @@ impl Parser<'_> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
+            // Fast path: consume a whole run of plain bytes at once. The
+            // input is a `&str` and `"`/`\` are ASCII, so the run sits on
+            // UTF-8 boundaries and one validation covers it — scanning
+            // byte-by-byte (validating the remaining input each time)
+            // would make parsing quadratic in document size.
+            let start = self.pos;
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("bad utf8"))?;
+                out.push_str(run);
+            }
             match self.peek() {
                 None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
@@ -250,15 +264,7 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so
-                    // boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("bad utf8"))?;
-                    let ch = s.chars().next().ok_or_else(|| self.err("bad utf8"))?;
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
-                }
+                Some(_) => unreachable!("run scan stops only at '\"' or '\\\\'"),
             }
         }
     }

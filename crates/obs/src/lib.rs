@@ -37,6 +37,22 @@
 //! [`Snapshot::to_prom`] carry the full timing data for humans and
 //! scrapers.
 //!
+//! The causal layer extends the contract rather than weakening it:
+//!
+//! * **Traces** ([`TraceBuffer`], [`SpanContext`]) — span *identity* is
+//!   content-derived (trace id = domain sequence number, child span id =
+//!   mix of parent id and a fixed per-site ordinal), so the exported span
+//!   tree's structure is identical at any `SEMCOM_THREADS`. Span
+//!   timestamps follow the clock rule above: deterministic under a
+//!   single-threaded `TickClock` driver or the fleet simulator's virtual
+//!   clock, scheduling-dependent otherwise.
+//! * **Time series** ([`TimeSeriesSampler`]) — each point is a pure
+//!   [`Snapshot::diff`] of two snapshots; `sched_` metrics are excluded
+//!   from the export like in the deterministic snapshot.
+//! * **SLOs** ([`SloEvaluator`]) — windowed breach detection is integer
+//!   arithmetic over bucket-count deltas; with deterministic durations
+//!   the emitted [`Event::SloBreach`] sequence is byte-identical.
+//!
 //! ## Example
 //!
 //! ```
@@ -63,11 +79,17 @@ mod event;
 mod hist;
 mod json;
 mod recorder;
+mod series;
+mod slo;
 mod snapshot;
+mod trace;
 
 pub use clock::{Clock, MonotonicClock, TickClock};
 pub use event::{Event, EventRecord, RejectCause};
 pub use hist::{bucket_index, bucket_upper_bound, Histogram, BUCKETS};
-pub use json::{Json, JsonError};
+pub use json::{parse as parse_json, Json, JsonError};
 pub use recorder::{Recorder, Span, Stage};
+pub use series::TimeSeriesSampler;
+pub use slo::{SloEvaluator, SloSpec};
 pub use snapshot::{HistogramSnapshot, Snapshot};
+pub use trace::{SpanContext, SpanId, TraceBuffer, TraceId, TraceSpan, DEFAULT_TRACE_CAPACITY};

@@ -5,6 +5,7 @@ use crate::clock::{Clock, MonotonicClock, TickClock};
 use crate::event::{Event, EventRing};
 use crate::hist::Histogram;
 use crate::snapshot::{HistogramSnapshot, Snapshot};
+use crate::trace::{TraceBuffer, TraceSpan, DEFAULT_TRACE_CAPACITY};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
@@ -96,6 +97,21 @@ struct Inner {
     counters: Mutex<BTreeMap<String, u64>>,
     gauges: Mutex<BTreeMap<String, f64>>,
     events: Mutex<EventRing>,
+    trace: Option<Arc<TraceBuffer>>,
+}
+
+/// Counts a span torn down by a panic; called from `Drop` during
+/// unwinding, so it must not panic itself (a poisoned counter lock is
+/// silently skipped rather than escalated to an abort).
+fn bump_aborted(inner: &Inner) {
+    if let Ok(mut c) = inner.counters.lock() {
+        match c.get_mut("spans_aborted") {
+            Some(v) => *v += 1,
+            None => {
+                c.insert("spans_aborted".to_string(), 1);
+            }
+        }
+    }
 }
 
 /// The observability sink.
@@ -133,7 +149,31 @@ impl Recorder {
     }
 
     /// An enabled recorder with the given clock and journal capacity.
+    /// Tracing is off; see [`Recorder::new_traced`].
     pub fn new(clock: Box<dyn Clock>, journal_capacity: usize) -> Self {
+        Recorder::build(clock, journal_capacity, None)
+    }
+
+    /// An enabled recorder that additionally records causal
+    /// [`TraceSpan`]s into a bounded [`TraceBuffer`] of `trace_capacity`
+    /// spans (preallocated up front, so recording never allocates).
+    pub fn new_traced(
+        clock: Box<dyn Clock>,
+        journal_capacity: usize,
+        trace_capacity: usize,
+    ) -> Self {
+        Recorder::build(
+            clock,
+            journal_capacity,
+            Some(Arc::new(TraceBuffer::new(trace_capacity))),
+        )
+    }
+
+    fn build(
+        clock: Box<dyn Clock>,
+        journal_capacity: usize,
+        trace: Option<Arc<TraceBuffer>>,
+    ) -> Self {
         Recorder {
             inner: Some(Arc::new(Inner {
                 clock,
@@ -141,6 +181,7 @@ impl Recorder {
                 counters: Mutex::new(BTreeMap::new()),
                 gauges: Mutex::new(BTreeMap::new()),
                 events: Mutex::new(EventRing::new(journal_capacity)),
+                trace,
             })),
         }
     }
@@ -149,6 +190,15 @@ impl Recorder {
     /// golden-checked harnesses).
     pub fn with_ticks() -> Self {
         Recorder::new(Box::new(TickClock::default()), DEFAULT_JOURNAL)
+    }
+
+    /// [`Recorder::with_ticks`] plus a default-capacity trace buffer.
+    pub fn with_ticks_and_trace() -> Self {
+        Recorder::new_traced(
+            Box::new(TickClock::default()),
+            DEFAULT_JOURNAL,
+            DEFAULT_TRACE_CAPACITY,
+        )
     }
 
     /// An enabled recorder on the wall-clock [`MonotonicClock`]
@@ -160,6 +210,28 @@ impl Recorder {
     /// Whether this recorder records anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Whether this recorder carries a trace buffer. Instrumentation
+    /// sites gate their extra clock reads on this so tracing-off runs
+    /// pay exactly one branch.
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.trace.is_some())
+    }
+
+    /// The attached trace buffer, if tracing is enabled.
+    pub fn trace_buffer(&self) -> Option<Arc<TraceBuffer>> {
+        self.inner.as_ref().and_then(|i| i.trace.clone())
+    }
+
+    /// Records one completed causal span. A single branch (and no clock
+    /// read) when disabled or when no trace buffer is attached.
+    pub fn trace_span(&self, span: TraceSpan) {
+        if let Some(inner) = &self.inner {
+            if let Some(trace) = &inner.trace {
+                trace.record(span);
+            }
+        }
     }
 
     /// Opens a timer span for `stage`; the elapsed time is recorded into
@@ -332,11 +404,27 @@ pub struct Span {
 impl Span {
     /// Ends the span early (equivalent to dropping it).
     pub fn finish(self) {}
+
+    /// Explicitly abandons the span: no duration is recorded, only the
+    /// `spans_aborted` counter is bumped — the caller knows the timing
+    /// is meaningless (e.g. a stage bailed out halfway).
+    pub fn abort(mut self) {
+        if let Some(s) = self.inner.take() {
+            bump_aborted(&s.rec);
+        }
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(s) = self.inner.take() {
+            if std::thread::panicking() {
+                // A panic unwound through the guard: the elapsed time is
+                // a truncation artifact, not a stage duration. Count the
+                // abort instead of polluting the histogram.
+                bump_aborted(&s.rec);
+                return;
+            }
             let end = s.rec.clock.now_ns();
             s.rec.stages[s.stage as usize].record(end.saturating_sub(s.start_ns));
         }
@@ -414,6 +502,50 @@ mod tests {
         other.add("shared", 1);
         rec.add("shared", 1);
         assert_eq!(rec.snapshot().counter("shared"), Some(2));
+    }
+
+    #[test]
+    fn panicking_span_counts_an_abort_not_a_duration() {
+        let rec = Recorder::with_ticks();
+        let r = rec.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _s = r.span(Stage::Encode);
+            panic!("stage blew up mid-flight");
+        }));
+        assert!(result.is_err());
+        // No truncated duration in the histogram, one counted abort.
+        assert_eq!(rec.stage_histogram(Stage::Encode).unwrap().count(), 0);
+        assert_eq!(rec.counter("spans_aborted"), Some(1));
+    }
+
+    #[test]
+    fn explicit_abort_skips_the_histogram() {
+        let rec = Recorder::with_ticks();
+        rec.span(Stage::Decode).abort();
+        assert_eq!(rec.stage_histogram(Stage::Decode).unwrap().count(), 0);
+        assert_eq!(rec.counter("spans_aborted"), Some(1));
+        // Disabled recorders stay inert.
+        Recorder::disabled().span(Stage::Decode).abort();
+    }
+
+    #[test]
+    fn trace_span_records_only_with_a_buffer() {
+        use crate::trace::{SpanContext, TraceSpan};
+        let ctx = SpanContext::root(1);
+        let span = TraceSpan::new(ctx, None, "message", 0, 5);
+        let plain = Recorder::with_ticks();
+        assert!(!plain.tracing_enabled());
+        assert!(plain.trace_buffer().is_none());
+        plain.trace_span(span); // no buffer: dropped silently
+        let traced = Recorder::with_ticks_and_trace();
+        assert!(traced.tracing_enabled());
+        traced.trace_span(span);
+        let buf = traced.trace_buffer().unwrap();
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.spans()[0], span);
+        // Clones share the same buffer.
+        traced.clone().trace_span(span);
+        assert_eq!(buf.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Time-series telemetry: periodic snapshot deltas turned into curves.
+//!
+//! End-state scalars hide dynamics — a flash crowd that doubles p99 for
+//! two seconds and then recovers looks identical to a flat run in a final
+//! snapshot. The [`TimeSeriesSampler`] closes that gap: the driver calls
+//! [`sample`] on a fixed tick cadence (wall ticks, virtual simulator
+//! seconds, message indices — whatever the harness's notion of time is),
+//! and each call captures the *window* since the previous one via
+//! [`Snapshot::diff`] — counter deltas, gauge levels, and per-stage
+//! windowed p99 — as one point on the curve.
+//!
+//! Determinism: the sampler itself adds no clock reads; a point is a pure
+//! function of the two snapshots it diffs. Driven from a deterministic
+//! path (the fleet simulator's virtual clock, a `TickClock` harness), the
+//! JSON export is byte-identical across runs and `SEMCOM_THREADS`
+//! settings. Scheduling-dependent `sched_`-prefixed metrics are excluded
+//! from the export, mirroring [`Snapshot::to_json_deterministic`].
+//!
+//! [`sample`]: TimeSeriesSampler::sample
+
+use crate::json::{escape_into, fmt_f64};
+use crate::recorder::Recorder;
+use crate::snapshot::Snapshot;
+
+/// One sampled window.
+#[derive(Debug, Clone, PartialEq)]
+struct Point {
+    /// Harness-defined tick label (monotone across points).
+    tick: u64,
+    /// Counter deltas over the window, nonzero only, sorted by name.
+    counters: Vec<(String, u64)>,
+    /// Gauge levels at the sample instant, sorted by name.
+    gauges: Vec<(String, f64)>,
+    /// `(stage, window count, window p99_ns)` for stages active in the
+    /// window, in snapshot (stage) order.
+    stages: Vec<(String, u64, u64)>,
+}
+
+/// Samples a [`Recorder`] on a caller-driven cadence, accumulating one
+/// [`Snapshot::diff`] window per tick. See the module docs.
+#[derive(Debug)]
+pub struct TimeSeriesSampler {
+    last: Snapshot,
+    points: Vec<Point>,
+}
+
+impl TimeSeriesSampler {
+    /// Starts a series with the recorder's current state as the
+    /// baseline: the first [`sample`] captures activity from *now*, not
+    /// from recorder creation.
+    ///
+    /// [`sample`]: TimeSeriesSampler::sample
+    pub fn new(rec: &Recorder) -> Self {
+        TimeSeriesSampler {
+            last: rec.snapshot(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Closes the current window: diffs the recorder against the
+    /// previous sample and appends one point labeled `tick`.
+    pub fn sample(&mut self, tick: u64, rec: &Recorder) {
+        let snap = rec.snapshot();
+        let delta = snap.diff(&self.last);
+        let counters = delta
+            .counters
+            .iter()
+            .filter(|(name, v)| *v > 0 && !name.starts_with("sched_"))
+            .cloned()
+            .collect();
+        let gauges = delta
+            .gauges
+            .iter()
+            .filter(|(name, _)| !name.starts_with("sched_"))
+            .cloned()
+            .collect();
+        let stages = delta
+            .histograms
+            .iter()
+            .map(|h| (h.stage.clone(), h.count, h.p99_ns()))
+            .collect();
+        self.points.push(Point {
+            tick,
+            counters,
+            gauges,
+            stages,
+        });
+        self.last = snap;
+    }
+
+    /// Points sampled so far.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True before the first [`sample`](TimeSeriesSampler::sample).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Exports the curve as `{"series": [...]}` JSON: one object per
+    /// tick with `counters`, `gauges`, `stage_counts`, and `p99_ns`
+    /// sub-objects. Deterministic for a deterministic sampling driver.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.points.len() * 256);
+        out.push_str("{\"series\":[");
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n{\"tick\":");
+            out.push_str(&p.tick.to_string());
+            out.push_str(",\"counters\":{");
+            for (j, (name, v)) in p.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                escape_into(&mut out, name);
+                out.push(':');
+                out.push_str(&v.to_string());
+            }
+            out.push_str("},\"gauges\":{");
+            for (j, (name, v)) in p.gauges.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                escape_into(&mut out, name);
+                out.push(':');
+                out.push_str(&fmt_f64(*v));
+            }
+            out.push_str("},\"stage_counts\":{");
+            for (j, (stage, count, _)) in p.stages.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                escape_into(&mut out, stage);
+                out.push(':');
+                out.push_str(&count.to_string());
+            }
+            out.push_str("},\"p99_ns\":{");
+            for (j, (stage, _, p99)) in p.stages.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                escape_into(&mut out, stage);
+                out.push(':');
+                out.push_str(&p99.to_string());
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Stage;
+
+    #[test]
+    fn windows_are_deltas_not_totals() {
+        let rec = Recorder::with_ticks();
+        let mut series = TimeSeriesSampler::new(&rec);
+        rec.add("served", 10);
+        rec.record_ns(Stage::Message, 1_000);
+        series.sample(0, &rec);
+        rec.add("served", 5);
+        rec.record_ns(Stage::Message, 8_000);
+        rec.record_ns(Stage::Message, 8_000);
+        series.sample(1, &rec);
+        // Tick 2: nothing happened.
+        series.sample(2, &rec);
+        assert_eq!(series.len(), 3);
+        let json = series.to_json();
+        let doc = crate::json::parse(&json).expect("series JSON parses");
+        let pts = doc.get("series").and_then(|s| s.as_arr()).unwrap();
+        assert_eq!(pts.len(), 3);
+        let served = |i: usize| {
+            pts[i]
+                .get("counters")
+                .and_then(|c| c.get("served"))
+                .and_then(|v| v.as_u64())
+        };
+        assert_eq!(served(0), Some(10));
+        assert_eq!(served(1), Some(5));
+        assert_eq!(served(2), None); // zero deltas are omitted
+        let count = |i: usize| {
+            pts[i]
+                .get("stage_counts")
+                .and_then(|c| c.get("message"))
+                .and_then(|v| v.as_u64())
+        };
+        assert_eq!(count(0), Some(1));
+        assert_eq!(count(1), Some(2));
+        assert_eq!(count(2), None);
+        // Windowed p99 tracks the window's samples, not the run total.
+        let p99 = |i: usize| {
+            pts[i]
+                .get("p99_ns")
+                .and_then(|c| c.get("message"))
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0)
+        };
+        assert!(p99(0) < p99(1), "{} vs {}", p99(0), p99(1));
+    }
+
+    #[test]
+    fn sched_metrics_are_excluded() {
+        let rec = Recorder::with_ticks();
+        let mut series = TimeSeriesSampler::new(&rec);
+        rec.add("sched_stream_encode_batches", 4);
+        rec.set_gauge("sched_depth", 3.0);
+        rec.set_gauge("queue_depth", 2.0);
+        series.sample(0, &rec);
+        let json = series.to_json();
+        assert!(!json.contains("sched_"));
+        assert!(json.contains("\"queue_depth\":2.0"));
+    }
+
+    #[test]
+    fn export_is_reproducible() {
+        let rec = Recorder::with_ticks();
+        let mut series = TimeSeriesSampler::new(&rec);
+        rec.add("served", 1);
+        series.sample(7, &rec);
+        assert_eq!(series.to_json(), series.to_json());
+        assert!(series.to_json().contains("\"tick\":7"));
+    }
+}

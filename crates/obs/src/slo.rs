@@ -1,0 +1,230 @@
+//! SLO watchdog: windowed latency objectives with burn-rate accounting.
+//!
+//! An [`SloSpec`] states a latency objective for one pipeline stage: "the
+//! windowed p99 stays at or below `target_p99_ns`, and at most
+//! `budget_milli` thousandths of samples may exceed the target". The
+//! [`SloEvaluator`] is driven on the same cadence as the
+//! [`TimeSeriesSampler`](crate::TimeSeriesSampler): each
+//! [`observe`](SloEvaluator::observe) call closes a window, reads the
+//! stage histogram's bucket delta since the previous call, and — when the
+//! window's p99 exceeds the target — emits a typed
+//! [`Event::SloBreach`] into the recorder's journal with the window's
+//! error-budget burn rate attached.
+//!
+//! Everything is integer arithmetic over deterministic bucket counts, so
+//! for a deterministic workload the breach sequence is byte-identical
+//! across runs and `SEMCOM_THREADS` settings (given deterministic
+//! durations, e.g. the fleet simulator's virtual clock).
+
+use crate::event::Event;
+use crate::hist::{bucket_upper_bound, quantile_from, BUCKETS};
+use crate::recorder::{Recorder, Stage};
+
+/// A latency objective for one stage. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloSpec {
+    /// The stage whose latency histogram is evaluated.
+    pub stage: Stage,
+    /// Windowed p99 must stay at or below this (ns).
+    pub target_p99_ns: u64,
+    /// Error budget: allowed fraction of samples above target, in
+    /// thousandths (10 = 1%). Clamped to at least 1.
+    pub budget_milli: u64,
+}
+
+/// Evaluates one [`SloSpec`] over successive windows. See the module
+/// docs.
+#[derive(Debug)]
+pub struct SloEvaluator {
+    spec: SloSpec,
+    prev: [u64; BUCKETS],
+    windows: u64,
+    breaches: u64,
+    total_above: u64,
+    total_count: u64,
+}
+
+impl SloEvaluator {
+    /// A fresh evaluator; the first [`observe`](SloEvaluator::observe)
+    /// window starts at the recorder's current state only if the
+    /// evaluator is created before any samples land — create it next to
+    /// the recorder.
+    pub fn new(spec: SloSpec) -> Self {
+        SloEvaluator {
+            spec,
+            prev: [0; BUCKETS],
+            windows: 0,
+            breaches: 0,
+            total_above: 0,
+            total_count: 0,
+        }
+    }
+
+    /// The objective under evaluation.
+    pub fn spec(&self) -> SloSpec {
+        self.spec
+    }
+
+    /// Closes a window: computes the stage's bucket delta since the last
+    /// call, and on a windowed p99 above target emits
+    /// [`Event::SloBreach`] into `rec`'s journal and returns it.
+    /// An empty window (no samples) never breaches.
+    pub fn observe(&mut self, rec: &Recorder) -> Option<Event> {
+        self.windows += 1;
+        let Some(hist) = rec.stage_histogram(self.spec.stage) else {
+            return None; // disabled recorder
+        };
+        let now = hist.bucket_counts();
+        let max_ns = hist.max_ns();
+        let mut delta = [0u64; BUCKETS];
+        let mut count = 0u64;
+        let mut above = 0u64;
+        for i in 0..BUCKETS {
+            let d = now[i].saturating_sub(self.prev[i]);
+            delta[i] = d;
+            count += d;
+            // A bucket holds samples in (lower, upper]; every sample in a
+            // bucket whose *lower* bound (the previous index's upper) is
+            // >= target is certainly above target. This undercounts at
+            // most one bucket's worth — conservative, never spurious.
+            if i > 0 && bucket_upper_bound(i - 1) >= self.spec.target_p99_ns {
+                above += d;
+            }
+        }
+        self.prev = now;
+        if count == 0 {
+            return None;
+        }
+        self.total_above += above;
+        self.total_count += count;
+        let p99_ns = quantile_from(&delta, count, max_ns, 0.99);
+        if p99_ns <= self.spec.target_p99_ns {
+            return None;
+        }
+        self.breaches += 1;
+        let burn_milli = burn_rate_milli(above, count, self.spec.budget_milli);
+        let event = Event::SloBreach {
+            stage: self.spec.stage as u8,
+            p99_ns,
+            target_ns: self.spec.target_p99_ns,
+            burn_milli,
+        };
+        rec.emit(event);
+        Some(event)
+    }
+
+    /// Windows evaluated so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Windows that breached the objective.
+    pub fn breaches(&self) -> u64 {
+        self.breaches
+    }
+
+    /// Cumulative burn rate across all windows, in thousandths of the
+    /// allotted budget (1000 = burning exactly as fast as allotted).
+    pub fn burn_milli_total(&self) -> u64 {
+        burn_rate_milli(self.total_above, self.total_count, self.spec.budget_milli)
+    }
+}
+
+/// `(above/count) / (budget_milli/1000)` in thousandths, integer math.
+fn burn_rate_milli(above: u64, count: u64, budget_milli: u64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let budget = budget_milli.max(1);
+    // above * 1e6 / (count * budget); u128 to survive huge counts.
+    ((above as u128 * 1_000_000) / (count as u128 * budget as u128)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SloSpec {
+        SloSpec {
+            stage: Stage::Message,
+            // Bucket upper bounds are 2^k - 1: 4095 is exactly a bucket
+            // boundary, so "above" counting is exact in these tests.
+            target_p99_ns: 4_095,
+            budget_milli: 10, // 1% may exceed the target
+        }
+    }
+
+    #[test]
+    fn quiet_windows_do_not_breach() {
+        let rec = Recorder::with_ticks();
+        let mut slo = SloEvaluator::new(spec());
+        assert_eq!(slo.observe(&rec), None); // empty window
+        for _ in 0..100 {
+            rec.record_ns(Stage::Message, 1_000);
+        }
+        assert_eq!(slo.observe(&rec), None);
+        assert_eq!(slo.windows(), 2);
+        assert_eq!(slo.breaches(), 0);
+        assert_eq!(slo.burn_milli_total(), 0);
+    }
+
+    #[test]
+    fn hot_window_breaches_with_burn_rate() {
+        let rec = Recorder::with_ticks();
+        let mut slo = SloEvaluator::new(spec());
+        for _ in 0..95 {
+            rec.record_ns(Stage::Message, 1_000);
+        }
+        for _ in 0..5 {
+            rec.record_ns(Stage::Message, 10_000); // 5% above target
+        }
+        let ev = slo.observe(&rec).expect("p99 above target");
+        match ev {
+            Event::SloBreach {
+                stage,
+                p99_ns,
+                target_ns,
+                burn_milli,
+            } => {
+                assert_eq!(stage, Stage::Message as u8);
+                assert!(p99_ns > target_ns);
+                assert_eq!(target_ns, 4_095);
+                // 5% above on a 1% budget: burning 5x the budget.
+                assert_eq!(burn_milli, 5_000);
+            }
+            other => panic!("wrong event: {other:?}"),
+        }
+        assert_eq!(slo.breaches(), 1);
+        // The breach landed in the journal, typed.
+        let snap = rec.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].event.type_name(), "slo_breach");
+    }
+
+    #[test]
+    fn windows_are_independent() {
+        let rec = Recorder::with_ticks();
+        let mut slo = SloEvaluator::new(spec());
+        for _ in 0..10 {
+            rec.record_ns(Stage::Message, 100_000);
+        }
+        assert!(slo.observe(&rec).is_some());
+        // A later quiet window must not breach: the hot samples belong
+        // to the closed window, not the run total.
+        for _ in 0..10 {
+            rec.record_ns(Stage::Message, 500);
+        }
+        assert_eq!(slo.observe(&rec), None);
+        assert_eq!(slo.breaches(), 1);
+        // Cumulative burn: 10 of 20 samples above on a 1% budget.
+        assert_eq!(slo.burn_milli_total(), 50_000);
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let rec = Recorder::disabled();
+        let mut slo = SloEvaluator::new(spec());
+        assert_eq!(slo.observe(&rec), None);
+        assert_eq!(slo.breaches(), 0);
+    }
+}

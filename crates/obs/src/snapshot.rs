@@ -89,6 +89,78 @@ impl Snapshot {
         self.histograms.iter().find(|h| h.stage == stage)
     }
 
+    /// Subtracts an earlier snapshot of the **same recorder**, yielding
+    /// the activity of the window between the two captures. This is the
+    /// one audited delta path shared by before/after bench comparisons
+    /// and the `TimeSeriesSampler`.
+    ///
+    /// Semantics, field by field:
+    ///
+    /// * **Counters** — keyed by `self`'s names, `saturating_sub` against
+    ///   the earlier value (a counter reset — earlier > now — clamps to
+    ///   0 instead of wrapping to a garbage near-`u64::MAX` delta).
+    /// * **Gauges** — gauges are *levels*, not accumulations, so the diff
+    ///   carries `self`'s latest values unchanged.
+    /// * **Histograms** — per-stage dense-bucket subtraction (saturating
+    ///   per bucket), re-sparsified; stages with no samples in the window
+    ///   are dropped entirely. `max_ns` is `self`'s run-maximum — the
+    ///   bounded histogram does not retain enough to recover a
+    ///   window-maximum.
+    /// * **Events** — the records emitted after the earlier capture
+    ///   (journal `seq` is gapless, so this is exact even across ring
+    ///   overwrites); `events_dropped` is the window's drop delta.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, v)| {
+                let before = earlier.counter(name).unwrap_or(0);
+                (name.clone(), v.saturating_sub(before))
+            })
+            .collect();
+        let mut histograms = Vec::new();
+        for h in &self.histograms {
+            let mut dense = h.dense_buckets();
+            let (mut count, mut sum_ns) = (h.count, h.sum_ns);
+            if let Some(prev) = earlier.histogram(&h.stage) {
+                for (d, p) in dense.iter_mut().zip(prev.dense_buckets()) {
+                    *d = d.saturating_sub(p);
+                }
+                count = count.saturating_sub(prev.count);
+                sum_ns = sum_ns.saturating_sub(prev.sum_ns);
+            }
+            if count == 0 {
+                continue;
+            }
+            histograms.push(HistogramSnapshot {
+                stage: h.stage.clone(),
+                count,
+                sum_ns,
+                max_ns: h.max_ns,
+                buckets: dense
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| (i as u32, c))
+                    .collect(),
+            });
+        }
+        let next_seq = earlier.events.last().map_or(0, |r| r.seq + 1);
+        let events = self
+            .events
+            .iter()
+            .filter(|r| r.seq >= next_seq)
+            .copied()
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+            events,
+            events_dropped: self.events_dropped.saturating_sub(earlier.events_dropped),
+        }
+    }
+
     /// Serializes the full snapshot — timing data included — as
     /// pretty-printed JSON. Parseable back via [`Self::from_json`].
     pub fn to_json(&self) -> String {
@@ -250,6 +322,17 @@ impl Snapshot {
                 Event::UserMigrated { user, from, to } => {
                     out.push_str(&format!(
                         ", \"user\": {user}, \"from\": {from}, \"to\": {to}"
+                    ));
+                }
+                Event::SloBreach {
+                    stage,
+                    p99_ns,
+                    target_ns,
+                    burn_milli,
+                } => {
+                    out.push_str(&format!(
+                        ", \"stage\": {stage}, \"p99_ns\": {p99_ns}, \
+                         \"target_ns\": {target_ns}, \"burn_milli\": {burn_milli}"
                     ));
                 }
             }
@@ -434,6 +517,12 @@ fn parse_event(e: &Json) -> Option<EventRecord> {
             from: u8_of("from")?,
             to: u8_of("to")?,
         },
+        "slo_breach" => Event::SloBreach {
+            stage: u8_of("stage")?,
+            p99_ns: u64_of("p99_ns")?,
+            target_ns: u64_of("target_ns")?,
+            burn_milli: u64_of("burn_milli")?,
+        },
         _ => return None,
     };
     Some(EventRecord { seq, at_ns, event })
@@ -559,6 +648,73 @@ mod tests {
                       "events": [{"seq": 0, "type": "mystery"}],
                       "events_dropped": 0}"#;
         assert!(Snapshot::from_json(doc).is_err());
+    }
+
+    #[test]
+    fn slo_breach_round_trips() {
+        let rec = Recorder::with_ticks();
+        rec.emit(Event::SloBreach {
+            stage: 10,
+            p99_ns: 5_000,
+            target_ns: 4_000,
+            burn_milli: 1_250,
+        });
+        let snap = rec.snapshot();
+        let text = snap.to_json();
+        assert!(text.contains("\"type\": \"slo_breach\""));
+        assert!(text.contains("\"burn_milli\": 1250"));
+        let back = Snapshot::from_json(&text).unwrap();
+        assert_eq!(back, snap);
+        // The deterministic export carries the breach (sans timestamp).
+        assert!(snap.to_json_deterministic().contains("slo_breach"));
+    }
+
+    #[test]
+    fn diff_yields_window_activity() {
+        let rec = Recorder::with_ticks();
+        rec.add("frames", 5);
+        rec.record_ns(Stage::Encode, 100);
+        rec.emit(Event::Resync { user: 1, seq: 0 });
+        let before = rec.snapshot();
+        rec.add("frames", 3);
+        rec.add("fresh", 2);
+        rec.record_ns(Stage::Encode, 100);
+        rec.record_ns(Stage::Encode, 4_000);
+        rec.set_gauge("depth", 7.0);
+        rec.emit(Event::Resync { user: 2, seq: 1 });
+        let after = rec.snapshot();
+        let d = after.diff(&before);
+        assert_eq!(d.counter("frames"), Some(3));
+        assert_eq!(d.counter("fresh"), Some(2));
+        // Gauges are levels: latest value, not a delta.
+        assert_eq!(d.gauge("depth"), Some(7.0));
+        // Only the window's two encode samples remain.
+        let h = d.histogram("encode").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum_ns, 4_100);
+        assert_eq!(h.dense_buckets().iter().sum::<u64>(), 2);
+        // Untouched stages are dropped, not listed at zero.
+        assert!(d.histogram("decode").is_none());
+        // Only the window's event survives, original seq intact.
+        assert_eq!(d.events.len(), 1);
+        assert_eq!(d.events[0].seq, 1);
+        // Self-diff is empty activity.
+        let zero = after.diff(&after);
+        assert_eq!(zero.counter("frames"), Some(0));
+        assert!(zero.histograms.is_empty());
+        assert!(zero.events.is_empty());
+    }
+
+    #[test]
+    fn diff_saturates_on_counter_reset() {
+        let mut earlier = Snapshot::default();
+        earlier.counters.push(("frames".to_string(), 100));
+        earlier.events_dropped = 9;
+        let mut now = Snapshot::default();
+        now.counters.push(("frames".to_string(), 40)); // reset mid-window
+        let d = now.diff(&earlier);
+        assert_eq!(d.counter("frames"), Some(0));
+        assert_eq!(d.events_dropped, 0);
     }
 
     #[test]

@@ -1,0 +1,415 @@
+//! Causal per-message tracing: trace/span contexts with parent/child
+//! links, a bounded lock-cheap span buffer, and a Chrome/Perfetto
+//! `trace_event` JSON exporter.
+//!
+//! # Determinism contract
+//!
+//! Span **identity is content-derived, never allocated**: a root span id
+//! is a mix of the trace's raw id (a message index, fleet request
+//! sequence, or migration counter), and a child span id is a mix of its
+//! parent's id and a fixed ordinal chosen at the instrumentation site.
+//! Two runs that process the same messages therefore build the same span
+//! *tree* — same ids, same parent links, same names — regardless of how
+//! many worker threads interleaved the stages. Only the `start_ns` /
+//! `dur_ns` fields depend on the clock; under a shared [`TickClock`]
+//! driven from a single-threaded commit path they are deterministic too,
+//! and under the fleet simulator's virtual clock they are deterministic
+//! at any `SEMCOM_THREADS`.
+//!
+//! [`TickClock`]: crate::TickClock
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json::escape_into;
+
+/// Default bound on a [`TraceBuffer`]: enough for a harness-sized run
+/// (a few thousand messages at a handful of spans each) without letting
+/// an unbounded fleet replay eat memory.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// splitmix64 finalizer: a cheap, high-quality 64-bit mixer. Used to
+/// derive span ids from content so identity never depends on a shared
+/// counter (which would be scheduling-dependent).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Identifies one causal trace (one message, one fleet request, one
+/// migration). The raw value is the domain-level sequence number the
+/// instrumentation site derived it from, kept readable on purpose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+/// Identifies one span within a trace. Content-derived via [`mix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+/// A (trace, span) pair propagated alongside a message so downstream
+/// stages can attach child spans to the right parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanContext {
+    /// The trace this context belongs to.
+    pub trace: TraceId,
+    /// The span that acts as parent for children derived via [`child`].
+    ///
+    /// [`child`]: SpanContext::child
+    pub span: SpanId,
+}
+
+impl SpanContext {
+    /// Builds the root context for a new trace. The root span id is a
+    /// mix of the raw trace id, so it is stable across runs and thread
+    /// counts.
+    pub fn root(trace_raw: u64) -> Self {
+        SpanContext {
+            trace: TraceId(trace_raw),
+            span: SpanId(mix(trace_raw)),
+        }
+    }
+
+    /// Derives the context of the `ordinal`-th child of this span.
+    /// Ordinals are fixed at the instrumentation site (0 = encode,
+    /// 1 = channel, ... for message traces), so the derived id is a pure
+    /// function of (trace id, path from root) — thread-invariant.
+    pub fn child(&self, ordinal: u64) -> Self {
+        SpanContext {
+            trace: self.trace,
+            span: SpanId(mix(self.span.0.wrapping_add(mix(ordinal.wrapping_add(1))))),
+        }
+    }
+}
+
+/// One completed (or aborted) span, as stored in a [`TraceBuffer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Raw trace id.
+    pub trace: u64,
+    /// Raw span id (content-derived).
+    pub span: u64,
+    /// Parent span id within the same trace, `None` for a root.
+    pub parent: Option<u64>,
+    /// Static span name (`"message"`, `"encode"`, `"backhaul"`, ...).
+    pub name: &'static str,
+    /// Start timestamp (ns, clock-domain of the recording site).
+    pub start_ns: u64,
+    /// Duration (ns). Zero is legal (instantaneous marker).
+    pub dur_ns: u64,
+    /// True when the span was torn down by a panic instead of a normal
+    /// completion; its `dur_ns` is then a truncation artifact.
+    pub aborted: bool,
+}
+
+impl TraceSpan {
+    /// Builds a completed span from a propagated context.
+    pub fn new(
+        ctx: SpanContext,
+        parent: Option<SpanId>,
+        name: &'static str,
+        start_ns: u64,
+        dur_ns: u64,
+    ) -> Self {
+        TraceSpan {
+            trace: ctx.trace.0,
+            span: ctx.span.0,
+            parent: parent.map(|p| p.0),
+            name,
+            start_ns,
+            dur_ns,
+            aborted: false,
+        }
+    }
+}
+
+/// A bounded, lock-cheap buffer of completed spans.
+///
+/// The vector is preallocated to `capacity` at construction, so a
+/// `record` on the hot path is one short mutex lock plus a push into
+/// already-reserved storage — no allocation, ever (pinned by
+/// `tests/zero_alloc.rs`). Once full, further spans are counted in
+/// `dropped` and discarded; the buffer never reallocates.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    spans: Mutex<Vec<TraceSpan>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl TraceBuffer {
+    /// A buffer holding at most `capacity` spans (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceBuffer {
+            spans: Mutex::new(Vec::with_capacity(capacity)),
+            capacity,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends one span; returns `false` (and counts a drop) when full.
+    pub fn record(&self, span: TraceSpan) -> bool {
+        let mut spans = self.spans.lock().expect("trace buffer poisoned");
+        if spans.len() < self.capacity {
+            spans.push(span);
+            true
+        } else {
+            drop(spans);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Spans currently held.
+    pub fn len(&self) -> usize {
+        self.spans.lock().expect("trace buffer poisoned").len()
+    }
+
+    /// True when no span has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans discarded because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Discards every recorded span and the drop count, keeping the
+    /// reserved storage — one preallocated buffer can be reused across
+    /// runs without paying the allocation again.
+    pub fn clear(&self) {
+        self.spans.lock().expect("trace buffer poisoned").clear();
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A snapshot copy of the recorded spans, in record order.
+    pub fn spans(&self) -> Vec<TraceSpan> {
+        self.spans.lock().expect("trace buffer poisoned").clone()
+    }
+
+    /// Counts root spans (no parent) per trace id. A well-formed export
+    /// has exactly one root per trace.
+    pub fn roots_per_trace(&self) -> BTreeMap<u64, usize> {
+        let mut roots = BTreeMap::new();
+        for s in self.spans.lock().expect("trace buffer poisoned").iter() {
+            if s.parent.is_none() {
+                *roots.entry(s.trace).or_insert(0) += 1;
+            }
+        }
+        roots
+    }
+
+    /// Counts spans per name, sorted by name. The compact golden-friendly
+    /// view of a large trace.
+    pub fn counts_by_name(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for s in self.spans.lock().expect("trace buffer poisoned").iter() {
+            *counts.entry(s.name).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// The ordering-normalized *structural* view: one line per span,
+    /// sorted by (trace, span, name), timestamps excluded. Two buffers
+    /// filled under different thread counts compare equal here iff their
+    /// span trees are node-for-node identical.
+    pub fn structural_lines(&self) -> Vec<String> {
+        let mut lines: Vec<String> = self
+            .spans
+            .lock()
+            .expect("trace buffer poisoned")
+            .iter()
+            .map(|s| {
+                format!(
+                    "trace={} span={:016x} parent={} name={}{}",
+                    s.trace,
+                    s.span,
+                    s.parent
+                        .map(|p| format!("{p:016x}"))
+                        .unwrap_or_else(|| "-".to_string()),
+                    s.name,
+                    if s.aborted { " aborted" } else { "" },
+                )
+            })
+            .collect();
+        lines.sort_unstable();
+        lines
+    }
+
+    /// Exports the buffer as Chrome/Perfetto `trace_event` JSON
+    /// (`{"traceEvents":[...]}`, `ph:"X"` complete events).
+    ///
+    /// Deterministic by construction: spans are sorted by
+    /// (trace, start_ns, span, name) before serialization and the
+    /// microsecond timestamps are formatted with exact integer math
+    /// (`ns/1000` + 3 fractional digits), so the byte output is a pure
+    /// function of the span set — no float repr, no map iteration order.
+    pub fn to_perfetto_json(&self) -> String {
+        let mut spans = self.spans();
+        spans.sort_unstable_by(|a, b| {
+            (a.trace, a.start_ns, a.span, a.name).cmp(&(b.trace, b.start_ns, b.span, b.name))
+        });
+        let mut out = String::with_capacity(128 + spans.len() * 160);
+        out.push_str("{\"traceEvents\":[");
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            escape_into(&mut out, s.name);
+            out.push_str(",\"cat\":\"semcom\",\"ph\":\"X\",\"ts\":");
+            push_us(&mut out, s.start_ns);
+            out.push_str(",\"dur\":");
+            push_us(&mut out, s.dur_ns);
+            out.push_str(",\"pid\":1,\"tid\":");
+            out.push_str(&s.trace.to_string());
+            out.push_str(",\"args\":{\"span\":");
+            out.push_str(&s.span.to_string());
+            out.push_str(",\"parent\":");
+            match s.parent {
+                Some(p) => out.push_str(&p.to_string()),
+                None => out.push_str("null"),
+            }
+            if s.aborted {
+                out.push_str(",\"aborted\":true");
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Formats `ns` as a decimal microsecond count with exactly three
+/// fractional digits, using only integer arithmetic.
+fn push_us(out: &mut String, ns: u64) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_derivation_is_stable_and_collision_resistant() {
+        let root = SpanContext::root(42);
+        assert_eq!(root, SpanContext::root(42));
+        assert_ne!(root.span, SpanContext::root(43).span);
+        let c0 = root.child(0);
+        let c1 = root.child(1);
+        assert_eq!(c0, root.child(0));
+        assert_ne!(c0.span, c1.span);
+        assert_ne!(c0.span, root.span);
+        assert_eq!(c0.trace, root.trace);
+        // Grandchildren of distinct children differ too.
+        assert_ne!(c0.child(0).span, c1.child(0).span);
+    }
+
+    #[test]
+    fn buffer_is_bounded_and_counts_drops() {
+        let buf = TraceBuffer::new(2);
+        let ctx = SpanContext::root(1);
+        assert!(buf.record(TraceSpan::new(ctx, None, "a", 0, 1)));
+        assert!(buf.record(TraceSpan::new(ctx.child(0), Some(ctx.span), "b", 1, 1)));
+        assert!(!buf.record(TraceSpan::new(ctx.child(1), Some(ctx.span), "c", 2, 1)));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.dropped(), 1);
+        assert_eq!(buf.capacity(), 2);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.dropped(), 0);
+        assert!(buf.record(TraceSpan::new(ctx, None, "a", 0, 1)));
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn roots_and_counts() {
+        let buf = TraceBuffer::new(8);
+        for t in [7u64, 9] {
+            let ctx = SpanContext::root(t);
+            buf.record(TraceSpan::new(ctx, None, "request", 0, 10));
+            buf.record(TraceSpan::new(ctx.child(0), Some(ctx.span), "edge", 1, 5));
+        }
+        let roots = buf.roots_per_trace();
+        assert_eq!(roots.len(), 2);
+        assert!(roots.values().all(|&n| n == 1));
+        let counts = buf.counts_by_name();
+        assert_eq!(counts.get("request"), Some(&2));
+        assert_eq!(counts.get("edge"), Some(&2));
+    }
+
+    #[test]
+    fn structural_lines_normalize_record_order() {
+        let ctx = SpanContext::root(5);
+        let root = TraceSpan::new(ctx, None, "message", 0, 9);
+        let child = TraceSpan::new(ctx.child(0), Some(ctx.span), "encode", 1, 3);
+        let a = TraceBuffer::new(4);
+        a.record(root);
+        a.record(child);
+        let b = TraceBuffer::new(4);
+        b.record(child);
+        b.record(root);
+        assert_eq!(a.structural_lines(), b.structural_lines());
+        // Timestamps are excluded from the structural view.
+        let mut late = child;
+        late.start_ns = 999;
+        let c = TraceBuffer::new(4);
+        c.record(root);
+        c.record(late);
+        assert_eq!(a.structural_lines(), c.structural_lines());
+    }
+
+    #[test]
+    fn perfetto_export_is_sorted_and_parses() {
+        let ctx = SpanContext::root(3);
+        let buf = TraceBuffer::new(4);
+        buf.record(TraceSpan::new(
+            ctx.child(1),
+            Some(ctx.span),
+            "late",
+            2500,
+            1500,
+        ));
+        buf.record(TraceSpan::new(ctx, None, "message", 0, 4001));
+        let json = buf.to_perfetto_json();
+        let parsed = crate::json::parse(&json).expect("well-formed trace JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|e| e.as_arr())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        // Sorted by start time: the root (ts 0) leads despite being
+        // recorded second.
+        assert_eq!(
+            events[0].get("name").and_then(|n| n.as_str()),
+            Some("message")
+        );
+        assert_eq!(events[0].get("ts").and_then(|t| t.as_f64()), Some(0.0));
+        // Integer-math microseconds: 2500 ns -> 2.500 us.
+        assert!(json.contains("\"ts\":2.500"));
+        assert!(json.contains("\"dur\":4.001"));
+        // Re-export is byte-identical (pure function of the span set).
+        assert_eq!(json, buf.to_perfetto_json());
+    }
+
+    #[test]
+    fn aborted_flag_survives_export() {
+        let ctx = SpanContext::root(11);
+        let buf = TraceBuffer::new(2);
+        let mut s = TraceSpan::new(ctx, None, "message", 0, 7);
+        s.aborted = true;
+        buf.record(s);
+        assert!(buf.to_perfetto_json().contains("\"aborted\":true"));
+        assert!(buf.structural_lines()[0].ends_with(" aborted"));
+    }
+}

@@ -24,7 +24,8 @@ cargo bench -p semcom-bench --bench channel -- --test
 cargo bench -p semcom-bench --bench cache -- --test
 cargo bench -p semcom-bench --bench sync -- --test
 # Observability overhead routines (disabled vs enabled recorder on the
-# packed-transmit and sync-round hot paths; see BENCH_pr5.json).
+# packed-transmit and sync-round hot paths, see BENCH_pr5.json; untraced
+# vs traced trace_span and served-message pairs, see BENCH_pr10.json).
 cargo bench -p semcom-bench --bench obs -- --test
 # NN kernel + codec serving routines (SIMD vs scalar reference matmul,
 # int8 vs fp32 encode, batched vs per-user; see BENCH_pr6.json).
@@ -85,6 +86,26 @@ for threads in 1 4; do
         exit 1
     }
     echo "t8_observability matches golden at SEMCOM_THREADS=$threads"
+done
+
+echo "=== causal tracing golden (T11) + thread invariance ==="
+# T11 drives per-message tracing end-to-end: span-tree equality across the
+# three send paths, the faulty-link sync transport's attempt/resync spans,
+# a flash-crowd fleet with a Perfetto-export fingerprint + parse
+# round-trip, the time-series table, asserted slo_breach events, the
+# sharded merge, and a migration trace. Span ids are content-derived, so
+# the stdout must be byte-identical at 1 AND 4 workers; wall-clock section
+# timings go to stderr, outside the golden.
+for threads in 1 4; do
+    SEMCOM_THREADS=$threads ./target/release/t11_tracing 2>/dev/null \
+        | diff -u tests/goldens/t11_tracing.stdout - || {
+        echo "ci: harness t11_tracing (crates/bench/src/bin/t11_tracing.rs) diverged from tests/goldens/t11_tracing.stdout at SEMCOM_THREADS=$threads." >&2
+        echo "ci: if the change is intentional, regenerate with:" >&2
+        echo "ci:   SEMCOM_THREADS=1 ./target/release/t11_tracing 2>/dev/null > tests/goldens/t11_tracing.stdout" >&2
+        echo "ci: then re-run this script — divergence at only SOME worker counts means span identity or the shard merge order broke determinism, not the golden." >&2
+        exit 1
+    }
+    echo "t11_tracing matches golden at SEMCOM_THREADS=$threads"
 done
 
 echo "=== staged pipeline golden (T10) + thread invariance ==="

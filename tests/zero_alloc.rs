@@ -180,6 +180,44 @@ fn enabled_recorder_span_itself_does_not_allocate() {
 }
 
 #[test]
+fn trace_span_recording_does_not_allocate() {
+    use semcom_obs::{SpanContext, TraceSpan};
+    let ctx = SpanContext::root(7);
+    let span = TraceSpan::new(ctx.child(0), Some(ctx.span), "semantic_encode", 10, 5);
+
+    // Enabled recorder with NO trace buffer: the trace_span call site is
+    // one branch, no heap traffic.
+    let plain = Recorder::with_ticks();
+    plain.trace_span(span);
+    let before = local_allocations();
+    for _ in 0..100 {
+        plain.trace_span(span);
+    }
+    assert_eq!(
+        local_allocations() - before,
+        0,
+        "trace_span without a buffer allocated"
+    );
+
+    // Traced recorder: the buffer's vector is preallocated to capacity at
+    // construction, so recording is a push into reserved storage.
+    let traced = Recorder::with_ticks_and_trace();
+    for _ in 0..3 {
+        traced.trace_span(span);
+    }
+    let before = local_allocations();
+    for _ in 0..50 {
+        traced.trace_span(span);
+    }
+    assert_eq!(
+        local_allocations() - before,
+        0,
+        "trace_span into a preallocated buffer allocated"
+    );
+    assert_eq!(traced.trace_buffer().unwrap().len(), 53);
+}
+
+#[test]
 fn warm_spsc_queue_does_not_allocate() {
     // The staged serving pipeline's queues (PR 7): slots are pre-allocated
     // at `channel()` time, so steady-state push/pop traffic — including the
